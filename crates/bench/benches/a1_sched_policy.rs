@@ -1,0 +1,84 @@
+//! A1 (ablation) — scheduler policy: FIFO vs data-locality placement.
+//!
+//! Section 3 argues an integrated WMS "can allow for better optimization
+//! in terms of data movement and access". The runtime's locality policy
+//! (with bounded delay scheduling) is compared against FIFO on a
+//! producer→consumer workload with 1 MB intermediates and a simulated
+//! network cost per remote byte. Expect locality to cut both moved bytes
+//! (reported once to stderr) and makespan.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dataflow::prelude::*;
+use std::time::Duration;
+
+const BLOB: usize = 1 << 20;
+const CHAINS: usize = 8;
+
+fn run(policy: Policy, transfer_ns_per_byte: u64) -> u64 {
+    let config = RuntimeConfig {
+        workers: vec![WorkerProfile::cpu(4); 4],
+        policy,
+        checkpoint_path: None,
+        transfer_ns_per_byte,
+    };
+    let rt: Runtime<Bytes> = Runtime::new(config);
+    // Producers make 1 MB blobs; a chain of 3 consumers transforms each.
+    let mut frontier = Vec::new();
+    for k in 0..CHAINS {
+        let h = rt
+            .task("produce")
+            .writes(&[format!("blob{k}").as_str()])
+            .run(|_| {
+                std::thread::sleep(Duration::from_millis(2));
+                Ok(vec![Bytes(vec![7u8; BLOB])])
+            })
+            .unwrap();
+        frontier.push(h.outputs[0].clone());
+    }
+    for stage in 0..3 {
+        let mut next = Vec::new();
+        for (k, input) in frontier.iter().enumerate() {
+            let h = rt
+                .task("transform")
+                .reads(std::slice::from_ref(input))
+                .writes(&[format!("t{stage}-{k}").as_str()])
+                .run(|inp| {
+                    std::thread::sleep(Duration::from_millis(2));
+                    Ok(vec![Bytes(inp[0].0.clone())])
+                })
+                .unwrap();
+            next.push(h.outputs[0].clone());
+        }
+        frontier = next;
+    }
+    rt.barrier().unwrap();
+    let moved = rt.ledger().bytes_moved;
+    rt.shutdown();
+    moved
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("a1_sched_policy");
+    g.sample_size(15);
+    // 200 ns/byte ~ 5 MB/ms: a fast-LAN-ish simulated interconnect.
+    for ns in [0u64, 200] {
+        g.bench_with_input(BenchmarkId::new("fifo", ns), &ns, |b, &ns| {
+            b.iter(|| run(Policy::Fifo, ns));
+        });
+        g.bench_with_input(BenchmarkId::new("locality", ns), &ns, |b, &ns| {
+            b.iter(|| run(Policy::Locality, ns));
+        });
+    }
+    g.finish();
+
+    // Report moved bytes once (average of 5 runs, no transfer delay).
+    let avg = |p: Policy| (0..5).map(|_| run(p, 0)).sum::<u64>() / 5;
+    eprintln!(
+        "[a1] bytes moved: fifo {} MB, locality {} MB",
+        avg(Policy::Fifo) >> 20,
+        avg(Policy::Locality) >> 20
+    );
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

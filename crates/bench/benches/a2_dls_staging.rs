@@ -1,0 +1,68 @@
+//! A2 (ablation) — Data Logistics Service: deploy-time vs run-time staging.
+//!
+//! Section 4.1: the DLS "executes the required data pipelines either at
+//! deployment or execution time". For the case study's baseline archive
+//! (one 4 GB dataset used by every year), staging once at deployment beats
+//! re-staging per run — unless only one year ever runs. Both virtual-time
+//! totals are reported; criterion measures the (cheap) pipeline engine
+//! itself.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hpcwaas::dls::{DataLogistics, Link, PipelineSpec};
+
+const BASELINE_BYTES: u64 = 4_000_000_000;
+const PER_YEAR_SUBSET: u64 = 400_000_000;
+
+fn wan() -> DataLogistics {
+    let mut dls = DataLogistics::new();
+    dls.set_link("archive", "zeus", Link { bandwidth_mbps: 250.0, latency_ms: 80 });
+    dls.set_link("archive", "cloud", Link { bandwidth_mbps: 800.0, latency_ms: 30 });
+    dls.set_link("cloud", "zeus", Link { bandwidth_mbps: 400.0, latency_ms: 20 });
+    dls
+}
+
+/// Deploy-time: the whole baseline once; runs are free.
+fn deploy_time(years: usize) -> u64 {
+    let mut dls = wan();
+    let stage_in = PipelineSpec::new().stage("baseline", "archive", "zeus", BASELINE_BYTES);
+    let mut total = dls.execute(&stage_in).total_ms;
+    for _ in 0..years {
+        total += 0; // data already resident
+    }
+    total
+}
+
+/// Run-time: each year stages the subset it needs.
+fn run_time(years: usize) -> u64 {
+    let mut dls = wan();
+    let mut total = 0;
+    for y in 0..years {
+        let p = PipelineSpec::new().stage(
+            &format!("subset-{y}"),
+            "archive",
+            "zeus",
+            PER_YEAR_SUBSET,
+        );
+        total += dls.execute(&p).total_ms;
+    }
+    total
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("a2_dls_staging");
+    g.bench_function("deploy_time_10y", |b| b.iter(|| std::hint::black_box(deploy_time(10))));
+    g.bench_function("run_time_10y", |b| b.iter(|| std::hint::black_box(run_time(10))));
+    g.finish();
+
+    // The paper-relevant numbers are the virtual transfer times:
+    for years in [1usize, 5, 10, 35] {
+        eprintln!(
+            "[a2] {years:>2} year(s): deploy-time staging {:>7} virtual ms, run-time staging {:>7} virtual ms",
+            deploy_time(years),
+            run_time(years)
+        );
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

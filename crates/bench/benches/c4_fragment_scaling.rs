@@ -1,0 +1,46 @@
+//! C4 — Ophidia-style analytics scaling over I/O servers.
+//!
+//! Section 4.2.2: "the number of Ophidia computing components can be
+//! scaled up ... over multiple nodes of the infrastructure to address
+//! more intensive data analytics workloads." The operator pipeline of the
+//! heat-wave indices (intercube → apply → map_series) runs over a
+//! 96×144×365 cube fragmented 16 ways, with 1–8 I/O server threads.
+
+use bench::{baseline_cube, year_cube};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use datacube::exec::ExecConfig;
+use datacube::expr::Expr;
+use datacube::ops::{apply, intercube, map_series, reduce, InterOp, ReduceOp};
+
+fn bench(c: &mut Criterion) {
+    let cube = year_cube(96, 144, 365, 16, 9);
+    let baseline = baseline_cube(96, 144, 16);
+    let mask_expr = Expr::from_oph_predicate("x", ">5", "1", "0").unwrap();
+
+    let mut g = c.benchmark_group("c4_fragment_scaling");
+    g.sample_size(20);
+    for servers in [1usize, 2, 4, 8] {
+        let cfg = ExecConfig::with_servers(servers);
+        g.bench_with_input(BenchmarkId::new("index_pipeline", servers), &servers, |b, _| {
+            b.iter(|| {
+                let anom = intercube(&cube, &baseline, InterOp::Sub, cfg).unwrap();
+                let mask = apply(&anom, &mask_expr, cfg);
+                let runs = map_series(&mask, "hwd", 1, cfg, |row| {
+                    vec![extremes::heatwave::longest_wave(row, 6) as f32]
+                })
+                .unwrap();
+                std::hint::black_box(runs.to_dense()[0]);
+            });
+        });
+        g.bench_with_input(BenchmarkId::new("reduce_max", servers), &servers, |b, _| {
+            b.iter(|| {
+                let r = reduce(&cube, ReduceOp::Max, "day", cfg).unwrap();
+                std::hint::black_box(r.to_dense()[0]);
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! D1 — ESM output characteristics (Section 5.2).
+//!
+//! Measures one day of coupled-model stepping and the daily-file write at
+//! two scaled resolutions, and reports the analytic full-resolution
+//! arithmetic the paper states (271 MB/day, ~100 GB/year at 768×1152).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use esm::{CoupledModel, EsmConfig};
+use gridded::Grid;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("d1_esm_output");
+    g.sample_size(10);
+
+    for (nlat, nlon) in [(48usize, 72usize), (96, 144)] {
+        let cfg = EsmConfig::test_small()
+            .with_grid(Grid::global(nlat, nlon))
+            .with_days_per_year(1000); // never roll over during the bench
+        let dir = std::env::temp_dir().join(format!("bench-d1-{nlat}x{nlon}"));
+        std::fs::create_dir_all(&dir).unwrap();
+
+        g.bench_with_input(
+            BenchmarkId::new("step_day", format!("{nlat}x{nlon}")),
+            &cfg,
+            |b, cfg| {
+                let mut model = CoupledModel::new(cfg.clone());
+                b.iter(|| std::hint::black_box(model.step_day()));
+            },
+        );
+
+        g.bench_with_input(
+            BenchmarkId::new("write_daily", format!("{nlat}x{nlon}")),
+            &cfg,
+            |b, cfg| {
+                let mut model = CoupledModel::new(cfg.clone());
+                let fields = model.step_day();
+                b.iter(|| esm::output::write_daily(&dir, &fields).unwrap());
+            },
+        );
+
+        let bytes = esm::output::daily_payload_bytes(nlat, nlon, 4, 20);
+        eprintln!("[d1] {nlat}x{nlon}: daily payload {:.1} MB", bytes as f64 / 1048576.0);
+    }
+    g.finish();
+
+    eprintln!(
+        "[d1] paper resolution 768x1152: {:.1} MB/day, {:.1} GB/year (paper: 271 MB, ~100 GB)",
+        esm::output::paper_daily_mb(),
+        esm::output::paper_yearly_gb()
+    );
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,160 @@
+//! Shared workload builders for the benchmark harness.
+//!
+//! Each bench target under `benches/` regenerates one experiment from the
+//! DESIGN.md index (C1–C7, A1–A2, D1, FIG3). The helpers here build the
+//! common inputs — simulated fields, year cubes, trained CNNs — once per
+//! process so the measured sections time only the operation under study.
+
+use datacube::model::{Cube, Dimension};
+use esm::{CoupledModel, EsmConfig};
+use extremes::tc::cnn::{FieldSet, TcCnn};
+use gridded::{Field2, Grid};
+use std::sync::OnceLock;
+
+/// A deterministic `(lat, lon | day)` cube shaped like one analysis year.
+pub fn year_cube(nlat: usize, nlon: usize, days: usize, nfrag: usize, seed: u64) -> Cube {
+    let g = Grid::global(nlat, nlon);
+    let mut data = vec![0.0f32; g.len() * days];
+    for (i, v) in data.iter_mut().enumerate() {
+        *v = 290.0 + (((i as u64).wrapping_mul(seed | 1) >> 17) % 400) as f32 / 20.0;
+    }
+    Cube::from_dense(
+        "tasmax",
+        vec![
+            Dimension::explicit("lat", g.lats()),
+            Dimension::explicit("lon", g.lons()),
+            Dimension::implicit("day", (0..days).map(|d| d as f64).collect()),
+        ],
+        data,
+        nfrag,
+        nfrag,
+    )
+    .unwrap()
+}
+
+/// A `(lat, lon)` baseline matching [`year_cube`]'s grid.
+pub fn baseline_cube(nlat: usize, nlon: usize, nfrag: usize) -> Cube {
+    let g = Grid::global(nlat, nlon);
+    Cube::from_dense(
+        "tasmax",
+        vec![
+            Dimension::explicit("lat", g.lats()),
+            Dimension::explicit("lon", g.lons()),
+        ],
+        vec![295.0; g.len()],
+        nfrag,
+        nfrag,
+    )
+    .unwrap()
+}
+
+/// One simulated day of model output on the test grid (cached).
+pub fn sample_day() -> &'static esm::DailyFields {
+    static DAY: OnceLock<esm::DailyFields> = OnceLock::new();
+    DAY.get_or_init(|| {
+        let mut cfg = EsmConfig::test_small().with_days_per_year(10);
+        cfg.tc_per_year = 30.0; // make sure cyclones are in frame
+        let mut model = CoupledModel::new(cfg);
+        // Step into the season a little so events are active.
+        let mut out = model.step_day();
+        for _ in 0..3 {
+            out = model.step_day();
+        }
+        out
+    })
+}
+
+/// The four TC-analysis fields of one timestep of [`sample_day`].
+pub fn sample_fieldset(step: usize) -> FieldSet {
+    let day = sample_day();
+    FieldSet {
+        psl: day.get("psl").unwrap().level(step),
+        wind: day.get("sfcWind").unwrap().level(step),
+        tas: day.get("tas").unwrap().level(step),
+        vort: day.get("vort").unwrap().level(step),
+    }
+}
+
+/// A quickly-trained CNN shared across benches (training excluded from the
+/// measured sections).
+pub fn trained_cnn() -> TcCnn {
+    static WEIGHTS: OnceLock<Vec<u8>> = OnceLock::new();
+    let bytes = WEIGHTS.get_or_init(|| {
+        let dir = std::env::temp_dir().join("bench-cnn");
+        std::fs::create_dir_all(&dir).ok();
+        let path = dir.join("bench-cnn.tml");
+        let mut m = TcCnn::new(16, 7);
+        m.train_synthetic(200, 10, 11);
+        m.save(&path).unwrap();
+        std::fs::read(&path).unwrap()
+    });
+    let dir = std::env::temp_dir().join("bench-cnn");
+    std::fs::create_dir_all(&dir).ok();
+    let path = dir.join("bench-cnn-load.tml");
+    std::fs::write(&path, bytes).unwrap();
+    TcCnn::load(16, &path).unwrap()
+}
+
+/// A synthetic busy-work task body with a calibrated duration, used by the
+/// scheduler-scaling benches so task cost is controlled.
+pub fn spin_for_micros(us: u64) -> u64 {
+    let start = std::time::Instant::now();
+    let mut acc = 0u64;
+    while start.elapsed().as_micros() < us as u128 {
+        acc = acc.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        std::hint::black_box(acc);
+    }
+    acc
+}
+
+/// A quiet field set (climatology + mild noise) for detector benches.
+pub fn quiet_fields(nlat: usize, nlon: usize) -> FieldSet {
+    let g = Grid::global(nlat, nlon);
+    let mk = |base: f32, amp: f32, seed: u64| {
+        let mut f = Field2::constant(g.clone(), base);
+        for (i, v) in f.data.iter_mut().enumerate() {
+            *v += amp * ((((i as u64).wrapping_mul(seed | 1)) >> 23) % 100) as f32 / 100.0;
+        }
+        f
+    };
+    FieldSet {
+        psl: mk(101_300.0, 400.0, 3),
+        wind: mk(8.0, 4.0, 5),
+        tas: mk(295.0, 3.0, 7),
+        vort: mk(0.0, 0.2, 9),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn year_cube_shape() {
+        let c = year_cube(12, 24, 30, 4, 1);
+        assert_eq!(c.rows(), 288);
+        assert_eq!(c.implicit_len(), 30);
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn sample_day_has_tc_fields() {
+        let f = sample_fieldset(0);
+        assert_eq!(f.psl.grid.nlat, 48);
+        assert!(f.psl.data.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn spin_is_roughly_calibrated() {
+        let t = std::time::Instant::now();
+        spin_for_micros(2000);
+        let took = t.elapsed().as_micros();
+        assert!((1800..20_000).contains(&took), "spin took {took} us");
+    }
+
+    #[test]
+    fn trained_cnn_loads() {
+        let m = trained_cnn();
+        assert!(m.param_count() > 0);
+    }
+}

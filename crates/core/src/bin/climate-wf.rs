@@ -1,0 +1,207 @@
+//! `climate-wf` — command-line front end for the end-to-end workflow.
+//!
+//! ```text
+//! climate-wf run [--years N] [--days N] [--grid test_small|demo|LATxLON]
+//!                [--scenario historical|ssp245|ssp585] [--seed N]
+//!                [--out DIR] [--sequential]
+//! climate-wf graph [--years N]         print the Figure-3 DOT graph
+//! climate-wf topology                  print the case study's TOSCA document
+//! climate-wf ncdump FILE.ncx           inspect an NCX file header
+//! climate-wf info                      paper-scale data arithmetic (Sec. 5.2)
+//! ```
+
+use climate_workflows::{run_pipelined, run_sequential, WorkflowParams};
+use std::collections::BTreeMap;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: climate-wf <run|graph|topology|ncdump|info> [options]\n\
+         \n\
+         run      [--years N] [--days N] [--grid test_small|demo|LATxLON]\n\
+         \x20        [--scenario historical|ssp245|ssp585] [--seed N] [--out DIR] [--sequential]\n\
+         graph    [--years N]   print the task graph in Graphviz DOT\n\
+         topology               print the TOSCA topology document\n\
+         ncdump FILE            inspect an NCX file\n\
+         info                   paper-scale data characteristics"
+    );
+    std::process::exit(2)
+}
+
+/// Parses `--key value` pairs and bare flags from an argument list.
+/// Returns `(flags, positional)`.
+fn parse_args(args: &[String]) -> (BTreeMap<String, String>, Vec<String>) {
+    let mut flags = BTreeMap::new();
+    let mut positional = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        if let Some(key) = args[i].strip_prefix("--") {
+            let takes_value = !matches!(key, "sequential");
+            if takes_value && i + 1 < args.len() {
+                flags.insert(key.to_string(), args[i + 1].clone());
+                i += 2;
+            } else {
+                flags.insert(key.to_string(), "true".to_string());
+                i += 1;
+            }
+        } else {
+            positional.push(args[i].clone());
+            i += 1;
+        }
+    }
+    (flags, positional)
+}
+
+/// Builds workflow parameters from parsed flags (reusing the HPCWaaS input
+/// mapping so the CLI and the Execution API accept the same keys).
+fn params_from_flags(flags: &BTreeMap<String, String>) -> Result<WorkflowParams, String> {
+    let out_dir = flags
+        .get("out")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| std::env::temp_dir().join("climate-wf-run"));
+    let mut inputs = BTreeMap::new();
+    for (k, v) in flags {
+        let key = match k.as_str() {
+            "years" => "years",
+            "days" => "days_per_year",
+            "grid" => "grid",
+            "scenario" => "scenario",
+            "seed" => "seed",
+            "workers" => "workers",
+            _ => continue,
+        };
+        inputs.insert(key.to_string(), v.clone());
+    }
+    WorkflowParams::test_scale(out_dir).apply_inputs(&inputs)
+}
+
+fn cmd_run(flags: &BTreeMap<String, String>) -> Result<(), String> {
+    let params = params_from_flags(flags)?;
+    std::fs::remove_dir_all(&params.out_dir).ok();
+    let sequential = flags.contains_key("sequential");
+    println!(
+        "running the climate-extremes workflow ({}): {} year(s) x {} days on {}x{}",
+        if sequential { "sequential" } else { "pipelined" },
+        params.years,
+        params.days_per_year,
+        params.grid.nlat,
+        params.grid.nlon
+    );
+    let report = if sequential { run_sequential(params) } else { run_pipelined(params) }?;
+    print!("{}", report.render());
+    println!("provenance: {}", report.prov_path.display());
+    Ok(())
+}
+
+fn cmd_graph(flags: &BTreeMap<String, String>) -> Result<(), String> {
+    let mut params = params_from_flags(flags)?;
+    params.days_per_year = params.days_per_year.min(8);
+    params.train_samples = 60;
+    params.train_epochs = 3;
+    params.finetune_days = 0;
+    params.out_dir = std::env::temp_dir().join("climate-wf-graph");
+    std::fs::remove_dir_all(&params.out_dir).ok();
+    let report = run_pipelined(params)?;
+    let dot = std::fs::read_to_string(&report.dot_path).map_err(|e| e.to_string())?;
+    print!("{dot}");
+    Ok(())
+}
+
+fn cmd_ncdump(path: &str) -> Result<(), String> {
+    let rd = ncformat::Reader::open(path).map_err(|e| e.to_string())?;
+    println!("ncx {path} {{");
+    println!("dimensions:");
+    for d in rd.dimensions() {
+        println!("    {} = {} ;", d.name, d.size);
+    }
+    println!("variables:");
+    for v in rd.variables() {
+        let dims: Vec<String> = v
+            .dims
+            .iter()
+            .map(|&i| rd.dimensions()[i].name.clone())
+            .collect();
+        println!("    {} {}({}) ;", v.dtype.name(), v.name, dims.join(", "));
+        for a in &v.attributes {
+            println!("        {}:{} = {:?} ;", v.name, a.name, a.value);
+        }
+    }
+    println!("}}");
+    Ok(())
+}
+
+fn cmd_info() {
+    println!("Section 5.2 data characteristics at paper resolution (768x1152, 4 steps, 20 vars):");
+    println!("  daily file:        {:>8.1} MB   (paper: 271 MB)", esm::output::paper_daily_mb());
+    println!("  one year:          {:>8.1} GB   (paper: ~100 GB)", esm::output::paper_yearly_gb());
+    println!(
+        "  33-year projection:{:>8.2} TB",
+        esm::output::paper_yearly_gb() * 33.0 / 1024.0
+    );
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else { usage() };
+    let (flags, positional) = parse_args(&args[1..]);
+    let result = match cmd.as_str() {
+        "run" => cmd_run(&flags),
+        "graph" => cmd_graph(&flags),
+        "topology" => {
+            print!("{}", hpcwaas::tosca::climate_case_study().to_source());
+            Ok(())
+        }
+        "ncdump" => match positional.first() {
+            Some(p) => cmd_ncdump(p),
+            None => usage(),
+        },
+        "info" => {
+            cmd_info();
+            Ok(())
+        }
+        _ => usage(),
+    };
+    if let Err(e) = result {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_flags_and_positionals() {
+        let args: Vec<String> = ["--years", "3", "file.ncx", "--sequential", "--grid", "demo"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let (flags, pos) = parse_args(&args);
+        assert_eq!(flags["years"], "3");
+        assert_eq!(flags["grid"], "demo");
+        assert_eq!(flags["sequential"], "true");
+        assert_eq!(pos, vec!["file.ncx"]);
+    }
+
+    #[test]
+    fn params_from_flags_maps_keys() {
+        let mut flags = BTreeMap::new();
+        flags.insert("years".to_string(), "2".to_string());
+        flags.insert("days".to_string(), "15".to_string());
+        flags.insert("grid".to_string(), "24x36".to_string());
+        flags.insert("out".to_string(), "/tmp/x".to_string());
+        flags.insert("sequential".to_string(), "true".to_string());
+        let p = params_from_flags(&flags).unwrap();
+        assert_eq!(p.years, 2);
+        assert_eq!(p.days_per_year, 15);
+        assert_eq!((p.grid.nlat, p.grid.nlon), (24, 36));
+        assert_eq!(p.out_dir, std::path::PathBuf::from("/tmp/x"));
+    }
+
+    #[test]
+    fn bad_flag_values_error() {
+        let mut flags = BTreeMap::new();
+        flags.insert("years".to_string(), "three".to_string());
+        assert!(params_from_flags(&flags).is_err());
+    }
+}

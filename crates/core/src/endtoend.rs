@@ -1,0 +1,175 @@
+//! Whole-workflow drivers and the HPCWaaS registration.
+//!
+//! Two ways to execute the same science, which experiment C1 compares:
+//!
+//! * [`run_sequential`] — the pre-integration practice the paper's
+//!   introduction describes: run the full multi-year simulation to
+//!   completion, *then* post-process everything "in a second stage";
+//! * [`run_pipelined`] — the paper's contribution: simulation and
+//!   analytics in one task graph, per-year analysis starting as soon as a
+//!   year of files exists, all overlapped by the runtime.
+//!
+//! [`register_with_hpcwaas`] publishes the workflow behind the HPCWaaS
+//! Execution API so an end user can deploy/run/undeploy it without
+//! touching any of the infrastructure (Section 6).
+
+use crate::casestudy::CaseStudy;
+use crate::params::WorkflowParams;
+use crate::reporting::RunReport;
+use hpcwaas::tosca::climate_case_study;
+use hpcwaas::ExecutionApi;
+use std::time::Instant;
+
+/// Runs the pipelined (paper) configuration.
+pub fn run_pipelined(params: WorkflowParams) -> Result<RunReport, String> {
+    let cs = CaseStudy::new(params)?;
+    let report = cs.run();
+    cs.rt.shutdown();
+    report
+}
+
+/// Runs the sequential baseline: the ESM completes all years first, then
+/// the per-year analyses are submitted. Same tasks, no overlap with the
+/// simulation.
+pub fn run_sequential(params: WorkflowParams) -> Result<RunReport, String> {
+    let cs = CaseStudy::new(params)?;
+    let report = cs.run_sequential();
+    cs.rt.shutdown();
+    report
+}
+
+impl CaseStudy {
+    /// Sequential driver used by [`run_sequential`] and bench C1.
+    pub fn run_sequential(&self) -> Result<RunReport, String> {
+        use dataflow::stream::{DirWatcher, YearlyRule};
+        let start = Instant::now();
+        let baseline = self.submit_load_baseline().map_err(|e| e.to_string())?;
+        let model = self.submit_load_model().map_err(|e| e.to_string())?;
+
+        // Phase 1: the whole simulation, to completion.
+        let mut prev = None;
+        for y in 0..self.params.years {
+            let h = self.submit_esm_year(y, prev.as_ref()).map_err(|e| e.to_string())?;
+            prev = Some(h.outputs[0].clone());
+        }
+        self.rt.barrier().map_err(|e| e.to_string())?;
+
+        // Phase 2: all analyses (the "second stage").
+        let mut watcher = DirWatcher::new(
+            self.params.esm_dir(),
+            YearlyRule { prefix: "esm".into(), days_per_year: self.params.days_per_year },
+        );
+        let mut year_refs = Vec::new();
+        for group in watcher.poll().map_err(|e| e.to_string())? {
+            let refs = self
+                .submit_year_analysis(
+                    &group.key,
+                    group.files,
+                    &baseline.outputs[0],
+                    &baseline.outputs[1],
+                    &model.outputs[0],
+                )
+                .map_err(|e| e.to_string())?;
+            year_refs.push(refs);
+        }
+        self.rt.barrier().map_err(|e| e.to_string())?;
+        self.collect_report(start.elapsed(), &year_refs)
+    }
+}
+
+/// Registers the case study with an HPCWaaS Execution API instance under
+/// its TOSCA topology name (`climate-extremes`). The entrypoint parses
+/// invocation inputs into [`WorkflowParams`], runs the pipelined workflow
+/// in a scratch directory beneath `work_root`, and returns the rendered
+/// report.
+pub fn register_with_hpcwaas(api: &ExecutionApi, work_root: std::path::PathBuf) {
+    let counter = std::sync::atomic::AtomicU64::new(0);
+    api.register(climate_case_study(), move |inputs| {
+        let n = counter.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+        let out_dir = work_root.join(format!("run-{n}"));
+        let params = WorkflowParams::test_scale(out_dir).apply_inputs(inputs)?;
+        let report = run_pipelined(params)?;
+        Ok(report.render())
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("e2e-tests").join(name);
+        std::fs::remove_dir_all(&dir).ok();
+        dir
+    }
+
+    /// The full end-to-end pipelined workflow on a tiny configuration.
+    #[test]
+    fn pipelined_end_to_end_produces_products() {
+        let mut params = WorkflowParams::test_scale(tmp("pipelined"));
+        params.years = 1;
+        params.days_per_year = 20;
+        params.train_samples = 160;
+        params.train_epochs = 8;
+        let report = run_pipelined(params.clone()).unwrap();
+
+        assert_eq!(report.years.len(), 1);
+        let y = &report.years[0];
+        assert_eq!(y.year, 2030);
+        assert_eq!(y.files, 20);
+        assert!(y.validated, "index validation must pass");
+        assert_eq!(y.export_paths.len(), 6, "six index exports");
+        for p in &y.export_paths {
+            assert!(p.exists(), "missing export {p:?}");
+        }
+        assert_eq!(y.map_paths.len(), 4, "ppm+txt for hwn and cwn");
+        for p in &y.map_paths {
+            assert!(p.exists(), "missing map {p:?}");
+        }
+        // Figure-3 structure: all 18 task functions present.
+        assert_eq!(report.function_counts.len(), 18, "{:?}", report.function_counts);
+        assert!(report.dot_path.exists());
+        let dot = std::fs::read_to_string(&report.dot_path).unwrap();
+        assert!(dot.contains("digraph workflow"));
+        // No failures or cancellations.
+        assert_eq!(report.metrics.failed, 0);
+        assert_eq!(report.metrics.cancelled, 0);
+    }
+
+    #[test]
+    fn sequential_and_pipelined_agree_on_science() {
+        let mk = |name: &str| {
+            let mut p = WorkflowParams::test_scale(tmp(name));
+            p.years = 1;
+            p.days_per_year = 15;
+            p.train_samples = 120;
+            p.train_epochs = 6;
+            p
+        };
+        let a = run_pipelined(mk("agree-pipe")).unwrap();
+        let b = run_sequential(mk("agree-seq")).unwrap();
+        // Same seeds, same model physics: identical index statistics.
+        assert_eq!(a.years[0].heatwave_cells, b.years[0].heatwave_cells);
+        assert_eq!(a.years[0].coldspell_cells, b.years[0].coldspell_cells);
+        assert_eq!(a.years[0].truth_tcs, b.years[0].truth_tcs);
+    }
+
+    #[test]
+    fn hpcwaas_roundtrip_runs_the_workflow() {
+        let api = ExecutionApi::new();
+        register_with_hpcwaas(&api, tmp("hpcwaas"));
+        let dep = api.deploy("climate-extremes").unwrap();
+        let mut overrides = std::collections::BTreeMap::new();
+        overrides.insert("years".to_string(), "1".to_string());
+        overrides.insert("days_per_year".to_string(), "12".to_string());
+        let exec = api.run(dep, &overrides).unwrap();
+        match api.status(exec).unwrap() {
+            hpcwaas::ExecutionStatus::Completed { result } => {
+                assert!(result.contains("Climate-extremes workflow report"));
+                assert!(result.contains("year 2030"));
+            }
+            other => panic!("unexpected status: {other:?}"),
+        }
+        api.undeploy(dep).unwrap();
+    }
+}

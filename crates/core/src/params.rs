@@ -1,0 +1,231 @@
+//! Workflow parameters.
+//!
+//! One struct drives the whole case study; it can be built directly or
+//! parsed from the string inputs an HPCWaaS invocation carries ("Input
+//! arguments can be specified to configure the workflow", Section 6).
+
+use esm::{EsmConfig, Scenario};
+use gridded::Grid;
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+
+/// Parameters of one case-study run.
+#[derive(Debug, Clone)]
+pub struct WorkflowParams {
+    /// Simulated years to run and analyse.
+    pub years: usize,
+    /// Days per simulated year (365 in production, small in tests).
+    pub days_per_year: usize,
+    /// Model grid.
+    pub grid: Grid,
+    /// Forcing scenario.
+    pub scenario: Scenario,
+    /// Master seed.
+    pub seed: u64,
+    /// Dataflow worker threads.
+    pub workers: usize,
+    /// Simulated Ophidia I/O servers.
+    pub io_servers: usize,
+    /// Fragments per imported cube.
+    pub nfrag: usize,
+    /// CNN patch size (cells; divisible by 4).
+    pub patch: usize,
+    /// Output directory (model output, indices, maps, reports).
+    pub out_dir: PathBuf,
+    /// Optional pre-trained CNN weights; trained on the fly when absent.
+    pub model_path: Option<PathBuf>,
+    /// CNN training effort when training on the fly.
+    pub train_samples: usize,
+    pub train_epochs: usize,
+    /// Reference-run fine-tuning: days of labelled historical-surrogate
+    /// output to train on (0 disables fine-tuning).
+    pub finetune_days: usize,
+    pub finetune_epochs: usize,
+    /// Fault-injection hook for resilience testing: corrupt the daily file
+    /// of `(year index, 0-based day)` right after that year is simulated.
+    pub corrupt_file: Option<(usize, usize)>,
+}
+
+impl WorkflowParams {
+    /// Small test-scale defaults (48 × 72 grid, 30-day years).
+    pub fn test_scale(out_dir: PathBuf) -> Self {
+        WorkflowParams {
+            years: 1,
+            days_per_year: 30,
+            grid: Grid::test_small(),
+            scenario: Scenario::Ssp245,
+            seed: 42,
+            workers: 4,
+            io_servers: 2,
+            nfrag: 8,
+            patch: 16,
+            out_dir,
+            model_path: None,
+            train_samples: 240,
+            train_epochs: 12,
+            finetune_days: 25,
+            finetune_epochs: 10,
+            corrupt_file: None,
+        }
+    }
+
+    /// Production-shaped defaults (still far below the paper's 0.25°, but
+    /// a full 365-day year on a 96 × 144 grid).
+    pub fn demo_scale(out_dir: PathBuf) -> Self {
+        WorkflowParams {
+            years: 2,
+            days_per_year: 365,
+            grid: Grid::global(96, 144),
+            scenario: Scenario::Ssp585,
+            seed: 2030,
+            workers: 4,
+            io_servers: 4,
+            nfrag: 16,
+            patch: 16,
+            out_dir,
+            model_path: None,
+            train_samples: 400,
+            train_epochs: 16,
+            finetune_days: 60,
+            finetune_epochs: 14,
+            corrupt_file: None,
+        }
+    }
+
+    /// Applies HPCWaaS string inputs on top of the current values.
+    /// Recognized keys: `years`, `days_per_year`, `grid`
+    /// (`test_small` | `demo` | `NLATxNLON`), `scenario`
+    /// (`historical` | `ssp245` | `ssp585`), `seed`, `workers`,
+    /// `io_servers`, `nfrag`.
+    pub fn apply_inputs(mut self, inputs: &BTreeMap<String, String>) -> Result<Self, String> {
+        for (k, v) in inputs {
+            match k.as_str() {
+                "years" => self.years = v.parse().map_err(|_| format!("bad years '{v}'"))?,
+                "days_per_year" => {
+                    self.days_per_year =
+                        v.parse().map_err(|_| format!("bad days_per_year '{v}'"))?
+                }
+                "grid" => {
+                    self.grid = match v.as_str() {
+                        "test_small" => Grid::test_small(),
+                        "demo" => Grid::global(96, 144),
+                        "cmcc_cm3" => Grid::cmcc_cm3(),
+                        other => {
+                            let (a, b) = other
+                                .split_once('x')
+                                .ok_or_else(|| format!("bad grid '{other}'"))?;
+                            Grid::global(
+                                a.parse().map_err(|_| format!("bad grid '{other}'"))?,
+                                b.parse().map_err(|_| format!("bad grid '{other}'"))?,
+                            )
+                        }
+                    }
+                }
+                "scenario" => {
+                    self.scenario = match v.as_str() {
+                        "historical" => Scenario::Historical,
+                        "ssp245" => Scenario::Ssp245,
+                        "ssp585" => Scenario::Ssp585,
+                        other => return Err(format!("unknown scenario '{other}'")),
+                    }
+                }
+                "seed" => self.seed = v.parse().map_err(|_| format!("bad seed '{v}'"))?,
+                "workers" => {
+                    self.workers = v.parse().map_err(|_| format!("bad workers '{v}'"))?
+                }
+                "io_servers" => {
+                    self.io_servers = v.parse().map_err(|_| format!("bad io_servers '{v}'"))?
+                }
+                "nfrag" => self.nfrag = v.parse().map_err(|_| format!("bad nfrag '{v}'"))?,
+                // Unrecognized inputs are deployment-level concerns
+                // (image names etc.); ignore them.
+                _ => {}
+            }
+        }
+        Ok(self)
+    }
+
+    /// The ESM configuration implied by these parameters.
+    pub fn esm_config(&self) -> EsmConfig {
+        EsmConfig::test_small()
+            .with_grid(self.grid.clone())
+            .with_days_per_year(self.days_per_year)
+            .with_seed(self.seed)
+            .with_scenario(self.scenario)
+    }
+
+    /// Directory for the ESM's daily files.
+    pub fn esm_dir(&self) -> PathBuf {
+        self.out_dir.join("esm-out")
+    }
+
+    /// Directory for exported indices, tracks and maps.
+    pub fn products_dir(&self) -> PathBuf {
+        self.out_dir.join("products")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> WorkflowParams {
+        WorkflowParams::test_scale(std::env::temp_dir().join("wfp"))
+    }
+
+    #[test]
+    fn inputs_override_fields() {
+        let mut inputs = BTreeMap::new();
+        inputs.insert("years".to_string(), "3".to_string());
+        inputs.insert("grid".to_string(), "24x36".to_string());
+        inputs.insert("scenario".to_string(), "ssp585".to_string());
+        inputs.insert("seed".to_string(), "7".to_string());
+        inputs.insert("whatever".to_string(), "ignored".to_string());
+        let p = base().apply_inputs(&inputs).unwrap();
+        assert_eq!(p.years, 3);
+        assert_eq!((p.grid.nlat, p.grid.nlon), (24, 36));
+        assert_eq!(p.scenario, Scenario::Ssp585);
+        assert_eq!(p.seed, 7);
+    }
+
+    #[test]
+    fn named_grids() {
+        let mut inputs = BTreeMap::new();
+        inputs.insert("grid".to_string(), "demo".to_string());
+        let p = base().apply_inputs(&inputs).unwrap();
+        assert_eq!((p.grid.nlat, p.grid.nlon), (96, 144));
+        let mut inputs = BTreeMap::new();
+        inputs.insert("grid".to_string(), "cmcc_cm3".to_string());
+        let p = base().apply_inputs(&inputs).unwrap();
+        assert_eq!((p.grid.nlat, p.grid.nlon), (768, 1152));
+    }
+
+    #[test]
+    fn bad_inputs_reported() {
+        let mut inputs = BTreeMap::new();
+        inputs.insert("years".to_string(), "many".to_string());
+        assert!(base().apply_inputs(&inputs).is_err());
+        let mut inputs = BTreeMap::new();
+        inputs.insert("scenario".to_string(), "rcp85".to_string());
+        assert!(base().apply_inputs(&inputs).is_err());
+        let mut inputs = BTreeMap::new();
+        inputs.insert("grid".to_string(), "weird".to_string());
+        assert!(base().apply_inputs(&inputs).is_err());
+    }
+
+    #[test]
+    fn esm_config_reflects_params() {
+        let p = base();
+        let cfg = p.esm_config();
+        assert_eq!(cfg.days_per_year, 30);
+        assert_eq!(cfg.grid, p.grid);
+        assert_eq!(cfg.seed, 42);
+    }
+
+    #[test]
+    fn directories_are_distinct() {
+        let p = base();
+        assert_ne!(p.esm_dir(), p.products_dir());
+        assert!(p.esm_dir().starts_with(&p.out_dir));
+    }
+}

@@ -1,0 +1,164 @@
+//! Run reports: what the workflow returns to the scientist.
+
+use dataflow::runtime::Metrics;
+use extremes::tc::metrics::Scores;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::time::Duration;
+
+/// Per-year products and verification.
+#[derive(Debug, Clone)]
+pub struct YearReport {
+    pub year: i32,
+    /// True when this year's analysis subtree failed (e.g. corrupt input);
+    /// all science fields below are zero/empty in that case.
+    pub failed: bool,
+    /// Daily files consumed.
+    pub files: usize,
+    /// Whether the validation task passed.
+    pub validated: bool,
+    /// Cells with at least one heat wave.
+    pub heatwave_cells: usize,
+    /// Cells with at least one cold spell.
+    pub coldspell_cells: usize,
+    /// CNN detections over the year (timestep-level).
+    pub cnn_detections: usize,
+    /// Deterministic track points over the year.
+    pub deterministic_track_points: usize,
+    /// Ground truth: injected cyclone count.
+    pub truth_tcs: usize,
+    /// Ground truth: injected thermal event count.
+    pub truth_thermal_events: usize,
+    pub export_paths: Vec<PathBuf>,
+    pub map_paths: Vec<PathBuf>,
+    /// CNN verification vs truth (None when truth is unavailable).
+    pub cnn_scores: Option<Scores>,
+    /// Deterministic-tracker verification vs truth.
+    pub deterministic_scores: Option<Scores>,
+}
+
+/// Whole-run report.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    pub wall_time: Duration,
+    pub years: Vec<YearReport>,
+    /// Task-graph statistics (the Figure-3 reproduction).
+    pub tasks: usize,
+    pub edges: usize,
+    pub critical_path: usize,
+    pub function_counts: BTreeMap<String, usize>,
+    /// Where the DOT rendering was written.
+    pub dot_path: PathBuf,
+    /// Where the PROV-style provenance document was written.
+    pub prov_path: PathBuf,
+    /// Runtime execution metrics.
+    pub metrics: Metrics,
+}
+
+impl RunReport {
+    /// Human-readable summary.
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(s, "== Climate-extremes workflow report ==");
+        let _ = writeln!(s, "wall time: {:.2?}", self.wall_time);
+        let _ = writeln!(
+            s,
+            "task graph: {} tasks, {} edges, critical path {} (dot: {})",
+            self.tasks,
+            self.edges,
+            self.critical_path,
+            self.dot_path.display()
+        );
+        let _ = writeln!(s, "task functions:");
+        for (name, count) in &self.function_counts {
+            let _ = writeln!(s, "  {name:<24} x{count}");
+        }
+        for y in &self.years {
+            if y.failed {
+                let _ = writeln!(
+                    s,
+                    "year {}: ANALYSIS FAILED (subtree cancelled; simulation continued)",
+                    y.year
+                );
+                continue;
+            }
+            let _ = writeln!(
+                s,
+                "year {}: {} files, validated={}, HW cells {}, CW cells {}, \
+                 truth events: {} thermal / {} TCs",
+                y.year,
+                y.files,
+                y.validated,
+                y.heatwave_cells,
+                y.coldspell_cells,
+                y.truth_thermal_events,
+                y.truth_tcs
+            );
+            if let Some(sc) = &y.deterministic_scores {
+                let _ = writeln!(
+                    s,
+                    "  deterministic tracker: POD {:.2}, FAR {:.2}, err {:.0} km ({} hits)",
+                    sc.pod, sc.far, sc.mean_error_km, sc.hits
+                );
+            }
+            if let Some(sc) = &y.cnn_scores {
+                let _ = writeln!(
+                    s,
+                    "  CNN localization:      POD {:.2}, FAR {:.2}, err {:.0} km ({} hits)",
+                    sc.pod, sc.far, sc.mean_error_km, sc.hits
+                );
+            }
+        }
+        let _ = writeln!(
+            s,
+            "runtime: {} completed, {} failed, {} cancelled, {} retries",
+            self.metrics.completed, self.metrics.failed, self.metrics.cancelled, self.metrics.retries
+        );
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> RunReport {
+        RunReport {
+            wall_time: Duration::from_millis(1234),
+            years: vec![YearReport {
+                year: 2030,
+                failed: false,
+                files: 30,
+                validated: true,
+                heatwave_cells: 12,
+                coldspell_cells: 4,
+                cnn_detections: 20,
+                deterministic_track_points: 35,
+                truth_tcs: 2,
+                truth_thermal_events: 3,
+                export_paths: vec![PathBuf::from("/p/hwn-2030.ncx")],
+                map_paths: vec![PathBuf::from("/p/hwn-map-2030.ppm")],
+                cnn_scores: None,
+                deterministic_scores: None,
+            }],
+            tasks: 18,
+            edges: 25,
+            critical_path: 6,
+            function_counts: BTreeMap::from([("esm_simulation".to_string(), 1)]),
+            dot_path: PathBuf::from("/p/taskgraph.dot"),
+            prov_path: PathBuf::from("/p/provenance.prov.txt"),
+            metrics: Metrics::default(),
+        }
+    }
+
+    #[test]
+    fn render_contains_key_facts() {
+        let r = sample().render();
+        assert!(r.contains("2030"));
+        assert!(r.contains("18 tasks"));
+        assert!(r.contains("esm_simulation"));
+        assert!(r.contains("HW cells 12"));
+        assert!(r.contains("validated=true"));
+    }
+}

@@ -1,0 +1,83 @@
+//! Error type for datacube operations.
+
+use std::fmt;
+
+/// Errors produced by cube construction, operators and the server façade.
+#[derive(Debug)]
+pub enum Error {
+    /// Underlying NCX file error.
+    Nc(ncformat::Error),
+    /// Requested dimension does not exist in the cube.
+    UnknownDimension(String),
+    /// Operator applied to an incompatible dimension kind (e.g. implicit
+    /// reduce over an explicit dimension).
+    WrongDimensionKind { dim: String, need: &'static str },
+    /// Two cubes passed to a binary operator have incompatible schemas.
+    SchemaMismatch(String),
+    /// Subset range is empty or out of bounds.
+    BadRange { dim: String, lo: usize, hi: usize, size: usize },
+    /// Expression parse or evaluation error.
+    Expr(String),
+    /// Unknown cube id in the store.
+    NoSuchCube(u64),
+    /// A series transform returned the wrong output length.
+    SeriesLength { expected: usize, actual: usize },
+    /// Import found no usable variable/shape.
+    BadImport(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Nc(e) => write!(f, "ncformat: {e}"),
+            Error::UnknownDimension(d) => write!(f, "unknown dimension '{d}'"),
+            Error::WrongDimensionKind { dim, need } => {
+                write!(f, "dimension '{dim}' must be {need} for this operator")
+            }
+            Error::SchemaMismatch(m) => write!(f, "cube schema mismatch: {m}"),
+            Error::BadRange { dim, lo, hi, size } => {
+                write!(f, "range [{lo}, {hi}) invalid for dimension '{dim}' of size {size}")
+            }
+            Error::Expr(m) => write!(f, "expression error: {m}"),
+            Error::NoSuchCube(id) => write!(f, "no cube with id {id}"),
+            Error::SeriesLength { expected, actual } => {
+                write!(f, "series transform returned {actual} values, expected {expected}")
+            }
+            Error::BadImport(m) => write!(f, "import error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Nc(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ncformat::Error> for Error {
+    fn from(e: ncformat::Error) -> Self {
+        Error::Nc(e)
+    }
+}
+
+/// Convenience alias.
+pub type Result<T> = std::result::Result<T, Error>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_carry_context() {
+        let e = Error::BadRange { dim: "lat".into(), lo: 5, hi: 3, size: 10 };
+        let s = e.to_string();
+        assert!(s.contains("lat") && s.contains('5') && s.contains("10"));
+        assert!(Error::NoSuchCube(9).to_string().contains('9'));
+        assert!(Error::WrongDimensionKind { dim: "time".into(), need: "implicit" }
+            .to_string()
+            .contains("implicit"));
+    }
+}

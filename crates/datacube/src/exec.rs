@@ -1,0 +1,145 @@
+//! Parallel operator execution over fragments.
+//!
+//! Ophidia scales analytics by distributing fragments over in-memory I/O
+//! servers that process them concurrently (Section 4.2.2: "the number of
+//! Ophidia computing components can be scaled up ... over multiple nodes").
+//! Here each I/O server is a thread; an operator maps every fragment
+//! through a kernel, with fragments dealt to servers round-robin. Bench C4
+//! measures the scaling this buys.
+
+use crate::model::Fragment;
+use std::sync::Mutex;
+
+/// Execution configuration: how many simulated I/O servers (threads) run
+/// operator kernels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecConfig {
+    pub io_servers: usize,
+}
+
+impl Default for ExecConfig {
+    fn default() -> Self {
+        ExecConfig { io_servers: 4 }
+    }
+}
+
+impl ExecConfig {
+    /// Single-threaded execution (baseline for scaling benches).
+    pub fn serial() -> Self {
+        ExecConfig { io_servers: 1 }
+    }
+
+    /// `n`-server execution.
+    pub fn with_servers(n: usize) -> Self {
+        ExecConfig { io_servers: n.max(1) }
+    }
+}
+
+/// Maps every fragment through `kernel` in parallel, preserving order.
+/// The kernel receives the fragment and returns its transformed payload
+/// (any length); `row_start`, `row_count` and `server` are preserved.
+pub fn par_map_fragments<F>(cfg: ExecConfig, frags: &[Fragment], kernel: F) -> Vec<Fragment>
+where
+    F: Fn(&Fragment) -> Vec<f32> + Sync,
+{
+    if frags.is_empty() {
+        return Vec::new();
+    }
+    let n_threads = cfg.io_servers.min(frags.len()).max(1);
+    let results: Vec<Mutex<Option<Vec<f32>>>> = frags.iter().map(|_| Mutex::new(None)).collect();
+
+    if n_threads == 1 {
+        for (i, f) in frags.iter().enumerate() {
+            *results[i].lock().unwrap() = Some(kernel(f));
+        }
+    } else {
+        std::thread::scope(|scope| {
+            for t in 0..n_threads {
+                let results = &results;
+                let kernel = &kernel;
+                scope.spawn(move || {
+                    // Round-robin deal: server t handles fragments t, t+n, ...
+                    let mut i = t;
+                    while i < frags.len() {
+                        let out = kernel(&frags[i]);
+                        *results[i].lock().unwrap() = Some(out);
+                        i += n_threads;
+                    }
+                });
+            }
+        });
+    }
+
+    frags
+        .iter()
+        .zip(results)
+        .map(|(f, slot)| Fragment {
+            row_start: f.row_start,
+            row_count: f.row_count,
+            server: f.server,
+            data: slot.into_inner().unwrap().expect("kernel did not run"),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frags(n: usize, rows_each: usize, ilen: usize) -> Vec<Fragment> {
+        (0..n)
+            .map(|i| Fragment {
+                row_start: i * rows_each,
+                row_count: rows_each,
+                server: i % 2,
+                data: (0..rows_each * ilen).map(|k| (i * 1000 + k) as f32).collect(),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn parallel_map_matches_serial() {
+        let input = frags(7, 3, 5);
+        let kernel = |f: &Fragment| f.data.iter().map(|v| v * 2.0 + 1.0).collect::<Vec<_>>();
+        let serial = par_map_fragments(ExecConfig::serial(), &input, kernel);
+        let parallel = par_map_fragments(ExecConfig::with_servers(4), &input, kernel);
+        assert_eq!(serial, parallel);
+        assert_eq!(serial[3].data[0], input[3].data[0] * 2.0 + 1.0);
+    }
+
+    #[test]
+    fn order_and_metadata_preserved() {
+        let input = frags(5, 2, 1);
+        let out = par_map_fragments(ExecConfig::with_servers(3), &input, |f| f.data.clone());
+        for (a, b) in input.iter().zip(&out) {
+            assert_eq!(a.row_start, b.row_start);
+            assert_eq!(a.row_count, b.row_count);
+            assert_eq!(a.server, b.server);
+            assert_eq!(a.data, b.data);
+        }
+    }
+
+    #[test]
+    fn kernel_may_change_payload_length() {
+        let input = frags(3, 4, 6);
+        // Collapse each row's 6 values to their sum (reduce-like kernel).
+        let out = par_map_fragments(ExecConfig::with_servers(2), &input, |f| {
+            f.data.chunks(6).map(|row| row.iter().sum()).collect()
+        });
+        assert_eq!(out[0].data.len(), 4);
+        assert_eq!(out[0].data[0], input[0].data[..6].iter().sum::<f32>());
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let out = par_map_fragments(ExecConfig::default(), &[], |f| f.data.clone());
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn more_servers_than_fragments_is_fine() {
+        let input = frags(2, 1, 1);
+        let out = par_map_fragments(ExecConfig::with_servers(16), &input, |f| f.data.clone());
+        assert_eq!(out.len(), 2);
+    }
+}

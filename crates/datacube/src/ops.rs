@@ -1,0 +1,898 @@
+//! The operator set.
+//!
+//! Each operator is a pure function `(&Cube, …) -> Cube`, executed in
+//! parallel over fragments through [`crate::exec`]. The set covers what the
+//! paper's heat/cold-wave and TC pipelines use: NetCDF import/export,
+//! subsetting, time reduction, element-wise `apply` with the expression
+//! language, cube–cube arithmetic (with per-row broadcasting for baseline
+//! climatologies), implicit-dimension concatenation (stacking days into a
+//! year), and a generic per-row series transform for run-length analytics.
+
+use crate::error::{Error, Result};
+use crate::exec::{par_map_fragments, ExecConfig};
+use crate::expr::Expr;
+use crate::model::{Cube, DimKind, Dimension};
+use ncformat::{Dataset, Reader, Value};
+use std::path::Path;
+
+/// Reduction kernels over an implicit dimension.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReduceOp {
+    Max,
+    Min,
+    Sum,
+    Avg,
+    /// Count of elements strictly greater than zero (Ophidia pipelines
+    /// build masks with `oph_predicate` then count them; see Listing 1).
+    CountPositive,
+}
+
+impl ReduceOp {
+    fn apply(self, series: &[f32]) -> f32 {
+        match self {
+            ReduceOp::Max => series.iter().copied().fold(f32::NEG_INFINITY, f32::max),
+            ReduceOp::Min => series.iter().copied().fold(f32::INFINITY, f32::min),
+            ReduceOp::Sum => series.iter().sum(),
+            ReduceOp::Avg => {
+                if series.is_empty() {
+                    f32::NAN
+                } else {
+                    series.iter().sum::<f32>() / series.len() as f32
+                }
+            }
+            ReduceOp::CountPositive => series.iter().filter(|v| **v > 0.0).count() as f32,
+        }
+    }
+}
+
+/// Binary element-wise operators between cubes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InterOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+}
+
+impl InterOp {
+    fn apply(self, a: f32, b: f32) -> f32 {
+        match self {
+            InterOp::Add => a + b,
+            InterOp::Sub => a - b,
+            InterOp::Mul => a * b,
+            InterOp::Div => a / b,
+        }
+    }
+}
+
+/// Imports a variable from an NCX file into a cube.
+///
+/// `explicit` and `implicit` name the variable's dimensions in storage
+/// order (explicit axes must come first in the variable layout, which is
+/// how the ESM writes `(time, lat, lon)` files — callers importing such a
+/// file as `(lat, lon | time)` should use [`import_transposed`]).
+/// Coordinate variables matching dimension names are read when present.
+pub fn importnc(
+    reader: &Reader,
+    var: &str,
+    explicit: &[&str],
+    implicit: &[&str],
+    nfrag: usize,
+    cfg: ExecConfig,
+) -> Result<Cube> {
+    let shape = reader.shape(var)?;
+    let want: Vec<&str> = explicit.iter().chain(implicit.iter()).copied().collect();
+    let vmeta = reader.variable(var)?;
+    let actual: Vec<String> = vmeta
+        .dims
+        .iter()
+        .map(|&i| reader.dimensions()[i].name.clone())
+        .collect();
+    if actual != want {
+        return Err(Error::BadImport(format!(
+            "variable '{var}' has dims {actual:?}, requested {want:?}"
+        )));
+    }
+    let data = reader.read_all_f32(var)?;
+    let mut dims = Vec::new();
+    for (i, name) in want.iter().enumerate() {
+        let coords = coord_values(reader, name, shape[i]);
+        let kind = if i < explicit.len() { DimKind::Explicit } else { DimKind::Implicit };
+        dims.push(Dimension { name: name.to_string(), kind, coords });
+    }
+    let mut cube = Cube::from_dense(var, dims, data, nfrag, cfg.io_servers)?;
+    cube.description = format!("importnc({var})");
+    Ok(cube)
+}
+
+/// Imports a `(time, lat, lon)` variable as a `(lat, lon | time)` cube —
+/// the transposition the heat-wave pipeline needs so that each grid cell's
+/// daily series is one in-row array.
+pub fn import_transposed(
+    reader: &Reader,
+    var: &str,
+    time_dim: &str,
+    lat_dim: &str,
+    lon_dim: &str,
+    nfrag: usize,
+    cfg: ExecConfig,
+) -> Result<Cube> {
+    let vmeta = reader.variable(var)?;
+    let actual: Vec<String> = vmeta
+        .dims
+        .iter()
+        .map(|&i| reader.dimensions()[i].name.clone())
+        .collect();
+    if actual != [time_dim, lat_dim, lon_dim] {
+        return Err(Error::BadImport(format!(
+            "variable '{var}' has dims {actual:?}, expected [{time_dim}, {lat_dim}, {lon_dim}]"
+        )));
+    }
+    let shape = reader.shape(var)?;
+    let (nt, nlat, nlon) = (shape[0], shape[1], shape[2]);
+    let src = reader.read_all_f32(var)?;
+    // Transpose (t, y, x) -> (y, x, t).
+    let mut data = vec![0.0f32; src.len()];
+    for t in 0..nt {
+        for y in 0..nlat {
+            for x in 0..nlon {
+                data[(y * nlon + x) * nt + t] = src[(t * nlat + y) * nlon + x];
+            }
+        }
+    }
+    let dims = vec![
+        Dimension::explicit(lat_dim, coord_values(reader, lat_dim, nlat)),
+        Dimension::explicit(lon_dim, coord_values(reader, lon_dim, nlon)),
+        Dimension::implicit(time_dim, coord_values(reader, time_dim, nt)),
+    ];
+    let mut cube = Cube::from_dense(var, dims, data, nfrag, cfg.io_servers)?;
+    cube.description = format!("import_transposed({var})");
+    Ok(cube)
+}
+
+fn coord_values(reader: &Reader, name: &str, size: usize) -> Vec<f64> {
+    reader
+        .read_all_f64(name)
+        .ok()
+        .filter(|v| v.len() == size)
+        .unwrap_or_else(|| (0..size).map(|i| i as f64).collect())
+}
+
+/// Reduces one implicit dimension away. With a single implicit dimension
+/// the whole in-row array collapses to one value per row.
+pub fn reduce(cube: &Cube, op: ReduceOp, dim: &str, cfg: ExecConfig) -> Result<Cube> {
+    let d = cube.dim(dim)?;
+    if d.kind != DimKind::Implicit {
+        return Err(Error::WrongDimensionKind { dim: dim.into(), need: "implicit" });
+    }
+    let idims = cube.implicit_dims();
+    // Strides of implicit dims within a row (row-major).
+    let pos = idims.iter().position(|x| x.name == dim).expect("dim checked");
+    let after: usize = idims[pos + 1..].iter().map(|x| x.len()).product();
+    let target = idims[pos].len();
+    let ilen = cube.implicit_len();
+    let out_ilen = ilen / target.max(1);
+
+    let frags = par_map_fragments(cfg, &cube.frags, |f| {
+        let mut out = Vec::with_capacity(f.row_count * out_ilen);
+        if after == 1 && target == ilen {
+            // Fast path (the common case: one implicit dimension, fully
+            // reduced): the row *is* the series — no gather, no allocation.
+            for row in f.data.chunks(ilen) {
+                out.push(op.apply(row));
+            }
+        } else {
+            let mut series = vec![0.0f32; target];
+            for row in f.data.chunks(ilen) {
+                // Iterate over the reduced layout: (before, after) pairs.
+                let before = ilen / (target * after).max(1);
+                for b in 0..before {
+                    for a in 0..after {
+                        for (t, s) in series.iter_mut().enumerate() {
+                            *s = row[b * target * after + t * after + a];
+                        }
+                        out.push(op.apply(&series));
+                    }
+                }
+            }
+        }
+        out
+    });
+
+    let dims: Vec<Dimension> = cube.dims.iter().filter(|d| d.name != dim).cloned().collect();
+    let out = Cube {
+        measure: cube.measure.clone(),
+        dims,
+        frags,
+        description: format!("reduce({op:?}, {dim})"),
+    };
+    out.validate()?;
+    Ok(out)
+}
+
+/// Applies an element-wise expression to every value.
+pub fn apply(cube: &Cube, expr: &Expr, cfg: ExecConfig) -> Cube {
+    let frags = par_map_fragments(cfg, &cube.frags, |f| {
+        f.data.iter().map(|&v| expr.eval(v as f64) as f32).collect()
+    });
+    Cube {
+        measure: cube.measure.clone(),
+        dims: cube.dims.clone(),
+        frags,
+        description: "apply(expr)".into(),
+    }
+}
+
+/// Element-wise arithmetic between two cubes with the same explicit space.
+/// `b` must have either the same implicit length as `a` or implicit length
+/// 1, in which case its per-row scalar broadcasts over `a`'s series — the
+/// baseline-climatology pattern of the heat-wave pipeline.
+pub fn intercube(a: &Cube, b: &Cube, op: InterOp, cfg: ExecConfig) -> Result<Cube> {
+    if a.rows() != b.rows() {
+        return Err(Error::SchemaMismatch(format!(
+            "row spaces differ: {} vs {}",
+            a.rows(),
+            b.rows()
+        )));
+    }
+    let ilen_a = a.implicit_len();
+    let ilen_b = b.implicit_len();
+    if ilen_b != ilen_a && ilen_b != 1 {
+        return Err(Error::SchemaMismatch(format!(
+            "implicit lengths incompatible: {ilen_a} vs {ilen_b}"
+        )));
+    }
+    // b's values by global row (dense is fine: broadcast cubes are small,
+    // same-shape cubes are a straight zip).
+    let b_dense = b.to_dense();
+
+    let frags = par_map_fragments(cfg, &a.frags, |f| {
+        let mut out = Vec::with_capacity(f.data.len());
+        for (local_row, row) in f.data.chunks(ilen_a).enumerate() {
+            let grow = f.row_start + local_row;
+            for (k, &va) in row.iter().enumerate() {
+                let vb = if ilen_b == 1 {
+                    b_dense[grow]
+                } else {
+                    b_dense[grow * ilen_b + k]
+                };
+                out.push(op.apply(va, vb));
+            }
+        }
+        out
+    });
+    let out = Cube {
+        measure: a.measure.clone(),
+        dims: a.dims.clone(),
+        frags,
+        description: format!("intercube({op:?})"),
+    };
+    out.validate()?;
+    Ok(out)
+}
+
+/// Subsets an implicit dimension to the index range `lo..hi`.
+pub fn subset_implicit(cube: &Cube, dim: &str, lo: usize, hi: usize, cfg: ExecConfig) -> Result<Cube> {
+    let d = cube.dim(dim)?;
+    if d.kind != DimKind::Implicit {
+        return Err(Error::WrongDimensionKind { dim: dim.into(), need: "implicit" });
+    }
+    if lo >= hi || hi > d.len() {
+        return Err(Error::BadRange { dim: dim.into(), lo, hi, size: d.len() });
+    }
+    let idims = cube.implicit_dims();
+    let pos = idims.iter().position(|x| x.name == dim).expect("dim checked");
+    let after: usize = idims[pos + 1..].iter().map(|x| x.len()).product();
+    let target = idims[pos].len();
+    let ilen = cube.implicit_len();
+    let keep = hi - lo;
+
+    let frags = par_map_fragments(cfg, &cube.frags, |f| {
+        let mut out = Vec::with_capacity(f.row_count * ilen / target * keep);
+        for row in f.data.chunks(ilen) {
+            let before = ilen / (target * after).max(1);
+            for b in 0..before {
+                for t in lo..hi {
+                    for a in 0..after {
+                        out.push(row[b * target * after + t * after + a]);
+                    }
+                }
+            }
+        }
+        out
+    });
+
+    let dims: Vec<Dimension> = cube
+        .dims
+        .iter()
+        .map(|x| {
+            if x.name == dim {
+                Dimension { name: x.name.clone(), kind: x.kind, coords: x.coords[lo..hi].to_vec() }
+            } else {
+                x.clone()
+            }
+        })
+        .collect();
+    let out = Cube {
+        measure: cube.measure.clone(),
+        dims,
+        frags,
+        description: format!("subset({dim}, {lo}..{hi})"),
+    };
+    out.validate()?;
+    Ok(out)
+}
+
+/// Subsets an explicit dimension to the index range `lo..hi` (spatial
+/// subsetting: a lat or lon window). The row space shrinks; data is
+/// re-fragmented to preserve the original fragment count.
+pub fn subset_explicit(cube: &Cube, dim: &str, lo: usize, hi: usize) -> Result<Cube> {
+    let d = cube.dim(dim)?;
+    if d.kind != DimKind::Explicit {
+        return Err(Error::WrongDimensionKind { dim: dim.into(), need: "explicit" });
+    }
+    if lo >= hi || hi > d.len() {
+        return Err(Error::BadRange { dim: dim.into(), lo, hi, size: d.len() });
+    }
+    let edims = cube.explicit_dims();
+    let pos = edims.iter().position(|x| x.name == dim).expect("dim checked");
+    let after: usize = edims[pos + 1..].iter().map(|x| x.len()).product();
+    let target = edims[pos].len();
+    let before: usize = edims[..pos].iter().map(|x| x.len()).product();
+    let ilen = cube.implicit_len();
+
+    let dense = cube.to_dense();
+    let keep = hi - lo;
+    let mut out = Vec::with_capacity(before * keep * after * ilen);
+    for b in 0..before {
+        for t in lo..hi {
+            let row0 = (b * target + t) * after;
+            let lo_f = row0 * ilen;
+            let hi_f = (row0 + after) * ilen;
+            out.extend_from_slice(&dense[lo_f..hi_f]);
+        }
+    }
+    let dims: Vec<Dimension> = cube
+        .dims
+        .iter()
+        .map(|x| {
+            if x.name == dim {
+                Dimension { name: x.name.clone(), kind: x.kind, coords: x.coords[lo..hi].to_vec() }
+            } else {
+                x.clone()
+            }
+        })
+        .collect();
+    let mut result = Cube::from_dense(&cube.measure, dims, out, cube.frags.len(), 1)?;
+    result.description = format!("subset_explicit({dim}, {lo}..{hi})");
+    Ok(result)
+}
+
+/// Subsets an explicit dimension by coordinate values: keeps indices whose
+/// coordinate lies in `[lo, hi]` (inclusive). The paper-style spatial
+/// window ("for a given area").
+pub fn subset_by_coord(cube: &Cube, dim: &str, lo: f64, hi: f64) -> Result<Cube> {
+    let d = cube.dim(dim)?;
+    let first = d.coords.iter().position(|&c| c >= lo && c <= hi);
+    let last = d.coords.iter().rposition(|&c| c >= lo && c <= hi);
+    match (first, last) {
+        (Some(a), Some(b)) if a <= b => subset_explicit(cube, dim, a, b + 1),
+        _ => Err(Error::BadRange { dim: dim.into(), lo: 0, hi: 0, size: d.len() }),
+    }
+}
+
+/// Concatenates cubes along an implicit dimension (stacking days into a
+/// year series). All cubes must share explicit dimensions, measure and
+/// fragmentation layout; each must have exactly one implicit dimension
+/// named `dim`.
+pub fn concat_implicit(cubes: &[&Cube], dim: &str) -> Result<Cube> {
+    let first = cubes.first().ok_or_else(|| Error::SchemaMismatch("no cubes to concat".into()))?;
+    let e0: Vec<_> = first.explicit_dims().into_iter().cloned().collect();
+    for c in cubes {
+        let d = c.dim(dim)?;
+        if d.kind != DimKind::Implicit {
+            return Err(Error::WrongDimensionKind { dim: dim.into(), need: "implicit" });
+        }
+        if c.implicit_dims().len() != 1 {
+            return Err(Error::SchemaMismatch(
+                "concat_implicit requires exactly one implicit dimension".into(),
+            ));
+        }
+        let e: Vec<_> = c.explicit_dims().into_iter().cloned().collect();
+        if e != e0 {
+            return Err(Error::SchemaMismatch("explicit dimensions differ".into()));
+        }
+    }
+    let aligned = cubes.windows(2).all(|w| {
+        w[0].frags.len() == w[1].frags.len()
+            && w[0]
+                .frags
+                .iter()
+                .zip(&w[1].frags)
+                .all(|(a, b)| a.row_start == b.row_start && a.row_count == b.row_count)
+    });
+
+    let mut coords = Vec::new();
+    for c in cubes {
+        coords.extend(c.dim(dim)?.coords.iter().copied());
+    }
+    let mut dims = e0.clone();
+    dims.push(Dimension::implicit(dim, coords));
+
+    let out = if aligned {
+        let total_ilen: usize = cubes.iter().map(|c| c.implicit_len()).sum();
+        let mut frags = Vec::with_capacity(first.frags.len());
+        for fi in 0..first.frags.len() {
+            let proto = &first.frags[fi];
+            let mut data = Vec::with_capacity(proto.row_count * total_ilen);
+            for local_row in 0..proto.row_count {
+                for c in cubes {
+                    let ilen = c.implicit_len();
+                    let f = &c.frags[fi];
+                    data.extend_from_slice(&f.data[local_row * ilen..(local_row + 1) * ilen]);
+                }
+            }
+            frags.push(crate::model::Fragment {
+                row_start: proto.row_start,
+                row_count: proto.row_count,
+                server: proto.server,
+                data,
+            });
+        }
+        Cube {
+            measure: first.measure.clone(),
+            dims,
+            frags,
+            description: format!("concat_implicit({dim}, {} cubes)", cubes.len()),
+        }
+    } else {
+        // Mismatched layouts: go through dense.
+        let rows = first.rows();
+        let total_ilen: usize = cubes.iter().map(|c| c.implicit_len()).sum();
+        let denses: Vec<Vec<f32>> = cubes.iter().map(|c| c.to_dense()).collect();
+        let mut data = Vec::with_capacity(rows * total_ilen);
+        for row in 0..rows {
+            for (c, dense) in cubes.iter().zip(&denses) {
+                let ilen = c.implicit_len();
+                data.extend_from_slice(&dense[row * ilen..(row + 1) * ilen]);
+            }
+        }
+        Cube::from_dense(&first.measure, dims, data, first.frags.len(), 1)?
+    };
+    out.validate()?;
+    Ok(out)
+}
+
+/// Generic per-row series transform: each row's implicit array is mapped to
+/// a new array of `out_len` values (`out_dim` names the resulting implicit
+/// dimension). This is the extension point the heat-wave run-length
+/// analytics build on.
+pub fn map_series<F>(cube: &Cube, out_dim: &str, out_len: usize, cfg: ExecConfig, f: F) -> Result<Cube>
+where
+    F: Fn(&[f32]) -> Vec<f32> + Sync,
+{
+    let ilen = cube.implicit_len();
+    let frags = par_map_fragments(cfg, &cube.frags, |frag| {
+        let mut out = Vec::with_capacity(frag.row_count * out_len);
+        for row in frag.data.chunks(ilen.max(1)) {
+            let mapped = f(row);
+            // Per-row arity violations surface as validate() errors below;
+            // truncate/pad defensively so we can detect them deterministically.
+            out.extend_from_slice(&mapped);
+        }
+        out
+    });
+    // Verify arity before constructing the cube.
+    for frag in &frags {
+        if frag.data.len() != frag.row_count * out_len {
+            return Err(Error::SeriesLength {
+                expected: frag.row_count * out_len,
+                actual: frag.data.len(),
+            });
+        }
+    }
+    let mut dims: Vec<Dimension> = cube.explicit_dims().into_iter().cloned().collect();
+    if out_len > 0 {
+        dims.push(Dimension::implicit(out_dim, (0..out_len).map(|i| i as f64).collect()));
+    }
+    let out = Cube {
+        measure: cube.measure.clone(),
+        dims,
+        frags,
+        description: format!("map_series({out_dim})"),
+    };
+    out.validate()?;
+    Ok(out)
+}
+
+/// Rolling-window reduction along the (single) implicit dimension
+/// (Ophidia's time-series processing: `oph_apply` with moving-window
+/// primitives). Output series length is `len - window + 1`; each element
+/// is `op` over the trailing window.
+pub fn rolling(cube: &Cube, op: ReduceOp, window: usize, cfg: ExecConfig) -> Result<Cube> {
+    if window == 0 {
+        return Err(Error::BadRange {
+            dim: "window".into(),
+            lo: 0,
+            hi: 0,
+            size: cube.implicit_len(),
+        });
+    }
+    let idims = cube.implicit_dims();
+    let dim = idims
+        .first()
+        .map(|d| d.name.clone())
+        .ok_or_else(|| Error::SchemaMismatch("rolling needs an implicit dimension".into()))?;
+    if idims.len() != 1 {
+        return Err(Error::SchemaMismatch(
+            "rolling requires exactly one implicit dimension".into(),
+        ));
+    }
+    let len = cube.implicit_len();
+    if window > len {
+        return Err(Error::BadRange { dim, lo: 0, hi: window, size: len });
+    }
+    let out_len = len - window + 1;
+    let out = map_series(cube, &format!("{dim}_rolling"), out_len, cfg, |row| {
+        row.windows(window).map(|w| op.apply(w)).collect()
+    })?;
+    Ok(out)
+}
+
+/// Re-partitions a cube into `nfrag` fragments over `io_servers` servers
+/// (Ophidia's `oph_merge`/`oph_split` fragmentation control). The logical
+/// content is unchanged.
+pub fn refragment(cube: &Cube, nfrag: usize, io_servers: usize) -> Result<Cube> {
+    let mut out = Cube::from_dense(
+        &cube.measure,
+        cube.dims.clone(),
+        cube.to_dense(),
+        nfrag,
+        io_servers,
+    )?;
+    out.description = format!("{} | refragment({nfrag})", cube.description);
+    Ok(out)
+}
+
+/// Reinterprets a cube with no implicit dimension as having a singleton
+/// implicit dimension (`dim`, coordinate `coord`). This is how per-day
+/// reductions (daily tmax maps) become stackable into a year series with
+/// [`concat_implicit`].
+pub fn add_singleton_implicit(cube: &Cube, dim: &str, coord: f64) -> Result<Cube> {
+    if cube.implicit_len() != 1 || !cube.implicit_dims().is_empty() {
+        return Err(Error::SchemaMismatch(
+            "add_singleton_implicit requires a cube with no implicit dimension".into(),
+        ));
+    }
+    let mut dims = cube.dims.clone();
+    dims.push(Dimension::implicit(dim, vec![coord]));
+    let out = Cube {
+        measure: cube.measure.clone(),
+        dims,
+        frags: cube.frags.clone(),
+        description: format!("{} + singleton {dim}", cube.description),
+    };
+    out.validate()?;
+    Ok(out)
+}
+
+/// Exports a cube to an NCX file, with coordinate variables and provenance
+/// attributes.
+pub fn exportnc(cube: &Cube, path: &Path) -> Result<()> {
+    let mut ds = Dataset::new();
+    for d in &cube.dims {
+        ds.add_dimension(&d.name, d.len())?;
+        ds.add_variable_f64(&d.name, &[d.name.as_str()], d.coords.clone())?;
+    }
+    let dim_names: Vec<&str> = cube.dims.iter().map(|d| d.name.as_str()).collect();
+    ds.add_variable_f32(&cube.measure, &dim_names, cube.to_dense())?;
+    ds.set_attribute("description", Value::from(cube.description.clone()));
+    ds.set_attribute("source", Value::from("datacube::exportnc"));
+    ds.write_to_path(path)?;
+    Ok(())
+}
+
+/// Views a `(lat, lon)` cube with no implicit dimension as a gridded field
+/// `(nlat, nlon, row-major data)` for map rendering.
+pub fn to_grid_values(cube: &Cube) -> Result<(usize, usize, Vec<f32>)> {
+    let e = cube.explicit_dims();
+    if e.len() != 2 || cube.implicit_len() != 1 {
+        return Err(Error::SchemaMismatch(format!(
+            "expected 2 explicit dims and no implicit data, have {} explicit, implicit_len {}",
+            e.len(),
+            cube.implicit_len()
+        )));
+    }
+    Ok((e[0].len(), e[1].len(), cube.to_dense()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> ExecConfig {
+        ExecConfig::with_servers(2)
+    }
+
+    /// 2x2 grid, 4 timesteps: row r has series [r, r+10, r+20, r+30].
+    fn sample() -> Cube {
+        let dims = vec![
+            Dimension::explicit("lat", vec![-45.0, 45.0]),
+            Dimension::explicit("lon", vec![0.0, 180.0]),
+            Dimension::implicit("time", vec![0.0, 1.0, 2.0, 3.0]),
+        ];
+        let mut data = Vec::new();
+        for r in 0..4 {
+            for t in 0..4 {
+                data.push((r + t * 10) as f32);
+            }
+        }
+        Cube::from_dense("v", dims, data, 3, 2).unwrap()
+    }
+
+    #[test]
+    fn reduce_max_min_sum_avg() {
+        let c = sample();
+        let max = reduce(&c, ReduceOp::Max, "time", cfg()).unwrap();
+        assert_eq!(max.to_dense(), vec![30.0, 31.0, 32.0, 33.0]);
+        assert_eq!(max.implicit_len(), 1);
+        assert!(max.dim("time").is_err());
+
+        let min = reduce(&c, ReduceOp::Min, "time", cfg()).unwrap();
+        assert_eq!(min.to_dense(), vec![0.0, 1.0, 2.0, 3.0]);
+
+        let sum = reduce(&c, ReduceOp::Sum, "time", cfg()).unwrap();
+        assert_eq!(sum.to_dense(), vec![60.0, 64.0, 68.0, 72.0]);
+
+        let avg = reduce(&c, ReduceOp::Avg, "time", cfg()).unwrap();
+        assert_eq!(avg.to_dense(), vec![15.0, 16.0, 17.0, 18.0]);
+    }
+
+    #[test]
+    fn reduce_requires_implicit_dim() {
+        let c = sample();
+        assert!(matches!(
+            reduce(&c, ReduceOp::Max, "lat", cfg()),
+            Err(Error::WrongDimensionKind { .. })
+        ));
+        assert!(reduce(&c, ReduceOp::Max, "ghost", cfg()).is_err());
+    }
+
+    #[test]
+    fn count_positive_counts() {
+        let dims = vec![
+            Dimension::explicit("x", vec![0.0]),
+            Dimension::implicit("t", vec![0.0, 1.0, 2.0, 3.0]),
+        ];
+        let c = Cube::from_dense("m", dims, vec![-1.0, 0.0, 2.0, 5.0], 1, 1).unwrap();
+        let n = reduce(&c, ReduceOp::CountPositive, "t", cfg()).unwrap();
+        assert_eq!(n.to_dense(), vec![2.0]);
+    }
+
+    #[test]
+    fn apply_threshold_mask() {
+        let c = sample();
+        let mask_expr = Expr::from_oph_predicate("x", ">15", "1", "0").unwrap();
+        let m = apply(&c, &mask_expr, cfg());
+        let dense = m.to_dense();
+        let want: Vec<f32> = c.to_dense().iter().map(|&v| if v > 15.0 { 1.0 } else { 0.0 }).collect();
+        assert_eq!(dense, want);
+    }
+
+    #[test]
+    fn intercube_same_shape_and_broadcast() {
+        let c = sample();
+        let diff = intercube(&c, &c, InterOp::Sub, cfg()).unwrap();
+        assert!(diff.to_dense().iter().all(|&v| v == 0.0));
+
+        // Broadcast: subtract a per-row baseline (implicit_len = 1).
+        let base = reduce(&c, ReduceOp::Min, "time", cfg()).unwrap();
+        let anom = intercube(&c, &base, InterOp::Sub, cfg()).unwrap();
+        // Every row's series minus its min: [0, 10, 20, 30].
+        for r in 0..4 {
+            assert_eq!(anom.row_series(r).unwrap(), &[0.0, 10.0, 20.0, 30.0]);
+        }
+    }
+
+    #[test]
+    fn intercube_rejects_mismatched_shapes() {
+        let c = sample();
+        let dims = vec![Dimension::explicit("x", vec![0.0])];
+        let other = Cube::from_dense("w", dims, vec![1.0], 1, 1).unwrap();
+        assert!(intercube(&c, &other, InterOp::Add, cfg()).is_err());
+    }
+
+    #[test]
+    fn subset_implicit_slices_series() {
+        let c = sample();
+        let s = subset_implicit(&c, "time", 1, 3, cfg()).unwrap();
+        assert_eq!(s.implicit_len(), 2);
+        assert_eq!(s.row_series(0).unwrap(), &[10.0, 20.0]);
+        assert_eq!(s.dim("time").unwrap().coords, vec![1.0, 2.0]);
+        assert!(subset_implicit(&c, "time", 3, 3, cfg()).is_err());
+        assert!(subset_implicit(&c, "time", 0, 9, cfg()).is_err());
+        assert!(subset_implicit(&c, "lat", 0, 1, cfg()).is_err());
+    }
+
+    #[test]
+    fn subset_explicit_keeps_selected_rows() {
+        let c = sample(); // lat {-45,45} x lon {0,180} x time 4
+        let s = subset_explicit(&c, "lat", 1, 2).unwrap();
+        assert_eq!(s.rows(), 2);
+        assert_eq!(s.dim("lat").unwrap().coords, vec![45.0]);
+        // Rows 2 and 3 of the original (lat index 1).
+        assert_eq!(s.row_series(0).unwrap(), c.row_series(2).unwrap());
+        assert_eq!(s.row_series(1).unwrap(), c.row_series(3).unwrap());
+        s.validate().unwrap();
+
+        let s = subset_explicit(&c, "lon", 0, 1).unwrap();
+        assert_eq!(s.rows(), 2);
+        assert_eq!(s.row_series(0).unwrap(), c.row_series(0).unwrap());
+        assert_eq!(s.row_series(1).unwrap(), c.row_series(2).unwrap());
+
+        assert!(subset_explicit(&c, "time", 0, 1).is_err(), "implicit dims rejected");
+        assert!(subset_explicit(&c, "lat", 2, 2).is_err());
+    }
+
+    #[test]
+    fn subset_by_coord_windows() {
+        let c = sample();
+        let s = subset_by_coord(&c, "lat", 0.0, 90.0).unwrap();
+        assert_eq!(s.dim("lat").unwrap().coords, vec![45.0]);
+        let s = subset_by_coord(&c, "lon", -10.0, 200.0).unwrap();
+        assert_eq!(s.dim("lon").unwrap().coords, vec![0.0, 180.0]);
+        assert!(subset_by_coord(&c, "lat", 50.0, 60.0).is_err(), "empty window");
+    }
+
+    #[test]
+    fn concat_implicit_stacks_days() {
+        let a = sample();
+        let b = sample();
+        let y = concat_implicit(&[&a, &b], "time").unwrap();
+        assert_eq!(y.implicit_len(), 8);
+        assert_eq!(y.row_series(2).unwrap(), &[2.0, 12.0, 22.0, 32.0, 2.0, 12.0, 22.0, 32.0]);
+        assert_eq!(y.dim("time").unwrap().len(), 8);
+    }
+
+    #[test]
+    fn concat_with_mismatched_fragmentation_goes_dense() {
+        let a = sample(); // 3 fragments
+        let dims = a.dims.clone();
+        let b = Cube::from_dense("v", dims, a.to_dense(), 2, 1).unwrap(); // 2 fragments
+        let y = concat_implicit(&[&a, &b], "time").unwrap();
+        assert_eq!(y.implicit_len(), 8);
+        assert_eq!(y.row_series(0).unwrap()[..4], a.to_dense()[..4]);
+        y.validate().unwrap();
+    }
+
+    #[test]
+    fn map_series_runs_custom_kernels() {
+        let c = sample();
+        // Cumulative sum per row.
+        let out = map_series(&c, "csum", 4, cfg(), |row| {
+            let mut acc = 0.0;
+            row.iter()
+                .map(|&v| {
+                    acc += v;
+                    acc
+                })
+                .collect()
+        })
+        .unwrap();
+        assert_eq!(out.row_series(0).unwrap(), &[0.0, 10.0, 30.0, 60.0]);
+
+        // Collapsing kernel.
+        let out = map_series(&c, "n", 1, cfg(), |row| vec![row.len() as f32]).unwrap();
+        assert_eq!(out.to_dense(), vec![4.0; 4]);
+
+        // Wrong arity must be detected.
+        assert!(matches!(
+            map_series(&c, "bad", 2, cfg(), |_| vec![0.0]),
+            Err(Error::SeriesLength { .. })
+        ));
+    }
+
+    #[test]
+    fn rolling_windows() {
+        let dims = vec![
+            Dimension::explicit("x", vec![0.0]),
+            Dimension::implicit("t", (0..6).map(|t| t as f64).collect()),
+        ];
+        let c = Cube::from_dense("m", dims, vec![1.0, 3.0, 2.0, 5.0, 4.0, 0.0], 1, 1).unwrap();
+        let avg = rolling(&c, ReduceOp::Avg, 3, cfg()).unwrap();
+        assert_eq!(avg.implicit_len(), 4);
+        assert_eq!(avg.row_series(0).unwrap(), &[2.0, 10.0 / 3.0, 11.0 / 3.0, 3.0]);
+        let max = rolling(&c, ReduceOp::Max, 2, cfg()).unwrap();
+        assert_eq!(max.row_series(0).unwrap(), &[3.0, 3.0, 5.0, 5.0, 4.0]);
+        // Window of 1 is the identity.
+        let id = rolling(&c, ReduceOp::Sum, 1, cfg()).unwrap();
+        assert_eq!(id.to_dense(), c.to_dense());
+        // Degenerate windows rejected.
+        assert!(rolling(&c, ReduceOp::Avg, 0, cfg()).is_err());
+        assert!(rolling(&c, ReduceOp::Avg, 7, cfg()).is_err());
+    }
+
+    #[test]
+    fn refragment_preserves_content() {
+        let c = sample(); // 3 fragments
+        for nfrag in [1, 2, 4, 100] {
+            let r = refragment(&c, nfrag, 2).unwrap();
+            assert_eq!(r.to_dense(), c.to_dense());
+            assert_eq!(r.frags.len(), nfrag.min(c.rows()));
+            r.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn singleton_implicit_enables_day_stacking() {
+        let day0 = reduce(&sample(), ReduceOp::Max, "time", cfg()).unwrap();
+        let day1 = reduce(&sample(), ReduceOp::Min, "time", cfg()).unwrap();
+        let d0 = add_singleton_implicit(&day0, "day", 0.0).unwrap();
+        let d1 = add_singleton_implicit(&day1, "day", 1.0).unwrap();
+        let year = concat_implicit(&[&d0, &d1], "day").unwrap();
+        assert_eq!(year.implicit_len(), 2);
+        assert_eq!(year.row_series(0).unwrap(), &[30.0, 0.0]);
+        assert_eq!(year.dim("day").unwrap().coords, vec![0.0, 1.0]);
+        // Cubes that still have a time axis are rejected.
+        assert!(add_singleton_implicit(&sample(), "day", 0.0).is_err());
+    }
+
+    #[test]
+    fn export_reimport_roundtrip() {
+        let dir = std::env::temp_dir().join("datacube-ops");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("export.ncx");
+        let c = reduce(&sample(), ReduceOp::Max, "time", cfg()).unwrap();
+        exportnc(&c, &path).unwrap();
+
+        let rd = Reader::open(&path).unwrap();
+        assert_eq!(rd.read_all_f32("v").unwrap(), c.to_dense());
+        assert_eq!(rd.read_all_f64("lat").unwrap(), vec![-45.0, 45.0]);
+        let back = importnc(&rd, "v", &["lat", "lon"], &[], 2, cfg()).unwrap();
+        assert_eq!(back.to_dense(), c.to_dense());
+        assert_eq!(back.dim("lon").unwrap().coords, vec![0.0, 180.0]);
+    }
+
+    #[test]
+    fn importnc_validates_dim_names() {
+        let dir = std::env::temp_dir().join("datacube-ops");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("dims.ncx");
+        exportnc(&sample(), &path).unwrap();
+        let rd = Reader::open(&path).unwrap();
+        assert!(importnc(&rd, "v", &["lon", "lat"], &["time"], 1, cfg()).is_err());
+        assert!(importnc(&rd, "nope", &["lat"], &[], 1, cfg()).is_err());
+    }
+
+    #[test]
+    fn import_transposed_gives_per_cell_series() {
+        // Build a (time, lat, lon) file like the ESM writes.
+        let dir = std::env::temp_dir().join("datacube-ops");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("tyx.ncx");
+        let (nt, ny, nx) = (3, 2, 2);
+        let mut ds = Dataset::new();
+        ds.add_dimension("time", nt).unwrap();
+        ds.add_dimension("lat", ny).unwrap();
+        ds.add_dimension("lon", nx).unwrap();
+        let data: Vec<f32> = (0..nt * ny * nx).map(|i| i as f32).collect();
+        ds.add_variable_f32("tas", &["time", "lat", "lon"], data).unwrap();
+        ds.write_to_path(&path).unwrap();
+
+        let rd = Reader::open(&path).unwrap();
+        let cube = import_transposed(&rd, "tas", "time", "lat", "lon", 2, cfg()).unwrap();
+        // Cell (0,0) series = values at linear offsets 0, 4, 8.
+        assert_eq!(cube.row_series(0).unwrap(), &[0.0, 4.0, 8.0]);
+        // Cell (1,1) = offsets 3, 7, 11.
+        assert_eq!(cube.row_series(3).unwrap(), &[3.0, 7.0, 11.0]);
+    }
+
+    #[test]
+    fn to_grid_values_shape_guard() {
+        let c = reduce(&sample(), ReduceOp::Max, "time", cfg()).unwrap();
+        let (nlat, nlon, vals) = to_grid_values(&c).unwrap();
+        assert_eq!((nlat, nlon), (2, 2));
+        assert_eq!(vals.len(), 4);
+        assert!(to_grid_values(&sample()).is_err());
+    }
+}

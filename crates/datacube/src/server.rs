@@ -1,0 +1,452 @@
+//! PyOphidia-style client façade.
+//!
+//! Ophidia is client–server: PyOphidia dispatches operator requests to the
+//! Ophidia Server, which runs them on the in-memory I/O servers (Section
+//! 4.2.2). This module mirrors that shape — a [`Client`] connected to an
+//! in-process [`Server`] holding the cube store, and a chainable
+//! [`CubeHandle`] whose methods correspond one-to-one with the calls in the
+//! paper's Listing 1 (`reduce`, `apply`, `exportnc2`, `delete`). Every
+//! operator execution is recorded in an audit trail with its wall time,
+//! which the benches read back.
+
+use crate::error::Result;
+use crate::exec::ExecConfig;
+use crate::expr::Expr;
+use crate::model::Cube;
+use crate::ops::{self, InterOp, ReduceOp};
+use crate::store::{CubeId, CubeStore};
+use ncformat::Reader;
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::path::Path;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// One audit-trail entry.
+#[derive(Debug, Clone)]
+pub struct OpRecord {
+    pub operator: String,
+    pub micros: u128,
+}
+
+/// The in-process Ophidia-server equivalent: cube store + execution config
+/// + operator audit trail.
+pub struct Server {
+    store: CubeStore,
+    cfg: ExecConfig,
+    log: Mutex<Vec<OpRecord>>,
+    /// Key-value metadata per cube (Ophidia's metadata management).
+    meta: Mutex<std::collections::HashMap<CubeId, BTreeMap<String, String>>>,
+}
+
+impl Server {
+    fn record<T>(&self, name: &str, f: impl FnOnce() -> T) -> T {
+        let start = Instant::now();
+        let out = f();
+        self.log.push_op(name, start.elapsed().as_micros());
+        out
+    }
+}
+
+trait LogExt {
+    fn push_op(&self, name: &str, micros: u128);
+}
+
+impl LogExt for Mutex<Vec<OpRecord>> {
+    fn push_op(&self, name: &str, micros: u128) {
+        self.lock().push(OpRecord { operator: name.to_string(), micros });
+    }
+}
+
+/// Client session against an in-process [`Server`].
+#[derive(Clone)]
+pub struct Client {
+    server: Arc<Server>,
+}
+
+impl Client {
+    /// Connects a new client with `io_servers` simulated I/O servers.
+    pub fn connect(io_servers: usize) -> Self {
+        Client {
+            server: Arc::new(Server {
+                store: CubeStore::new(),
+                cfg: ExecConfig::with_servers(io_servers),
+                log: Mutex::new(Vec::new()),
+                meta: Mutex::new(std::collections::HashMap::new()),
+            }),
+        }
+    }
+
+    /// Imports a variable from an NCX file (`oph_importnc`).
+    pub fn importnc(
+        &self,
+        path: &Path,
+        var: &str,
+        explicit: &[&str],
+        implicit: &[&str],
+        nfrag: usize,
+    ) -> Result<CubeHandle> {
+        let cfg = self.server.cfg;
+        let cube = self.server.record("importnc", || -> Result<Cube> {
+            let rd = Reader::open(path)?;
+            ops::importnc(&rd, var, explicit, implicit, nfrag, cfg)
+        })?;
+        Ok(self.adopt(cube))
+    }
+
+    /// Imports a `(time, lat, lon)` variable as `(lat, lon | time)`.
+    pub fn importnc_transposed(
+        &self,
+        path: &Path,
+        var: &str,
+        time_dim: &str,
+        lat_dim: &str,
+        lon_dim: &str,
+        nfrag: usize,
+    ) -> Result<CubeHandle> {
+        let cfg = self.server.cfg;
+        let cube = self.server.record("importnc_transposed", || -> Result<Cube> {
+            let rd = Reader::open(path)?;
+            ops::import_transposed(&rd, var, time_dim, lat_dim, lon_dim, nfrag, cfg)
+        })?;
+        Ok(self.adopt(cube))
+    }
+
+    /// Wraps an existing in-memory cube into a handle (used by pipelines
+    /// that build cubes directly).
+    pub fn adopt(&self, cube: Cube) -> CubeHandle {
+        let id = self.server.store.put(cube);
+        CubeHandle { server: Arc::clone(&self.server), id }
+    }
+
+    /// Re-opens a handle to a stored cube by id (workflow tasks pass cube
+    /// ids between each other as lightweight references).
+    pub fn open(&self, id: CubeId) -> Result<CubeHandle> {
+        self.server.store.get(id)?; // existence check
+        Ok(CubeHandle { server: Arc::clone(&self.server), id })
+    }
+
+    /// Number of cubes currently resident.
+    pub fn resident_cubes(&self) -> usize {
+        self.server.store.len()
+    }
+
+    /// Resident bytes across all cubes.
+    pub fn resident_bytes(&self) -> usize {
+        self.server.store.resident_bytes()
+    }
+
+    /// The operator audit trail so far.
+    pub fn audit(&self) -> Vec<OpRecord> {
+        self.server.log.lock().clone()
+    }
+
+    /// Per-operator `(count, total micros)` summary.
+    pub fn operator_stats(&self) -> BTreeMap<String, (usize, u128)> {
+        let mut m: BTreeMap<String, (usize, u128)> = BTreeMap::new();
+        for r in self.server.log.lock().iter() {
+            let e = m.entry(r.operator.clone()).or_insert((0, 0));
+            e.0 += 1;
+            e.1 += r.micros;
+        }
+        m
+    }
+}
+
+/// Handle to one stored cube; operator methods produce new handles,
+/// mirroring PyOphidia's `cube.Cube` chaining.
+#[derive(Clone)]
+pub struct CubeHandle {
+    server: Arc<Server>,
+    id: CubeId,
+}
+
+impl CubeHandle {
+    /// Stored cube id.
+    pub fn id(&self) -> CubeId {
+        self.id
+    }
+
+    /// Snapshot of the cube (shared, cheap).
+    pub fn cube(&self) -> Result<Arc<Cube>> {
+        self.server.store.get(self.id)
+    }
+
+    fn derive(&self, cube: Cube) -> CubeHandle {
+        let id = self.server.store.put(cube);
+        CubeHandle { server: Arc::clone(&self.server), id }
+    }
+
+    /// Reduction over an implicit dimension (`oph_reduce`).
+    pub fn reduce(&self, op: ReduceOp, dim: &str) -> Result<CubeHandle> {
+        let src = self.cube()?;
+        let cfg = self.server.cfg;
+        let out = self.server.record("reduce", || ops::reduce(&src, op, dim, cfg))?;
+        Ok(self.derive(out))
+    }
+
+    /// Element-wise expression (`oph_apply` with `oph_predicate` etc.).
+    pub fn apply(&self, expr_src: &str) -> Result<CubeHandle> {
+        let src = self.cube()?;
+        let cfg = self.server.cfg;
+        let expr = Expr::parse(expr_src)?;
+        let out = self.server.record("apply", || ops::apply(&src, &expr, cfg));
+        Ok(self.derive(out))
+    }
+
+    /// Cube–cube arithmetic (`oph_intercube`), broadcasting per-row scalars.
+    pub fn intercube(&self, other: &CubeHandle, op: InterOp) -> Result<CubeHandle> {
+        let a = self.cube()?;
+        let b = other.cube()?;
+        let cfg = self.server.cfg;
+        let out = self.server.record("intercube", || ops::intercube(&a, &b, op, cfg))?;
+        Ok(self.derive(out))
+    }
+
+    /// Implicit-dimension subset (`oph_subset`).
+    pub fn subset(&self, dim: &str, lo: usize, hi: usize) -> Result<CubeHandle> {
+        let src = self.cube()?;
+        let cfg = self.server.cfg;
+        let out = self.server.record("subset", || ops::subset_implicit(&src, dim, lo, hi, cfg))?;
+        Ok(self.derive(out))
+    }
+
+    /// Per-row series transform (extension point for run-length analytics).
+    pub fn map_series<F>(&self, out_dim: &str, out_len: usize, f: F) -> Result<CubeHandle>
+    where
+        F: Fn(&[f32]) -> Vec<f32> + Sync,
+    {
+        let src = self.cube()?;
+        let cfg = self.server.cfg;
+        let out = self.server.record("map_series", || ops::map_series(&src, out_dim, out_len, cfg, f))?;
+        Ok(self.derive(out))
+    }
+
+    /// Spatial subset on an explicit dimension by coordinate window
+    /// (`oph_subset` with coordinate filters).
+    pub fn subset_by_coord(&self, dim: &str, lo: f64, hi: f64) -> Result<CubeHandle> {
+        let src = self.cube()?;
+        let out = self
+            .server
+            .record("subset_by_coord", || ops::subset_by_coord(&src, dim, lo, hi))?;
+        Ok(self.derive(out))
+    }
+
+    /// Attaches (or replaces) a metadata key on this cube
+    /// (`oph_metadata`-style management).
+    pub fn set_metadata(&self, key: &str, value: &str) -> Result<()> {
+        self.cube()?; // must still exist
+        self.server
+            .meta
+            .lock()
+            .entry(self.id)
+            .or_default()
+            .insert(key.to_string(), value.to_string());
+        Ok(())
+    }
+
+    /// All metadata of this cube.
+    pub fn metadata(&self) -> BTreeMap<String, String> {
+        self.server.meta.lock().get(&self.id).cloned().unwrap_or_default()
+    }
+
+    /// Human-readable cube summary (`oph_cubeschema`-like).
+    pub fn info(&self) -> Result<String> {
+        let c = self.cube()?;
+        let dims: Vec<String> = c
+            .dims
+            .iter()
+            .map(|d| format!("{}[{}]{}", d.name, d.len(), if d.kind == crate::model::DimKind::Implicit { "*" } else { "" }))
+            .collect();
+        Ok(format!(
+            "cube #{} '{}': {} | {} rows x {} implicit | {} fragments | {} bytes | {}",
+            self.id.0,
+            c.measure,
+            dims.join(" x "),
+            c.rows(),
+            c.implicit_len(),
+            c.frags.len(),
+            c.bytes(),
+            c.description
+        ))
+    }
+
+    /// Export to an NCX file (`exportnc2` in Listing 1).
+    pub fn exportnc(&self, path: &Path) -> Result<()> {
+        let src = self.cube()?;
+        self.server.record("exportnc", || ops::exportnc(&src, path))
+    }
+
+    /// Drops the stored cube (`Mask.delete()` in Listing 1). The handle
+    /// becomes unusable and its metadata is discarded.
+    pub fn delete(self) -> Result<()> {
+        self.server.meta.lock().remove(&self.id);
+        self.server.record("delete", || self.server.store.delete(self.id))
+    }
+}
+
+/// Concatenates same-schema cubes along an implicit dimension, adopting the
+/// result into the same server as the first handle.
+pub fn concat(handles: &[&CubeHandle], dim: &str) -> Result<CubeHandle> {
+    let first = handles.first().expect("concat needs at least one cube");
+    let cubes: Vec<Arc<Cube>> = handles.iter().map(|h| h.cube()).collect::<Result<_>>()?;
+    let refs: Vec<&Cube> = cubes.iter().map(|c| c.as_ref()).collect();
+    let out = first
+        .server
+        .record("concat", || ops::concat_implicit(&refs, dim))?;
+    let id = first.server.store.put(out);
+    Ok(CubeHandle { server: Arc::clone(&first.server), id })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Dimension;
+
+    fn client_with_cube() -> (Client, CubeHandle) {
+        let client = Client::connect(2);
+        let dims = vec![
+            Dimension::explicit("cell", vec![0.0, 1.0, 2.0]),
+            Dimension::implicit("time", vec![0.0, 1.0, 2.0, 3.0]),
+        ];
+        let data: Vec<f32> = (0..12).map(|i| i as f32).collect();
+        let h = client.adopt(Cube::from_dense("t", dims, data, 2, 2).unwrap());
+        (client, h)
+    }
+
+    #[test]
+    fn listing1_style_pipeline() {
+        // The paper's IndexDurationNumber: mask = predicate(x>0), count,
+        // delete mask, export count.
+        let (client, duration) = client_with_cube();
+        let mask = duration.apply("predicate(x > 5, 1, 0)").unwrap();
+        let count = mask.reduce(ReduceOp::Sum, "time").unwrap();
+        mask.delete().unwrap();
+
+        let c = count.cube().unwrap();
+        // Rows: [0..3], [4..7], [8..11] -> counts of values > 5: 0, 2, 4.
+        assert_eq!(c.to_dense(), vec![0.0, 2.0, 4.0]);
+
+        let dir = std::env::temp_dir().join("datacube-server");
+        std::fs::create_dir_all(&dir).unwrap();
+        count.exportnc(&dir.join("count.ncx")).unwrap();
+        assert!(dir.join("count.ncx").exists());
+
+        let stats = client.operator_stats();
+        assert_eq!(stats["apply"].0, 1);
+        assert_eq!(stats["reduce"].0, 1);
+        assert_eq!(stats["delete"].0, 1);
+        assert_eq!(stats["exportnc"].0, 1);
+    }
+
+    #[test]
+    fn chaining_keeps_intermediates_in_memory() {
+        let (client, h) = client_with_cube();
+        assert_eq!(client.resident_cubes(), 1);
+        let a = h.apply("x * 2").unwrap();
+        let _b = a.reduce(ReduceOp::Max, "time").unwrap();
+        assert_eq!(client.resident_cubes(), 3);
+        assert!(client.resident_bytes() > 0);
+        a.delete().unwrap();
+        assert_eq!(client.resident_cubes(), 2);
+    }
+
+    #[test]
+    fn intercube_between_handles() {
+        let (_client, h) = client_with_cube();
+        let base = h.reduce(ReduceOp::Min, "time").unwrap();
+        let anom = h.intercube(&base, InterOp::Sub).unwrap();
+        let c = anom.cube().unwrap();
+        for r in 0..3 {
+            assert_eq!(c.row_series(r).unwrap(), &[0.0, 1.0, 2.0, 3.0]);
+        }
+    }
+
+    #[test]
+    fn subset_and_map_series_via_handles() {
+        let (_client, h) = client_with_cube();
+        let s = h.subset("time", 2, 4).unwrap();
+        assert_eq!(s.cube().unwrap().row_series(0).unwrap(), &[2.0, 3.0]);
+        let m = h.map_series("sum", 1, |row| vec![row.iter().sum()]).unwrap();
+        assert_eq!(m.cube().unwrap().to_dense(), vec![6.0, 22.0, 38.0]);
+    }
+
+    #[test]
+    fn deleted_handle_operations_fail() {
+        let (_client, h) = client_with_cube();
+        let h2 = h.clone();
+        h.delete().unwrap();
+        assert!(h2.cube().is_err());
+        assert!(h2.reduce(ReduceOp::Max, "time").is_err());
+    }
+
+    #[test]
+    fn concat_handles() {
+        let (_client, h) = client_with_cube();
+        let other = h.apply("x + 100").unwrap();
+        let y = concat(&[&h, &other], "time").unwrap();
+        let c = y.cube().unwrap();
+        assert_eq!(c.implicit_len(), 8);
+        assert_eq!(c.row_series(0).unwrap(), &[0.0, 1.0, 2.0, 3.0, 100.0, 101.0, 102.0, 103.0]);
+    }
+
+    #[test]
+    fn audit_records_timing() {
+        let (client, h) = client_with_cube();
+        h.apply("x").unwrap();
+        let audit = client.audit();
+        assert!(audit.iter().any(|r| r.operator == "apply"));
+    }
+
+    #[test]
+    fn metadata_management() {
+        let (_client, h) = client_with_cube();
+        assert!(h.metadata().is_empty());
+        h.set_metadata("units", "K").unwrap();
+        h.set_metadata("standard_name", "air_temperature").unwrap();
+        h.set_metadata("units", "degC").unwrap(); // replace
+        let m = h.metadata();
+        assert_eq!(m["units"], "degC");
+        assert_eq!(m["standard_name"], "air_temperature");
+        // Metadata is per cube: derived cubes start clean.
+        let derived = h.apply("x").unwrap();
+        assert!(derived.metadata().is_empty());
+        // Deleting drops the metadata with the cube.
+        let h2 = h.clone();
+        h.delete().unwrap();
+        assert!(h2.set_metadata("x", "y").is_err());
+        assert!(h2.metadata().is_empty());
+    }
+
+    #[test]
+    fn info_summarizes_schema() {
+        let (_client, h) = client_with_cube();
+        let info = h.info().unwrap();
+        assert!(info.contains("'t'"));
+        assert!(info.contains("cell[3]"));
+        assert!(info.contains("time[4]*"), "implicit dims marked with *: {info}");
+        assert!(info.contains("3 rows x 4 implicit"));
+    }
+
+    #[test]
+    fn coordinate_subset_via_handle() {
+        let (_client, h) = client_with_cube();
+        let s = h.subset_by_coord("cell", 1.0, 2.0).unwrap();
+        let c = s.cube().unwrap();
+        assert_eq!(c.rows(), 2);
+        assert_eq!(c.row_series(0).unwrap(), &[4.0, 5.0, 6.0, 7.0]);
+    }
+
+    #[test]
+    fn importnc_via_client() {
+        let dir = std::env::temp_dir().join("datacube-server");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("import.ncx");
+        let (_c0, h) = client_with_cube();
+        h.exportnc(&path).unwrap();
+
+        let client = Client::connect(2);
+        let back = client.importnc(&path, "t", &["cell"], &["time"], 2).unwrap();
+        assert_eq!(back.cube().unwrap().to_dense(), h.cube().unwrap().to_dense());
+    }
+}

@@ -1,0 +1,68 @@
+//! Runtime error type.
+
+use crate::task::TaskId;
+use std::fmt;
+
+/// Errors surfaced to workflow code by the runtime.
+#[derive(Debug, Clone)]
+pub enum Error {
+    /// A task's closure returned an error (after exhausting retries).
+    TaskFailed { task: TaskId, name: String, message: String },
+    /// A fetched datum will never materialize because its producer failed
+    /// or was cancelled.
+    DataUnavailable { name: String },
+    /// The workflow was aborted by a fail-fast task failure.
+    Aborted { message: String },
+    /// A task produced a different number of outputs than it declared.
+    OutputArity { task: TaskId, declared: usize, produced: usize },
+    /// A constraint can never be satisfied by any configured worker.
+    UnsatisfiableConstraint { task_name: String },
+    /// The runtime has been shut down.
+    ShutDown,
+    /// Checkpoint log I/O or decode failure.
+    Checkpoint(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::TaskFailed { task, name, message } => {
+                write!(f, "task #{} '{name}' failed: {message}", task.0)
+            }
+            Error::DataUnavailable { name } => {
+                write!(f, "datum '{name}' unavailable (producer failed or cancelled)")
+            }
+            Error::Aborted { message } => write!(f, "workflow aborted: {message}"),
+            Error::OutputArity { task, declared, produced } => write!(
+                f,
+                "task #{} declared {declared} outputs but produced {produced}",
+                task.0
+            ),
+            Error::UnsatisfiableConstraint { task_name } => {
+                write!(f, "no worker can satisfy the constraints of task '{task_name}'")
+            }
+            Error::ShutDown => write!(f, "runtime is shut down"),
+            Error::Checkpoint(m) => write!(f, "checkpoint error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Convenience alias.
+pub type Result<T> = std::result::Result<T, Error>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_mention_key_facts() {
+        let e = Error::TaskFailed { task: TaskId(3), name: "esm".into(), message: "boom".into() };
+        let s = e.to_string();
+        assert!(s.contains("esm") && s.contains("boom") && s.contains('3'));
+        assert!(Error::ShutDown.to_string().contains("shut down"));
+        let e = Error::OutputArity { task: TaskId(1), declared: 2, produced: 0 };
+        assert!(e.to_string().contains('2') && e.to_string().contains('0'));
+    }
+}

@@ -1,0 +1,109 @@
+//! Workflow monitoring.
+//!
+//! Section 2 lists monitoring among the key WMS capabilities; the paper's
+//! Section 3 argues the WMS "can control the status of all the tasks,
+//! thus supporting error management in a uniform manner". The runtime
+//! exposes a cheap [`StatusSnapshot`] of the whole workflow and per-task
+//! views, suitable for progress bars, dashboards or watchdog logic.
+
+use crate::task::{TaskId, TaskState};
+use std::time::Duration;
+
+/// Point-in-time view of one in-flight task.
+#[derive(Debug, Clone)]
+pub struct RunningTask {
+    pub task: TaskId,
+    pub name: String,
+    pub elapsed: Duration,
+    pub attempts: u32,
+}
+
+/// Point-in-time view of the whole workflow.
+#[derive(Debug, Clone, Default)]
+pub struct StatusSnapshot {
+    pub pending: usize,
+    pub ready: usize,
+    pub running: usize,
+    pub completed: usize,
+    pub failed: usize,
+    pub cancelled: usize,
+    /// Currently executing tasks with elapsed wall time.
+    pub running_tasks: Vec<RunningTask>,
+}
+
+impl StatusSnapshot {
+    /// Total tasks submitted so far.
+    pub fn total(&self) -> usize {
+        self.pending + self.ready + self.running + self.completed + self.failed + self.cancelled
+    }
+
+    /// Fraction of tasks in a terminal state (NaN when none submitted).
+    pub fn progress(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return f64::NAN;
+        }
+        (self.completed + self.failed + self.cancelled) as f64 / total as f64
+    }
+
+    /// True when no task can make further progress.
+    pub fn is_quiescent(&self) -> bool {
+        self.pending == 0 && self.ready == 0 && self.running == 0
+    }
+
+    /// Counts a state into the snapshot (runtime hook).
+    pub(crate) fn count(&mut self, state: TaskState) {
+        match state {
+            TaskState::Pending => self.pending += 1,
+            TaskState::Ready => self.ready += 1,
+            TaskState::Running => self.running += 1,
+            TaskState::Completed => self.completed += 1,
+            TaskState::Failed => self.failed += 1,
+            TaskState::Cancelled => self.cancelled += 1,
+        }
+    }
+
+    /// One-line human-readable summary.
+    pub fn render(&self) -> String {
+        format!(
+            "{}/{} done ({} running, {} ready, {} pending, {} failed, {} cancelled)",
+            self.completed + self.failed + self.cancelled,
+            self.total(),
+            self.running,
+            self.ready,
+            self.pending,
+            self.failed,
+            self.cancelled
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_and_progress() {
+        let mut s = StatusSnapshot::default();
+        for st in [
+            TaskState::Completed,
+            TaskState::Completed,
+            TaskState::Running,
+            TaskState::Pending,
+        ] {
+            s.count(st);
+        }
+        assert_eq!(s.total(), 4);
+        assert!((s.progress() - 0.5).abs() < 1e-12);
+        assert!(!s.is_quiescent());
+        assert!(s.render().contains("2/4 done"));
+    }
+
+    #[test]
+    fn empty_snapshot() {
+        let s = StatusSnapshot::default();
+        assert_eq!(s.total(), 0);
+        assert!(s.progress().is_nan());
+        assert!(s.is_quiescent());
+    }
+}

@@ -1,0 +1,1324 @@
+//! The master–worker execution engine.
+//!
+//! A [`Runtime`] owns a pool of worker threads. The main program (the
+//! "master", in COMPSs terms) submits tasks through the builder returned by
+//! [`Runtime::task`]; the runtime derives dependencies from the data
+//! versions each task reads and writes, schedules ready tasks onto
+//! compatible workers per the configured [`Policy`], and lets the main
+//! program synchronize with [`Runtime::fetch`] (PyCOMPSs `compss_wait_on`)
+//! or [`Runtime::barrier`] (`compss_barrier`).
+
+use crate::checkpoint::CheckpointLog;
+use crate::error::{Error, Result};
+use crate::graph::{Node, TaskGraph};
+use crate::monitor::{RunningTask, StatusSnapshot};
+use crate::provenance::{ProvenanceLog, TaskRecord};
+use crate::payload::Payload;
+use crate::resources::{Constraint, WorkerProfile};
+use crate::scheduler::{pick, Policy, ReadyTask, TransferLedger};
+use crate::task::{DataRef, FailurePolicy, TaskId, TaskState};
+use parking_lot::{Condvar, Mutex};
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Runtime configuration.
+#[derive(Clone)]
+pub struct RuntimeConfig {
+    /// Worker pool profiles (one thread per entry).
+    pub workers: Vec<WorkerProfile>,
+    /// Task selection policy.
+    pub policy: Policy,
+    /// Optional checkpoint log path; completed tasks with a key are logged
+    /// and replayed on the next run.
+    pub checkpoint_path: Option<PathBuf>,
+    /// Simulated network cost: nanoseconds of delay per input byte that is
+    /// not resident on the executing worker. 0 disables the simulation
+    /// (transfers are still *counted* in the ledger either way).
+    pub transfer_ns_per_byte: u64,
+}
+
+impl RuntimeConfig {
+    /// `n` identical 4-core CPU workers, FIFO policy, no checkpointing.
+    pub fn with_cpu_workers(n: usize) -> Self {
+        RuntimeConfig {
+            workers: vec![WorkerProfile::cpu(4); n.max(1)],
+            policy: Policy::Fifo,
+            checkpoint_path: None,
+            transfer_ns_per_byte: 0,
+        }
+    }
+
+    /// Switches the scheduling policy (builder style).
+    pub fn with_policy(mut self, policy: Policy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Enables checkpointing to `path`.
+    pub fn with_checkpoint<P: Into<PathBuf>>(mut self, path: P) -> Self {
+        self.checkpoint_path = Some(path.into());
+        self
+    }
+
+    /// Sets the simulated per-byte transfer delay.
+    pub fn with_transfer_cost(mut self, ns_per_byte: u64) -> Self {
+        self.transfer_ns_per_byte = ns_per_byte;
+        self
+    }
+}
+
+/// Handle returned by task submission: the task id plus the data versions
+/// it will produce (`updates` first, then `writes`, each in call order).
+#[derive(Debug, Clone)]
+pub struct TaskHandle {
+    pub id: TaskId,
+    pub outputs: Vec<DataRef>,
+}
+
+/// Execution statistics, cheap to clone.
+#[derive(Debug, Default, Clone)]
+pub struct Metrics {
+    /// Completed task count (including checkpoint-restored).
+    pub completed: usize,
+    /// Permanently failed task count.
+    pub failed: usize,
+    /// Cancelled task count.
+    pub cancelled: usize,
+    /// Tasks restored from the checkpoint log without executing.
+    pub restored: usize,
+    /// Total retry attempts performed.
+    pub retries: usize,
+    /// Wall-clock execution time per completed task.
+    pub task_durations: Vec<(TaskId, String, Duration)>,
+    /// Tasks executed per worker index.
+    pub tasks_per_worker: Vec<u64>,
+}
+
+/// Rank/size of a task replica, for gang-scheduled (`@mpi`-style) tasks.
+/// Plain tasks see `rank = 0, size = 1`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Replica {
+    pub rank: u32,
+    pub size: u32,
+}
+
+type TaskFn<P> =
+    dyn Fn(&[Arc<P>], Replica) -> std::result::Result<Vec<P>, String> + Send + Sync;
+
+struct TaskEntry<P: Payload> {
+    name: String,
+    key: Option<String>,
+    closure: Option<Arc<TaskFn<P>>>,
+    /// Gang size: 1 = normal task, n > 1 = run n concurrent replicas
+    /// (PyCOMPSs `@mpi` integration); rank 0's outputs are the task's.
+    replicas: u32,
+    state: TaskState,
+    reads: Vec<DataRef>,
+    writes: Vec<DataRef>,
+    constraint: Constraint,
+    policy: FailurePolicy,
+    remaining_deps: usize,
+    dependents: Vec<TaskId>,
+    attempts: u32,
+    started: Option<Instant>,
+}
+
+struct DataEntry<P: Payload> {
+    value: Option<Arc<P>>,
+    failed: bool,
+    /// Worker index that produced the value (None = master / restored).
+    location: Option<usize>,
+    size: u64,
+}
+
+/// In-flight gang-scheduled task: replicas join as workers free up.
+struct GangState<P: Payload> {
+    task: TaskId,
+    size: u32,
+    joined: u32,
+    finished: u32,
+    closure: Arc<TaskFn<P>>,
+    inputs: Vec<Arc<P>>,
+    /// rank-0 outputs (the task's result) or the first error.
+    outcome: Option<std::result::Result<Vec<P>, String>>,
+}
+
+struct Inner<P: Payload> {
+    graph: TaskGraph,
+    tasks: HashMap<TaskId, TaskEntry<P>>,
+    data: HashMap<u64, DataEntry<P>>,
+    name_versions: HashMap<String, u32>,
+    next_task: u64,
+    next_data: u64,
+    ready: Vec<TaskId>,
+    running: usize,
+    aborted: Option<Error>,
+    shutdown: bool,
+    ledger: TransferLedger,
+    checkpoint: Option<CheckpointLog>,
+    metrics: Metrics,
+    provenance: ProvenanceLog,
+    /// The gang currently forming/executing (one at a time to avoid
+    /// partial-allocation deadlocks between gangs).
+    gang: Option<GangState<P>>,
+    /// Times each ready task has been passed over for locality reasons;
+    /// once it exceeds the patience threshold any worker may steal it
+    /// (bounded delay scheduling).
+    ready_passes: HashMap<TaskId, u32>,
+}
+
+struct Shared<P: Payload> {
+    state: Mutex<Inner<P>>,
+    work_cv: Condvar,
+    done_cv: Condvar,
+    policy: Policy,
+    transfer_ns_per_byte: u64,
+    /// Worker profiles; grows when workers are added at runtime
+    /// (elasticity: "scaled up, also dynamically").
+    profiles: Mutex<Vec<WorkerProfile>>,
+    /// Per-worker retirement flags (parallel to `profiles`).
+    retired: Mutex<Vec<bool>>,
+}
+
+/// The task-based workflow runtime. See the crate docs for the model.
+pub struct Runtime<P: Payload> {
+    shared: Arc<Shared<P>>,
+    handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+impl<P: Payload> Runtime<P> {
+    /// Starts the runtime and its worker threads.
+    pub fn new(config: RuntimeConfig) -> Self {
+        let checkpoint = config
+            .checkpoint_path
+            .as_ref()
+            .map(|p| CheckpointLog::open(p).expect("cannot open checkpoint log"));
+        let inner = Inner {
+            graph: TaskGraph::new(),
+            tasks: HashMap::new(),
+            data: HashMap::new(),
+            name_versions: HashMap::new(),
+            next_task: 1,
+            next_data: 1,
+            ready: Vec::new(),
+            running: 0,
+            aborted: None,
+            shutdown: false,
+            ledger: TransferLedger::default(),
+            checkpoint,
+            metrics: Metrics {
+                tasks_per_worker: vec![0; config.workers.len()],
+                ..Default::default()
+            },
+            ready_passes: HashMap::new(),
+            provenance: ProvenanceLog::new(),
+            gang: None,
+        };
+        let shared = Arc::new(Shared {
+            state: Mutex::new(inner),
+            work_cv: Condvar::new(),
+            done_cv: Condvar::new(),
+            policy: config.policy,
+            transfer_ns_per_byte: config.transfer_ns_per_byte,
+            profiles: Mutex::new(config.workers.clone()),
+            retired: Mutex::new(vec![false; config.workers.len()]),
+        });
+        let mut handles = Vec::new();
+        for (idx, profile) in config.workers.iter().enumerate() {
+            let sh = Arc::clone(&shared);
+            let profile = profile.clone();
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("dataflow-worker-{idx}"))
+                    .spawn(move || worker_loop(sh, idx, profile))
+                    .expect("cannot spawn worker thread"),
+            );
+        }
+        Runtime { shared, handles: Mutex::new(handles) }
+    }
+
+    /// Starts building a task named `name` (the function name that colors
+    /// the Figure-3 graph).
+    pub fn task(&self, name: &str) -> TaskBuilder<'_, P> {
+        TaskBuilder {
+            rt: self,
+            name: name.to_string(),
+            key: None,
+            reads: Vec::new(),
+            updates: Vec::new(),
+            writes: Vec::new(),
+            constraint: Constraint::any(),
+            policy: FailurePolicy::default(),
+            replicas: 1,
+        }
+    }
+
+    /// Blocks until the datum is available and returns it.
+    pub fn fetch(&self, data: &DataRef) -> Result<Arc<P>> {
+        let mut st = self.shared.state.lock();
+        loop {
+            let entry = st.data.get(&data.id).ok_or_else(|| Error::DataUnavailable {
+                name: data.to_string(),
+            })?;
+            if let Some(v) = &entry.value {
+                return Ok(Arc::clone(v));
+            }
+            if entry.failed {
+                return Err(Error::DataUnavailable { name: data.to_string() });
+            }
+            if let Some(e) = &st.aborted {
+                return Err(e.clone());
+            }
+            if st.shutdown {
+                return Err(Error::ShutDown);
+            }
+            self.shared.done_cv.wait(&mut st);
+        }
+    }
+
+    /// Blocks until every submitted task reached a terminal state. Returns
+    /// the abort error if a fail-fast failure stopped the workflow;
+    /// ignored-policy failures do *not* fail the barrier.
+    pub fn barrier(&self) -> Result<()> {
+        let mut st = self.shared.state.lock();
+        loop {
+            let pending = st
+                .tasks
+                .values()
+                .any(|t| !t.state.is_terminal());
+            if !pending {
+                return match &st.aborted {
+                    Some(e) => Err(e.clone()),
+                    None => Ok(()),
+                };
+            }
+            if st.shutdown {
+                return Err(Error::ShutDown);
+            }
+            self.shared.done_cv.wait(&mut st);
+        }
+    }
+
+    /// Current state of a task.
+    pub fn task_state(&self, id: TaskId) -> Option<TaskState> {
+        self.shared.state.lock().tasks.get(&id).map(|t| t.state)
+    }
+
+    /// Snapshot of execution metrics.
+    pub fn metrics(&self) -> Metrics {
+        self.shared.state.lock().metrics.clone()
+    }
+
+    /// Snapshot of the data-transfer ledger.
+    pub fn ledger(&self) -> TransferLedger {
+        self.shared.state.lock().ledger.clone()
+    }
+
+    /// Snapshot of the provenance log (terminal tasks only).
+    pub fn provenance(&self) -> ProvenanceLog {
+        self.shared.state.lock().provenance.clone()
+    }
+
+    /// Point-in-time status of the whole workflow (monitoring).
+    pub fn status(&self) -> StatusSnapshot {
+        let st = self.shared.state.lock();
+        let mut snap = StatusSnapshot::default();
+        for (id, t) in &st.tasks {
+            snap.count(t.state);
+            if t.state == TaskState::Running {
+                snap.running_tasks.push(RunningTask {
+                    task: *id,
+                    name: t.name.clone(),
+                    elapsed: t.started.map(|s| s.elapsed()).unwrap_or_default(),
+                    attempts: t.attempts,
+                });
+            }
+        }
+        snap
+    }
+
+    /// DOT rendering of the task graph (Figure 3).
+    pub fn graph_dot(&self) -> String {
+        self.shared.state.lock().graph.to_dot()
+    }
+
+    /// Structure stats of the graph: `(tasks, edges, critical path len)`.
+    pub fn graph_stats(&self) -> (usize, usize, usize) {
+        let st = self.shared.state.lock();
+        (st.graph.len(), st.graph.edges().len(), st.graph.critical_path_len())
+    }
+
+    /// Per-function task counts (legend of Figure 3).
+    pub fn function_counts(&self) -> std::collections::BTreeMap<String, usize> {
+        self.shared.state.lock().graph.function_counts()
+    }
+
+    /// Adds a worker to the pool at runtime (elasticity: the paper notes
+    /// Ophidia's computing components "can be scaled up, also dynamically";
+    /// the same applies to the workflow runtime). Returns the new worker's
+    /// index.
+    pub fn add_worker(&self, profile: WorkerProfile) -> usize {
+        let idx = {
+            let mut profiles = self.shared.profiles.lock();
+            let mut retired = self.shared.retired.lock();
+            profiles.push(profile.clone());
+            retired.push(false);
+            profiles.len() - 1
+        };
+        // Grow the metrics vector before the new worker can touch it
+        // (locks taken one at a time: workers hold state before retired).
+        self.shared.state.lock().metrics.tasks_per_worker.push(0);
+        let sh = Arc::clone(&self.shared);
+        let handle = std::thread::Builder::new()
+            .name(format!("dataflow-worker-{idx}"))
+            .spawn(move || worker_loop(sh, idx, profile))
+            .expect("cannot spawn worker thread");
+        self.handles.lock().push(handle);
+        self.shared.work_cv.notify_all();
+        idx
+    }
+
+    /// Retires a worker: it exits after its current task. Tasks whose
+    /// constraints only the retired worker satisfied will stall (the
+    /// caller owns that trade-off, as an operator draining a node does).
+    pub fn retire_worker(&self, idx: usize) {
+        if let Some(flag) = self.shared.retired.lock().get_mut(idx) {
+            *flag = true;
+        }
+        self.shared.work_cv.notify_all();
+    }
+
+    /// Number of non-retired workers.
+    pub fn active_workers(&self) -> usize {
+        self.shared.retired.lock().iter().filter(|&&r| !r).count()
+    }
+
+    /// Stops the workers and joins them. Pending tasks are cancelled.
+    pub fn shutdown(&self) {
+        {
+            let mut st = self.shared.state.lock();
+            st.shutdown = true;
+            let ids: Vec<TaskId> = st
+                .tasks
+                .iter()
+                .filter(|(_, t)| !t.state.is_terminal() && t.state != TaskState::Running)
+                .map(|(id, _)| *id)
+                .collect();
+            for id in ids {
+                cancel_cascade(&mut st, id);
+            }
+            self.shared.work_cv.notify_all();
+            self.shared.done_cv.notify_all();
+        }
+        let mut handles = self.handles.lock();
+        for h in handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl<P: Payload> Drop for Runtime<P> {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Builder for one task submission. See [`Runtime::task`].
+pub struct TaskBuilder<'rt, P: Payload> {
+    rt: &'rt Runtime<P>,
+    name: String,
+    key: Option<String>,
+    reads: Vec<DataRef>,
+    updates: Vec<DataRef>,
+    writes: Vec<String>,
+    constraint: Constraint,
+    policy: FailurePolicy,
+    replicas: u32,
+}
+
+impl<'rt, P: Payload> TaskBuilder<'rt, P> {
+    /// Stable checkpoint key. Tasks without a key are never checkpointed.
+    pub fn key(mut self, key: &str) -> Self {
+        self.key = Some(key.to_string());
+        self
+    }
+
+    /// IN parameters: data versions this task consumes.
+    pub fn reads(mut self, refs: &[DataRef]) -> Self {
+        self.reads.extend(refs.iter().cloned());
+        self
+    }
+
+    /// INOUT parameters: consumed *and* re-produced as a new version of the
+    /// same name. The closure receives the current value as an input (after
+    /// all `reads`) and must return the new value (before all `writes`).
+    pub fn updates(mut self, refs: &[DataRef]) -> Self {
+        self.updates.extend(refs.iter().cloned());
+        self
+    }
+
+    /// OUT parameters: names of data this task produces (new versions).
+    pub fn writes(mut self, names: &[&str]) -> Self {
+        self.writes.extend(names.iter().map(|s| s.to_string()));
+        self
+    }
+
+    /// Placement constraint (`@constraint` decorator).
+    pub fn constraint(mut self, c: Constraint) -> Self {
+        self.constraint = c;
+        self
+    }
+
+    /// Failure policy (`on_failure` clause).
+    pub fn on_failure(mut self, p: FailurePolicy) -> Self {
+        self.policy = p;
+        self
+    }
+
+    /// Requests gang execution with `n` concurrent replicas (the PyCOMPSs
+    /// `@mpi` decorator analog): the task starts once `n` workers are
+    /// available; the closure runs on each with its [`Replica`] rank, and
+    /// rank 0's outputs become the task's outputs. `n` must not exceed the
+    /// worker-pool size (checked at submission).
+    pub fn replicated(mut self, n: u32) -> Self {
+        self.replicas = n.max(1);
+        self
+    }
+
+    /// Submits a gang task whose body receives its replica rank/size.
+    /// Combine with [`TaskBuilder::replicated`].
+    pub fn run_replicated<F>(self, f: F) -> Result<TaskHandle>
+    where
+        F: Fn(&[Arc<P>], Replica) -> std::result::Result<Vec<P>, String> + Send + Sync + 'static,
+    {
+        self.submit(Arc::new(f))
+    }
+
+    /// Submits the task with its body. Inputs arrive as
+    /// `[reads..., updates...]`; outputs must be returned as
+    /// `[updates' new values..., writes' values...]`.
+    pub fn run<F>(self, f: F) -> Result<TaskHandle>
+    where
+        F: Fn(&[Arc<P>]) -> std::result::Result<Vec<P>, String> + Send + Sync + 'static,
+    {
+        self.submit(Arc::new(move |inputs: &[Arc<P>], _replica: Replica| f(inputs)))
+    }
+
+    fn submit(self, f: Arc<TaskFn<P>>) -> Result<TaskHandle> {
+        let shared = &self.rt.shared;
+        {
+            let profiles = shared.profiles.lock();
+            let retired = shared.retired.lock();
+            let active = || {
+                profiles
+                    .iter()
+                    .zip(retired.iter())
+                    .filter(|(_, &r)| !r)
+                    .map(|(p, _)| p)
+            };
+            // Reject constraints no active worker can ever satisfy.
+            if !active().any(|p| p.satisfies(&self.constraint)) {
+                return Err(Error::UnsatisfiableConstraint { task_name: self.name });
+            }
+            // A gang larger than the active pool would never form.
+            if self.replicas as usize > active().count() {
+                return Err(Error::UnsatisfiableConstraint { task_name: self.name });
+            }
+        }
+
+        let mut st = shared.state.lock();
+        if st.shutdown {
+            return Err(Error::ShutDown);
+        }
+        let id = TaskId(st.next_task);
+        st.next_task += 1;
+
+        // Allocate new versions for updates (same name) and writes.
+        let mut outputs = Vec::with_capacity(self.updates.len() + self.writes.len());
+        let alloc = |st: &mut Inner<P>, name: &str| -> DataRef {
+            let ver = st.name_versions.entry(name.to_string()).or_insert(0);
+            *ver += 1;
+            let r = DataRef { id: st.next_data, name: name.to_string(), version: *ver };
+            st.next_data += 1;
+            st.data.insert(
+                r.id,
+                DataEntry { value: None, failed: false, location: None, size: 0 },
+            );
+            r
+        };
+        for u in &self.updates {
+            outputs.push(alloc(&mut st, &u.name));
+        }
+        for w in &self.writes {
+            outputs.push(alloc(&mut st, w));
+        }
+
+        // All inputs: reads then updates' current versions.
+        let mut all_reads = self.reads.clone();
+        all_reads.extend(self.updates.iter().cloned());
+
+        let preds = st.graph.add_node(Node {
+            id,
+            name: self.name.clone(),
+            reads: all_reads.clone(),
+            writes: outputs.clone(),
+        });
+
+        // Count unfinished predecessors; detect already-failed ones.
+        let mut remaining = 0usize;
+        let mut doomed = false;
+        for p in &preds {
+            match st.tasks.get(p).map(|t| t.state) {
+                Some(s) if s.is_terminal_failure() => doomed = true,
+                Some(TaskState::Completed) => {}
+                Some(_) => remaining += 1,
+                None => {}
+            }
+        }
+
+        let entry = TaskEntry {
+            name: self.name.clone(),
+            key: self.key.clone(),
+            closure: Some(f),
+            replicas: self.replicas,
+            state: TaskState::Pending,
+            reads: all_reads,
+            writes: outputs.clone(),
+            constraint: self.constraint,
+            policy: self.policy,
+            remaining_deps: remaining,
+            dependents: Vec::new(),
+            attempts: 0,
+            started: None,
+        };
+        st.tasks.insert(id, entry);
+        for p in &preds {
+            if let Some(t) = st.tasks.get_mut(p) {
+                if !t.state.is_terminal() {
+                    t.dependents.push(id);
+                }
+            }
+        }
+
+        if doomed {
+            cancel_cascade(&mut st, id);
+            shared.done_cv.notify_all();
+            return Ok(TaskHandle { id, outputs });
+        }
+
+        // Checkpoint replay: restore outputs without executing.
+        let restored = self
+            .key
+            .as_deref()
+            .and_then(|k| st.checkpoint.as_ref().and_then(|c| c.lookup(k).cloned()));
+        if let Some(blobs) = restored {
+            if blobs.len() == outputs.len() {
+                let decoded: Option<Vec<P>> = blobs.iter().map(|b| P::decode(b)).collect();
+                if let Some(values) = decoded {
+                    for (r, v) in outputs.iter().zip(values) {
+                        let size = v.approx_size();
+                        if let Some(d) = st.data.get_mut(&r.id) {
+                            d.value = Some(Arc::new(v));
+                            d.location = None;
+                            d.size = size;
+                        }
+                    }
+                    if let Some(t) = st.tasks.get_mut(&id) {
+                        t.state = TaskState::Completed;
+                        t.closure = None;
+                    }
+                    st.metrics.completed += 1;
+                    st.metrics.restored += 1;
+                    record_provenance(&mut st, id, None);
+                    shared.done_cv.notify_all();
+                    return Ok(TaskHandle { id, outputs });
+                }
+            }
+            // Malformed/arity-mismatched record: fall through and execute.
+        }
+
+        if remaining == 0 {
+            if let Some(t) = st.tasks.get_mut(&id) {
+                t.state = TaskState::Ready;
+            }
+            st.ready.push(id);
+            shared.work_cv.notify_all();
+        }
+        Ok(TaskHandle { id, outputs })
+    }
+}
+
+/// Appends a provenance record for a task that just reached a terminal
+/// state.
+fn record_provenance<P: Payload>(st: &mut Inner<P>, id: TaskId, worker: Option<usize>) {
+    let Some(t) = st.tasks.get(&id) else { return };
+    st.provenance.record(TaskRecord {
+        task: id,
+        name: t.name.clone(),
+        used: t.reads.clone(),
+        generated: t.writes.clone(),
+        worker,
+        started: t.started.map(|_| std::time::SystemTime::now()),
+        duration: t.started.map(|s| s.elapsed()),
+        attempts: t.attempts.max(1),
+        final_state: t.state,
+    });
+}
+
+/// Marks a datum failed and cancels the subtree of tasks that can no longer
+/// run. `root` itself is marked `Cancelled` unless already terminal.
+fn cancel_cascade<P: Payload>(st: &mut Inner<P>, root: TaskId) {
+    let mut stack = vec![root];
+    while let Some(id) = stack.pop() {
+        let (writes, dependents) = {
+            let t = match st.tasks.get_mut(&id) {
+                Some(t) => t,
+                None => continue,
+            };
+            if t.state.is_terminal() {
+                continue;
+            }
+            t.state = TaskState::Cancelled;
+            t.closure = None;
+            (t.writes.clone(), t.dependents.clone())
+        };
+        st.metrics.cancelled += 1;
+        record_provenance(st, id, None);
+        for w in &writes {
+            if let Some(d) = st.data.get_mut(&w.id) {
+                d.failed = true;
+            }
+        }
+        st.ready.retain(|r| *r != id);
+        stack.extend(dependents);
+    }
+}
+
+/// Marks a *failed* task's outputs poisoned and cancels its dependents.
+fn fail_task<P: Payload>(st: &mut Inner<P>, id: TaskId) {
+    let (writes, dependents) = {
+        let t = st.tasks.get_mut(&id).expect("failing unknown task");
+        t.state = TaskState::Failed;
+        t.closure = None;
+        (t.writes.clone(), t.dependents.clone())
+    };
+    st.metrics.failed += 1;
+    record_provenance(st, id, None);
+    for w in &writes {
+        if let Some(d) = st.data.get_mut(&w.id) {
+            d.failed = true;
+        }
+    }
+    for dep in dependents {
+        cancel_cascade(st, dep);
+    }
+}
+
+fn worker_loop<P: Payload>(shared: Arc<Shared<P>>, worker_idx: usize, profile: WorkerProfile) {
+    let mut st = shared.state.lock();
+    loop {
+        if st.shutdown {
+            return;
+        }
+        if shared.retired.lock().get(worker_idx).copied().unwrap_or(false) {
+            return; // retired: exit after finishing the current task
+        }
+
+        // Gang-scheduled tasks: joining a forming gang takes priority over
+        // picking new work, so gangs assemble as fast as workers free up.
+        let join = st.gang.as_mut().and_then(|g| {
+            if g.joined < g.size {
+                let rank = g.joined;
+                g.joined += 1;
+                Some((g.task, rank, g.size, Arc::clone(&g.closure), g.inputs.clone()))
+            } else {
+                None
+            }
+        });
+        if let Some((gang_task, rank, size, closure, inputs)) = join {
+            st.running += 1;
+            drop(st);
+            let result = closure(&inputs, Replica { rank, size });
+            st = shared.state.lock();
+            st.running -= 1;
+            st.metrics.tasks_per_worker[worker_idx] += 1;
+            let complete = {
+                let g = st.gang.as_mut().expect("gang vanished mid-flight");
+                debug_assert_eq!(g.task, gang_task);
+                g.finished += 1;
+                match result {
+                    Ok(outs) if rank == 0 => {
+                        if !matches!(g.outcome, Some(Err(_))) {
+                            g.outcome = Some(Ok(outs));
+                        }
+                    }
+                    Ok(_) => {}
+                    Err(m) => g.outcome = Some(Err(m)),
+                }
+                g.finished == g.size
+            };
+            if complete {
+                let g = st.gang.take().expect("gang vanished at completion");
+                let outcome = g
+                    .outcome
+                    .unwrap_or_else(|| Err("gang produced no rank-0 output".into()));
+                finish_task(&shared, &mut st, gang_task, worker_idx, outcome);
+                shared.work_cv.notify_all();
+            }
+            continue;
+        }
+
+        // Build the policy snapshot of ready tasks.
+        let gang_busy = st.gang.is_some();
+        let snapshot: Vec<ReadyTask> = st
+            .ready
+            .iter()
+            .filter(|id| !(gang_busy && st.tasks[id].replicas > 1))
+            .map(|id| {
+                let t = &st.tasks[id];
+                let input_locations = t
+                    .reads
+                    .iter()
+                    .map(|r| {
+                        let d = &st.data[&r.id];
+                        (d.location, d.size)
+                    })
+                    .collect();
+                ReadyTask { task: *id, constraint: t.constraint, input_locations }
+            })
+            .collect();
+
+        let picked = match shared.policy {
+            Policy::Fifo => pick(Policy::Fifo, worker_idx, &profile, &snapshot),
+            Policy::Locality => {
+                // Bounded delay scheduling: prefer a task with inputs on
+                // this worker; otherwise take one with unplaced inputs;
+                // otherwise pass (bumping patience) and briefly wait so the
+                // right worker gets a chance, stealing only after the task
+                // has been passed over enough times.
+                const PATIENCE: u32 = 3;
+                let best = pick(Policy::Locality, worker_idx, &profile, &snapshot);
+                match best {
+                    Some(i)
+                        if snapshot[i].local_bytes(worker_idx) > 0
+                            || snapshot[i]
+                                .input_locations
+                                .iter()
+                                .all(|(loc, _)| loc.is_none()) =>
+                    {
+                        Some(i)
+                    }
+                    Some(_) => {
+                        let mut steal: Option<usize> = None;
+                        for (i, t) in snapshot.iter().enumerate() {
+                            if !profile.satisfies(&t.constraint) {
+                                continue;
+                            }
+                            let passes = st.ready_passes.entry(t.task).or_insert(0);
+                            *passes += 1;
+                            if *passes > PATIENCE && steal.is_none() {
+                                steal = Some(i);
+                            }
+                        }
+                        steal
+                    }
+                    None => None,
+                }
+            }
+        };
+        let Some(ready_idx) = picked else {
+            if shared.policy == Policy::Locality && !snapshot.is_empty() {
+                // A compatible task may exist but is being delayed for
+                // locality; re-check soon even without a notification.
+                shared
+                    .work_cv
+                    .wait_for(&mut st, Duration::from_micros(300));
+            } else {
+                shared.work_cv.wait(&mut st);
+            }
+            continue;
+        };
+
+        let id = snapshot[ready_idx].task;
+        st.ready.retain(|r| *r != id);
+        st.ready_passes.remove(&id);
+
+        // A gang task forms the gang instead of executing inline; this
+        // worker then loops back and joins as rank 0.
+        let is_gang = st.tasks.get(&id).map(|t| t.replicas > 1).unwrap_or(false);
+        if is_gang {
+            let t = st.tasks.get_mut(&id).expect("ready gang task missing");
+            t.state = TaskState::Running;
+            t.started = Some(Instant::now());
+            let closure = Arc::clone(t.closure.as_ref().expect("gang task without closure"));
+            let size = t.replicas;
+            let reads = t.reads.clone();
+            let inputs: Vec<Arc<P>> = reads
+                .iter()
+                .map(|r| {
+                    Arc::clone(
+                        st.data[&r.id]
+                            .value
+                            .as_ref()
+                            .expect("ready task with unmaterialized input"),
+                    )
+                })
+                .collect();
+            st.gang = Some(GangState {
+                task: id,
+                size,
+                joined: 0,
+                finished: 0,
+                closure,
+                inputs,
+                outcome: None,
+            });
+            let locs = snapshot[ready_idx].input_locations.clone();
+            st.ledger.record(worker_idx, &locs);
+            shared.work_cv.notify_all();
+            continue;
+        }
+        let (closure, inputs, input_locations) = {
+            let remote_snapshot = snapshot[ready_idx].input_locations.clone();
+            let t = st.tasks.get_mut(&id).expect("ready task missing");
+            t.state = TaskState::Running;
+            t.started = Some(Instant::now());
+            let closure = Arc::clone(t.closure.as_ref().expect("running task without closure"));
+            let reads = t.reads.clone();
+            let inputs: Vec<Arc<P>> = reads
+                .iter()
+                .map(|r| {
+                    Arc::clone(
+                        st.data[&r.id]
+                            .value
+                            .as_ref()
+                            .expect("ready task with unmaterialized input"),
+                    )
+                })
+                .collect();
+            (closure, inputs, remote_snapshot)
+        };
+        st.running += 1;
+        st.ledger.record(worker_idx, &input_locations);
+        let remote_bytes: u64 = input_locations
+            .iter()
+            .filter(|(l, _)| *l != Some(worker_idx))
+            .map(|(_, b)| *b)
+            .sum();
+
+        drop(st);
+
+        // Simulated transfer latency (bounded to keep tests sane).
+        if shared.transfer_ns_per_byte > 0 && remote_bytes > 0 {
+            let ns = (remote_bytes.saturating_mul(shared.transfer_ns_per_byte)).min(2_000_000_000);
+            std::thread::sleep(Duration::from_nanos(ns));
+        }
+
+        let result = closure(&inputs, Replica { rank: 0, size: 1 });
+
+        st = shared.state.lock();
+        st.running -= 1;
+        st.metrics.tasks_per_worker[worker_idx] += 1;
+        finish_task(&shared, &mut st, id, worker_idx, result);
+    }
+}
+
+/// Terminal handling shared by plain tasks and gangs: publish outputs /
+/// apply the failure policy, wake dependents and waiters.
+fn finish_task<P: Payload>(
+    shared: &Shared<P>,
+    st: &mut Inner<P>,
+    id: TaskId,
+    worker_idx: usize,
+    result: std::result::Result<Vec<P>, String>,
+) {
+    let declared_outputs = st.tasks.get(&id).map(|t| t.writes.len()).unwrap_or(0);
+    match result {
+        Ok(outs) if outs.len() == declared_outputs => {
+                let (writes, key, name, started) = {
+                    let t = st.tasks.get_mut(&id).expect("completed task missing");
+                    t.state = TaskState::Completed;
+                    t.closure = None;
+                    (t.writes.clone(), t.key.clone(), t.name.clone(), t.started)
+                };
+                // Checkpoint before publishing (a crash after publishing but
+                // before logging only costs a re-execution).
+                if let Some(k) = &key {
+                    let blobs: Vec<Vec<u8>> = outs.iter().map(|o| o.encode()).collect();
+                    if let Some(log) = st.checkpoint.as_mut() {
+                        let _ = log.append(k, &blobs);
+                    }
+                }
+                for (r, v) in writes.iter().zip(outs) {
+                    let size = v.approx_size();
+                    if let Some(d) = st.data.get_mut(&r.id) {
+                        d.value = Some(Arc::new(v));
+                        d.location = Some(worker_idx);
+                        d.size = size;
+                    }
+                }
+                st.metrics.completed += 1;
+                if let Some(start) = started {
+                    st.metrics.task_durations.push((id, name, start.elapsed()));
+                }
+                record_provenance(st, id, Some(worker_idx));
+                // Wake dependents.
+                let deps = st.tasks[&id].dependents.clone();
+                for dep in deps {
+                    if let Some(t) = st.tasks.get_mut(&dep) {
+                        if t.state == TaskState::Pending {
+                            t.remaining_deps = t.remaining_deps.saturating_sub(1);
+                            if t.remaining_deps == 0 {
+                                t.state = TaskState::Ready;
+                                st.ready.push(dep);
+                            }
+                        }
+                    }
+                }
+                shared.work_cv.notify_all();
+                shared.done_cv.notify_all();
+            }
+            other => {
+                let message = match other {
+                    Ok(outs) => format!(
+                        "output arity mismatch: declared {declared_outputs}, produced {}",
+                        outs.len()
+                    ),
+                    Err(m) => m,
+                };
+                let (policy, attempts, name) = {
+                    let t = st.tasks.get_mut(&id).expect("failed task missing");
+                    t.attempts += 1;
+                    (t.policy, t.attempts, t.name.clone())
+                };
+                let retry = matches!(policy, FailurePolicy::Retry { max_retries } if attempts <= max_retries);
+                if retry {
+                    st.metrics.retries += 1;
+                    if let Some(t) = st.tasks.get_mut(&id) {
+                        t.state = TaskState::Ready;
+                    }
+                    st.ready.push(id);
+                    shared.work_cv.notify_all();
+                } else {
+                    match policy {
+                        FailurePolicy::IgnoreCancelSuccessors => {
+                            fail_task(st, id);
+                        }
+                        _ => {
+                            // Fail fast: poison everything still pending.
+                            fail_task(st, id);
+                            st.aborted = Some(Error::TaskFailed { task: id, name, message });
+                            let pending: Vec<TaskId> = st
+                                .tasks
+                                .iter()
+                                .filter(|(_, t)| !t.state.is_terminal() && t.state != TaskState::Running)
+                                .map(|(i, _)| *i)
+                                .collect();
+                            for p in pending {
+                                cancel_cascade(st, p);
+                            }
+                            st.ready.clear();
+                        }
+                    }
+                    shared.work_cv.notify_all();
+                    shared.done_cv.notify_all();
+                }
+            }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::payload::Bytes;
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    fn rt(n: usize) -> Runtime<Bytes> {
+        Runtime::new(RuntimeConfig::with_cpu_workers(n))
+    }
+
+    #[test]
+    fn single_task_runs() {
+        let rt = rt(2);
+        let h = rt
+            .task("answer")
+            .writes(&["x"])
+            .run(|_| Ok(vec![Bytes::from_u64(42)]))
+            .unwrap();
+        assert_eq!(rt.fetch(&h.outputs[0]).unwrap().as_u64(), Some(42));
+        rt.barrier().unwrap();
+        assert_eq!(rt.task_state(h.id), Some(TaskState::Completed));
+    }
+
+    #[test]
+    fn chain_dependencies_resolve_in_order() {
+        let rt = rt(4);
+        let a = rt.task("a").writes(&["v"]).run(|_| Ok(vec![Bytes::from_u64(1)])).unwrap();
+        let mut last = a.outputs[0].clone();
+        for _ in 0..10 {
+            let h = rt
+                .task("inc")
+                .reads(&[last.clone()])
+                .writes(&["v"])
+                .run(|inp| Ok(vec![Bytes::from_u64(inp[0].as_u64().unwrap() + 1)]))
+                .unwrap();
+            last = h.outputs[0].clone();
+        }
+        assert_eq!(rt.fetch(&last).unwrap().as_u64(), Some(11));
+        assert_eq!(last.version, 11);
+    }
+
+    #[test]
+    fn independent_tasks_run_concurrently() {
+        let rt = rt(4);
+        let live = Arc::new(AtomicU32::new(0));
+        let peak = Arc::new(AtomicU32::new(0));
+        for _ in 0..8 {
+            let live = Arc::clone(&live);
+            let peak = Arc::clone(&peak);
+            rt.task("sleepy")
+                .writes(&["out"])
+                .run(move |_| {
+                    let now = live.fetch_add(1, Ordering::SeqCst) + 1;
+                    peak.fetch_max(now, Ordering::SeqCst);
+                    std::thread::sleep(Duration::from_millis(30));
+                    live.fetch_sub(1, Ordering::SeqCst);
+                    Ok(vec![Bytes::empty()])
+                })
+                .unwrap();
+        }
+        rt.barrier().unwrap();
+        assert!(
+            peak.load(Ordering::SeqCst) >= 3,
+            "expected >=3 concurrent tasks, saw {}",
+            peak.load(Ordering::SeqCst)
+        );
+    }
+
+    #[test]
+    fn updates_create_new_versions_and_pass_value() {
+        let rt = rt(2);
+        let init = rt.task("init").writes(&["state"]).run(|_| Ok(vec![Bytes::from_u64(5)])).unwrap();
+        let step = rt
+            .task("step")
+            .updates(&[init.outputs[0].clone()])
+            .run(|inp| Ok(vec![Bytes::from_u64(inp[0].as_u64().unwrap() * 3)]))
+            .unwrap();
+        let out = &step.outputs[0];
+        assert_eq!(out.name, "state");
+        assert_eq!(out.version, 2);
+        assert_eq!(rt.fetch(out).unwrap().as_u64(), Some(15));
+    }
+
+    #[test]
+    fn fail_fast_aborts_workflow_and_cancels_successors() {
+        let rt = rt(2);
+        let bad = rt
+            .task("bad")
+            .writes(&["x"])
+            .run(|_| Err("kaboom".to_string()))
+            .unwrap();
+        let dep = rt
+            .task("dep")
+            .reads(&[bad.outputs[0].clone()])
+            .writes(&["y"])
+            .run(|_| Ok(vec![Bytes::empty()]))
+            .unwrap();
+        let err = rt.barrier().unwrap_err();
+        assert!(matches!(err, Error::TaskFailed { .. }));
+        assert_eq!(rt.task_state(bad.id), Some(TaskState::Failed));
+        assert_eq!(rt.task_state(dep.id), Some(TaskState::Cancelled));
+        assert!(rt.fetch(&dep.outputs[0]).is_err());
+    }
+
+    #[test]
+    fn retry_policy_eventually_succeeds() {
+        let rt = rt(2);
+        let tries = Arc::new(AtomicU32::new(0));
+        let t2 = Arc::clone(&tries);
+        let h = rt
+            .task("flaky")
+            .writes(&["x"])
+            .on_failure(FailurePolicy::Retry { max_retries: 3 })
+            .run(move |_| {
+                if t2.fetch_add(1, Ordering::SeqCst) < 2 {
+                    Err("transient".into())
+                } else {
+                    Ok(vec![Bytes::from_u64(9)])
+                }
+            })
+            .unwrap();
+        assert_eq!(rt.fetch(&h.outputs[0]).unwrap().as_u64(), Some(9));
+        rt.barrier().unwrap();
+        assert_eq!(tries.load(Ordering::SeqCst), 3);
+        assert_eq!(rt.metrics().retries, 2);
+    }
+
+    #[test]
+    fn retry_exhaustion_fails_fast() {
+        let rt = rt(2);
+        rt.task("always-bad")
+            .writes(&["x"])
+            .on_failure(FailurePolicy::Retry { max_retries: 2 })
+            .run(|_| Err("permanent".into()))
+            .unwrap();
+        assert!(rt.barrier().is_err());
+    }
+
+    #[test]
+    fn ignore_policy_cancels_subtree_but_workflow_continues() {
+        let rt = rt(2);
+        let bad = rt
+            .task("bad")
+            .writes(&["poisoned"])
+            .on_failure(FailurePolicy::IgnoreCancelSuccessors)
+            .run(|_| Err("nope".into()))
+            .unwrap();
+        let child = rt
+            .task("child")
+            .reads(&[bad.outputs[0].clone()])
+            .writes(&["c"])
+            .run(|_| Ok(vec![Bytes::empty()]))
+            .unwrap();
+        let ok = rt.task("independent").writes(&["ok"]).run(|_| Ok(vec![Bytes::from_u64(1)])).unwrap();
+        rt.barrier().unwrap(); // no abort
+        assert_eq!(rt.task_state(bad.id), Some(TaskState::Failed));
+        assert_eq!(rt.task_state(child.id), Some(TaskState::Cancelled));
+        assert_eq!(rt.task_state(ok.id), Some(TaskState::Completed));
+        assert_eq!(rt.fetch(&ok.outputs[0]).unwrap().as_u64(), Some(1));
+    }
+
+    #[test]
+    fn submitting_after_ignored_failure_cancels_immediately() {
+        let rt = rt(2);
+        let bad = rt
+            .task("bad")
+            .writes(&["p"])
+            .on_failure(FailurePolicy::IgnoreCancelSuccessors)
+            .run(|_| Err("nope".into()))
+            .unwrap();
+        rt.barrier().unwrap();
+        // Submitted *after* the failure: must be cancelled at submission.
+        let late = rt
+            .task("late")
+            .reads(&[bad.outputs[0].clone()])
+            .writes(&["l"])
+            .run(|_| Ok(vec![Bytes::empty()]))
+            .unwrap();
+        rt.barrier().unwrap();
+        assert_eq!(rt.task_state(late.id), Some(TaskState::Cancelled));
+    }
+
+    #[test]
+    fn unsatisfiable_constraint_rejected_at_submission() {
+        let rt = rt(2); // CPU-only pool
+        let err = rt
+            .task("needs-gpu")
+            .constraint(Constraint::gpu())
+            .writes(&["x"])
+            .run(|_| Ok(vec![Bytes::empty()]))
+            .unwrap_err();
+        assert!(matches!(err, Error::UnsatisfiableConstraint { .. }));
+    }
+
+    #[test]
+    fn gpu_task_lands_on_gpu_worker() {
+        let config = RuntimeConfig {
+            workers: vec![WorkerProfile::cpu(4), WorkerProfile::gpu(4)],
+            policy: Policy::Fifo,
+            checkpoint_path: None,
+            transfer_ns_per_byte: 0,
+        };
+        let rt: Runtime<Bytes> = Runtime::new(config);
+        for _ in 0..4 {
+            rt.task("infer")
+                .constraint(Constraint::gpu())
+                .writes(&["pred"])
+                .run(|_| Ok(vec![Bytes::empty()]))
+                .unwrap();
+        }
+        rt.barrier().unwrap();
+        let m = rt.metrics();
+        assert_eq!(m.tasks_per_worker[0], 0, "CPU worker must not run GPU tasks");
+        assert_eq!(m.tasks_per_worker[1], 4);
+    }
+
+    #[test]
+    fn graph_reflects_diamond() {
+        let rt = rt(2);
+        let a = rt.task("src").writes(&["a"]).run(|_| Ok(vec![Bytes::from_u64(1)])).unwrap();
+        let b = rt
+            .task("left")
+            .reads(&[a.outputs[0].clone()])
+            .writes(&["b"])
+            .run(|i| Ok(vec![Bytes::from_u64(i[0].as_u64().unwrap() + 1)]))
+            .unwrap();
+        let c = rt
+            .task("right")
+            .reads(&[a.outputs[0].clone()])
+            .writes(&["c"])
+            .run(|i| Ok(vec![Bytes::from_u64(i[0].as_u64().unwrap() + 2)]))
+            .unwrap();
+        let d = rt
+            .task("sink")
+            .reads(&[b.outputs[0].clone(), c.outputs[0].clone()])
+            .writes(&["d"])
+            .run(|i| {
+                Ok(vec![Bytes::from_u64(i[0].as_u64().unwrap() + i[1].as_u64().unwrap())])
+            })
+            .unwrap();
+        assert_eq!(rt.fetch(&d.outputs[0]).unwrap().as_u64(), Some(5));
+        let (tasks, edges, cp) = rt.graph_stats();
+        assert_eq!((tasks, edges, cp), (4, 4, 3));
+        let dot = rt.graph_dot();
+        assert!(dot.contains("t1 -> t2;"));
+    }
+
+    #[test]
+    fn fetch_on_missing_datum_errors() {
+        let rt = rt(1);
+        let ghost = DataRef { id: 999, name: "ghost".into(), version: 1 };
+        assert!(matches!(rt.fetch(&ghost), Err(Error::DataUnavailable { .. })));
+    }
+
+    #[test]
+    fn metrics_record_durations_and_worker_spread() {
+        let rt = rt(2);
+        for _ in 0..6 {
+            rt.task("t")
+                .writes(&["x"])
+                .run(|_| {
+                    std::thread::sleep(Duration::from_millis(5));
+                    Ok(vec![Bytes::empty()])
+                })
+                .unwrap();
+        }
+        rt.barrier().unwrap();
+        let m = rt.metrics();
+        assert_eq!(m.completed, 6);
+        assert_eq!(m.task_durations.len(), 6);
+        assert!(m.task_durations.iter().all(|(_, _, d)| *d >= Duration::from_millis(4)));
+        assert_eq!(m.tasks_per_worker.iter().sum::<u64>(), 6);
+    }
+
+    #[test]
+    fn shutdown_cancels_pending_work() {
+        let rt = rt(1);
+        // One long task occupying the single worker, plus queued work.
+        rt.task("long")
+            .writes(&["a"])
+            .run(|_| {
+                std::thread::sleep(Duration::from_millis(50));
+                Ok(vec![Bytes::empty()])
+            })
+            .unwrap();
+        for _ in 0..5 {
+            rt.task("queued").writes(&["b"]).run(|_| Ok(vec![Bytes::empty()])).unwrap();
+        }
+        rt.shutdown();
+        let m = rt.metrics();
+        assert!(m.completed <= 2, "most queued tasks should have been cancelled");
+    }
+}

@@ -1,0 +1,198 @@
+//! Task-selection policies for the worker pool.
+//!
+//! The runtime keeps a ready list; every idle worker asks the policy which
+//! ready task (if any) it should run. Two policies are provided:
+//!
+//! * [`Policy::Fifo`] — oldest compatible task first. Matches the baseline
+//!   behaviour most WMSs default to.
+//! * [`Policy::Locality`] — among compatible tasks, pick the one with the
+//!   most input bytes already resident on this worker (ties broken FIFO).
+//!   This implements the paper's Section 3 claim that a single WMS can
+//!   "allow for better optimization in terms of data movement and access";
+//!   bench A1 quantifies the difference via the transfer ledger.
+
+use crate::resources::{Constraint, WorkerProfile};
+use crate::task::TaskId;
+
+/// Scheduling policy selector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Policy {
+    /// Oldest compatible ready task first.
+    #[default]
+    Fifo,
+    /// Prefer tasks whose inputs already live on the asking worker.
+    Locality,
+}
+
+/// Snapshot of one ready task handed to the policy.
+#[derive(Debug, Clone)]
+pub struct ReadyTask {
+    pub task: TaskId,
+    pub constraint: Constraint,
+    /// For each input: the worker index holding it (None = master/restored)
+    /// and its approximate size in bytes.
+    pub input_locations: Vec<(Option<usize>, u64)>,
+}
+
+impl ReadyTask {
+    /// Bytes of input already resident on `worker`.
+    pub fn local_bytes(&self, worker: usize) -> u64 {
+        self.input_locations
+            .iter()
+            .filter(|(loc, _)| *loc == Some(worker))
+            .map(|(_, b)| *b)
+            .sum()
+    }
+
+    /// Bytes that would have to move if `worker` ran this task.
+    pub fn remote_bytes(&self, worker: usize) -> u64 {
+        self.input_locations
+            .iter()
+            .filter(|(loc, _)| *loc != Some(worker))
+            .map(|(_, b)| *b)
+            .sum()
+    }
+}
+
+/// Picks the index (into `ready`) of the task `worker` should run, or
+/// `None` when no ready task is compatible with the worker's profile.
+pub fn pick(
+    policy: Policy,
+    worker_idx: usize,
+    profile: &WorkerProfile,
+    ready: &[ReadyTask],
+) -> Option<usize> {
+    match policy {
+        Policy::Fifo => ready
+            .iter()
+            .enumerate()
+            .find(|(_, t)| profile.satisfies(&t.constraint))
+            .map(|(i, _)| i),
+        Policy::Locality => {
+            let mut best: Option<(usize, u64, TaskId)> = None;
+            for (i, t) in ready.iter().enumerate() {
+                if !profile.satisfies(&t.constraint) {
+                    continue;
+                }
+                let local = t.local_bytes(worker_idx);
+                let better = match best {
+                    None => true,
+                    Some((_, bl, bt)) => local > bl || (local == bl && t.task < bt),
+                };
+                if better {
+                    best = Some((i, local, t.task));
+                }
+            }
+            best.map(|(i, _, _)| i)
+        }
+    }
+}
+
+/// Cumulative data-movement accounting, updated by the runtime whenever a
+/// task starts on a worker that does not hold one of its inputs.
+#[derive(Debug, Default, Clone)]
+pub struct TransferLedger {
+    /// Total bytes moved between workers (or from the master).
+    pub bytes_moved: u64,
+    /// Number of individual datum transfers.
+    pub transfers: u64,
+    /// Bytes served locally (input already on the executing worker).
+    pub bytes_local: u64,
+}
+
+impl TransferLedger {
+    /// Records the inputs of one task execution on `worker`.
+    pub fn record(&mut self, worker: usize, inputs: &[(Option<usize>, u64)]) {
+        for (loc, bytes) in inputs {
+            if *loc == Some(worker) {
+                self.bytes_local += bytes;
+            } else {
+                self.bytes_moved += bytes;
+                self.transfers += 1;
+            }
+        }
+    }
+
+    /// Fraction of input bytes served locally (NaN when nothing ran).
+    pub fn locality_ratio(&self) -> f64 {
+        let total = self.bytes_local + self.bytes_moved;
+        if total == 0 {
+            return f64::NAN;
+        }
+        self.bytes_local as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::resources::WorkerKind;
+
+    fn rt(id: u64, locs: Vec<(Option<usize>, u64)>) -> ReadyTask {
+        ReadyTask { task: TaskId(id), constraint: Constraint::any(), input_locations: locs }
+    }
+
+    #[test]
+    fn fifo_picks_first_compatible() {
+        let profile = WorkerProfile::cpu(4);
+        let mut gpu_task = rt(1, vec![]);
+        gpu_task.constraint = Constraint::gpu();
+        let ready = vec![gpu_task, rt(2, vec![]), rt(3, vec![])];
+        assert_eq!(pick(Policy::Fifo, 0, &profile, &ready), Some(1));
+    }
+
+    #[test]
+    fn fifo_none_when_incompatible() {
+        let profile = WorkerProfile::cpu(2);
+        let mut t = rt(1, vec![]);
+        t.constraint = Constraint::cores(16);
+        assert_eq!(pick(Policy::Fifo, 0, &profile, &[t]), None);
+    }
+
+    #[test]
+    fn locality_prefers_resident_inputs() {
+        let profile = WorkerProfile::cpu(4);
+        let ready = vec![
+            rt(1, vec![(Some(1), 1000)]), // resident on worker 1
+            rt(2, vec![(Some(0), 1000)]), // resident on worker 0
+        ];
+        assert_eq!(pick(Policy::Locality, 0, &profile, &ready), Some(1));
+        assert_eq!(pick(Policy::Locality, 1, &profile, &ready), Some(0));
+    }
+
+    #[test]
+    fn locality_ties_break_fifo() {
+        let profile = WorkerProfile::cpu(4);
+        let ready = vec![rt(5, vec![]), rt(2, vec![])];
+        // No local bytes anywhere: lowest task id wins (task 2, index 1).
+        assert_eq!(pick(Policy::Locality, 0, &profile, &ready), Some(1));
+    }
+
+    #[test]
+    fn locality_respects_constraints() {
+        let profile = WorkerProfile { kind: WorkerKind::Cpu, cores: 2, memory_gb: 8 };
+        let mut big = rt(1, vec![(Some(0), 10_000)]);
+        big.constraint = Constraint::cores(8);
+        let ready = vec![big, rt(2, vec![])];
+        assert_eq!(pick(Policy::Locality, 0, &profile, &ready), Some(1));
+    }
+
+    #[test]
+    fn ready_task_byte_accounting() {
+        let t = rt(1, vec![(Some(0), 10), (Some(1), 20), (None, 5)]);
+        assert_eq!(t.local_bytes(0), 10);
+        assert_eq!(t.remote_bytes(0), 25);
+        assert_eq!(t.local_bytes(1), 20);
+    }
+
+    #[test]
+    fn ledger_tracks_moves_and_ratio() {
+        let mut l = TransferLedger::default();
+        l.record(0, &[(Some(0), 100), (Some(1), 300)]);
+        assert_eq!(l.bytes_local, 100);
+        assert_eq!(l.bytes_moved, 300);
+        assert_eq!(l.transfers, 1);
+        assert!((l.locality_ratio() - 0.25).abs() < 1e-12);
+        assert!(TransferLedger::default().locality_ratio().is_nan());
+    }
+}

@@ -1,0 +1,231 @@
+//! Streaming interface: detect newly produced file groups.
+//!
+//! Section 5.2 of the paper: the ESM writes one file per simulated day; the
+//! analytics sub-workflows must start "as soon as a full year of NetCDF
+//! files is available", while the simulation keeps running. PyCOMPSs
+//! exposes this through its streaming interface; here a [`DirWatcher`]
+//! polls a directory and reports each *complete group* (e.g. 365 daily
+//! files of one year) exactly once, so the master loop can submit the
+//! per-year analysis tasks dynamically.
+
+use std::collections::BTreeMap;
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+/// Classifies files into groups (e.g. filename → simulation year) and
+/// knows how many members make a group complete.
+pub trait GroupRule: Send {
+    /// Group key for a file, or `None` to ignore the file.
+    fn group_of(&self, path: &Path) -> Option<String>;
+    /// Number of files that completes the group.
+    fn group_size(&self, group: &str) -> usize;
+}
+
+/// Groups files named `<prefix>-<group>-<member>.<ext>` — the ESM's naming
+/// scheme `esm-YYYY-DDD.ncx` — into per-year groups of `days_per_year`.
+pub struct YearlyRule {
+    pub prefix: String,
+    pub days_per_year: usize,
+}
+
+impl GroupRule for YearlyRule {
+    fn group_of(&self, path: &Path) -> Option<String> {
+        let stem = path.file_stem()?.to_str()?;
+        let rest = stem.strip_prefix(&self.prefix)?.strip_prefix('-')?;
+        let (year, _day) = rest.split_once('-')?;
+        Some(year.to_string())
+    }
+
+    fn group_size(&self, _group: &str) -> usize {
+        self.days_per_year
+    }
+}
+
+/// A complete group discovered by the watcher.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompleteGroup {
+    pub key: String,
+    /// Member files, sorted by path.
+    pub files: Vec<PathBuf>,
+}
+
+/// Polling directory watcher that emits each complete group once.
+pub struct DirWatcher<R: GroupRule> {
+    dir: PathBuf,
+    rule: R,
+    seen_groups: BTreeSet<String>,
+}
+
+impl<R: GroupRule> DirWatcher<R> {
+    /// Watches `dir` with the given grouping rule.
+    pub fn new<P: AsRef<Path>>(dir: P, rule: R) -> Self {
+        DirWatcher { dir: dir.as_ref().to_path_buf(), rule, seen_groups: BTreeSet::new() }
+    }
+
+    /// One poll: scans the directory and returns groups that became
+    /// complete since the last poll (sorted by key).
+    pub fn poll(&mut self) -> std::io::Result<Vec<CompleteGroup>> {
+        let mut groups: BTreeMap<String, Vec<PathBuf>> = BTreeMap::new();
+        for entry in std::fs::read_dir(&self.dir)? {
+            let path = entry?.path();
+            if !path.is_file() {
+                continue;
+            }
+            if let Some(g) = self.rule.group_of(&path) {
+                groups.entry(g).or_default().push(path);
+            }
+        }
+        let mut out = Vec::new();
+        for (key, mut files) in groups {
+            if self.seen_groups.contains(&key) {
+                continue;
+            }
+            if files.len() >= self.rule.group_size(&key) {
+                files.sort();
+                self.seen_groups.insert(key.clone());
+                out.push(CompleteGroup { key, files });
+            }
+        }
+        Ok(out)
+    }
+
+    /// Polls every `interval` until at least one new complete group appears
+    /// or `timeout` elapses. Returns the (possibly empty) batch.
+    pub fn wait_next(
+        &mut self,
+        interval: Duration,
+        timeout: Duration,
+    ) -> std::io::Result<Vec<CompleteGroup>> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            let batch = self.poll()?;
+            if !batch.is_empty() || Instant::now() >= deadline {
+                return Ok(batch);
+            }
+            std::thread::sleep(interval);
+        }
+    }
+
+    /// Keys already delivered.
+    pub fn delivered(&self) -> impl Iterator<Item = &str> {
+        self.seen_groups.iter().map(|s| s.as_str())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("dataflow-stream").join(name);
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn touch(dir: &Path, name: &str) {
+        std::fs::write(dir.join(name), b"x").unwrap();
+    }
+
+    fn rule() -> YearlyRule {
+        YearlyRule { prefix: "esm".into(), days_per_year: 3 }
+    }
+
+    #[test]
+    fn yearly_rule_parses_names() {
+        let r = rule();
+        assert_eq!(r.group_of(Path::new("/a/esm-2030-001.ncx")), Some("2030".into()));
+        assert_eq!(r.group_of(Path::new("/a/esm-2031-365.ncx")), Some("2031".into()));
+        assert_eq!(r.group_of(Path::new("/a/other-2030-001.ncx")), None);
+        assert_eq!(r.group_of(Path::new("/a/esm-2030.ncx")), None);
+    }
+
+    #[test]
+    fn incomplete_group_not_reported() {
+        let dir = tmpdir("incomplete");
+        let mut w = DirWatcher::new(&dir, rule());
+        touch(&dir, "esm-2030-001.ncx");
+        touch(&dir, "esm-2030-002.ncx");
+        assert!(w.poll().unwrap().is_empty());
+    }
+
+    #[test]
+    fn complete_group_reported_once_with_sorted_files() {
+        let dir = tmpdir("complete");
+        let mut w = DirWatcher::new(&dir, rule());
+        touch(&dir, "esm-2030-002.ncx");
+        touch(&dir, "esm-2030-001.ncx");
+        touch(&dir, "esm-2030-003.ncx");
+        let batch = w.poll().unwrap();
+        assert_eq!(batch.len(), 1);
+        assert_eq!(batch[0].key, "2030");
+        let names: Vec<_> = batch[0]
+            .files
+            .iter()
+            .map(|p| p.file_name().unwrap().to_str().unwrap().to_string())
+            .collect();
+        assert_eq!(names, vec!["esm-2030-001.ncx", "esm-2030-002.ncx", "esm-2030-003.ncx"]);
+        // Second poll: nothing new.
+        assert!(w.poll().unwrap().is_empty());
+        assert_eq!(w.delivered().collect::<Vec<_>>(), vec!["2030"]);
+    }
+
+    #[test]
+    fn groups_stream_in_as_files_arrive() {
+        let dir = tmpdir("streaming");
+        let mut w = DirWatcher::new(&dir, rule());
+        for d in 1..=3 {
+            touch(&dir, &format!("esm-2030-{d:03}.ncx"));
+        }
+        assert_eq!(w.poll().unwrap().len(), 1);
+        for d in 1..=3 {
+            touch(&dir, &format!("esm-2031-{d:03}.ncx"));
+        }
+        let batch = w.poll().unwrap();
+        assert_eq!(batch.len(), 1);
+        assert_eq!(batch[0].key, "2031");
+    }
+
+    #[test]
+    fn multiple_groups_complete_in_one_poll_sorted() {
+        let dir = tmpdir("multi");
+        let mut w = DirWatcher::new(&dir, rule());
+        for y in [2032, 2030, 2031] {
+            for d in 1..=3 {
+                touch(&dir, &format!("esm-{y}-{d:03}.ncx"));
+            }
+        }
+        let keys: Vec<_> = w.poll().unwrap().into_iter().map(|g| g.key).collect();
+        assert_eq!(keys, vec!["2030", "2031", "2032"]);
+    }
+
+    #[test]
+    fn wait_next_times_out_empty() {
+        let dir = tmpdir("timeout");
+        let mut w = DirWatcher::new(&dir, rule());
+        let batch = w
+            .wait_next(Duration::from_millis(5), Duration::from_millis(20))
+            .unwrap();
+        assert!(batch.is_empty());
+    }
+
+    #[test]
+    fn wait_next_picks_up_concurrent_writer() {
+        let dir = tmpdir("concurrent");
+        let mut w = DirWatcher::new(&dir, rule());
+        let dir2 = dir.clone();
+        let writer = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            for d in 1..=3 {
+                std::fs::write(dir2.join(format!("esm-2040-{d:03}.ncx")), b"x").unwrap();
+            }
+        });
+        let batch = w
+            .wait_next(Duration::from_millis(5), Duration::from_secs(5))
+            .unwrap();
+        writer.join().unwrap();
+        assert_eq!(batch.len(), 1);
+        assert_eq!(batch[0].key, "2040");
+    }
+}

@@ -1,0 +1,124 @@
+//! Dynamic worker elasticity: scaling the pool up and down mid-workflow
+//! ("the number of ... computing components can be scaled up, also
+//! dynamically", Section 4.2.2 — applied to the task runtime).
+
+use dataflow::prelude::*;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Submits `n` independent simulated tasks and returns (peak concurrency
+/// observed, live counter handle).
+fn submit_sleepers(rt: &Runtime<Bytes>, n: usize, ms: u64) -> Arc<AtomicU32> {
+    let live = Arc::new(AtomicU32::new(0));
+    let peak = Arc::new(AtomicU32::new(0));
+    for i in 0..n {
+        let live = Arc::clone(&live);
+        let peak = Arc::clone(&peak);
+        rt.task("sleeper")
+            .writes(&[format!("s{i}").as_str()])
+            .run(move |_| {
+                let now = live.fetch_add(1, Ordering::SeqCst) + 1;
+                peak.fetch_max(now, Ordering::SeqCst);
+                std::thread::sleep(Duration::from_millis(ms));
+                live.fetch_sub(1, Ordering::SeqCst);
+                Ok(vec![Bytes::empty()])
+            })
+            .unwrap();
+    }
+    peak
+}
+
+#[test]
+fn adding_workers_increases_concurrency() {
+    let rt: Runtime<Bytes> = Runtime::new(RuntimeConfig::with_cpu_workers(1));
+    assert_eq!(rt.active_workers(), 1);
+
+    // Phase 1 on one worker: peak concurrency 1.
+    let peak1 = submit_sleepers(&rt, 6, 10);
+    rt.barrier().unwrap();
+    assert_eq!(peak1.load(Ordering::SeqCst), 1);
+
+    // Scale up to 4 workers; peak should rise accordingly.
+    for _ in 0..3 {
+        rt.add_worker(WorkerProfile::cpu(4));
+    }
+    assert_eq!(rt.active_workers(), 4);
+    let peak2 = submit_sleepers(&rt, 12, 20);
+    rt.barrier().unwrap();
+    assert!(
+        peak2.load(Ordering::SeqCst) >= 3,
+        "expected >=3 concurrent after scale-up, saw {}",
+        peak2.load(Ordering::SeqCst)
+    );
+    let m = rt.metrics();
+    assert_eq!(m.tasks_per_worker.len(), 4);
+    assert_eq!(m.tasks_per_worker.iter().sum::<u64>(), 18);
+    rt.shutdown();
+}
+
+#[test]
+fn added_worker_unlocks_new_constraints() {
+    let rt: Runtime<Bytes> = Runtime::new(RuntimeConfig::with_cpu_workers(2));
+    // GPU work is impossible at first.
+    assert!(rt
+        .task("infer")
+        .constraint(Constraint::gpu())
+        .writes(&["x"])
+        .run(|_| Ok(vec![Bytes::empty()]))
+        .is_err());
+    // After adding a GPU worker it runs there.
+    let gpu_idx = rt.add_worker(WorkerProfile::gpu(4));
+    let h = rt
+        .task("infer")
+        .constraint(Constraint::gpu())
+        .writes(&["x"])
+        .run(|_| Ok(vec![Bytes::from_u64(1)]))
+        .unwrap();
+    assert_eq!(rt.fetch(&h.outputs[0]).unwrap().as_u64(), Some(1));
+    rt.barrier().unwrap();
+    assert_eq!(rt.metrics().tasks_per_worker[gpu_idx], 1);
+    rt.shutdown();
+}
+
+#[test]
+fn retired_worker_drains_and_stops() {
+    let rt: Runtime<Bytes> = Runtime::new(RuntimeConfig::with_cpu_workers(3));
+    // Work through a first batch so all workers are warm.
+    submit_sleepers(&rt, 6, 5);
+    rt.barrier().unwrap();
+
+    rt.retire_worker(0);
+    assert_eq!(rt.active_workers(), 2);
+
+    // New work still completes, and worker 0 takes none of it.
+    let before = rt.metrics().tasks_per_worker[0];
+    submit_sleepers(&rt, 8, 5);
+    rt.barrier().unwrap();
+    let m = rt.metrics();
+    assert_eq!(m.tasks_per_worker[0], before, "retired worker must take no new tasks");
+    assert_eq!(m.completed, 14);
+    rt.shutdown();
+}
+
+#[test]
+fn gang_size_respects_active_pool() {
+    let rt: Runtime<Bytes> = Runtime::new(RuntimeConfig::with_cpu_workers(3));
+    rt.retire_worker(2);
+    // A 3-replica gang no longer fits the active pool.
+    assert!(rt
+        .task("mpi")
+        .replicated(3)
+        .writes(&["x"])
+        .run_replicated(|_, _| Ok(vec![Bytes::empty()]))
+        .is_err());
+    // A 2-replica gang does.
+    let h = rt
+        .task("mpi")
+        .replicated(2)
+        .writes(&["x"])
+        .run_replicated(|_, r| Ok(vec![Bytes::from_u64(r.size as u64)]))
+        .unwrap();
+    assert_eq!(rt.fetch(&h.outputs[0]).unwrap().as_u64(), Some(2));
+    rt.shutdown();
+}

@@ -1,0 +1,171 @@
+//! Gang-scheduled (`@mpi`-style) task tests: PyCOMPSs tasks can "integrate
+//! with other programming paradigms including other decorators (such as
+//! @mpi)" — here a task requests N replicas that run concurrently on N
+//! workers, with rank 0's outputs becoming the task's outputs.
+
+use dataflow::prelude::*;
+use dataflow::Error;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+#[test]
+fn replicas_run_with_distinct_ranks() {
+    let rt: Runtime<Bytes> = Runtime::new(RuntimeConfig::with_cpu_workers(4));
+    let rank_mask = Arc::new(AtomicU32::new(0));
+    let mask = Arc::clone(&rank_mask);
+    let h = rt
+        .task("mpi_sim")
+        .replicated(4)
+        .writes(&["out"])
+        .run_replicated(move |_inp, replica| {
+            assert_eq!(replica.size, 4);
+            mask.fetch_or(1 << replica.rank, Ordering::SeqCst);
+            Ok(vec![Bytes::from_u64(100 + replica.rank as u64)])
+        })
+        .unwrap();
+    let out = rt.fetch(&h.outputs[0]).unwrap();
+    rt.barrier().unwrap();
+    assert_eq!(rank_mask.load(Ordering::SeqCst), 0b1111, "all four ranks must run");
+    assert_eq!(out.as_u64(), Some(100), "rank 0's output is the task's output");
+    assert_eq!(rt.metrics().completed, 1, "a gang is one task");
+    rt.shutdown();
+}
+
+#[test]
+fn replicas_actually_overlap() {
+    // A barrier inside the closure: the task can only finish if all
+    // replicas execute concurrently.
+    let rt: Runtime<Bytes> = Runtime::new(RuntimeConfig::with_cpu_workers(3));
+    let arrived = Arc::new(AtomicU32::new(0));
+    let a = Arc::clone(&arrived);
+    let h = rt
+        .task("mpi_barrier")
+        .replicated(3)
+        .writes(&["out"])
+        .run_replicated(move |_inp, replica| {
+            a.fetch_add(1, Ordering::SeqCst);
+            let deadline = std::time::Instant::now() + Duration::from_secs(5);
+            while a.load(Ordering::SeqCst) < replica.size {
+                if std::time::Instant::now() > deadline {
+                    return Err("replica barrier timed out".into());
+                }
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            Ok(vec![Bytes::from_u64(replica.rank as u64)])
+        })
+        .unwrap();
+    assert_eq!(rt.fetch(&h.outputs[0]).unwrap().as_u64(), Some(0));
+    rt.shutdown();
+}
+
+#[test]
+fn gang_larger_than_pool_rejected() {
+    let rt: Runtime<Bytes> = Runtime::new(RuntimeConfig::with_cpu_workers(2));
+    let err = rt
+        .task("too_big")
+        .replicated(3)
+        .writes(&["x"])
+        .run_replicated(|_, _| Ok(vec![Bytes::empty()]))
+        .unwrap_err();
+    assert!(matches!(err, Error::UnsatisfiableConstraint { .. }));
+    rt.shutdown();
+}
+
+#[test]
+fn gang_failure_in_any_rank_fails_the_task() {
+    let rt: Runtime<Bytes> = Runtime::new(RuntimeConfig::with_cpu_workers(3));
+    let h = rt
+        .task("mpi_flaky")
+        .replicated(3)
+        .on_failure(FailurePolicy::IgnoreCancelSuccessors)
+        .writes(&["x"])
+        .run_replicated(|_, replica| {
+            if replica.rank == 1 {
+                Err("rank 1 crashed".into())
+            } else {
+                Ok(vec![Bytes::empty()])
+            }
+        })
+        .unwrap();
+    rt.barrier().unwrap();
+    assert_eq!(rt.task_state(h.id), Some(TaskState::Failed));
+    assert!(rt.fetch(&h.outputs[0]).is_err());
+    rt.shutdown();
+}
+
+#[test]
+fn gang_retry_reforms_the_gang() {
+    let rt: Runtime<Bytes> = Runtime::new(RuntimeConfig::with_cpu_workers(2));
+    let attempts = Arc::new(AtomicU32::new(0));
+    let a = Arc::clone(&attempts);
+    let h = rt
+        .task("mpi_retry")
+        .replicated(2)
+        .on_failure(FailurePolicy::Retry { max_retries: 2 })
+        .writes(&["x"])
+        .run_replicated(move |_, replica| {
+            // First formation fails (rank 0 of attempt 0); later succeeds.
+            if replica.rank == 0 && a.fetch_add(1, Ordering::SeqCst) == 0 {
+                Err("transient".into())
+            } else {
+                Ok(vec![Bytes::from_u64(9)])
+            }
+        })
+        .unwrap();
+    assert_eq!(rt.fetch(&h.outputs[0]).unwrap().as_u64(), Some(9));
+    rt.barrier().unwrap();
+    assert_eq!(rt.metrics().retries, 1);
+    rt.shutdown();
+}
+
+#[test]
+fn gangs_and_plain_tasks_interleave() {
+    let rt: Runtime<Bytes> = Runtime::new(RuntimeConfig::with_cpu_workers(4));
+    let mut outs = Vec::new();
+    for i in 0..4u64 {
+        let h = rt
+            .task("plain")
+            .writes(&[format!("p{i}").as_str()])
+            .run(move |_| {
+                std::thread::sleep(Duration::from_millis(3));
+                Ok(vec![Bytes::from_u64(i)])
+            })
+            .unwrap();
+        outs.push((i, h));
+        let g = rt
+            .task("gang")
+            .replicated(2)
+            .writes(&[format!("g{i}").as_str()])
+            .run_replicated(move |_, r| {
+                std::thread::sleep(Duration::from_millis(2));
+                Ok(vec![Bytes::from_u64(1000 + i * 10 + r.rank as u64)])
+            })
+            .unwrap();
+        outs.push((1000 + i * 10, g));
+    }
+    rt.barrier().unwrap();
+    for (want, h) in outs {
+        assert_eq!(rt.fetch(&h.outputs[0]).unwrap().as_u64(), Some(want));
+    }
+    assert_eq!(rt.metrics().completed, 8);
+    rt.shutdown();
+}
+
+#[test]
+fn gang_inputs_are_shared_across_replicas() {
+    let rt: Runtime<Bytes> = Runtime::new(RuntimeConfig::with_cpu_workers(3));
+    let src = rt.task("src").writes(&["data"]).run(|_| Ok(vec![Bytes::from_u64(7)])).unwrap();
+    let h = rt
+        .task("consume")
+        .replicated(3)
+        .reads(&[src.outputs[0].clone()])
+        .writes(&["sum"])
+        .run_replicated(|inp, replica| {
+            let v = inp[0].as_u64().ok_or("bad input")?;
+            Ok(vec![Bytes::from_u64(v * replica.size as u64)])
+        })
+        .unwrap();
+    assert_eq!(rt.fetch(&h.outputs[0]).unwrap().as_u64(), Some(21));
+    rt.shutdown();
+}

@@ -1,0 +1,134 @@
+//! Integration tests for the provenance and monitoring surfaces of the
+//! runtime.
+
+use dataflow::prelude::*;
+use dataflow::TaskState;
+use std::sync::Arc;
+use std::time::Duration;
+
+#[test]
+fn provenance_records_full_lineage_of_a_pipeline() {
+    let rt: Runtime<Bytes> = Runtime::new(RuntimeConfig::with_cpu_workers(2));
+    let a = rt.task("esm").writes(&["year"]).run(|_| Ok(vec![Bytes::from_u64(1)])).unwrap();
+    let b = rt
+        .task("import")
+        .reads(&[a.outputs[0].clone()])
+        .writes(&["cube"])
+        .run(|i| Ok(vec![Bytes::from_u64(i[0].as_u64().unwrap() * 2)]))
+        .unwrap();
+    let c = rt
+        .task("index")
+        .reads(&[b.outputs[0].clone()])
+        .writes(&["hwn"])
+        .run(|i| Ok(vec![Bytes::from_u64(i[0].as_u64().unwrap() + 1)]))
+        .unwrap();
+    rt.barrier().unwrap();
+
+    let prov = rt.provenance();
+    assert_eq!(prov.len(), 3);
+
+    // Lineage of the final product covers the whole chain.
+    let lineage = prov.lineage(&c.outputs[0]);
+    assert_eq!(lineage.len(), 3);
+    assert_eq!(lineage[0], c.id);
+    assert!(lineage.contains(&a.id));
+
+    // Records carry worker and timing.
+    let rec = prov.task(b.id).unwrap();
+    assert_eq!(rec.name, "import");
+    assert!(rec.worker.is_some());
+    assert!(rec.duration.is_some());
+    assert_eq!(rec.final_state, TaskState::Completed);
+    assert_eq!(rec.used, vec![a.outputs[0].clone()]);
+    assert_eq!(rec.generated, vec![b.outputs[0].clone()]);
+
+    // PROV text export mentions every relation.
+    let doc = prov.to_prov_text();
+    assert!(doc.contains("used(task:3, data:cube@v1)"));
+    assert!(doc.contains("wasGeneratedBy(data:hwn@v1, task:3)"));
+    rt.shutdown();
+}
+
+#[test]
+fn provenance_captures_failures_and_cancellations() {
+    let rt: Runtime<Bytes> = Runtime::new(RuntimeConfig::with_cpu_workers(2));
+    let bad = rt
+        .task("bad")
+        .writes(&["x"])
+        .on_failure(FailurePolicy::IgnoreCancelSuccessors)
+        .run(|_| Err("boom".into()))
+        .unwrap();
+    let child = rt
+        .task("child")
+        .reads(&[bad.outputs[0].clone()])
+        .writes(&["y"])
+        .run(|_| Ok(vec![Bytes::empty()]))
+        .unwrap();
+    rt.barrier().unwrap();
+
+    let prov = rt.provenance();
+    assert_eq!(prov.task(bad.id).unwrap().final_state, TaskState::Failed);
+    assert_eq!(prov.task(child.id).unwrap().final_state, TaskState::Cancelled);
+    rt.shutdown();
+}
+
+#[test]
+fn status_snapshot_tracks_progress() {
+    let rt: Runtime<Bytes> = Runtime::new(RuntimeConfig::with_cpu_workers(2));
+    let gate = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    for i in 0..4 {
+        let gate = Arc::clone(&gate);
+        rt.task("slow")
+            .writes(&[format!("o{i}").as_str()])
+            .run(move |_| {
+                while !gate.load(std::sync::atomic::Ordering::SeqCst) {
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                Ok(vec![Bytes::empty()])
+            })
+            .unwrap();
+    }
+    // While blocked: 2 running (2 workers), 2 queued.
+    std::thread::sleep(Duration::from_millis(30));
+    let snap = rt.status();
+    assert_eq!(snap.total(), 4);
+    assert_eq!(snap.running, 2);
+    assert_eq!(snap.ready + snap.pending, 2);
+    assert!(!snap.is_quiescent());
+    assert_eq!(snap.running_tasks.len(), 2);
+    assert!(snap.running_tasks.iter().all(|t| t.name == "slow"));
+    assert!(snap.running_tasks.iter().all(|t| t.elapsed >= Duration::from_millis(10)));
+
+    gate.store(true, std::sync::atomic::Ordering::SeqCst);
+    rt.barrier().unwrap();
+    let snap = rt.status();
+    assert_eq!(snap.completed, 4);
+    assert!(snap.is_quiescent());
+    assert!((snap.progress() - 1.0).abs() < 1e-12);
+    rt.shutdown();
+}
+
+#[test]
+fn checkpoint_restored_tasks_appear_in_provenance() {
+    let dir = std::env::temp_dir().join("dataflow-prov-ckpt");
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    let ckpt = dir.join("log.ckpt");
+
+    {
+        let rt: Runtime<Bytes> =
+            Runtime::new(RuntimeConfig::with_cpu_workers(1).with_checkpoint(ckpt.clone()));
+        rt.task("a").key("a").writes(&["x"]).run(|_| Ok(vec![Bytes::from_u64(5)])).unwrap();
+        rt.barrier().unwrap();
+        rt.shutdown();
+    }
+    let rt: Runtime<Bytes> =
+        Runtime::new(RuntimeConfig::with_cpu_workers(1).with_checkpoint(ckpt));
+    let h = rt.task("a").key("a").writes(&["x"]).run(|_| panic!("restored")).unwrap();
+    rt.barrier().unwrap();
+    let prov = rt.provenance();
+    let rec = prov.task(h.id).unwrap();
+    assert_eq!(rec.final_state, TaskState::Completed);
+    assert_eq!(rec.worker, None, "restored tasks have no executing worker");
+    rt.shutdown();
+}

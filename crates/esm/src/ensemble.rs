@@ -1,0 +1,180 @@
+//! Ensemble runs.
+//!
+//! Section 3: simulation cost scales with "the number of simulation runs
+//! in the ensemble (group of runs of the same ESM with different initial
+//! conditions)". An ensemble here is N members of the same configuration
+//! differing only in seed (our stand-in for perturbed initial
+//! conditions), each writing to its own member directory — the layout a
+//! workflow's per-member analysis tasks fan out over — plus the standard
+//! ensemble-statistics helpers (per-cell mean and spread).
+
+use crate::config::EsmConfig;
+use crate::run::{RunSummary, Simulation};
+use gridded::Field2;
+use std::path::{Path, PathBuf};
+
+/// Directory of one ensemble member under `root`.
+pub fn member_dir(root: &Path, member: usize) -> PathBuf {
+    root.join(format!("member-{member:02}"))
+}
+
+/// The configuration of one member: the base config with a
+/// member-specific seed (perturbed initial conditions).
+pub fn member_config(base: &EsmConfig, member: usize) -> EsmConfig {
+    base.clone().with_seed(base.seed.wrapping_add(0x9E37_79B9u64.wrapping_mul(member as u64 + 1)))
+}
+
+/// Runs an `n_members`-member ensemble for `years` years each, invoking
+/// `on_member(member, summary)` as members complete. Returns all member
+/// summaries (with per-member ground truth).
+pub fn run_ensemble<F>(
+    base: &EsmConfig,
+    n_members: usize,
+    years: usize,
+    root: &Path,
+    mut on_member: F,
+) -> ncformat::Result<Vec<RunSummary>>
+where
+    F: FnMut(usize, &RunSummary),
+{
+    let mut out = Vec::with_capacity(n_members);
+    for m in 0..n_members {
+        let cfg = member_config(base, m);
+        let dir = member_dir(root, m);
+        let mut sim = Simulation::new(cfg, &dir)?;
+        let summary = sim.run_years(years, |_, _, _| {})?;
+        on_member(m, &summary);
+        out.push(summary);
+    }
+    Ok(out)
+}
+
+/// Per-cell ensemble mean and (population) spread of same-grid fields.
+pub fn mean_and_spread(members: &[Field2]) -> (Field2, Field2) {
+    assert!(!members.is_empty(), "ensemble statistics need at least one member");
+    let grid = members[0].grid.clone();
+    for m in members {
+        assert_eq!(m.grid, grid, "ensemble members must share a grid");
+    }
+    let n = members.len() as f64;
+    let len = grid.len();
+    let mut mean = vec![0.0f64; len];
+    for m in members {
+        for (acc, &v) in mean.iter_mut().zip(&m.data) {
+            *acc += v as f64;
+        }
+    }
+    for v in &mut mean {
+        *v /= n;
+    }
+    let mut var = vec![0.0f64; len];
+    for m in members {
+        for ((acc, &v), mu) in var.iter_mut().zip(&m.data).zip(&mean) {
+            let d = v as f64 - mu;
+            *acc += d * d;
+        }
+    }
+    let mean_f = Field2::from_vec(grid.clone(), mean.iter().map(|&v| v as f32).collect());
+    let spread_f =
+        Field2::from_vec(grid, var.iter().map(|&v| ((v / n).sqrt()) as f32).collect());
+    (mean_f, spread_f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gridded::Grid;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("esm-ensemble").join(name);
+        std::fs::remove_dir_all(&dir).ok();
+        dir
+    }
+
+    fn base() -> EsmConfig {
+        EsmConfig::test_small().with_days_per_year(2)
+    }
+
+    #[test]
+    fn member_configs_differ_only_in_seed() {
+        let b = base();
+        let a = member_config(&b, 0);
+        let c = member_config(&b, 1);
+        assert_ne!(a.seed, c.seed);
+        assert_eq!(a.days_per_year, c.days_per_year);
+        assert_eq!(a.grid, c.grid);
+        // Deterministic per member index.
+        assert_eq!(member_config(&b, 1).seed, c.seed);
+    }
+
+    #[test]
+    fn ensemble_writes_member_directories() {
+        let root = tmp("dirs");
+        let summaries = run_ensemble(&base(), 3, 1, &root, |_, _| {}).unwrap();
+        assert_eq!(summaries.len(), 3);
+        for m in 0..3 {
+            let dir = member_dir(&root, m);
+            assert!(dir.join("esm-2030-001.ncx").exists(), "member {m} missing output");
+        }
+        // Each member saw its own events (different seeds).
+        let counts: Vec<usize> = summaries.iter().map(|s| s.truth[0].tcs.len()).collect();
+        let all_same = counts.windows(2).all(|w| w[0] == w[1]);
+        let first_lon = |s: &RunSummary| s.truth[0].tcs.first().map(|t| t.points[0].lon);
+        let lons: Vec<_> = summaries.iter().map(first_lon).collect();
+        let lons_same = lons.windows(2).all(|w| w[0] == w[1]);
+        assert!(!(all_same && lons_same), "members should differ: {counts:?} {lons:?}");
+    }
+
+    #[test]
+    fn member_fields_differ_but_share_climate() {
+        let root = tmp("fields");
+        run_ensemble(&base(), 2, 1, &root, |_, _| {}).unwrap();
+        let read = |m: usize| {
+            let rd = ncformat::Reader::open(member_dir(&root, m).join("esm-2030-001.ncx")).unwrap();
+            let g = Grid::test_small();
+            Field2::from_vec(
+                g.clone(),
+                rd.read_slab_f32("tas", &[0, 0, 0], &[1, g.nlat, g.nlon]).unwrap(),
+            )
+        };
+        let a = read(0);
+        let b = read(1);
+        assert_ne!(a.data, b.data, "different seeds, different weather");
+        // But the same climate: global means within noise of each other.
+        assert!((a.area_mean() - b.area_mean()).abs() < 1.5);
+    }
+
+    #[test]
+    fn mean_and_spread_math() {
+        let g = Grid::global(2, 2);
+        let m1 = Field2::constant(g.clone(), 1.0);
+        let m2 = Field2::constant(g.clone(), 3.0);
+        let (mean, spread) = mean_and_spread(&[m1, m2]);
+        assert!(mean.data.iter().all(|&v| v == 2.0));
+        assert!(spread.data.iter().all(|&v| (v - 1.0).abs() < 1e-6));
+
+        // Single member: zero spread.
+        let (mean1, spread1) = mean_and_spread(&[Field2::constant(g, 5.0)]);
+        assert!(mean1.data.iter().all(|&v| v == 5.0));
+        assert!(spread1.data.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "share a grid")]
+    fn mean_and_spread_checks_grids() {
+        let a = Field2::constant(Grid::global(2, 2), 0.0);
+        let b = Field2::constant(Grid::global(2, 3), 0.0);
+        mean_and_spread(&[a, b]);
+    }
+
+    #[test]
+    fn callback_sees_every_member() {
+        let root = tmp("cb");
+        let mut seen = Vec::new();
+        run_ensemble(&base(), 3, 1, &root, |m, s| {
+            seen.push((m, s.files_written));
+        })
+        .unwrap();
+        assert_eq!(seen, vec![(0, 2), (1, 2), (2, 2)]);
+    }
+}

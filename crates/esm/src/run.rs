@@ -1,0 +1,160 @@
+//! Multi-year simulation driver.
+//!
+//! Wraps the coupled model into the shape the workflow's ESM task needs:
+//! run N years, write one file per day into an output directory, invoke a
+//! progress callback after each file (this is what the PyCOMPSs streaming
+//! interface watches), and collect the ground-truth events per year for
+//! later verification.
+
+use crate::config::EsmConfig;
+use crate::events::YearEvents;
+use crate::model::CoupledModel;
+use crate::output;
+use std::path::{Path, PathBuf};
+
+/// Summary of a completed (partial) run.
+#[derive(Debug, Clone)]
+pub struct RunSummary {
+    pub files_written: usize,
+    pub bytes_written: u64,
+    pub years: Vec<i32>,
+    /// Ground truth per simulated year.
+    pub truth: Vec<YearEvents>,
+}
+
+/// A multi-year simulation bound to an output directory.
+pub struct Simulation {
+    model: CoupledModel,
+    out_dir: PathBuf,
+}
+
+impl Simulation {
+    /// Creates the simulation, ensuring the output directory exists.
+    pub fn new(cfg: EsmConfig, out_dir: &Path) -> std::io::Result<Self> {
+        std::fs::create_dir_all(out_dir)?;
+        Ok(Simulation { model: CoupledModel::new(cfg), out_dir: out_dir.to_path_buf() })
+    }
+
+    /// The model configuration.
+    pub fn config(&self) -> &EsmConfig {
+        &self.model.cfg
+    }
+
+    /// Runs `years` simulated years, calling `on_file(path, year, day0)`
+    /// after each daily file lands. Returns the run summary with ground
+    /// truth for every simulated year.
+    pub fn run_years<F>(&mut self, years: usize, mut on_file: F) -> ncformat::Result<RunSummary>
+    where
+        F: FnMut(&Path, i32, usize),
+    {
+        let mut summary = RunSummary {
+            files_written: 0,
+            bytes_written: 0,
+            years: Vec::new(),
+            truth: Vec::new(),
+        };
+        for _ in 0..years {
+            let (year, _) = self.model.date();
+            summary.years.push(year);
+            summary.truth.push(self.model.year_events().clone());
+            for _ in 0..self.model.cfg.days_per_year {
+                let fields = self.model.step_day();
+                let path = output::write_daily(&self.out_dir, &fields)?;
+                summary.files_written += 1;
+                summary.bytes_written += std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+                on_file(&path, fields.year, fields.day);
+            }
+        }
+        Ok(summary)
+    }
+
+    /// Runs a single day (fine-grained driver for pipelined workflows).
+    pub fn run_day(&mut self) -> ncformat::Result<(PathBuf, i32, usize)> {
+        let fields = self.model.step_day();
+        let path = output::write_daily(&self.out_dir, &fields)?;
+        Ok((path, fields.year, fields.day))
+    }
+
+    /// Ground truth of the year currently being simulated.
+    pub fn current_truth(&self) -> &YearEvents {
+        self.model.year_events()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn tmpdir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("esm-run").join(name);
+        std::fs::remove_dir_all(&dir).ok();
+        dir
+    }
+
+    fn small_cfg() -> EsmConfig {
+        EsmConfig::test_small().with_days_per_year(3)
+    }
+
+    #[test]
+    fn run_writes_expected_files_and_calls_back() {
+        let dir = tmpdir("files");
+        let mut sim = Simulation::new(small_cfg(), &dir).unwrap();
+        let calls = AtomicUsize::new(0);
+        let summary = sim
+            .run_years(2, |path, year, day| {
+                calls.fetch_add(1, Ordering::SeqCst);
+                assert!(path.exists());
+                assert!(year == 2030 || year == 2031);
+                assert!(day < 3);
+            })
+            .unwrap();
+        assert_eq!(summary.files_written, 6);
+        assert_eq!(calls.load(Ordering::SeqCst), 6);
+        assert_eq!(summary.years, vec![2030, 2031]);
+        assert_eq!(summary.truth.len(), 2);
+        assert!(summary.bytes_written > 0);
+
+        let names: Vec<String> = {
+            let mut v: Vec<String> = std::fs::read_dir(&dir)
+                .unwrap()
+                .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+                .collect();
+            v.sort();
+            v
+        };
+        assert_eq!(
+            names,
+            vec![
+                "esm-2030-001.ncx",
+                "esm-2030-002.ncx",
+                "esm-2030-003.ncx",
+                "esm-2031-001.ncx",
+                "esm-2031-002.ncx",
+                "esm-2031-003.ncx",
+            ]
+        );
+    }
+
+    #[test]
+    fn run_day_advances_one_file_at_a_time() {
+        let dir = tmpdir("stepwise");
+        let mut sim = Simulation::new(small_cfg(), &dir).unwrap();
+        let (p1, y1, d1) = sim.run_day().unwrap();
+        assert_eq!((y1, d1), (2030, 0));
+        assert!(p1.exists());
+        let (_, y2, d2) = sim.run_day().unwrap();
+        assert_eq!((y2, d2), (2030, 1));
+    }
+
+    #[test]
+    fn truth_matches_generated_events() {
+        let dir = tmpdir("truth");
+        let cfg = small_cfg().with_seed(77);
+        let mut sim = Simulation::new(cfg.clone(), &dir).unwrap();
+        let expected = YearEvents::generate(&cfg, 2030);
+        let summary = sim.run_years(1, |_, _, _| {}).unwrap();
+        assert_eq!(summary.truth[0].tcs.len(), expected.tcs.len());
+        assert_eq!(summary.truth[0].thermal.len(), expected.thermal.len());
+    }
+}

@@ -1,0 +1,91 @@
+//! Property tests on the surrogate model: physical invariants must hold
+//! for arbitrary seeds, dates and scenarios.
+
+use esm::{CoupledModel, EsmConfig, Scenario};
+use gridded::Grid;
+use proptest::prelude::*;
+
+fn small(seed: u64, scenario: Scenario) -> EsmConfig {
+    EsmConfig::test_small()
+        .with_days_per_year(12)
+        .with_seed(seed)
+        .with_scenario(scenario)
+        .with_grid(Grid::global(24, 36)) // extra small: proptest runs many cases
+}
+
+fn scenario_strategy() -> impl Strategy<Value = Scenario> {
+    prop_oneof![
+        Just(Scenario::Historical),
+        Just(Scenario::Ssp245),
+        Just(Scenario::Ssp585),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// One stepped day is always physically sane, whatever the seed.
+    #[test]
+    fn daily_fields_physical(seed in any::<u64>(), scenario in scenario_strategy()) {
+        let mut m = CoupledModel::new(small(seed, scenario));
+        let out = m.step_day();
+        let tas = out.get("tas").unwrap();
+        prop_assert!(tas.data.iter().all(|v| (150.0..360.0).contains(v)));
+        let psl = out.get("psl").unwrap();
+        prop_assert!(psl.data.iter().all(|v| (85_000.0..110_000.0).contains(v)));
+        let ice = out.get("siconc").unwrap();
+        prop_assert!(ice.data.iter().all(|v| (0.0..=1.0).contains(v)));
+        let pr = out.get("pr").unwrap();
+        prop_assert!(pr.data.iter().all(|v| *v >= 0.0 && v.is_finite()));
+        // Daily max dominates daily min everywhere.
+        let hi = out.daily_max("tas").unwrap();
+        let lo = out.daily_min("tas").unwrap();
+        for (h, l) in hi.data.iter().zip(&lo.data) {
+            prop_assert!(h >= l);
+        }
+    }
+
+    /// Same seed, same bits; different seed, different weather.
+    #[test]
+    fn determinism(seed in any::<u64>()) {
+        let mut a = CoupledModel::new(small(seed, Scenario::Ssp245));
+        let mut b = CoupledModel::new(small(seed, Scenario::Ssp245));
+        let fa = a.step_day();
+        let fb = b.step_day();
+        prop_assert_eq!(&fa.get("tas").unwrap().data, &fb.get("tas").unwrap().data);
+        let mut c = CoupledModel::new(small(seed ^ 1, Scenario::Ssp245));
+        let fc = c.step_day();
+        prop_assert_ne!(&fa.get("tas").unwrap().data, &fc.get("tas").unwrap().data);
+    }
+
+    /// Stronger forcing never cools the planet (same seed, same day).
+    #[test]
+    fn scenario_ordering(seed in any::<u64>()) {
+        let run = |s: Scenario| {
+            let mut m = CoupledModel::new(small(seed, s));
+            m.step_day().get("tas").unwrap().data.iter().map(|&v| v as f64).sum::<f64>()
+        };
+        let historical = run(Scenario::Historical);
+        let ssp585 = run(Scenario::Ssp585);
+        prop_assert!(
+            ssp585 > historical,
+            "SSP5-8.5 in 2030 must be warmer than the historical baseline"
+        );
+    }
+
+    /// The analytic expected extremes bound the event-free model run's
+    /// global mean within noise.
+    #[test]
+    fn expectation_tracks_model(seed in any::<u64>()) {
+        let mut cfg = small(seed, Scenario::Ssp245);
+        cfg.tc_per_year = 0.0;
+        cfg.heatwaves_per_year = 0.0;
+        cfg.coldspells_per_year = 0.0;
+        let warming = cfg.scenario.warming_k(cfg.start_year);
+        let mut m = CoupledModel::new(cfg.clone());
+        let out = m.step_day();
+        let (exp_tmax, _) = esm::model::expected_daily_extremes(&cfg, 0, warming);
+        let bias = out.daily_max("tas").unwrap().area_mean() - exp_tmax.area_mean();
+        prop_assert!(bias.abs() < 2.0, "bias {bias} K vs analytic expectation");
+    }
+}

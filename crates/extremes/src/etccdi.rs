@@ -1,0 +1,254 @@
+//! The wider ETCCDI index family.
+//!
+//! The paper's heat/cold-wave definitions cite the ETCCDI/ETCCDMI daily
+//! temperature indices (its reference \[31\]). Beyond the three wave indices
+//! of Section 5.3, operational climate services compute the standard
+//! ETCCDI set; this module implements the temperature members on the same
+//! datacube substrate, so a workflow can extend its per-year analysis with
+//! one extra task per index:
+//!
+//! * threshold counts — frost days (TN < 0 °C), summer days (TX > 25 °C),
+//!   icing days (TX < 0 °C), tropical nights (TN > 20 °C);
+//! * percentile exceedances — TX90p / TN10p (fraction of days above the
+//!   calendar 90th / below the 10th percentile of a reference period);
+//! * spell indices — WSDI / CSDI (annual days in ≥6-day runs beyond the
+//!   percentile thresholds);
+//! * absolute extremes — TXx, TNn.
+
+use crate::heatwave::wave_runs;
+use datacube::exec::ExecConfig;
+use datacube::expr::Expr;
+use datacube::model::Cube;
+use datacube::ops::{self, InterOp, ReduceOp};
+use datacube::Result;
+use gridded::stats::percentile;
+
+/// Count of days satisfying `value CMP threshold` per cell (a map cube).
+/// `cmp` is an `oph_predicate`-style condition like `"<273.15"`.
+pub fn threshold_days(daily: &Cube, cmp: &str, cfg: ExecConfig) -> Result<Cube> {
+    let mask = ops::apply(daily, &Expr::from_oph_predicate("x", cmp, "1", "0")?, cfg);
+    let dim = mask
+        .implicit_dims()
+        .first()
+        .map(|d| d.name.clone())
+        .ok_or_else(|| datacube::Error::SchemaMismatch("daily cube has no time axis".into()))?;
+    ops::reduce(&mask, ReduceOp::Sum, &dim, cfg)
+}
+
+/// Frost days: annual count with daily minimum below 0 °C.
+pub fn frost_days(daily_tmin_k: &Cube, cfg: ExecConfig) -> Result<Cube> {
+    threshold_days(daily_tmin_k, "<273.15", cfg)
+}
+
+/// Icing days: annual count with daily maximum below 0 °C.
+pub fn icing_days(daily_tmax_k: &Cube, cfg: ExecConfig) -> Result<Cube> {
+    threshold_days(daily_tmax_k, "<273.15", cfg)
+}
+
+/// Summer days: annual count with daily maximum above 25 °C.
+pub fn summer_days(daily_tmax_k: &Cube, cfg: ExecConfig) -> Result<Cube> {
+    threshold_days(daily_tmax_k, ">298.15", cfg)
+}
+
+/// Tropical nights: annual count with daily minimum above 20 °C.
+pub fn tropical_nights(daily_tmin_k: &Cube, cfg: ExecConfig) -> Result<Cube> {
+    threshold_days(daily_tmin_k, ">293.15", cfg)
+}
+
+/// TXx: the year's hottest daily maximum per cell.
+pub fn txx(daily_tmax: &Cube, cfg: ExecConfig) -> Result<Cube> {
+    let dim = time_dim(daily_tmax)?;
+    ops::reduce(daily_tmax, ReduceOp::Max, &dim, cfg)
+}
+
+/// TNn: the year's coldest daily minimum per cell.
+pub fn tnn(daily_tmin: &Cube, cfg: ExecConfig) -> Result<Cube> {
+    let dim = time_dim(daily_tmin)?;
+    ops::reduce(daily_tmin, ReduceOp::Min, &dim, cfg)
+}
+
+fn time_dim(cube: &Cube) -> Result<String> {
+    cube.implicit_dims()
+        .first()
+        .map(|d| d.name.clone())
+        .ok_or_else(|| datacube::Error::SchemaMismatch("cube has no time axis".into()))
+}
+
+/// Builds a per-cell percentile threshold cube from reference-period year
+/// cubes: for each cell, the `q`-th percentile of all reference days
+/// pooled (the simplified, non-calendar-window form).
+pub fn percentile_threshold(reference_years: &[&Cube], q: f64, cfg: ExecConfig) -> Result<Cube> {
+    let first = reference_years
+        .first()
+        .ok_or_else(|| datacube::Error::SchemaMismatch("need at least one reference year".into()))?;
+    let rows = first.rows();
+    for y in reference_years {
+        if y.rows() != rows {
+            return Err(datacube::Error::SchemaMismatch("reference years differ in shape".into()));
+        }
+    }
+    // Pool each cell's reference days and take the percentile; executed as
+    // a map_series over a concatenated cube so it parallelizes per
+    // fragment.
+    let dim = time_dim(first)?;
+    let all = ops::concat_implicit(reference_years, &dim)?;
+    let out = ops::map_series(&all, "q", 1, cfg, |series| {
+        vec![percentile(series, q) as f32]
+    })?;
+    Ok(out)
+}
+
+/// TX90p-style exceedance rate: fraction of days with `daily > threshold`
+/// per cell, in `[0, 1]`.
+pub fn exceedance_rate(daily: &Cube, threshold: &Cube, cfg: ExecConfig) -> Result<Cube> {
+    let anom = ops::intercube(daily, threshold, InterOp::Sub, cfg)?;
+    let mask = ops::apply(&anom, &Expr::from_oph_predicate("x", ">0", "1", "0")?, cfg);
+    let dim = time_dim(&mask)?;
+    let count = ops::reduce(&mask, ReduceOp::Sum, &dim, cfg)?;
+    let days = daily.implicit_len() as f64;
+    Ok(ops::apply(&count, &Expr::parse(&format!("x / {days}"))?, cfg))
+}
+
+/// TN10p-style deficit rate: fraction of days with `daily < threshold`.
+pub fn deficit_rate(daily: &Cube, threshold: &Cube, cfg: ExecConfig) -> Result<Cube> {
+    let anom = ops::intercube(daily, threshold, InterOp::Sub, cfg)?;
+    let mask = ops::apply(&anom, &Expr::from_oph_predicate("x", "<0", "1", "0")?, cfg);
+    let dim = time_dim(&mask)?;
+    let count = ops::reduce(&mask, ReduceOp::Sum, &dim, cfg)?;
+    let days = daily.implicit_len() as f64;
+    Ok(ops::apply(&count, &Expr::parse(&format!("x / {days}"))?, cfg))
+}
+
+/// WSDI: annual count of days in runs of ≥ `min_len` consecutive days with
+/// `daily > threshold` (warm spell duration index). `CSDI` is the same
+/// with the comparison flipped.
+pub fn spell_duration_index(
+    daily: &Cube,
+    threshold: &Cube,
+    min_len: usize,
+    cold: bool,
+    cfg: ExecConfig,
+) -> Result<Cube> {
+    let anom = ops::intercube(daily, threshold, InterOp::Sub, cfg)?;
+    let cmp = if cold { "<0" } else { ">0" };
+    let mask = ops::apply(&anom, &Expr::from_oph_predicate("x", cmp, "1", "0")?, cfg);
+    ops::map_series(&mask, "sdi", 1, cfg, |row| {
+        let days: usize = wave_runs(row, min_len).iter().map(|&(_, l)| l).sum();
+        vec![days as f32]
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datacube::model::Dimension;
+
+    fn cfg() -> ExecConfig {
+        ExecConfig::with_servers(2)
+    }
+
+    /// One cell: a year of 10 days with known values.
+    fn daily(values: Vec<f32>) -> Cube {
+        let n = values.len();
+        Cube::from_dense(
+            "t",
+            vec![
+                Dimension::explicit("cell", vec![0.0]),
+                Dimension::implicit("day", (0..n).map(|d| d as f64).collect()),
+            ],
+            values,
+            1,
+            1,
+        )
+        .unwrap()
+    }
+
+    fn scalar_threshold(v: f32) -> Cube {
+        Cube::from_dense("t", vec![Dimension::explicit("cell", vec![0.0])], vec![v], 1, 1).unwrap()
+    }
+
+    #[test]
+    fn threshold_counts() {
+        // tmin: 3 frost days, 2 tropical nights.
+        let tmin = daily(vec![270.0, 272.0, 274.0, 273.0, 295.0, 294.0, 280.0, 285.0, 290.0, 275.0]);
+        assert_eq!(frost_days(&tmin, cfg()).unwrap().to_dense(), vec![3.0]);
+        assert_eq!(tropical_nights(&tmin, cfg()).unwrap().to_dense(), vec![2.0]);
+
+        let tmax = daily(vec![299.0, 300.0, 272.0, 298.15, 290.0, 310.0, 272.5, 298.2, 260.0, 280.0]);
+        assert_eq!(summer_days(&tmax, cfg()).unwrap().to_dense(), vec![4.0]);
+        assert_eq!(icing_days(&tmax, cfg()).unwrap().to_dense(), vec![3.0]);
+    }
+
+    #[test]
+    fn absolute_extremes() {
+        let tmax = daily(vec![280.0, 310.5, 290.0, 305.0]);
+        assert_eq!(txx(&tmax, cfg()).unwrap().to_dense(), vec![310.5]);
+        let tmin = daily(vec![270.0, 250.25, 260.0, 255.0]);
+        assert_eq!(tnn(&tmin, cfg()).unwrap().to_dense(), vec![250.25]);
+    }
+
+    #[test]
+    fn percentile_threshold_pools_reference_years() {
+        // Two reference years of 5 days each: values 0..10 pooled.
+        let a = daily(vec![0.0, 1.0, 2.0, 3.0, 4.0]);
+        let b = daily(vec![5.0, 6.0, 7.0, 8.0, 9.0]);
+        let p50 = percentile_threshold(&[&a, &b], 50.0, cfg()).unwrap();
+        assert_eq!(p50.to_dense(), vec![4.5]);
+        let p90 = percentile_threshold(&[&a, &b], 90.0, cfg()).unwrap();
+        assert!((p90.to_dense()[0] - 8.1).abs() < 0.01);
+        assert!(percentile_threshold(&[], 50.0, cfg()).is_err());
+    }
+
+    #[test]
+    fn exceedance_and_deficit_rates() {
+        let d = daily(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0]);
+        let thr = scalar_threshold(7.5);
+        let tx90p = exceedance_rate(&d, &thr, cfg()).unwrap();
+        assert!((tx90p.to_dense()[0] - 0.3).abs() < 1e-6, "3 of 10 days above 7.5");
+        let thr = scalar_threshold(2.5);
+        let tn10p = deficit_rate(&d, &thr, cfg()).unwrap();
+        assert!((tn10p.to_dense()[0] - 0.2).abs() < 1e-6, "2 of 10 days below 2.5");
+    }
+
+    #[test]
+    fn warm_spell_duration_index() {
+        // 7 consecutive warm days qualify; an isolated 3-day burst does not.
+        let mut vals = vec![0.0f32; 20];
+        for v in vals.iter_mut().take(10).skip(3) {
+            *v = 10.0; // days 3..10 (7 days)
+        }
+        for v in vals.iter_mut().take(17).skip(14) {
+            *v = 10.0; // days 14..17 (3 days)
+        }
+        let d = daily(vals);
+        let thr = scalar_threshold(5.0);
+        let wsdi = spell_duration_index(&d, &thr, 6, false, cfg()).unwrap();
+        assert_eq!(wsdi.to_dense(), vec![7.0]);
+
+        // CSDI with everything above threshold finds nothing.
+        let csdi = spell_duration_index(&d, &thr, 6, true, cfg()).unwrap();
+        // Days below 5.0: 0,1,2 (3) + 10..14 (4) + 17..20 (3) -> runs of 3,4,3, none >= 6.
+        assert_eq!(csdi.to_dense(), vec![0.0]);
+    }
+
+    #[test]
+    fn multi_cell_cubes_work() {
+        // Two cells, different exceedance patterns.
+        let vals = vec![
+            300.0, 300.0, 260.0, 260.0, // cell 0: 2 frost days (tmin < 273.15)
+            270.0, 270.0, 270.0, 280.0, // cell 1: 3 frost days
+        ];
+        let cube = Cube::from_dense(
+            "tmin",
+            vec![
+                Dimension::explicit("cell", vec![0.0, 1.0]),
+                Dimension::implicit("day", vec![0.0, 1.0, 2.0, 3.0]),
+            ],
+            vals,
+            2,
+            2,
+        )
+        .unwrap();
+        assert_eq!(frost_days(&cube, cfg()).unwrap().to_dense(), vec![2.0, 3.0]);
+    }
+}

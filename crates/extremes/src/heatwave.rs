@@ -1,0 +1,289 @@
+//! Heat-wave / cold-spell indices.
+//!
+//! Section 5.3: "A heat wave is a period of unusually hot weather that
+//! typically lasts six or more days. To be considered a heat wave, the
+//! maximum temperature must be 5 °C higher than the historical averages
+//! ... conversely for a cold wave the minimum temperature must be 5 °C
+//! lower". The three indices computed per year are maps of
+//! (i) the longest wave duration (HWD), (ii) the number of waves (HWN)
+//! and (iii) the frequency of wave days (HWF).
+//!
+//! The pipeline mirrors the paper's Ophidia sub-workflow: anomaly =
+//! `intercube(daily, baseline, Sub)`; mask = `apply(predicate(...))`;
+//! per-cell run-length statistics via `map_series`.
+
+use datacube::exec::ExecConfig;
+use datacube::expr::Expr;
+use datacube::model::Cube;
+use datacube::ops::{self, InterOp};
+use datacube::Result;
+
+/// Wave criteria.
+#[derive(Debug, Clone, Copy)]
+pub struct WaveParams {
+    /// Anomaly threshold in kelvin (5.0 per the paper; applied as `> +t`
+    /// for heat waves and `< -t` for cold spells).
+    pub threshold_k: f32,
+    /// Minimum consecutive days for a wave (6 per the paper).
+    pub min_duration: usize,
+}
+
+impl Default for WaveParams {
+    fn default() -> Self {
+        WaveParams { threshold_k: 5.0, min_duration: 6 }
+    }
+}
+
+/// The three index maps of one year.
+pub struct HeatwaveIndices {
+    /// Longest wave duration per cell (days).
+    pub duration_max: Cube,
+    /// Number of waves per cell.
+    pub number: Cube,
+    /// Fraction of days belonging to waves per cell, in `[0, 1]`.
+    pub frequency: Cube,
+}
+
+/// Runs of consecutive exceedances of length ≥ `min_len` in a 0/1 mask
+/// series. Returns `(start, length)` pairs.
+pub fn wave_runs(mask: &[f32], min_len: usize) -> Vec<(usize, usize)> {
+    let mut out = Vec::new();
+    let mut start = None;
+    for (i, &v) in mask.iter().enumerate() {
+        let hot = v > 0.5;
+        match (hot, start) {
+            (true, None) => start = Some(i),
+            (false, Some(s)) => {
+                if i - s >= min_len {
+                    out.push((s, i - s));
+                }
+                start = None;
+            }
+            _ => {}
+        }
+    }
+    if let Some(s) = start {
+        if mask.len() - s >= min_len {
+            out.push((s, mask.len() - s));
+        }
+    }
+    out
+}
+
+/// Longest qualifying run (0 when none).
+pub fn longest_wave(mask: &[f32], min_len: usize) -> usize {
+    wave_runs(mask, min_len).iter().map(|&(_, l)| l).max().unwrap_or(0)
+}
+
+/// Number of qualifying runs.
+pub fn wave_count(mask: &[f32], min_len: usize) -> usize {
+    wave_runs(mask, min_len).len()
+}
+
+/// Fraction of days inside qualifying runs.
+pub fn wave_frequency(mask: &[f32], min_len: usize) -> f64 {
+    if mask.is_empty() {
+        return 0.0;
+    }
+    let days: usize = wave_runs(mask, min_len).iter().map(|&(_, l)| l).sum();
+    days as f64 / mask.len() as f64
+}
+
+/// Builds the 0/1 exceedance mask cube: heat waves use
+/// `daily_max - baseline > threshold`; cold spells negate both sides.
+pub fn exceedance_mask(
+    daily: &Cube,
+    baseline: &Cube,
+    params: WaveParams,
+    cold: bool,
+    cfg: ExecConfig,
+) -> Result<Cube> {
+    let anom = ops::intercube(daily, baseline, InterOp::Sub, cfg)?;
+    let expr = if cold {
+        Expr::from_oph_predicate("x", &format!("<-{}", params.threshold_k), "1", "0")?
+    } else {
+        Expr::from_oph_predicate("x", &format!(">{}", params.threshold_k), "1", "0")?
+    };
+    Ok(ops::apply(&anom, &expr, cfg))
+}
+
+/// Computes the three indices from a `(lat, lon | day)` daily-extreme cube
+/// and a `(lat, lon)` baseline.
+pub fn compute_indices(
+    daily: &Cube,
+    baseline: &Cube,
+    params: WaveParams,
+    cold: bool,
+    cfg: ExecConfig,
+) -> Result<HeatwaveIndices> {
+    let mask = exceedance_mask(daily, baseline, params, cold, cfg)?;
+    let min_len = params.min_duration;
+    let duration_max = ops::map_series(&mask, "hwd", 1, cfg, |row| {
+        vec![longest_wave(row, min_len) as f32]
+    })?;
+    let number = ops::map_series(&mask, "hwn", 1, cfg, |row| {
+        vec![wave_count(row, min_len) as f32]
+    })?;
+    let frequency = ops::map_series(&mask, "hwf", 1, cfg, |row| {
+        vec![wave_frequency(row, min_len) as f32]
+    })?;
+    Ok(HeatwaveIndices { duration_max, number, frequency })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datacube::model::Dimension;
+
+    #[test]
+    fn runs_detected_with_min_length() {
+        //                 0    1    2    3    4    5    6    7    8    9
+        let m = [0.0, 1.0, 1.0, 1.0, 0.0, 1.0, 1.0, 1.0, 1.0, 1.0];
+        assert_eq!(wave_runs(&m, 3), vec![(1, 3), (5, 5)]);
+        assert_eq!(wave_runs(&m, 4), vec![(5, 5)]);
+        assert_eq!(wave_runs(&m, 6), vec![]);
+        assert_eq!(longest_wave(&m, 3), 5);
+        assert_eq!(wave_count(&m, 3), 2);
+        assert!((wave_frequency(&m, 3) - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn run_reaching_series_end_counts() {
+        let m = [0.0, 0.0, 1.0, 1.0, 1.0];
+        assert_eq!(wave_runs(&m, 3), vec![(2, 3)]);
+        let all = [1.0; 7];
+        assert_eq!(wave_runs(&all, 6), vec![(0, 7)]);
+    }
+
+    #[test]
+    fn empty_and_cold_series() {
+        assert!(wave_runs(&[], 6).is_empty());
+        assert_eq!(longest_wave(&[0.0; 30], 6), 0);
+        assert_eq!(wave_frequency(&[], 6), 0.0);
+    }
+
+    /// One cell with a known 8-day heat wave, one cell quiet.
+    fn daily_cube() -> (Cube, Cube) {
+        let ndays = 30;
+        let dims = vec![
+            Dimension::explicit("lat", vec![40.0]),
+            Dimension::explicit("lon", vec![10.0, 200.0]),
+            Dimension::implicit("day", (0..ndays).map(|d| d as f64).collect()),
+        ];
+        let mut data = Vec::new();
+        // Cell 0: baseline 300, +8 K anomaly on days 10..18.
+        for d in 0..ndays {
+            data.push(if (10..18).contains(&d) { 308.0 } else { 300.0 });
+        }
+        // Cell 1: flat at baseline.
+        data.extend(std::iter::repeat_n(295.0, ndays));
+        let daily = Cube::from_dense("tasmax", dims.clone(), data, 2, 1).unwrap();
+        let bdims = vec![
+            Dimension::explicit("lat", vec![40.0]),
+            Dimension::explicit("lon", vec![10.0, 200.0]),
+        ];
+        let baseline = Cube::from_dense("tasmax", bdims, vec![300.0, 295.0], 2, 1).unwrap();
+        (daily, baseline)
+    }
+
+    #[test]
+    fn indices_on_known_event() {
+        let (daily, baseline) = daily_cube();
+        let idx = compute_indices(&daily, &baseline, WaveParams::default(), false, ExecConfig::serial())
+            .unwrap();
+        assert_eq!(idx.duration_max.to_dense(), vec![8.0, 0.0]);
+        assert_eq!(idx.number.to_dense(), vec![1.0, 0.0]);
+        let f = idx.frequency.to_dense();
+        assert!((f[0] - 8.0 / 30.0).abs() < 1e-6);
+        assert_eq!(f[1], 0.0);
+    }
+
+    #[test]
+    fn short_events_do_not_qualify() {
+        // 5-day anomaly < 6-day minimum.
+        let ndays = 20;
+        let dims = vec![
+            Dimension::explicit("lat", vec![0.0]),
+            Dimension::implicit("day", (0..ndays).map(|d| d as f64).collect()),
+        ];
+        let data: Vec<f32> = (0..ndays)
+            .map(|d| if (5..10).contains(&d) { 310.0 } else { 300.0 })
+            .collect();
+        let daily = Cube::from_dense("tasmax", dims, data, 1, 1).unwrap();
+        let bdims = vec![Dimension::explicit("lat", vec![0.0])];
+        let baseline = Cube::from_dense("tasmax", bdims, vec![300.0], 1, 1).unwrap();
+        let idx = compute_indices(&daily, &baseline, WaveParams::default(), false, ExecConfig::serial())
+            .unwrap();
+        assert_eq!(idx.number.to_dense(), vec![0.0]);
+        assert_eq!(idx.duration_max.to_dense(), vec![0.0]);
+    }
+
+    #[test]
+    fn threshold_is_strict_five_kelvin() {
+        // +5.0 exactly must NOT trigger (paper: "must be 5 °C higher").
+        let ndays = 10;
+        let dims = vec![
+            Dimension::explicit("lat", vec![0.0]),
+            Dimension::implicit("day", (0..ndays).map(|d| d as f64).collect()),
+        ];
+        let exact = Cube::from_dense("t", dims.clone(), vec![305.0; ndays], 1, 1).unwrap();
+        let above = Cube::from_dense("t", dims, vec![305.1; ndays], 1, 1).unwrap();
+        let bdims = vec![Dimension::explicit("lat", vec![0.0])];
+        let baseline = Cube::from_dense("t", bdims, vec![300.0], 1, 1).unwrap();
+        let p = WaveParams::default();
+        let i_exact =
+            compute_indices(&exact, &baseline, p, false, ExecConfig::serial()).unwrap();
+        let i_above =
+            compute_indices(&above, &baseline, p, false, ExecConfig::serial()).unwrap();
+        assert_eq!(i_exact.number.to_dense(), vec![0.0]);
+        assert_eq!(i_above.number.to_dense(), vec![1.0]);
+    }
+
+    #[test]
+    fn cold_spell_uses_negative_threshold() {
+        let ndays = 14;
+        let dims = vec![
+            Dimension::explicit("lat", vec![0.0]),
+            Dimension::implicit("day", (0..ndays).map(|d| d as f64).collect()),
+        ];
+        // 7 cold days at -9 K anomaly.
+        let data: Vec<f32> = (0..ndays)
+            .map(|d| if d < 7 { 261.0 } else { 272.0 })
+            .collect();
+        let daily = Cube::from_dense("tasmin", dims, data, 1, 1).unwrap();
+        let bdims = vec![Dimension::explicit("lat", vec![0.0])];
+        let baseline = Cube::from_dense("tasmin", bdims, vec![270.0], 1, 1).unwrap();
+        let p = WaveParams::default();
+        let cold = compute_indices(&daily, &baseline, p, true, ExecConfig::serial()).unwrap();
+        assert_eq!(cold.duration_max.to_dense(), vec![7.0]);
+        // The same data run through the *heat* pipeline finds nothing.
+        let heat = compute_indices(&daily, &baseline, p, false, ExecConfig::serial()).unwrap();
+        assert_eq!(heat.number.to_dense(), vec![0.0]);
+    }
+
+    #[test]
+    fn two_separate_waves_counted() {
+        let ndays = 30;
+        let dims = vec![
+            Dimension::explicit("lat", vec![0.0]),
+            Dimension::implicit("day", (0..ndays).map(|d| d as f64).collect()),
+        ];
+        let data: Vec<f32> = (0..ndays)
+            .map(|d| {
+                if (2..9).contains(&d) || (15..25).contains(&d) {
+                    307.0
+                } else {
+                    300.0
+                }
+            })
+            .collect();
+        let daily = Cube::from_dense("t", dims, data, 1, 1).unwrap();
+        let bdims = vec![Dimension::explicit("lat", vec![0.0])];
+        let baseline = Cube::from_dense("t", bdims, vec![300.0], 1, 1).unwrap();
+        let idx = compute_indices(&daily, &baseline, WaveParams::default(), false, ExecConfig::serial())
+            .unwrap();
+        assert_eq!(idx.number.to_dense(), vec![2.0]);
+        assert_eq!(idx.duration_max.to_dense(), vec![10.0]);
+        assert!((idx.frequency.to_dense()[0] - 17.0 / 30.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,305 @@
+//! Deterministic tropical-cyclone detection.
+//!
+//! The classical criteria-based scheme the paper's "deterministic algorithm
+//! for Tropical Cyclones tracking" refers to: candidate centers are local
+//! sea-level-pressure minima that (i) are sufficiently deep relative to the
+//! surrounding ambient pressure, (ii) carry gale-force winds nearby,
+//! (iii) sit in a cyclonic-vorticity patch, and (iv) exhibit a warm core.
+
+use gridded::{Field2, Grid};
+
+/// Tunable detection criteria.
+#[derive(Debug, Clone, Copy)]
+pub struct DetectorParams {
+    /// Minimum depression below the neighbourhood ambient pressure, Pa.
+    pub min_depression_pa: f32,
+    /// Minimum wind speed within the search radius, m/s (17 = gale).
+    pub min_wind_ms: f32,
+    /// Required warm-core anomaly vs the ring average, K.
+    pub min_warm_core_k: f32,
+    /// Search radius in grid cells for ambient/wind/warm-core checks.
+    pub radius_cells: usize,
+    /// Equatorward cutoff: ignore candidates poleward of this |latitude|.
+    pub max_abs_lat: f64,
+}
+
+impl Default for DetectorParams {
+    fn default() -> Self {
+        DetectorParams {
+            min_depression_pa: 500.0,
+            min_wind_ms: 17.0,
+            min_warm_core_k: 0.5,
+            radius_cells: 3,
+            max_abs_lat: 60.0,
+        }
+    }
+}
+
+/// One detected cyclone candidate at one timestep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Detection {
+    pub lat: f64,
+    pub lon: f64,
+    /// Central pressure, Pa.
+    pub min_psl_pa: f32,
+    /// Maximum wind within the search radius, m/s.
+    pub max_wind_ms: f32,
+    /// Depression relative to ambient, Pa.
+    pub depression_pa: f32,
+}
+
+/// Wrapped ring/disk iteration helper: calls `f(i, j)` for every cell
+/// within `radius` cells of `(ci, cj)` (longitude wraps on global grids).
+fn for_neighbourhood<F: FnMut(usize, usize)>(grid: &Grid, ci: usize, cj: usize, radius: usize, mut f: F) {
+    let r = radius as isize;
+    for di in -r..=r {
+        let i = ci as isize + di;
+        if i < 0 || i >= grid.nlat as isize {
+            continue;
+        }
+        for dj in -r..=r {
+            let j = if grid.is_global_lon() {
+                ((cj as isize + dj).rem_euclid(grid.nlon as isize)) as usize
+            } else {
+                let j = cj as isize + dj;
+                if j < 0 || j >= grid.nlon as isize {
+                    continue;
+                }
+                j as usize
+            };
+            f(i as usize, j);
+        }
+    }
+}
+
+/// Detects cyclone candidates in one timestep of fields.
+///
+/// `psl` in Pa, `wind` in m/s, `tas` in K, `vort` cyclonic-positive.
+pub fn detect_timestep(
+    psl: &Field2,
+    wind: &Field2,
+    tas: &Field2,
+    vort: &Field2,
+    params: &DetectorParams,
+) -> Vec<Detection> {
+    let grid = &psl.grid;
+    let mut out = Vec::new();
+    let r = params.radius_cells;
+
+    for ci in 0..grid.nlat {
+        let lat = grid.lat(ci);
+        if lat.abs() > params.max_abs_lat {
+            continue;
+        }
+        'cell: for cj in 0..grid.nlon {
+            let p0 = psl.get(ci, cj);
+
+            // (i) strict local minimum over the immediate ring.
+            let mut is_min = true;
+            for_neighbourhood(grid, ci, cj, 1, |i, j| {
+                if (i, j) != (ci, cj) && psl.get(i, j) <= p0 {
+                    is_min = false;
+                }
+            });
+            if !is_min {
+                continue 'cell;
+            }
+
+            // Ambient pressure: mean over the ring at the search radius.
+            let mut ambient_sum = 0.0f64;
+            let mut ambient_n = 0usize;
+            let mut max_wind = 0.0f32;
+            let mut ring_tas_sum = 0.0f64;
+            let mut ring_tas_n = 0usize;
+            let mut cyclonic = false;
+            for_neighbourhood(grid, ci, cj, r, |i, j| {
+                let di = i as isize - ci as isize;
+                // Ring cells (outer band) define "ambient".
+                let outer = di.unsigned_abs() == r || {
+                    // Longitude distance accounting for wrap.
+                    let dj = (j as isize - cj as isize).rem_euclid(grid.nlon as isize);
+                    let dj = dj.min(grid.nlon as isize - dj);
+                    dj as usize == r
+                };
+                if outer {
+                    ambient_sum += psl.get(i, j) as f64;
+                    ambient_n += 1;
+                    ring_tas_sum += tas.get(i, j) as f64;
+                    ring_tas_n += 1;
+                }
+                max_wind = max_wind.max(wind.get(i, j));
+                if vort.get(i, j) > 0.0 {
+                    cyclonic = true;
+                }
+            });
+            if ambient_n == 0 {
+                continue 'cell;
+            }
+            let ambient = (ambient_sum / ambient_n as f64) as f32;
+            let depression = ambient - p0;
+            if depression < params.min_depression_pa {
+                continue 'cell;
+            }
+
+            // (ii) gale-force winds near the center.
+            if max_wind < params.min_wind_ms {
+                continue 'cell;
+            }
+
+            // (iii) cyclonic vorticity present.
+            if !cyclonic {
+                continue 'cell;
+            }
+
+            // (iv) warm core: center air warmer than the ring mean.
+            let ring_tas = (ring_tas_sum / ring_tas_n.max(1) as f64) as f32;
+            if tas.get(ci, cj) - ring_tas < params.min_warm_core_k {
+                continue 'cell;
+            }
+
+            out.push(Detection {
+                lat,
+                lon: grid.lon(cj),
+                min_psl_pa: p0,
+                max_wind_ms: max_wind,
+                depression_pa: depression,
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Plants an idealized vortex at a cell center and returns the fields.
+    fn vortex_fields(grid: &Grid, ci: usize, cj: usize, deficit_pa: f32) -> (Field2, Field2, Field2, Field2) {
+        let mut psl = Field2::constant(grid.clone(), 101_300.0);
+        let mut wind = Field2::constant(grid.clone(), 5.0);
+        let mut tas = Field2::constant(grid.clone(), 300.0);
+        let mut vort = Field2::constant(grid.clone(), -0.1);
+        let (clat, clon) = (grid.lat(ci), grid.lon(cj));
+        for i in 0..grid.nlat {
+            for j in 0..grid.nlon {
+                let dlat = grid.lat(i) - clat;
+                let mut dlon = (grid.lon(j) - clon).rem_euclid(360.0);
+                if dlon > 180.0 {
+                    dlon -= 360.0;
+                }
+                let r = (dlat * dlat + dlon * dlon).sqrt() / 3.0;
+                if r < 5.0 {
+                    psl.set(i, j, psl.get(i, j) - deficit_pa * (-(r as f32).powi(2)).exp());
+                    wind.set(i, j, 5.0 + 40.0 * (r as f32) * (1.0 - r as f32).exp());
+                    tas.set(i, j, 300.0 + 3.0 * (-(r as f32).powi(2)).exp());
+                    vort.set(i, j, 1.0 * (-(r as f32).powi(2)).exp());
+                }
+            }
+        }
+        (psl, wind, tas, vort)
+    }
+
+    fn grid() -> Grid {
+        Grid::global(96, 144)
+    }
+
+    #[test]
+    fn detects_planted_vortex_at_right_place() {
+        let g = grid();
+        let ci = g.lat_index(15.0);
+        let cj = g.lon_index(140.0);
+        let (psl, wind, tas, vort) = vortex_fields(&g, ci, cj, 4000.0);
+        let dets = detect_timestep(&psl, &wind, &tas, &vort, &DetectorParams::default());
+        assert_eq!(dets.len(), 1, "expected exactly one detection, got {dets:?}");
+        let d = &dets[0];
+        let err = Grid::distance_km(d.lat, d.lon, g.lat(ci), g.lon(cj));
+        assert!(err < 300.0, "center error {err} km");
+        assert!(d.depression_pa > 2000.0);
+        assert!(d.max_wind_ms > 17.0);
+    }
+
+    #[test]
+    fn quiet_field_has_no_detections() {
+        let g = grid();
+        let psl = Field2::constant(g.clone(), 101_300.0);
+        let wind = Field2::constant(g.clone(), 8.0);
+        let tas = Field2::constant(g.clone(), 295.0);
+        let vort = Field2::constant(g.clone(), 0.0);
+        assert!(detect_timestep(&psl, &wind, &tas, &vort, &DetectorParams::default()).is_empty());
+    }
+
+    #[test]
+    fn shallow_depression_rejected() {
+        let g = grid();
+        let ci = g.lat_index(12.0);
+        let cj = g.lon_index(60.0);
+        let (psl, wind, tas, vort) = vortex_fields(&g, ci, cj, 300.0); // < 500 Pa
+        assert!(detect_timestep(&psl, &wind, &tas, &vort, &DetectorParams::default()).is_empty());
+    }
+
+    #[test]
+    fn weak_wind_rejected() {
+        let g = grid();
+        let ci = g.lat_index(12.0);
+        let cj = g.lon_index(60.0);
+        let (psl, _, tas, vort) = vortex_fields(&g, ci, cj, 4000.0);
+        let calm = Field2::constant(g.clone(), 3.0);
+        assert!(detect_timestep(&psl, &calm, &tas, &vort, &DetectorParams::default()).is_empty());
+    }
+
+    #[test]
+    fn cold_core_rejected() {
+        let g = grid();
+        let ci = g.lat_index(12.0);
+        let cj = g.lon_index(60.0);
+        let (psl, wind, _, vort) = vortex_fields(&g, ci, cj, 4000.0);
+        let cold = Field2::constant(g.clone(), 280.0); // flat: no warm core
+        assert!(detect_timestep(&psl, &wind, &cold, &vort, &DetectorParams::default()).is_empty());
+    }
+
+    #[test]
+    fn anticyclonic_rejected() {
+        let g = grid();
+        let ci = g.lat_index(12.0);
+        let cj = g.lon_index(60.0);
+        let (psl, wind, tas, _) = vortex_fields(&g, ci, cj, 4000.0);
+        let anti = Field2::constant(g.clone(), -1.0);
+        assert!(detect_timestep(&psl, &wind, &tas, &anti, &DetectorParams::default()).is_empty());
+    }
+
+    #[test]
+    fn high_latitude_candidates_ignored() {
+        let g = grid();
+        let ci = g.lat_index(70.0);
+        let cj = g.lon_index(60.0);
+        let (psl, wind, tas, vort) = vortex_fields(&g, ci, cj, 4000.0);
+        assert!(detect_timestep(&psl, &wind, &tas, &vort, &DetectorParams::default()).is_empty());
+    }
+
+    #[test]
+    fn detects_across_dateline_wrap() {
+        let g = grid();
+        let ci = g.lat_index(-12.0);
+        let cj = 0; // vortex on the wrap seam
+        let (psl, wind, tas, vort) = vortex_fields(&g, ci, cj, 4000.0);
+        let dets = detect_timestep(&psl, &wind, &tas, &vort, &DetectorParams::default());
+        assert_eq!(dets.len(), 1, "wrap seam detection failed: {dets:?}");
+    }
+
+    #[test]
+    fn two_vortices_both_found() {
+        let g = grid();
+        let a = (g.lat_index(15.0), g.lon_index(120.0));
+        let b = (g.lat_index(-18.0), g.lon_index(300.0));
+        let (mut psl, mut wind, mut tas, mut vort) = vortex_fields(&g, a.0, a.1, 4000.0);
+        let (p2, w2, t2, v2) = vortex_fields(&g, b.0, b.1, 5000.0);
+        for idx in 0..psl.data.len() {
+            psl.data[idx] = psl.data[idx].min(p2.data[idx]);
+            wind.data[idx] = wind.data[idx].max(w2.data[idx]);
+            tas.data[idx] = tas.data[idx].max(t2.data[idx]);
+            vort.data[idx] = vort.data[idx].max(v2.data[idx]);
+        }
+        let dets = detect_timestep(&psl, &wind, &tas, &vort, &DetectorParams::default());
+        assert_eq!(dets.len(), 2, "expected both vortices: {dets:?}");
+    }
+}

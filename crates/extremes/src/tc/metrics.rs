@@ -1,0 +1,148 @@
+//! Verification of detections and tracks against the ESM's ground truth.
+//!
+//! Standard categorical scores: probability of detection (POD), false-alarm
+//! ratio (FAR), and mean great-circle center error on hits. Used by the C7
+//! experiment to compare the CNN pipeline with the deterministic tracker.
+
+use gridded::Grid;
+
+/// A truth or predicted center at one timestep: `(timestep, lat, lon)`.
+pub type Center = (usize, f64, f64);
+
+/// Verification scores.
+#[derive(Debug, Clone, Copy)]
+pub struct Scores {
+    /// Hits / (hits + misses).
+    pub pod: f64,
+    /// False alarms / (hits + false alarms).
+    pub far: f64,
+    /// Mean center error over hits, km (NaN when no hits).
+    pub mean_error_km: f64,
+    pub hits: usize,
+    pub misses: usize,
+    pub false_alarms: usize,
+}
+
+/// Matches predictions to truth per timestep: a prediction is a hit when a
+/// same-timestep truth center lies within `radius_km`; each truth center
+/// can be claimed once (nearest prediction wins).
+pub fn verify(truth: &[Center], predicted: &[Center], radius_km: f64) -> Scores {
+    let mut truth_claimed = vec![false; truth.len()];
+    let mut hits = 0usize;
+    let mut err_sum = 0.0f64;
+    let mut false_alarms = 0usize;
+
+    // Nearest-first global matching within each timestep.
+    let mut pairs: Vec<(usize, usize, f64)> = Vec::new();
+    for (pi, &(pt, plat, plon)) in predicted.iter().enumerate() {
+        for (ti, &(tt, tlat, tlon)) in truth.iter().enumerate() {
+            if pt != tt {
+                continue;
+            }
+            let d = Grid::distance_km(plat, plon, tlat, tlon);
+            if d <= radius_km {
+                pairs.push((pi, ti, d));
+            }
+        }
+    }
+    pairs.sort_by(|a, b| a.2.partial_cmp(&b.2).unwrap());
+    let mut pred_claimed = vec![false; predicted.len()];
+    for (pi, ti, d) in pairs {
+        if pred_claimed[pi] || truth_claimed[ti] {
+            continue;
+        }
+        pred_claimed[pi] = true;
+        truth_claimed[ti] = true;
+        hits += 1;
+        err_sum += d;
+    }
+    for claimed in &pred_claimed {
+        if !claimed {
+            false_alarms += 1;
+        }
+    }
+    let misses = truth_claimed.iter().filter(|c| !**c).count();
+
+    Scores {
+        pod: if hits + misses > 0 { hits as f64 / (hits + misses) as f64 } else { f64::NAN },
+        far: if hits + false_alarms > 0 {
+            false_alarms as f64 / (hits + false_alarms) as f64
+        } else {
+            0.0
+        },
+        mean_error_km: if hits > 0 { err_sum / hits as f64 } else { f64::NAN },
+        hits,
+        misses,
+        false_alarms,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_match() {
+        let truth = vec![(0, 15.0, 140.0), (1, 16.0, 139.0)];
+        let s = verify(&truth, &truth, 100.0);
+        assert_eq!(s.hits, 2);
+        assert_eq!(s.misses, 0);
+        assert_eq!(s.false_alarms, 0);
+        assert_eq!(s.pod, 1.0);
+        assert_eq!(s.far, 0.0);
+        assert!(s.mean_error_km < 1e-9);
+    }
+
+    #[test]
+    fn miss_and_false_alarm() {
+        let truth = vec![(0, 15.0, 140.0)];
+        let predicted = vec![(0, -40.0, 10.0)]; // far away
+        let s = verify(&truth, &predicted, 300.0);
+        assert_eq!(s.hits, 0);
+        assert_eq!(s.misses, 1);
+        assert_eq!(s.false_alarms, 1);
+        assert_eq!(s.pod, 0.0);
+        assert_eq!(s.far, 1.0);
+        assert!(s.mean_error_km.is_nan());
+    }
+
+    #[test]
+    fn timestep_must_match() {
+        let truth = vec![(0, 15.0, 140.0)];
+        let predicted = vec![(1, 15.0, 140.0)];
+        let s = verify(&truth, &predicted, 300.0);
+        assert_eq!(s.hits, 0);
+        assert_eq!(s.misses, 1);
+        assert_eq!(s.false_alarms, 1);
+    }
+
+    #[test]
+    fn each_truth_claimed_once() {
+        // Two predictions near one truth: one hit + one false alarm.
+        let truth = vec![(0, 15.0, 140.0)];
+        let predicted = vec![(0, 15.2, 140.0), (0, 15.4, 140.2)];
+        let s = verify(&truth, &predicted, 300.0);
+        assert_eq!(s.hits, 1);
+        assert_eq!(s.false_alarms, 1);
+        // The nearer one is the hit.
+        assert!(s.mean_error_km < 50.0);
+    }
+
+    #[test]
+    fn within_radius_offset_counts_with_error() {
+        let truth = vec![(0, 15.0, 140.0)];
+        let predicted = vec![(0, 15.0, 141.0)]; // ~107 km at 15N
+        let s = verify(&truth, &predicted, 300.0);
+        assert_eq!(s.hits, 1);
+        assert!((s.mean_error_km - 107.0).abs() < 5.0, "err {}", s.mean_error_km);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let s = verify(&[], &[], 100.0);
+        assert!(s.pod.is_nan());
+        assert_eq!(s.far, 0.0);
+        let s = verify(&[(0, 1.0, 1.0)], &[], 100.0);
+        assert_eq!(s.pod, 0.0);
+    }
+}

@@ -1,0 +1,6 @@
+//! Tropical-cyclone detection, tracking, CNN localization and verification.
+
+pub mod cnn;
+pub mod detect;
+pub mod metrics;
+pub mod track;

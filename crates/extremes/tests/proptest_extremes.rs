@@ -1,0 +1,102 @@
+//! Property tests on the extremes analytics invariants.
+
+use extremes::heatwave::{longest_wave, wave_count, wave_frequency, wave_runs};
+use extremes::tc::metrics::verify;
+use proptest::prelude::*;
+
+/// Random 0/1 mask series.
+fn mask_strategy() -> impl Strategy<Value = Vec<f32>> {
+    proptest::collection::vec(prop_oneof![Just(0.0f32), Just(1.0f32)], 0..200)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Run-length invariants: runs are disjoint, in-bounds, at least
+    /// min_len long, fully hot, and maximal (bounded by cold or edges).
+    #[test]
+    fn wave_runs_are_maximal_hot_intervals(mask in mask_strategy(), min_len in 1usize..8) {
+        let runs = wave_runs(&mask, min_len);
+        let mut prev_end = 0usize;
+        for &(start, len) in &runs {
+            prop_assert!(len >= min_len);
+            prop_assert!(start + len <= mask.len());
+            prop_assert!(start >= prev_end, "runs must be disjoint and ordered");
+            prev_end = start + len;
+            // Entirely hot.
+            prop_assert!(mask[start..start + len].iter().all(|&v| v > 0.5));
+            // Maximal: cold (or boundary) on both sides.
+            if start > 0 {
+                prop_assert!(mask[start - 1] <= 0.5);
+            }
+            if start + len < mask.len() {
+                prop_assert!(mask[start + len] <= 0.5);
+            }
+        }
+    }
+
+    /// Aggregate indices are consistent with the run list.
+    #[test]
+    fn indices_agree_with_runs(mask in mask_strategy(), min_len in 1usize..8) {
+        let runs = wave_runs(&mask, min_len);
+        prop_assert_eq!(wave_count(&mask, min_len), runs.len());
+        prop_assert_eq!(
+            longest_wave(&mask, min_len),
+            runs.iter().map(|&(_, l)| l).max().unwrap_or(0)
+        );
+        let days: usize = runs.iter().map(|&(_, l)| l).sum();
+        let freq = wave_frequency(&mask, min_len);
+        if mask.is_empty() {
+            prop_assert_eq!(freq, 0.0);
+        } else {
+            prop_assert!((freq - days as f64 / mask.len() as f64).abs() < 1e-12);
+        }
+        prop_assert!((0.0..=1.0).contains(&freq));
+    }
+
+    /// Raising the minimum duration can only shrink every index.
+    #[test]
+    fn indices_monotone_in_min_duration(mask in mask_strategy()) {
+        for min_len in 1usize..7 {
+            prop_assert!(wave_count(&mask, min_len) >= wave_count(&mask, min_len + 1));
+            prop_assert!(wave_frequency(&mask, min_len) >= wave_frequency(&mask, min_len + 1));
+            let l1 = longest_wave(&mask, min_len);
+            let l2 = longest_wave(&mask, min_len + 1);
+            prop_assert!(l1 >= l2);
+        }
+    }
+
+    /// Appending a cold day never changes existing runs' contribution.
+    #[test]
+    fn cold_suffix_preserves_indices(mask in mask_strategy(), min_len in 1usize..8) {
+        let mut extended = mask.clone();
+        extended.push(0.0);
+        prop_assert_eq!(wave_count(&mask, min_len), wave_count(&extended, min_len));
+        prop_assert_eq!(longest_wave(&mask, min_len), longest_wave(&extended, min_len));
+    }
+
+    /// Verification metrics invariants: POD and FAR in [0,1], hits bounded
+    /// by both sets, identity scoring is perfect.
+    #[test]
+    fn verify_score_bounds(
+        truth in proptest::collection::vec((0usize..20, -60.0f64..60.0, 0.0f64..360.0), 0..20),
+        pred in proptest::collection::vec((0usize..20, -60.0f64..60.0, 0.0f64..360.0), 0..20),
+        radius in 50.0f64..2000.0,
+    ) {
+        let s = verify(&truth, &pred, radius);
+        prop_assert_eq!(s.hits + s.misses, truth.len());
+        prop_assert_eq!(s.hits + s.false_alarms, pred.len());
+        if !truth.is_empty() {
+            prop_assert!((0.0..=1.0).contains(&s.pod));
+        }
+        prop_assert!((0.0..=1.0).contains(&s.far));
+        if s.hits > 0 {
+            prop_assert!(s.mean_error_km <= radius + 1e-9);
+        }
+
+        // Perfect self-match.
+        let perfect = verify(&truth, &truth, radius);
+        prop_assert_eq!(perfect.hits, truth.len());
+        prop_assert_eq!(perfect.false_alarms, 0);
+    }
+}

@@ -1,0 +1,320 @@
+//! Field containers: a 2-D field is one variable on one grid at one time;
+//! a 3-D field stacks a time axis on top (time-major storage, matching the
+//! `(time, lat, lon)` layout of the NetCDF-like files).
+
+use crate::grid::Grid;
+
+/// A single-level, single-time field on a [`Grid`]. Row-major `(lat, lon)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Field2 {
+    pub grid: Grid,
+    pub data: Vec<f32>,
+}
+
+impl Field2 {
+    /// A field filled with a constant.
+    pub fn constant(grid: Grid, value: f32) -> Self {
+        let n = grid.len();
+        Field2 { grid, data: vec![value; n] }
+    }
+
+    /// A field of zeros.
+    pub fn zeros(grid: Grid) -> Self {
+        Field2::constant(grid, 0.0)
+    }
+
+    /// Wraps existing data; panics if the length does not match the grid.
+    pub fn from_vec(grid: Grid, data: Vec<f32>) -> Self {
+        assert_eq!(grid.len(), data.len(), "data length must match grid size");
+        Field2 { grid, data }
+    }
+
+    /// Value at `(i, j)`.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f32 {
+        self.data[self.grid.index(i, j)]
+    }
+
+    /// Mutable value at `(i, j)`.
+    #[inline]
+    pub fn get_mut(&mut self, i: usize, j: usize) -> &mut f32 {
+        let idx = self.grid.index(i, j);
+        &mut self.data[idx]
+    }
+
+    /// Sets the value at `(i, j)`.
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, v: f32) {
+        *self.get_mut(i, j) = v;
+    }
+
+    /// Applies `f` to every cell in place.
+    pub fn map_inplace<F: FnMut(f32) -> f32>(&mut self, mut f: F) {
+        for v in &mut self.data {
+            *v = f(*v);
+        }
+    }
+
+    /// Element-wise combination with another field on the same grid.
+    pub fn zip_with<F: FnMut(f32, f32) -> f32>(&self, other: &Field2, mut f: F) -> Field2 {
+        assert_eq!(self.grid, other.grid, "fields must share a grid");
+        let data = self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(&a, &b)| f(a, b))
+            .collect();
+        Field2 { grid: self.grid.clone(), data }
+    }
+
+    /// Minimum value (NaNs ignored; returns `None` for an empty field or
+    /// all-NaN data).
+    pub fn min(&self) -> Option<f32> {
+        self.data.iter().copied().filter(|v| !v.is_nan()).fold(None, |m, v| {
+            Some(match m {
+                None => v,
+                Some(m) => m.min(v),
+            })
+        })
+    }
+
+    /// Maximum value (NaNs ignored).
+    pub fn max(&self) -> Option<f32> {
+        self.data.iter().copied().filter(|v| !v.is_nan()).fold(None, |m, v| {
+            Some(match m {
+                None => v,
+                Some(m) => m.max(v),
+            })
+        })
+    }
+
+    /// Unweighted arithmetic mean.
+    pub fn mean(&self) -> f64 {
+        if self.data.is_empty() {
+            return f64::NAN;
+        }
+        self.data.iter().map(|&v| v as f64).sum::<f64>() / self.data.len() as f64
+    }
+
+    /// Area-weighted global mean (cos-latitude weights).
+    pub fn area_mean(&self) -> f64 {
+        let w = self.grid.area_weights();
+        self.data
+            .iter()
+            .zip(&w)
+            .map(|(&v, &wi)| v as f64 * wi)
+            .sum()
+    }
+
+    /// Index of the minimum value as `(i, j)`, ignoring NaNs.
+    pub fn argmin(&self) -> Option<(usize, usize)> {
+        let mut best: Option<(usize, f32)> = None;
+        for (idx, &v) in self.data.iter().enumerate() {
+            if v.is_nan() {
+                continue;
+            }
+            if best.is_none_or(|(_, bv)| v < bv) {
+                best = Some((idx, v));
+            }
+        }
+        best.map(|(idx, _)| self.grid.coords(idx))
+    }
+
+    /// Index of the maximum value as `(i, j)`, ignoring NaNs.
+    pub fn argmax(&self) -> Option<(usize, usize)> {
+        let mut best: Option<(usize, f32)> = None;
+        for (idx, &v) in self.data.iter().enumerate() {
+            if v.is_nan() {
+                continue;
+            }
+            if best.is_none_or(|(_, bv)| v > bv) {
+                best = Some((idx, v));
+            }
+        }
+        best.map(|(idx, _)| self.grid.coords(idx))
+    }
+}
+
+/// A time-stacked field: `ntime` levels of `(lat, lon)` planes, time-major.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Field3 {
+    pub grid: Grid,
+    pub ntime: usize,
+    pub data: Vec<f32>,
+}
+
+impl Field3 {
+    /// An all-zero stack.
+    pub fn zeros(grid: Grid, ntime: usize) -> Self {
+        let n = grid.len() * ntime;
+        Field3 { grid, ntime, data: vec![0.0; n] }
+    }
+
+    /// Wraps existing data; panics on length mismatch.
+    pub fn from_vec(grid: Grid, ntime: usize, data: Vec<f32>) -> Self {
+        assert_eq!(grid.len() * ntime, data.len(), "data length must be ntime * grid");
+        Field3 { grid, ntime, data }
+    }
+
+    /// Builds a stack from per-time 2-D fields (all on the same grid).
+    pub fn from_slices(fields: &[Field2]) -> Self {
+        assert!(!fields.is_empty(), "need at least one time slice");
+        let grid = fields[0].grid.clone();
+        let mut data = Vec::with_capacity(grid.len() * fields.len());
+        for f in fields {
+            assert_eq!(f.grid, grid, "all slices must share a grid");
+            data.extend_from_slice(&f.data);
+        }
+        Field3 { grid, ntime: fields.len(), data }
+    }
+
+    /// Borrowed view of time level `t`.
+    pub fn slice(&self, t: usize) -> &[f32] {
+        let n = self.grid.len();
+        &self.data[t * n..(t + 1) * n]
+    }
+
+    /// Owned copy of time level `t` as a [`Field2`].
+    pub fn level(&self, t: usize) -> Field2 {
+        Field2::from_vec(self.grid.clone(), self.slice(t).to_vec())
+    }
+
+    /// Value at `(t, i, j)`.
+    #[inline]
+    pub fn get(&self, t: usize, i: usize, j: usize) -> f32 {
+        self.data[t * self.grid.len() + self.grid.index(i, j)]
+    }
+
+    /// Sets the value at `(t, i, j)`.
+    #[inline]
+    pub fn set(&mut self, t: usize, i: usize, j: usize, v: f32) {
+        let idx = t * self.grid.len() + self.grid.index(i, j);
+        self.data[idx] = v;
+    }
+
+    /// Per-cell reduction over the time axis with `f` (e.g. running max).
+    pub fn reduce_time<F: Fn(f32, f32) -> f32>(&self, init: f32, f: F) -> Field2 {
+        let n = self.grid.len();
+        let mut out = vec![init; n];
+        for t in 0..self.ntime {
+            let lvl = self.slice(t);
+            for (o, &v) in out.iter_mut().zip(lvl) {
+                *o = f(*o, v);
+            }
+        }
+        Field2::from_vec(self.grid.clone(), out)
+    }
+
+    /// Per-cell time mean.
+    pub fn time_mean(&self) -> Field2 {
+        if self.ntime == 0 {
+            return Field2::zeros(self.grid.clone());
+        }
+        let sum = self.reduce_time(0.0, |a, b| a + b);
+        let n = self.ntime as f32;
+        let data = sum.data.iter().map(|&v| v / n).collect();
+        Field2::from_vec(self.grid.clone(), data)
+    }
+
+    /// Per-cell time maximum.
+    pub fn time_max(&self) -> Field2 {
+        self.reduce_time(f32::NEG_INFINITY, f32::max)
+    }
+
+    /// Per-cell time minimum.
+    pub fn time_min(&self) -> Field2 {
+        self.reduce_time(f32::INFINITY, f32::min)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Grid {
+        Grid::global(4, 6)
+    }
+
+    #[test]
+    fn constant_and_zeros() {
+        let f = Field2::constant(small(), 3.0);
+        assert_eq!(f.data.len(), 24);
+        assert!(f.data.iter().all(|&v| v == 3.0));
+        assert_eq!(Field2::zeros(small()).mean(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "data length")]
+    fn from_vec_length_checked() {
+        Field2::from_vec(small(), vec![0.0; 5]);
+    }
+
+    #[test]
+    fn get_set_roundtrip() {
+        let mut f = Field2::zeros(small());
+        f.set(2, 3, 7.5);
+        assert_eq!(f.get(2, 3), 7.5);
+        assert_eq!(f.get(2, 2), 0.0);
+    }
+
+    #[test]
+    fn zip_with_adds() {
+        let a = Field2::constant(small(), 1.0);
+        let b = Field2::constant(small(), 2.0);
+        let c = a.zip_with(&b, |x, y| x + y);
+        assert!(c.data.iter().all(|&v| v == 3.0));
+    }
+
+    #[test]
+    fn min_max_ignore_nan() {
+        let mut f = Field2::constant(small(), 1.0);
+        f.set(0, 0, f32::NAN);
+        f.set(1, 1, -5.0);
+        f.set(2, 2, 9.0);
+        assert_eq!(f.min(), Some(-5.0));
+        assert_eq!(f.max(), Some(9.0));
+        assert_eq!(f.argmin(), Some((1, 1)));
+        assert_eq!(f.argmax(), Some((2, 2)));
+    }
+
+    #[test]
+    fn area_mean_of_constant_is_constant() {
+        let f = Field2::constant(small(), 4.0);
+        assert!((f.area_mean() - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn field3_slicing_and_reductions() {
+        let g = small();
+        let n = g.len();
+        let mut data = Vec::new();
+        for t in 0..3 {
+            data.extend(std::iter::repeat_n(t as f32, n));
+        }
+        let f3 = Field3::from_vec(g.clone(), 3, data);
+        assert_eq!(f3.slice(1), &vec![1.0; n][..]);
+        assert_eq!(f3.level(2).data, vec![2.0; n]);
+        assert_eq!(f3.time_max().data, vec![2.0; n]);
+        assert_eq!(f3.time_min().data, vec![0.0; n]);
+        assert_eq!(f3.time_mean().data, vec![1.0; n]);
+    }
+
+    #[test]
+    fn field3_from_slices_matches_manual() {
+        let g = small();
+        let a = Field2::constant(g.clone(), 1.0);
+        let b = Field2::constant(g.clone(), 2.0);
+        let f3 = Field3::from_slices(&[a.clone(), b.clone()]);
+        assert_eq!(f3.ntime, 2);
+        assert_eq!(f3.level(0), a);
+        assert_eq!(f3.level(1), b);
+    }
+
+    #[test]
+    fn field3_get_set() {
+        let mut f3 = Field3::zeros(small(), 2);
+        f3.set(1, 3, 5, -2.0);
+        assert_eq!(f3.get(1, 3, 5), -2.0);
+        assert_eq!(f3.get(0, 3, 5), 0.0);
+    }
+}

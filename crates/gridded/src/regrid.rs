@@ -1,0 +1,193 @@
+//! Regridding: bilinear interpolation between regular lat/lon grids, plus
+//! integer-factor block coarsening.
+//!
+//! The TC-localization pipeline in the paper regrids the CMCC-CM3 output
+//! before tiling it into CNN patches (Section 5.4); [`regrid_bilinear`]
+//! implements that step. [`coarsen`] is the cheap exact alternative when the
+//! target resolution divides the source.
+
+use crate::field::Field2;
+use crate::grid::Grid;
+
+/// Bilinearly interpolates `src` onto `dst_grid`.
+///
+/// Longitude wraps on global source grids; latitude clamps at the poles.
+/// NaNs in the source propagate to any destination cell whose stencil
+/// touches them (conservative behaviour for masked data).
+pub fn regrid_bilinear(src: &Field2, dst_grid: &Grid) -> Field2 {
+    let sg = &src.grid;
+    let mut out = Vec::with_capacity(dst_grid.len());
+
+    let slat0 = sg.lat(0);
+    let dlat = sg.dlat();
+    let slon0 = sg.lon(0);
+    let dlon = sg.dlon();
+
+    for i in 0..dst_grid.nlat {
+        let lat = dst_grid.lat(i);
+        // Fractional row position in the source's cell-center coordinates.
+        let fy = (lat - slat0) / dlat;
+        let y0 = fy.floor();
+        let ty = (fy - y0) as f32;
+        let i0 = (y0.max(0.0) as usize).min(sg.nlat - 1);
+        let i1 = (i0 + 1).min(sg.nlat - 1);
+        let ty = if fy < 0.0 || fy > (sg.nlat - 1) as f64 { 0.0 } else { ty };
+
+        for j in 0..dst_grid.nlon {
+            let lon = dst_grid.lon(j);
+            let mut fx = (lon - slon0) / dlon;
+            if sg.is_global_lon() {
+                fx = fx.rem_euclid(sg.nlon as f64);
+            }
+            let x0 = fx.floor();
+            let tx = (fx - x0) as f32;
+            let j0raw = x0.max(0.0) as usize;
+            let (j0, j1, tx) = if sg.is_global_lon() {
+                let j0 = j0raw % sg.nlon;
+                (j0, (j0 + 1) % sg.nlon, tx)
+            } else {
+                let j0 = j0raw.min(sg.nlon - 1);
+                let j1 = (j0 + 1).min(sg.nlon - 1);
+                let tx = if fx < 0.0 || fx > (sg.nlon - 1) as f64 { 0.0 } else { tx };
+                (j0, j1, tx)
+            };
+
+            let v00 = src.get(i0, j0);
+            let v01 = src.get(i0, j1);
+            let v10 = src.get(i1, j0);
+            let v11 = src.get(i1, j1);
+            let top = v00 * (1.0 - tx) + v01 * tx;
+            let bot = v10 * (1.0 - tx) + v11 * tx;
+            out.push(top * (1.0 - ty) + bot * ty);
+        }
+    }
+    Field2::from_vec(dst_grid.clone(), out)
+}
+
+/// Block-averages `src` by integer factors `(flat, flon)`, producing a grid
+/// with `nlat/flat × nlon/flon` cells. Panics unless the factors divide the
+/// source dimensions exactly.
+pub fn coarsen(src: &Field2, flat: usize, flon: usize) -> Field2 {
+    assert!(flat > 0 && flon > 0, "factors must be positive");
+    let sg = &src.grid;
+    assert_eq!(sg.nlat % flat, 0, "flat must divide nlat");
+    assert_eq!(sg.nlon % flon, 0, "flon must divide nlon");
+    let g = Grid {
+        nlat: sg.nlat / flat,
+        nlon: sg.nlon / flon,
+        ..sg.clone()
+    };
+    let mut out = Vec::with_capacity(g.len());
+    let norm = (flat * flon) as f32;
+    for bi in 0..g.nlat {
+        for bj in 0..g.nlon {
+            let mut sum = 0.0f32;
+            for di in 0..flat {
+                for dj in 0..flon {
+                    sum += src.get(bi * flat + di, bj * flon + dj);
+                }
+            }
+            out.push(sum / norm);
+        }
+    }
+    Field2::from_vec(g, out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_regrid_is_exact() {
+        let g = Grid::global(8, 12);
+        let data: Vec<f32> = (0..g.len()).map(|i| i as f32).collect();
+        let f = Field2::from_vec(g.clone(), data.clone());
+        let out = regrid_bilinear(&f, &g);
+        for (a, b) in out.data.iter().zip(&data) {
+            assert!((a - b).abs() < 1e-4, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn constant_field_survives_any_regrid() {
+        let f = Field2::constant(Grid::global(16, 24), 5.5);
+        let out = regrid_bilinear(&f, &Grid::global(7, 13));
+        for v in &out.data {
+            assert!((v - 5.5).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn linear_in_latitude_is_reproduced() {
+        // Bilinear interpolation reproduces fields linear in latitude away
+        // from the polar clamp rows.
+        let g = Grid::global(32, 8);
+        let mut f = Field2::zeros(g.clone());
+        for i in 0..g.nlat {
+            for j in 0..g.nlon {
+                f.set(i, j, g.lat(i) as f32);
+            }
+        }
+        let dst = Grid::global(16, 8);
+        let out = regrid_bilinear(&f, &dst);
+        for i in 1..dst.nlat - 1 {
+            for j in 0..dst.nlon {
+                let want = dst.lat(i) as f32;
+                let got = out.get(i, j);
+                assert!((got - want).abs() < 0.4, "row {i}: {got} vs {want}");
+            }
+        }
+    }
+
+    #[test]
+    fn longitude_wraps_on_global_grids() {
+        // A bump at the dateline edge must interpolate smoothly across wrap.
+        let g = Grid::global(4, 8);
+        let mut f = Field2::zeros(g.clone());
+        for i in 0..g.nlat {
+            f.set(i, 0, 10.0);
+            f.set(i, g.nlon - 1, 10.0);
+        }
+        // Destination cell centered exactly on the wrap point between the
+        // last and first source columns.
+        let dst = Grid::global(4, 16);
+        let out = regrid_bilinear(&f, &dst);
+        // No output value should exceed the source max or go negative by a
+        // large margin (bilinear is bounded by its stencil).
+        for v in &out.data {
+            assert!(*v >= -1e-5 && *v <= 10.0 + 1e-5);
+        }
+        // And the wrap column should see a contribution from the edge bump.
+        let near_wrap = out.get(1, 0).max(out.get(1, dst.nlon - 1));
+        assert!(near_wrap > 4.0, "wrap interpolation lost the edge bump: {near_wrap}");
+    }
+
+    #[test]
+    fn coarsen_2x_is_block_mean() {
+        let g = Grid::global(4, 4);
+        let f = Field2::from_vec(g, (0..16).map(|i| i as f32).collect());
+        let c = coarsen(&f, 2, 2);
+        assert_eq!(c.grid.nlat, 2);
+        assert_eq!(c.grid.nlon, 2);
+        // Block (0,0) holds values 0,1,4,5 -> mean 2.5
+        assert_eq!(c.get(0, 0), 2.5);
+        assert_eq!(c.get(0, 1), 4.5);
+        assert_eq!(c.get(1, 0), 10.5);
+        assert_eq!(c.get(1, 1), 12.5);
+    }
+
+    #[test]
+    fn coarsen_preserves_mean() {
+        let g = Grid::global(8, 8);
+        let f = Field2::from_vec(g, (0..64).map(|i| (i * 7 % 13) as f32).collect());
+        let c = coarsen(&f, 4, 2);
+        assert!((c.mean() - f.mean()).abs() < 1e-5);
+    }
+
+    #[test]
+    #[should_panic(expected = "must divide")]
+    fn coarsen_requires_divisibility() {
+        let f = Field2::zeros(Grid::global(5, 4));
+        coarsen(&f, 2, 2);
+    }
+}

@@ -1,0 +1,162 @@
+//! Feature scaling for the ML pipelines (Section 5.4: "feature scaling"
+//! before CNN inference). Scalers are fitted once on training-distribution
+//! data, serialized alongside the model, and re-applied at inference time;
+//! both directions are exposed so predictions can be mapped back.
+
+/// Min-max scaler mapping the fitted range onto `[0, 1]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MinMaxScaler {
+    pub min: f32,
+    pub max: f32,
+}
+
+impl MinMaxScaler {
+    /// Fits on data, ignoring NaNs. Degenerate (constant or empty) input
+    /// yields a unit-range scaler so `apply` stays finite.
+    pub fn fit(data: &[f32]) -> Self {
+        let mut min = f32::INFINITY;
+        let mut max = f32::NEG_INFINITY;
+        for &v in data {
+            if v.is_nan() {
+                continue;
+            }
+            min = min.min(v);
+            max = max.max(v);
+        }
+        if !min.is_finite() || !max.is_finite() || min == max {
+            let base = if min.is_finite() { min } else { 0.0 };
+            return MinMaxScaler { min: base, max: base + 1.0 };
+        }
+        MinMaxScaler { min, max }
+    }
+
+    /// Scales one value into `[0, 1]` (values outside the fitted range map
+    /// outside the unit interval; callers clamp when needed).
+    #[inline]
+    pub fn apply(&self, v: f32) -> f32 {
+        (v - self.min) / (self.max - self.min)
+    }
+
+    /// Inverse transform.
+    #[inline]
+    pub fn invert(&self, s: f32) -> f32 {
+        self.min + s * (self.max - self.min)
+    }
+
+    /// Scales a buffer in place.
+    pub fn apply_slice(&self, data: &mut [f32]) {
+        for v in data {
+            *v = self.apply(*v);
+        }
+    }
+}
+
+/// Standard-score scaler: `(v - mean) / std`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ZScoreScaler {
+    pub mean: f32,
+    pub std: f32,
+}
+
+impl ZScoreScaler {
+    /// Fits on data, ignoring NaNs; degenerate input yields unit std.
+    pub fn fit(data: &[f32]) -> Self {
+        let vals: Vec<f64> = data.iter().filter(|v| !v.is_nan()).map(|&v| v as f64).collect();
+        if vals.is_empty() {
+            return ZScoreScaler { mean: 0.0, std: 1.0 };
+        }
+        let mean = vals.iter().sum::<f64>() / vals.len() as f64;
+        let var = vals.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / vals.len() as f64;
+        let std = var.sqrt();
+        ZScoreScaler {
+            mean: mean as f32,
+            std: if std > 0.0 { std as f32 } else { 1.0 },
+        }
+    }
+
+    /// Standardizes one value.
+    #[inline]
+    pub fn apply(&self, v: f32) -> f32 {
+        (v - self.mean) / self.std
+    }
+
+    /// Inverse transform.
+    #[inline]
+    pub fn invert(&self, s: f32) -> f32 {
+        self.mean + s * self.std
+    }
+
+    /// Standardizes a buffer in place.
+    pub fn apply_slice(&self, data: &mut [f32]) {
+        for v in data {
+            *v = self.apply(*v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minmax_maps_range_to_unit() {
+        let s = MinMaxScaler::fit(&[2.0, 4.0, 6.0]);
+        assert_eq!(s.apply(2.0), 0.0);
+        assert_eq!(s.apply(6.0), 1.0);
+        assert_eq!(s.apply(4.0), 0.5);
+    }
+
+    #[test]
+    fn minmax_invert_roundtrips() {
+        let s = MinMaxScaler::fit(&[-3.0, 10.0]);
+        for v in [-3.0f32, 0.0, 5.5, 10.0, 20.0] {
+            assert!((s.invert(s.apply(v)) - v).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn minmax_constant_input_is_safe() {
+        let s = MinMaxScaler::fit(&[7.0, 7.0, 7.0]);
+        let v = s.apply(7.0);
+        assert!(v.is_finite());
+    }
+
+    #[test]
+    fn minmax_empty_input_is_safe() {
+        let s = MinMaxScaler::fit(&[]);
+        assert!(s.apply(3.0).is_finite());
+    }
+
+    #[test]
+    fn minmax_ignores_nan() {
+        let s = MinMaxScaler::fit(&[1.0, f32::NAN, 3.0]);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 3.0);
+    }
+
+    #[test]
+    fn zscore_standardizes() {
+        let s = ZScoreScaler::fit(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert!((s.mean - 3.0).abs() < 1e-6);
+        assert!((s.apply(3.0)).abs() < 1e-6);
+        let mut buf = [1.0, 5.0];
+        s.apply_slice(&mut buf);
+        assert!((buf[0] + buf[1]).abs() < 1e-5, "symmetric points standardize symmetrically");
+    }
+
+    #[test]
+    fn zscore_invert_roundtrips() {
+        let s = ZScoreScaler::fit(&[10.0, 20.0, 30.0]);
+        for v in [0.0f32, 10.0, 25.0, 99.0] {
+            assert!((s.invert(s.apply(v)) - v).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn zscore_degenerate_input_is_safe() {
+        let s = ZScoreScaler::fit(&[]);
+        assert!(s.apply(1.0).is_finite());
+        let s = ZScoreScaler::fit(&[4.0, 4.0]);
+        assert_eq!(s.apply(4.0), 0.0);
+    }
+}

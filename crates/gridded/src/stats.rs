@@ -1,0 +1,154 @@
+//! Descriptive statistics used across the analytics pipelines: moments,
+//! percentiles, correlation, and area-weighted aggregates.
+
+/// Arithmetic mean; NaN for empty input.
+pub fn mean(data: &[f32]) -> f64 {
+    if data.is_empty() {
+        return f64::NAN;
+    }
+    data.iter().map(|&v| v as f64).sum::<f64>() / data.len() as f64
+}
+
+/// Population variance; NaN for empty input.
+pub fn variance(data: &[f32]) -> f64 {
+    if data.is_empty() {
+        return f64::NAN;
+    }
+    let m = mean(data);
+    data.iter().map(|&v| (v as f64 - m).powi(2)).sum::<f64>() / data.len() as f64
+}
+
+/// Population standard deviation.
+pub fn std_dev(data: &[f32]) -> f64 {
+    variance(data).sqrt()
+}
+
+/// Percentile by linear interpolation between closest ranks. `q` in `[0,100]`.
+/// NaN for empty input.
+pub fn percentile(data: &[f32], q: f64) -> f64 {
+    if data.is_empty() {
+        return f64::NAN;
+    }
+    let mut sorted: Vec<f32> = data.iter().copied().filter(|v| !v.is_nan()).collect();
+    if sorted.is_empty() {
+        return f64::NAN;
+    }
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let q = q.clamp(0.0, 100.0) / 100.0;
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    sorted[lo] as f64 * (1.0 - frac) + sorted[hi] as f64 * frac
+}
+
+/// Pearson correlation coefficient; NaN when either side is constant or the
+/// inputs are empty/mismatched.
+pub fn pearson(a: &[f32], b: &[f32]) -> f64 {
+    if a.len() != b.len() || a.is_empty() {
+        return f64::NAN;
+    }
+    let ma = mean(a);
+    let mb = mean(b);
+    let mut cov = 0.0;
+    let mut va = 0.0;
+    let mut vb = 0.0;
+    for (&x, &y) in a.iter().zip(b) {
+        let dx = x as f64 - ma;
+        let dy = y as f64 - mb;
+        cov += dx * dy;
+        va += dx * dx;
+        vb += dy * dy;
+    }
+    if va == 0.0 || vb == 0.0 {
+        return f64::NAN;
+    }
+    cov / (va.sqrt() * vb.sqrt())
+}
+
+/// Weighted mean with explicit weights (not required to be normalized).
+/// NaN when the total weight is zero.
+pub fn weighted_mean(data: &[f32], weights: &[f64]) -> f64 {
+    assert_eq!(data.len(), weights.len(), "weights must match data");
+    let wsum: f64 = weights.iter().sum();
+    if wsum == 0.0 {
+        return f64::NAN;
+    }
+    data.iter().zip(weights).map(|(&v, &w)| v as f64 * w).sum::<f64>() / wsum
+}
+
+/// Root-mean-square error between two equal-length series.
+pub fn rmse(a: &[f32], b: &[f32]) -> f64 {
+    assert_eq!(a.len(), b.len(), "series must match");
+    if a.is_empty() {
+        return f64::NAN;
+    }
+    let ss: f64 = a
+        .iter()
+        .zip(b)
+        .map(|(&x, &y)| ((x - y) as f64).powi(2))
+        .sum();
+    (ss / a.len() as f64).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_variance_known() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((mean(&xs) - 5.0).abs() < 1e-9);
+        assert!((variance(&xs) - 4.0).abs() < 1e-9);
+        assert!((std_dev(&xs) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_inputs_are_nan() {
+        assert!(mean(&[]).is_nan());
+        assert!(variance(&[]).is_nan());
+        assert!(percentile(&[], 50.0).is_nan());
+        assert!(pearson(&[], &[]).is_nan());
+    }
+
+    #[test]
+    fn percentile_median_and_extremes() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(percentile(&xs, 0.0), 1.0);
+        assert_eq!(percentile(&xs, 100.0), 5.0);
+        assert_eq!(percentile(&xs, 50.0), 3.0);
+        assert_eq!(percentile(&xs, 25.0), 2.0);
+        // Interpolated value.
+        assert!((percentile(&[1.0, 2.0], 50.0) - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn percentile_skips_nan() {
+        let xs = [1.0, f32::NAN, 3.0];
+        assert_eq!(percentile(&xs, 50.0), 2.0);
+    }
+
+    #[test]
+    fn pearson_perfect_and_inverse() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b = [2.0, 4.0, 6.0, 8.0];
+        assert!((pearson(&a, &b) - 1.0).abs() < 1e-9);
+        let c = [8.0, 6.0, 4.0, 2.0];
+        assert!((pearson(&a, &c) + 1.0).abs() < 1e-9);
+        assert!(pearson(&a, &[1.0, 1.0, 1.0, 1.0]).is_nan());
+    }
+
+    #[test]
+    fn weighted_mean_behaviour() {
+        let d = [1.0, 3.0];
+        assert!((weighted_mean(&d, &[1.0, 1.0]) - 2.0).abs() < 1e-9);
+        assert!((weighted_mean(&d, &[3.0, 1.0]) - 1.5).abs() < 1e-9);
+        assert!(weighted_mean(&d, &[0.0, 0.0]).is_nan());
+    }
+
+    #[test]
+    fn rmse_known() {
+        assert_eq!(rmse(&[1.0, 2.0], &[1.0, 2.0]), 0.0);
+        assert!((rmse(&[0.0, 0.0], &[3.0, 4.0]) - (12.5f64).sqrt()).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,268 @@
+//! The HPCWaaS Execution API.
+//!
+//! "Once the workflow is deployed, it is published to the HPCWaaS
+//! Execution API which allows final users to run the deployed workflow as
+//! a simple REST invocation" (Section 4.1). This module is that API as a
+//! typed, in-process service: workflow developers register a topology and
+//! an entrypoint; end users deploy, run (with input overrides), poll
+//! status, and undeploy — never touching the infrastructure underneath.
+
+use crate::error::{Error, Result};
+use crate::orchestrator::{DeploymentRecord, Orchestrator};
+use crate::tosca::Topology;
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+/// Lifecycle of one execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecutionStatus {
+    Running,
+    Completed { result: String },
+    Failed { message: String },
+}
+
+/// Entry point a workflow developer registers: receives the merged inputs,
+/// returns a result summary or an error message.
+pub type Entrypoint = Box<dyn Fn(&BTreeMap<String, String>) -> std::result::Result<String, String> + Send + Sync>;
+
+struct RegisteredWorkflow {
+    topology: Topology,
+    entry: Entrypoint,
+}
+
+struct Deployment {
+    workflow: String,
+    record: DeploymentRecord,
+    active: bool,
+}
+
+/// The Execution API service.
+pub struct ExecutionApi {
+    orchestrator: Mutex<Orchestrator>,
+    registry: Mutex<BTreeMap<String, RegisteredWorkflow>>,
+    deployments: Mutex<Vec<Deployment>>,
+    executions: Mutex<Vec<ExecutionStatus>>,
+}
+
+/// Opaque deployment handle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeploymentId(pub usize);
+
+/// Opaque execution handle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecutionId(pub usize);
+
+impl ExecutionApi {
+    /// Creates the service.
+    pub fn new() -> Self {
+        ExecutionApi {
+            orchestrator: Mutex::new(Orchestrator::new()),
+            registry: Mutex::new(BTreeMap::new()),
+            deployments: Mutex::new(Vec::new()),
+            executions: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Developer interface: registers (or replaces) a workflow by name.
+    pub fn register<F>(&self, topology: Topology, entry: F)
+    where
+        F: Fn(&BTreeMap<String, String>) -> std::result::Result<String, String> + Send + Sync + 'static,
+    {
+        self.registry.lock().unwrap().insert(
+            topology.name.clone(),
+            RegisteredWorkflow { topology, entry: Box::new(entry) },
+        );
+    }
+
+    /// Registered workflow names.
+    pub fn workflows(&self) -> Vec<String> {
+        self.registry.lock().unwrap().keys().cloned().collect()
+    }
+
+    /// End-user interface: deploys a registered workflow onto the (simulated)
+    /// infrastructure. Returns the deployment handle.
+    pub fn deploy(&self, workflow: &str) -> Result<DeploymentId> {
+        let registry = self.registry.lock().unwrap();
+        let wf = registry
+            .get(workflow)
+            .ok_or_else(|| Error::NotFound(format!("workflow '{workflow}'")))?;
+        let record = self.orchestrator.lock().unwrap().deploy(&wf.topology)?;
+        let mut deployments = self.deployments.lock().unwrap();
+        deployments.push(Deployment { workflow: workflow.to_string(), record, active: true });
+        Ok(DeploymentId(deployments.len() - 1))
+    }
+
+    /// Deployment cost report (virtual ms).
+    pub fn deployment_cost_ms(&self, id: DeploymentId) -> Result<u64> {
+        let deployments = self.deployments.lock().unwrap();
+        deployments
+            .get(id.0)
+            .map(|d| d.record.total_ms)
+            .ok_or_else(|| Error::NotFound(format!("deployment {}", id.0)))
+    }
+
+    /// End-user interface: runs a deployed workflow, overriding topology
+    /// inputs with `overrides` ("Input arguments can be specified to
+    /// configure the workflow"). Synchronous: returns when the entrypoint
+    /// finishes, with the execution handle recording the outcome.
+    pub fn run(
+        &self,
+        id: DeploymentId,
+        overrides: &BTreeMap<String, String>,
+    ) -> Result<ExecutionId> {
+        let (workflow, mut inputs) = {
+            let deployments = self.deployments.lock().unwrap();
+            let d = deployments
+                .get(id.0)
+                .ok_or_else(|| Error::NotFound(format!("deployment {}", id.0)))?;
+            if !d.active {
+                return Err(Error::BadState {
+                    entity: format!("deployment {}", id.0),
+                    state: "undeployed".into(),
+                    operation: "run".into(),
+                });
+            }
+            (d.workflow.clone(), d.record.inputs.clone())
+        };
+        for (k, v) in overrides {
+            inputs.insert(k.clone(), v.clone());
+        }
+        let outcome = {
+            let registry = self.registry.lock().unwrap();
+            let wf = registry
+                .get(&workflow)
+                .ok_or_else(|| Error::NotFound(format!("workflow '{workflow}'")))?;
+            (wf.entry)(&inputs)
+        };
+        let status = match outcome {
+            Ok(result) => ExecutionStatus::Completed { result },
+            Err(message) => ExecutionStatus::Failed { message },
+        };
+        let mut executions = self.executions.lock().unwrap();
+        executions.push(status);
+        Ok(ExecutionId(executions.len() - 1))
+    }
+
+    /// Polls an execution's status.
+    pub fn status(&self, id: ExecutionId) -> Result<ExecutionStatus> {
+        self.executions
+            .lock()
+            .unwrap()
+            .get(id.0)
+            .cloned()
+            .ok_or_else(|| Error::NotFound(format!("execution {}", id.0)))
+    }
+
+    /// End-user interface: undeploys.
+    pub fn undeploy(&self, id: DeploymentId) -> Result<()> {
+        let mut deployments = self.deployments.lock().unwrap();
+        let d = deployments
+            .get_mut(id.0)
+            .ok_or_else(|| Error::NotFound(format!("deployment {}", id.0)))?;
+        if !d.active {
+            return Err(Error::BadState {
+                entity: format!("deployment {}", id.0),
+                state: "undeployed".into(),
+                operation: "undeploy".into(),
+            });
+        }
+        let record = d.record.clone();
+        d.active = false;
+        drop(deployments);
+        self.orchestrator.lock().unwrap().undeploy(&record);
+        Ok(())
+    }
+}
+
+impl Default for ExecutionApi {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tosca::climate_case_study;
+
+    fn api_with_echo() -> ExecutionApi {
+        let api = ExecutionApi::new();
+        api.register(climate_case_study(), |inputs| {
+            if inputs.get("fail").map(|v| v == "yes").unwrap_or(false) {
+                Err("requested failure".into())
+            } else {
+                Ok(format!("ran {} years on {} grid", inputs["years"], inputs["grid"]))
+            }
+        });
+        api
+    }
+
+    #[test]
+    fn full_lifecycle() {
+        let api = api_with_echo();
+        assert_eq!(api.workflows(), vec!["climate-extremes"]);
+        let dep = api.deploy("climate-extremes").unwrap();
+        assert!(api.deployment_cost_ms(dep).unwrap() > 0);
+        let exec = api.run(dep, &BTreeMap::new()).unwrap();
+        match api.status(exec).unwrap() {
+            ExecutionStatus::Completed { result } => {
+                assert_eq!(result, "ran 1 years on test_small grid");
+            }
+            other => panic!("unexpected status {other:?}"),
+        }
+        api.undeploy(dep).unwrap();
+    }
+
+    #[test]
+    fn input_overrides_reach_the_entrypoint() {
+        let api = api_with_echo();
+        let dep = api.deploy("climate-extremes").unwrap();
+        let mut over = BTreeMap::new();
+        over.insert("years".to_string(), "5".to_string());
+        let exec = api.run(dep, &over).unwrap();
+        match api.status(exec).unwrap() {
+            ExecutionStatus::Completed { result } => assert!(result.starts_with("ran 5 years")),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn failed_entrypoint_reports_failed_status() {
+        let api = api_with_echo();
+        let dep = api.deploy("climate-extremes").unwrap();
+        let mut over = BTreeMap::new();
+        over.insert("fail".to_string(), "yes".to_string());
+        let exec = api.run(dep, &over).unwrap();
+        assert!(matches!(api.status(exec).unwrap(), ExecutionStatus::Failed { .. }));
+    }
+
+    #[test]
+    fn unknown_ids_rejected() {
+        let api = api_with_echo();
+        assert!(matches!(api.deploy("ghost"), Err(Error::NotFound(_))));
+        assert!(matches!(api.status(ExecutionId(9)), Err(Error::NotFound(_))));
+        assert!(matches!(api.undeploy(DeploymentId(9)), Err(Error::NotFound(_))));
+    }
+
+    #[test]
+    fn run_after_undeploy_rejected() {
+        let api = api_with_echo();
+        let dep = api.deploy("climate-extremes").unwrap();
+        api.undeploy(dep).unwrap();
+        assert!(matches!(api.run(dep, &BTreeMap::new()), Err(Error::BadState { .. })));
+        assert!(matches!(api.undeploy(dep), Err(Error::BadState { .. })));
+    }
+
+    #[test]
+    fn multiple_deployments_coexist() {
+        let api = api_with_echo();
+        let a = api.deploy("climate-extremes").unwrap();
+        let b = api.deploy("climate-extremes").unwrap();
+        assert_ne!(a, b);
+        // Second deployment benefits from the shared image layer cache.
+        assert!(api.deployment_cost_ms(b).unwrap() < api.deployment_cost_ms(a).unwrap());
+        api.undeploy(a).unwrap();
+        // b still runnable.
+        assert!(api.run(b, &BTreeMap::new()).is_ok());
+    }
+}

@@ -1,0 +1,204 @@
+//! The Data Logistics Service.
+//!
+//! Section 4.1: "the management of the required data is done by the Data
+//! Logistics Service which executes the required data pipelines either at
+//! deployment or execution time". A pipeline is a declarative list of
+//! transfer stages between named endpoints (archive, HPC site, cloud
+//! bucket...); execution runs the stages over a bandwidth/latency model
+//! and reports per-stage and total costs, so deploy-time vs run-time
+//! staging strategies can be compared quantitatively (bench A2).
+
+use std::collections::HashMap;
+
+/// A named data endpoint (site or storage system).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Endpoint(pub String);
+
+impl Endpoint {
+    /// Constructs an endpoint.
+    pub fn new(name: &str) -> Self {
+        Endpoint(name.to_string())
+    }
+}
+
+/// One transfer stage.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Stage {
+    pub from: Endpoint,
+    pub to: Endpoint,
+    pub bytes: u64,
+    pub label: String,
+}
+
+/// A declarative pipeline: ordered transfer stages.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PipelineSpec {
+    pub stages: Vec<Stage>,
+}
+
+impl PipelineSpec {
+    /// Empty pipeline.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a stage (builder style).
+    pub fn stage(mut self, label: &str, from: &str, to: &str, bytes: u64) -> Self {
+        self.stages.push(Stage {
+            from: Endpoint::new(from),
+            to: Endpoint::new(to),
+            bytes,
+            label: label.to_string(),
+        });
+        self
+    }
+
+    /// Total bytes moved by the pipeline.
+    pub fn total_bytes(&self) -> u64 {
+        self.stages.iter().map(|s| s.bytes).sum()
+    }
+}
+
+/// Link parameters between a pair of endpoints.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Link {
+    /// Sustained bandwidth in MB/s.
+    pub bandwidth_mbps: f64,
+    /// Per-transfer latency in virtual ms.
+    pub latency_ms: u64,
+}
+
+/// Per-stage execution record.
+#[derive(Debug, Clone)]
+pub struct StageReport {
+    pub label: String,
+    pub bytes: u64,
+    pub virtual_ms: u64,
+}
+
+/// Whole-pipeline execution record.
+#[derive(Debug, Clone)]
+pub struct TransferReport {
+    pub stages: Vec<StageReport>,
+    pub total_ms: u64,
+    pub total_bytes: u64,
+}
+
+/// The Data Logistics Service with its network model.
+pub struct DataLogistics {
+    links: HashMap<(Endpoint, Endpoint), Link>,
+    default_link: Link,
+    executed: Vec<TransferReport>,
+}
+
+impl DataLogistics {
+    /// Creates a service with a default WAN-ish link (100 MB/s, 50 ms).
+    pub fn new() -> Self {
+        DataLogistics {
+            links: HashMap::new(),
+            default_link: Link { bandwidth_mbps: 100.0, latency_ms: 50 },
+            executed: Vec::new(),
+        }
+    }
+
+    /// Declares a (directed) link between endpoints.
+    pub fn set_link(&mut self, from: &str, to: &str, link: Link) {
+        self.links.insert((Endpoint::new(from), Endpoint::new(to)), link);
+    }
+
+    fn link(&self, from: &Endpoint, to: &Endpoint) -> Link {
+        self.links
+            .get(&(from.clone(), to.clone()))
+            .copied()
+            .unwrap_or(self.default_link)
+    }
+
+    /// Predicted virtual duration of one stage.
+    pub fn predict_stage_ms(&self, s: &Stage) -> u64 {
+        let l = self.link(&s.from, &s.to);
+        let transfer = (s.bytes as f64 / (l.bandwidth_mbps * 1_000_000.0)) * 1000.0;
+        l.latency_ms + transfer.ceil() as u64
+    }
+
+    /// Executes a pipeline, returning (and recording) the report.
+    pub fn execute(&mut self, spec: &PipelineSpec) -> TransferReport {
+        let mut stages = Vec::with_capacity(spec.stages.len());
+        let mut total_ms = 0;
+        for s in &spec.stages {
+            let ms = self.predict_stage_ms(s);
+            total_ms += ms;
+            stages.push(StageReport { label: s.label.clone(), bytes: s.bytes, virtual_ms: ms });
+        }
+        let report =
+            TransferReport { stages, total_ms, total_bytes: spec.total_bytes() };
+        self.executed.push(report.clone());
+        report
+    }
+
+    /// All reports so far.
+    pub fn history(&self) -> &[TransferReport] {
+        &self.executed
+    }
+}
+
+impl Default for DataLogistics {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stage_cost_is_latency_plus_transfer() {
+        let mut dls = DataLogistics::new();
+        dls.set_link("archive", "zeus", Link { bandwidth_mbps: 1000.0, latency_ms: 20 });
+        let p = PipelineSpec::new().stage("baseline", "archive", "zeus", 2_000_000_000);
+        let r = dls.execute(&p);
+        // 2 GB at 1 GB/s = 2000 ms + 20 ms latency.
+        assert_eq!(r.total_ms, 2020);
+        assert_eq!(r.total_bytes, 2_000_000_000);
+    }
+
+    #[test]
+    fn unknown_links_use_default() {
+        let mut dls = DataLogistics::new();
+        let p = PipelineSpec::new().stage("x", "a", "b", 100_000_000);
+        let r = dls.execute(&p);
+        // 100 MB at 100 MB/s = 1000 ms + 50 ms.
+        assert_eq!(r.total_ms, 1050);
+    }
+
+    #[test]
+    fn links_are_directional() {
+        let mut dls = DataLogistics::new();
+        dls.set_link("a", "b", Link { bandwidth_mbps: 1000.0, latency_ms: 0 });
+        let fwd = dls.execute(&PipelineSpec::new().stage("f", "a", "b", 1_000_000_000));
+        let bwd = dls.execute(&PipelineSpec::new().stage("b", "b", "a", 1_000_000_000));
+        assert!(fwd.total_ms < bwd.total_ms, "reverse should use the slow default");
+    }
+
+    #[test]
+    fn multi_stage_pipeline_sums() {
+        let mut dls = DataLogistics::new();
+        dls.set_link("archive", "cloud", Link { bandwidth_mbps: 200.0, latency_ms: 10 });
+        dls.set_link("cloud", "zeus", Link { bandwidth_mbps: 500.0, latency_ms: 5 });
+        let p = PipelineSpec::new()
+            .stage("in", "archive", "cloud", 100_000_000)
+            .stage("out", "cloud", "zeus", 100_000_000);
+        let r = dls.execute(&p);
+        assert_eq!(r.stages.len(), 2);
+        assert_eq!(r.total_ms, (10 + 500) + (5 + 200));
+        assert_eq!(dls.history().len(), 1);
+    }
+
+    #[test]
+    fn empty_pipeline_is_free() {
+        let mut dls = DataLogistics::new();
+        let r = dls.execute(&PipelineSpec::new());
+        assert_eq!(r.total_ms, 0);
+        assert_eq!(r.total_bytes, 0);
+    }
+}

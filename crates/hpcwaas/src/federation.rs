@@ -1,0 +1,548 @@
+//! Multi-site (federated) workflow execution.
+//!
+//! The paper's future work (Sections 6–7): "the different parts of the
+//! workflow could be run on different infrastructures according to their
+//! requirements, using, for instance, large HPC systems for the ESM
+//! simulation, data-oriented/Cloud systems for Big Data processing and
+//! GPU-partitions for the ML-based models", with the Data Logistics
+//! Service moving data between them. This module implements that
+//! execution model in virtual time:
+//!
+//! * a [`Federation`] of named [`Site`]s, each with a kind and a cluster,
+//!   connected by DLS links;
+//! * a case-study-shaped [`Workload`] (per year: one simulation job, a
+//!   batch of analytics jobs, one ML job), with job durations that depend
+//!   on where the job runs (GPU partitions accelerate inference,
+//!   data-oriented sites accelerate analytics);
+//! * two placement policies — everything on the HPC site
+//!   ([`Placement::SingleSite`]) vs class-affinity placement
+//!   ([`Placement::ClassAffinity`]) — evaluated end to end, including the
+//!   inter-site transfers affinity placement has to pay.
+//!
+//! The interesting output is the crossover: affinity wins when the
+//! specialized-site speedups outweigh the WAN cost of shipping each
+//! year's output, and loses for small compute / big data.
+
+use crate::cluster::{Cluster, JobSpec};
+use crate::dls::{DataLogistics, Link, PipelineSpec};
+use crate::error::{Error, Result};
+use std::collections::BTreeMap;
+
+/// What a site is good at.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SiteKind {
+    /// Large CPU machine (the ESM home).
+    HpcCompute,
+    /// Data-oriented / cloud site (fast storage and analytics stacks).
+    CloudData,
+    /// GPU partition (ML training/inference).
+    GpuPartition,
+}
+
+/// One member site of the federation.
+#[derive(Debug, Clone)]
+pub struct Site {
+    pub name: String,
+    pub kind: SiteKind,
+    pub cluster: Cluster,
+}
+
+/// Workload job classes, mirroring the case study's task families.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TaskClass {
+    Simulation,
+    Analytics,
+    MlInference,
+}
+
+impl TaskClass {
+    /// The site kind this class prefers under affinity placement.
+    pub fn preferred(self) -> SiteKind {
+        match self {
+            TaskClass::Simulation => SiteKind::HpcCompute,
+            TaskClass::Analytics => SiteKind::CloudData,
+            TaskClass::MlInference => SiteKind::GpuPartition,
+        }
+    }
+
+    /// Execution-time multiplier of this class on a site kind (1.0 = the
+    /// nominal duration). Simulation only runs efficiently on HPC;
+    /// analytics is ~2.5x faster on data-oriented sites; inference is
+    /// ~6x faster on GPUs.
+    pub fn speed_factor(self, kind: SiteKind) -> f64 {
+        match (self, kind) {
+            (TaskClass::Simulation, SiteKind::HpcCompute) => 1.0,
+            (TaskClass::Simulation, _) => 2.0,
+            (TaskClass::Analytics, SiteKind::CloudData) => 0.4,
+            (TaskClass::Analytics, _) => 1.0,
+            (TaskClass::MlInference, SiteKind::GpuPartition) => 1.0 / 6.0,
+            (TaskClass::MlInference, _) => 1.0,
+        }
+    }
+}
+
+/// One job of the workload.
+#[derive(Debug, Clone)]
+pub struct WorkJob {
+    pub name: String,
+    pub class: TaskClass,
+    /// Nominal duration on a neutral site, virtual ms.
+    pub nominal_ms: u64,
+    pub cores: u32,
+    /// Which year's simulation output this job consumes (None = no
+    /// cross-year input, e.g. the simulation itself).
+    pub consumes_year: Option<usize>,
+}
+
+/// A case-study-shaped workload.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// Per-year simulation duration, virtual ms.
+    pub jobs: Vec<WorkJob>,
+    /// Bytes of model output per year that analytics/ML must read.
+    pub year_output_bytes: u64,
+    pub years: usize,
+}
+
+impl Workload {
+    /// Builds the case-study shape: per year one simulation job (chained
+    /// implicitly by year order), `analytics_per_year` analytics jobs and
+    /// one ML job, all consuming that year's output.
+    pub fn case_study(
+        years: usize,
+        sim_ms: u64,
+        analytics_ms: u64,
+        analytics_per_year: usize,
+        ml_ms: u64,
+        year_output_bytes: u64,
+    ) -> Workload {
+        let mut jobs = Vec::new();
+        for y in 0..years {
+            jobs.push(WorkJob {
+                name: format!("esm-{y}"),
+                class: TaskClass::Simulation,
+                nominal_ms: sim_ms,
+                cores: 8,
+                consumes_year: None,
+            });
+            for a in 0..analytics_per_year {
+                jobs.push(WorkJob {
+                    name: format!("analytics-{y}-{a}"),
+                    class: TaskClass::Analytics,
+                    nominal_ms: analytics_ms,
+                    cores: 4,
+                    consumes_year: Some(y),
+                });
+            }
+            jobs.push(WorkJob {
+                name: format!("ml-{y}"),
+                class: TaskClass::MlInference,
+                nominal_ms: ml_ms,
+                cores: 2,
+                consumes_year: Some(y),
+            });
+        }
+        Workload { jobs, year_output_bytes, years }
+    }
+}
+
+/// Placement policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Placement {
+    /// Everything on the (first) HPC site — the paper's current testbed.
+    SingleSite,
+    /// Each class on its preferred site kind — the future-work setup.
+    ClassAffinity,
+}
+
+/// Result of evaluating a workload on a federation.
+#[derive(Debug, Clone)]
+pub struct FederationReport {
+    pub makespan_ms: u64,
+    /// Total bytes shipped between sites.
+    pub bytes_moved: u64,
+    /// Total virtual transfer time (sum over transfers).
+    pub transfer_ms: u64,
+    /// Jobs per site name.
+    pub jobs_per_site: BTreeMap<String, usize>,
+}
+
+/// A federation of sites with a network between them.
+pub struct Federation {
+    pub sites: Vec<Site>,
+    pub dls: DataLogistics,
+}
+
+impl Federation {
+    /// A testbed-like default: one HPC site, one cloud-data site, one GPU
+    /// partition, with asymmetric WAN links (HPC→cloud fast-ish, →GPU
+    /// moderate).
+    pub fn testbed() -> Federation {
+        let mut dls = DataLogistics::new();
+        dls.set_link("hpc", "cloud", Link { bandwidth_mbps: 500.0, latency_ms: 30 });
+        dls.set_link("hpc", "gpu", Link { bandwidth_mbps: 300.0, latency_ms: 40 });
+        dls.set_link("cloud", "gpu", Link { bandwidth_mbps: 800.0, latency_ms: 10 });
+        Federation {
+            sites: vec![
+                Site {
+                    name: "hpc".into(),
+                    kind: SiteKind::HpcCompute,
+                    cluster: Cluster::homogeneous(4, 8),
+                },
+                Site {
+                    name: "cloud".into(),
+                    kind: SiteKind::CloudData,
+                    cluster: Cluster::homogeneous(4, 8),
+                },
+                Site {
+                    name: "gpu".into(),
+                    kind: SiteKind::GpuPartition,
+                    cluster: Cluster::homogeneous(2, 8),
+                },
+            ],
+            dls,
+        }
+    }
+
+    fn site_index(&self, policy: Placement, class: TaskClass) -> usize {
+        match policy {
+            Placement::SingleSite => self
+                .sites
+                .iter()
+                .position(|s| s.kind == SiteKind::HpcCompute)
+                .unwrap_or(0),
+            Placement::ClassAffinity => {
+                let want = class.preferred();
+                self.sites
+                    .iter()
+                    .position(|s| s.kind == want)
+                    .or_else(|| self.sites.iter().position(|s| s.kind == SiteKind::HpcCompute))
+                    .unwrap_or(0)
+            }
+        }
+    }
+
+    /// Evaluates the workload under a placement policy, in virtual time.
+    ///
+    /// Model: simulation jobs run on the HPC site in year order (the model
+    /// state is sequential); each year's consumers become submittable when
+    /// the year's simulation finishes plus — when they run on another site
+    /// — the stage-out transfer of that year's output (one transfer per
+    /// (year, destination site), amortized across consumers, as the DLS
+    /// pipelines do).
+    pub fn evaluate(&mut self, workload: &Workload, policy: Placement) -> Result<FederationReport> {
+        let hpc = self
+            .sites
+            .iter()
+            .position(|s| s.kind == SiteKind::HpcCompute)
+            .ok_or_else(|| Error::NotFound("an HpcCompute site".into()))?;
+
+        // Phase 1: simulation chain on the HPC site.
+        let mut year_done_ms = vec![0u64; workload.years];
+        let mut t = 0u64;
+        for job in &workload.jobs {
+            if job.class != TaskClass::Simulation {
+                continue;
+            }
+            let y: usize = job
+                .name
+                .rsplit('-')
+                .next()
+                .and_then(|s| s.parse().ok())
+                .ok_or_else(|| Error::NotFound(format!("year in job '{}'", job.name)))?;
+            let dur =
+                (job.nominal_ms as f64 * job.class.speed_factor(self.sites[hpc].kind)) as u64;
+            t += dur;
+            year_done_ms[y] = t;
+        }
+
+        // Phase 2: per-(year, site) stage-out transfers.
+        let mut transfer_done: BTreeMap<(usize, usize), u64> = BTreeMap::new();
+        let mut bytes_moved = 0u64;
+        let mut transfer_ms_total = 0u64;
+        for job in &workload.jobs {
+            let Some(y) = job.consumes_year else { continue };
+            let site = self.site_index(policy, job.class);
+            if site == hpc {
+                transfer_done.insert((y, site), year_done_ms[y]);
+                continue;
+            }
+            if transfer_done.contains_key(&(y, site)) {
+                continue;
+            }
+            let spec = PipelineSpec::new().stage(
+                &format!("year-{y}-to-{}", self.sites[site].name),
+                &self.sites[hpc].name,
+                &self.sites[site].name,
+                workload.year_output_bytes,
+            );
+            let report = self.dls.execute(&spec);
+            bytes_moved += report.total_bytes;
+            transfer_ms_total += report.total_ms;
+            transfer_done.insert((y, site), year_done_ms[y] + report.total_ms);
+        }
+
+        // Phase 3: consumers on their sites, submit time = data-ready time.
+        let mut site_clusters: Vec<Cluster> =
+            self.sites.iter().map(|s| s.cluster.clone()).collect();
+        let mut jobs_per_site: BTreeMap<String, usize> = BTreeMap::new();
+        for job in &workload.jobs {
+            let Some(y) = job.consumes_year else {
+                *jobs_per_site.entry(self.sites[hpc].name.clone()).or_default() += 1;
+                continue;
+            };
+            let site = self.site_index(policy, job.class);
+            let ready = transfer_done[&(y, site)];
+            let dur =
+                (job.nominal_ms as f64 * job.class.speed_factor(self.sites[site].kind)) as u64;
+            site_clusters[site].submit(
+                JobSpec::new(&job.name, job.cores, dur.max(1)).at(ready),
+            )?;
+            *jobs_per_site.entry(self.sites[site].name.clone()).or_default() += 1;
+        }
+
+        let mut makespan = *year_done_ms.last().unwrap_or(&0);
+        for cluster in &mut site_clusters {
+            if cluster.queued() > 0 {
+                let schedule = cluster.schedule();
+                makespan = makespan.max(schedule.makespan_ms);
+            }
+        }
+
+        Ok(FederationReport {
+            makespan_ms: makespan,
+            bytes_moved,
+            transfer_ms: transfer_ms_total,
+            jobs_per_site,
+        })
+    }
+}
+
+impl Federation {
+    /// Builds a federation from a TOSCA topology: every `hpc.Cluster`,
+    /// `cloud.Site` and `gpu.Partition` template becomes a site (with
+    /// `nodes` / `cores_per_node` properties sizing its cluster), and every
+    /// `network.Link` template (properties `from`, `to`, `bandwidth_mbps`,
+    /// `latency_ms`) becomes a DLS link.
+    pub fn from_topology(topology: &crate::tosca::Topology) -> Result<Federation> {
+        let mut sites = Vec::new();
+        let mut dls = DataLogistics::new();
+        for t in &topology.templates {
+            let kind = match t.type_name.as_str() {
+                "hpc.Cluster" => Some(SiteKind::HpcCompute),
+                "cloud.Site" => Some(SiteKind::CloudData),
+                "gpu.Partition" => Some(SiteKind::GpuPartition),
+                _ => None,
+            };
+            if let Some(kind) = kind {
+                let nodes = t
+                    .properties
+                    .get("nodes")
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or(4);
+                let cores = t
+                    .properties
+                    .get("cores_per_node")
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or(8);
+                sites.push(Site {
+                    name: t.name.clone(),
+                    kind,
+                    cluster: Cluster::homogeneous(nodes, cores),
+                });
+            } else if t.type_name == "network.Link" {
+                let from = t
+                    .properties
+                    .get("from")
+                    .ok_or_else(|| Error::NotFound(format!("'from' on link '{}'", t.name)))?;
+                let to = t
+                    .properties
+                    .get("to")
+                    .ok_or_else(|| Error::NotFound(format!("'to' on link '{}'", t.name)))?;
+                let bw = t
+                    .properties
+                    .get("bandwidth_mbps")
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or(100.0);
+                let lat = t
+                    .properties
+                    .get("latency_ms")
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or(50);
+                dls.set_link(from, to, Link { bandwidth_mbps: bw, latency_ms: lat });
+            }
+        }
+        if sites.is_empty() {
+            return Err(Error::NotFound("any site template in topology".into()));
+        }
+        Ok(Federation { sites, dls })
+    }
+}
+
+/// The distributed-deployment topology of the paper's future work: the ESM
+/// home cluster, a data-oriented cloud site, a GPU partition, and the WAN
+/// links the Data Logistics Service uses between them.
+pub fn distributed_case_study() -> crate::tosca::Topology {
+    crate::tosca::Topology::parse(DISTRIBUTED_TOPOLOGY).expect("built-in topology must parse")
+}
+
+/// Source of the built-in distributed topology.
+pub const DISTRIBUTED_TOPOLOGY: &str = "\
+topology: climate-extremes-distributed
+inputs:
+  years: 3
+node_templates:
+  zeus:
+    type: hpc.Cluster
+    properties:
+      nodes: 4
+      cores_per_node: 8
+  cloud_site:
+    type: cloud.Site
+    properties:
+      nodes: 4
+      cores_per_node: 8
+  gpu_partition:
+    type: gpu.Partition
+    properties:
+      nodes: 2
+      cores_per_node: 8
+  wan_hpc_cloud:
+    type: network.Link
+    properties:
+      from: zeus
+      to: cloud_site
+      bandwidth_mbps: 500
+      latency_ms: 30
+  wan_hpc_gpu:
+    type: network.Link
+    properties:
+      from: zeus
+      to: gpu_partition
+      bandwidth_mbps: 300
+      latency_ms: 40
+";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn workload(years: usize, bytes: u64) -> Workload {
+        Workload::case_study(years, 10_000, 4_000, 6, 6_000, bytes)
+    }
+
+    #[test]
+    fn class_preferences() {
+        assert_eq!(TaskClass::Simulation.preferred(), SiteKind::HpcCompute);
+        assert_eq!(TaskClass::Analytics.preferred(), SiteKind::CloudData);
+        assert_eq!(TaskClass::MlInference.preferred(), SiteKind::GpuPartition);
+        assert!(TaskClass::MlInference.speed_factor(SiteKind::GpuPartition) < 0.5);
+        assert_eq!(TaskClass::Simulation.speed_factor(SiteKind::HpcCompute), 1.0);
+    }
+
+    #[test]
+    fn single_site_moves_no_data() {
+        let mut fed = Federation::testbed();
+        let report = fed.evaluate(&workload(2, 1_000_000_000), Placement::SingleSite).unwrap();
+        assert_eq!(report.bytes_moved, 0);
+        assert_eq!(report.transfer_ms, 0);
+        assert_eq!(report.jobs_per_site.len(), 1);
+        assert!(report.jobs_per_site.contains_key("hpc"));
+    }
+
+    #[test]
+    fn affinity_distributes_jobs_by_class() {
+        let mut fed = Federation::testbed();
+        let report = fed.evaluate(&workload(2, 1_000_000_000), Placement::ClassAffinity).unwrap();
+        // 2 sim jobs on hpc, 12 analytics on cloud, 2 ml on gpu.
+        assert_eq!(report.jobs_per_site["hpc"], 2);
+        assert_eq!(report.jobs_per_site["cloud"], 12);
+        assert_eq!(report.jobs_per_site["gpu"], 2);
+        // One stage-out per (year, remote site): 2 years x 2 sites.
+        assert_eq!(report.bytes_moved, 4_000_000_000);
+    }
+
+    #[test]
+    fn affinity_wins_for_compute_heavy_small_data() {
+        let mut a = Federation::testbed();
+        let mut b = Federation::testbed();
+        let w = workload(3, 50_000_000); // 50 MB/year: cheap to ship
+        let single = a.evaluate(&w, Placement::SingleSite).unwrap();
+        let affinity = b.evaluate(&w, Placement::ClassAffinity).unwrap();
+        assert!(
+            affinity.makespan_ms < single.makespan_ms,
+            "affinity {} should beat single-site {}",
+            affinity.makespan_ms,
+            single.makespan_ms
+        );
+    }
+
+    #[test]
+    fn single_site_wins_for_data_heavy_cheap_compute() {
+        let mut a = Federation::testbed();
+        let mut b = Federation::testbed();
+        // Tiny compute, 60 GB/year of data: shipping dominates.
+        let w = Workload::case_study(2, 10_000, 200, 4, 200, 60_000_000_000);
+        let single = a.evaluate(&w, Placement::SingleSite).unwrap();
+        let affinity = b.evaluate(&w, Placement::ClassAffinity).unwrap();
+        assert!(
+            single.makespan_ms < affinity.makespan_ms,
+            "single-site {} should beat affinity {} when data dominates",
+            single.makespan_ms,
+            affinity.makespan_ms
+        );
+    }
+
+    #[test]
+    fn simulation_years_are_sequential() {
+        let mut fed = Federation::testbed();
+        let w = Workload::case_study(3, 10_000, 100, 1, 100, 1_000);
+        let report = fed.evaluate(&w, Placement::SingleSite).unwrap();
+        // Three chained 10 s years bound the makespan from below.
+        assert!(report.makespan_ms >= 30_000);
+    }
+
+    #[test]
+    fn federation_from_tosca_topology() {
+        let topo = distributed_case_study();
+        let mut fed = Federation::from_topology(&topo).unwrap();
+        assert_eq!(fed.sites.len(), 3);
+        assert_eq!(fed.sites[0].name, "zeus");
+        assert_eq!(fed.sites[0].kind, SiteKind::HpcCompute);
+        assert_eq!(fed.sites[1].kind, SiteKind::CloudData);
+        assert_eq!(fed.sites[2].kind, SiteKind::GpuPartition);
+        // Evaluating against this federation works end to end, and the
+        // TOSCA-declared links are in effect (hpc->cloud at 500 MB/s).
+        let report = fed
+            .evaluate(&workload(2, 1_000_000_000), Placement::ClassAffinity)
+            .unwrap();
+        assert!(report.bytes_moved > 0);
+        // 1 GB at 500 MB/s = 2000 ms + 30 latency (cloud) plus the gpu leg
+        // (300 MB/s): 3334 + 40.
+        assert_eq!(report.transfer_ms, 2 * ((2000 + 30) + (3334 + 40)));
+    }
+
+    #[test]
+    fn from_topology_requires_sites_and_link_endpoints() {
+        let empty = crate::tosca::Topology::parse("topology: t\n").unwrap();
+        assert!(Federation::from_topology(&empty).is_err());
+        let bad_link = crate::tosca::Topology::parse(
+            "topology: t\nnode_templates:\n  a:\n    type: hpc.Cluster\n  l:\n    type: network.Link\n    properties:\n      from: a\n",
+        )
+        .unwrap();
+        assert!(Federation::from_topology(&bad_link).is_err());
+    }
+
+    #[test]
+    fn federation_without_hpc_site_errors() {
+        let mut fed = Federation {
+            sites: vec![Site {
+                name: "cloud".into(),
+                kind: SiteKind::CloudData,
+                cluster: Cluster::homogeneous(1, 8),
+            }],
+            dls: DataLogistics::new(),
+        };
+        assert!(fed.evaluate(&workload(1, 1), Placement::SingleSite).is_err());
+    }
+}

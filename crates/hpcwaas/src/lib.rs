@@ -1,0 +1,41 @@
+//! # hpcwaas — the eFlows4HPC software-stack substrate
+//!
+//! Section 4 of the paper describes the stack that deploys and runs the
+//! climate workflow: Alien4Cloud TOSCA topologies, the Yorc orchestrator,
+//! the Container Image Creation service, the Data Logistics Service and
+//! the HPCWaaS Execution API, all targeting an LSF-scheduled cluster
+//! (Zeus). This crate implements working equivalents of each:
+//!
+//! * [`tosca`] — a topology document model (node types, templates,
+//!   properties, `hosted_on`/`uses`/`depends_on` requirements) plus a
+//!   parser for a small YAML-like syntax;
+//! * [`orchestrator`] — plan derivation (topological sort over
+//!   requirements) and lifecycle execution (create → configure → start,
+//!   reverse on undeploy), the Yorc role;
+//! * [`containers`] — the Container Image Creation service: build specs
+//!   resolve to layered manifests with a content-addressed layer cache, so
+//!   redeploying a workflow is cheap (bench C5);
+//! * [`dls`] — declarative stage-in/stage-out pipelines over a
+//!   bandwidth/latency transfer model (bench A2);
+//! * [`cluster`] — a simulated HPC cluster with an LSF-like FCFS+backfill
+//!   queue, which gives deployments and jobs something real to land on;
+//! * [`api`] — the HPCWaaS Execution API: a workflow registry plus the
+//!   deploy / run / status / undeploy lifecycle the end user sees.
+
+pub mod api;
+pub mod cluster;
+pub mod containers;
+pub mod dls;
+pub mod error;
+pub mod federation;
+pub mod orchestrator;
+pub mod tosca;
+
+pub use api::{ExecutionApi, ExecutionStatus};
+pub use cluster::{Cluster, JobSpec};
+pub use containers::{BuildService, ImageSpec};
+pub use dls::{DataLogistics, Endpoint, PipelineSpec};
+pub use error::{Error, Result};
+pub use federation::{Federation, Placement, SiteKind, TaskClass, Workload};
+pub use orchestrator::{DeploymentPlan, Orchestrator};
+pub use tosca::Topology;

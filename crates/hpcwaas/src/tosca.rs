@@ -1,0 +1,392 @@
+//! TOSCA-like topology documents.
+//!
+//! Alien4Cloud describes "the topology of components involved in the
+//! workflow deployment and execution in an extended TOSCA format"
+//! (Section 4.1). This module provides the document model — node templates
+//! with typed properties and `hosted_on` / `uses` / `depends_on`
+//! requirements — plus a hand-rolled parser for a small, indentation-based
+//! YAML-like syntax:
+//!
+//! ```text
+//! topology: climate-extremes
+//! inputs:
+//!   years: 3
+//! node_templates:
+//!   cluster:
+//!     type: hpc.Cluster
+//!     properties:
+//!       scheduler: lsf
+//!   pycompss:
+//!     type: middleware.PyCOMPSs
+//!     requirements:
+//!       - hosted_on: cluster
+//! ```
+
+use crate::error::{Error, Result};
+use std::collections::BTreeMap;
+
+/// A requirement edge from one template to another.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Requirement {
+    /// Lifecycle dependency and co-location: host must be started first.
+    HostedOn(String),
+    /// Uses a capability of the target (started after the target).
+    Uses(String),
+    /// Plain ordering dependency.
+    DependsOn(String),
+}
+
+impl Requirement {
+    /// The target template name.
+    pub fn target(&self) -> &str {
+        match self {
+            Requirement::HostedOn(t) | Requirement::Uses(t) | Requirement::DependsOn(t) => t,
+        }
+    }
+}
+
+/// One node template.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeTemplate {
+    pub name: String,
+    pub type_name: String,
+    pub properties: BTreeMap<String, String>,
+    pub requirements: Vec<Requirement>,
+}
+
+/// A parsed topology.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Topology {
+    pub name: String,
+    pub inputs: BTreeMap<String, String>,
+    /// Templates in document order.
+    pub templates: Vec<NodeTemplate>,
+}
+
+impl Topology {
+    /// Looks up a template by name.
+    pub fn template(&self, name: &str) -> Option<&NodeTemplate> {
+        self.templates.iter().find(|t| t.name == name)
+    }
+
+    /// Validates referential integrity: every requirement target exists.
+    pub fn validate(&self) -> Result<()> {
+        for t in &self.templates {
+            for r in &t.requirements {
+                if self.template(r.target()).is_none() {
+                    return Err(Error::UnknownTarget {
+                        template: t.name.clone(),
+                        target: r.target().to_string(),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Serializes the topology back to its document form (the inverse of
+    /// [`Topology::parse`]; round-trips exactly). This is what the
+    /// workflow registry stores and what Alien4Cloud-style editors emit.
+    pub fn to_source(&self) -> String {
+        let mut s = format!("topology: {}\n", self.name);
+        if !self.inputs.is_empty() {
+            s.push_str("inputs:\n");
+            for (k, v) in &self.inputs {
+                s.push_str(&format!("  {k}: {v}\n"));
+            }
+        }
+        if !self.templates.is_empty() {
+            s.push_str("node_templates:\n");
+            for t in &self.templates {
+                s.push_str(&format!("  {}:\n", t.name));
+                s.push_str(&format!("    type: {}\n", t.type_name));
+                if !t.properties.is_empty() {
+                    s.push_str("    properties:\n");
+                    for (k, v) in &t.properties {
+                        s.push_str(&format!("      {k}: {v}\n"));
+                    }
+                }
+                if !t.requirements.is_empty() {
+                    s.push_str("    requirements:\n");
+                    for r in &t.requirements {
+                        let (rel, target) = match r {
+                            Requirement::HostedOn(x) => ("hosted_on", x),
+                            Requirement::Uses(x) => ("uses", x),
+                            Requirement::DependsOn(x) => ("depends_on", x),
+                        };
+                        s.push_str(&format!("      - {rel}: {target}\n"));
+                    }
+                }
+            }
+        }
+        s
+    }
+
+    /// Parses a topology document.
+    pub fn parse(src: &str) -> Result<Topology> {
+        #[derive(PartialEq)]
+        enum Section {
+            None,
+            Inputs,
+            Templates,
+        }
+        let mut name = String::new();
+        let mut inputs = BTreeMap::new();
+        let mut templates: Vec<NodeTemplate> = Vec::new();
+        let mut section = Section::None;
+        // Sub-state inside a template.
+        let mut in_properties = false;
+        let mut in_requirements = false;
+
+        for (ln, raw) in src.lines().enumerate() {
+            let line_no = ln + 1;
+            let line = raw.trim_end();
+            if line.trim().is_empty() || line.trim_start().starts_with('#') {
+                continue;
+            }
+            let indent = line.len() - line.trim_start().len();
+            let content = line.trim_start();
+
+            let err = |message: &str| Error::Parse { line: line_no, message: message.into() };
+
+            match indent {
+                0 => {
+                    in_properties = false;
+                    in_requirements = false;
+                    if let Some(v) = content.strip_prefix("topology:") {
+                        name = v.trim().to_string();
+                        section = Section::None;
+                    } else if content == "inputs:" {
+                        section = Section::Inputs;
+                    } else if content == "node_templates:" {
+                        section = Section::Templates;
+                    } else {
+                        return Err(err(&format!("unknown top-level entry '{content}'")));
+                    }
+                }
+                2 => {
+                    in_properties = false;
+                    in_requirements = false;
+                    match section {
+                        Section::Inputs => {
+                            let (k, v) = content
+                                .split_once(':')
+                                .ok_or_else(|| err("expected 'key: value'"))?;
+                            inputs.insert(k.trim().to_string(), v.trim().to_string());
+                        }
+                        Section::Templates => {
+                            let tname = content
+                                .strip_suffix(':')
+                                .ok_or_else(|| err("expected 'name:'"))?;
+                            if templates.iter().any(|t: &NodeTemplate| t.name == tname) {
+                                return Err(err(&format!("duplicate template '{tname}'")));
+                            }
+                            templates.push(NodeTemplate {
+                                name: tname.trim().to_string(),
+                                type_name: String::new(),
+                                properties: BTreeMap::new(),
+                                requirements: Vec::new(),
+                            });
+                        }
+                        Section::None => return Err(err("entry outside any section")),
+                    }
+                }
+                4 => {
+                    let t = templates
+                        .last_mut()
+                        .ok_or_else(|| err("template body before any template"))?;
+                    if let Some(v) = content.strip_prefix("type:") {
+                        t.type_name = v.trim().to_string();
+                        in_properties = false;
+                        in_requirements = false;
+                    } else if content == "properties:" {
+                        in_properties = true;
+                        in_requirements = false;
+                    } else if content == "requirements:" {
+                        in_requirements = true;
+                        in_properties = false;
+                    } else {
+                        return Err(err(&format!("unknown template entry '{content}'")));
+                    }
+                }
+                6 => {
+                    let t = templates
+                        .last_mut()
+                        .ok_or_else(|| err("template body before any template"))?;
+                    if in_properties {
+                        let (k, v) = content
+                            .split_once(':')
+                            .ok_or_else(|| err("expected 'key: value'"))?;
+                        t.properties.insert(k.trim().to_string(), v.trim().to_string());
+                    } else if in_requirements {
+                        let item = content
+                            .strip_prefix("- ")
+                            .ok_or_else(|| err("expected '- relation: target'"))?;
+                        let (rel, target) = item
+                            .split_once(':')
+                            .ok_or_else(|| err("expected 'relation: target'"))?;
+                        let target = target.trim().to_string();
+                        let req = match rel.trim() {
+                            "hosted_on" => Requirement::HostedOn(target),
+                            "uses" => Requirement::Uses(target),
+                            "depends_on" => Requirement::DependsOn(target),
+                            other => {
+                                return Err(err(&format!("unknown relation '{other}'")));
+                            }
+                        };
+                        t.requirements.push(req);
+                    } else {
+                        return Err(err("nested entry outside properties/requirements"));
+                    }
+                }
+                other => {
+                    return Err(err(&format!("unsupported indentation {other}")));
+                }
+            }
+        }
+
+        if name.is_empty() {
+            return Err(Error::Parse { line: 0, message: "missing 'topology:' header".into() });
+        }
+        let topo = Topology { name, inputs, templates };
+        topo.validate()?;
+        Ok(topo)
+    }
+}
+
+/// The topology of the paper's climate-extremes case study (Figure 2):
+/// cluster → PyCOMPSs runtime, container images for ESM/analytics/ML,
+/// the data logistics stage-in, and the workflow application on top.
+pub fn climate_case_study() -> Topology {
+    Topology::parse(CLIMATE_TOPOLOGY).expect("built-in topology must parse")
+}
+
+/// Source of the built-in case-study topology.
+pub const CLIMATE_TOPOLOGY: &str = "\
+topology: climate-extremes
+inputs:
+  years: 1
+  grid: test_small
+  scenario: ssp245
+node_templates:
+  zeus:
+    type: hpc.Cluster
+    properties:
+      scheduler: lsf
+      nodes: 4
+      cores_per_node: 8
+  pycompss:
+    type: middleware.PyCOMPSs
+    requirements:
+      - hosted_on: zeus
+  esm_image:
+    type: container.Image
+    properties:
+      base: rockylinux9
+      packages: esm-surrogate netcdf mpi
+    requirements:
+      - hosted_on: zeus
+  analytics_image:
+    type: container.Image
+    properties:
+      base: rockylinux9
+      packages: ophidia-engine netcdf
+    requirements:
+      - hosted_on: zeus
+  ml_image:
+    type: container.Image
+    properties:
+      base: rockylinux9
+      packages: tinyml tc-cnn-weights
+    requirements:
+      - hosted_on: zeus
+  baseline_data:
+    type: data.Pipeline
+    properties:
+      source: archive
+      destination: zeus
+      bytes: 4000000
+    requirements:
+      - hosted_on: zeus
+  workflow:
+    type: app.ClimateExtremes
+    requirements:
+      - hosted_on: pycompss
+      - uses: esm_image
+      - uses: analytics_image
+      - uses: ml_image
+      - uses: baseline_data
+";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtin_topology_parses_and_validates() {
+        let t = climate_case_study();
+        assert_eq!(t.name, "climate-extremes");
+        assert_eq!(t.inputs["years"], "1");
+        assert_eq!(t.templates.len(), 7);
+        let wf = t.template("workflow").unwrap();
+        assert_eq!(wf.type_name, "app.ClimateExtremes");
+        assert_eq!(wf.requirements.len(), 5);
+        assert_eq!(wf.requirements[0], Requirement::HostedOn("pycompss".into()));
+        let esm = t.template("esm_image").unwrap();
+        assert_eq!(esm.properties["base"], "rockylinux9");
+    }
+
+    #[test]
+    fn minimal_document() {
+        let t = Topology::parse("topology: t\nnode_templates:\n  a:\n    type: x.Y\n").unwrap();
+        assert_eq!(t.templates.len(), 1);
+        assert!(t.inputs.is_empty());
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let src = "# header\ntopology: t\n\ninputs:\n  # comment\n  n: 1\n";
+        let t = Topology::parse(src).unwrap();
+        assert_eq!(t.inputs["n"], "1");
+    }
+
+    #[test]
+    fn missing_header_rejected() {
+        assert!(matches!(
+            Topology::parse("inputs:\n  a: 1\n"),
+            Err(Error::Parse { .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_relation_rejected() {
+        let src = "topology: t\nnode_templates:\n  a:\n    type: x\n  b:\n    type: x\n    requirements:\n      - attached_to: a\n";
+        let err = Topology::parse(src).unwrap_err();
+        assert!(matches!(err, Error::Parse { line: 8, .. }), "{err}");
+    }
+
+    #[test]
+    fn unknown_target_rejected() {
+        let src = "topology: t\nnode_templates:\n  a:\n    type: x\n    requirements:\n      - hosted_on: ghost\n";
+        assert!(matches!(Topology::parse(src), Err(Error::UnknownTarget { .. })));
+    }
+
+    #[test]
+    fn duplicate_template_rejected() {
+        let src = "topology: t\nnode_templates:\n  a:\n    type: x\n  a:\n    type: y\n";
+        assert!(matches!(Topology::parse(src), Err(Error::Parse { line: 5, .. })));
+    }
+
+    #[test]
+    fn bad_indentation_rejected() {
+        let src = "topology: t\nnode_templates:\n   a:\n";
+        assert!(matches!(Topology::parse(src), Err(Error::Parse { .. })));
+    }
+
+    #[test]
+    fn properties_parse_with_spaces() {
+        let src = "topology: t\nnode_templates:\n  img:\n    type: container.Image\n    properties:\n      packages: a b c\n";
+        let t = Topology::parse(src).unwrap();
+        assert_eq!(t.template("img").unwrap().properties["packages"], "a b c");
+    }
+}

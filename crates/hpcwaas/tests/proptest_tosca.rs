@@ -1,0 +1,107 @@
+//! Property tests: TOSCA documents round-trip through
+//! serialize → parse, and plan derivation is safe on arbitrary valid
+//! topologies.
+
+use hpcwaas::orchestrator::DeploymentPlan;
+use hpcwaas::tosca::{NodeTemplate, Requirement, Topology};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+fn ident() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9_]{0,10}".prop_map(|s| s)
+}
+
+fn value_str() -> impl Strategy<Value = String> {
+    // Values must survive `key: value` syntax: no newlines, no leading or
+    // trailing whitespace.
+    "[a-zA-Z0-9][a-zA-Z0-9 ._/-]{0,20}[a-zA-Z0-9]"
+        .prop_map(|s| s)
+        .prop_filter("no comment marker", |s| !s.starts_with('#'))
+}
+
+/// A valid topology: unique template names, requirements only on earlier
+/// templates (guaranteeing acyclicity).
+fn topology_strategy() -> impl Strategy<Value = Topology> {
+    (ident(), 1usize..8).prop_flat_map(|(name, n)| {
+        let template_specs: Vec<_> = (0..n)
+            .map(|i| {
+                (
+                    ident(),
+                    proptest::collection::btree_map(ident(), value_str(), 0..3),
+                    proptest::collection::vec((0usize..3, 0usize..i.max(1)), 0..=i.min(3)),
+                )
+            })
+            .collect();
+        let inputs = proptest::collection::btree_map(ident(), value_str(), 0..3);
+        (Just(name), inputs, template_specs).prop_map(|(name, inputs, specs)| {
+            let mut templates: Vec<NodeTemplate> = Vec::new();
+            for (i, (type_name, properties, reqs)) in specs.into_iter().enumerate() {
+                let tname = format!("t{i}");
+                let requirements = if i == 0 {
+                    Vec::new()
+                } else {
+                    reqs.into_iter()
+                        .map(|(kind, j)| {
+                            let target = format!("t{}", j % i);
+                            match kind {
+                                0 => Requirement::HostedOn(target),
+                                1 => Requirement::Uses(target),
+                                _ => Requirement::DependsOn(target),
+                            }
+                        })
+                        .collect()
+                };
+                templates.push(NodeTemplate {
+                    name: tname,
+                    type_name: format!("ns.{type_name}"),
+                    properties,
+                    requirements,
+                });
+            }
+            Topology { name, inputs, templates }
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn serialize_parse_roundtrip(topo in topology_strategy()) {
+        let src = topo.to_source();
+        let back = Topology::parse(&src).unwrap_or_else(|e| panic!("parse failed: {e}\n{src}"));
+        prop_assert_eq!(back, topo);
+    }
+
+    /// Plan derivation succeeds on every valid topology and respects all
+    /// requirement edges.
+    #[test]
+    fn plan_respects_all_edges(topo in topology_strategy()) {
+        let plan = DeploymentPlan::derive(&topo).unwrap();
+        prop_assert_eq!(plan.order.len(), topo.templates.len());
+        let pos: BTreeMap<&str, usize> = plan
+            .order
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (n.as_str(), i))
+            .collect();
+        for t in &topo.templates {
+            for r in &t.requirements {
+                prop_assert!(
+                    pos[r.target()] < pos[t.name.as_str()],
+                    "{} must start before {}",
+                    r.target(),
+                    t.name
+                );
+            }
+        }
+    }
+
+    /// The built-in case-study topology also round-trips.
+    #[test]
+    fn builtin_roundtrip(_x in Just(())) {
+        let topo = hpcwaas::tosca::climate_case_study();
+        let back = Topology::parse(&topo.to_source()).unwrap();
+        prop_assert_eq!(back, topo);
+    }
+}

@@ -1,0 +1,479 @@
+//! Writing NCX containers.
+//!
+//! Two entry points:
+//!
+//! * [`Writer`] — streaming: variable payloads are appended to the file as
+//!   they are produced, and the header is written last (the fixed-size
+//!   prelude stores a pointer to it). This is what the ESM output path uses,
+//!   so a day's ~20 large fields never need to coexist in memory.
+//! * [`Dataset`] — an in-memory builder for small files (indices, tests,
+//!   examples) that assembles everything and writes in one call.
+//!
+//! On-disk layout:
+//!
+//! ```text
+//! [magic 4B][version 1B][header_offset u64]  <- prelude (13 bytes)
+//! [variable payloads, in append order]
+//! [header: global attrs, dims, variables]    <- at header_offset
+//! ```
+
+use crate::codec;
+use crate::error::{Error, Result};
+use crate::types::{Attribute, DataType, Dimension, Value, Variable};
+use crate::{MAGIC, VERSION};
+use std::fs::File;
+use std::io::{BufWriter, Seek, SeekFrom, Write};
+use std::path::Path;
+
+/// Size in bytes of the fixed prelude preceding the data section.
+pub(crate) const PRELUDE_LEN: u64 = 4 + 1 + 8;
+
+/// Streaming writer: append variable payloads as they become available.
+pub struct Writer {
+    file: BufWriter<File>,
+    dims: Vec<Dimension>,
+    vars: Vec<Variable>,
+    attrs: Vec<Attribute>,
+    cursor: u64,
+    finished: bool,
+}
+
+impl Writer {
+    /// Creates the file and writes the prelude with a zero header pointer
+    /// (patched by [`Writer::finish`]).
+    pub fn create<P: AsRef<Path>>(path: P) -> Result<Self> {
+        let mut file = BufWriter::new(File::create(path)?);
+        file.write_all(MAGIC)?;
+        codec::put_u8(&mut file, VERSION)?;
+        codec::put_u64(&mut file, 0)?;
+        Ok(Writer {
+            file,
+            dims: Vec::new(),
+            vars: Vec::new(),
+            attrs: Vec::new(),
+            cursor: PRELUDE_LEN,
+            finished: false,
+        })
+    }
+
+    /// Sets (or replaces) a global attribute.
+    pub fn set_attribute(&mut self, name: &str, value: Value) {
+        if let Some(a) = self.attrs.iter_mut().find(|a| a.name == name) {
+            a.value = value;
+        } else {
+            self.attrs.push(Attribute { name: name.into(), value });
+        }
+    }
+
+    /// Declares a dimension. Dimensions must be declared before any variable
+    /// that uses them.
+    pub fn add_dimension(&mut self, name: &str, size: usize) -> Result<()> {
+        if self.dims.iter().any(|d| d.name == name) {
+            return Err(Error::DuplicateDimension(name.into()));
+        }
+        self.dims.push(Dimension { name: name.into(), size });
+        Ok(())
+    }
+
+    fn dim_indices(&self, dims: &[&str]) -> Result<Vec<usize>> {
+        dims.iter()
+            .map(|n| {
+                self.dims
+                    .iter()
+                    .position(|d| d.name == *n)
+                    .ok_or_else(|| Error::UnknownDimension((*n).into()))
+            })
+            .collect()
+    }
+
+    fn check_new_var(&self, name: &str) -> Result<()> {
+        if self.vars.iter().any(|v| v.name == name) {
+            return Err(Error::DuplicateVariable(name.into()));
+        }
+        Ok(())
+    }
+
+    fn expected_len(&self, dim_idx: &[usize]) -> usize {
+        dim_idx.iter().map(|&d| self.dims[d].size).product()
+    }
+
+    fn push_var(
+        &mut self,
+        name: &str,
+        dtype: DataType,
+        dim_idx: Vec<usize>,
+        attrs: Vec<Attribute>,
+        payload: &[u8],
+    ) -> Result<()> {
+        let offset = self.cursor;
+        self.file.write_all(payload)?;
+        self.cursor += payload.len() as u64;
+        self.vars.push(Variable {
+            name: name.into(),
+            dtype,
+            dims: dim_idx,
+            attributes: attrs,
+            data_offset: offset,
+        });
+        Ok(())
+    }
+
+    /// Appends an `f32` variable with optional attributes.
+    pub fn add_variable_f32(
+        &mut self,
+        name: &str,
+        dims: &[&str],
+        data: &[f32],
+        attrs: Vec<Attribute>,
+    ) -> Result<()> {
+        self.check_new_var(name)?;
+        let idx = self.dim_indices(dims)?;
+        let expected = self.expected_len(&idx);
+        if expected != data.len() {
+            return Err(Error::ShapeMismatch { expected, actual: data.len() });
+        }
+        let bytes = codec::f32_bytes(data);
+        self.push_var(name, DataType::F32, idx, attrs, &bytes)
+    }
+
+    /// Appends an `f64` variable with optional attributes.
+    pub fn add_variable_f64(
+        &mut self,
+        name: &str,
+        dims: &[&str],
+        data: &[f64],
+        attrs: Vec<Attribute>,
+    ) -> Result<()> {
+        self.check_new_var(name)?;
+        let idx = self.dim_indices(dims)?;
+        let expected = self.expected_len(&idx);
+        if expected != data.len() {
+            return Err(Error::ShapeMismatch { expected, actual: data.len() });
+        }
+        let bytes = codec::f64_bytes(data);
+        self.push_var(name, DataType::F64, idx, attrs, &bytes)
+    }
+
+    /// Appends a `u8` variable (masks, categorical fields).
+    pub fn add_variable_u8(
+        &mut self,
+        name: &str,
+        dims: &[&str],
+        data: &[u8],
+        attrs: Vec<Attribute>,
+    ) -> Result<()> {
+        self.check_new_var(name)?;
+        let idx = self.dim_indices(dims)?;
+        let expected = self.expected_len(&idx);
+        if expected != data.len() {
+            return Err(Error::ShapeMismatch { expected, actual: data.len() });
+        }
+        self.push_var(name, DataType::U8, idx, attrs, data)
+    }
+
+    /// Appends an `i32` variable (counts, integer indices).
+    pub fn add_variable_i32(
+        &mut self,
+        name: &str,
+        dims: &[&str],
+        data: &[i32],
+        attrs: Vec<Attribute>,
+    ) -> Result<()> {
+        self.check_new_var(name)?;
+        let idx = self.dim_indices(dims)?;
+        let expected = self.expected_len(&idx);
+        if expected != data.len() {
+            return Err(Error::ShapeMismatch { expected, actual: data.len() });
+        }
+        let mut bytes = Vec::with_capacity(data.len() * 4);
+        for v in data {
+            bytes.extend_from_slice(&v.to_le_bytes());
+        }
+        self.push_var(name, DataType::I32, idx, attrs, &bytes)
+    }
+
+    /// Writes the header, patches the prelude pointer and flushes. Must be
+    /// called exactly once; dropping an unfinished writer leaves an invalid
+    /// file by design (truncated output should not parse).
+    pub fn finish(mut self) -> Result<()> {
+        let header_offset = self.cursor;
+
+        codec::put_attributes(&mut self.file, &self.attrs)?;
+
+        codec::put_u32(&mut self.file, self.dims.len() as u32)?;
+        for d in &self.dims {
+            codec::put_str(&mut self.file, &d.name)?;
+            codec::put_u64(&mut self.file, d.size as u64)?;
+        }
+
+        codec::put_u32(&mut self.file, self.vars.len() as u32)?;
+        for v in &self.vars {
+            codec::put_str(&mut self.file, &v.name)?;
+            codec::put_u8(&mut self.file, v.dtype.tag())?;
+            codec::put_u32(&mut self.file, v.dims.len() as u32)?;
+            for &d in &v.dims {
+                codec::put_u32(&mut self.file, d as u32)?;
+            }
+            codec::put_attributes(&mut self.file, &v.attributes)?;
+            codec::put_u64(&mut self.file, v.data_offset)?;
+        }
+
+        self.file.flush()?;
+        let file = self.file.get_mut();
+        file.seek(SeekFrom::Start(5))?;
+        file.write_all(&header_offset.to_le_bytes())?;
+        file.flush()?;
+        self.finished = true;
+        Ok(())
+    }
+
+    /// Bytes of payload written so far (excludes prelude and header).
+    pub fn payload_bytes(&self) -> u64 {
+        self.cursor - PRELUDE_LEN
+    }
+}
+
+/// Owned variable payload used by the in-memory [`Dataset`] builder.
+#[derive(Debug, Clone)]
+enum Payload {
+    F32(Vec<f32>),
+    F64(Vec<f64>),
+    I32(Vec<i32>),
+    U8(Vec<u8>),
+}
+
+impl Payload {
+    fn len(&self) -> usize {
+        match self {
+            Payload::F32(v) => v.len(),
+            Payload::F64(v) => v.len(),
+            Payload::I32(v) => v.len(),
+            Payload::U8(v) => v.len(),
+        }
+    }
+}
+
+/// In-memory dataset builder: collect dimensions, attributes and variables,
+/// then serialize with [`Dataset::write_to_path`].
+#[derive(Default)]
+pub struct Dataset {
+    dims: Vec<Dimension>,
+    attrs: Vec<Attribute>,
+    vars: Vec<(String, Vec<usize>, Vec<Attribute>, Payload)>,
+}
+
+impl Dataset {
+    /// Creates an empty dataset.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declares a dimension.
+    pub fn add_dimension(&mut self, name: &str, size: usize) -> Result<()> {
+        if self.dims.iter().any(|d| d.name == name) {
+            return Err(Error::DuplicateDimension(name.into()));
+        }
+        self.dims.push(Dimension { name: name.into(), size });
+        Ok(())
+    }
+
+    /// Sets (or replaces) a global attribute.
+    pub fn set_attribute(&mut self, name: &str, value: Value) {
+        if let Some(a) = self.attrs.iter_mut().find(|a| a.name == name) {
+            a.value = value;
+        } else {
+            self.attrs.push(Attribute { name: name.into(), value });
+        }
+    }
+
+    fn add_var(&mut self, name: &str, dims: &[&str], payload: Payload) -> Result<()> {
+        if self.vars.iter().any(|(n, ..)| n == name) {
+            return Err(Error::DuplicateVariable(name.into()));
+        }
+        let idx: Vec<usize> = dims
+            .iter()
+            .map(|n| {
+                self.dims
+                    .iter()
+                    .position(|d| d.name == *n)
+                    .ok_or_else(|| Error::UnknownDimension((*n).into()))
+            })
+            .collect::<Result<_>>()?;
+        let expected: usize = idx.iter().map(|&d| self.dims[d].size).product();
+        if expected != payload.len() {
+            return Err(Error::ShapeMismatch { expected, actual: payload.len() });
+        }
+        self.vars.push((name.into(), idx, Vec::new(), payload));
+        Ok(())
+    }
+
+    /// Adds an `f32` variable.
+    pub fn add_variable_f32(&mut self, name: &str, dims: &[&str], data: Vec<f32>) -> Result<()> {
+        self.add_var(name, dims, Payload::F32(data))
+    }
+
+    /// Adds an `f64` variable.
+    pub fn add_variable_f64(&mut self, name: &str, dims: &[&str], data: Vec<f64>) -> Result<()> {
+        self.add_var(name, dims, Payload::F64(data))
+    }
+
+    /// Adds an `i32` variable.
+    pub fn add_variable_i32(&mut self, name: &str, dims: &[&str], data: Vec<i32>) -> Result<()> {
+        self.add_var(name, dims, Payload::I32(data))
+    }
+
+    /// Adds a `u8` variable.
+    pub fn add_variable_u8(&mut self, name: &str, dims: &[&str], data: Vec<u8>) -> Result<()> {
+        self.add_var(name, dims, Payload::U8(data))
+    }
+
+    /// Attaches an attribute to an already-added variable.
+    pub fn set_variable_attribute(&mut self, var: &str, name: &str, value: Value) -> Result<()> {
+        let entry = self
+            .vars
+            .iter_mut()
+            .find(|(n, ..)| n == var)
+            .ok_or_else(|| Error::UnknownVariable(var.into()))?;
+        entry.2.push(Attribute { name: name.into(), value });
+        Ok(())
+    }
+
+    /// Serializes the dataset to `path` via the streaming [`Writer`].
+    pub fn write_to_path<P: AsRef<Path>>(&self, path: P) -> Result<()> {
+        let mut w = Writer::create(path)?;
+        for a in &self.attrs {
+            w.set_attribute(&a.name, a.value.clone());
+        }
+        for d in &self.dims {
+            w.add_dimension(&d.name, d.size)?;
+        }
+        let dim_names: Vec<&str> = self.dims.iter().map(|d| d.name.as_str()).collect();
+        for (name, idx, attrs, payload) in &self.vars {
+            let dims: Vec<&str> = idx.iter().map(|&i| dim_names[i]).collect();
+            match payload {
+                Payload::F32(v) => w.add_variable_f32(name, &dims, v, attrs.clone())?,
+                Payload::F64(v) => w.add_variable_f64(name, &dims, v, attrs.clone())?,
+                Payload::I32(v) => w.add_variable_i32(name, &dims, v, attrs.clone())?,
+                Payload::U8(v) => w.add_variable_u8(name, &dims, v, attrs.clone())?,
+            }
+        }
+        w.finish()
+    }
+
+    /// Predicted on-disk size in bytes for a file with the given variable
+    /// shapes, counting payload only (headers are O(metadata)). Used by the
+    /// ESM to reproduce the paper's "271 MB per daily file" arithmetic
+    /// without writing a full-resolution file.
+    pub fn payload_size(var_elems: &[(DataType, usize)]) -> u64 {
+        var_elems.iter().map(|(dt, n)| (dt.size() * n) as u64).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::read::Reader;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("ncx-write-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn duplicate_dimension_rejected() {
+        let mut ds = Dataset::new();
+        ds.add_dimension("x", 2).unwrap();
+        assert!(matches!(ds.add_dimension("x", 3), Err(Error::DuplicateDimension(_))));
+    }
+
+    #[test]
+    fn duplicate_variable_rejected() {
+        let mut ds = Dataset::new();
+        ds.add_dimension("x", 1).unwrap();
+        ds.add_variable_f32("v", &["x"], vec![1.0]).unwrap();
+        assert!(matches!(
+            ds.add_variable_f32("v", &["x"], vec![1.0]),
+            Err(Error::DuplicateVariable(_))
+        ));
+    }
+
+    #[test]
+    fn unknown_dimension_rejected() {
+        let mut ds = Dataset::new();
+        assert!(matches!(
+            ds.add_variable_f32("v", &["nope"], vec![]),
+            Err(Error::UnknownDimension(_))
+        ));
+    }
+
+    #[test]
+    fn shape_mismatch_rejected() {
+        let mut ds = Dataset::new();
+        ds.add_dimension("x", 3).unwrap();
+        let err = ds.add_variable_f32("v", &["x"], vec![1.0]).unwrap_err();
+        assert!(matches!(err, Error::ShapeMismatch { expected: 3, actual: 1 }));
+    }
+
+    #[test]
+    fn streaming_writer_tracks_payload_bytes() {
+        let path = tmp("stream.ncx");
+        let mut w = Writer::create(&path).unwrap();
+        w.add_dimension("x", 4).unwrap();
+        w.add_variable_f32("a", &["x"], &[1.0, 2.0, 3.0, 4.0], vec![]).unwrap();
+        assert_eq!(w.payload_bytes(), 16);
+        w.add_variable_u8("m", &["x"], &[0, 1, 0, 1], vec![]).unwrap();
+        assert_eq!(w.payload_bytes(), 20);
+        w.finish().unwrap();
+        let rd = Reader::open(&path).unwrap();
+        assert_eq!(rd.read_all_f32("a").unwrap(), vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(rd.read_all_u8("m").unwrap(), vec![0, 1, 0, 1]);
+    }
+
+    #[test]
+    fn variable_attributes_roundtrip() {
+        let path = tmp("attrs.ncx");
+        let mut ds = Dataset::new();
+        ds.add_dimension("x", 1).unwrap();
+        ds.add_variable_f32("t", &["x"], vec![273.15]).unwrap();
+        ds.set_variable_attribute("t", "units", Value::from("K")).unwrap();
+        ds.set_attribute("model", Value::from("CMCC-CM3-surrogate"));
+        ds.write_to_path(&path).unwrap();
+
+        let rd = Reader::open(&path).unwrap();
+        let v = rd.variable("t").unwrap();
+        assert_eq!(v.attribute("units").unwrap().as_text(), Some("K"));
+        assert_eq!(rd.attribute("model").unwrap().as_text(), Some("CMCC-CM3-surrogate"));
+    }
+
+    #[test]
+    fn payload_size_math() {
+        // The paper's daily file: 768 x 1152 x 4 timesteps x 20 f32 vars.
+        let elems = 768 * 1152 * 4;
+        let vars: Vec<(DataType, usize)> = (0..20).map(|_| (DataType::F32, elems)).collect();
+        let bytes = Dataset::payload_size(&vars);
+        let mb = bytes as f64 / (1024.0 * 1024.0);
+        assert!((mb - 270.0).abs() < 1.0, "expected ~270 MB, got {mb}");
+    }
+
+    #[test]
+    fn zero_sized_variable_allowed() {
+        let path = tmp("empty.ncx");
+        let mut ds = Dataset::new();
+        ds.add_dimension("x", 0).unwrap();
+        ds.add_variable_f32("v", &["x"], vec![]).unwrap();
+        ds.write_to_path(&path).unwrap();
+        let rd = Reader::open(&path).unwrap();
+        assert!(rd.read_all_f32("v").unwrap().is_empty());
+    }
+
+    #[test]
+    fn scalar_variable_with_no_dims() {
+        let path = tmp("scalar.ncx");
+        let mut ds = Dataset::new();
+        ds.add_variable_f64("pi", &[], vec![std::f64::consts::PI]).unwrap();
+        ds.write_to_path(&path).unwrap();
+        let rd = Reader::open(&path).unwrap();
+        assert_eq!(rd.read_all_f64("pi").unwrap(), vec![std::f64::consts::PI]);
+    }
+}

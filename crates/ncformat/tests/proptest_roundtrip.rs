@@ -1,0 +1,122 @@
+//! Property tests: any dataset we can build must round-trip bit-exactly
+//! through the on-disk format, and hyperslab reads must agree with the
+//! equivalent in-memory slicing.
+
+use ncformat::{Dataset, Reader, Value};
+use proptest::prelude::*;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static FILE_ID: AtomicU64 = AtomicU64::new(0);
+
+fn tmp() -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("ncx-proptests");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(format!("case-{}.ncx", FILE_ID.fetch_add(1, Ordering::Relaxed)))
+}
+
+/// In-memory reference implementation of a row-major hyperslab.
+fn slab_reference(data: &[f32], shape: &[usize], start: &[usize], count: &[usize]) -> Vec<f32> {
+    let rank = shape.len();
+    let mut strides = vec![1usize; rank];
+    for i in (0..rank.saturating_sub(1)).rev() {
+        strides[i] = strides[i + 1] * shape[i + 1];
+    }
+    let total: usize = count.iter().product();
+    let mut out = Vec::with_capacity(total);
+    let mut idx = vec![0usize; rank];
+    for _ in 0..total {
+        let mut off = 0;
+        for a in 0..rank {
+            off += (start[a] + idx[a]) * strides[a];
+        }
+        out.push(data[off]);
+        for a in (0..rank).rev() {
+            idx[a] += 1;
+            if idx[a] < count[a] {
+                break;
+            }
+            idx[a] = 0;
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn f32_roundtrip(data in proptest::collection::vec(-1e6f32..1e6, 1..200)) {
+        let path = tmp();
+        let mut ds = Dataset::new();
+        ds.add_dimension("n", data.len()).unwrap();
+        ds.add_variable_f32("v", &["n"], data.clone()).unwrap();
+        ds.write_to_path(&path).unwrap();
+        let rd = Reader::open(&path).unwrap();
+        prop_assert_eq!(rd.read_all_f32("v").unwrap(), data);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn f64_roundtrip_preserves_bits(data in proptest::collection::vec(any::<f64>().prop_filter("finite", |v| v.is_finite()), 1..100)) {
+        let path = tmp();
+        let mut ds = Dataset::new();
+        ds.add_dimension("n", data.len()).unwrap();
+        ds.add_variable_f64("v", &["n"], data.clone()).unwrap();
+        ds.write_to_path(&path).unwrap();
+        let rd = Reader::open(&path).unwrap();
+        let back = rd.read_all_f64("v").unwrap();
+        for (a, b) in back.iter().zip(&data) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn slab_matches_reference(
+        (t, y, x) in (1usize..5, 1usize..6, 1usize..7),
+        seed in any::<u64>(),
+    ) {
+        let shape = [t, y, x];
+        let n = t * y * x;
+        let data: Vec<f32> = (0..n).map(|i| (i as f32) * 0.5 + (seed % 97) as f32).collect();
+
+        // Derive a valid slab deterministically from the seed.
+        let start = [
+            (seed as usize) % t,
+            (seed as usize / 7) % y,
+            (seed as usize / 49) % x,
+        ];
+        let count = [
+            1 + (seed as usize / 11) % (t - start[0]),
+            1 + (seed as usize / 13) % (y - start[1]),
+            1 + (seed as usize / 17) % (x - start[2]),
+        ];
+
+        let path = tmp();
+        let mut ds = Dataset::new();
+        ds.add_dimension("t", t).unwrap();
+        ds.add_dimension("y", y).unwrap();
+        ds.add_dimension("x", x).unwrap();
+        ds.add_variable_f32("v", &["t", "y", "x"], data.clone()).unwrap();
+        ds.write_to_path(&path).unwrap();
+
+        let rd = Reader::open(&path).unwrap();
+        let got = rd.read_slab_f32("v", &start, &count).unwrap();
+        let want = slab_reference(&data, &shape, &start, &count);
+        prop_assert_eq!(got, want);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn attributes_roundtrip(name in "[a-z]{1,12}", text in ".{0,40}", num in -1e9f64..1e9) {
+        let path = tmp();
+        let mut ds = Dataset::new();
+        ds.set_attribute(&name, Value::from(text.clone()));
+        ds.set_attribute("num", Value::from(num));
+        ds.write_to_path(&path).unwrap();
+        let rd = Reader::open(&path).unwrap();
+        prop_assert_eq!(rd.attribute(&name).unwrap().as_text(), Some(text.as_str()));
+        prop_assert_eq!(rd.attribute("num").unwrap().as_f64(), Some(num));
+        std::fs::remove_file(path).ok();
+    }
+}

@@ -1,0 +1,610 @@
+//! Differentiable layers.
+//!
+//! Each layer processes a single sample: convolutional layers take `[C, H, W]`
+//! tensors, dense layers take flat `[N]` tensors. `forward` caches whatever
+//! `backward` needs; `backward` receives `dL/d(output)` and returns
+//! `dL/d(input)` while *accumulating* parameter gradients (the trainer zeroes
+//! them once per minibatch and averages).
+
+use crate::tensor::Tensor;
+
+/// Common interface over all layers.
+pub trait Layer: Send {
+    /// Forward pass; caches activations needed by the backward pass.
+    fn forward(&mut self, x: &Tensor) -> Tensor;
+    /// Backward pass: takes `dL/dy`, returns `dL/dx`, accumulates `dL/dθ`.
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor;
+    /// Parameter/gradient pairs, empty for stateless layers.
+    fn params_grads(&mut self) -> Vec<(&mut Tensor, &mut Tensor)> {
+        Vec::new()
+    }
+    /// Immutable view of the parameters (serialization).
+    fn params(&self) -> Vec<&Tensor> {
+        Vec::new()
+    }
+    /// Zeroes accumulated parameter gradients.
+    fn zero_grad(&mut self) {}
+    /// Diagnostic layer name.
+    fn name(&self) -> &'static str;
+}
+
+/// Fully-connected layer: `y = W x + b`, `W: [out, in]`.
+pub struct Dense {
+    pub w: Tensor,
+    pub b: Tensor,
+    pub gw: Tensor,
+    pub gb: Tensor,
+    cache_x: Option<Tensor>,
+}
+
+impl Dense {
+    /// He-style uniform initialization with a deterministic seed.
+    pub fn new(input: usize, output: usize, seed: u64) -> Self {
+        let scale = (2.0 / input as f32).sqrt();
+        Dense {
+            w: Tensor::uniform(&[output, input], scale, seed),
+            b: Tensor::zeros(&[output]),
+            gw: Tensor::zeros(&[output, input]),
+            gb: Tensor::zeros(&[output]),
+            cache_x: None,
+        }
+    }
+
+    fn input_len(&self) -> usize {
+        self.w.shape[1]
+    }
+    fn output_len(&self) -> usize {
+        self.w.shape[0]
+    }
+}
+
+impl Layer for Dense {
+    #[allow(clippy::needless_range_loop)] // index form mirrors the math
+    fn forward(&mut self, x: &Tensor) -> Tensor {
+        assert_eq!(x.len(), self.input_len(), "dense input length mismatch");
+        let (out_n, in_n) = (self.output_len(), self.input_len());
+        let mut y = vec![0.0f32; out_n];
+        for o in 0..out_n {
+            let row = &self.w.data[o * in_n..(o + 1) * in_n];
+            let mut acc = self.b.data[o];
+            for (wi, xi) in row.iter().zip(&x.data) {
+                acc += wi * xi;
+            }
+            y[o] = acc;
+        }
+        self.cache_x = Some(x.clone());
+        Tensor::from_vec(&[out_n], y)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let x = self.cache_x.as_ref().expect("backward before forward");
+        let (out_n, in_n) = (self.output_len(), self.input_len());
+        assert_eq!(grad_out.len(), out_n);
+        let mut gx = vec![0.0f32; in_n];
+        for o in 0..out_n {
+            let g = grad_out.data[o];
+            self.gb.data[o] += g;
+            let wrow = &self.w.data[o * in_n..(o + 1) * in_n];
+            let gwrow = &mut self.gw.data[o * in_n..(o + 1) * in_n];
+            for i in 0..in_n {
+                gwrow[i] += g * x.data[i];
+                gx[i] += g * wrow[i];
+            }
+        }
+        Tensor::from_vec(&[in_n], gx)
+    }
+
+    fn params_grads(&mut self) -> Vec<(&mut Tensor, &mut Tensor)> {
+        vec![(&mut self.w, &mut self.gw), (&mut self.b, &mut self.gb)]
+    }
+
+    fn params(&self) -> Vec<&Tensor> {
+        vec![&self.w, &self.b]
+    }
+
+    fn zero_grad(&mut self) {
+        self.gw.data.fill(0.0);
+        self.gb.data.fill(0.0);
+    }
+
+    fn name(&self) -> &'static str {
+        "dense"
+    }
+}
+
+/// 2-D convolution, stride 1, symmetric zero padding.
+/// Input `[IC, H, W]`, weights `[OC, IC, K, K]`, output `[OC, H', W']`
+/// with `H' = H + 2·pad − K + 1`.
+pub struct Conv2d {
+    pub w: Tensor,
+    pub b: Tensor,
+    pub gw: Tensor,
+    pub gb: Tensor,
+    pub kernel: usize,
+    pub pad: usize,
+    in_ch: usize,
+    out_ch: usize,
+    cache_x: Option<Tensor>,
+}
+
+impl Conv2d {
+    /// Creates a convolution with deterministic initialization.
+    pub fn new(in_ch: usize, out_ch: usize, kernel: usize, pad: usize, seed: u64) -> Self {
+        let fan_in = (in_ch * kernel * kernel) as f32;
+        let scale = (2.0 / fan_in).sqrt();
+        Conv2d {
+            w: Tensor::uniform(&[out_ch, in_ch, kernel, kernel], scale, seed),
+            b: Tensor::zeros(&[out_ch]),
+            gw: Tensor::zeros(&[out_ch, in_ch, kernel, kernel]),
+            gb: Tensor::zeros(&[out_ch]),
+            kernel,
+            pad,
+            in_ch,
+            out_ch,
+            cache_x: None,
+        }
+    }
+
+    fn out_hw(&self, h: usize, w: usize) -> (usize, usize) {
+        (h + 2 * self.pad + 1 - self.kernel, w + 2 * self.pad + 1 - self.kernel)
+    }
+
+    #[inline]
+    fn widx(&self, o: usize, c: usize, ky: usize, kx: usize) -> usize {
+        ((o * self.in_ch + c) * self.kernel + ky) * self.kernel + kx
+    }
+}
+
+impl Layer for Conv2d {
+    fn forward(&mut self, x: &Tensor) -> Tensor {
+        assert_eq!(x.rank(), 3, "conv2d expects [C,H,W]");
+        assert_eq!(x.shape[0], self.in_ch, "conv2d channel mismatch");
+        let (h, w) = (x.shape[1], x.shape[2]);
+        let (oh, ow) = self.out_hw(h, w);
+        let mut y = Tensor::zeros(&[self.out_ch, oh, ow]);
+        let k = self.kernel;
+        let p = self.pad as isize;
+        for o in 0..self.out_ch {
+            for yy in 0..oh {
+                for xx in 0..ow {
+                    let mut acc = self.b.data[o];
+                    for c in 0..self.in_ch {
+                        for ky in 0..k {
+                            let iy = yy as isize + ky as isize - p;
+                            if iy < 0 || iy >= h as isize {
+                                continue;
+                            }
+                            for kx in 0..k {
+                                let ix = xx as isize + kx as isize - p;
+                                if ix < 0 || ix >= w as isize {
+                                    continue;
+                                }
+                                acc += self.w.data[self.widx(o, c, ky, kx)]
+                                    * x.at3(c, iy as usize, ix as usize);
+                            }
+                        }
+                    }
+                    *y.at3_mut(o, yy, xx) = acc;
+                }
+            }
+        }
+        self.cache_x = Some(x.clone());
+        y
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let x = self.cache_x.as_ref().expect("backward before forward").clone();
+        let (h, w) = (x.shape[1], x.shape[2]);
+        let (oh, ow) = self.out_hw(h, w);
+        assert_eq!(grad_out.shape, vec![self.out_ch, oh, ow]);
+        let mut gx = Tensor::zeros(&[self.in_ch, h, w]);
+        let k = self.kernel;
+        let p = self.pad as isize;
+        for o in 0..self.out_ch {
+            for yy in 0..oh {
+                for xx in 0..ow {
+                    let g = grad_out.at3(o, yy, xx);
+                    if g == 0.0 {
+                        continue;
+                    }
+                    self.gb.data[o] += g;
+                    for c in 0..self.in_ch {
+                        for ky in 0..k {
+                            let iy = yy as isize + ky as isize - p;
+                            if iy < 0 || iy >= h as isize {
+                                continue;
+                            }
+                            for kx in 0..k {
+                                let ix = xx as isize + kx as isize - p;
+                                if ix < 0 || ix >= w as isize {
+                                    continue;
+                                }
+                                let widx = self.widx(o, c, ky, kx);
+                                self.gw.data[widx] += g * x.at3(c, iy as usize, ix as usize);
+                                *gx.at3_mut(c, iy as usize, ix as usize) += g * self.w.data[widx];
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        gx
+    }
+
+    fn params_grads(&mut self) -> Vec<(&mut Tensor, &mut Tensor)> {
+        vec![(&mut self.w, &mut self.gw), (&mut self.b, &mut self.gb)]
+    }
+
+    fn params(&self) -> Vec<&Tensor> {
+        vec![&self.w, &self.b]
+    }
+
+    fn zero_grad(&mut self) {
+        self.gw.data.fill(0.0);
+        self.gb.data.fill(0.0);
+    }
+
+    fn name(&self) -> &'static str {
+        "conv2d"
+    }
+}
+
+/// Max pooling over non-overlapping `k × k` windows (stride = k). Input
+/// spatial dims must be divisible by `k`.
+pub struct MaxPool2d {
+    pub k: usize,
+    cache_argmax: Vec<usize>,
+    cache_in_shape: Vec<usize>,
+}
+
+impl MaxPool2d {
+    /// Creates a pool with window/stride `k`.
+    pub fn new(k: usize) -> Self {
+        assert!(k > 0, "pool window must be positive");
+        MaxPool2d { k, cache_argmax: Vec::new(), cache_in_shape: Vec::new() }
+    }
+}
+
+impl Layer for MaxPool2d {
+    fn forward(&mut self, x: &Tensor) -> Tensor {
+        assert_eq!(x.rank(), 3, "maxpool expects [C,H,W]");
+        let (c, h, w) = (x.shape[0], x.shape[1], x.shape[2]);
+        assert_eq!(h % self.k, 0, "pool window must divide height");
+        assert_eq!(w % self.k, 0, "pool window must divide width");
+        let (oh, ow) = (h / self.k, w / self.k);
+        let mut y = Tensor::zeros(&[c, oh, ow]);
+        self.cache_argmax = vec![0; c * oh * ow];
+        self.cache_in_shape = x.shape.clone();
+        for ci in 0..c {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut best = f32::NEG_INFINITY;
+                    let mut best_idx = 0;
+                    for dy in 0..self.k {
+                        for dx in 0..self.k {
+                            let idx = x.idx3(ci, oy * self.k + dy, ox * self.k + dx);
+                            if x.data[idx] > best {
+                                best = x.data[idx];
+                                best_idx = idx;
+                            }
+                        }
+                    }
+                    let oidx = y.idx3(ci, oy, ox);
+                    y.data[oidx] = best;
+                    self.cache_argmax[oidx] = best_idx;
+                }
+            }
+        }
+        y
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        assert_eq!(grad_out.len(), self.cache_argmax.len(), "backward before forward");
+        let mut gx = Tensor::zeros(&self.cache_in_shape);
+        for (oidx, &iidx) in self.cache_argmax.iter().enumerate() {
+            gx.data[iidx] += grad_out.data[oidx];
+        }
+        gx
+    }
+
+    fn name(&self) -> &'static str {
+        "maxpool2d"
+    }
+}
+
+/// Flattens any tensor to rank 1 (and restores the shape on backward).
+#[derive(Default)]
+pub struct Flatten {
+    cache_shape: Vec<usize>,
+}
+
+impl Flatten {
+    /// Creates a flatten layer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Layer for Flatten {
+    fn forward(&mut self, x: &Tensor) -> Tensor {
+        self.cache_shape = x.shape.clone();
+        x.reshape(&[x.len()])
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        grad_out.reshape(&self.cache_shape)
+    }
+
+    fn name(&self) -> &'static str {
+        "flatten"
+    }
+}
+
+/// Rectified linear unit.
+#[derive(Default)]
+pub struct ReLU {
+    cache_mask: Vec<bool>,
+}
+
+impl ReLU {
+    /// Creates a ReLU activation.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Layer for ReLU {
+    fn forward(&mut self, x: &Tensor) -> Tensor {
+        self.cache_mask = x.data.iter().map(|&v| v > 0.0).collect();
+        let data = x.data.iter().map(|&v| v.max(0.0)).collect();
+        Tensor::from_vec(&x.shape, data)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        assert_eq!(grad_out.len(), self.cache_mask.len(), "backward before forward");
+        let data = grad_out
+            .data
+            .iter()
+            .zip(&self.cache_mask)
+            .map(|(&g, &m)| if m { g } else { 0.0 })
+            .collect();
+        Tensor::from_vec(&grad_out.shape, data)
+    }
+
+    fn name(&self) -> &'static str {
+        "relu"
+    }
+}
+
+/// Logistic sigmoid.
+#[derive(Default)]
+pub struct Sigmoid {
+    cache_y: Vec<f32>,
+}
+
+impl Sigmoid {
+    /// Creates a sigmoid activation.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Layer for Sigmoid {
+    fn forward(&mut self, x: &Tensor) -> Tensor {
+        let data: Vec<f32> = x.data.iter().map(|&v| 1.0 / (1.0 + (-v).exp())).collect();
+        self.cache_y = data.clone();
+        Tensor::from_vec(&x.shape, data)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        assert_eq!(grad_out.len(), self.cache_y.len(), "backward before forward");
+        let data = grad_out
+            .data
+            .iter()
+            .zip(&self.cache_y)
+            .map(|(&g, &y)| g * y * (1.0 - y))
+            .collect();
+        Tensor::from_vec(&grad_out.shape, data)
+    }
+
+    fn name(&self) -> &'static str {
+        "sigmoid"
+    }
+}
+
+/// Hyperbolic tangent.
+#[derive(Default)]
+pub struct Tanh {
+    cache_y: Vec<f32>,
+}
+
+impl Tanh {
+    /// Creates a tanh activation.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Layer for Tanh {
+    fn forward(&mut self, x: &Tensor) -> Tensor {
+        let data: Vec<f32> = x.data.iter().map(|&v| v.tanh()).collect();
+        self.cache_y = data.clone();
+        Tensor::from_vec(&x.shape, data)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        assert_eq!(grad_out.len(), self.cache_y.len(), "backward before forward");
+        let data = grad_out
+            .data
+            .iter()
+            .zip(&self.cache_y)
+            .map(|(&g, &y)| g * (1.0 - y * y))
+            .collect();
+        Tensor::from_vec(&grad_out.shape, data)
+    }
+
+    fn name(&self) -> &'static str {
+        "tanh"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dense_forward_known_values() {
+        let mut d = Dense::new(2, 2, 0);
+        d.w.data = vec![1.0, 2.0, 3.0, 4.0]; // rows: [1,2], [3,4]
+        d.b.data = vec![0.5, -0.5];
+        let y = d.forward(&Tensor::from_vec(&[2], vec![1.0, 1.0]));
+        assert_eq!(y.data, vec![3.5, 6.5]);
+    }
+
+    #[test]
+    fn dense_backward_gradients() {
+        let mut d = Dense::new(2, 1, 0);
+        d.w.data = vec![2.0, -1.0];
+        d.b.data = vec![0.0];
+        let x = Tensor::from_vec(&[2], vec![3.0, 4.0]);
+        d.forward(&x);
+        let gx = d.backward(&Tensor::from_vec(&[1], vec![1.0]));
+        assert_eq!(gx.data, vec![2.0, -1.0]); // dL/dx = W^T g
+        assert_eq!(d.gw.data, vec![3.0, 4.0]); // dL/dW = g x^T
+        assert_eq!(d.gb.data, vec![1.0]);
+    }
+
+    #[test]
+    fn conv_identity_kernel_passes_input_through() {
+        let mut c = Conv2d::new(1, 1, 1, 0, 0);
+        c.w.data = vec![1.0];
+        c.b.data = vec![0.0];
+        let x = Tensor::from_vec(&[1, 2, 2], vec![1.0, 2.0, 3.0, 4.0]);
+        let y = c.forward(&x);
+        assert_eq!(y.data, x.data);
+        assert_eq!(y.shape, x.shape);
+    }
+
+    #[test]
+    fn conv_3x3_box_filter_sums_neighbourhood() {
+        let mut c = Conv2d::new(1, 1, 3, 1, 0);
+        c.w.data = vec![1.0; 9];
+        c.b.data = vec![0.0];
+        let x = Tensor::from_vec(&[1, 3, 3], vec![1.0; 9]);
+        let y = c.forward(&x);
+        assert_eq!(y.shape, vec![1, 3, 3]);
+        // Center cell sees all 9 ones; corner sees 4.
+        assert_eq!(y.at3(0, 1, 1), 9.0);
+        assert_eq!(y.at3(0, 0, 0), 4.0);
+        assert_eq!(y.at3(0, 0, 1), 6.0);
+    }
+
+    #[test]
+    fn conv_valid_padding_shrinks_output() {
+        let mut c = Conv2d::new(2, 3, 3, 0, 7);
+        let x = Tensor::uniform(&[2, 5, 6], 1.0, 1);
+        let y = c.forward(&x);
+        assert_eq!(y.shape, vec![3, 3, 4]);
+    }
+
+    #[test]
+    fn maxpool_forward_and_routing() {
+        let mut p = MaxPool2d::new(2);
+        let x = Tensor::from_vec(&[1, 2, 4], vec![1.0, 5.0, 2.0, 0.0, 3.0, 4.0, 1.0, 9.0]);
+        let y = p.forward(&x);
+        assert_eq!(y.shape, vec![1, 1, 2]);
+        assert_eq!(y.data, vec![5.0, 9.0]);
+        let gx = p.backward(&Tensor::from_vec(&[1, 1, 2], vec![1.0, 2.0]));
+        // Gradient routes only to the argmax positions.
+        assert_eq!(gx.data, vec![0.0, 1.0, 0.0, 0.0, 0.0, 0.0, 0.0, 2.0]);
+    }
+
+    #[test]
+    fn relu_masks_negative_gradient() {
+        let mut r = ReLU::new();
+        let y = r.forward(&Tensor::from_vec(&[3], vec![-1.0, 0.0, 2.0]));
+        assert_eq!(y.data, vec![0.0, 0.0, 2.0]);
+        let gx = r.backward(&Tensor::from_vec(&[3], vec![1.0, 1.0, 1.0]));
+        assert_eq!(gx.data, vec![0.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn sigmoid_range_and_derivative_peak() {
+        let mut s = Sigmoid::new();
+        let y = s.forward(&Tensor::from_vec(&[3], vec![-100.0, 0.0, 100.0]));
+        assert!(y.data[0] < 1e-6);
+        assert!((y.data[1] - 0.5).abs() < 1e-6);
+        assert!(y.data[2] > 1.0 - 1e-6);
+        let g = s.backward(&Tensor::from_vec(&[3], vec![1.0, 1.0, 1.0]));
+        assert!((g.data[1] - 0.25).abs() < 1e-6); // σ'(0) = 1/4
+    }
+
+    #[test]
+    fn flatten_roundtrip() {
+        let mut f = Flatten::new();
+        let x = Tensor::uniform(&[2, 3, 4], 1.0, 3);
+        let y = f.forward(&x);
+        assert_eq!(y.shape, vec![24]);
+        let gx = f.backward(&y);
+        assert_eq!(gx.shape, vec![2, 3, 4]);
+        assert_eq!(gx.data, x.data);
+    }
+
+    /// Finite-difference gradient check for a layer with parameters.
+    fn grad_check<L: Layer>(layer: &mut L, x: &Tensor, tol: f32) {
+        // Loss = sum(forward(x)); analytic gradient via backward(ones).
+        layer.zero_grad();
+        let y = layer.forward(x);
+        let ones = Tensor::full(&y.shape, 1.0);
+        let gx = layer.backward(&ones);
+
+        let eps = 1e-2f32;
+        // Check input gradient at a few positions.
+        for probe in 0..x.len().min(5) {
+            let mut xp = x.clone();
+            xp.data[probe] += eps;
+            let mut xm = x.clone();
+            xm.data[probe] -= eps;
+            let fp: f32 = layer.forward(&xp).data.iter().sum();
+            let fm: f32 = layer.forward(&xm).data.iter().sum();
+            let numeric = (fp - fm) / (2.0 * eps);
+            assert!(
+                (numeric - gx.data[probe]).abs() < tol,
+                "input grad mismatch at {probe}: numeric {numeric}, analytic {}",
+                gx.data[probe]
+            );
+        }
+    }
+
+    #[test]
+    fn dense_gradient_check() {
+        let mut d = Dense::new(4, 3, 11);
+        grad_check(&mut d, &Tensor::uniform(&[4], 1.0, 12), 1e-2);
+    }
+
+    #[test]
+    fn conv_gradient_check() {
+        let mut c = Conv2d::new(2, 2, 3, 1, 13);
+        grad_check(&mut c, &Tensor::uniform(&[2, 4, 4], 1.0, 14), 1e-2);
+    }
+
+    #[test]
+    fn conv_param_gradient_check() {
+        // Verify dL/dW numerically for one weight.
+        let mut c = Conv2d::new(1, 1, 3, 1, 15);
+        let x = Tensor::uniform(&[1, 4, 4], 1.0, 16);
+        c.zero_grad();
+        let y = c.forward(&x);
+        c.backward(&Tensor::full(&y.shape, 1.0));
+        let analytic = c.gw.data[4]; // center tap
+
+        let eps = 1e-2f32;
+        c.w.data[4] += eps;
+        let fp: f32 = c.forward(&x).data.iter().sum();
+        c.w.data[4] -= 2.0 * eps;
+        let fm: f32 = c.forward(&x).data.iter().sum();
+        c.w.data[4] += eps;
+        let numeric = (fp - fm) / (2.0 * eps);
+        assert!((numeric - analytic).abs() < 1e-2, "numeric {numeric} vs analytic {analytic}");
+    }
+}

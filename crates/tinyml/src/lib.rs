@@ -1,0 +1,32 @@
+//! # tinyml — a small neural-network library built from scratch
+//!
+//! The paper's tropical-cyclone localization uses a Keras/TensorFlow CNN
+//! (Section 5.4). No such stack exists as an offline Rust substrate, so this
+//! crate implements the pieces the workflow needs, end to end:
+//!
+//! * a dense [`tensor::Tensor`] type with shape bookkeeping;
+//! * differentiable layers ([`layers`]): 2-D convolution, max-pooling,
+//!   fully-connected, flatten, and ReLU/sigmoid/tanh activations;
+//! * a [`net::Sequential`] container with forward/backward passes;
+//! * losses ([`loss`]): MSE and binary cross-entropy;
+//! * minibatch SGD with momentum ([`train`]);
+//! * binary model serialization ([`serialize`]) so the workflow can ship a
+//!   *pre-trained* model to the inference tasks, exactly as the paper's
+//!   pipeline loads pre-trained CNNs;
+//! * synthetic labelled datasets ([`data`]) standing in for the historical
+//!   reanalysis training data we do not have.
+//!
+//! Everything is plain safe Rust with exhaustive unit tests, including
+//! finite-difference gradient checks for every layer.
+
+pub mod data;
+pub mod layers;
+pub mod loss;
+pub mod net;
+pub mod serialize;
+pub mod tensor;
+pub mod train;
+
+pub use layers::{Conv2d, Dense, Flatten, Layer, MaxPool2d, ReLU, Sigmoid, Tanh};
+pub use net::Sequential;
+pub use tensor::Tensor;

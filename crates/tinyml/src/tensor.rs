@@ -1,0 +1,182 @@
+//! A dense, row-major tensor of `f32` with shape bookkeeping.
+//!
+//! tinyml keeps tensors deliberately simple: contiguous storage, explicit
+//! shapes, no broadcasting. Layers operate on single samples (the trainer
+//! loops over minibatches and averages gradients), which keeps every kernel
+//! a readable nested loop.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A dense tensor: `data.len() == shape.iter().product()`, row-major.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tensor {
+    pub shape: Vec<usize>,
+    pub data: Vec<f32>,
+}
+
+impl Tensor {
+    /// All-zeros tensor of the given shape.
+    pub fn zeros(shape: &[usize]) -> Self {
+        let n = shape.iter().product();
+        Tensor { shape: shape.to_vec(), data: vec![0.0; n] }
+    }
+
+    /// Tensor filled with a constant.
+    pub fn full(shape: &[usize], v: f32) -> Self {
+        let n = shape.iter().product();
+        Tensor { shape: shape.to_vec(), data: vec![v; n] }
+    }
+
+    /// Wraps a data vector; panics if the length does not match the shape.
+    pub fn from_vec(shape: &[usize], data: Vec<f32>) -> Self {
+        let n: usize = shape.iter().product();
+        assert_eq!(n, data.len(), "tensor data length {} != shape product {}", data.len(), n);
+        Tensor { shape: shape.to_vec(), data }
+    }
+
+    /// Uniform random values in `[-scale, scale]` from a seeded RNG
+    /// (deterministic initialization keeps training reproducible).
+    pub fn uniform(shape: &[usize], scale: f32, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n: usize = shape.iter().product();
+        let data = (0..n).map(|_| rng.gen_range(-scale..=scale)).collect();
+        Tensor { shape: shape.to_vec(), data }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the tensor has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Rank (number of axes).
+    pub fn rank(&self) -> usize {
+        self.shape.len()
+    }
+
+    /// Linear index of a 3-axis coordinate (for `[C, H, W]` tensors).
+    #[inline]
+    pub fn idx3(&self, c: usize, h: usize, w: usize) -> usize {
+        debug_assert_eq!(self.rank(), 3);
+        (c * self.shape[1] + h) * self.shape[2] + w
+    }
+
+    /// Value at `[c, h, w]`.
+    #[inline]
+    pub fn at3(&self, c: usize, h: usize, w: usize) -> f32 {
+        self.data[self.idx3(c, h, w)]
+    }
+
+    /// Mutable value at `[c, h, w]`.
+    #[inline]
+    pub fn at3_mut(&mut self, c: usize, h: usize, w: usize) -> &mut f32 {
+        let i = self.idx3(c, h, w);
+        &mut self.data[i]
+    }
+
+    /// Reinterprets the tensor with a new shape of equal element count.
+    pub fn reshape(&self, shape: &[usize]) -> Tensor {
+        let n: usize = shape.iter().product();
+        assert_eq!(n, self.len(), "reshape must preserve element count");
+        Tensor { shape: shape.to_vec(), data: self.data.clone() }
+    }
+
+    /// Element-wise in-place addition.
+    pub fn add_assign(&mut self, other: &Tensor) {
+        assert_eq!(self.shape, other.shape, "shape mismatch in add_assign");
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += b;
+        }
+    }
+
+    /// Element-wise in-place scaling.
+    pub fn scale(&mut self, s: f32) {
+        for v in &mut self.data {
+            *v *= s;
+        }
+    }
+
+    /// Dot product of two equal-length tensors viewed as flat vectors.
+    pub fn dot(&self, other: &Tensor) -> f32 {
+        assert_eq!(self.len(), other.len(), "dot length mismatch");
+        self.data.iter().zip(&other.data).map(|(a, b)| a * b).sum()
+    }
+
+    /// Largest absolute element (0 for empty tensors).
+    pub fn max_abs(&self) -> f32 {
+        self.data.iter().fold(0.0f32, |m, &v| m.max(v.abs()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_full_from_vec() {
+        let z = Tensor::zeros(&[2, 3]);
+        assert_eq!(z.len(), 6);
+        assert!(z.data.iter().all(|&v| v == 0.0));
+        let f = Tensor::full(&[4], 2.0);
+        assert_eq!(f.data, vec![2.0; 4]);
+        let t = Tensor::from_vec(&[2, 2], vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(t.rank(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape product")]
+    fn from_vec_checks_length() {
+        Tensor::from_vec(&[3], vec![1.0]);
+    }
+
+    #[test]
+    fn uniform_is_deterministic_and_bounded() {
+        let a = Tensor::uniform(&[100], 0.5, 42);
+        let b = Tensor::uniform(&[100], 0.5, 42);
+        assert_eq!(a, b);
+        assert!(a.data.iter().all(|&v| (-0.5..=0.5).contains(&v)));
+        let c = Tensor::uniform(&[100], 0.5, 43);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn idx3_is_row_major() {
+        let t = Tensor::from_vec(&[2, 3, 4], (0..24).map(|i| i as f32).collect());
+        assert_eq!(t.at3(0, 0, 0), 0.0);
+        assert_eq!(t.at3(0, 0, 3), 3.0);
+        assert_eq!(t.at3(0, 1, 0), 4.0);
+        assert_eq!(t.at3(1, 0, 0), 12.0);
+        assert_eq!(t.at3(1, 2, 3), 23.0);
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let t = Tensor::from_vec(&[2, 3], (0..6).map(|i| i as f32).collect());
+        let r = t.reshape(&[6]);
+        assert_eq!(r.data, t.data);
+        assert_eq!(r.shape, vec![6]);
+    }
+
+    #[test]
+    #[should_panic(expected = "preserve element count")]
+    fn reshape_checks_count() {
+        Tensor::zeros(&[4]).reshape(&[5]);
+    }
+
+    #[test]
+    fn arithmetic_helpers() {
+        let mut a = Tensor::from_vec(&[3], vec![1.0, 2.0, 3.0]);
+        let b = Tensor::from_vec(&[3], vec![10.0, 20.0, 30.0]);
+        a.add_assign(&b);
+        assert_eq!(a.data, vec![11.0, 22.0, 33.0]);
+        a.scale(0.5);
+        assert_eq!(a.data, vec![5.5, 11.0, 16.5]);
+        assert_eq!(b.dot(&b), 1400.0);
+        assert_eq!(b.max_abs(), 30.0);
+    }
+}

@@ -1,0 +1,143 @@
+//! Property tests for the neural-network substrate: convolution against an
+//! independent reference implementation, pooling invariants, and
+//! serialization round-trips over random architectures.
+
+use proptest::prelude::*;
+use tinyml::layers::{Conv2d, Dense, Flatten, Layer, MaxPool2d, ReLU};
+use tinyml::net::Sequential;
+use tinyml::serialize::{load_model, save_model};
+use tinyml::tensor::Tensor;
+
+/// Straightforward reference convolution (stride 1, zero padding).
+#[allow(clippy::needless_range_loop)] // reference code mirrors the math
+fn conv_reference(
+    x: &Tensor,
+    w: &Tensor,
+    b: &[f32],
+    in_ch: usize,
+    out_ch: usize,
+    k: usize,
+    pad: usize,
+) -> Tensor {
+    let (h, wdt) = (x.shape[1], x.shape[2]);
+    let oh = h + 2 * pad + 1 - k;
+    let ow = wdt + 2 * pad + 1 - k;
+    let mut y = Tensor::zeros(&[out_ch, oh, ow]);
+    for o in 0..out_ch {
+        for yy in 0..oh {
+            for xx in 0..ow {
+                let mut acc = b[o];
+                for c in 0..in_ch {
+                    for ky in 0..k {
+                        for kx in 0..k {
+                            let iy = yy as isize + ky as isize - pad as isize;
+                            let ix = xx as isize + kx as isize - pad as isize;
+                            if iy < 0 || ix < 0 || iy >= h as isize || ix >= wdt as isize {
+                                continue;
+                            }
+                            let widx = ((o * in_ch + c) * k + ky) * k + kx;
+                            acc += w.data[widx] * x.at3(c, iy as usize, ix as usize);
+                        }
+                    }
+                }
+                *y.at3_mut(o, yy, xx) = acc;
+            }
+        }
+    }
+    y
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Conv2d forward agrees with the reference for random shapes/seeds.
+    #[test]
+    fn conv_matches_reference(
+        in_ch in 1usize..4,
+        out_ch in 1usize..4,
+        k in 1usize..4,
+        pad in 0usize..2,
+        hw in 3usize..8,
+        seed in any::<u64>(),
+    ) {
+        prop_assume!(hw + 2 * pad >= k);
+        let mut conv = Conv2d::new(in_ch, out_ch, k, pad, seed);
+        let x = Tensor::uniform(&[in_ch, hw, hw], 1.0, seed ^ 1);
+        let got = conv.forward(&x);
+        let want = conv_reference(&x, &conv.w, &conv.b.data, in_ch, out_ch, k, pad);
+        prop_assert_eq!(&got.shape, &want.shape);
+        for (a, b) in got.data.iter().zip(&want.data) {
+            prop_assert!((a - b).abs() < 1e-4, "{a} vs {b}");
+        }
+    }
+
+    /// Max pooling: every output is the max of its window, outputs are a
+    /// subset of inputs, and the backward pass conserves gradient mass.
+    #[test]
+    fn maxpool_invariants(
+        ch in 1usize..4,
+        blocks in 1usize..4,
+        k in 1usize..4,
+        seed in any::<u64>(),
+    ) {
+        let hw = blocks * k;
+        let mut pool = MaxPool2d::new(k);
+        let x = Tensor::uniform(&[ch, hw, hw], 1.0, seed);
+        let y = pool.forward(&x);
+        prop_assert_eq!(&y.shape, &vec![ch, blocks, blocks]);
+        // Every pooled value exists in the input and dominates its window.
+        for c in 0..ch {
+            for by in 0..blocks {
+                for bx in 0..blocks {
+                    let v = y.at3(c, by, bx);
+                    let mut found = false;
+                    for dy in 0..k {
+                        for dx in 0..k {
+                            let iv = x.at3(c, by * k + dy, bx * k + dx);
+                            prop_assert!(iv <= v + 1e-6);
+                            if (iv - v).abs() < 1e-9 {
+                                found = true;
+                            }
+                        }
+                    }
+                    prop_assert!(found, "pooled value not found in window");
+                }
+            }
+        }
+        // Backward conserves total gradient.
+        let g = Tensor::full(&y.shape, 1.0);
+        let gx = pool.backward(&g);
+        let total: f32 = gx.data.iter().sum();
+        prop_assert!((total - y.len() as f32).abs() < 1e-4);
+    }
+
+    /// Save/load reproduces predictions for random small architectures.
+    #[test]
+    fn serialize_roundtrip_random_arch(
+        hidden in 1usize..16,
+        conv_ch in 1usize..5,
+        seed in any::<u64>(),
+    ) {
+        let build = |s: u64| {
+            Sequential::new()
+                .add(Conv2d::new(1, conv_ch, 3, 1, s))
+                .add(ReLU::new())
+                .add(MaxPool2d::new(2))
+                .add(Flatten::new())
+                .add(Dense::new(conv_ch * 3 * 3, hidden, s + 1))
+                .add(Dense::new(hidden, 2, s + 2))
+        };
+        let dir = std::env::temp_dir().join("tinyml-proptest");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("m-{seed}-{hidden}-{conv_ch}.tml"));
+
+        let mut a = build(seed);
+        save_model(&a, &path).unwrap();
+        let mut b = build(seed ^ 0xFFFF); // different init, same architecture
+        load_model(&mut b, &path).unwrap();
+
+        let x = Tensor::uniform(&[1, 6, 6], 1.0, seed ^ 2);
+        prop_assert_eq!(a.forward(&x).data, b.forward(&x).data);
+        std::fs::remove_file(path).ok();
+    }
+}

@@ -1,0 +1,10 @@
+//! Umbrella crate re-exporting the whole eflows-repro workspace.
+pub use climate_workflows as workflows;
+pub use datacube;
+pub use dataflow;
+pub use esm;
+pub use extremes;
+pub use gridded;
+pub use hpcwaas;
+pub use ncformat;
+pub use tinyml;

@@ -1,0 +1,76 @@
+//! FIG2 / Section 4.1: the full HPCWaaS lifecycle around the real workflow
+//! — registry, TOSCA deployment through the orchestrator (container builds,
+//! deploy-time data pipeline), REST-style invocation, status, undeploy.
+
+use climate_workflows::register_with_hpcwaas;
+use hpcwaas::orchestrator::{DeploymentPlan, Orchestrator};
+use hpcwaas::tosca::climate_case_study;
+use hpcwaas::{ExecutionApi, ExecutionStatus};
+use std::collections::BTreeMap;
+
+fn tmp(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("root-e2e").join(name);
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+#[test]
+fn deployment_plan_reflects_figure_2_structure() {
+    let topo = climate_case_study();
+    let plan = DeploymentPlan::derive(&topo).unwrap();
+    // Infrastructure first, application last.
+    assert_eq!(plan.order.first().unwrap(), "zeus");
+    assert_eq!(plan.order.last().unwrap(), "workflow");
+    // The middleware and every image precede the workflow app.
+    let pos = |n: &str| plan.order.iter().position(|x| x == n).unwrap();
+    for dep in ["pycompss", "esm_image", "analytics_image", "ml_image", "baseline_data"] {
+        assert!(pos(dep) < pos("workflow"), "{dep} must start before the workflow");
+    }
+}
+
+#[test]
+fn orchestrator_builds_images_and_stages_data() {
+    let mut orch = Orchestrator::new();
+    let record = orch.deploy(&climate_case_study()).unwrap();
+    // Three container images, each with base + package layers.
+    assert_eq!(orch.images.builds(), 3);
+    // The baseline stage-in ran through the DLS.
+    assert_eq!(orch.dls.history().len(), 1);
+    assert_eq!(orch.dls.history()[0].total_bytes, 4_000_000);
+    // Lifecycle: every template got create/configure/start.
+    let creates = record.steps.iter().filter(|s| s.operation == "create").count();
+    assert_eq!(creates, 7);
+}
+
+#[test]
+fn full_user_journey_deploy_run_undeploy() {
+    let api = ExecutionApi::new();
+    register_with_hpcwaas(&api, tmp("journey"));
+
+    // Deploy.
+    let dep = api.deploy("climate-extremes").unwrap();
+    let cold_cost = api.deployment_cost_ms(dep).unwrap();
+    assert!(cold_cost > 0);
+
+    // Run with overrides, exactly like the paper's configurable invocation.
+    let mut inputs = BTreeMap::new();
+    inputs.insert("years".into(), "1".into());
+    inputs.insert("days_per_year".into(), "10".into());
+    inputs.insert("seed".into(), "11".into());
+    let exec = api.run(dep, &inputs).unwrap();
+    let ExecutionStatus::Completed { result } = api.status(exec).unwrap() else {
+        panic!("workflow should complete");
+    };
+    assert!(result.contains("year 2030"));
+    assert!(result.contains("task graph: 18 tasks"));
+
+    // A second deployment shares the image layer cache (C5's effect
+    // observed through the public API).
+    let dep2 = api.deploy("climate-extremes").unwrap();
+    assert!(api.deployment_cost_ms(dep2).unwrap() < cold_cost);
+
+    // Undeploy both; further runs must be rejected.
+    api.undeploy(dep).unwrap();
+    api.undeploy(dep2).unwrap();
+    assert!(api.run(dep, &inputs).is_err());
+}

@@ -1,0 +1,58 @@
+//! Workflow-level fault isolation: a corrupt year of model output must
+//! fail *that year's* analysis subtree and nothing else — the paper's
+//! per-task failure management ("ignore the failure of the task and
+//! continue") applied to a multi-year campaign.
+
+use climate_workflows::{run_pipelined, WorkflowParams};
+
+fn tmp(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("root-fault-iso").join(name);
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+fn params(name: &str) -> WorkflowParams {
+    let mut p = WorkflowParams::test_scale(tmp(name));
+    p.years = 2;
+    p.days_per_year = 8;
+    p.train_samples = 60;
+    p.train_epochs = 3;
+    p.finetune_days = 0;
+    p
+}
+
+#[test]
+fn corrupt_year_fails_alone_campaign_survives() {
+    let mut p = params("corrupt-y0");
+    p.corrupt_file = Some((0, 2)); // trash day 3 of the first year
+    let report = run_pipelined(p).unwrap();
+
+    assert_eq!(report.years.len(), 2);
+    let y0 = report.years.iter().find(|y| y.year == 2030).unwrap();
+    let y1 = report.years.iter().find(|y| y.year == 2031).unwrap();
+
+    assert!(y0.failed, "corrupt year must be reported failed");
+    assert!(!y0.validated);
+    assert!(y0.export_paths.is_empty());
+
+    assert!(!y1.failed, "healthy year must complete");
+    assert!(y1.validated);
+    assert_eq!(y1.export_paths.len(), 6);
+    for path in &y1.export_paths {
+        assert!(path.exists());
+    }
+
+    // Failure management did its job: some tasks failed/cancelled, none
+    // aborted the workflow.
+    assert!(report.metrics.failed >= 1, "import tasks should have failed");
+    assert!(report.metrics.cancelled >= 5, "the year's subtree should be cancelled");
+    assert!(report.render().contains("ANALYSIS FAILED"));
+}
+
+#[test]
+fn clean_run_reports_no_failed_years() {
+    let report = run_pipelined(params("clean")).unwrap();
+    assert!(report.years.iter().all(|y| !y.failed && y.validated));
+    assert_eq!(report.metrics.failed, 0);
+    assert_eq!(report.metrics.cancelled, 0);
+}

@@ -1,0 +1,77 @@
+//! D1 / Section 5.2: the data characteristics the paper states, verified
+//! analytically at full resolution and empirically at scaled resolution.
+
+use esm::{CoupledModel, EsmConfig};
+use gridded::Grid;
+
+#[test]
+fn paper_resolution_file_arithmetic() {
+    // "daily NetCDF files of size 271 MB with dimensions of 768 (latitudes)
+    //  x 1152 (longitudes) x 4 (6-hourly timesteps) including around 20
+    //  single precision floating point variables"
+    let mb = esm::output::paper_daily_mb();
+    assert!((268.0..274.0).contains(&mb), "daily file {mb:.1} MB, paper says 271 MB");
+
+    // "the files for a whole year ... (i.e., nearly 100 GB)"
+    let gb = esm::output::paper_yearly_gb();
+    assert!((90.0..101.0).contains(&gb), "yearly volume {gb:.1} GB, paper says ~100 GB");
+
+    // 30-35 year projections (Section 5.2) at this rate.
+    let projection_tb = gb * 33.0 / 1024.0;
+    assert!((2.8..3.4).contains(&projection_tb), "33-year projection {projection_tb:.2} TB");
+}
+
+#[test]
+fn file_size_scales_linearly_with_grid() {
+    // Write actual files at two scaled resolutions and verify the payload
+    // tracks the analytic prediction, which is what justifies trusting the
+    // full-resolution arithmetic above.
+    let dir = std::env::temp_dir().join("root-scale");
+    std::fs::remove_dir_all(&dir).ok();
+
+    let mut sizes = Vec::new();
+    for (nlat, nlon) in [(24, 36), (48, 72)] {
+        let sub = dir.join(format!("{nlat}x{nlon}"));
+        std::fs::create_dir_all(&sub).unwrap();
+        let cfg = EsmConfig::test_small()
+            .with_grid(Grid::global(nlat, nlon))
+            .with_days_per_year(2);
+        let mut model = CoupledModel::new(cfg);
+        let fields = model.step_day();
+        let path = esm::output::write_daily(&sub, &fields).unwrap();
+        let actual = std::fs::metadata(&path).unwrap().len();
+        let predicted = esm::output::daily_payload_bytes(nlat, nlon, 4, 20);
+        assert!(
+            actual as f64 >= predicted as f64 && (actual as f64) < predicted as f64 * 1.05,
+            "{nlat}x{nlon}: actual {actual} vs predicted {predicted}"
+        );
+        sizes.push(actual);
+    }
+    // Quadrupling the cell count quadruples the payload (within header slack).
+    let ratio = sizes[1] as f64 / sizes[0] as f64;
+    assert!((3.8..4.2).contains(&ratio), "size ratio {ratio}, expected ~4");
+}
+
+#[test]
+fn a_year_of_files_is_complete_and_ordered() {
+    let dir = std::env::temp_dir().join("root-scale-year");
+    std::fs::remove_dir_all(&dir).ok();
+    let cfg = EsmConfig::test_small().with_days_per_year(12);
+    let mut sim = esm::Simulation::new(cfg, &dir).unwrap();
+    let summary = sim.run_years(1, |_, _, _| {}).unwrap();
+    assert_eq!(summary.files_written, 12);
+
+    let mut names: Vec<String> = std::fs::read_dir(&dir)
+        .unwrap()
+        .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+        .collect();
+    names.sort();
+    assert_eq!(names.len(), 12);
+    assert_eq!(names[0], "esm-2030-001.ncx");
+    assert_eq!(names[11], "esm-2030-012.ncx");
+    // Every file parses and has the full variable complement.
+    for n in &names {
+        let rd = ncformat::Reader::open(dir.join(n)).unwrap();
+        assert_eq!(rd.variables().len(), 23); // 20 physics + 3 coordinates
+    }
+}
