@@ -37,12 +37,8 @@ fn run_time(years: usize) -> u64 {
     let mut dls = wan();
     let mut total = 0;
     for y in 0..years {
-        let p = PipelineSpec::new().stage(
-            &format!("subset-{y}"),
-            "archive",
-            "zeus",
-            PER_YEAR_SUBSET,
-        );
+        let p =
+            PipelineSpec::new().stage(&format!("subset-{y}"), "archive", "zeus", PER_YEAR_SUBSET);
         total += dls.execute(&p).total_ms;
     }
     total

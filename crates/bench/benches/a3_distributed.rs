@@ -25,12 +25,18 @@ fn bench(c: &mut Criterion) {
                 std::hint::black_box(fed.evaluate(&workload(by), Placement::SingleSite).unwrap())
             });
         });
-        g.bench_with_input(BenchmarkId::new("class_affinity", format!("{gb}GB")), &bytes, |b, &by| {
-            b.iter(|| {
-                let mut fed = Federation::testbed();
-                std::hint::black_box(fed.evaluate(&workload(by), Placement::ClassAffinity).unwrap())
-            });
-        });
+        g.bench_with_input(
+            BenchmarkId::new("class_affinity", format!("{gb}GB")),
+            &bytes,
+            |b, &by| {
+                b.iter(|| {
+                    let mut fed = Federation::testbed();
+                    std::hint::black_box(
+                        fed.evaluate(&workload(by), Placement::ClassAffinity).unwrap(),
+                    )
+                });
+            },
+        );
     }
     g.finish();
 

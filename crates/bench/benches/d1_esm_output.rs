@@ -13,9 +13,8 @@ fn bench(c: &mut Criterion) {
     g.sample_size(10);
 
     for (nlat, nlon) in [(48usize, 72usize), (96, 144)] {
-        let cfg = EsmConfig::test_small()
-            .with_grid(Grid::global(nlat, nlon))
-            .with_days_per_year(1000); // never roll over during the bench
+        let cfg =
+            EsmConfig::test_small().with_grid(Grid::global(nlat, nlon)).with_days_per_year(1000); // never roll over during the bench
         let dir = std::env::temp_dir().join(format!("bench-d1-{nlat}x{nlon}"));
         std::fs::create_dir_all(&dir).unwrap();
 

@@ -35,12 +35,7 @@ fn build_graph(years: usize) -> TaskGraph {
     let model = task(&mut g, "load_model", vec![], 1);
     let mut esm_prev: Option<DataRef> = None;
     for _ in 0..years {
-        let esm = task(
-            &mut g,
-            "esm_simulation",
-            esm_prev.iter().cloned().collect(),
-            1,
-        );
+        let esm = task(&mut g, "esm_simulation", esm_prev.iter().cloned().collect(), 1);
         esm_prev = Some(esm[0].clone());
 
         let stage = task(&mut g, "stage_year", vec![], 1);

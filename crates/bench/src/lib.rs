@@ -37,10 +37,7 @@ pub fn baseline_cube(nlat: usize, nlon: usize, nfrag: usize) -> Cube {
     let g = Grid::global(nlat, nlon);
     Cube::from_dense(
         "tasmax",
-        vec![
-            Dimension::explicit("lat", g.lats()),
-            Dimension::explicit("lon", g.lons()),
-        ],
+        vec![Dimension::explicit("lat", g.lats()), Dimension::explicit("lon", g.lons())],
         vec![295.0; g.len()],
         nfrag,
         nfrag,

@@ -4,6 +4,7 @@
 //! climate-wf run [--years N] [--days N] [--grid test_small|demo|LATxLON]
 //!                [--scenario historical|ssp245|ssp585] [--seed N]
 //!                [--out DIR] [--sequential]
+//!                [--trace out.json] [--metrics out.prom]
 //! climate-wf graph [--years N]         print the Figure-3 DOT graph
 //! climate-wf topology                  print the case study's TOSCA document
 //! climate-wf ncdump FILE.ncx           inspect an NCX file header
@@ -19,6 +20,7 @@ fn usage() -> ! {
          \n\
          run      [--years N] [--days N] [--grid test_small|demo|LATxLON]\n\
          \x20        [--scenario historical|ssp245|ssp585] [--seed N] [--out DIR] [--sequential]\n\
+         \x20        [--trace out.json] [--metrics out.prom]\n\
          graph    [--years N]   print the task graph in Graphviz DOT\n\
          topology               print the TOSCA topology document\n\
          ncdump FILE            inspect an NCX file\n\
@@ -86,9 +88,29 @@ fn cmd_run(flags: &BTreeMap<String, String>) -> Result<(), String> {
         params.grid.nlat,
         params.grid.nlon
     );
+
+    // Observability taps. Subscribing before the run activates the global
+    // bus; without --trace the workflow never pays more than an atomic
+    // load per would-be event.
+    let tracer = flags.get("trace").map(|_| obs::global().subscribe_with_capacity(1 << 21));
+
     let report = if sequential { run_sequential(params) } else { run_pipelined(params) }?;
     print!("{}", report.render());
     println!("provenance: {}", report.prov_path.display());
+
+    if let (Some(path), Some(rx)) = (flags.get("trace"), tracer) {
+        let events = rx.drain();
+        std::fs::write(path, obs::chrome_trace(&events)).map_err(|e| e.to_string())?;
+        println!(
+            "trace: {path} ({} events{})",
+            events.len(),
+            if rx.dropped() > 0 { format!(", {} dropped", rx.dropped()) } else { String::new() }
+        );
+    }
+    if let Some(path) = flags.get("metrics") {
+        std::fs::write(path, obs::registry().render_prometheus()).map_err(|e| e.to_string())?;
+        println!("metrics: {path}");
+    }
     Ok(())
 }
 
@@ -115,11 +137,7 @@ fn cmd_ncdump(path: &str) -> Result<(), String> {
     }
     println!("variables:");
     for v in rd.variables() {
-        let dims: Vec<String> = v
-            .dims
-            .iter()
-            .map(|&i| rd.dimensions()[i].name.clone())
-            .collect();
+        let dims: Vec<String> = v.dims.iter().map(|&i| rd.dimensions()[i].name.clone()).collect();
         println!("    {} {}({}) ;", v.dtype.name(), v.name, dims.join(", "));
         for a in &v.attributes {
             println!("        {}:{} = {:?} ;", v.name, a.name, a.value);
@@ -133,10 +151,7 @@ fn cmd_info() {
     println!("Section 5.2 data characteristics at paper resolution (768x1152, 4 steps, 20 vars):");
     println!("  daily file:        {:>8.1} MB   (paper: 271 MB)", esm::output::paper_daily_mb());
     println!("  one year:          {:>8.1} GB   (paper: ~100 GB)", esm::output::paper_yearly_gb());
-    println!(
-        "  33-year projection:{:>8.2} TB",
-        esm::output::paper_yearly_gb() * 33.0 / 1024.0
-    );
+    println!("  33-year projection:{:>8.2} TB", esm::output::paper_yearly_gb() * 33.0 / 1024.0);
 }
 
 fn main() {

@@ -28,12 +28,11 @@
 
 use crate::params::WorkflowParams;
 use crate::reporting::{RunReport, YearReport};
-use dataflow::prelude::*;
-use dataflow::Error;
-use parking_lot::Mutex;
-use dataflow::stream::{DirWatcher, YearlyRule};
 use datacube::ops::ReduceOp;
 use datacube::{Client, CubeHandle, CubeId};
+use dataflow::prelude::*;
+use dataflow::stream::{DirWatcher, YearlyRule};
+use dataflow::Error;
 use esm::{Simulation, YearEvents};
 use extremes::heatwave::{self, WaveParams};
 use extremes::tc::cnn::TcCnn;
@@ -42,6 +41,7 @@ use extremes::tc::track::{stitch_tracks, TrackParams};
 use extremes::validate::validate_indices;
 use gridded::Field2;
 use ncformat::Reader;
+use parking_lot::Mutex;
 
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
@@ -165,10 +165,8 @@ impl CaseStudy {
         std::fs::create_dir_all(params.esm_dir()).map_err(|e| e.to_string())?;
         std::fs::create_dir_all(params.products_dir()).map_err(|e| e.to_string())?;
 
-        let model_file = params
-            .model_path
-            .clone()
-            .unwrap_or_else(|| params.out_dir.join("tc_cnn.tml"));
+        let model_file =
+            params.model_path.clone().unwrap_or_else(|| params.out_dir.join("tc_cnn.tml"));
         let cnn = if model_file.exists() {
             TcCnn::load(params.patch, &model_file).map_err(|e| e.to_string())?
         } else {
@@ -177,8 +175,8 @@ impl CaseStudy {
             m
         };
 
-        let sim = Simulation::new(params.esm_config(), &params.esm_dir())
-            .map_err(|e| e.to_string())?;
+        let sim =
+            Simulation::new(params.esm_config(), &params.esm_dir()).map_err(|e| e.to_string())?;
 
         let rt = Runtime::new(RuntimeConfig::with_cpu_workers(params.workers.max(2)));
         Ok(CaseStudy {
@@ -198,7 +196,11 @@ impl CaseStudy {
 
     /// Submits task #1 for one simulated year, chained on the previous
     /// year's state token (the ESM "runs iteratively").
-    pub(crate) fn submit_esm_year(&self, year_index: usize, prev: Option<&DataRef>) -> Result<TaskHandle, Error> {
+    pub(crate) fn submit_esm_year(
+        &self,
+        year_index: usize,
+        prev: Option<&DataRef>,
+    ) -> Result<TaskHandle, Error> {
         let sim = Arc::clone(&self.sim);
         let truth = Arc::clone(&self.truth);
         let corrupt = self.params.corrupt_file;
@@ -229,31 +231,28 @@ impl CaseStudy {
     pub(crate) fn submit_load_baseline(&self) -> Result<TaskHandle, Error> {
         let client = self.client.clone();
         let params = self.params.clone();
-        self.rt
-            .task("load_baseline")
-            .writes(&["baseline_tmax", "baseline_tmin"])
-            .run(move |_| {
-                let cfg = params.esm_config();
-                // Reference warming: the historical end-of-record level, so
-                // projection years carry their climate-change signal in the
-                // anomalies (as the paper's future-vs-historical setup does).
-                let ref_warming = esm::Scenario::Historical.warming_k(2014);
-                let mut tmax_days = Vec::with_capacity(cfg.days_per_year);
-                let mut tmin_days = Vec::with_capacity(cfg.days_per_year);
-                for day in 0..cfg.days_per_year {
-                    let (tmax, tmin) = esm::model::expected_daily_extremes(&cfg, day, ref_warming);
-                    tmax_days.push(tmax);
-                    tmin_days.push(tmin);
-                }
-                let to_cube = |days: &[Field2], name: &str| {
-                    fields_to_year_cube(days, name, &params).map_err(|e| e.to_string())
-                };
-                let tmax = to_cube(&tmax_days, "tasmax_baseline")?;
-                let tmin = to_cube(&tmin_days, "tasmin_baseline")?;
-                let h1 = client.adopt(tmax);
-                let h2 = client.adopt(tmin);
-                Ok(vec![WfData::CubeRef(h1.id().0), WfData::CubeRef(h2.id().0)])
-            })
+        self.rt.task("load_baseline").writes(&["baseline_tmax", "baseline_tmin"]).run(move |_| {
+            let cfg = params.esm_config();
+            // Reference warming: the historical end-of-record level, so
+            // projection years carry their climate-change signal in the
+            // anomalies (as the paper's future-vs-historical setup does).
+            let ref_warming = esm::Scenario::Historical.warming_k(2014);
+            let mut tmax_days = Vec::with_capacity(cfg.days_per_year);
+            let mut tmin_days = Vec::with_capacity(cfg.days_per_year);
+            for day in 0..cfg.days_per_year {
+                let (tmax, tmin) = esm::model::expected_daily_extremes(&cfg, day, ref_warming);
+                tmax_days.push(tmax);
+                tmin_days.push(tmin);
+            }
+            let to_cube = |days: &[Field2], name: &str| {
+                fields_to_year_cube(days, name, &params).map_err(|e| e.to_string())
+            };
+            let tmax = to_cube(&tmax_days, "tasmax_baseline")?;
+            let tmin = to_cube(&tmin_days, "tasmin_baseline")?;
+            let h1 = client.adopt(tmax);
+            let h2 = client.adopt(tmin);
+            Ok(vec![WfData::CubeRef(h1.id().0), WfData::CubeRef(h2.id().0)])
+        })
     }
 
     /// Submits task #3: publish the pre-trained CNN (a readiness token —
@@ -310,36 +309,37 @@ impl CaseStudy {
 
         // #7..#12 the six index tasks (each independent, like the paper's
         // separate colored tasks).
-        let index_task = |name: &'static str,
-                          daily: &TaskHandle,
-                          base: &DataRef,
-                          cold: bool,
-                          pick: fn(heatwave::HeatwaveIndices) -> datacube::model::Cube| {
-            let client = client.clone();
-            let params = params.clone();
-            self.rt
-                .task(name)
-                .reads(&[daily.outputs[0].clone(), base.clone()])
-                .writes(&[format!("{name}-{year_key}").as_str()])
-                .run(move |inp: &[Arc<WfData>]| {
-                    let daily = client
-                        .open(inp[0].cube_id().ok_or("expected cube ref")?)
+        let index_task =
+            |name: &'static str,
+             daily: &TaskHandle,
+             base: &DataRef,
+             cold: bool,
+             pick: fn(heatwave::HeatwaveIndices) -> datacube::model::Cube| {
+                let client = client.clone();
+                let params = params.clone();
+                self.rt
+                    .task(name)
+                    .reads(&[daily.outputs[0].clone(), base.clone()])
+                    .writes(&[format!("{name}-{year_key}").as_str()])
+                    .run(move |inp: &[Arc<WfData>]| {
+                        let daily = client
+                            .open(inp[0].cube_id().ok_or("expected cube ref")?)
+                            .map_err(|e| e.to_string())?;
+                        let base = client
+                            .open(inp[1].cube_id().ok_or("expected cube ref")?)
+                            .map_err(|e| e.to_string())?;
+                        let idx = heatwave::compute_indices(
+                            daily.cube().map_err(|e| e.to_string())?.as_ref(),
+                            base.cube().map_err(|e| e.to_string())?.as_ref(),
+                            WaveParams::default(),
+                            cold,
+                            datacube::ExecConfig::with_servers(params.io_servers),
+                        )
                         .map_err(|e| e.to_string())?;
-                    let base = client
-                        .open(inp[1].cube_id().ok_or("expected cube ref")?)
-                        .map_err(|e| e.to_string())?;
-                    let idx = heatwave::compute_indices(
-                        daily.cube().map_err(|e| e.to_string())?.as_ref(),
-                        base.cube().map_err(|e| e.to_string())?.as_ref(),
-                        WaveParams::default(),
-                        cold,
-                        datacube::ExecConfig::with_servers(params.io_servers),
-                    )
-                    .map_err(|e| e.to_string())?;
-                    let out = client.adopt(pick(idx));
-                    Ok(vec![WfData::CubeRef(out.id().0)])
-                })
-        };
+                        let out = client.adopt(pick(idx));
+                        Ok(vec![WfData::CubeRef(out.id().0)])
+                    })
+            };
         let hwd = index_task("hw_duration_max", &tmax, baseline_tmax, false, |i| i.duration_max)?;
         let hwn = index_task("hw_number", &tmax, baseline_tmax, false, |i| i.number)?;
         let hwf = index_task("hw_frequency", &tmax, baseline_tmax, false, |i| i.frequency)?;
@@ -472,11 +472,9 @@ impl CaseStudy {
                     };
                     // Per-replica model instance: replicas infer in
                     // parallel without contending on one model's state.
-                    let mut model =
-                        TcCnn::load(patch, &model_file).map_err(|e| e.to_string())?;
-                    let part =
-                        cnn_localize_steps(&path, &mut model, replica.rank, replica.size)
-                            .map_err(|e| e.to_string())?;
+                    let mut model = TcCnn::load(patch, &model_file).map_err(|e| e.to_string())?;
+                    let part = cnn_localize_steps(&path, &mut model, replica.rank, replica.size)
+                        .map_err(|e| e.to_string())?;
                     parts.lock().insert(replica.rank, part);
                     if replica.rank != 0 {
                         return Ok(vec![]);
@@ -538,7 +536,11 @@ impl CaseStudy {
             let year_key_owned = year_key.to_string();
             self.rt
                 .task("render_maps")
-                .reads(&[hwn.outputs[0].clone(), cwn.outputs[0].clone(), validation.outputs[0].clone()])
+                .reads(&[
+                    hwn.outputs[0].clone(),
+                    cwn.outputs[0].clone(),
+                    validation.outputs[0].clone(),
+                ])
                 .writes(&[format!("maps-{year_key}").as_str()])
                 .run(move |inp: &[Arc<WfData>]| {
                     let mut paths = Vec::new();
@@ -550,8 +552,8 @@ impl CaseStudy {
                         let ppm = dir.join(format!("{name}-map-{year_key_owned}.ppm"));
                         extremes::maps::write_ppm(&cube, &ppm).map_err(|e| e.to_string())?;
                         let txt = dir.join(format!("{name}-map-{year_key_owned}.txt"));
-                        let art = extremes::maps::ascii_map(&cube, 24, 72)
-                            .map_err(|e| e.to_string())?;
+                        let art =
+                            extremes::maps::ascii_map(&cube, 24, 72).map_err(|e| e.to_string())?;
                         std::fs::write(&txt, art).map_err(|e| e.to_string())?;
                         paths.push(ppm);
                         paths.push(txt);
@@ -755,8 +757,12 @@ pub fn pretrain_cnn(params: &WorkflowParams) -> TcCnn {
     m.train_synthetic(params.train_samples, params.train_epochs, params.seed ^ 0xC0_FFEE);
     if params.finetune_days > 0 {
         let steps = reference_training_steps(params);
-        let mut data =
-            extremes::tc::cnn::extract_labeled_patches(&steps, params.patch, 3, params.seed ^ 0xF17E);
+        let mut data = extremes::tc::cnn::extract_labeled_patches(
+            &steps,
+            params.patch,
+            3,
+            params.seed ^ 0xF17E,
+        );
         // The boosted reference season yields thousands of patches; cap the
         // set (deterministic stride subsample) so pre-training stays a
         // seconds-scale step, matching `train_samples`'s budget intent.
@@ -793,10 +799,8 @@ fn reference_training_steps(
     cfg.days_per_year = cfg.days_per_year.max(params.finetune_days);
     let mut model = esm::CoupledModel::new(cfg.clone());
     let events = model.year_events().clone();
-    let analysis = extremes::tc::cnn::analysis_grid(
-        esm::atmos::tc_radius_deg(&cfg.grid),
-        params.patch,
-    );
+    let analysis =
+        extremes::tc::cnn::analysis_grid(esm::atmos::tc_radius_deg(&cfg.grid), params.patch);
     let mut steps = Vec::new();
     for _ in 0..params.finetune_days.min(cfg.days_per_year) {
         let fields = model.step_day();
@@ -859,7 +863,8 @@ fn import_daily_extreme(
     let mut day_cubes = Vec::with_capacity(files.len());
     for (d, f) in files.iter().enumerate() {
         let rd = Reader::open(f)?;
-        let cube = datacube::ops::import_transposed(&rd, "tas", "time", "lat", "lon", params.nfrag, cfg)?;
+        let cube =
+            datacube::ops::import_transposed(&rd, "tas", "time", "lat", "lon", params.nfrag, cfg)?;
         let daily = datacube::ops::reduce(&cube, op, "time", cfg)?;
         day_cubes.push(datacube::ops::add_singleton_implicit(&daily, "day", d as f64)?);
     }
@@ -911,8 +916,7 @@ fn cnn_localize_steps(
     let spd = rd.attribute("steps_per_day").and_then(|v| v.as_f64()).unwrap_or(4.0) as usize;
     let grid = gridded::Grid::global(nlat, nlon);
     let mut csv = String::new();
-    let analysis =
-        extremes::tc::cnn::analysis_grid(esm::atmos::tc_radius_deg(&grid), model.patch);
+    let analysis = extremes::tc::cnn::analysis_grid(esm::atmos::tc_radius_deg(&grid), model.patch);
     for s in (rank as usize..steps).step_by(size as usize) {
         let read = |var: &str| -> ncformat::Result<Field2> {
             let data = rd.read_slab_f32(var, &[s, 0, 0], &[1, nlat, nlon])?;
@@ -1069,9 +1073,7 @@ mod tests {
     fn fields_to_year_cube_layout() {
         let params = WorkflowParams::test_scale(std::env::temp_dir().join("cs-layout"));
         let g = gridded::Grid::global(4, 6);
-        let days: Vec<Field2> = (0..3)
-            .map(|d| Field2::constant(g.clone(), d as f32))
-            .collect();
+        let days: Vec<Field2> = (0..3).map(|d| Field2::constant(g.clone(), d as f32)).collect();
         let cube = fields_to_year_cube(&days, "t", &params).unwrap();
         assert_eq!(cube.rows(), 24);
         assert_eq!(cube.implicit_len(), 3);

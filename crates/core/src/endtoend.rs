@@ -162,8 +162,8 @@ mod tests {
         let mut overrides = std::collections::BTreeMap::new();
         overrides.insert("years".to_string(), "1".to_string());
         overrides.insert("days_per_year".to_string(), "12".to_string());
-        let exec = api.run(dep, &overrides).unwrap();
-        match api.status(exec).unwrap() {
+        let handle = api.submit(dep, &overrides).unwrap();
+        match handle.wait() {
             hpcwaas::ExecutionStatus::Completed { result } => {
                 assert!(result.contains("Climate-extremes workflow report"));
                 assert!(result.contains("year 2030"));

@@ -34,5 +34,5 @@ pub mod reporting;
 
 pub use casestudy::{pretrain_cnn, CaseStudy, WfData};
 pub use endtoend::{register_with_hpcwaas, run_pipelined, run_sequential};
-pub use params::WorkflowParams;
+pub use params::{ParamsBuilder, WorkflowParams};
 pub use reporting::{RunReport, YearReport};

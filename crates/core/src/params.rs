@@ -47,6 +47,53 @@ pub struct WorkflowParams {
 }
 
 impl WorkflowParams {
+    /// Fluent, validating builder seeded with the test-scale defaults.
+    /// Finish with [`ParamsBuilder::build`], which runs [`Self::validate`].
+    pub fn builder(out_dir: impl Into<PathBuf>) -> ParamsBuilder {
+        ParamsBuilder { p: Self::test_scale(out_dir.into()) }
+    }
+
+    /// Checks cross-field invariants the individual setters cannot see.
+    pub fn validate(&self) -> Result<(), String> {
+        fn positive(name: &str, v: usize) -> Result<(), String> {
+            if v == 0 {
+                Err(format!("{name} must be at least 1"))
+            } else {
+                Ok(())
+            }
+        }
+        positive("years", self.years)?;
+        positive("days_per_year", self.days_per_year)?;
+        positive("workers", self.workers)?;
+        positive("io_servers", self.io_servers)?;
+        positive("nfrag", self.nfrag)?;
+        if self.patch == 0 || !self.patch.is_multiple_of(4) {
+            return Err(format!("patch must be a positive multiple of 4, got {}", self.patch));
+        }
+        if self.patch > self.grid.nlat || self.patch > self.grid.nlon {
+            return Err(format!(
+                "patch {} does not fit the {}x{} grid",
+                self.patch, self.grid.nlat, self.grid.nlon
+            ));
+        }
+        if self.model_path.is_none() {
+            positive("train_samples", self.train_samples)?;
+            positive("train_epochs", self.train_epochs)?;
+        }
+        if self.finetune_days > 0 {
+            positive("finetune_epochs", self.finetune_epochs)?;
+        }
+        if let Some((year, day)) = self.corrupt_file {
+            if year >= self.years || day >= self.days_per_year {
+                return Err(format!(
+                    "corrupt_file ({year}, {day}) outside the {}x{} run",
+                    self.years, self.days_per_year
+                ));
+            }
+        }
+        Ok(())
+    }
+
     /// Small test-scale defaults (48 × 72 grid, 30-day years).
     pub fn test_scale(out_dir: PathBuf) -> Self {
         WorkflowParams {
@@ -130,9 +177,7 @@ impl WorkflowParams {
                     }
                 }
                 "seed" => self.seed = v.parse().map_err(|_| format!("bad seed '{v}'"))?,
-                "workers" => {
-                    self.workers = v.parse().map_err(|_| format!("bad workers '{v}'"))?
-                }
+                "workers" => self.workers = v.parse().map_err(|_| format!("bad workers '{v}'"))?,
                 "io_servers" => {
                     self.io_servers = v.parse().map_err(|_| format!("bad io_servers '{v}'"))?
                 }
@@ -142,6 +187,7 @@ impl WorkflowParams {
                 _ => {}
             }
         }
+        self.validate()?;
         Ok(self)
     }
 
@@ -162,6 +208,121 @@ impl WorkflowParams {
     /// Directory for exported indices, tracks and maps.
     pub fn products_dir(&self) -> PathBuf {
         self.out_dir.join("products")
+    }
+}
+
+/// Fluent builder for [`WorkflowParams`] (see [`WorkflowParams::builder`]).
+///
+/// Setters only record values; [`ParamsBuilder::build`] validates the whole
+/// configuration at once, so invariants spanning several fields (patch vs.
+/// grid, corruption target vs. run length) are checked no matter the order
+/// the setters ran in.
+#[derive(Debug, Clone)]
+pub struct ParamsBuilder {
+    p: WorkflowParams,
+}
+
+impl ParamsBuilder {
+    /// Switches the baseline from test-scale to the demo-scale defaults,
+    /// keeping the output directory.
+    pub fn demo_scale(mut self) -> Self {
+        let out_dir = std::mem::take(&mut self.p.out_dir);
+        self.p = WorkflowParams::demo_scale(out_dir);
+        self
+    }
+
+    /// Simulated years to run and analyse.
+    pub fn years(mut self, years: usize) -> Self {
+        self.p.years = years;
+        self
+    }
+
+    /// Days per simulated year.
+    pub fn days_per_year(mut self, days: usize) -> Self {
+        self.p.days_per_year = days;
+        self
+    }
+
+    /// Model grid.
+    pub fn grid(mut self, grid: Grid) -> Self {
+        self.p.grid = grid;
+        self
+    }
+
+    /// Forcing scenario.
+    pub fn scenario(mut self, scenario: Scenario) -> Self {
+        self.p.scenario = scenario;
+        self
+    }
+
+    /// Master seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.p.seed = seed;
+        self
+    }
+
+    /// Dataflow worker threads.
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.p.workers = workers;
+        self
+    }
+
+    /// Simulated Ophidia I/O servers.
+    pub fn io_servers(mut self, io_servers: usize) -> Self {
+        self.p.io_servers = io_servers;
+        self
+    }
+
+    /// Fragments per imported cube.
+    pub fn nfrag(mut self, nfrag: usize) -> Self {
+        self.p.nfrag = nfrag;
+        self
+    }
+
+    /// CNN patch size (cells; must be a multiple of 4 that fits the grid).
+    pub fn patch(mut self, patch: usize) -> Self {
+        self.p.patch = patch;
+        self
+    }
+
+    /// Uses pre-trained CNN weights instead of training on the fly.
+    pub fn model_path(mut self, path: impl Into<PathBuf>) -> Self {
+        self.p.model_path = Some(path.into());
+        self
+    }
+
+    /// CNN training effort when training on the fly.
+    pub fn training(mut self, samples: usize, epochs: usize) -> Self {
+        self.p.train_samples = samples;
+        self.p.train_epochs = epochs;
+        self
+    }
+
+    /// Reference-run fine-tuning effort (`days = 0` disables it).
+    pub fn finetuning(mut self, days: usize, epochs: usize) -> Self {
+        self.p.finetune_days = days;
+        self.p.finetune_epochs = epochs;
+        self
+    }
+
+    /// Fault-injection hook: corrupt the daily file of
+    /// `(year index, 0-based day)` right after that year is simulated.
+    pub fn corrupt_file(mut self, year: usize, day: usize) -> Self {
+        self.p.corrupt_file = Some((year, day));
+        self
+    }
+
+    /// Applies HPCWaaS string inputs (same keys as
+    /// [`WorkflowParams::apply_inputs`]) on top of the builder state.
+    pub fn inputs(mut self, inputs: &BTreeMap<String, String>) -> Result<Self, String> {
+        self.p = self.p.apply_inputs(inputs)?;
+        Ok(self)
+    }
+
+    /// Validates and returns the finished parameters.
+    pub fn build(self) -> Result<WorkflowParams, String> {
+        self.p.validate()?;
+        Ok(self.p)
     }
 }
 
@@ -227,5 +388,57 @@ mod tests {
         let p = base();
         assert_ne!(p.esm_dir(), p.products_dir());
         assert!(p.esm_dir().starts_with(&p.out_dir));
+    }
+
+    #[test]
+    fn builder_sets_fields_and_validates() {
+        let p = WorkflowParams::builder(std::env::temp_dir().join("wfp-b"))
+            .years(2)
+            .days_per_year(15)
+            .grid(Grid::global(24, 36))
+            .scenario(Scenario::Ssp585)
+            .seed(7)
+            .workers(2)
+            .io_servers(3)
+            .nfrag(4)
+            .training(60, 3)
+            .finetuning(0, 0)
+            .corrupt_file(1, 14)
+            .build()
+            .unwrap();
+        assert_eq!(p.years, 2);
+        assert_eq!((p.grid.nlat, p.grid.nlon), (24, 36));
+        assert_eq!(p.io_servers, 3);
+        assert_eq!(p.corrupt_file, Some((1, 14)));
+    }
+
+    #[test]
+    fn builder_rejects_invalid_combinations() {
+        let b = || WorkflowParams::builder(std::env::temp_dir().join("wfp-bad"));
+        assert!(b().years(0).build().is_err());
+        assert!(b().patch(10).build().is_err(), "patch not a multiple of 4");
+        assert!(b().grid(Grid::global(8, 8)).build().is_err(), "patch larger than grid");
+        assert!(b().training(0, 0).build().is_err(), "no model and no training");
+        assert!(b().corrupt_file(5, 0).build().is_err(), "corruption outside run");
+        // A model path excuses zero training effort.
+        assert!(b().training(0, 0).model_path("/tmp/model.bin").build().is_ok());
+    }
+
+    #[test]
+    fn builder_demo_scale_keeps_out_dir() {
+        let dir = std::env::temp_dir().join("wfp-demo");
+        let p = WorkflowParams::builder(&dir).demo_scale().years(1).build().unwrap();
+        assert_eq!(p.out_dir, dir);
+        assert_eq!(p.days_per_year, 365);
+    }
+
+    #[test]
+    fn apply_inputs_validates_the_result() {
+        let mut inputs = BTreeMap::new();
+        inputs.insert("years".to_string(), "0".to_string());
+        assert!(base().apply_inputs(&inputs).is_err());
+        let mut inputs = BTreeMap::new();
+        inputs.insert("grid".to_string(), "8x8".to_string());
+        assert!(base().apply_inputs(&inputs).is_err(), "patch no longer fits");
     }
 }

@@ -113,7 +113,10 @@ impl RunReport {
         let _ = writeln!(
             s,
             "runtime: {} completed, {} failed, {} cancelled, {} retries",
-            self.metrics.completed, self.metrics.failed, self.metrics.cancelled, self.metrics.retries
+            self.metrics.completed,
+            self.metrics.failed,
+            self.metrics.cancelled,
+            self.metrics.retries
         );
         s
     }

@@ -87,7 +87,12 @@ impl Expr {
     /// an expression over `x`), a comparison against zero written like
     /// `">0"` / `"<=5"` / `"!=0"`, and then/else expressions — mirroring
     /// `oph_predicate('…','…', measure, 'x', '>0', '1', '0')`.
-    pub fn from_oph_predicate(measure: &str, cond: &str, then: &str, otherwise: &str) -> Result<Expr> {
+    pub fn from_oph_predicate(
+        measure: &str,
+        cond: &str,
+        then: &str,
+        otherwise: &str,
+    ) -> Result<Expr> {
         let lhs = Expr::parse(measure)?;
         let cond = cond.trim();
         let (cmp, rest) = if let Some(r) = cond.strip_prefix(">=") {
@@ -210,7 +215,10 @@ fn lex(src: &str) -> Result<Vec<Tok>> {
             '0'..='9' | '.' => {
                 let start = i;
                 while i < bytes.len()
-                    && (bytes[i].is_ascii_digit() || bytes[i] == b'.' || bytes[i] == b'e' || bytes[i] == b'E'
+                    && (bytes[i].is_ascii_digit()
+                        || bytes[i] == b'.'
+                        || bytes[i] == b'e'
+                        || bytes[i] == b'E'
                         || ((bytes[i] == b'-' || bytes[i] == b'+')
                             && i > start
                             && (bytes[i - 1] == b'e' || bytes[i - 1] == b'E')))

@@ -96,16 +96,10 @@ impl Cube {
                 ));
             }
         }
-        let rows: usize = dims
-            .iter()
-            .filter(|d| d.kind == DimKind::Explicit)
-            .map(|d| d.len())
-            .product();
-        let ilen: usize = dims
-            .iter()
-            .filter(|d| d.kind == DimKind::Implicit)
-            .map(|d| d.len())
-            .product();
+        let rows: usize =
+            dims.iter().filter(|d| d.kind == DimKind::Explicit).map(|d| d.len()).product();
+        let ilen: usize =
+            dims.iter().filter(|d| d.kind == DimKind::Implicit).map(|d| d.len()).product();
         if rows * ilen != data.len() {
             return Err(Error::SchemaMismatch(format!(
                 "data length {} != rows {rows} x implicit {ilen}",
@@ -291,10 +285,8 @@ mod tests {
 
     #[test]
     fn explicit_after_implicit_rejected() {
-        let dims = vec![
-            Dimension::implicit("time", vec![0.0]),
-            Dimension::explicit("lat", vec![0.0]),
-        ];
+        let dims =
+            vec![Dimension::implicit("time", vec![0.0]), Dimension::explicit("lat", vec![0.0])];
         assert!(Cube::from_dense("v", dims, vec![0.0], 1, 1).is_err());
     }
 

@@ -9,7 +9,7 @@
 //! year), and a generic per-row series transform for run-length analytics.
 
 use crate::error::{Error, Result};
-use crate::exec::{par_map_fragments, ExecConfig};
+use crate::exec::{par_map_fragments_named, ExecConfig};
 use crate::expr::Expr;
 use crate::model::{Cube, DimKind, Dimension};
 use ncformat::{Dataset, Reader, Value};
@@ -83,11 +83,8 @@ pub fn importnc(
     let shape = reader.shape(var)?;
     let want: Vec<&str> = explicit.iter().chain(implicit.iter()).copied().collect();
     let vmeta = reader.variable(var)?;
-    let actual: Vec<String> = vmeta
-        .dims
-        .iter()
-        .map(|&i| reader.dimensions()[i].name.clone())
-        .collect();
+    let actual: Vec<String> =
+        vmeta.dims.iter().map(|&i| reader.dimensions()[i].name.clone()).collect();
     if actual != want {
         return Err(Error::BadImport(format!(
             "variable '{var}' has dims {actual:?}, requested {want:?}"
@@ -118,11 +115,8 @@ pub fn import_transposed(
     cfg: ExecConfig,
 ) -> Result<Cube> {
     let vmeta = reader.variable(var)?;
-    let actual: Vec<String> = vmeta
-        .dims
-        .iter()
-        .map(|&i| reader.dimensions()[i].name.clone())
-        .collect();
+    let actual: Vec<String> =
+        vmeta.dims.iter().map(|&i| reader.dimensions()[i].name.clone()).collect();
     if actual != [time_dim, lat_dim, lon_dim] {
         return Err(Error::BadImport(format!(
             "variable '{var}' has dims {actual:?}, expected [{time_dim}, {lat_dim}, {lon_dim}]"
@@ -173,7 +167,7 @@ pub fn reduce(cube: &Cube, op: ReduceOp, dim: &str, cfg: ExecConfig) -> Result<C
     let ilen = cube.implicit_len();
     let out_ilen = ilen / target.max(1);
 
-    let frags = par_map_fragments(cfg, &cube.frags, |f| {
+    let frags = par_map_fragments_named(cfg, "reduce", &cube.frags, |f| {
         let mut out = Vec::with_capacity(f.row_count * out_ilen);
         if after == 1 && target == ilen {
             // Fast path (the common case: one implicit dimension, fully
@@ -212,7 +206,7 @@ pub fn reduce(cube: &Cube, op: ReduceOp, dim: &str, cfg: ExecConfig) -> Result<C
 
 /// Applies an element-wise expression to every value.
 pub fn apply(cube: &Cube, expr: &Expr, cfg: ExecConfig) -> Cube {
-    let frags = par_map_fragments(cfg, &cube.frags, |f| {
+    let frags = par_map_fragments_named(cfg, "apply", &cube.frags, |f| {
         f.data.iter().map(|&v| expr.eval(v as f64) as f32).collect()
     });
     Cube {
@@ -246,16 +240,12 @@ pub fn intercube(a: &Cube, b: &Cube, op: InterOp, cfg: ExecConfig) -> Result<Cub
     // same-shape cubes are a straight zip).
     let b_dense = b.to_dense();
 
-    let frags = par_map_fragments(cfg, &a.frags, |f| {
+    let frags = par_map_fragments_named(cfg, "intercube", &a.frags, |f| {
         let mut out = Vec::with_capacity(f.data.len());
         for (local_row, row) in f.data.chunks(ilen_a).enumerate() {
             let grow = f.row_start + local_row;
             for (k, &va) in row.iter().enumerate() {
-                let vb = if ilen_b == 1 {
-                    b_dense[grow]
-                } else {
-                    b_dense[grow * ilen_b + k]
-                };
+                let vb = if ilen_b == 1 { b_dense[grow] } else { b_dense[grow * ilen_b + k] };
                 out.push(op.apply(va, vb));
             }
         }
@@ -272,7 +262,13 @@ pub fn intercube(a: &Cube, b: &Cube, op: InterOp, cfg: ExecConfig) -> Result<Cub
 }
 
 /// Subsets an implicit dimension to the index range `lo..hi`.
-pub fn subset_implicit(cube: &Cube, dim: &str, lo: usize, hi: usize, cfg: ExecConfig) -> Result<Cube> {
+pub fn subset_implicit(
+    cube: &Cube,
+    dim: &str,
+    lo: usize,
+    hi: usize,
+    cfg: ExecConfig,
+) -> Result<Cube> {
     let d = cube.dim(dim)?;
     if d.kind != DimKind::Implicit {
         return Err(Error::WrongDimensionKind { dim: dim.into(), need: "implicit" });
@@ -287,7 +283,7 @@ pub fn subset_implicit(cube: &Cube, dim: &str, lo: usize, hi: usize, cfg: ExecCo
     let ilen = cube.implicit_len();
     let keep = hi - lo;
 
-    let frags = par_map_fragments(cfg, &cube.frags, |f| {
+    let frags = par_map_fragments_named(cfg, "subset", &cube.frags, |f| {
         let mut out = Vec::with_capacity(f.row_count * ilen / target * keep);
         for row in f.data.chunks(ilen) {
             let before = ilen / (target * after).max(1);
@@ -467,12 +463,18 @@ pub fn concat_implicit(cubes: &[&Cube], dim: &str) -> Result<Cube> {
 /// a new array of `out_len` values (`out_dim` names the resulting implicit
 /// dimension). This is the extension point the heat-wave run-length
 /// analytics build on.
-pub fn map_series<F>(cube: &Cube, out_dim: &str, out_len: usize, cfg: ExecConfig, f: F) -> Result<Cube>
+pub fn map_series<F>(
+    cube: &Cube,
+    out_dim: &str,
+    out_len: usize,
+    cfg: ExecConfig,
+    f: F,
+) -> Result<Cube>
 where
     F: Fn(&[f32]) -> Vec<f32> + Sync,
 {
     let ilen = cube.implicit_len();
-    let frags = par_map_fragments(cfg, &cube.frags, |frag| {
+    let frags = par_map_fragments_named(cfg, "map_series", &cube.frags, |frag| {
         let mut out = Vec::with_capacity(frag.row_count * out_len);
         for row in frag.data.chunks(ilen.max(1)) {
             let mapped = f(row);
@@ -543,13 +545,8 @@ pub fn rolling(cube: &Cube, op: ReduceOp, window: usize, cfg: ExecConfig) -> Res
 /// (Ophidia's `oph_merge`/`oph_split` fragmentation control). The logical
 /// content is unchanged.
 pub fn refragment(cube: &Cube, nfrag: usize, io_servers: usize) -> Result<Cube> {
-    let mut out = Cube::from_dense(
-        &cube.measure,
-        cube.dims.clone(),
-        cube.to_dense(),
-        nfrag,
-        io_servers,
-    )?;
+    let mut out =
+        Cube::from_dense(&cube.measure, cube.dims.clone(), cube.to_dense(), nfrag, io_servers)?;
     out.description = format!("{} | refragment({nfrag})", cube.description);
     Ok(out)
 }
@@ -675,7 +672,8 @@ mod tests {
         let mask_expr = Expr::from_oph_predicate("x", ">15", "1", "0").unwrap();
         let m = apply(&c, &mask_expr, cfg());
         let dense = m.to_dense();
-        let want: Vec<f32> = c.to_dense().iter().map(|&v| if v > 15.0 { 1.0 } else { 0.0 }).collect();
+        let want: Vec<f32> =
+            c.to_dense().iter().map(|&v| if v > 15.0 { 1.0 } else { 0.0 }).collect();
         assert_eq!(dense, want);
     }
 

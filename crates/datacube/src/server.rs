@@ -218,7 +218,8 @@ impl CubeHandle {
     {
         let src = self.cube()?;
         let cfg = self.server.cfg;
-        let out = self.server.record("map_series", || ops::map_series(&src, out_dim, out_len, cfg, f))?;
+        let out =
+            self.server.record("map_series", || ops::map_series(&src, out_dim, out_len, cfg, f))?;
         Ok(self.derive(out))
     }
 
@@ -226,9 +227,8 @@ impl CubeHandle {
     /// (`oph_subset` with coordinate filters).
     pub fn subset_by_coord(&self, dim: &str, lo: f64, hi: f64) -> Result<CubeHandle> {
         let src = self.cube()?;
-        let out = self
-            .server
-            .record("subset_by_coord", || ops::subset_by_coord(&src, dim, lo, hi))?;
+        let out =
+            self.server.record("subset_by_coord", || ops::subset_by_coord(&src, dim, lo, hi))?;
         Ok(self.derive(out))
     }
 
@@ -256,7 +256,14 @@ impl CubeHandle {
         let dims: Vec<String> = c
             .dims
             .iter()
-            .map(|d| format!("{}[{}]{}", d.name, d.len(), if d.kind == crate::model::DimKind::Implicit { "*" } else { "" }))
+            .map(|d| {
+                format!(
+                    "{}[{}]{}",
+                    d.name,
+                    d.len(),
+                    if d.kind == crate::model::DimKind::Implicit { "*" } else { "" }
+                )
+            })
             .collect();
         Ok(format!(
             "cube #{} '{}': {} | {} rows x {} implicit | {} fragments | {} bytes | {}",
@@ -291,9 +298,7 @@ pub fn concat(handles: &[&CubeHandle], dim: &str) -> Result<CubeHandle> {
     let first = handles.first().expect("concat needs at least one cube");
     let cubes: Vec<Arc<Cube>> = handles.iter().map(|h| h.cube()).collect::<Result<_>>()?;
     let refs: Vec<&Cube> = cubes.iter().map(|c| c.as_ref()).collect();
-    let out = first
-        .server
-        .record("concat", || ops::concat_implicit(&refs, dim))?;
+    let out = first.server.record("concat", || ops::concat_implicit(&refs, dim))?;
     let id = first.server.store.put(out);
     Ok(CubeHandle { server: Arc::clone(&first.server), id })
 }

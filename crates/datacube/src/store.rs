@@ -52,22 +52,12 @@ impl CubeStore {
 
     /// Fetches a cube by id (cheap: cubes are shared via `Arc`).
     pub fn get(&self, id: CubeId) -> Result<Arc<Cube>> {
-        self.inner
-            .read()
-            .cubes
-            .get(&id)
-            .cloned()
-            .ok_or(Error::NoSuchCube(id.0))
+        self.inner.read().cubes.get(&id).cloned().ok_or(Error::NoSuchCube(id.0))
     }
 
     /// Deletes a cube, freeing its memory once all handles drop.
     pub fn delete(&self, id: CubeId) -> Result<()> {
-        self.inner
-            .write()
-            .cubes
-            .remove(&id)
-            .map(|_| ())
-            .ok_or(Error::NoSuchCube(id.0))
+        self.inner.write().cubes.remove(&id).map(|_| ()).ok_or(Error::NoSuchCube(id.0))
     }
 
     /// Ids currently stored, ascending.
@@ -107,14 +97,8 @@ mod tests {
     use crate::model::Dimension;
 
     fn small_cube(v: f32) -> Cube {
-        Cube::from_dense(
-            "m",
-            vec![Dimension::explicit("x", vec![0.0, 1.0])],
-            vec![v, v],
-            1,
-            1,
-        )
-        .unwrap()
+        Cube::from_dense("m", vec![Dimension::explicit("x", vec![0.0, 1.0])], vec![v, v], 1, 1)
+            .unwrap()
     }
 
     #[test]

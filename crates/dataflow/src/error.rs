@@ -33,11 +33,9 @@ impl fmt::Display for Error {
                 write!(f, "datum '{name}' unavailable (producer failed or cancelled)")
             }
             Error::Aborted { message } => write!(f, "workflow aborted: {message}"),
-            Error::OutputArity { task, declared, produced } => write!(
-                f,
-                "task #{} declared {declared} outputs but produced {produced}",
-                task.0
-            ),
+            Error::OutputArity { task, declared, produced } => {
+                write!(f, "task #{} declared {declared} outputs but produced {produced}", task.0)
+            }
             Error::UnsatisfiableConstraint { task_name } => {
                 write!(f, "no worker can satisfy the constraints of task '{task_name}'")
             }

@@ -144,8 +144,8 @@ impl TaskGraph {
     /// name, labels `#id` — the Figure 3 rendering.
     pub fn to_dot(&self) -> String {
         const PALETTE: [&str; 10] = [
-            "#4e79a7", "#f28e2b", "#e15759", "#76b7b2", "#59a14f", "#edc948", "#b07aa1",
-            "#ff9da7", "#9c755f", "#bab0ac",
+            "#4e79a7", "#f28e2b", "#e15759", "#76b7b2", "#59a14f", "#edc948", "#b07aa1", "#ff9da7",
+            "#9c755f", "#bab0ac",
         ];
         let mut color_of: HashMap<&str, &str> = HashMap::new();
         let mut next = 0usize;
@@ -260,7 +260,9 @@ mod tests {
         // Different function names get different colors.
         let c1 = dot.lines().find(|l| l.contains("t1 [")).unwrap();
         let c2 = dot.lines().find(|l| l.contains("t2 [")).unwrap();
-        let extract = |l: &str| l.split("fillcolor=\"").nth(1).unwrap().split('"').next().unwrap().to_string();
+        let extract = |l: &str| {
+            l.split("fillcolor=\"").nth(1).unwrap().split('"').next().unwrap().to_string()
+        };
         assert_ne!(extract(c1), extract(c2));
     }
 

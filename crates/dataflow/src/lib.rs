@@ -74,9 +74,9 @@ pub mod task;
 
 pub use error::{Error, Result};
 pub use payload::{Bytes, Payload};
+pub use provenance::ProvenanceLog;
 pub use resources::{Constraint, WorkerKind, WorkerProfile};
 pub use runtime::{Replica, Runtime, RuntimeConfig, TaskHandle};
-pub use provenance::ProvenanceLog;
 pub use scheduler::Policy;
 pub use task::{DataRef, FailurePolicy, TaskId, TaskState};
 

@@ -1,13 +1,20 @@
-//! Workflow monitoring.
+//! Workflow monitoring as a fold over the runtime's event stream.
 //!
 //! Section 2 lists monitoring among the key WMS capabilities; the paper's
 //! Section 3 argues the WMS "can control the status of all the tasks,
-//! thus supporting error management in a uniform manner". The runtime
-//! exposes a cheap [`StatusSnapshot`] of the whole workflow and per-task
-//! views, suitable for progress bars, dashboards or watchdog logic.
+//! thus supporting error management in a uniform manner". The primary
+//! monitoring surface is [`Runtime::subscribe`](crate::Runtime::subscribe)
+//! — a typed event stream — and this module is the compatibility adapter
+//! on top of it: [`StatusFold`] folds task-lifecycle events into the
+//! classic [`StatusSnapshot`] poll view, both for the runtime's own
+//! [`status()`](crate::Runtime::status) and for any external subscriber
+//! that wants progress-bar counts rather than raw events.
 
 use crate::task::{TaskId, TaskState};
-use std::time::Duration;
+use obs::{EventKind, TaskOutcome};
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// Point-in-time view of one in-flight task.
 #[derive(Debug, Clone)]
@@ -51,18 +58,6 @@ impl StatusSnapshot {
         self.pending == 0 && self.ready == 0 && self.running == 0
     }
 
-    /// Counts a state into the snapshot (runtime hook).
-    pub(crate) fn count(&mut self, state: TaskState) {
-        match state {
-            TaskState::Pending => self.pending += 1,
-            TaskState::Ready => self.ready += 1,
-            TaskState::Running => self.running += 1,
-            TaskState::Completed => self.completed += 1,
-            TaskState::Failed => self.failed += 1,
-            TaskState::Cancelled => self.cancelled += 1,
-        }
-    }
-
     /// One-line human-readable summary.
     pub fn render(&self) -> String {
         format!(
@@ -78,25 +73,178 @@ impl StatusSnapshot {
     }
 }
 
+/// Per-task cell tracked by the fold.
+struct TaskCell {
+    state: TaskState,
+    name: Arc<str>,
+    attempts: u32,
+    started: Option<Instant>,
+}
+
+/// Folds task-lifecycle events into a [`StatusSnapshot`].
+///
+/// Feed it every event from a [`Runtime::subscribe`](crate::Runtime::subscribe)
+/// stream (non-task events are ignored) and call [`StatusFold::snapshot`]
+/// whenever a poll view is needed. The runtime keeps one of these
+/// internally, updated at the emission points, so `Runtime::status()` is
+/// exactly this fold applied to the full event history.
+#[derive(Default)]
+pub struct StatusFold {
+    tasks: HashMap<u64, TaskCell>,
+}
+
+impl StatusFold {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Applies one event. Events that do not concern task lifecycle are
+    /// ignored, so a fold can consume a mixed stream unfiltered.
+    pub fn apply(&mut self, kind: &EventKind) {
+        match kind {
+            EventKind::TaskSubmitted { task, name } => {
+                self.tasks.insert(
+                    *task,
+                    TaskCell {
+                        state: TaskState::Pending,
+                        name: Arc::clone(name),
+                        attempts: 0,
+                        started: None,
+                    },
+                );
+            }
+            EventKind::TaskReady { task } => {
+                if let Some(c) = self.tasks.get_mut(task) {
+                    c.state = TaskState::Ready;
+                }
+            }
+            EventKind::TaskStarted { task, attempt, .. } => {
+                if let Some(c) = self.tasks.get_mut(task) {
+                    c.state = TaskState::Running;
+                    c.attempts = *attempt;
+                    c.started = Some(Instant::now());
+                }
+            }
+            EventKind::TaskRetried { task, attempt, .. } => {
+                if let Some(c) = self.tasks.get_mut(task) {
+                    c.state = TaskState::Ready;
+                    c.attempts = *attempt;
+                    c.started = None;
+                }
+            }
+            EventKind::TaskFinished { task, outcome, .. } => {
+                if let Some(c) = self.tasks.get_mut(task) {
+                    c.state = match outcome {
+                        TaskOutcome::Completed => TaskState::Completed,
+                        TaskOutcome::Failed => TaskState::Failed,
+                        TaskOutcome::Cancelled => TaskState::Cancelled,
+                    };
+                    c.started = None;
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Applies a stamped event (convenience for subscriber loops).
+    pub fn apply_event(&mut self, event: &obs::Event) {
+        self.apply(&event.kind);
+    }
+
+    /// The current poll view.
+    pub fn snapshot(&self) -> StatusSnapshot {
+        let mut snap = StatusSnapshot::default();
+        for (id, c) in &self.tasks {
+            match c.state {
+                TaskState::Pending => snap.pending += 1,
+                TaskState::Ready => snap.ready += 1,
+                TaskState::Running => snap.running += 1,
+                TaskState::Completed => snap.completed += 1,
+                TaskState::Failed => snap.failed += 1,
+                TaskState::Cancelled => snap.cancelled += 1,
+            }
+            if c.state == TaskState::Running {
+                snap.running_tasks.push(RunningTask {
+                    task: TaskId(*id),
+                    name: c.name.to_string(),
+                    elapsed: c.started.map(|s| s.elapsed()).unwrap_or_default(),
+                    attempts: c.attempts,
+                });
+            }
+        }
+        snap
+    }
+
+    /// Tasks tracked so far (any state).
+    pub fn len(&self) -> usize {
+        self.tasks.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.tasks.is_empty()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
+    fn name() -> Arc<str> {
+        Arc::from("t")
+    }
+
     #[test]
-    fn totals_and_progress() {
-        let mut s = StatusSnapshot::default();
-        for st in [
-            TaskState::Completed,
-            TaskState::Completed,
-            TaskState::Running,
-            TaskState::Pending,
-        ] {
-            s.count(st);
-        }
-        assert_eq!(s.total(), 4);
-        assert!((s.progress() - 0.5).abs() < 1e-12);
+    fn fold_tracks_lifecycle() {
+        let mut f = StatusFold::new();
+        f.apply(&EventKind::TaskSubmitted { task: 1, name: name() });
+        f.apply(&EventKind::TaskSubmitted { task: 2, name: name() });
+        f.apply(&EventKind::TaskReady { task: 1 });
+        f.apply(&EventKind::TaskStarted { task: 1, name: name(), worker: 0, attempt: 1 });
+        let s = f.snapshot();
+        assert_eq!((s.pending, s.running), (1, 1));
+        assert_eq!(s.running_tasks.len(), 1);
+        assert_eq!(s.running_tasks[0].attempts, 1);
         assert!(!s.is_quiescent());
-        assert!(s.render().contains("2/4 done"));
+
+        f.apply(&EventKind::TaskFinished {
+            task: 1,
+            name: name(),
+            worker: Some(0),
+            outcome: TaskOutcome::Completed,
+            micros: 10,
+        });
+        f.apply(&EventKind::TaskFinished {
+            task: 2,
+            name: name(),
+            worker: None,
+            outcome: TaskOutcome::Cancelled,
+            micros: 0,
+        });
+        let s = f.snapshot();
+        assert_eq!((s.completed, s.cancelled), (1, 1));
+        assert!(s.is_quiescent());
+        assert!((s.progress() - 1.0).abs() < 1e-12);
+        assert!(s.render().contains("2/2 done"));
+    }
+
+    #[test]
+    fn retry_returns_task_to_ready() {
+        let mut f = StatusFold::new();
+        f.apply(&EventKind::TaskSubmitted { task: 7, name: name() });
+        f.apply(&EventKind::TaskStarted { task: 7, name: name(), worker: 0, attempt: 1 });
+        f.apply(&EventKind::TaskRetried { task: 7, name: name(), attempt: 1 });
+        let s = f.snapshot();
+        assert_eq!(s.ready, 1);
+        assert_eq!(s.running, 0);
+    }
+
+    #[test]
+    fn non_task_events_are_ignored() {
+        let mut f = StatusFold::new();
+        f.apply(&EventKind::QueueDepth { ready: 5, running: 5 });
+        f.apply(&EventKind::SpanCompleted { name: "x", micros: 1 });
+        assert!(f.is_empty());
+        assert_eq!(f.snapshot().total(), 0);
     }
 
     #[test]

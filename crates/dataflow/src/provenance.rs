@@ -94,10 +94,8 @@ impl ProvenanceLog {
     /// from — the "used" closure, useful for FAIR data citations.
     pub fn inputs_closure(&self, task: TaskId) -> Vec<String> {
         let mut seen = BTreeSet::new();
-        let mut frontier: Vec<u64> = self
-            .task(task)
-            .map(|r| r.used.iter().map(|u| u.id).collect())
-            .unwrap_or_default();
+        let mut frontier: Vec<u64> =
+            self.task(task).map(|r| r.used.iter().map(|u| u.id).collect()).unwrap_or_default();
         let mut names = BTreeSet::new();
         while let Some(d) = frontier.pop() {
             if !seen.insert(d) {
@@ -226,12 +224,7 @@ mod tests {
         log.record(rec(1, "src", vec![], vec![dref(1, "a", 1)]));
         log.record(rec(2, "l", vec![dref(1, "a", 1)], vec![dref(2, "b", 1)]));
         log.record(rec(3, "r", vec![dref(1, "a", 1)], vec![dref(3, "c", 1)]));
-        log.record(rec(
-            4,
-            "sink",
-            vec![dref(2, "b", 1), dref(3, "c", 1)],
-            vec![dref(4, "d", 1)],
-        ));
+        log.record(rec(4, "sink", vec![dref(2, "b", 1), dref(3, "c", 1)], vec![dref(4, "d", 1)]));
         let lineage = log.lineage(&dref(4, "d", 1));
         assert_eq!(lineage.len(), 4, "source task must appear once: {lineage:?}");
     }

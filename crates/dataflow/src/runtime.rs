@@ -11,12 +11,13 @@
 use crate::checkpoint::CheckpointLog;
 use crate::error::{Error, Result};
 use crate::graph::{Node, TaskGraph};
-use crate::monitor::{RunningTask, StatusSnapshot};
-use crate::provenance::{ProvenanceLog, TaskRecord};
+use crate::monitor::{StatusFold, StatusSnapshot};
 use crate::payload::Payload;
+use crate::provenance::{ProvenanceLog, TaskRecord};
 use crate::resources::{Constraint, WorkerProfile};
 use crate::scheduler::{pick, Policy, ReadyTask, TransferLedger};
 use crate::task::{DataRef, FailurePolicy, TaskId, TaskState};
+use obs::{EventKind, TaskOutcome};
 use parking_lot::{Condvar, Mutex};
 use std::collections::HashMap;
 use std::path::PathBuf;
@@ -104,11 +105,10 @@ pub struct Replica {
     pub size: u32,
 }
 
-type TaskFn<P> =
-    dyn Fn(&[Arc<P>], Replica) -> std::result::Result<Vec<P>, String> + Send + Sync;
+type TaskFn<P> = dyn Fn(&[Arc<P>], Replica) -> std::result::Result<Vec<P>, String> + Send + Sync;
 
 struct TaskEntry<P: Payload> {
-    name: String,
+    name: Arc<str>,
     key: Option<String>,
     closure: Option<Arc<TaskFn<P>>>,
     /// Gang size: 1 = normal task, n > 1 = run n concurrent replicas
@@ -167,6 +167,9 @@ struct Inner<P: Payload> {
     /// once it exceeds the patience threshold any worker may steal it
     /// (bounded delay scheduling).
     ready_passes: HashMap<TaskId, u32>,
+    /// Event-folded status view; `Runtime::status()` is a snapshot of this,
+    /// so the poll API and the event stream can never disagree.
+    fold: StatusFold,
 }
 
 struct Shared<P: Payload> {
@@ -180,6 +183,63 @@ struct Shared<P: Payload> {
     profiles: Mutex<Vec<WorkerProfile>>,
     /// Per-worker retirement flags (parallel to `profiles`).
     retired: Mutex<Vec<bool>>,
+    /// This runtime's event bus ([`Runtime::subscribe`]). Every lifecycle
+    /// transition is also mirrored to `obs::global()` for whole-process
+    /// tracers; both emits are a single atomic load when nobody listens.
+    bus: obs::Bus,
+    /// Cached global-registry metric handles (resolved once at startup).
+    rtm: RtMetrics,
+}
+
+/// Cached handles into the global [`obs::registry()`].
+struct RtMetrics {
+    tasks_completed: obs::Counter,
+    tasks_failed: obs::Counter,
+    tasks_cancelled: obs::Counter,
+    retries: obs::Counter,
+    queue_ready: obs::Gauge,
+    queue_running: obs::Gauge,
+    task_us: obs::Histogram,
+}
+
+impl RtMetrics {
+    fn new() -> Self {
+        let r = obs::registry();
+        RtMetrics {
+            tasks_completed: r.counter("dataflow_tasks_total", &[("outcome", "completed")]),
+            tasks_failed: r.counter("dataflow_tasks_total", &[("outcome", "failed")]),
+            tasks_cancelled: r.counter("dataflow_tasks_total", &[("outcome", "cancelled")]),
+            retries: r.counter("dataflow_task_retries_total", &[]),
+            queue_ready: r.gauge("dataflow_queue_ready", &[]),
+            queue_running: r.gauge("dataflow_queue_running", &[]),
+            task_us: r.histogram("dataflow_task_duration_us", &[]),
+        }
+    }
+}
+
+/// Folds the event into the runtime's status view, then fans it out to the
+/// runtime's own bus and the process-global bus. The clone happens only
+/// when *both* have subscribers.
+fn observe<P: Payload>(shared: &Shared<P>, st: &mut Inner<P>, kind: EventKind) {
+    st.fold.apply(&kind);
+    let global = obs::global();
+    match (shared.bus.is_active(), global.is_active()) {
+        (true, true) => {
+            shared.bus.emit(kind.clone());
+            global.emit(kind);
+        }
+        (true, false) => shared.bus.emit(kind),
+        (false, _) => global.emit(kind),
+    }
+}
+
+/// Publishes the scheduler queue depth (gauges always, event when someone
+/// is listening).
+fn queue_depth<P: Payload>(shared: &Shared<P>, st: &mut Inner<P>) {
+    let (ready, running) = (st.ready.len(), st.running);
+    shared.rtm.queue_ready.set(ready as i64);
+    shared.rtm.queue_running.set(running as i64);
+    observe(shared, st, EventKind::QueueDepth { ready, running });
 }
 
 /// The task-based workflow runtime. See the crate docs for the model.
@@ -215,6 +275,7 @@ impl<P: Payload> Runtime<P> {
             ready_passes: HashMap::new(),
             provenance: ProvenanceLog::new(),
             gang: None,
+            fold: StatusFold::new(),
         };
         let shared = Arc::new(Shared {
             state: Mutex::new(inner),
@@ -224,6 +285,8 @@ impl<P: Payload> Runtime<P> {
             transfer_ns_per_byte: config.transfer_ns_per_byte,
             profiles: Mutex::new(config.workers.clone()),
             retired: Mutex::new(vec![false; config.workers.len()]),
+            bus: obs::Bus::new(),
+            rtm: RtMetrics::new(),
         });
         let mut handles = Vec::new();
         for (idx, profile) in config.workers.iter().enumerate() {
@@ -259,9 +322,10 @@ impl<P: Payload> Runtime<P> {
     pub fn fetch(&self, data: &DataRef) -> Result<Arc<P>> {
         let mut st = self.shared.state.lock();
         loop {
-            let entry = st.data.get(&data.id).ok_or_else(|| Error::DataUnavailable {
-                name: data.to_string(),
-            })?;
+            let entry = st
+                .data
+                .get(&data.id)
+                .ok_or_else(|| Error::DataUnavailable { name: data.to_string() })?;
             if let Some(v) = &entry.value {
                 return Ok(Arc::clone(v));
             }
@@ -284,10 +348,7 @@ impl<P: Payload> Runtime<P> {
     pub fn barrier(&self) -> Result<()> {
         let mut st = self.shared.state.lock();
         loop {
-            let pending = st
-                .tasks
-                .values()
-                .any(|t| !t.state.is_terminal());
+            let pending = st.tasks.values().any(|t| !t.state.is_terminal());
             if !pending {
                 return match &st.aborted {
                     Some(e) => Err(e.clone()),
@@ -322,21 +383,32 @@ impl<P: Payload> Runtime<P> {
     }
 
     /// Point-in-time status of the whole workflow (monitoring).
+    ///
+    /// This is exactly the fold of the runtime's event stream (see
+    /// [`StatusFold`]): the poll view and [`Runtime::subscribe`] can never
+    /// disagree about a task's state.
     pub fn status(&self) -> StatusSnapshot {
-        let st = self.shared.state.lock();
-        let mut snap = StatusSnapshot::default();
-        for (id, t) in &st.tasks {
-            snap.count(t.state);
-            if t.state == TaskState::Running {
-                snap.running_tasks.push(RunningTask {
-                    task: *id,
-                    name: t.name.clone(),
-                    elapsed: t.started.map(|s| s.elapsed()).unwrap_or_default(),
-                    attempts: t.attempts,
-                });
-            }
-        }
-        snap
+        self.shared.state.lock().fold.snapshot()
+    }
+
+    /// Attaches a typed event receiver to this runtime's bus with the
+    /// default bounded capacity ([`obs::DEFAULT_CAPACITY`]; oldest events
+    /// are dropped — and counted — on overflow). The receiver sees every
+    /// task-lifecycle transition and queue-depth sample from the moment of
+    /// subscription; drop it to detach and restore the runtime's
+    /// no-subscriber fast path.
+    pub fn subscribe(&self) -> obs::EventReceiver {
+        self.shared.bus.subscribe()
+    }
+
+    /// [`Runtime::subscribe`] with an explicit queue capacity.
+    pub fn subscribe_with_capacity(&self, capacity: usize) -> obs::EventReceiver {
+        self.shared.bus.subscribe_with_capacity(capacity)
+    }
+
+    /// The runtime's event bus, for adapters that stamp or forward events.
+    pub fn bus(&self) -> &obs::Bus {
+        &self.shared.bus
     }
 
     /// DOT rendering of the task graph (Figure 3).
@@ -407,7 +479,7 @@ impl<P: Payload> Runtime<P> {
                 .map(|(id, _)| *id)
                 .collect();
             for id in ids {
-                cancel_cascade(&mut st, id);
+                cancel_cascade(&self.shared, &mut st, id);
             }
             self.shared.work_cv.notify_all();
             self.shared.done_cv.notify_all();
@@ -511,13 +583,8 @@ impl<'rt, P: Payload> TaskBuilder<'rt, P> {
         {
             let profiles = shared.profiles.lock();
             let retired = shared.retired.lock();
-            let active = || {
-                profiles
-                    .iter()
-                    .zip(retired.iter())
-                    .filter(|(_, &r)| !r)
-                    .map(|(p, _)| p)
-            };
+            let active =
+                || profiles.iter().zip(retired.iter()).filter(|(_, &r)| !r).map(|(p, _)| p);
             // Reject constraints no active worker can ever satisfy.
             if !active().any(|p| p.satisfies(&self.constraint)) {
                 return Err(Error::UnsatisfiableConstraint { task_name: self.name });
@@ -542,10 +609,7 @@ impl<'rt, P: Payload> TaskBuilder<'rt, P> {
             *ver += 1;
             let r = DataRef { id: st.next_data, name: name.to_string(), version: *ver };
             st.next_data += 1;
-            st.data.insert(
-                r.id,
-                DataEntry { value: None, failed: false, location: None, size: 0 },
-            );
+            st.data.insert(r.id, DataEntry { value: None, failed: false, location: None, size: 0 });
             r
         };
         for u in &self.updates {
@@ -578,8 +642,9 @@ impl<'rt, P: Payload> TaskBuilder<'rt, P> {
             }
         }
 
+        let task_name: Arc<str> = Arc::from(self.name.as_str());
         let entry = TaskEntry {
-            name: self.name.clone(),
+            name: Arc::clone(&task_name),
             key: self.key.clone(),
             closure: Some(f),
             replicas: self.replicas,
@@ -601,9 +666,14 @@ impl<'rt, P: Payload> TaskBuilder<'rt, P> {
                 }
             }
         }
+        observe(
+            shared,
+            &mut st,
+            EventKind::TaskSubmitted { task: id.0, name: Arc::clone(&task_name) },
+        );
 
         if doomed {
-            cancel_cascade(&mut st, id);
+            cancel_cascade(shared, &mut st, id);
             shared.done_cv.notify_all();
             return Ok(TaskHandle { id, outputs });
         }
@@ -631,6 +701,17 @@ impl<'rt, P: Payload> TaskBuilder<'rt, P> {
                     }
                     st.metrics.completed += 1;
                     st.metrics.restored += 1;
+                    observe(
+                        shared,
+                        &mut st,
+                        EventKind::TaskFinished {
+                            task: id.0,
+                            name: task_name,
+                            worker: None,
+                            outcome: TaskOutcome::Completed,
+                            micros: 0,
+                        },
+                    );
                     record_provenance(&mut st, id, None);
                     shared.done_cv.notify_all();
                     return Ok(TaskHandle { id, outputs });
@@ -644,6 +725,8 @@ impl<'rt, P: Payload> TaskBuilder<'rt, P> {
                 t.state = TaskState::Ready;
             }
             st.ready.push(id);
+            observe(shared, &mut st, EventKind::TaskReady { task: id.0 });
+            queue_depth(shared, &mut st);
             shared.work_cv.notify_all();
         }
         Ok(TaskHandle { id, outputs })
@@ -656,7 +739,7 @@ fn record_provenance<P: Payload>(st: &mut Inner<P>, id: TaskId, worker: Option<u
     let Some(t) = st.tasks.get(&id) else { return };
     st.provenance.record(TaskRecord {
         task: id,
-        name: t.name.clone(),
+        name: t.name.to_string(),
         used: t.reads.clone(),
         generated: t.writes.clone(),
         worker,
@@ -669,10 +752,10 @@ fn record_provenance<P: Payload>(st: &mut Inner<P>, id: TaskId, worker: Option<u
 
 /// Marks a datum failed and cancels the subtree of tasks that can no longer
 /// run. `root` itself is marked `Cancelled` unless already terminal.
-fn cancel_cascade<P: Payload>(st: &mut Inner<P>, root: TaskId) {
+fn cancel_cascade<P: Payload>(shared: &Shared<P>, st: &mut Inner<P>, root: TaskId) {
     let mut stack = vec![root];
     while let Some(id) = stack.pop() {
-        let (writes, dependents) = {
+        let (writes, dependents, name) = {
             let t = match st.tasks.get_mut(&id) {
                 Some(t) => t,
                 None => continue,
@@ -682,9 +765,21 @@ fn cancel_cascade<P: Payload>(st: &mut Inner<P>, root: TaskId) {
             }
             t.state = TaskState::Cancelled;
             t.closure = None;
-            (t.writes.clone(), t.dependents.clone())
+            (t.writes.clone(), t.dependents.clone(), Arc::clone(&t.name))
         };
         st.metrics.cancelled += 1;
+        shared.rtm.tasks_cancelled.inc();
+        observe(
+            shared,
+            st,
+            EventKind::TaskFinished {
+                task: id.0,
+                name,
+                worker: None,
+                outcome: TaskOutcome::Cancelled,
+                micros: 0,
+            },
+        );
         record_provenance(st, id, None);
         for w in &writes {
             if let Some(d) = st.data.get_mut(&w.id) {
@@ -697,14 +792,26 @@ fn cancel_cascade<P: Payload>(st: &mut Inner<P>, root: TaskId) {
 }
 
 /// Marks a *failed* task's outputs poisoned and cancels its dependents.
-fn fail_task<P: Payload>(st: &mut Inner<P>, id: TaskId) {
-    let (writes, dependents) = {
+fn fail_task<P: Payload>(shared: &Shared<P>, st: &mut Inner<P>, id: TaskId) {
+    let (writes, dependents, name, started) = {
         let t = st.tasks.get_mut(&id).expect("failing unknown task");
         t.state = TaskState::Failed;
         t.closure = None;
-        (t.writes.clone(), t.dependents.clone())
+        (t.writes.clone(), t.dependents.clone(), Arc::clone(&t.name), t.started)
     };
     st.metrics.failed += 1;
+    shared.rtm.tasks_failed.inc();
+    observe(
+        shared,
+        st,
+        EventKind::TaskFinished {
+            task: id.0,
+            name,
+            worker: None,
+            outcome: TaskOutcome::Failed,
+            micros: started.map(|s| s.elapsed().as_micros() as u64).unwrap_or(0),
+        },
+    );
     record_provenance(st, id, None);
     for w in &writes {
         if let Some(d) = st.data.get_mut(&w.id) {
@@ -712,7 +819,7 @@ fn fail_task<P: Payload>(st: &mut Inner<P>, id: TaskId) {
         }
     }
     for dep in dependents {
-        cancel_cascade(st, dep);
+        cancel_cascade(shared, st, dep);
     }
 }
 
@@ -761,9 +868,8 @@ fn worker_loop<P: Payload>(shared: Arc<Shared<P>>, worker_idx: usize, profile: W
             };
             if complete {
                 let g = st.gang.take().expect("gang vanished at completion");
-                let outcome = g
-                    .outcome
-                    .unwrap_or_else(|| Err("gang produced no rank-0 output".into()));
+                let outcome =
+                    g.outcome.unwrap_or_else(|| Err("gang produced no rank-0 output".into()));
                 finish_task(&shared, &mut st, gang_task, worker_idx, outcome);
                 shared.work_cv.notify_all();
             }
@@ -803,10 +909,7 @@ fn worker_loop<P: Payload>(shared: Arc<Shared<P>>, worker_idx: usize, profile: W
                 match best {
                     Some(i)
                         if snapshot[i].local_bytes(worker_idx) > 0
-                            || snapshot[i]
-                                .input_locations
-                                .iter()
-                                .all(|(loc, _)| loc.is_none()) =>
+                            || snapshot[i].input_locations.iter().all(|(loc, _)| loc.is_none()) =>
                     {
                         Some(i)
                     }
@@ -832,9 +935,7 @@ fn worker_loop<P: Payload>(shared: Arc<Shared<P>>, worker_idx: usize, profile: W
             if shared.policy == Policy::Locality && !snapshot.is_empty() {
                 // A compatible task may exist but is being delayed for
                 // locality; re-check soon even without a notification.
-                shared
-                    .work_cv
-                    .wait_for(&mut st, Duration::from_micros(300));
+                shared.work_cv.wait_for(&mut st, Duration::from_micros(300));
             } else {
                 shared.work_cv.wait(&mut st);
             }
@@ -855,6 +956,8 @@ fn worker_loop<P: Payload>(shared: Arc<Shared<P>>, worker_idx: usize, profile: W
             let closure = Arc::clone(t.closure.as_ref().expect("gang task without closure"));
             let size = t.replicas;
             let reads = t.reads.clone();
+            let gang_name = Arc::clone(&t.name);
+            let gang_attempt = t.attempts + 1;
             let inputs: Vec<Arc<P>> = reads
                 .iter()
                 .map(|r| {
@@ -877,16 +980,28 @@ fn worker_loop<P: Payload>(shared: Arc<Shared<P>>, worker_idx: usize, profile: W
             });
             let locs = snapshot[ready_idx].input_locations.clone();
             st.ledger.record(worker_idx, &locs);
+            observe(
+                &shared,
+                &mut st,
+                EventKind::TaskStarted {
+                    task: id.0,
+                    name: gang_name,
+                    worker: worker_idx,
+                    attempt: gang_attempt,
+                },
+            );
             shared.work_cv.notify_all();
             continue;
         }
-        let (closure, inputs, input_locations) = {
+        let (closure, inputs, input_locations, task_name, attempt) = {
             let remote_snapshot = snapshot[ready_idx].input_locations.clone();
             let t = st.tasks.get_mut(&id).expect("ready task missing");
             t.state = TaskState::Running;
             t.started = Some(Instant::now());
             let closure = Arc::clone(t.closure.as_ref().expect("running task without closure"));
             let reads = t.reads.clone();
+            let name = Arc::clone(&t.name);
+            let attempt = t.attempts + 1;
             let inputs: Vec<Arc<P>> = reads
                 .iter()
                 .map(|r| {
@@ -898,15 +1013,18 @@ fn worker_loop<P: Payload>(shared: Arc<Shared<P>>, worker_idx: usize, profile: W
                     )
                 })
                 .collect();
-            (closure, inputs, remote_snapshot)
+            (closure, inputs, remote_snapshot, name, attempt)
         };
         st.running += 1;
         st.ledger.record(worker_idx, &input_locations);
-        let remote_bytes: u64 = input_locations
-            .iter()
-            .filter(|(l, _)| *l != Some(worker_idx))
-            .map(|(_, b)| *b)
-            .sum();
+        observe(
+            &shared,
+            &mut st,
+            EventKind::TaskStarted { task: id.0, name: task_name, worker: worker_idx, attempt },
+        );
+        queue_depth(&shared, &mut st);
+        let remote_bytes: u64 =
+            input_locations.iter().filter(|(l, _)| *l != Some(worker_idx)).map(|(_, b)| *b).sum();
 
         drop(st);
 
@@ -937,95 +1055,119 @@ fn finish_task<P: Payload>(
     let declared_outputs = st.tasks.get(&id).map(|t| t.writes.len()).unwrap_or(0);
     match result {
         Ok(outs) if outs.len() == declared_outputs => {
-                let (writes, key, name, started) = {
-                    let t = st.tasks.get_mut(&id).expect("completed task missing");
-                    t.state = TaskState::Completed;
-                    t.closure = None;
-                    (t.writes.clone(), t.key.clone(), t.name.clone(), t.started)
-                };
-                // Checkpoint before publishing (a crash after publishing but
-                // before logging only costs a re-execution).
-                if let Some(k) = &key {
-                    let blobs: Vec<Vec<u8>> = outs.iter().map(|o| o.encode()).collect();
-                    if let Some(log) = st.checkpoint.as_mut() {
-                        let _ = log.append(k, &blobs);
-                    }
+            let (writes, key, name, started) = {
+                let t = st.tasks.get_mut(&id).expect("completed task missing");
+                t.state = TaskState::Completed;
+                t.closure = None;
+                (t.writes.clone(), t.key.clone(), Arc::clone(&t.name), t.started)
+            };
+            // Checkpoint before publishing (a crash after publishing but
+            // before logging only costs a re-execution).
+            if let Some(k) = &key {
+                let blobs: Vec<Vec<u8>> = outs.iter().map(|o| o.encode()).collect();
+                if let Some(log) = st.checkpoint.as_mut() {
+                    let _ = log.append(k, &blobs);
                 }
-                for (r, v) in writes.iter().zip(outs) {
-                    let size = v.approx_size();
-                    if let Some(d) = st.data.get_mut(&r.id) {
-                        d.value = Some(Arc::new(v));
-                        d.location = Some(worker_idx);
-                        d.size = size;
-                    }
+            }
+            for (r, v) in writes.iter().zip(outs) {
+                let size = v.approx_size();
+                if let Some(d) = st.data.get_mut(&r.id) {
+                    d.value = Some(Arc::new(v));
+                    d.location = Some(worker_idx);
+                    d.size = size;
                 }
-                st.metrics.completed += 1;
-                if let Some(start) = started {
-                    st.metrics.task_durations.push((id, name, start.elapsed()));
-                }
-                record_provenance(st, id, Some(worker_idx));
-                // Wake dependents.
-                let deps = st.tasks[&id].dependents.clone();
-                for dep in deps {
-                    if let Some(t) = st.tasks.get_mut(&dep) {
-                        if t.state == TaskState::Pending {
-                            t.remaining_deps = t.remaining_deps.saturating_sub(1);
-                            if t.remaining_deps == 0 {
-                                t.state = TaskState::Ready;
-                                st.ready.push(dep);
-                            }
+            }
+            st.metrics.completed += 1;
+            let micros = started.map(|s| s.elapsed().as_micros() as u64).unwrap_or(0);
+            if let Some(start) = started {
+                st.metrics.task_durations.push((id, name.to_string(), start.elapsed()));
+            }
+            shared.rtm.tasks_completed.inc();
+            shared.rtm.task_us.observe(micros);
+            observe(
+                shared,
+                st,
+                EventKind::TaskFinished {
+                    task: id.0,
+                    name,
+                    worker: Some(worker_idx),
+                    outcome: TaskOutcome::Completed,
+                    micros,
+                },
+            );
+            record_provenance(st, id, Some(worker_idx));
+            // Wake dependents.
+            let deps = st.tasks[&id].dependents.clone();
+            for dep in deps {
+                if let Some(t) = st.tasks.get_mut(&dep) {
+                    if t.state == TaskState::Pending {
+                        t.remaining_deps = t.remaining_deps.saturating_sub(1);
+                        if t.remaining_deps == 0 {
+                            t.state = TaskState::Ready;
+                            st.ready.push(dep);
+                            observe(shared, st, EventKind::TaskReady { task: dep.0 });
                         }
                     }
                 }
+            }
+            queue_depth(shared, st);
+            shared.work_cv.notify_all();
+            shared.done_cv.notify_all();
+        }
+        other => {
+            let message = match other {
+                Ok(outs) => format!(
+                    "output arity mismatch: declared {declared_outputs}, produced {}",
+                    outs.len()
+                ),
+                Err(m) => m,
+            };
+            let (policy, attempts, name) = {
+                let t = st.tasks.get_mut(&id).expect("failed task missing");
+                t.attempts += 1;
+                (t.policy, t.attempts, Arc::clone(&t.name))
+            };
+            let retry =
+                matches!(policy, FailurePolicy::Retry { max_retries } if attempts <= max_retries);
+            if retry {
+                st.metrics.retries += 1;
+                shared.rtm.retries.inc();
+                if let Some(t) = st.tasks.get_mut(&id) {
+                    t.state = TaskState::Ready;
+                }
+                st.ready.push(id);
+                observe(shared, st, EventKind::TaskRetried { task: id.0, name, attempt: attempts });
+                queue_depth(shared, st);
+                shared.work_cv.notify_all();
+            } else {
+                match policy {
+                    FailurePolicy::IgnoreCancelSuccessors => {
+                        fail_task(shared, st, id);
+                    }
+                    _ => {
+                        // Fail fast: poison everything still pending.
+                        fail_task(shared, st, id);
+                        st.aborted =
+                            Some(Error::TaskFailed { task: id, name: name.to_string(), message });
+                        let pending: Vec<TaskId> = st
+                            .tasks
+                            .iter()
+                            .filter(|(_, t)| {
+                                !t.state.is_terminal() && t.state != TaskState::Running
+                            })
+                            .map(|(i, _)| *i)
+                            .collect();
+                        for p in pending {
+                            cancel_cascade(shared, st, p);
+                        }
+                        st.ready.clear();
+                    }
+                }
+                queue_depth(shared, st);
                 shared.work_cv.notify_all();
                 shared.done_cv.notify_all();
             }
-            other => {
-                let message = match other {
-                    Ok(outs) => format!(
-                        "output arity mismatch: declared {declared_outputs}, produced {}",
-                        outs.len()
-                    ),
-                    Err(m) => m,
-                };
-                let (policy, attempts, name) = {
-                    let t = st.tasks.get_mut(&id).expect("failed task missing");
-                    t.attempts += 1;
-                    (t.policy, t.attempts, t.name.clone())
-                };
-                let retry = matches!(policy, FailurePolicy::Retry { max_retries } if attempts <= max_retries);
-                if retry {
-                    st.metrics.retries += 1;
-                    if let Some(t) = st.tasks.get_mut(&id) {
-                        t.state = TaskState::Ready;
-                    }
-                    st.ready.push(id);
-                    shared.work_cv.notify_all();
-                } else {
-                    match policy {
-                        FailurePolicy::IgnoreCancelSuccessors => {
-                            fail_task(st, id);
-                        }
-                        _ => {
-                            // Fail fast: poison everything still pending.
-                            fail_task(st, id);
-                            st.aborted = Some(Error::TaskFailed { task: id, name, message });
-                            let pending: Vec<TaskId> = st
-                                .tasks
-                                .iter()
-                                .filter(|(_, t)| !t.state.is_terminal() && t.state != TaskState::Running)
-                                .map(|(i, _)| *i)
-                                .collect();
-                            for p in pending {
-                                cancel_cascade(st, p);
-                            }
-                            st.ready.clear();
-                        }
-                    }
-                    shared.work_cv.notify_all();
-                    shared.done_cv.notify_all();
-                }
-            }
+        }
     }
 }
 
@@ -1042,11 +1184,7 @@ mod tests {
     #[test]
     fn single_task_runs() {
         let rt = rt(2);
-        let h = rt
-            .task("answer")
-            .writes(&["x"])
-            .run(|_| Ok(vec![Bytes::from_u64(42)]))
-            .unwrap();
+        let h = rt.task("answer").writes(&["x"]).run(|_| Ok(vec![Bytes::from_u64(42)])).unwrap();
         assert_eq!(rt.fetch(&h.outputs[0]).unwrap().as_u64(), Some(42));
         rt.barrier().unwrap();
         assert_eq!(rt.task_state(h.id), Some(TaskState::Completed));
@@ -1100,7 +1238,8 @@ mod tests {
     #[test]
     fn updates_create_new_versions_and_pass_value() {
         let rt = rt(2);
-        let init = rt.task("init").writes(&["state"]).run(|_| Ok(vec![Bytes::from_u64(5)])).unwrap();
+        let init =
+            rt.task("init").writes(&["state"]).run(|_| Ok(vec![Bytes::from_u64(5)])).unwrap();
         let step = rt
             .task("step")
             .updates(&[init.outputs[0].clone()])
@@ -1115,11 +1254,7 @@ mod tests {
     #[test]
     fn fail_fast_aborts_workflow_and_cancels_successors() {
         let rt = rt(2);
-        let bad = rt
-            .task("bad")
-            .writes(&["x"])
-            .run(|_| Err("kaboom".to_string()))
-            .unwrap();
+        let bad = rt.task("bad").writes(&["x"]).run(|_| Err("kaboom".to_string())).unwrap();
         let dep = rt
             .task("dep")
             .reads(&[bad.outputs[0].clone()])
@@ -1182,7 +1317,8 @@ mod tests {
             .writes(&["c"])
             .run(|_| Ok(vec![Bytes::empty()]))
             .unwrap();
-        let ok = rt.task("independent").writes(&["ok"]).run(|_| Ok(vec![Bytes::from_u64(1)])).unwrap();
+        let ok =
+            rt.task("independent").writes(&["ok"]).run(|_| Ok(vec![Bytes::from_u64(1)])).unwrap();
         rt.barrier().unwrap(); // no abort
         assert_eq!(rt.task_state(bad.id), Some(TaskState::Failed));
         assert_eq!(rt.task_state(child.id), Some(TaskState::Cancelled));
@@ -1265,9 +1401,7 @@ mod tests {
             .task("sink")
             .reads(&[b.outputs[0].clone(), c.outputs[0].clone()])
             .writes(&["d"])
-            .run(|i| {
-                Ok(vec![Bytes::from_u64(i[0].as_u64().unwrap() + i[1].as_u64().unwrap())])
-            })
+            .run(|i| Ok(vec![Bytes::from_u64(i[0].as_u64().unwrap() + i[1].as_u64().unwrap())]))
             .unwrap();
         assert_eq!(rt.fetch(&d.outputs[0]).unwrap().as_u64(), Some(5));
         let (tasks, edges, cp) = rt.graph_stats();
@@ -1301,6 +1435,91 @@ mod tests {
         assert_eq!(m.task_durations.len(), 6);
         assert!(m.task_durations.iter().all(|(_, _, d)| *d >= Duration::from_millis(4)));
         assert_eq!(m.tasks_per_worker.iter().sum::<u64>(), 6);
+    }
+
+    #[test]
+    fn subscribers_see_full_task_lifecycle() {
+        let rt = rt(2);
+        let rx = rt.subscribe();
+        let h = rt.task("observed").writes(&["x"]).run(|_| Ok(vec![Bytes::from_u64(1)])).unwrap();
+        rt.barrier().unwrap();
+        let events = rx.drain();
+        assert_eq!(rx.dropped(), 0);
+        let tags: Vec<&str> = events
+            .iter()
+            .filter(|e| !matches!(e.kind, EventKind::QueueDepth { .. }))
+            .map(|e| e.kind.tag())
+            .collect();
+        assert_eq!(tags, vec!["task_submitted", "task_ready", "task_started", "task_finished"]);
+        let finished = events
+            .iter()
+            .find_map(|e| match &e.kind {
+                EventKind::TaskFinished { task, name, outcome, worker, .. } => {
+                    Some((*task, name.clone(), *outcome, *worker))
+                }
+                _ => None,
+            })
+            .expect("finish event present");
+        assert_eq!(finished.0, h.id.0);
+        assert_eq!(&*finished.1, "observed");
+        assert_eq!(finished.2, TaskOutcome::Completed);
+        assert!(finished.3.is_some());
+    }
+
+    #[test]
+    fn retry_and_failure_events_are_emitted() {
+        let rt = rt(2);
+        let rx = rt.subscribe();
+        rt.task("flaky-fail")
+            .writes(&["x"])
+            .on_failure(FailurePolicy::Retry { max_retries: 1 })
+            .run(|_| Err("always".into()))
+            .unwrap();
+        assert!(rt.barrier().is_err());
+        let events = rx.drain();
+        let retried =
+            events.iter().filter(|e| matches!(e.kind, EventKind::TaskRetried { .. })).count();
+        assert_eq!(retried, 1);
+        assert!(events.iter().any(|e| matches!(
+            e.kind,
+            EventKind::TaskFinished { outcome: TaskOutcome::Failed, .. }
+        )));
+    }
+
+    #[test]
+    fn status_is_the_event_fold() {
+        let rt = rt(2);
+        for _ in 0..5 {
+            rt.task("t").writes(&["x"]).run(|_| Ok(vec![Bytes::from_u64(1)])).unwrap();
+        }
+        rt.barrier().unwrap();
+        let s = rt.status();
+        assert_eq!(s.completed, 5);
+        assert_eq!(s.total(), 5);
+        assert!(s.is_quiescent());
+        // An external fold over the same stream must agree with status():
+        // both are StatusFold applications, one kept by the runtime.
+        let rx = rt.subscribe();
+        let h = rt.task("late").writes(&["y"]).run(|_| Ok(vec![Bytes::from_u64(2)])).unwrap();
+        rt.fetch(&h.outputs[0]).unwrap();
+        rt.barrier().unwrap();
+        let mut fold = crate::monitor::StatusFold::new();
+        for e in rx.drain() {
+            fold.apply_event(&e);
+        }
+        assert_eq!(fold.snapshot().completed, 1);
+        assert_eq!(rt.status().completed, 6);
+    }
+
+    #[test]
+    fn no_subscriber_bus_stays_inactive() {
+        let rt = rt(1);
+        rt.task("quiet").writes(&["x"]).run(|_| Ok(vec![Bytes::empty()])).unwrap();
+        rt.barrier().unwrap();
+        // No receiver was ever attached: the emit fast path must have kept
+        // the bus completely idle (no events stamped).
+        assert!(!rt.bus().is_active());
+        assert_eq!(rt.bus().seq(), 0);
     }
 
     #[test]

@@ -37,20 +37,12 @@ pub struct ReadyTask {
 impl ReadyTask {
     /// Bytes of input already resident on `worker`.
     pub fn local_bytes(&self, worker: usize) -> u64 {
-        self.input_locations
-            .iter()
-            .filter(|(loc, _)| *loc == Some(worker))
-            .map(|(_, b)| *b)
-            .sum()
+        self.input_locations.iter().filter(|(loc, _)| *loc == Some(worker)).map(|(_, b)| *b).sum()
     }
 
     /// Bytes that would have to move if `worker` ran this task.
     pub fn remote_bytes(&self, worker: usize) -> u64 {
-        self.input_locations
-            .iter()
-            .filter(|(loc, _)| *loc != Some(worker))
-            .map(|(_, b)| *b)
-            .sum()
+        self.input_locations.iter().filter(|(loc, _)| *loc != Some(worker)).map(|(_, b)| *b).sum()
     }
 }
 
@@ -63,11 +55,9 @@ pub fn pick(
     ready: &[ReadyTask],
 ) -> Option<usize> {
     match policy {
-        Policy::Fifo => ready
-            .iter()
-            .enumerate()
-            .find(|(_, t)| profile.satisfies(&t.constraint))
-            .map(|(i, _)| i),
+        Policy::Fifo => {
+            ready.iter().enumerate().find(|(_, t)| profile.satisfies(&t.constraint)).map(|(i, _)| i)
+        }
         Policy::Locality => {
             let mut best: Option<(usize, u64, TaskId)> = None;
             for (i, t) in ready.iter().enumerate() {

@@ -204,9 +204,7 @@ mod tests {
     fn wait_next_times_out_empty() {
         let dir = tmpdir("timeout");
         let mut w = DirWatcher::new(&dir, rule());
-        let batch = w
-            .wait_next(Duration::from_millis(5), Duration::from_millis(20))
-            .unwrap();
+        let batch = w.wait_next(Duration::from_millis(5), Duration::from_millis(20)).unwrap();
         assert!(batch.is_empty());
     }
 
@@ -221,9 +219,7 @@ mod tests {
                 std::fs::write(dir2.join(format!("esm-2040-{d:03}.ncx")), b"x").unwrap();
             }
         });
-        let batch = w
-            .wait_next(Duration::from_millis(5), Duration::from_secs(5))
-            .unwrap();
+        let batch = w.wait_next(Duration::from_millis(5), Duration::from_secs(5)).unwrap();
         writer.join().unwrap();
         assert_eq!(batch.len(), 1);
         assert_eq!(batch[0].key, "2040");

@@ -45,8 +45,7 @@ pub enum Direction {
 }
 
 /// What the runtime should do when a task's closure returns an error.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum FailurePolicy {
     /// Abort the whole workflow (default, like an unhandled exception).
     #[default]
@@ -57,7 +56,6 @@ pub enum FailurePolicy {
     /// rest of the workflow continue.
     IgnoreCancelSuccessors,
 }
-
 
 /// Lifecycle state of a task.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

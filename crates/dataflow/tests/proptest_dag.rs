@@ -17,18 +17,13 @@ fn dag_strategy(max_tasks: usize) -> impl Strategy<Value = DagSpec> {
     (2..max_tasks)
         .prop_flat_map(|n| {
             // For task i, pick a read mask over tasks 0..i.
-            let masks: Vec<_> = (0..n)
-                .map(|i| proptest::collection::vec(any::<bool>(), i))
-                .collect();
+            let masks: Vec<_> =
+                (0..n).map(|i| proptest::collection::vec(any::<bool>(), i)).collect();
             masks.prop_map(|masks| DagSpec {
                 reads: masks
                     .into_iter()
                     .map(|m| {
-                        m.iter()
-                            .enumerate()
-                            .filter(|(_, &take)| take)
-                            .map(|(j, _)| j)
-                            .collect()
+                        m.iter().enumerate().filter(|(_, &take)| take).map(|(j, _)| j).collect()
                     })
                     .collect(),
             })
@@ -69,10 +64,7 @@ fn run_dag(spec: &DagSpec, workers: usize, policy: Policy) -> Vec<u64> {
             .unwrap();
         outputs.push(h.outputs[0].clone());
     }
-    let vals: Vec<u64> = outputs
-        .iter()
-        .map(|o| rt.fetch(o).unwrap().as_u64().unwrap())
-        .collect();
+    let vals: Vec<u64> = outputs.iter().map(|o| rt.fetch(o).unwrap().as_u64().unwrap()).collect();
     rt.barrier().unwrap();
     rt.shutdown();
     vals

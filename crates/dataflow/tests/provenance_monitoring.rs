@@ -122,8 +122,7 @@ fn checkpoint_restored_tasks_appear_in_provenance() {
         rt.barrier().unwrap();
         rt.shutdown();
     }
-    let rt: Runtime<Bytes> =
-        Runtime::new(RuntimeConfig::with_cpu_workers(1).with_checkpoint(ckpt));
+    let rt: Runtime<Bytes> = Runtime::new(RuntimeConfig::with_cpu_workers(1).with_checkpoint(ckpt));
     let h = rt.task("a").key("a").writes(&["x"]).run(|_| panic!("restored")).unwrap();
     rt.barrier().unwrap();
     let prov = rt.provenance();

@@ -19,10 +19,13 @@ fn tmpdir(name: &str) -> PathBuf {
 
 /// A three-task pipeline with checkpoint keys; counts executions so we can
 /// prove the second run replays instead of re-executing.
-fn run_pipeline(ckpt: &std::path::Path, executions: Arc<AtomicU32>, fail_at_c: bool) -> Result<u64, Error> {
-    let rt: Runtime<Bytes> = Runtime::new(
-        RuntimeConfig::with_cpu_workers(2).with_checkpoint(ckpt.to_path_buf()),
-    );
+fn run_pipeline(
+    ckpt: &std::path::Path,
+    executions: Arc<AtomicU32>,
+    fail_at_c: bool,
+) -> Result<u64, Error> {
+    let rt: Runtime<Bytes> =
+        Runtime::new(RuntimeConfig::with_cpu_workers(2).with_checkpoint(ckpt.to_path_buf()));
     let ex = Arc::clone(&executions);
     let a = rt
         .task("a")
@@ -138,10 +141,7 @@ fn locality_policy_moves_less_data_than_fifo() {
         fifo += transfer_volume(Policy::Fifo);
         locality += transfer_volume(Policy::Locality);
     }
-    assert!(
-        locality < fifo,
-        "locality should move less data: locality={locality} fifo={fifo}"
-    );
+    assert!(locality < fifo, "locality should move less data: locality={locality} fifo={fifo}");
     // With a one-to-one producer/consumer mapping, locality should achieve
     // (near-)zero movement.
     assert!(
@@ -176,7 +176,8 @@ fn streaming_master_loop_processes_years_as_they_appear() {
     });
 
     let rt: Runtime<Bytes> = Runtime::new(RuntimeConfig::with_cpu_workers(2));
-    let mut watcher = DirWatcher::new(&out, YearlyRule { prefix: "esm".into(), days_per_year: days });
+    let mut watcher =
+        DirWatcher::new(&out, YearlyRule { prefix: "esm".into(), days_per_year: days });
     let mut analysis_outputs = Vec::new();
     let deadline = std::time::Instant::now() + Duration::from_secs(10);
     while analysis_outputs.len() < years && std::time::Instant::now() < deadline {

@@ -127,11 +127,8 @@ impl Atmosphere {
 
         // Active thermal events and cyclones this timestep.
         let active_thermal: Vec<_> = events.thermal.iter().filter(|e| e.active(day)).collect();
-        let active_tcs: Vec<TcTrackPoint> = events
-            .tcs
-            .iter()
-            .filter_map(|t| t.at(day, step).copied())
-            .collect();
+        let active_tcs: Vec<TcTrackPoint> =
+            events.tcs.iter().filter_map(|t| t.at(day, step).copied()).collect();
         let vortex_radius = tc_radius_deg(&self.grid);
 
         let g = self.grid.clone();
@@ -146,8 +143,7 @@ impl Atmosphere {
             // Diurnal cycle peaks mid-afternoon (step offset 0.6); its
             // amplitude is much larger over land than over the mixed-layer
             // ocean.
-            let diurnal_shape =
-                -(2.0 * std::f64::consts::PI * (diurnal_phase - 0.6)).cos();
+            let diurnal_shape = -(2.0 * std::f64::consts::PI * (diurnal_phase - 0.6)).cos();
 
             for j in 0..g.nlon {
                 let lon = g.lon(j);
@@ -226,8 +222,7 @@ impl Atmosphere {
                 let im = i.saturating_sub(1);
                 let ip = (i + 1).min(g.nlat - 1);
                 let dvdx = (self.v10.get(i, jp) - self.v10.get(i, jm)) / 2.0;
-                let dudy = (self.u10.get(ip, j) - self.u10.get(im, j))
-                    / (ip - im).max(1) as f32;
+                let dudy = (self.u10.get(ip, j) - self.u10.get(im, j)) / (ip - im).max(1) as f32;
                 // Sign convention: cyclonic positive in NH, so flip in SH.
                 let zeta = dvdx - dudy;
                 let sign = if g.lat(i) >= 0.0 { 1.0 } else { -1.0 };
@@ -379,11 +374,9 @@ mod tests {
         assert!(dist < 600.0, "pressure minimum {dist} km from TC center");
 
         // Wind speed peaks in a ring, not in the eye.
-        let eye_wind =
-            (a.u10.get(ci0, cj0).powi(2) + a.v10.get(ci0, cj0).powi(2)).sqrt();
+        let eye_wind = (a.u10.get(ci0, cj0).powi(2) + a.v10.get(ci0, cj0).powi(2)).sqrt();
         let ring_j = c.grid.lon_index(tc_lon + tc_radius_deg(&c.grid));
-        let ring_wind =
-            (a.u10.get(ci0, ring_j).powi(2) + a.v10.get(ci0, ring_j).powi(2)).sqrt();
+        let ring_wind = (a.u10.get(ci0, ring_j).powi(2) + a.v10.get(ci0, ring_j).powi(2)).sqrt();
         assert!(
             ring_wind > eye_wind + 5.0,
             "ring wind {ring_wind} should exceed eye wind {eye_wind}"

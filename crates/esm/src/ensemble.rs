@@ -75,8 +75,7 @@ pub fn mean_and_spread(members: &[Field2]) -> (Field2, Field2) {
         }
     }
     let mean_f = Field2::from_vec(grid.clone(), mean.iter().map(|&v| v as f32).collect());
-    let spread_f =
-        Field2::from_vec(grid, var.iter().map(|&v| ((v / n).sqrt()) as f32).collect());
+    let spread_f = Field2::from_vec(grid, var.iter().map(|&v| ((v / n).sqrt()) as f32).collect());
     (mean_f, spread_f)
 }
 

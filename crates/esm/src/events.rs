@@ -59,8 +59,8 @@ impl ThermalEvent {
         }
         // Longitude shrinks with latitude; use a simple metric factor.
         let dlon_km_scale = self.center_lat.to_radians().cos().max(0.2);
-        let r2 = (dlat / self.radius_deg).powi(2)
-            + (dlon * dlon_km_scale / self.radius_deg).powi(2);
+        let r2 =
+            (dlat / self.radius_deg).powi(2) + (dlon * dlon_km_scale / self.radius_deg).powi(2);
         self.amplitude_k * ramp * (-r2).exp()
     }
 }
@@ -103,10 +103,7 @@ impl TcTrack {
 
     /// Lifetime-minimum central pressure.
     pub fn min_pressure(&self) -> f64 {
-        self.points
-            .iter()
-            .map(|p| p.center_pressure_hpa)
-            .fold(f64::INFINITY, f64::min)
+        self.points.iter().map(|p| p.center_pressure_hpa).fold(f64::INFINITY, f64::min)
     }
 }
 
@@ -138,7 +135,8 @@ fn poisson(rng: &mut StdRng, lambda: f64) -> usize {
 impl YearEvents {
     /// Deterministically generates the events of `year` from the run seed.
     pub fn generate(cfg: &EsmConfig, year: i32) -> YearEvents {
-        let mut rng = StdRng::seed_from_u64(cfg.seed ^ (year as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let mut rng =
+            StdRng::seed_from_u64(cfg.seed ^ (year as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
         let dpy = cfg.days_per_year;
 
         let mut thermal = Vec::new();
@@ -154,8 +152,7 @@ impl YearEvents {
                 let warm_season = matches!(kind, ThermalKind::HeatWave) == northern;
                 let season_center: f64 = if warm_season { 0.55 } else { 0.05 };
                 let phase: f64 = season_center + rng.gen_range(-0.12..0.12);
-                let start_day =
-                    ((phase.rem_euclid(1.0)) * dpy as f64) as usize % dpy.max(1);
+                let start_day = ((phase.rem_euclid(1.0)) * dpy as f64) as usize % dpy.max(1);
                 let duration = rng.gen_range(6..=14).min(dpy.saturating_sub(start_day)).max(1);
                 let lat_mag = rng.gen_range(28.0..62.0);
                 let amplitude = rng.gen_range(6.5..12.0);
@@ -200,11 +197,8 @@ impl YearEvents {
             let step = s % spd;
             // Intensity: grow to peak at 40% of life, then decay.
             let life_frac = s as f64 / total_steps.max(1) as f64;
-            let intensity = if life_frac < 0.4 {
-                life_frac / 0.4
-            } else {
-                1.0 - 0.8 * (life_frac - 0.4) / 0.6
-            };
+            let intensity =
+                if life_frac < 0.4 { life_frac / 0.4 } else { 1.0 - 0.8 * (life_frac - 0.4) / 0.6 };
             let deficit = peak_deficit * intensity.max(0.1);
             let pressure = 1010.0 - deficit;
             let max_wind = 6.3 * deficit.sqrt(); // empirical wind–pressure

@@ -78,10 +78,7 @@ mod tests {
         assert!((Scenario::Historical.co2_ppm(1850) - 285.0).abs() < 1.0);
         assert!((Scenario::Historical.co2_ppm(2014) - 397.0).abs() < 1.0);
         // Flat after 2014.
-        assert_eq!(
-            Scenario::Historical.co2_ppm(2050),
-            Scenario::Historical.co2_ppm(2014)
-        );
+        assert_eq!(Scenario::Historical.co2_ppm(2050), Scenario::Historical.co2_ppm(2014));
     }
 
     #[test]
@@ -96,10 +93,7 @@ mod tests {
     #[test]
     fn ssp585_exceeds_ssp245_after_2014() {
         for y in [2030, 2050, 2080, 2100] {
-            assert!(
-                Scenario::Ssp585.co2_ppm(y) > Scenario::Ssp245.co2_ppm(y),
-                "year {y}"
-            );
+            assert!(Scenario::Ssp585.co2_ppm(y) > Scenario::Ssp245.co2_ppm(y), "year {y}");
         }
     }
 

@@ -12,26 +12,26 @@ use gridded::{Field2, Field3};
 /// (e.g., precipitation rate, sea level pressure, temperature, wind
 /// speed...)").
 pub const OUTPUT_VARIABLES: [&str; 20] = [
-    "tas",      // surface air temperature
-    "psl",      // sea-level pressure
-    "ua10",     // eastward wind
-    "va10",     // northward wind
-    "sfcWind",  // wind speed
-    "vort",     // relative vorticity (cyclonic-positive)
-    "pr",       // precipitation rate
-    "ts",       // surface (skin) temperature
-    "tos",      // sea surface temperature
-    "siconc",   // sea-ice fraction
-    "huss",     // near-surface specific humidity
-    "rsds",     // downwelling shortwave
-    "rlds",     // downwelling longwave
-    "clt",      // cloud fraction
-    "ps",       // surface pressure
-    "zg500",    // 500 hPa geopotential height
-    "ta850",    // 850 hPa temperature
-    "tdps",     // dew point
-    "evspsbl",  // evaporation
-    "hfls",     // latent heat flux
+    "tas",     // surface air temperature
+    "psl",     // sea-level pressure
+    "ua10",    // eastward wind
+    "va10",    // northward wind
+    "sfcWind", // wind speed
+    "vort",    // relative vorticity (cyclonic-positive)
+    "pr",      // precipitation rate
+    "ts",      // surface (skin) temperature
+    "tos",     // sea surface temperature
+    "siconc",  // sea-ice fraction
+    "huss",    // near-surface specific humidity
+    "rsds",    // downwelling shortwave
+    "rlds",    // downwelling longwave
+    "clt",     // cloud fraction
+    "ps",      // surface pressure
+    "zg500",   // 500 hPa geopotential height
+    "ta850",   // 850 hPa temperature
+    "tdps",    // dew point
+    "evspsbl", // evaporation
+    "hfls",    // latent heat flux
 ];
 
 /// One day of model output: every variable as a `(time, lat, lon)` stack
@@ -171,12 +171,10 @@ impl CoupledModel {
         self.ocean.relax_toward(&clim);
 
         for step in 0..spd {
-            self.atmos
-                .step(&self.cfg, self.day, step, warming, &self.sst_for_atmos, &self.events);
+            self.atmos.step(&self.cfg, self.day, step, warming, &self.sst_for_atmos, &self.events);
             // Flux exchange "every few minutes" within the output step.
             self.sst_for_atmos =
-                self.coupler
-                    .exchange(&self.atmos, &mut self.ocean, self.cfg.couplings_per_step);
+                self.coupler.exchange(&self.atmos, &mut self.ocean, self.cfg.couplings_per_step);
 
             let a = &self.atmos;
             let o = &self.ocean;
@@ -281,10 +279,7 @@ mod tests {
         for (name, stack) in &out.vars {
             assert_eq!(stack.ntime, 4, "{name} should have 4 timesteps");
             assert_eq!(stack.data.len(), 4 * m.cfg.grid.len());
-            assert!(
-                stack.data.iter().all(|v| v.is_finite()),
-                "{name} contains non-finite values"
-            );
+            assert!(stack.data.iter().all(|v| v.is_finite()), "{name} contains non-finite values");
         }
         assert_eq!(out.year, 2030);
         assert_eq!(out.day, 0);
@@ -420,10 +415,7 @@ mod tests {
         assert!(
             y0.tcs.len() != y1.tcs.len()
                 || y0.thermal.len() != y1.thermal.len()
-                || y0
-                    .tcs
-                    .first()
-                    .map(|t| t.points[0].lon)
+                || y0.tcs.first().map(|t| t.points[0].lon)
                     != y1.tcs.first().map(|t| t.points[0].lon)
         );
     }

@@ -119,13 +119,8 @@ mod tests {
         for _ in 0..150 {
             o.relax_toward(&target);
         }
-        let err: f32 = o
-            .sst
-            .data
-            .iter()
-            .zip(&target.data)
-            .map(|(a, b)| (a - b).abs())
-            .fold(0.0, f32::max);
+        let err: f32 =
+            o.sst.data.iter().zip(&target.data).map(|(a, b)| (a - b).abs()).fold(0.0, f32::max);
         assert!(err < 0.2, "max deviation {err} after relaxation");
     }
 

@@ -40,7 +40,12 @@ pub fn write_daily(dir: &Path, fields: &DailyFields) -> ncformat::Result<PathBuf
     w.add_dimension("time", spd)?;
     w.add_dimension("lat", grid.nlat)?;
     w.add_dimension("lon", grid.nlon)?;
-    w.add_variable_f64("time", &["time"], &(0..spd).map(|t| t as f64 * 24.0 / spd as f64).collect::<Vec<_>>(), vec![])?;
+    w.add_variable_f64(
+        "time",
+        &["time"],
+        &(0..spd).map(|t| t as f64 * 24.0 / spd as f64).collect::<Vec<_>>(),
+        vec![],
+    )?;
     w.add_variable_f64("lat", &["lat"], &grid.lats(), vec![])?;
     w.add_variable_f64("lon", &["lon"], &grid.lons(), vec![])?;
     for (name, stack) in &fields.vars {
@@ -76,11 +81,7 @@ pub fn predicted_payload(fields: &DailyFields) -> u64 {
     let grid = &fields.vars[0].1.grid;
     let spd = fields.vars[0].1.ntime;
     Dataset::payload_size(
-        &fields
-            .vars
-            .iter()
-            .map(|_| (DataType::F32, grid.len() * spd))
-            .collect::<Vec<_>>(),
+        &fields.vars.iter().map(|_| (DataType::F32, grid.len() * spd)).collect::<Vec<_>>(),
     )
 }
 

@@ -11,6 +11,43 @@ use crate::events::YearEvents;
 use crate::model::CoupledModel;
 use crate::output;
 use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+/// Steps one day and writes its file, reporting to the global
+/// observability bus and metrics registry: a step span, the file landing,
+/// and byte/file counters.
+fn step_and_write(
+    model: &mut CoupledModel,
+    out_dir: &Path,
+) -> ncformat::Result<(PathBuf, i32, usize, u64)> {
+    let t0 = Instant::now();
+    let fields = model.step_day();
+    let step_us = t0.elapsed().as_micros() as u64;
+
+    let w0 = Instant::now();
+    let path = output::write_daily(out_dir, &fields)?;
+    let write_us = w0.elapsed().as_micros() as u64;
+    let bytes = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+
+    let r = obs::registry();
+    r.histogram("esm_step_us", &[]).observe(step_us);
+    r.histogram("esm_write_us", &[]).observe(write_us);
+    r.counter("esm_files_written_total", &[]).inc();
+    r.counter("esm_bytes_written_total", &[]).add(bytes);
+
+    let bus = obs::global();
+    bus.emit_with(|| obs::EventKind::StepCompleted {
+        year: fields.year,
+        day: fields.day,
+        micros: step_us,
+    });
+    bus.emit_with(|| obs::EventKind::FileWritten {
+        path: path.to_string_lossy().as_ref().into(),
+        bytes,
+        micros: write_us,
+    });
+    Ok((path, fields.year, fields.day, bytes))
+}
 
 /// Summary of a completed (partial) run.
 #[derive(Debug, Clone)]
@@ -47,22 +84,17 @@ impl Simulation {
     where
         F: FnMut(&Path, i32, usize),
     {
-        let mut summary = RunSummary {
-            files_written: 0,
-            bytes_written: 0,
-            years: Vec::new(),
-            truth: Vec::new(),
-        };
+        let mut summary =
+            RunSummary { files_written: 0, bytes_written: 0, years: Vec::new(), truth: Vec::new() };
         for _ in 0..years {
             let (year, _) = self.model.date();
             summary.years.push(year);
             summary.truth.push(self.model.year_events().clone());
             for _ in 0..self.model.cfg.days_per_year {
-                let fields = self.model.step_day();
-                let path = output::write_daily(&self.out_dir, &fields)?;
+                let (path, year, day, bytes) = step_and_write(&mut self.model, &self.out_dir)?;
                 summary.files_written += 1;
-                summary.bytes_written += std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
-                on_file(&path, fields.year, fields.day);
+                summary.bytes_written += bytes;
+                on_file(&path, year, day);
             }
         }
         Ok(summary)
@@ -70,9 +102,8 @@ impl Simulation {
 
     /// Runs a single day (fine-grained driver for pipelined workflows).
     pub fn run_day(&mut self) -> ncformat::Result<(PathBuf, i32, usize)> {
-        let fields = self.model.step_day();
-        let path = output::write_daily(&self.out_dir, &fields)?;
-        Ok((path, fields.year, fields.day))
+        let (path, year, day, _) = step_and_write(&mut self.model, &self.out_dir)?;
+        Ok((path, year, day))
     }
 
     /// Ground truth of the year currently being simulated.

@@ -21,12 +21,12 @@ struct Blob {
 
 /// Rough Earth-like continent layout (deterministic, resolution-free).
 const CONTINENTS: [Blob; 7] = [
-    Blob { lat: 55.0, lon: 60.0, a_lat: 28.0, a_lon: 75.0 },  // Eurasia
-    Blob { lat: 8.0, lon: 22.0, a_lat: 28.0, a_lon: 26.0 },   // Africa
+    Blob { lat: 55.0, lon: 60.0, a_lat: 28.0, a_lon: 75.0 }, // Eurasia
+    Blob { lat: 8.0, lon: 22.0, a_lat: 28.0, a_lon: 26.0 },  // Africa
     Blob { lat: 48.0, lon: 260.0, a_lat: 22.0, a_lon: 40.0 }, // North America
-    Blob { lat: -15.0, lon: 300.0, a_lat: 25.0, a_lon: 18.0 },// South America
-    Blob { lat: -25.0, lon: 134.0, a_lat: 12.0, a_lon: 18.0 },// Australia
-    Blob { lat: -83.0, lon: 180.0, a_lat: 14.0, a_lon: 180.0 },// Antarctica
+    Blob { lat: -15.0, lon: 300.0, a_lat: 25.0, a_lon: 18.0 }, // South America
+    Blob { lat: -25.0, lon: 134.0, a_lat: 12.0, a_lon: 18.0 }, // Australia
+    Blob { lat: -83.0, lon: 180.0, a_lat: 14.0, a_lon: 180.0 }, // Antarctica
     Blob { lat: 74.0, lon: 320.0, a_lat: 10.0, a_lon: 18.0 }, // Greenland
 ];
 

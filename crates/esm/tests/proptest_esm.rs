@@ -14,11 +14,7 @@ fn small(seed: u64, scenario: Scenario) -> EsmConfig {
 }
 
 fn scenario_strategy() -> impl Strategy<Value = Scenario> {
-    prop_oneof![
-        Just(Scenario::Historical),
-        Just(Scenario::Ssp245),
-        Just(Scenario::Ssp585),
-    ]
+    prop_oneof![Just(Scenario::Historical), Just(Scenario::Ssp245), Just(Scenario::Ssp585),]
 }
 
 proptest! {

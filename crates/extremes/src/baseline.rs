@@ -110,10 +110,8 @@ mod tests {
     #[test]
     fn mismatched_years_rejected() {
         let a = year_cube(0.0, 4);
-        let dims = vec![
-            Dimension::explicit("lat", vec![0.0]),
-            Dimension::implicit("time", vec![0.0]),
-        ];
+        let dims =
+            vec![Dimension::explicit("lat", vec![0.0]), Dimension::implicit("time", vec![0.0])];
         let b = Cube::from_dense("tasmax", dims, vec![1.0], 1, 1).unwrap();
         assert!(compute_baseline(&[&a, &b], ExecConfig::serial()).is_err());
         assert!(compute_baseline(&[], ExecConfig::serial()).is_err());

@@ -78,9 +78,9 @@ fn time_dim(cube: &Cube) -> Result<String> {
 /// cubes: for each cell, the `q`-th percentile of all reference days
 /// pooled (the simplified, non-calendar-window form).
 pub fn percentile_threshold(reference_years: &[&Cube], q: f64, cfg: ExecConfig) -> Result<Cube> {
-    let first = reference_years
-        .first()
-        .ok_or_else(|| datacube::Error::SchemaMismatch("need at least one reference year".into()))?;
+    let first = reference_years.first().ok_or_else(|| {
+        datacube::Error::SchemaMismatch("need at least one reference year".into())
+    })?;
     let rows = first.rows();
     for y in reference_years {
         if y.rows() != rows {
@@ -92,9 +92,7 @@ pub fn percentile_threshold(reference_years: &[&Cube], q: f64, cfg: ExecConfig) 
     // fragment.
     let dim = time_dim(first)?;
     let all = ops::concat_implicit(reference_years, &dim)?;
-    let out = ops::map_series(&all, "q", 1, cfg, |series| {
-        vec![percentile(series, q) as f32]
-    })?;
+    let out = ops::map_series(&all, "q", 1, cfg, |series| vec![percentile(series, q) as f32])?;
     Ok(out)
 }
 
@@ -170,11 +168,13 @@ mod tests {
     #[test]
     fn threshold_counts() {
         // tmin: 3 frost days, 2 tropical nights.
-        let tmin = daily(vec![270.0, 272.0, 274.0, 273.0, 295.0, 294.0, 280.0, 285.0, 290.0, 275.0]);
+        let tmin =
+            daily(vec![270.0, 272.0, 274.0, 273.0, 295.0, 294.0, 280.0, 285.0, 290.0, 275.0]);
         assert_eq!(frost_days(&tmin, cfg()).unwrap().to_dense(), vec![3.0]);
         assert_eq!(tropical_nights(&tmin, cfg()).unwrap().to_dense(), vec![2.0]);
 
-        let tmax = daily(vec![299.0, 300.0, 272.0, 298.15, 290.0, 310.0, 272.5, 298.2, 260.0, 280.0]);
+        let tmax =
+            daily(vec![299.0, 300.0, 272.0, 298.15, 290.0, 310.0, 272.5, 298.2, 260.0, 280.0]);
         assert_eq!(summer_days(&tmax, cfg()).unwrap().to_dense(), vec![4.0]);
         assert_eq!(icing_days(&tmax, cfg()).unwrap().to_dense(), vec![3.0]);
     }

@@ -118,15 +118,12 @@ pub fn compute_indices(
 ) -> Result<HeatwaveIndices> {
     let mask = exceedance_mask(daily, baseline, params, cold, cfg)?;
     let min_len = params.min_duration;
-    let duration_max = ops::map_series(&mask, "hwd", 1, cfg, |row| {
-        vec![longest_wave(row, min_len) as f32]
-    })?;
-    let number = ops::map_series(&mask, "hwn", 1, cfg, |row| {
-        vec![wave_count(row, min_len) as f32]
-    })?;
-    let frequency = ops::map_series(&mask, "hwf", 1, cfg, |row| {
-        vec![wave_frequency(row, min_len) as f32]
-    })?;
+    let duration_max =
+        ops::map_series(&mask, "hwd", 1, cfg, |row| vec![longest_wave(row, min_len) as f32])?;
+    let number =
+        ops::map_series(&mask, "hwn", 1, cfg, |row| vec![wave_count(row, min_len) as f32])?;
+    let frequency =
+        ops::map_series(&mask, "hwf", 1, cfg, |row| vec![wave_frequency(row, min_len) as f32])?;
     Ok(HeatwaveIndices { duration_max, number, frequency })
 }
 
@@ -189,8 +186,9 @@ mod tests {
     #[test]
     fn indices_on_known_event() {
         let (daily, baseline) = daily_cube();
-        let idx = compute_indices(&daily, &baseline, WaveParams::default(), false, ExecConfig::serial())
-            .unwrap();
+        let idx =
+            compute_indices(&daily, &baseline, WaveParams::default(), false, ExecConfig::serial())
+                .unwrap();
         assert_eq!(idx.duration_max.to_dense(), vec![8.0, 0.0]);
         assert_eq!(idx.number.to_dense(), vec![1.0, 0.0]);
         let f = idx.frequency.to_dense();
@@ -206,14 +204,14 @@ mod tests {
             Dimension::explicit("lat", vec![0.0]),
             Dimension::implicit("day", (0..ndays).map(|d| d as f64).collect()),
         ];
-        let data: Vec<f32> = (0..ndays)
-            .map(|d| if (5..10).contains(&d) { 310.0 } else { 300.0 })
-            .collect();
+        let data: Vec<f32> =
+            (0..ndays).map(|d| if (5..10).contains(&d) { 310.0 } else { 300.0 }).collect();
         let daily = Cube::from_dense("tasmax", dims, data, 1, 1).unwrap();
         let bdims = vec![Dimension::explicit("lat", vec![0.0])];
         let baseline = Cube::from_dense("tasmax", bdims, vec![300.0], 1, 1).unwrap();
-        let idx = compute_indices(&daily, &baseline, WaveParams::default(), false, ExecConfig::serial())
-            .unwrap();
+        let idx =
+            compute_indices(&daily, &baseline, WaveParams::default(), false, ExecConfig::serial())
+                .unwrap();
         assert_eq!(idx.number.to_dense(), vec![0.0]);
         assert_eq!(idx.duration_max.to_dense(), vec![0.0]);
     }
@@ -231,10 +229,8 @@ mod tests {
         let bdims = vec![Dimension::explicit("lat", vec![0.0])];
         let baseline = Cube::from_dense("t", bdims, vec![300.0], 1, 1).unwrap();
         let p = WaveParams::default();
-        let i_exact =
-            compute_indices(&exact, &baseline, p, false, ExecConfig::serial()).unwrap();
-        let i_above =
-            compute_indices(&above, &baseline, p, false, ExecConfig::serial()).unwrap();
+        let i_exact = compute_indices(&exact, &baseline, p, false, ExecConfig::serial()).unwrap();
+        let i_above = compute_indices(&above, &baseline, p, false, ExecConfig::serial()).unwrap();
         assert_eq!(i_exact.number.to_dense(), vec![0.0]);
         assert_eq!(i_above.number.to_dense(), vec![1.0]);
     }
@@ -247,9 +243,7 @@ mod tests {
             Dimension::implicit("day", (0..ndays).map(|d| d as f64).collect()),
         ];
         // 7 cold days at -9 K anomaly.
-        let data: Vec<f32> = (0..ndays)
-            .map(|d| if d < 7 { 261.0 } else { 272.0 })
-            .collect();
+        let data: Vec<f32> = (0..ndays).map(|d| if d < 7 { 261.0 } else { 272.0 }).collect();
         let daily = Cube::from_dense("tasmin", dims, data, 1, 1).unwrap();
         let bdims = vec![Dimension::explicit("lat", vec![0.0])];
         let baseline = Cube::from_dense("tasmin", bdims, vec![270.0], 1, 1).unwrap();
@@ -269,19 +263,14 @@ mod tests {
             Dimension::implicit("day", (0..ndays).map(|d| d as f64).collect()),
         ];
         let data: Vec<f32> = (0..ndays)
-            .map(|d| {
-                if (2..9).contains(&d) || (15..25).contains(&d) {
-                    307.0
-                } else {
-                    300.0
-                }
-            })
+            .map(|d| if (2..9).contains(&d) || (15..25).contains(&d) { 307.0 } else { 300.0 })
             .collect();
         let daily = Cube::from_dense("t", dims, data, 1, 1).unwrap();
         let bdims = vec![Dimension::explicit("lat", vec![0.0])];
         let baseline = Cube::from_dense("t", bdims, vec![300.0], 1, 1).unwrap();
-        let idx = compute_indices(&daily, &baseline, WaveParams::default(), false, ExecConfig::serial())
-            .unwrap();
+        let idx =
+            compute_indices(&daily, &baseline, WaveParams::default(), false, ExecConfig::serial())
+                .unwrap();
         assert_eq!(idx.number.to_dense(), vec![2.0]);
         assert_eq!(idx.duration_max.to_dense(), vec![10.0]);
         assert!((idx.frequency.to_dense()[0] - 17.0 / 30.0).abs() < 1e-6);

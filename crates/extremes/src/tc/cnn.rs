@@ -102,11 +102,7 @@ pub fn extract_labeled_patches(
                 positive_tiles.push((r, c));
                 let target = Tensor::from_vec(
                     &[3],
-                    vec![
-                        1.0,
-                        (pi as f32 + 0.5) / patch as f32,
-                        (pj as f32 + 0.5) / patch as f32,
-                    ],
+                    vec![1.0, (pi as f32 + 0.5) / patch as f32, (pj as f32 + 0.5) / patch as f32],
                 );
                 out.push((fields.tile(&tiling, r, c), target));
             }
@@ -123,10 +119,7 @@ pub fn extract_labeled_patches(
             if positive_tiles.contains(&(r, c)) {
                 continue;
             }
-            out.push((
-                fields.tile(&tiling, r, c),
-                Tensor::from_vec(&[3], vec![0.0, 0.0, 0.0]),
-            ));
+            out.push((fields.tile(&tiling, r, c), Tensor::from_vec(&[3], vec![0.0, 0.0, 0.0])));
             taken += 1;
         }
     }

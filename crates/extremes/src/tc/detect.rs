@@ -50,7 +50,13 @@ pub struct Detection {
 
 /// Wrapped ring/disk iteration helper: calls `f(i, j)` for every cell
 /// within `radius` cells of `(ci, cj)` (longitude wraps on global grids).
-fn for_neighbourhood<F: FnMut(usize, usize)>(grid: &Grid, ci: usize, cj: usize, radius: usize, mut f: F) {
+fn for_neighbourhood<F: FnMut(usize, usize)>(
+    grid: &Grid,
+    ci: usize,
+    cj: usize,
+    radius: usize,
+    mut f: F,
+) {
     let r = radius as isize;
     for di in -r..=r {
         let i = ci as isize + di;
@@ -174,7 +180,12 @@ mod tests {
     use super::*;
 
     /// Plants an idealized vortex at a cell center and returns the fields.
-    fn vortex_fields(grid: &Grid, ci: usize, cj: usize, deficit_pa: f32) -> (Field2, Field2, Field2, Field2) {
+    fn vortex_fields(
+        grid: &Grid,
+        ci: usize,
+        cj: usize,
+        deficit_pa: f32,
+    ) -> (Field2, Field2, Field2, Field2) {
         let mut psl = Field2::constant(grid.clone(), 101_300.0);
         let mut wind = Field2::constant(grid.clone(), 5.0);
         let mut tas = Field2::constant(grid.clone(), 300.0);

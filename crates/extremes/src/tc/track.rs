@@ -50,10 +50,7 @@ impl Track {
 
     /// Minimum central pressure over the lifetime, Pa.
     pub fn min_pressure(&self) -> f32 {
-        self.points
-            .iter()
-            .map(|(_, d)| d.min_psl_pa)
-            .fold(f32::INFINITY, f32::min)
+        self.points.iter().map(|(_, d)| d.min_psl_pa).fold(f32::INFINITY, f32::min)
     }
 
     /// Maximum wind over the lifetime, m/s.
@@ -200,12 +197,7 @@ mod tests {
     #[test]
     fn two_simultaneous_cyclones_stay_separate() {
         let steps: Vec<Vec<Detection>> = (0..6)
-            .map(|t| {
-                vec![
-                    det(15.0, 140.0 - t as f64),
-                    det(-12.0, 60.0 + t as f64),
-                ]
-            })
+            .map(|t| vec![det(15.0, 140.0 - t as f64), det(-12.0, 60.0 + t as f64)])
             .collect();
         let tracks = stitch_tracks(&steps, &TrackParams::default());
         assert_eq!(tracks.len(), 2);
@@ -248,9 +240,8 @@ mod tests {
 
     #[test]
     fn dateline_crossing_track_survives() {
-        let steps: Vec<Vec<Detection>> = (0..6)
-            .map(|t| vec![det(15.0, (358.0 + t as f64 * 1.0) % 360.0)])
-            .collect();
+        let steps: Vec<Vec<Detection>> =
+            (0..6).map(|t| vec![det(15.0, (358.0 + t as f64 * 1.0) % 360.0)]).collect();
         let tracks = stitch_tracks(&steps, &TrackParams::default());
         assert_eq!(tracks.len(), 1, "dateline wrap must not split: {tracks:?}");
         assert_eq!(tracks[0].points.len(), 6);

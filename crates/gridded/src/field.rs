@@ -58,12 +58,7 @@ impl Field2 {
     /// Element-wise combination with another field on the same grid.
     pub fn zip_with<F: FnMut(f32, f32) -> f32>(&self, other: &Field2, mut f: F) -> Field2 {
         assert_eq!(self.grid, other.grid, "fields must share a grid");
-        let data = self
-            .data
-            .iter()
-            .zip(&other.data)
-            .map(|(&a, &b)| f(a, b))
-            .collect();
+        let data = self.data.iter().zip(&other.data).map(|(&a, &b)| f(a, b)).collect();
         Field2 { grid: self.grid.clone(), data }
     }
 
@@ -99,11 +94,7 @@ impl Field2 {
     /// Area-weighted global mean (cos-latitude weights).
     pub fn area_mean(&self) -> f64 {
         let w = self.grid.area_weights();
-        self.data
-            .iter()
-            .zip(&w)
-            .map(|(&v, &wi)| v as f64 * wi)
-            .sum()
+        self.data.iter().zip(&w).map(|(&v, &wi)| v as f64 * wi).sum()
     }
 
     /// Index of the minimum value as `(i, j)`, ignoring NaNs.

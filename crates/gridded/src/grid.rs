@@ -26,14 +26,7 @@ impl Grid {
     /// A global grid with the given cell counts, spanning 90°S–90°N and
     /// 0–360°E.
     pub fn global(nlat: usize, nlon: usize) -> Self {
-        Grid {
-            nlat,
-            nlon,
-            lat_south: -90.0,
-            lat_north: 90.0,
-            lon_west: 0.0,
-            lon_east: 360.0,
-        }
+        Grid { nlat, nlon, lat_south: -90.0, lat_north: 90.0, lon_west: 0.0, lon_east: 360.0 }
     }
 
     /// The paper's CMCC-CM3 atmosphere/ocean grid: 0.25°, 768 × 1152
@@ -49,7 +42,14 @@ impl Grid {
     }
 
     /// A regional (limited-area) grid.
-    pub fn regional(nlat: usize, nlon: usize, lat_south: f64, lat_north: f64, lon_west: f64, lon_east: f64) -> Self {
+    pub fn regional(
+        nlat: usize,
+        nlon: usize,
+        lat_south: f64,
+        lat_north: f64,
+        lon_west: f64,
+        lon_east: f64,
+    ) -> Self {
         Grid { nlat, nlon, lat_south, lat_north, lon_west, lon_east }
     }
 

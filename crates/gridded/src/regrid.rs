@@ -72,11 +72,7 @@ pub fn coarsen(src: &Field2, flat: usize, flon: usize) -> Field2 {
     let sg = &src.grid;
     assert_eq!(sg.nlat % flat, 0, "flat must divide nlat");
     assert_eq!(sg.nlon % flon, 0, "flon must divide nlon");
-    let g = Grid {
-        nlat: sg.nlat / flat,
-        nlon: sg.nlon / flon,
-        ..sg.clone()
-    };
+    let g = Grid { nlat: sg.nlat / flat, nlon: sg.nlon / flon, ..sg.clone() };
     let mut out = Vec::with_capacity(g.len());
     let norm = (flat * flon) as f32;
     for bi in 0..g.nlat {

@@ -68,10 +68,7 @@ impl ZScoreScaler {
         let mean = vals.iter().sum::<f64>() / vals.len() as f64;
         let var = vals.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / vals.len() as f64;
         let std = var.sqrt();
-        ZScoreScaler {
-            mean: mean as f32,
-            std: if std > 0.0 { std as f32 } else { 1.0 },
-        }
+        ZScoreScaler { mean: mean as f32, std: if std > 0.0 { std as f32 } else { 1.0 } }
     }
 
     /// Standardizes one value.

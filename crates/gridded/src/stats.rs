@@ -83,11 +83,7 @@ pub fn rmse(a: &[f32], b: &[f32]) -> f64 {
     if a.is_empty() {
         return f64::NAN;
     }
-    let ss: f64 = a
-        .iter()
-        .zip(b)
-        .map(|(&x, &y)| ((x - y) as f64).powi(2))
-        .sum();
+    let ss: f64 = a.iter().zip(b).map(|(&x, &y)| ((x - y) as f64).powi(2)).sum();
     (ss / a.len() as f64).sqrt()
 }
 

@@ -1,6 +1,8 @@
 //! Property tests on the raster toolbox invariants.
 
-use gridded::{coarsen, regrid_bilinear, Field2, Grid, MinMaxScaler, TileSpec, Tiling, ZScoreScaler};
+use gridded::{
+    coarsen, regrid_bilinear, Field2, Grid, MinMaxScaler, TileSpec, Tiling, ZScoreScaler,
+};
 use proptest::prelude::*;
 
 proptest! {

@@ -4,14 +4,23 @@
 //! Execution API which allows final users to run the deployed workflow as
 //! a simple REST invocation" (Section 4.1). This module is that API as a
 //! typed, in-process service: workflow developers register a topology and
-//! an entrypoint; end users deploy, run (with input overrides), poll
-//! status, and undeploy — never touching the infrastructure underneath.
+//! an entrypoint; end users deploy, submit executions, watch or wait on
+//! them through an [`ExecutionHandle`], and undeploy — never touching the
+//! infrastructure underneath.
+//!
+//! Executions run on their own thread: [`ExecutionApi::submit`] returns
+//! immediately with a handle offering [`ExecutionHandle::status`] (poll),
+//! [`ExecutionHandle::wait`] (block), and [`ExecutionHandle::events`]
+//! (the execution's observability record). The old synchronous
+//! [`ExecutionApi::run`] remains as a deprecated wrapper that submits and
+//! waits.
 
 use crate::error::{Error, Result};
 use crate::orchestrator::{DeploymentRecord, Orchestrator};
 use crate::tosca::Topology;
 use std::collections::BTreeMap;
-use std::sync::Mutex;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
 
 /// Lifecycle of one execution.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -21,9 +30,18 @@ pub enum ExecutionStatus {
     Failed { message: String },
 }
 
+impl ExecutionStatus {
+    /// True once the execution reached `Completed` or `Failed`.
+    pub fn is_terminal(&self) -> bool {
+        !matches!(self, ExecutionStatus::Running)
+    }
+}
+
 /// Entry point a workflow developer registers: receives the merged inputs,
-/// returns a result summary or an error message.
-pub type Entrypoint = Box<dyn Fn(&BTreeMap<String, String>) -> std::result::Result<String, String> + Send + Sync>;
+/// returns a result summary or an error message. Shared so executions can
+/// run it off-thread.
+pub type Entrypoint =
+    Arc<dyn Fn(&BTreeMap<String, String>) -> std::result::Result<String, String> + Send + Sync>;
 
 struct RegisteredWorkflow {
     topology: Topology,
@@ -36,21 +54,109 @@ struct Deployment {
     active: bool,
 }
 
+/// Shared state of one execution: the status cell the worker thread
+/// resolves, plus the execution's own event log.
+struct ExecCell {
+    workflow: Arc<str>,
+    status: Mutex<ExecutionStatus>,
+    cv: Condvar,
+    events: Mutex<Vec<obs::Event>>,
+}
+
+impl ExecCell {
+    fn record(&self, kind: obs::EventKind) {
+        let bus = obs::global();
+        self.events.lock().unwrap().push(bus.stamp(kind.clone()));
+        bus.emit(kind);
+    }
+}
+
 /// The Execution API service.
 pub struct ExecutionApi {
     orchestrator: Mutex<Orchestrator>,
     registry: Mutex<BTreeMap<String, RegisteredWorkflow>>,
     deployments: Mutex<Vec<Deployment>>,
-    executions: Mutex<Vec<ExecutionStatus>>,
+    executions: Mutex<Vec<Arc<ExecCell>>>,
 }
 
 /// Opaque deployment handle.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DeploymentId(pub usize);
 
-/// Opaque execution handle.
+/// Opaque execution identifier (index into the API's execution ledger).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ExecutionId(pub usize);
+
+/// Live handle onto a submitted execution.
+///
+/// Cloneable and detachable: dropping the handle does not cancel the
+/// execution, and [`ExecutionApi::status`] keeps answering for its
+/// [`ExecutionId`] after every handle is gone.
+#[derive(Clone)]
+pub struct ExecutionHandle {
+    id: ExecutionId,
+    cell: Arc<ExecCell>,
+}
+
+impl ExecutionHandle {
+    /// The ledger id, usable with [`ExecutionApi::status`].
+    pub fn id(&self) -> ExecutionId {
+        self.id
+    }
+
+    /// Name of the workflow this execution runs.
+    pub fn workflow(&self) -> &str {
+        &self.cell.workflow
+    }
+
+    /// Non-blocking status poll.
+    pub fn status(&self) -> ExecutionStatus {
+        self.cell.status.lock().unwrap().clone()
+    }
+
+    /// Blocks until the execution reaches a terminal status and returns it.
+    pub fn wait(&self) -> ExecutionStatus {
+        let mut st = self.cell.status.lock().unwrap();
+        while !st.is_terminal() {
+            st = self.cell.cv.wait(st).unwrap();
+        }
+        st.clone()
+    }
+
+    /// Blocks up to `timeout`; returns `None` if still running after that.
+    pub fn wait_timeout(&self, timeout: Duration) -> Option<ExecutionStatus> {
+        let deadline = Instant::now() + timeout;
+        let mut st = self.cell.status.lock().unwrap();
+        while !st.is_terminal() {
+            let now = Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            let (next, res) = self.cell.cv.wait_timeout(st, deadline - now).unwrap();
+            st = next;
+            if res.timed_out() && !st.is_terminal() {
+                return None;
+            }
+        }
+        Some(st.clone())
+    }
+
+    /// The execution's observability record so far: `ExecutionStarted`
+    /// when submitted, `ExecutionFinished` once terminal.
+    pub fn events(&self) -> Vec<obs::Event> {
+        self.cell.events.lock().unwrap().clone()
+    }
+}
+
+impl std::fmt::Debug for ExecutionHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ExecutionHandle")
+            .field("id", &self.id)
+            .field("workflow", &self.workflow())
+            .field("status", &self.status())
+            .finish()
+    }
+}
 
 impl ExecutionApi {
     /// Creates the service.
@@ -66,12 +172,15 @@ impl ExecutionApi {
     /// Developer interface: registers (or replaces) a workflow by name.
     pub fn register<F>(&self, topology: Topology, entry: F)
     where
-        F: Fn(&BTreeMap<String, String>) -> std::result::Result<String, String> + Send + Sync + 'static,
+        F: Fn(&BTreeMap<String, String>) -> std::result::Result<String, String>
+            + Send
+            + Sync
+            + 'static,
     {
-        self.registry.lock().unwrap().insert(
-            topology.name.clone(),
-            RegisteredWorkflow { topology, entry: Box::new(entry) },
-        );
+        self.registry
+            .lock()
+            .unwrap()
+            .insert(topology.name.clone(), RegisteredWorkflow { topology, entry: Arc::new(entry) });
     }
 
     /// Registered workflow names.
@@ -101,15 +210,16 @@ impl ExecutionApi {
             .ok_or_else(|| Error::NotFound(format!("deployment {}", id.0)))
     }
 
-    /// End-user interface: runs a deployed workflow, overriding topology
-    /// inputs with `overrides` ("Input arguments can be specified to
-    /// configure the workflow"). Synchronous: returns when the entrypoint
-    /// finishes, with the execution handle recording the outcome.
-    pub fn run(
+    /// End-user interface: submits an execution of a deployed workflow,
+    /// overriding topology inputs with `overrides` ("Input arguments can
+    /// be specified to configure the workflow"). The entrypoint runs on
+    /// its own thread; the returned handle polls, waits, or replays the
+    /// execution's events.
+    pub fn submit(
         &self,
         id: DeploymentId,
         overrides: &BTreeMap<String, String>,
-    ) -> Result<ExecutionId> {
+    ) -> Result<ExecutionHandle> {
         let (workflow, mut inputs) = {
             let deployments = self.deployments.lock().unwrap();
             let d = deployments
@@ -127,29 +237,90 @@ impl ExecutionApi {
         for (k, v) in overrides {
             inputs.insert(k.clone(), v.clone());
         }
-        let outcome = {
+        let entry = {
             let registry = self.registry.lock().unwrap();
             let wf = registry
                 .get(&workflow)
                 .ok_or_else(|| Error::NotFound(format!("workflow '{workflow}'")))?;
-            (wf.entry)(&inputs)
+            Arc::clone(&wf.entry)
         };
-        let status = match outcome {
-            Ok(result) => ExecutionStatus::Completed { result },
-            Err(message) => ExecutionStatus::Failed { message },
+
+        let workflow: Arc<str> = workflow.into();
+        let cell = Arc::new(ExecCell {
+            workflow: Arc::clone(&workflow),
+            status: Mutex::new(ExecutionStatus::Running),
+            cv: Condvar::new(),
+            events: Mutex::new(Vec::new()),
+        });
+        let exec_id = {
+            let mut executions = self.executions.lock().unwrap();
+            executions.push(Arc::clone(&cell));
+            ExecutionId(executions.len() - 1)
         };
-        let mut executions = self.executions.lock().unwrap();
-        executions.push(status);
-        Ok(ExecutionId(executions.len() - 1))
+        cell.record(obs::EventKind::ExecutionStarted {
+            execution: exec_id.0 as u64,
+            workflow: Arc::clone(&workflow),
+        });
+
+        let worker_cell = Arc::clone(&cell);
+        std::thread::spawn(move || {
+            let t0 = Instant::now();
+            let outcome = entry(&inputs);
+            let micros = t0.elapsed().as_micros() as u64;
+            let (status, ok) = match outcome {
+                Ok(result) => (ExecutionStatus::Completed { result }, true),
+                Err(message) => (ExecutionStatus::Failed { message }, false),
+            };
+            let outcome_label = if ok { "completed" } else { "failed" };
+            obs::registry()
+                .counter("hpcwaas_executions_total", &[("outcome", outcome_label)])
+                .inc();
+            *worker_cell.status.lock().unwrap() = status;
+            worker_cell.record(obs::EventKind::ExecutionFinished {
+                execution: exec_id.0 as u64,
+                workflow,
+                ok,
+                micros,
+            });
+            worker_cell.cv.notify_all();
+        });
+
+        Ok(ExecutionHandle { id: exec_id, cell })
     }
 
-    /// Polls an execution's status.
+    /// Synchronous run: submits and waits for the terminal status.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `submit` and the returned `ExecutionHandle` (status/wait/events)"
+    )]
+    pub fn run(
+        &self,
+        id: DeploymentId,
+        overrides: &BTreeMap<String, String>,
+    ) -> Result<ExecutionId> {
+        let handle = self.submit(id, overrides)?;
+        handle.wait();
+        Ok(handle.id())
+    }
+
+    /// Polls an execution's status by ledger id (handle-free view; the
+    /// REST-ish surface a remote client would get).
     pub fn status(&self, id: ExecutionId) -> Result<ExecutionStatus> {
         self.executions
             .lock()
             .unwrap()
             .get(id.0)
-            .cloned()
+            .map(|cell| cell.status.lock().unwrap().clone())
+            .ok_or_else(|| Error::NotFound(format!("execution {}", id.0)))
+    }
+
+    /// Re-attaches a handle to an execution in the ledger.
+    pub fn handle(&self, id: ExecutionId) -> Result<ExecutionHandle> {
+        self.executions
+            .lock()
+            .unwrap()
+            .get(id.0)
+            .map(|cell| ExecutionHandle { id, cell: Arc::clone(cell) })
             .ok_or_else(|| Error::NotFound(format!("execution {}", id.0)))
     }
 
@@ -203,13 +374,15 @@ mod tests {
         assert_eq!(api.workflows(), vec!["climate-extremes"]);
         let dep = api.deploy("climate-extremes").unwrap();
         assert!(api.deployment_cost_ms(dep).unwrap() > 0);
-        let exec = api.run(dep, &BTreeMap::new()).unwrap();
-        match api.status(exec).unwrap() {
+        let handle = api.submit(dep, &BTreeMap::new()).unwrap();
+        match handle.wait() {
             ExecutionStatus::Completed { result } => {
                 assert_eq!(result, "ran 1 years on test_small grid");
             }
             other => panic!("unexpected status {other:?}"),
         }
+        // The ledger view agrees with the handle view.
+        assert_eq!(api.status(handle.id()).unwrap(), handle.status());
         api.undeploy(dep).unwrap();
     }
 
@@ -219,8 +392,8 @@ mod tests {
         let dep = api.deploy("climate-extremes").unwrap();
         let mut over = BTreeMap::new();
         over.insert("years".to_string(), "5".to_string());
-        let exec = api.run(dep, &over).unwrap();
-        match api.status(exec).unwrap() {
+        let handle = api.submit(dep, &over).unwrap();
+        match handle.wait() {
             ExecutionStatus::Completed { result } => assert!(result.starts_with("ran 5 years")),
             other => panic!("unexpected {other:?}"),
         }
@@ -232,8 +405,9 @@ mod tests {
         let dep = api.deploy("climate-extremes").unwrap();
         let mut over = BTreeMap::new();
         over.insert("fail".to_string(), "yes".to_string());
-        let exec = api.run(dep, &over).unwrap();
-        assert!(matches!(api.status(exec).unwrap(), ExecutionStatus::Failed { .. }));
+        let handle = api.submit(dep, &over).unwrap();
+        assert!(matches!(handle.wait(), ExecutionStatus::Failed { .. }));
+        assert!(matches!(api.status(handle.id()).unwrap(), ExecutionStatus::Failed { .. }));
     }
 
     #[test]
@@ -241,6 +415,7 @@ mod tests {
         let api = api_with_echo();
         assert!(matches!(api.deploy("ghost"), Err(Error::NotFound(_))));
         assert!(matches!(api.status(ExecutionId(9)), Err(Error::NotFound(_))));
+        assert!(matches!(api.handle(ExecutionId(9)), Err(Error::NotFound(_))));
         assert!(matches!(api.undeploy(DeploymentId(9)), Err(Error::NotFound(_))));
     }
 
@@ -249,7 +424,7 @@ mod tests {
         let api = api_with_echo();
         let dep = api.deploy("climate-extremes").unwrap();
         api.undeploy(dep).unwrap();
-        assert!(matches!(api.run(dep, &BTreeMap::new()), Err(Error::BadState { .. })));
+        assert!(matches!(api.submit(dep, &BTreeMap::new()), Err(Error::BadState { .. })));
         assert!(matches!(api.undeploy(dep), Err(Error::BadState { .. })));
     }
 
@@ -263,6 +438,49 @@ mod tests {
         assert!(api.deployment_cost_ms(b).unwrap() < api.deployment_cost_ms(a).unwrap());
         api.undeploy(a).unwrap();
         // b still runnable.
-        assert!(api.run(b, &BTreeMap::new()).is_ok());
+        assert!(api.submit(b, &BTreeMap::new()).unwrap().wait().is_terminal());
+    }
+
+    #[test]
+    fn handle_records_execution_events() {
+        let api = api_with_echo();
+        let dep = api.deploy("climate-extremes").unwrap();
+        let handle = api.submit(dep, &BTreeMap::new()).unwrap();
+        handle.wait();
+        let events = handle.events();
+        assert_eq!(events.len(), 2);
+        assert!(matches!(
+            &events[0].kind,
+            obs::EventKind::ExecutionStarted { execution, workflow }
+                if *execution == handle.id().0 as u64 && &**workflow == "climate-extremes"
+        ));
+        assert!(matches!(&events[1].kind, obs::EventKind::ExecutionFinished { ok: true, .. }));
+        // Re-attached handles see the same record.
+        let again = api.handle(handle.id()).unwrap();
+        assert_eq!(again.events().len(), 2);
+        assert_eq!(again.workflow(), "climate-extremes");
+    }
+
+    #[test]
+    fn wait_timeout_expires_while_running() {
+        let api = ExecutionApi::new();
+        api.register(climate_case_study(), |_| {
+            std::thread::sleep(Duration::from_millis(200));
+            Ok("slow".into())
+        });
+        let dep = api.deploy("climate-extremes").unwrap();
+        let handle = api.submit(dep, &BTreeMap::new()).unwrap();
+        assert!(handle.wait_timeout(Duration::from_millis(1)).is_none());
+        assert_eq!(handle.wait(), ExecutionStatus::Completed { result: "slow".into() });
+        assert!(handle.wait_timeout(Duration::from_millis(1)).is_some());
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_run_still_blocks_to_completion() {
+        let api = api_with_echo();
+        let dep = api.deploy("climate-extremes").unwrap();
+        let exec = api.run(dep, &BTreeMap::new()).unwrap();
+        assert!(api.status(exec).unwrap().is_terminal());
     }
 }

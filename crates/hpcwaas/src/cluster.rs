@@ -45,14 +45,7 @@ pub struct JobSpec {
 impl JobSpec {
     /// Convenience constructor for CPU jobs submitted at time zero.
     pub fn new(name: &str, cores: u32, duration_ms: u64) -> Self {
-        JobSpec {
-            name: name.into(),
-            cores,
-            memory_gb: 1,
-            gpus: 0,
-            duration_ms,
-            submit_ms: 0,
-        }
+        JobSpec { name: name.into(), cores, memory_gb: 1, gpus: 0, duration_ms, submit_ms: 0 }
     }
 
     /// Builder: submission time.
@@ -142,29 +135,27 @@ impl Cluster {
         let mut placements: Vec<Placement> = Vec::new();
         let mut now: u64 = 0;
 
-        let free_at = |running: &[(usize, u64, u32, u32, u32)], node: usize, t: u64, nodes: &[NodeSpec]| {
-            let mut cores = nodes[node].cores;
-            let mut gpus = nodes[node].gpus;
-            let mut mem = nodes[node].memory_gb;
-            for &(n, end, c, g, m) in running {
-                if n == node && end > t {
-                    cores = cores.saturating_sub(c);
-                    gpus = gpus.saturating_sub(g);
-                    mem = mem.saturating_sub(m);
+        let free_at =
+            |running: &[(usize, u64, u32, u32, u32)], node: usize, t: u64, nodes: &[NodeSpec]| {
+                let mut cores = nodes[node].cores;
+                let mut gpus = nodes[node].gpus;
+                let mut mem = nodes[node].memory_gb;
+                for &(n, end, c, g, m) in running {
+                    if n == node && end > t {
+                        cores = cores.saturating_sub(c);
+                        gpus = gpus.saturating_sub(g);
+                        mem = mem.saturating_sub(m);
+                    }
                 }
-            }
-            (cores, gpus, mem)
-        };
+                (cores, gpus, mem)
+            };
 
         while !pending.is_empty() {
             // Drop finished jobs.
             running.retain(|&(_, end, ..)| end > now);
 
             // Find the FCFS head among jobs already submitted.
-            let head_idx = pending
-                .iter()
-                .position(|j| j.submit_ms <= now)
-                .unwrap_or(usize::MAX);
+            let head_idx = pending.iter().position(|j| j.submit_ms <= now).unwrap_or(usize::MAX);
 
             if head_idx == usize::MAX {
                 // Nothing submitted yet: jump to the next submission.
@@ -241,11 +232,8 @@ impl Cluster {
 
             // Advance time to the next event.
             let next_end = running.iter().map(|&(_, e, ..)| e).min();
-            let next_submit = pending
-                .iter()
-                .filter(|j| j.submit_ms > now)
-                .map(|j| j.submit_ms)
-                .min();
+            let next_submit =
+                pending.iter().filter(|j| j.submit_ms > now).map(|j| j.submit_ms).min();
             now = match (next_end, next_submit) {
                 (Some(a), Some(b)) => a.min(b),
                 (Some(a), None) => a,
@@ -255,12 +243,24 @@ impl Cluster {
         }
 
         let makespan_ms = placements.iter().map(|p| p.end_ms).max().unwrap_or(0);
-        let used: u64 = placements
-            .iter()
-            .map(|p| (p.end_ms - p.start_ms) * p.job.cores as u64)
-            .sum();
-        let capacity: u64 =
-            makespan_ms * self.nodes.iter().map(|n| n.cores as u64).sum::<u64>();
+
+        let bus = obs::global();
+        let r = obs::registry();
+        let wait_ms = r.histogram("hpcwaas_job_wait_ms", &[]);
+        r.counter("hpcwaas_jobs_scheduled_total", &[]).add(placements.len() as u64);
+        for p in &placements {
+            wait_ms.observe(p.wait_ms());
+            bus.emit_with(|| obs::EventKind::JobScheduled {
+                job: p.job.name.as_str().into(),
+                node: p.node,
+                wait_ms: p.wait_ms(),
+                duration_ms: p.job.duration_ms,
+            });
+        }
+
+        let used: u64 =
+            placements.iter().map(|p| (p.end_ms - p.start_ms) * p.job.cores as u64).sum();
+        let capacity: u64 = makespan_ms * self.nodes.iter().map(|n| n.cores as u64).sum::<u64>();
         Schedule {
             placements,
             makespan_ms,
@@ -286,13 +286,8 @@ mod tests {
     #[test]
     fn oversized_job_rejected() {
         let mut c = Cluster::homogeneous(2, 8);
-        assert!(matches!(
-            c.submit(JobSpec::new("huge", 64, 10)),
-            Err(Error::UnsatisfiableJob(_))
-        ));
-        assert!(c
-            .submit(JobSpec::new("gpu", 1, 10).with_gpus(1))
-            .is_err());
+        assert!(matches!(c.submit(JobSpec::new("huge", 64, 10)), Err(Error::UnsatisfiableJob(_))));
+        assert!(c.submit(JobSpec::new("gpu", 1, 10).with_gpus(1)).is_err());
     }
 
     #[test]

@@ -136,6 +136,15 @@ impl BuildService {
             }
             layers.push(id);
         }
+        let r = obs::registry();
+        r.counter("hpcwaas_layers_built_total", &[]).add(built as u64);
+        r.counter("hpcwaas_layer_cache_hits_total", &[]).add(cache_hits as u64);
+        obs::global().emit_with(|| obs::EventKind::ImageBuilt {
+            image: spec.name.as_str().into(),
+            built,
+            cache_hits,
+            cost_ms,
+        });
         ImageManifest { name: spec.name.clone(), layers, cache_hits, built, cost_ms }
     }
 }
@@ -256,8 +265,10 @@ mod tests {
         let a = BuildService::layer_chain(&spec("x", &["p1", "p2"]));
         let b = BuildService::layer_chain(&spec("y", &["p1", "p2"]));
         // Identity depends on recipe, not image name.
-        assert_eq!(a.iter().map(|(id, _)| *id).collect::<Vec<_>>(),
-                   b.iter().map(|(id, _)| *id).collect::<Vec<_>>());
+        assert_eq!(
+            a.iter().map(|(id, _)| *id).collect::<Vec<_>>(),
+            b.iter().map(|(id, _)| *id).collect::<Vec<_>>()
+        );
     }
 
     #[test]

@@ -107,10 +107,7 @@ impl DataLogistics {
     }
 
     fn link(&self, from: &Endpoint, to: &Endpoint) -> Link {
-        self.links
-            .get(&(from.clone(), to.clone()))
-            .copied()
-            .unwrap_or(self.default_link)
+        self.links.get(&(from.clone(), to.clone())).copied().unwrap_or(self.default_link)
     }
 
     /// Predicted virtual duration of one stage.
@@ -124,13 +121,23 @@ impl DataLogistics {
     pub fn execute(&mut self, spec: &PipelineSpec) -> TransferReport {
         let mut stages = Vec::with_capacity(spec.stages.len());
         let mut total_ms = 0;
+        let bus = obs::global();
+        let r = obs::registry();
+        let stage_ms = r.histogram("hpcwaas_stage_ms", &[]);
+        let bytes_total = r.counter("hpcwaas_transfer_bytes_total", &[]);
         for s in &spec.stages {
             let ms = self.predict_stage_ms(s);
             total_ms += ms;
+            stage_ms.observe(ms);
+            bytes_total.add(s.bytes);
+            bus.emit_with(|| obs::EventKind::TransferStaged {
+                label: s.label.as_str().into(),
+                bytes: s.bytes,
+                virtual_ms: ms,
+            });
             stages.push(StageReport { label: s.label.clone(), bytes: s.bytes, virtual_ms: ms });
         }
-        let report =
-            TransferReport { stages, total_ms, total_bytes: spec.total_bytes() };
+        let report = TransferReport { stages, total_ms, total_bytes: spec.total_bytes() };
         self.executed.push(report.clone());
         report
     }
@@ -185,9 +192,12 @@ mod tests {
         let mut dls = DataLogistics::new();
         dls.set_link("archive", "cloud", Link { bandwidth_mbps: 200.0, latency_ms: 10 });
         dls.set_link("cloud", "zeus", Link { bandwidth_mbps: 500.0, latency_ms: 5 });
-        let p = PipelineSpec::new()
-            .stage("in", "archive", "cloud", 100_000_000)
-            .stage("out", "cloud", "zeus", 100_000_000);
+        let p = PipelineSpec::new().stage("in", "archive", "cloud", 100_000_000).stage(
+            "out",
+            "cloud",
+            "zeus",
+            100_000_000,
+        );
         let r = dls.execute(&p);
         assert_eq!(r.stages.len(), 2);
         assert_eq!(r.total_ms, (10 + 500) + (5 + 200));

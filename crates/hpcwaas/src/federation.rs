@@ -206,11 +206,9 @@ impl Federation {
 
     fn site_index(&self, policy: Placement, class: TaskClass) -> usize {
         match policy {
-            Placement::SingleSite => self
-                .sites
-                .iter()
-                .position(|s| s.kind == SiteKind::HpcCompute)
-                .unwrap_or(0),
+            Placement::SingleSite => {
+                self.sites.iter().position(|s| s.kind == SiteKind::HpcCompute).unwrap_or(0)
+            }
             Placement::ClassAffinity => {
                 let want = class.preferred();
                 self.sites
@@ -250,8 +248,7 @@ impl Federation {
                 .next()
                 .and_then(|s| s.parse().ok())
                 .ok_or_else(|| Error::NotFound(format!("year in job '{}'", job.name)))?;
-            let dur =
-                (job.nominal_ms as f64 * job.class.speed_factor(self.sites[hpc].kind)) as u64;
+            let dur = (job.nominal_ms as f64 * job.class.speed_factor(self.sites[hpc].kind)) as u64;
             t += dur;
             year_done_ms[y] = t;
         }
@@ -295,9 +292,7 @@ impl Federation {
             let ready = transfer_done[&(y, site)];
             let dur =
                 (job.nominal_ms as f64 * job.class.speed_factor(self.sites[site].kind)) as u64;
-            site_clusters[site].submit(
-                JobSpec::new(&job.name, job.cores, dur.max(1)).at(ready),
-            )?;
+            site_clusters[site].submit(JobSpec::new(&job.name, job.cores, dur.max(1)).at(ready))?;
             *jobs_per_site.entry(self.sites[site].name.clone()).or_default() += 1;
         }
 
@@ -335,16 +330,9 @@ impl Federation {
                 _ => None,
             };
             if let Some(kind) = kind {
-                let nodes = t
-                    .properties
-                    .get("nodes")
-                    .and_then(|v| v.parse().ok())
-                    .unwrap_or(4);
-                let cores = t
-                    .properties
-                    .get("cores_per_node")
-                    .and_then(|v| v.parse().ok())
-                    .unwrap_or(8);
+                let nodes = t.properties.get("nodes").and_then(|v| v.parse().ok()).unwrap_or(4);
+                let cores =
+                    t.properties.get("cores_per_node").and_then(|v| v.parse().ok()).unwrap_or(8);
                 sites.push(Site {
                     name: t.name.clone(),
                     kind,
@@ -364,11 +352,7 @@ impl Federation {
                     .get("bandwidth_mbps")
                     .and_then(|v| v.parse().ok())
                     .unwrap_or(100.0);
-                let lat = t
-                    .properties
-                    .get("latency_ms")
-                    .and_then(|v| v.parse().ok())
-                    .unwrap_or(50);
+                let lat = t.properties.get("latency_ms").and_then(|v| v.parse().ok()).unwrap_or(50);
                 dls.set_link(from, to, Link { bandwidth_mbps: bw, latency_ms: lat });
             }
         }
@@ -513,9 +497,7 @@ mod tests {
         assert_eq!(fed.sites[2].kind, SiteKind::GpuPartition);
         // Evaluating against this federation works end to end, and the
         // TOSCA-declared links are in effect (hpc->cloud at 500 MB/s).
-        let report = fed
-            .evaluate(&workload(2, 1_000_000_000), Placement::ClassAffinity)
-            .unwrap();
+        let report = fed.evaluate(&workload(2, 1_000_000_000), Placement::ClassAffinity).unwrap();
         assert!(report.bytes_moved > 0);
         // 1 GB at 500 MB/s = 2000 ms + 30 latency (cloud) plus the gpu leg
         // (300 MB/s): 3334 + 40.

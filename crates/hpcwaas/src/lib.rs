@@ -31,7 +31,7 @@ pub mod federation;
 pub mod orchestrator;
 pub mod tosca;
 
-pub use api::{ExecutionApi, ExecutionStatus};
+pub use api::{ExecutionApi, ExecutionHandle, ExecutionStatus};
 pub use cluster::{Cluster, JobSpec};
 pub use containers::{BuildService, ImageSpec};
 pub use dls::{DataLogistics, Endpoint, PipelineSpec};

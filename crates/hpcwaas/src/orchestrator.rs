@@ -27,8 +27,7 @@ impl DeploymentPlan {
     pub fn derive(topology: &Topology) -> Result<DeploymentPlan> {
         topology.validate()?;
         let names: Vec<&str> = topology.templates.iter().map(|t| t.name.as_str()).collect();
-        let index: HashMap<&str, usize> =
-            names.iter().enumerate().map(|(i, n)| (*n, i)).collect();
+        let index: HashMap<&str, usize> = names.iter().enumerate().map(|(i, n)| (*n, i)).collect();
         let n = names.len();
         let mut indegree = vec![0usize; n];
         let mut dependents: Vec<Vec<usize>> = vec![Vec::new(); n];
@@ -52,10 +51,7 @@ impl DeploymentPlan {
             }
         }
         if order.len() != n {
-            let stuck: Vec<&str> = (0..n)
-                .filter(|&i| indegree[i] > 0)
-                .map(|i| names[i])
-                .collect();
+            let stuck: Vec<&str> = (0..n).filter(|&i| indegree[i] > 0).map(|i| names[i]).collect();
             return Err(Error::CyclicTopology(format!("unresolved: {stuck:?}")));
         }
         Ok(DeploymentPlan { order })
@@ -113,17 +109,10 @@ impl Orchestrator {
                     self.images.build(&spec).cost_ms
                 }
                 "data.Pipeline" => {
-                    let bytes: u64 = template
-                        .properties
-                        .get("bytes")
-                        .and_then(|b| b.parse().ok())
-                        .unwrap_or(0);
+                    let bytes: u64 =
+                        template.properties.get("bytes").and_then(|b| b.parse().ok()).unwrap_or(0);
                     let from = template.properties.get("source").cloned().unwrap_or_default();
-                    let to = template
-                        .properties
-                        .get("destination")
-                        .cloned()
-                        .unwrap_or_default();
+                    let to = template.properties.get("destination").cloned().unwrap_or_default();
                     let p = PipelineSpec::new().stage(name, &from, &to, bytes);
                     self.dls.execute(&p).total_ms
                 }

@@ -175,9 +175,8 @@ impl Topology {
                             inputs.insert(k.trim().to_string(), v.trim().to_string());
                         }
                         Section::Templates => {
-                            let tname = content
-                                .strip_suffix(':')
-                                .ok_or_else(|| err("expected 'name:'"))?;
+                            let tname =
+                                content.strip_suffix(':').ok_or_else(|| err("expected 'name:'"))?;
                             if templates.iter().any(|t: &NodeTemplate| t.name == tname) {
                                 return Err(err(&format!("duplicate template '{tname}'")));
                             }
@@ -214,9 +213,8 @@ impl Topology {
                         .last_mut()
                         .ok_or_else(|| err("template body before any template"))?;
                     if in_properties {
-                        let (k, v) = content
-                            .split_once(':')
-                            .ok_or_else(|| err("expected 'key: value'"))?;
+                        let (k, v) =
+                            content.split_once(':').ok_or_else(|| err("expected 'key: value'"))?;
                         t.properties.insert(k.trim().to_string(), v.trim().to_string());
                     } else if in_requirements {
                         let item = content
@@ -352,10 +350,7 @@ mod tests {
 
     #[test]
     fn missing_header_rejected() {
-        assert!(matches!(
-            Topology::parse("inputs:\n  a: 1\n"),
-            Err(Error::Parse { .. })
-        ));
+        assert!(matches!(Topology::parse("inputs:\n  a: 1\n"), Err(Error::Parse { .. })));
     }
 
     #[test]

@@ -27,8 +27,8 @@ fn many_users_deploy_and_run_concurrently() {
             let dep = api.deploy("climate-extremes").unwrap();
             let mut inputs = BTreeMap::new();
             inputs.insert("user".to_string(), u.to_string());
-            let exec = api.run(dep, &inputs).unwrap();
-            let status = api.status(exec).unwrap();
+            let handle = api.submit(dep, &inputs).unwrap();
+            let status = handle.wait();
             assert!(matches!(
                 status,
                 ExecutionStatus::Completed { ref result } if result.contains(&format!("user {u}"))
@@ -46,7 +46,7 @@ fn many_users_deploy_and_run_concurrently() {
     assert_eq!(ids.len(), 8);
     // Everything is undeployed: further runs rejected.
     for d in deps {
-        assert!(api.run(d, &BTreeMap::new()).is_err());
+        assert!(api.submit(d, &BTreeMap::new()).is_err());
     }
 }
 

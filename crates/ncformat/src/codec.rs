@@ -181,10 +181,7 @@ pub fn f64_bytes(data: &[f64]) -> Vec<u8> {
 
 /// Decodes little-endian bytes into `f32`s.
 pub fn bytes_f32(bytes: &[u8]) -> Vec<f32> {
-    bytes
-        .chunks_exact(4)
-        .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
-        .collect()
+    bytes.chunks_exact(4).map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]])).collect()
 }
 
 /// Decodes little-endian bytes into `f64`s.

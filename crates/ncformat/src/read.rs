@@ -96,10 +96,7 @@ impl Reader {
 
     /// Variable metadata lookup.
     pub fn variable(&self, name: &str) -> Result<&Variable> {
-        self.vars
-            .iter()
-            .find(|v| v.name == name)
-            .ok_or_else(|| Error::UnknownVariable(name.into()))
+        self.vars.iter().find(|v| v.name == name).ok_or_else(|| Error::UnknownVariable(name.into()))
     }
 
     /// Dimension lookup by name.
@@ -150,16 +147,19 @@ impl Reader {
     /// Reads an entire `i32` variable.
     pub fn read_all_i32(&self, name: &str) -> Result<Vec<i32>> {
         let bytes = self.whole(name, DataType::I32)?;
-        Ok(bytes
-            .chunks_exact(4)
-            .map(|c| i32::from_le_bytes([c[0], c[1], c[2], c[3]]))
-            .collect())
+        Ok(bytes.chunks_exact(4).map(|c| i32::from_le_bytes([c[0], c[1], c[2], c[3]])).collect())
     }
 
     /// Validates a hyperslab request against a variable's shape and returns
     /// the byte-level read plan: a list of `(file_offset, elems)` contiguous
     /// runs in output order.
-    fn slab_plan(&self, name: &str, start: &[usize], count: &[usize], want: DataType) -> Result<Vec<(u64, usize)>> {
+    fn slab_plan(
+        &self,
+        name: &str,
+        start: &[usize],
+        count: &[usize],
+        want: DataType,
+    ) -> Result<Vec<(u64, usize)>> {
         let v = self.variable(name)?;
         if v.dtype != want {
             return Err(Error::TypeMismatch { want: want.name(), have: v.dtype.name() });
@@ -320,10 +320,7 @@ mod tests {
         let path = tmp("oob.ncx");
         sample(&path);
         let rd = Reader::open(&path).unwrap();
-        assert!(matches!(
-            rd.read_slab_f32("v", &[0, 0, 3], &[1, 1, 2]),
-            Err(Error::BadSlab(_))
-        ));
+        assert!(matches!(rd.read_slab_f32("v", &[0, 0, 3], &[1, 1, 2]), Err(Error::BadSlab(_))));
         assert!(matches!(rd.read_slab_f32("v", &[0, 0], &[1, 1]), Err(Error::BadSlab(_))));
     }
 

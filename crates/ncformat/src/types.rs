@@ -194,10 +194,8 @@ mod tests {
 
     #[test]
     fn variable_shape_math() {
-        let dims = vec![
-            Dimension { name: "t".into(), size: 4 },
-            Dimension { name: "y".into(), size: 3 },
-        ];
+        let dims =
+            vec![Dimension { name: "t".into(), size: 4 }, Dimension { name: "y".into(), size: 3 }];
         let v = Variable {
             name: "v".into(),
             dtype: DataType::F32,

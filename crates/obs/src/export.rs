@@ -1,0 +1,361 @@
+//! Event-stream exporters: JSONL, Chrome trace format, and (via
+//! [`crate::metrics::Registry::render_prometheus`]) a Prometheus text dump.
+//!
+//! All JSON here is hand-rolled — the crate is dependency-free by
+//! design — so the escaping helper is deliberately strict: everything
+//! outside the printable-ASCII comfort zone becomes a `\u` escape.
+
+use crate::event::{Event, EventKind};
+use std::fmt::Write as _;
+
+/// Escape `s` for inclusion inside a JSON string literal.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 || (c as u32) > 0x7e => {
+                let mut buf = [0u16; 2];
+                for unit in c.encode_utf16(&mut buf) {
+                    let _ = write!(out, "\\u{unit:04x}");
+                }
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+impl Event {
+    /// One-line JSON object for the JSONL event log.
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(128);
+        let _ = write!(
+            s,
+            "{{\"seq\":{},\"ts_us\":{},\"thread\":{},\"event\":\"{}\"",
+            self.seq,
+            self.ts_micros,
+            self.thread,
+            self.kind.tag()
+        );
+        let field_u = |s: &mut String, k: &str, v: u64| {
+            let _ = write!(s, ",\"{k}\":{v}");
+        };
+        let field_s = |s: &mut String, k: &str, v: &str| {
+            let _ = write!(s, ",\"{k}\":\"{}\"", json_escape(v));
+        };
+        match &self.kind {
+            EventKind::TaskSubmitted { task, name } => {
+                field_u(&mut s, "task", *task);
+                field_s(&mut s, "name", name);
+            }
+            EventKind::TaskReady { task } => field_u(&mut s, "task", *task),
+            EventKind::TaskStarted { task, name, worker, attempt } => {
+                field_u(&mut s, "task", *task);
+                field_s(&mut s, "name", name);
+                field_u(&mut s, "worker", *worker as u64);
+                field_u(&mut s, "attempt", *attempt as u64);
+            }
+            EventKind::TaskRetried { task, name, attempt } => {
+                field_u(&mut s, "task", *task);
+                field_s(&mut s, "name", name);
+                field_u(&mut s, "attempt", *attempt as u64);
+            }
+            EventKind::TaskFinished { task, name, worker, outcome, micros } => {
+                field_u(&mut s, "task", *task);
+                field_s(&mut s, "name", name);
+                if let Some(w) = worker {
+                    field_u(&mut s, "worker", *w as u64);
+                }
+                field_s(&mut s, "outcome", outcome.label());
+                field_u(&mut s, "dur_us", *micros);
+            }
+            EventKind::QueueDepth { ready, running } => {
+                field_u(&mut s, "ready", *ready as u64);
+                field_u(&mut s, "running", *running as u64);
+            }
+            EventKind::KernelDone { op, server, rows, micros } => {
+                field_s(&mut s, "op", op);
+                field_u(&mut s, "server", *server as u64);
+                field_u(&mut s, "rows", *rows as u64);
+                field_u(&mut s, "dur_us", *micros);
+            }
+            EventKind::OperatorDone { op, fragments, micros } => {
+                field_s(&mut s, "op", op);
+                field_u(&mut s, "fragments", *fragments as u64);
+                field_u(&mut s, "dur_us", *micros);
+            }
+            EventKind::StepCompleted { year, day, micros } => {
+                let _ = write!(s, ",\"year\":{year}");
+                field_u(&mut s, "day", *day as u64);
+                field_u(&mut s, "dur_us", *micros);
+            }
+            EventKind::FileWritten { path, bytes, micros } => {
+                field_s(&mut s, "path", path);
+                field_u(&mut s, "bytes", *bytes);
+                field_u(&mut s, "dur_us", *micros);
+            }
+            EventKind::JobScheduled { job, node, wait_ms, duration_ms } => {
+                field_s(&mut s, "job", job);
+                field_u(&mut s, "node", *node as u64);
+                field_u(&mut s, "wait_ms", *wait_ms);
+                field_u(&mut s, "duration_ms", *duration_ms);
+            }
+            EventKind::TransferStaged { label, bytes, virtual_ms } => {
+                field_s(&mut s, "label", label);
+                field_u(&mut s, "bytes", *bytes);
+                field_u(&mut s, "virtual_ms", *virtual_ms);
+            }
+            EventKind::ImageBuilt { image, built, cache_hits, cost_ms } => {
+                field_s(&mut s, "image", image);
+                field_u(&mut s, "built", *built as u64);
+                field_u(&mut s, "cache_hits", *cache_hits as u64);
+                field_u(&mut s, "cost_ms", *cost_ms);
+            }
+            EventKind::ExecutionStarted { execution, workflow } => {
+                field_u(&mut s, "execution", *execution);
+                field_s(&mut s, "workflow", workflow);
+            }
+            EventKind::ExecutionFinished { execution, workflow, ok, micros } => {
+                field_u(&mut s, "execution", *execution);
+                field_s(&mut s, "workflow", workflow);
+                let _ = write!(s, ",\"ok\":{ok}");
+                field_u(&mut s, "dur_us", *micros);
+            }
+            EventKind::SpanCompleted { name, micros } => {
+                field_s(&mut s, "name", name);
+                field_u(&mut s, "dur_us", *micros);
+            }
+        }
+        s.push('}');
+        s
+    }
+}
+
+/// Render events as a JSONL document (one event object per line).
+pub fn jsonl(events: &[Event]) -> String {
+    let mut out = String::new();
+    for e in events {
+        out.push_str(&e.to_json());
+        out.push('\n');
+    }
+    out
+}
+
+/// Render events in Chrome trace format (the `{"traceEvents": [...]}`
+/// JSON object loadable in `chrome://tracing` and Perfetto).
+///
+/// Duration-carrying events become complete ("X") slices whose start is
+/// back-computed as `ts - dur` (our events are stamped at completion);
+/// `QueueDepth` becomes counter ("C") series; everything else becomes an
+/// instant ("i") mark.
+pub fn chrome_trace(events: &[Event]) -> String {
+    let mut out = String::from("{\"traceEvents\":[\n");
+    let mut first = true;
+    for e in events {
+        let row = chrome_row(e);
+        if !first {
+            out.push_str(",\n");
+        }
+        first = false;
+        out.push_str(&row);
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
+fn chrome_row(e: &Event) -> String {
+    let tid = e.thread;
+    match &e.kind {
+        EventKind::QueueDepth { ready, running } => {
+            format!(
+                "{{\"name\":\"queue\",\"ph\":\"C\",\"ts\":{},\"pid\":0,\"tid\":0,\"args\":{{\"ready\":{},\"running\":{}}}}}",
+                e.ts_micros, ready, running
+            )
+        }
+        kind => match kind.micros() {
+            Some(dur) => {
+                let name = slice_name(kind);
+                let ts = e.ts_micros.saturating_sub(dur);
+                format!(
+                    "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":0,\"tid\":{},\"args\":{}}}",
+                    json_escape(&name),
+                    kind.tag(),
+                    ts,
+                    dur,
+                    tid,
+                    chrome_args(kind)
+                )
+            }
+            None => {
+                let name = slice_name(kind);
+                format!(
+                    "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"i\",\"ts\":{},\"pid\":0,\"tid\":{},\"s\":\"t\",\"args\":{}}}",
+                    json_escape(&name),
+                    kind.tag(),
+                    e.ts_micros,
+                    tid,
+                    chrome_args(kind)
+                )
+            }
+        },
+    }
+}
+
+/// Human-facing slice name for the trace viewer timeline.
+fn slice_name(kind: &EventKind) -> String {
+    match kind {
+        EventKind::TaskSubmitted { name, .. } => format!("submit {name}"),
+        EventKind::TaskReady { task } => format!("ready #{task}"),
+        EventKind::TaskStarted { name, .. } => format!("start {name}"),
+        EventKind::TaskRetried { name, attempt, .. } => format!("retry {name} #{attempt}"),
+        EventKind::TaskFinished { name, .. } => name.to_string(),
+        EventKind::QueueDepth { .. } => "queue".to_string(),
+        EventKind::KernelDone { op, .. } => format!("kernel {op}"),
+        EventKind::OperatorDone { op, .. } => format!("operator {op}"),
+        EventKind::StepCompleted { year, day, .. } => format!("step y{year} d{day}"),
+        EventKind::FileWritten { path, .. } => {
+            let base = path.rsplit('/').next().unwrap_or(path);
+            format!("write {base}")
+        }
+        EventKind::JobScheduled { job, .. } => format!("job {job}"),
+        EventKind::TransferStaged { label, .. } => format!("transfer {label}"),
+        EventKind::ImageBuilt { image, .. } => format!("image {image}"),
+        EventKind::ExecutionStarted { workflow, .. } => format!("exec {workflow}"),
+        EventKind::ExecutionFinished { workflow, .. } => format!("exec {workflow}"),
+        EventKind::SpanCompleted { name, .. } => (*name).to_string(),
+    }
+}
+
+/// The `args` object carried on each trace row (the JSONL body is the
+/// superset; here we keep identifiers useful when clicking a slice).
+fn chrome_args(kind: &EventKind) -> String {
+    match kind {
+        EventKind::TaskSubmitted { task, .. }
+        | EventKind::TaskReady { task }
+        | EventKind::TaskRetried { task, .. } => format!("{{\"task\":{task}}}"),
+        EventKind::TaskStarted { task, worker, attempt, .. } => {
+            format!("{{\"task\":{task},\"worker\":{worker},\"attempt\":{attempt}}}")
+        }
+        EventKind::TaskFinished { task, outcome, .. } => {
+            format!("{{\"task\":{},\"outcome\":\"{}\"}}", task, outcome.label())
+        }
+        EventKind::KernelDone { server, rows, .. } => {
+            format!("{{\"server\":{server},\"rows\":{rows}}}")
+        }
+        EventKind::OperatorDone { fragments, .. } => format!("{{\"fragments\":{fragments}}}"),
+        EventKind::FileWritten { bytes, .. } => format!("{{\"bytes\":{bytes}}}"),
+        EventKind::JobScheduled { node, wait_ms, .. } => {
+            format!("{{\"node\":{node},\"wait_ms\":{wait_ms}}}")
+        }
+        EventKind::TransferStaged { bytes, virtual_ms, .. } => {
+            format!("{{\"bytes\":{bytes},\"virtual_ms\":{virtual_ms}}}")
+        }
+        EventKind::ImageBuilt { built, cache_hits, .. } => {
+            format!("{{\"built\":{built},\"cache_hits\":{cache_hits}}}")
+        }
+        EventKind::ExecutionStarted { execution, .. } => format!("{{\"execution\":{execution}}}"),
+        EventKind::ExecutionFinished { execution, ok, .. } => {
+            format!("{{\"execution\":{execution},\"ok\":{ok}}}")
+        }
+        _ => "{}".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bus::Bus;
+    use crate::event::TaskOutcome;
+    use std::sync::Arc;
+
+    fn sample_events() -> Vec<Event> {
+        let bus = Bus::new();
+        let rx = bus.subscribe();
+        let name: Arc<str> = Arc::from("esm_simulation");
+        bus.emit(EventKind::TaskSubmitted { task: 1, name: Arc::clone(&name) });
+        bus.emit(EventKind::TaskStarted {
+            task: 1,
+            name: Arc::clone(&name),
+            worker: 0,
+            attempt: 1,
+        });
+        bus.emit(EventKind::TaskFinished {
+            task: 1,
+            name,
+            worker: Some(0),
+            outcome: TaskOutcome::Completed,
+            micros: 1500,
+        });
+        bus.emit(EventKind::QueueDepth { ready: 2, running: 1 });
+        rx.drain()
+    }
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(json_escape("plain"), "plain");
+        assert_eq!(json_escape("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(json_escape("line\nbreak\t"), "line\\nbreak\\t");
+        assert_eq!(json_escape("λ"), "\\u03bb");
+        assert_eq!(json_escape("🛰"), "\\ud83d\\udef0");
+    }
+
+    #[test]
+    fn jsonl_one_object_per_line() {
+        let text = jsonl(&sample_events());
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4);
+        for line in &lines {
+            assert!(line.starts_with('{') && line.ends_with('}'));
+        }
+        assert!(lines[0].contains("\"event\":\"task_submitted\""));
+        assert!(lines[2].contains("\"outcome\":\"completed\""));
+    }
+
+    #[test]
+    fn chrome_trace_shape() {
+        let text = chrome_trace(&sample_events());
+        assert!(text.starts_with("{\"traceEvents\":["));
+        assert!(text.trim_end().ends_with("]}"));
+        // The finished task becomes an X slice with ts back-computed.
+        assert!(text.contains("\"ph\":\"X\""));
+        assert!(text.contains("\"dur\":1500"));
+        // Queue depth becomes a counter series.
+        assert!(text.contains("\"ph\":\"C\""));
+        assert!(text.contains("\"ready\":2"));
+        // Lifecycle marks become instants.
+        assert!(text.contains("\"ph\":\"i\""));
+    }
+
+    #[test]
+    fn chrome_trace_is_balanced_json() {
+        // Cheap structural check: braces/brackets balance outside strings.
+        let text = chrome_trace(&sample_events());
+        let (mut depth, mut in_str, mut esc) = (0i64, false, false);
+        for c in text.chars() {
+            if in_str {
+                if esc {
+                    esc = false;
+                } else if c == '\\' {
+                    esc = true;
+                } else if c == '"' {
+                    in_str = false;
+                }
+                continue;
+            }
+            match c {
+                '"' => in_str = true,
+                '{' | '[' => depth += 1,
+                '}' | ']' => depth -= 1,
+                _ => {}
+            }
+            assert!(depth >= 0);
+        }
+        assert_eq!(depth, 0);
+        assert!(!in_str);
+    }
+}

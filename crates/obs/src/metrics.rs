@@ -1,0 +1,330 @@
+//! Counters, gauges and log-scale histograms addressable by
+//! `&'static str` name plus label pairs.
+//!
+//! Handles are `Arc`-backed atomics: resolve once (`registry().counter(...)`),
+//! cache the handle at the call site, and every subsequent update is a
+//! single `fetch_add`. Histograms use 64 fixed log2 buckets — bucket *i*
+//! holds values whose bit length is *i* (i.e. `v < 2^i`) — so `observe`
+//! is a `leading_zeros` plus one `fetch_add` and the Prometheus dump gets
+//! clean power-of-two `le` boundaries for free.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Number of log2 buckets; covers u64's full range.
+pub const HISTOGRAM_BUCKETS: usize = 64;
+
+/// Monotonically increasing count.
+#[derive(Clone)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Instantaneous signed level.
+#[derive(Clone)]
+pub struct Gauge(Arc<AtomicI64>);
+
+impl Gauge {
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn add(&self, d: i64) {
+        self.0.fetch_add(d, Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+struct HistogramInner {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+/// Fixed log2-bucket histogram of u64 samples (typically microseconds).
+#[derive(Clone)]
+pub struct Histogram(Arc<HistogramInner>);
+
+impl Histogram {
+    fn new() -> Self {
+        Histogram(Arc::new(HistogramInner {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }))
+    }
+
+    /// Bucket index for a sample: the sample's bit length (clamped into
+    /// the top bucket), so bucket `i` counts samples `v` with `v < 2^i`
+    /// exclusive of lower buckets.
+    #[inline]
+    pub fn bucket_index(v: u64) -> usize {
+        ((u64::BITS - v.leading_zeros()) as usize).min(HISTOGRAM_BUCKETS - 1)
+    }
+
+    #[inline]
+    pub fn observe(&self, v: u64) {
+        self.0.buckets[Self::bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.0.count.fetch_add(1, Ordering::Relaxed);
+        self.0.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+
+    pub fn sum(&self) -> u64 {
+        self.0.sum.load(Ordering::Relaxed)
+    }
+
+    /// Raw (non-cumulative) bucket counts.
+    pub fn buckets(&self) -> [u64; HISTOGRAM_BUCKETS] {
+        std::array::from_fn(|i| self.0.buckets[i].load(Ordering::Relaxed))
+    }
+
+    /// Mean of all observed samples (0 when empty).
+    pub fn mean(&self) -> f64 {
+        let c = self.count();
+        if c == 0 {
+            0.0
+        } else {
+            self.sum() as f64 / c as f64
+        }
+    }
+}
+
+type Labels = Vec<(&'static str, String)>;
+type Key = (&'static str, Labels);
+
+enum Slot {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+/// Process-wide named-instrument registry.
+#[derive(Default)]
+pub struct Registry {
+    slots: Mutex<BTreeMap<Key, Slot>>,
+}
+
+fn make_key(name: &'static str, labels: &[(&'static str, &str)]) -> Key {
+    (name, labels.iter().map(|(k, v)| (*k, (*v).to_string())).collect())
+}
+
+impl Registry {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Get or create the counter `name{labels}`.
+    ///
+    /// Panics if the same name+labels was registered as another type —
+    /// that is a programming error, not a runtime condition.
+    pub fn counter(&self, name: &'static str, labels: &[(&'static str, &str)]) -> Counter {
+        let mut slots = self.slots.lock().unwrap();
+        match slots
+            .entry(make_key(name, labels))
+            .or_insert_with(|| Slot::Counter(Counter(Arc::new(AtomicU64::new(0)))))
+        {
+            Slot::Counter(c) => c.clone(),
+            _ => panic!("metric {name} already registered with a different type"),
+        }
+    }
+
+    /// Get or create the gauge `name{labels}`.
+    pub fn gauge(&self, name: &'static str, labels: &[(&'static str, &str)]) -> Gauge {
+        let mut slots = self.slots.lock().unwrap();
+        match slots
+            .entry(make_key(name, labels))
+            .or_insert_with(|| Slot::Gauge(Gauge(Arc::new(AtomicI64::new(0)))))
+        {
+            Slot::Gauge(g) => g.clone(),
+            _ => panic!("metric {name} already registered with a different type"),
+        }
+    }
+
+    /// Get or create the histogram `name{labels}`.
+    pub fn histogram(&self, name: &'static str, labels: &[(&'static str, &str)]) -> Histogram {
+        let mut slots = self.slots.lock().unwrap();
+        match slots
+            .entry(make_key(name, labels))
+            .or_insert_with(|| Slot::Histogram(Histogram::new()))
+        {
+            Slot::Histogram(h) => h.clone(),
+            _ => panic!("metric {name} already registered with a different type"),
+        }
+    }
+
+    /// Render every instrument in Prometheus text exposition format.
+    /// Histogram buckets are cumulative with power-of-two `le` bounds.
+    pub fn render_prometheus(&self) -> String {
+        let slots = self.slots.lock().unwrap();
+        let mut out = String::new();
+        let mut last_name = "";
+        for ((name, labels), slot) in slots.iter() {
+            if *name != last_name {
+                let kind = match slot {
+                    Slot::Counter(_) => "counter",
+                    Slot::Gauge(_) => "gauge",
+                    Slot::Histogram(_) => "histogram",
+                };
+                let _ = writeln!(out, "# TYPE {name} {kind}");
+                last_name = name;
+            }
+            match slot {
+                Slot::Counter(c) => {
+                    let _ = writeln!(out, "{}{} {}", name, fmt_labels(labels, None), c.get());
+                }
+                Slot::Gauge(g) => {
+                    let _ = writeln!(out, "{}{} {}", name, fmt_labels(labels, None), g.get());
+                }
+                Slot::Histogram(h) => {
+                    let buckets = h.buckets();
+                    let mut cum = 0u64;
+                    for (i, b) in buckets.iter().enumerate() {
+                        if *b == 0 && cum == 0 {
+                            continue; // skip the empty low tail
+                        }
+                        cum += b;
+                        let le = if i >= 63 { u64::MAX } else { (1u64 << i) - 1 };
+                        let _ = writeln!(
+                            out,
+                            "{}_bucket{} {}",
+                            name,
+                            fmt_labels(labels, Some(&le.to_string())),
+                            cum
+                        );
+                    }
+                    let _ = writeln!(
+                        out,
+                        "{}_bucket{} {}",
+                        name,
+                        fmt_labels(labels, Some("+Inf")),
+                        h.count()
+                    );
+                    let _ = writeln!(out, "{}_sum{} {}", name, fmt_labels(labels, None), h.sum());
+                    let _ =
+                        writeln!(out, "{}_count{} {}", name, fmt_labels(labels, None), h.count());
+                }
+            }
+        }
+        out
+    }
+
+    /// Drop every registered instrument (handles stay valid but orphaned).
+    /// Tests use this to isolate assertions on the global registry.
+    pub fn clear(&self) {
+        self.slots.lock().unwrap().clear();
+    }
+}
+
+fn fmt_labels(labels: &Labels, le: Option<&str>) -> String {
+    if labels.is_empty() && le.is_none() {
+        return String::new();
+    }
+    let mut parts: Vec<String> = labels.iter().map(|(k, v)| format!("{k}=\"{v}\"")).collect();
+    if let Some(le) = le {
+        parts.push(format!("le=\"{le}\""));
+    }
+    format!("{{{}}}", parts.join(","))
+}
+
+/// The process-wide registry (instrument handles from anywhere).
+pub fn registry() -> &'static Registry {
+    static REGISTRY: OnceLock<Registry> = OnceLock::new();
+    REGISTRY.get_or_init(Registry::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_roundtrip() {
+        let r = Registry::new();
+        let c = r.counter("reqs_total", &[("kind", "a")]);
+        c.inc();
+        c.add(4);
+        // Same name+labels resolves to the same underlying cell.
+        assert_eq!(r.counter("reqs_total", &[("kind", "a")]).get(), 5);
+        assert_eq!(r.counter("reqs_total", &[("kind", "b")]).get(), 0);
+
+        let g = r.gauge("depth", &[]);
+        g.set(3);
+        g.add(-5);
+        assert_eq!(g.get(), -2);
+    }
+
+    #[test]
+    fn histogram_bucket_boundaries() {
+        assert_eq!(Histogram::bucket_index(0), 0);
+        assert_eq!(Histogram::bucket_index(1), 1);
+        assert_eq!(Histogram::bucket_index(2), 2);
+        assert_eq!(Histogram::bucket_index(3), 2);
+        assert_eq!(Histogram::bucket_index(4), 3);
+        assert_eq!(Histogram::bucket_index(1023), 10);
+        assert_eq!(Histogram::bucket_index(1024), 11);
+        assert_eq!(Histogram::bucket_index(u64::MAX), 63); // clamped into the top bucket
+    }
+
+    #[test]
+    fn histogram_observe_counts_and_sums() {
+        let r = Registry::new();
+        let h = r.histogram("latency_us", &[]);
+        for v in [1u64, 2, 3, 1000, 100_000] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 101_006);
+        assert!((h.mean() - 20_201.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn prometheus_rendering() {
+        let r = Registry::new();
+        r.counter("jobs_total", &[("queue", "batch")]).add(2);
+        r.gauge("ready", &[]).set(7);
+        let h = r.histogram("wait_us", &[]);
+        h.observe(3);
+        h.observe(300);
+        let text = r.render_prometheus();
+        assert!(text.contains("# TYPE jobs_total counter"));
+        assert!(text.contains("jobs_total{queue=\"batch\"} 2"));
+        assert!(text.contains("ready 7"));
+        assert!(text.contains("# TYPE wait_us histogram"));
+        assert!(text.contains("wait_us_bucket{le=\"3\"} 1"));
+        assert!(text.contains("wait_us_bucket{le=\"+Inf\"} 2"));
+        assert!(text.contains("wait_us_sum 303"));
+        assert!(text.contains("wait_us_count 2"));
+    }
+
+    #[test]
+    #[should_panic(expected = "different type")]
+    fn type_conflict_panics() {
+        let r = Registry::new();
+        r.counter("m", &[]);
+        r.gauge("m", &[]);
+    }
+}

@@ -1,0 +1,108 @@
+//! RAII span timing: start a [`SpanTimer`], and when it drops the elapsed
+//! wall time lands on the bus (as a `SpanCompleted` event) and/or in a
+//! histogram. The timer itself is just an `Instant`; all cost is deferred
+//! to the drop, and the event emission still honours the bus fast path.
+
+use crate::bus::Bus;
+use crate::event::EventKind;
+use crate::metrics::Histogram;
+use std::time::Instant;
+
+/// Times a scope; reports on drop.
+pub struct SpanTimer<'a> {
+    name: &'static str,
+    start: Instant,
+    bus: Option<&'a Bus>,
+    histogram: Option<Histogram>,
+}
+
+impl<'a> SpanTimer<'a> {
+    /// Span that reports to `bus` as a `SpanCompleted { name, micros }`.
+    pub fn new(bus: &'a Bus, name: &'static str) -> Self {
+        SpanTimer { name, start: Instant::now(), bus: Some(bus), histogram: None }
+    }
+
+    /// Span that only records into a histogram (no event traffic).
+    pub fn with_histogram(name: &'static str, histogram: Histogram) -> Self {
+        SpanTimer { name, start: Instant::now(), bus: None, histogram: Some(histogram) }
+    }
+
+    /// Also record the duration into `histogram` on drop.
+    pub fn and_histogram(mut self, histogram: Histogram) -> Self {
+        self.histogram = Some(histogram);
+        self
+    }
+
+    /// Elapsed microseconds so far.
+    pub fn elapsed_micros(&self) -> u64 {
+        self.start.elapsed().as_micros() as u64
+    }
+
+    /// Finish explicitly and return the elapsed microseconds (the drop
+    /// still does the reporting).
+    pub fn finish(self) -> u64 {
+        self.elapsed_micros()
+    }
+}
+
+impl Drop for SpanTimer<'_> {
+    fn drop(&mut self) {
+        let micros = self.start.elapsed().as_micros() as u64;
+        if let Some(h) = &self.histogram {
+            h.observe(micros);
+        }
+        if let Some(bus) = self.bus {
+            bus.emit(EventKind::SpanCompleted { name: self.name, micros });
+        }
+    }
+}
+
+/// Run `f` and return its result plus elapsed microseconds. The plain
+/// building block when a caller wants the number inline rather than an
+/// RAII guard.
+#[inline]
+pub fn timed<T>(f: impl FnOnce() -> T) -> (T, u64) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed().as_micros() as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bus::Bus;
+
+    #[test]
+    fn span_emits_on_drop() {
+        let bus = Bus::new();
+        let rx = bus.subscribe();
+        {
+            let _span = SpanTimer::new(&bus, "unit_of_work");
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        let events = rx.drain();
+        assert_eq!(events.len(), 1);
+        match &events[0].kind {
+            EventKind::SpanCompleted { name, micros } => {
+                assert_eq!(*name, "unit_of_work");
+                assert!(*micros >= 1_000, "slept 2ms, recorded {micros}us");
+            }
+            other => panic!("unexpected event {other:?}"),
+        }
+    }
+
+    #[test]
+    fn span_records_histogram_without_bus() {
+        let reg = crate::metrics::Registry::new();
+        let h = reg.histogram("span_us", &[]);
+        drop(SpanTimer::with_histogram("h_only", h.clone()));
+        assert_eq!(h.count(), 1);
+    }
+
+    #[test]
+    fn timed_returns_value_and_duration() {
+        let (v, us) = timed(|| 21 * 2);
+        assert_eq!(v, 42);
+        assert!(us < 1_000_000);
+    }
+}

@@ -174,9 +174,7 @@ mod tests {
         let pos = generate_patches(&pos_cfg, 10, 3);
         let neg = generate_patches(&neg_cfg, 10, 3);
         let min_of = |t: &Tensor| {
-            t.data[..t.shape[1] * t.shape[2]]
-                .iter()
-                .fold(f32::INFINITY, |m, &v| m.min(v))
+            t.data[..t.shape[1] * t.shape[2]].iter().fold(f32::INFINITY, |m, &v| m.min(v))
         };
         let pos_mean: f32 = pos.iter().map(|(x, _)| min_of(x)).sum::<f32>() / 10.0;
         let neg_mean: f32 = neg.iter().map(|(x, _)| min_of(x)).sum::<f32>() / 10.0;

@@ -398,12 +398,8 @@ impl Layer for Sigmoid {
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
         assert_eq!(grad_out.len(), self.cache_y.len(), "backward before forward");
-        let data = grad_out
-            .data
-            .iter()
-            .zip(&self.cache_y)
-            .map(|(&g, &y)| g * y * (1.0 - y))
-            .collect();
+        let data =
+            grad_out.data.iter().zip(&self.cache_y).map(|(&g, &y)| g * y * (1.0 - y)).collect();
         Tensor::from_vec(&grad_out.shape, data)
     }
 
@@ -434,12 +430,8 @@ impl Layer for Tanh {
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
         assert_eq!(grad_out.len(), self.cache_y.len(), "backward before forward");
-        let data = grad_out
-            .data
-            .iter()
-            .zip(&self.cache_y)
-            .map(|(&g, &y)| g * (1.0 - y * y))
-            .collect();
+        let data =
+            grad_out.data.iter().zip(&self.cache_y).map(|(&g, &y)| g * (1.0 - y * y)).collect();
         Tensor::from_vec(&grad_out.shape, data)
     }
 

@@ -145,10 +145,7 @@ mod tests {
         let gin = net.backward(&Tensor::full(&y.shape, 1.0));
         assert_eq!(gin.shape, vec![2]);
         // Some parameter gradient must be non-zero.
-        let any_nonzero = net
-            .params_grads()
-            .iter()
-            .any(|(_, g)| g.data.iter().any(|&v| v != 0.0));
+        let any_nonzero = net.params_grads().iter().any(|(_, g)| g.data.iter().any(|&v| v != 0.0));
         assert!(any_nonzero);
     }
 

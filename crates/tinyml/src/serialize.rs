@@ -121,10 +121,7 @@ pub fn load_model<P: AsRef<Path>>(net: &mut Sequential, path: P) -> Result<(), M
         let mut bytes = vec![0u8; len * 4];
         r.read_exact(&mut bytes)?;
         flat.push(
-            bytes
-                .chunks_exact(4)
-                .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
-                .collect(),
+            bytes.chunks_exact(4).map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]])).collect(),
         );
     }
     net.load_params(&flat).map_err(ModelError::ArchitectureMismatch)
@@ -171,10 +168,7 @@ mod tests {
         let net = cnn(1);
         save_model(&net, &path).unwrap();
         let mut wrong = Sequential::new().add(Dense::new(4, 4, 2));
-        assert!(matches!(
-            load_model(&mut wrong, &path),
-            Err(ModelError::ArchitectureMismatch(_))
-        ));
+        assert!(matches!(load_model(&mut wrong, &path), Err(ModelError::ArchitectureMismatch(_))));
     }
 
     #[test]

@@ -55,13 +55,15 @@ fn main() {
     // Pre-train the CNN exactly as the workflow's load_model task does:
     // synthetic warm-up + fine-tuning on a labelled historical reference
     // run of the same model.
-    println!("\nPre-training the localization CNN (synthetic warm-up + reference-run fine-tuning)...");
-    let mut train_params = WorkflowParams::test_scale(std::env::temp_dir().join("eflows-cyclone-train"));
-    train_params.days_per_year = days;
-    train_params.train_samples = 300;
-    train_params.train_epochs = 14;
-    train_params.finetune_days = 30;
-    train_params.finetune_epochs = 12;
+    println!(
+        "\nPre-training the localization CNN (synthetic warm-up + reference-run fine-tuning)..."
+    );
+    let train_params = WorkflowParams::builder(std::env::temp_dir().join("eflows-cyclone-train"))
+        .days_per_year(days)
+        .training(300, 14)
+        .finetuning(30, 12)
+        .build()
+        .expect("invalid parameters");
     let mut cnn = pretrain_cnn(&train_params);
     println!("  {} parameters", cnn.param_count());
 
@@ -100,7 +102,8 @@ fn main() {
                 tas: read("tas"),
                 vort: read("vort"),
             };
-            per_step_detections.push(detect_timestep(&set.psl, &set.wind, &set.tas, &set.vort, &params));
+            per_step_detections
+                .push(detect_timestep(&set.psl, &set.wind, &set.tas, &set.vort, &params));
             let regridded = set.regrid(&analysis);
             for det in cnn.localize_set(&regridded) {
                 cnn_centers.push((d * spd + s, det.lat, det.lon));

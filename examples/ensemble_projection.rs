@@ -57,8 +57,10 @@ fn main() {
         let mut day_cubes = Vec::new();
         for (d, f) in files.iter().enumerate() {
             let rd = Reader::open(f).unwrap();
-            let c = datacube::ops::import_transposed(&rd, "tas", "time", "lat", "lon", 8, cfg).unwrap();
-            let daily = datacube::ops::reduce(&c, datacube::ops::ReduceOp::Max, "time", cfg).unwrap();
+            let c =
+                datacube::ops::import_transposed(&rd, "tas", "time", "lat", "lon", 8, cfg).unwrap();
+            let daily =
+                datacube::ops::reduce(&c, datacube::ops::ReduceOp::Max, "time", cfg).unwrap();
             day_cubes.push(datacube::ops::add_singleton_implicit(&daily, "day", d as f64).unwrap());
         }
         let refs: Vec<&Cube> = day_cubes.iter().collect();

@@ -26,14 +26,15 @@ fn main() {
     let out_dir = std::env::temp_dir().join("eflows-heatwave-atlas");
     std::fs::remove_dir_all(&out_dir).ok();
 
-    let mut params = WorkflowParams::test_scale(out_dir.clone());
-    params.years = years;
-    params.days_per_year = days;
-    params.scenario = scenario;
-    // The atlas only needs the thermal indices; keep ML training light.
-    params.train_samples = 120;
-    params.train_epochs = 6;
-    params.finetune_days = 10;
+    let params = WorkflowParams::builder(out_dir.clone())
+        .years(years)
+        .days_per_year(days)
+        .scenario(scenario)
+        // The atlas only needs the thermal indices; keep ML training light.
+        .training(120, 6)
+        .finetuning(10, 10)
+        .build()
+        .expect("invalid parameters");
 
     println!(
         "Heat-wave atlas: {years} year(s) x {days} days, scenario {scenario:?}, grid {}x{}",
@@ -43,7 +44,10 @@ fn main() {
     let report = run_pipelined(params).expect("workflow failed");
 
     println!("\n=== Yearly heat/cold wave summary ===");
-    println!("{:<6} {:>9} {:>9} {:>14} {:>8}", "year", "HW cells", "CW cells", "thermal truth", "valid");
+    println!(
+        "{:<6} {:>9} {:>9} {:>14} {:>8}",
+        "year", "HW cells", "CW cells", "thermal truth", "valid"
+    );
     for y in &report.years {
         println!(
             "{:<6} {:>9} {:>9} {:>14} {:>8}",
@@ -66,7 +70,12 @@ fn main() {
     etccdi_summary(&out_dir, days);
 
     println!("\nProducts written under {}", out_dir.join("products").display());
-    println!("Task graph: {} tasks / {} edges (dot: {})", report.tasks, report.edges, report.dot_path.display());
+    println!(
+        "Task graph: {} tasks / {} edges (dot: {})",
+        report.tasks,
+        report.edges,
+        report.dot_path.display()
+    );
 }
 
 /// Computes a handful of ETCCDI indices from the last simulated year's
@@ -79,10 +88,8 @@ fn etccdi_summary(out_dir: &std::path::Path, days: usize) {
 
     let cfg = ExecConfig::with_servers(2);
     let esm_dir = out_dir.join("esm-out");
-    let mut files: Vec<_> = std::fs::read_dir(&esm_dir)
-        .unwrap()
-        .filter_map(|e| e.ok().map(|e| e.path()))
-        .collect();
+    let mut files: Vec<_> =
+        std::fs::read_dir(&esm_dir).unwrap().filter_map(|e| e.ok().map(|e| e.path())).collect();
     files.sort();
     let last_year: Vec<_> = files.iter().rev().take(days).rev().cloned().collect();
 

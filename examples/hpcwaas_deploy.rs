@@ -28,11 +28,7 @@ fn main() {
     let topology = climate_case_study();
     println!("TOSCA topology '{}' ({} node templates):", topology.name, topology.templates.len());
     for t in &topology.templates {
-        let reqs: Vec<String> = t
-            .requirements
-            .iter()
-            .map(|r| format!("{r:?}"))
-            .collect();
+        let reqs: Vec<String> = t.requirements.iter().map(|r| format!("{r:?}")).collect();
         println!("  {:<16} {:<22} {}", t.name, t.type_name, reqs.join(", "));
     }
     let plan = DeploymentPlan::derive(&topology).expect("plan derivation failed");
@@ -67,8 +63,8 @@ fn main() {
     inputs.insert("days_per_year".to_string(), "30".to_string());
     inputs.insert("scenario".to_string(), "ssp585".to_string());
     println!("running with inputs {inputs:?} ...");
-    let exec = api.run(dep, &inputs).expect("run failed");
-    match api.status(exec).expect("status failed") {
+    let handle = api.submit(dep, &inputs).expect("submit failed");
+    match handle.wait() {
         ExecutionStatus::Completed { result } => {
             println!("\n--- workflow report (returned through the API) ---");
             print!("{result}");

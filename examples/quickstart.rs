@@ -21,9 +21,11 @@ fn main() {
     let out_dir = std::env::temp_dir().join("eflows-quickstart");
     std::fs::remove_dir_all(&out_dir).ok();
 
-    let mut params = WorkflowParams::test_scale(out_dir.clone());
-    params.years = years;
-    params.days_per_year = days;
+    let params = WorkflowParams::builder(out_dir.clone())
+        .years(years)
+        .days_per_year(days)
+        .build()
+        .expect("invalid parameters");
 
     println!(
         "Running the climate-extremes workflow: {years} year(s) x {days} days on a {}x{} grid",

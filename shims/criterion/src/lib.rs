@@ -1,0 +1,263 @@
+//! Offline stand-in for `criterion`.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! path-replaces `criterion` with this shim. It keeps the API shapes the
+//! benches use (`benchmark_group`, `bench_with_input`, `Bencher::iter`,
+//! `iter_batched`, the `criterion_group!`/`criterion_main!` macros) and
+//! reports min/mean/max wall time per benchmark instead of criterion's
+//! statistical machinery. Good enough to compare runs by eye; swap the
+//! real criterion back in when a registry is reachable.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How `iter_batched` inputs are grouped. All variants behave identically
+/// here (one setup per timed routine call).
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Identifier `function_name/parameter` for parameterized benchmarks.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId { label: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId { label: parameter.to_string() }
+    }
+}
+
+/// Runs the measured closure and accumulates sample durations.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    target: usize,
+}
+
+impl Bencher {
+    /// Time `routine` once per sample.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        for _ in 0..self.target {
+            let start = Instant::now();
+            black_box(routine());
+            self.samples.push(start.elapsed());
+        }
+    }
+
+    /// Time `routine` on a fresh `setup()` input per sample; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        for _ in 0..self.target {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+fn report(name: &str, samples: &[Duration]) {
+    if samples.is_empty() {
+        println!("{name:<50} (no samples)");
+        return;
+    }
+    let min = samples.iter().min().unwrap();
+    let max = samples.iter().max().unwrap();
+    let mean = samples.iter().sum::<Duration>() / samples.len() as u32;
+    println!(
+        "{name:<50} [{} {} {}] ({} samples)",
+        fmt_dur(*min),
+        fmt_dur(mean),
+        fmt_dur(*max),
+        samples.len()
+    );
+}
+
+fn fmt_dur(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} us", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+/// A named set of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.criterion.sample_size = n.max(1);
+        self
+    }
+
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl IntoLabel, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into_label());
+        self.criterion.run_one(&label, f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl IntoLabel,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.into_label());
+        self.criterion.run_one(&label, |b| f(b, input));
+        self
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+/// Conversion of the various id types benches pass to `bench_*`.
+pub trait IntoLabel {
+    fn into_label(self) -> String;
+}
+
+impl IntoLabel for BenchmarkId {
+    fn into_label(self) -> String {
+        self.label
+    }
+}
+
+impl IntoLabel for &str {
+    fn into_label(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoLabel for String {
+    fn into_label(self) -> String {
+        self
+    }
+}
+
+/// The bench driver: collects samples and prints one line per benchmark.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Real criterion defaults to 100 samples; this harness is for
+        // offline smoke-benching, so stay quick.
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), criterion: self }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl IntoLabel, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = id.into_label();
+        self.run_one(&label, f);
+        self
+    }
+
+    fn run_one<F>(&mut self, label: &str, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher { samples: Vec::new(), target: 1 };
+        // One warm-up sample, discarded.
+        f(&mut b);
+        b.samples.clear();
+        b.target = self.sample_size;
+        f(&mut b);
+        report(label, &b.samples);
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_collects_samples() {
+        let mut c = Criterion::default();
+        c.benchmark_group("g").sample_size(3).bench_function("f", |b| b.iter(|| 1 + 1));
+    }
+
+    #[test]
+    fn iter_batched_runs_setup_per_sample() {
+        let mut setups = 0;
+        let mut b = Bencher { samples: Vec::new(), target: 5 };
+        b.iter_batched(
+            || {
+                setups += 1;
+                vec![1u8; 8]
+            },
+            |v| v.len(),
+            BatchSize::SmallInput,
+        );
+        assert_eq!(setups, 5);
+        assert_eq!(b.samples.len(), 5);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 3).into_label(), "f/3");
+        assert_eq!(BenchmarkId::from_parameter("x").into_label(), "x");
+    }
+}

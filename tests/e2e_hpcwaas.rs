@@ -57,8 +57,8 @@ fn full_user_journey_deploy_run_undeploy() {
     inputs.insert("years".into(), "1".into());
     inputs.insert("days_per_year".into(), "10".into());
     inputs.insert("seed".into(), "11".into());
-    let exec = api.run(dep, &inputs).unwrap();
-    let ExecutionStatus::Completed { result } = api.status(exec).unwrap() else {
+    let handle = api.submit(dep, &inputs).unwrap();
+    let ExecutionStatus::Completed { result } = handle.wait() else {
         panic!("workflow should complete");
     };
     assert!(result.contains("year 2030"));
@@ -72,5 +72,5 @@ fn full_user_journey_deploy_run_undeploy() {
     // Undeploy both; further runs must be rejected.
     api.undeploy(dep).unwrap();
     api.undeploy(dep2).unwrap();
-    assert!(api.run(dep, &inputs).is_err());
+    assert!(api.submit(dep, &inputs).is_err());
 }

@@ -12,13 +12,13 @@ fn tmp(name: &str) -> std::path::PathBuf {
 }
 
 fn params(name: &str) -> WorkflowParams {
-    let mut p = WorkflowParams::test_scale(tmp(name));
-    p.years = 2;
-    p.days_per_year = 8;
-    p.train_samples = 60;
-    p.train_epochs = 3;
-    p.finetune_days = 0;
-    p
+    WorkflowParams::builder(tmp(name))
+        .years(2)
+        .days_per_year(8)
+        .training(60, 3)
+        .finetuning(0, 0)
+        .build()
+        .unwrap()
 }
 
 #[test]

@@ -70,8 +70,10 @@ fn run_year_graph(
         vec![esm.outputs[0].clone()],
         WfData::Paths(vec![PathBuf::from("/day1"), PathBuf::from("/day2")]),
     );
-    let ia = make(&rt, "index_a", "k-ia".into(), vec![stage.outputs[0].clone()], WfData::CubeRef(1));
-    let ib = make(&rt, "index_b", "k-ib".into(), vec![stage.outputs[0].clone()], WfData::CubeRef(2));
+    let ia =
+        make(&rt, "index_a", "k-ia".into(), vec![stage.outputs[0].clone()], WfData::CubeRef(1));
+    let ib =
+        make(&rt, "index_b", "k-ib".into(), vec![stage.outputs[0].clone()], WfData::CubeRef(2));
     let export = make(
         &rt,
         "export",
@@ -123,14 +125,17 @@ fn checkpoint_preserves_workflow_payload_values() {
         .task("producer")
         .key("payload-key")
         .writes(&["blob"])
-        .run(|_| Ok(vec![WfData::Paths(vec![PathBuf::from("/a/b.ncx"), PathBuf::from("/c d/e.ncx")])]))
+        .run(|_| {
+            Ok(vec![WfData::Paths(vec![PathBuf::from("/a/b.ncx"), PathBuf::from("/c d/e.ncx")])])
+        })
         .unwrap();
     rt.fetch(&h.outputs[0]).unwrap();
     rt.barrier().unwrap();
     rt.shutdown();
 
     // Restore in a fresh runtime: the decoded payload must be identical.
-    let rt: Runtime<WfData> = Runtime::new(RuntimeConfig::with_cpu_workers(2).with_checkpoint(ckpt));
+    let rt: Runtime<WfData> =
+        Runtime::new(RuntimeConfig::with_cpu_workers(2).with_checkpoint(ckpt));
     let h = rt
         .task("producer")
         .key("payload-key")
@@ -138,10 +143,7 @@ fn checkpoint_preserves_workflow_payload_values() {
         .run(|_| panic!("must not execute: checkpointed"))
         .unwrap();
     let v = rt.fetch(&h.outputs[0]).unwrap();
-    assert_eq!(
-        v.paths().unwrap(),
-        &[PathBuf::from("/a/b.ncx"), PathBuf::from("/c d/e.ncx")]
-    );
+    assert_eq!(v.paths().unwrap(), &[PathBuf::from("/a/b.ncx"), PathBuf::from("/c d/e.ncx")]);
     rt.shutdown();
 }
 
@@ -161,11 +163,8 @@ fn ignored_failure_cancels_only_its_subtree() {
         .writes(&["idx_a"])
         .run(|_| Ok(vec![WfData::Unit]))
         .unwrap();
-    let import_b = rt
-        .task("import_b")
-        .writes(&["cube_b"])
-        .run(|_| Ok(vec![WfData::CubeRef(9)]))
-        .unwrap();
+    let import_b =
+        rt.task("import_b").writes(&["cube_b"]).run(|_| Ok(vec![WfData::CubeRef(9)])).unwrap();
     let index_b = rt
         .task("index_b")
         .reads(&[import_b.outputs[0].clone()])

@@ -12,14 +12,13 @@ fn tmp(name: &str) -> std::path::PathBuf {
 }
 
 fn small_params(name: &str, years: usize) -> WorkflowParams {
-    let mut p = WorkflowParams::test_scale(tmp(name));
-    p.years = years;
-    p.days_per_year = 8;
-    p.train_samples = 80;
-    p.train_epochs = 4;
-    p.finetune_days = 5;
-    p.finetune_epochs = 4;
-    p
+    WorkflowParams::builder(tmp(name))
+        .years(years)
+        .days_per_year(8)
+        .training(80, 4)
+        .finetuning(5, 4)
+        .build()
+        .unwrap()
 }
 
 #[test]
@@ -35,11 +34,7 @@ fn one_year_graph_matches_paper_structure() {
     // index tasks all fan into validation, which fans into export.
     assert!(report.edges >= 25, "expected a dense graph, got {} edges", report.edges);
     // Critical path: esm -> stage -> import -> index -> validate -> export.
-    assert!(
-        (5..=8).contains(&report.critical_path),
-        "critical path {}",
-        report.critical_path
-    );
+    assert!((5..=8).contains(&report.critical_path), "critical path {}", report.critical_path);
 }
 
 #[test]

@@ -33,9 +33,7 @@ fn file_size_scales_linearly_with_grid() {
     for (nlat, nlon) in [(24, 36), (48, 72)] {
         let sub = dir.join(format!("{nlat}x{nlon}"));
         std::fs::create_dir_all(&sub).unwrap();
-        let cfg = EsmConfig::test_small()
-            .with_grid(Grid::global(nlat, nlon))
-            .with_days_per_year(2);
+        let cfg = EsmConfig::test_small().with_grid(Grid::global(nlat, nlon)).with_days_per_year(2);
         let mut model = CoupledModel::new(cfg);
         let fields = model.step_day();
         let path = esm::output::write_daily(&sub, &fields).unwrap();

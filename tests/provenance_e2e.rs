@@ -25,23 +25,15 @@ fn workflow_provenance_is_complete_and_linked() {
     // Every task appears in the provenance log as a completed activity.
     let prov = cs.rt.provenance();
     assert_eq!(prov.len(), report.tasks, "one record per task");
-    assert!(prov
-        .records()
-        .iter()
-        .all(|r| r.final_state == dataflow::TaskState::Completed));
+    assert!(prov.records().iter().all(|r| r.final_state == dataflow::TaskState::Completed));
 
     // The exported-products datum must trace back to the simulation, the
     // baseline, the imports and the index tasks.
-    let exports = prov
-        .records()
-        .iter()
-        .find(|r| r.name == "export_indices")
-        .expect("export task recorded");
+    let exports =
+        prov.records().iter().find(|r| r.name == "export_indices").expect("export task recorded");
     let lineage = prov.lineage(&exports.generated[0]);
-    let names: Vec<&str> = lineage
-        .iter()
-        .filter_map(|id| prov.task(*id).map(|r| r.name.as_str()))
-        .collect();
+    let names: Vec<&str> =
+        lineage.iter().filter_map(|id| prov.task(*id).map(|r| r.name.as_str())).collect();
     for expected in [
         "export_indices",
         "validate_indices",
