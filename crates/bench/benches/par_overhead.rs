@@ -1,0 +1,64 @@
+//! Dispatch overhead of the shared work-stealing pool (`crates/par`).
+//!
+//! Every compute layer now routes through one persistent pool, so the
+//! cost of handing work to it must stay small and pinned. This bench
+//! measures the fixed costs — `par_map` on trivial kernels against a
+//! serial baseline, fork/join, and scoped spawning — on a dedicated
+//! pool, so regressions in task hand-off show up directly rather than
+//! hiding inside operator benches.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use par::Pool;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("par_overhead");
+    g.sample_size(50);
+
+    // A dedicated pool keeps the measurement independent of global-pool
+    // sizing on the host.
+    let pool = Pool::with_name(4, "bench");
+    let items: Vec<u64> = (0..1024).collect();
+
+    g.bench_function("serial_map_1k_trivial", |b| {
+        b.iter(|| {
+            let out: Vec<u64> = items.iter().map(|&x| std::hint::black_box(x * 2 + 1)).collect();
+            std::hint::black_box(out)
+        });
+    });
+
+    g.bench_function("par_map_1k_trivial", |b| {
+        b.iter(|| std::hint::black_box(pool.par_map(&items, |&x| std::hint::black_box(x * 2 + 1))));
+    });
+
+    g.bench_function("par_map_lanes_1k_trivial", |b| {
+        b.iter(|| {
+            std::hint::black_box(
+                pool.par_map_lanes(4, &items, |_, _, &x| std::hint::black_box(x * 2 + 1)),
+            )
+        });
+    });
+
+    g.bench_function("join_trivial", |b| {
+        b.iter(|| {
+            let (a, bb) = pool.join(|| std::hint::black_box(1u64), || std::hint::black_box(2u64));
+            std::hint::black_box(a + bb)
+        });
+    });
+
+    g.bench_function("scope_spawn_64_empty", |b| {
+        b.iter(|| {
+            pool.scope(|s| {
+                for _ in 0..64 {
+                    s.spawn(|| {
+                        std::hint::black_box(0u64);
+                    });
+                }
+            });
+        });
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -470,11 +470,11 @@ impl CaseStudy {
                         WfData::Path(p) => p.clone(),
                         _ => return Err("expected tc input path".into()),
                     };
-                    // Per-replica model instance: replicas infer in
-                    // parallel without contending on one model's state.
-                    let mut model = TcCnn::load(patch, &model_file).map_err(|e| e.to_string())?;
-                    let part = cnn_localize_steps(&path, &mut model, replica.rank, replica.size)
-                        .map_err(|e| e.to_string())?;
+                    // Each replica fans its share of timesteps out over
+                    // the shared pool; chunk tasks load their own model
+                    // instance, so nothing contends on one model's state.
+                    let part =
+                        cnn_localize_steps(&path, patch, &model_file, replica.rank, replica.size)?;
                     parts.lock().insert(replica.rank, part);
                     if replica.rank != 0 {
                         return Ok(vec![]);
@@ -904,41 +904,68 @@ fn build_tc_input(files: &[PathBuf], out: &Path) -> ncformat::Result<()> {
 /// Task #16 body (one replica's share): CNN localization over timesteps
 /// `rank, rank+size, ...`; returns header-less CSV rows
 /// `day,step,lat,lon,confidence`.
+///
+/// Inside the replica, its timesteps are split into at most
+/// pool-width contiguous chunks that run concurrently on the shared
+/// [`par`] pool; every chunk task opens its own reader and loads its
+/// own model instance (inference mutates layer caches), and chunk
+/// outputs concatenate in chunk order so rows stay step-ascending.
 fn cnn_localize_steps(
     input: &Path,
-    model: &mut TcCnn,
+    patch: usize,
+    model_file: &Path,
     rank: u32,
     size: u32,
-) -> ncformat::Result<String> {
-    let rd = Reader::open(input)?;
-    let (nlat, nlon) = (rd.dimension("lat")?.size, rd.dimension("lon")?.size);
-    let steps = rd.dimension("step")?.size;
+) -> Result<String, String> {
+    let rd = Reader::open(input).map_err(|e| e.to_string())?;
+    let dim = |name: &str| rd.dimension(name).map(|d| d.size).map_err(|e| e.to_string());
+    let (nlat, nlon) = (dim("lat")?, dim("lon")?);
+    let steps = dim("step")?;
     let spd = rd.attribute("steps_per_day").and_then(|v| v.as_f64()).unwrap_or(4.0) as usize;
+    drop(rd);
     let grid = gridded::Grid::global(nlat, nlon);
-    let mut csv = String::new();
-    let analysis = extremes::tc::cnn::analysis_grid(esm::atmos::tc_radius_deg(&grid), model.patch);
-    for s in (rank as usize..steps).step_by(size as usize) {
-        let read = |var: &str| -> ncformat::Result<Field2> {
-            let data = rd.read_slab_f32(var, &[s, 0, 0], &[1, nlat, nlon])?;
-            Ok(Field2::from_vec(grid.clone(), data))
-        };
-        let native = extremes::tc::cnn::FieldSet {
-            psl: read("psl")?,
-            wind: read("sfcWind")?,
-            tas: read("tas")?,
-            vort: read("vort")?,
-        };
-        let set = native.regrid(&analysis);
-        for det in model.localize_set(&set) {
-            csv.push_str(&format!(
-                "{},{},{:.3},{:.3},{:.3}\n",
-                s / spd,
-                s % spd,
-                det.lat,
-                det.lon,
-                det.confidence
-            ));
+    let my_steps: Vec<usize> = (rank as usize..steps).step_by((size as usize).max(1)).collect();
+    if my_steps.is_empty() {
+        return Ok(String::new());
+    }
+    let width = par::global().threads().min(my_steps.len());
+    let chunks: Vec<&[usize]> = my_steps.chunks(my_steps.len().div_ceil(width)).collect();
+    let parts: Vec<Result<String, String>> = par::par_map(&chunks, |chunk| {
+        let rd = Reader::open(input).map_err(|e| e.to_string())?;
+        let mut model = TcCnn::load(patch, model_file).map_err(|e| e.to_string())?;
+        let analysis =
+            extremes::tc::cnn::analysis_grid(esm::atmos::tc_radius_deg(&grid), model.patch);
+        let mut csv = String::new();
+        for &s in chunk.iter() {
+            let read = |var: &str| -> Result<Field2, String> {
+                let data = rd
+                    .read_slab_f32(var, &[s, 0, 0], &[1, nlat, nlon])
+                    .map_err(|e| e.to_string())?;
+                Ok(Field2::from_vec(grid.clone(), data))
+            };
+            let native = extremes::tc::cnn::FieldSet {
+                psl: read("psl")?,
+                wind: read("sfcWind")?,
+                tas: read("tas")?,
+                vort: read("vort")?,
+            };
+            let set = native.regrid(&analysis);
+            for det in model.localize_set(&set) {
+                csv.push_str(&format!(
+                    "{},{},{:.3},{:.3},{:.3}\n",
+                    s / spd,
+                    s % spd,
+                    det.lat,
+                    det.lon,
+                    det.confidence
+                ));
+            }
         }
+        Ok(csv)
+    });
+    let mut csv = String::new();
+    for p in parts {
+        csv.push_str(&p?);
     }
     Ok(csv)
 }

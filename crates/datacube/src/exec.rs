@@ -3,16 +3,18 @@
 //! Ophidia scales analytics by distributing fragments over in-memory I/O
 //! servers that process them concurrently (Section 4.2.2: "the number of
 //! Ophidia computing components can be scaled up ... over multiple nodes").
-//! Here each I/O server is a thread; an operator maps every fragment
-//! through a kernel, with fragments dealt to servers round-robin. Bench C4
-//! measures the scaling this buys.
+//! Here each I/O server is a *lane* on the workspace-wide [`par`] pool:
+//! an operator submits at most `io_servers` lane tasks which dynamically
+//! claim fragments one at a time, so a slow fragment stalls only its own
+//! lane instead of idling a statically dealt stripe, and no threads are
+//! spawned per operator call. Bench C4 measures the scaling this buys;
+//! `par_overhead` pins the dispatch cost.
 
 use crate::model::Fragment;
-use std::sync::Mutex;
 use std::time::Instant;
 
-/// Execution configuration: how many simulated I/O servers (threads) run
-/// operator kernels.
+/// Execution configuration: how many simulated I/O servers (parallel
+/// lanes on the shared pool) run operator kernels.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ExecConfig {
     pub io_servers: usize,
@@ -49,8 +51,8 @@ where
     par_map_fragments_named(cfg, "map", frags, kernel)
 }
 
-/// Per-kernel execution record: which I/O server ran it, how many rows it
-/// covered, and for how long.
+/// Per-kernel execution record: which I/O-server lane actually ran it
+/// and for how long.
 struct KernelRun {
     out: Vec<f32>,
     server: usize,
@@ -59,15 +61,34 @@ struct KernelRun {
 
 /// [`par_map_fragments`] with an operator name for observability.
 ///
+/// Runs on the process-global [`par`] pool; see
+/// [`par_map_fragments_named_on`] for the semantics.
+pub fn par_map_fragments_named<F>(
+    cfg: ExecConfig,
+    op: &'static str,
+    frags: &[Fragment],
+    kernel: F,
+) -> Vec<Fragment>
+where
+    F: Fn(&Fragment) -> Vec<f32> + Sync,
+{
+    par_map_fragments_named_on(par::global(), cfg, op, frags, kernel)
+}
+
+/// [`par_map_fragments_named`] on an explicit pool (tests use dedicated
+/// pools to pin down scheduling behaviour).
+///
 /// Every fragment kernel is timed; per-kernel timings land in the global
-/// `datacube_kernel_us{op}` histogram and — when a tracer is subscribed to
-/// [`obs::global`] — as [`obs::EventKind::KernelDone`] events whose
-/// `server` is the I/O-server thread that ran the kernel (per-server
-/// utilization). The whole operator emits one
+/// `datacube_kernel_us{op}` histogram and — when a tracer is subscribed
+/// to [`obs::global`] — as [`obs::EventKind::KernelDone`] events whose
+/// `server` is the I/O-server lane that *actually executed* the kernel
+/// (dynamic attribution, not the static round-robin home), so per-server
+/// utilization reflects real load balance. The whole operator emits one
 /// [`obs::EventKind::OperatorDone`]. Without a subscriber the event cost
 /// is a single atomic load; the timing cost is two clock reads per
 /// fragment, negligible next to any real kernel.
-pub fn par_map_fragments_named<F>(
+pub fn par_map_fragments_named_on<F>(
+    pool: &par::Pool,
     cfg: ExecConfig,
     op: &'static str,
     frags: &[Fragment],
@@ -80,44 +101,22 @@ where
         return Vec::new();
     }
     let op_start = Instant::now();
-    let n_threads = cfg.io_servers.min(frags.len()).max(1);
-    let results: Vec<Mutex<Option<KernelRun>>> = frags.iter().map(|_| Mutex::new(None)).collect();
 
-    let run = |f: &Fragment, server: usize| {
+    // Lane tasks claim fragments dynamically and write into disjoint
+    // output slots inside `par_map_lanes` — no per-fragment mutex, no
+    // per-call thread spawn.
+    let runs: Vec<KernelRun> = pool.par_map_lanes(cfg.io_servers, frags, |lane, _i, f| {
         let t0 = Instant::now();
         let out = kernel(f);
-        KernelRun { out, server, micros: t0.elapsed().as_micros() as u64 }
-    };
-
-    if n_threads == 1 {
-        for (i, f) in frags.iter().enumerate() {
-            *results[i].lock().unwrap() = Some(run(f, 0));
-        }
-    } else {
-        std::thread::scope(|scope| {
-            for t in 0..n_threads {
-                let results = &results;
-                let run = &run;
-                scope.spawn(move || {
-                    // Round-robin deal: server t handles fragments t, t+n, ...
-                    let mut i = t;
-                    while i < frags.len() {
-                        let out = run(&frags[i], t);
-                        *results[i].lock().unwrap() = Some(out);
-                        i += n_threads;
-                    }
-                });
-            }
-        });
-    }
+        KernelRun { out, server: lane, micros: t0.elapsed().as_micros() as u64 }
+    });
 
     let bus = obs::global();
     let kernel_us = obs::registry().histogram("datacube_kernel_us", &[("op", op)]);
     let out: Vec<Fragment> = frags
         .iter()
-        .zip(results)
-        .map(|(f, slot)| {
-            let r = slot.into_inner().unwrap().expect("kernel did not run");
+        .zip(runs)
+        .map(|(f, r)| {
             kernel_us.observe(r.micros);
             bus.emit_with(|| obs::EventKind::KernelDone {
                 op,
@@ -145,6 +144,7 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::time::Duration;
 
     fn frags(n: usize, rows_each: usize, ilen: usize) -> Vec<Fragment> {
         (0..n)
@@ -229,5 +229,53 @@ mod tests {
             e.kind,
             obs::EventKind::OperatorDone { op: "double", fragments: 4, .. }
         )));
+    }
+
+    /// One pathologically slow fragment must not idle its stripe: with
+    /// the old static round-robin deal, server 0 owned fragments
+    /// {0, 4, 8} and the two fast ones waited behind the 150ms
+    /// straggler. With dynamic lane scheduling the straggler's lane runs
+    /// exactly one kernel while the other lanes drain the rest.
+    #[test]
+    fn skewed_fragment_sizes_keep_all_lanes_busy() {
+        // A dedicated pool so the host's core count (possibly 1) cannot
+        // serialize the lanes: 4 OS threads sleep concurrently.
+        let pool = par::Pool::new(4);
+        let input = frags(9, 1, 1);
+        let rx = obs::global().subscribe();
+        let t0 = Instant::now();
+        let out =
+            par_map_fragments_named_on(&pool, ExecConfig::with_servers(4), "skew", &input, |f| {
+                if f.row_start == 0 {
+                    std::thread::sleep(Duration::from_millis(150));
+                }
+                std::thread::sleep(Duration::from_millis(5));
+                f.data.clone()
+            });
+        let wall = t0.elapsed();
+        assert_eq!(out.len(), 9);
+
+        let servers: Vec<usize> = rx
+            .drain()
+            .iter()
+            .filter_map(|e| match e.kind {
+                obs::EventKind::KernelDone { op: "skew", server, .. } => Some(server),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(servers.len(), 9);
+        // The lane that picked up the straggler ran nothing else; the
+        // remaining 8 fast fragments spread over the other lanes.
+        let slow_lane = servers[0];
+        assert!(
+            servers[1..].iter().all(|&s| s != slow_lane),
+            "straggler lane also ran fast fragments: {servers:?}"
+        );
+        let distinct: std::collections::BTreeSet<usize> = servers.iter().copied().collect();
+        assert!(distinct.len() >= 3, "expected >=3 busy lanes, got {distinct:?}");
+        // Wall time ~ straggler (150ms), nowhere near the serial sum
+        // (150 + 9*5 = 195ms serial; static-stripe worst case adds the
+        // straggler's stripe on top).
+        assert!(wall < Duration::from_millis(600), "lanes idled: {wall:?}");
     }
 }

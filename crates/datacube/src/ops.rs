@@ -11,7 +11,7 @@
 use crate::error::{Error, Result};
 use crate::exec::{par_map_fragments_named, ExecConfig};
 use crate::expr::Expr;
-use crate::model::{Cube, DimKind, Dimension};
+use crate::model::{Cube, DimKind, Dimension, Fragment};
 use ncformat::{Dataset, Reader, Value};
 use std::path::Path;
 
@@ -544,10 +544,50 @@ pub fn rolling(cube: &Cube, op: ReduceOp, window: usize, cfg: ExecConfig) -> Res
 /// Re-partitions a cube into `nfrag` fragments over `io_servers` servers
 /// (Ophidia's `oph_merge`/`oph_split` fragmentation control). The logical
 /// content is unchanged.
+///
+/// Rows are copied fragment-wise straight from the source partition into
+/// the target one — the dense array is never materialized, so a
+/// single-fragment source or an unchanged fragment count costs one
+/// payload memcpy per fragment instead of gather + full re-split.
 pub fn refragment(cube: &Cube, nfrag: usize, io_servers: usize) -> Result<Cube> {
-    let mut out =
-        Cube::from_dense(&cube.measure, cube.dims.clone(), cube.to_dense(), nfrag, io_servers)?;
-    out.description = format!("{} | refragment({nfrag})", cube.description);
+    let rows = cube.rows();
+    let ilen = cube.implicit_len();
+    // Same clamping as `Cube::from_dense` so the partitions agree.
+    let nfrag = nfrag.clamp(1, rows.max(1));
+    let io_servers = io_servers.max(1);
+    let base = rows / nfrag;
+    let extra = rows % nfrag;
+
+    let mut frags = Vec::with_capacity(nfrag);
+    let mut row = 0usize;
+    // Source fragments hold ascending contiguous row ranges, so a single
+    // forward cursor visits each at most once across all targets.
+    let mut src = 0usize;
+    for f in 0..nfrag {
+        let count = base + usize::from(f < extra);
+        let mut data = Vec::with_capacity(count * ilen);
+        let mut need = row;
+        let end = row + count;
+        while need < end {
+            while cube.frags[src].row_start + cube.frags[src].row_count <= need {
+                src += 1;
+            }
+            let s = &cube.frags[src];
+            let lo = need - s.row_start;
+            let hi = (end - s.row_start).min(s.row_count);
+            data.extend_from_slice(&s.data[lo * ilen..hi * ilen]);
+            need = s.row_start + hi;
+        }
+        frags.push(Fragment { row_start: row, row_count: count, server: f % io_servers, data });
+        row += count;
+    }
+    let out = Cube {
+        measure: cube.measure.clone(),
+        dims: cube.dims.clone(),
+        frags,
+        description: format!("{} | refragment({nfrag})", cube.description),
+    };
+    out.validate()?;
     Ok(out)
 }
 

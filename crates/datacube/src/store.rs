@@ -30,6 +30,10 @@ struct Inner {
     /// Running totals for introspection/benches.
     total_inserted: u64,
     peak_bytes: usize,
+    /// Incrementally maintained sum of `bytes()` over resident cubes,
+    /// updated on put/delete so neither insertion nor `resident_bytes`
+    /// walks the whole store (that walk made `put` O(n) per insert).
+    resident: usize,
 }
 
 impl CubeStore {
@@ -43,10 +47,15 @@ impl CubeStore {
         let mut inner = self.inner.write();
         inner.next += 1;
         let id = CubeId(inner.next);
+        inner.resident += cube.bytes();
         inner.cubes.insert(id, Arc::new(cube));
         inner.total_inserted += 1;
-        let bytes = inner.cubes.values().map(|c| c.bytes()).sum();
-        inner.peak_bytes = inner.peak_bytes.max(bytes);
+        inner.peak_bytes = inner.peak_bytes.max(inner.resident);
+        debug_assert_eq!(
+            inner.resident,
+            inner.cubes.values().map(|c| c.bytes()).sum::<usize>(),
+            "incremental resident counter drifted from the full sum"
+        );
         id
     }
 
@@ -57,7 +66,10 @@ impl CubeStore {
 
     /// Deletes a cube, freeing its memory once all handles drop.
     pub fn delete(&self, id: CubeId) -> Result<()> {
-        self.inner.write().cubes.remove(&id).map(|_| ()).ok_or(Error::NoSuchCube(id.0))
+        let mut inner = self.inner.write();
+        let cube = inner.cubes.remove(&id).ok_or(Error::NoSuchCube(id.0))?;
+        inner.resident -= cube.bytes();
+        Ok(())
     }
 
     /// Ids currently stored, ascending.
@@ -75,8 +87,15 @@ impl CubeStore {
         self.len() == 0
     }
 
-    /// Current resident bytes across all cubes.
+    /// Current resident bytes across all cubes (O(1): maintained
+    /// incrementally on put/delete).
     pub fn resident_bytes(&self) -> usize {
+        self.inner.read().resident
+    }
+
+    /// Recomputes resident bytes by walking every cube. Test/debug
+    /// oracle for the incremental counter.
+    pub fn resident_bytes_full_scan(&self) -> usize {
         self.inner.read().cubes.values().map(|c| c.bytes()).sum()
     }
 
@@ -130,8 +149,14 @@ mod tests {
         assert_eq!(with_one, 8);
         let _b = s.put(small_cube(2.0));
         assert_eq!(s.resident_bytes(), 16);
+        assert_eq!(s.resident_bytes(), s.resident_bytes_full_scan());
         s.delete(a).unwrap();
         assert_eq!(s.resident_bytes(), 8);
+        assert_eq!(
+            s.resident_bytes(),
+            s.resident_bytes_full_scan(),
+            "incremental counter must match the full walk after deletes"
+        );
         assert_eq!(s.peak_bytes(), 16, "peak survives deletion");
         assert_eq!(s.total_inserted(), 2);
     }

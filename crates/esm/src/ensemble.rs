@@ -25,8 +25,14 @@ pub fn member_config(base: &EsmConfig, member: usize) -> EsmConfig {
 }
 
 /// Runs an `n_members`-member ensemble for `years` years each, invoking
-/// `on_member(member, summary)` as members complete. Returns all member
-/// summaries (with per-member ground truth).
+/// `on_member(member, summary)` per member. Returns all member summaries
+/// (with per-member ground truth).
+///
+/// Members are independent simulations writing to disjoint member
+/// directories, so they execute concurrently on the shared [`par`] pool;
+/// the callback still fires serially in ascending member order once all
+/// members finish, so downstream consumers observe a deterministic
+/// sequence. The first member error (lowest index) is returned.
 pub fn run_ensemble<F>(
     base: &EsmConfig,
     n_members: usize,
@@ -37,12 +43,16 @@ pub fn run_ensemble<F>(
 where
     F: FnMut(usize, &RunSummary),
 {
-    let mut out = Vec::with_capacity(n_members);
-    for m in 0..n_members {
+    let members: Vec<usize> = (0..n_members).collect();
+    let results: Vec<ncformat::Result<RunSummary>> = par::par_map(&members, |&m| {
         let cfg = member_config(base, m);
         let dir = member_dir(root, m);
         let mut sim = Simulation::new(cfg, &dir)?;
-        let summary = sim.run_years(years, |_, _, _| {})?;
+        sim.run_years(years, |_, _, _| {})
+    });
+    let mut out = Vec::with_capacity(n_members);
+    for (m, res) in results.into_iter().enumerate() {
+        let summary = res?;
         on_member(m, &summary);
         out.push(summary);
     }

@@ -130,10 +130,21 @@ pub fn spell_duration_index(
     let anom = ops::intercube(daily, threshold, InterOp::Sub, cfg)?;
     let cmp = if cold { "<0" } else { ">0" };
     let mask = ops::apply(&anom, &Expr::from_oph_predicate("x", cmp, "1", "0")?, cfg);
-    ops::map_series(&mask, "sdi", 1, cfg, |row| {
+    // Same pooled per-cell run-length path as the heat-wave indices.
+    let stats = crate::heatwave::map_cells(&mask, "sdi", 1, cfg, |row, out| {
         let days: usize = wave_runs(row, min_len).iter().map(|&(_, l)| l).sum();
-        vec![days as f32]
-    })
+        out[0] = days as f32;
+    });
+    let mut dims: Vec<_> = mask.explicit_dims().into_iter().cloned().collect();
+    dims.push(datacube::model::Dimension::implicit("sdi", vec![0.0]));
+    let out = Cube {
+        measure: mask.measure.clone(),
+        dims,
+        frags: stats,
+        description: "map_series(sdi)".into(),
+    };
+    out.validate()?;
+    Ok(out)
 }
 
 #[cfg(test)]

@@ -12,11 +12,80 @@
 //! `intercube(daily, baseline, Sub)`; mask = `apply(predicate(...))`;
 //! per-cell run-length statistics via `map_series`.
 
-use datacube::exec::ExecConfig;
+use datacube::exec::{self, ExecConfig};
 use datacube::expr::Expr;
-use datacube::model::Cube;
+use datacube::model::{Cube, Dimension, Fragment};
 use datacube::ops::{self, InterOp};
 use datacube::Result;
+
+/// Rows per pool task when a fragment's cells are batched through
+/// [`par::par_chunks_mut`]; run-length scans are cheap per cell, so
+/// batches keep dispatch overhead amortized.
+const CELLS_PER_BATCH: usize = 64;
+
+/// Maps `f` over every cell series of `cube`, writing `out_len` values per
+/// cell. Fragments fan out across the configured I/O-server lanes (the
+/// same path as every datacube operator), and the cells *inside* each
+/// fragment are batched through the shared [`par`] pool — nested scopes
+/// are safe because blocked pool tasks help execute queued work. Returns
+/// one output fragment per input fragment, partition-aligned.
+pub(crate) fn map_cells<F>(
+    cube: &Cube,
+    op: &'static str,
+    out_len: usize,
+    cfg: ExecConfig,
+    f: F,
+) -> Vec<Fragment>
+where
+    F: Fn(&[f32], &mut [f32]) + Sync,
+{
+    let ilen = cube.implicit_len().max(1);
+    exec::par_map_fragments_named(cfg, op, &cube.frags, |frag| {
+        let mut out = vec![0.0f32; frag.row_count * out_len];
+        par::par_chunks_mut(&mut out, CELLS_PER_BATCH * out_len.max(1), |b, out_batch| {
+            for (k, cell_out) in out_batch.chunks_mut(out_len.max(1)).enumerate() {
+                let r = b * CELLS_PER_BATCH + k;
+                // A zero-length implicit axis stores no payload; feed the
+                // kernel an empty series rather than slicing past the end.
+                let row = frag.data.get(r * ilen..(r + 1) * ilen).unwrap_or(&[]);
+                f(row, cell_out);
+            }
+        });
+        out
+    })
+}
+
+/// Assembles a single-value-per-cell index cube from per-fragment fused
+/// statistics, selecting component `which` of each cell's `stride`-wide
+/// record. Mirrors the shape `ops::map_series(.., out_len = 1, ..)`
+/// produces: explicit dims preserved, one implicit dim named `name`.
+fn split_stat(
+    mask: &Cube,
+    stats: &[Fragment],
+    stride: usize,
+    which: usize,
+    name: &str,
+) -> Result<Cube> {
+    let frags = stats
+        .iter()
+        .map(|f| Fragment {
+            row_start: f.row_start,
+            row_count: f.row_count,
+            server: f.server,
+            data: f.data.chunks(stride).map(|rec| rec[which]).collect(),
+        })
+        .collect();
+    let mut dims: Vec<Dimension> = mask.explicit_dims().into_iter().cloned().collect();
+    dims.push(Dimension::implicit(name, vec![0.0]));
+    let out = Cube {
+        measure: mask.measure.clone(),
+        dims,
+        frags,
+        description: format!("map_series({name})"),
+    };
+    out.validate()?;
+    Ok(out)
+}
 
 /// Wave criteria.
 #[derive(Debug, Clone, Copy)]
@@ -118,12 +187,19 @@ pub fn compute_indices(
 ) -> Result<HeatwaveIndices> {
     let mask = exceedance_mask(daily, baseline, params, cold, cfg)?;
     let min_len = params.min_duration;
-    let duration_max =
-        ops::map_series(&mask, "hwd", 1, cfg, |row| vec![longest_wave(row, min_len) as f32])?;
-    let number =
-        ops::map_series(&mask, "hwn", 1, cfg, |row| vec![wave_count(row, min_len) as f32])?;
-    let frequency =
-        ops::map_series(&mask, "hwf", 1, cfg, |row| vec![wave_frequency(row, min_len) as f32])?;
+    // One fused pass instead of three map_series sweeps: a single
+    // wave_runs scan per cell yields all three statistics, and the cells
+    // run in batches on the shared pool via map_cells.
+    let stats = map_cells(&mask, "wave_stats", 3, cfg, |row, out| {
+        let runs = wave_runs(row, min_len);
+        out[0] = runs.iter().map(|&(_, l)| l).max().unwrap_or(0) as f32;
+        out[1] = runs.len() as f32;
+        let days: usize = runs.iter().map(|&(_, l)| l).sum();
+        out[2] = if row.is_empty() { 0.0 } else { (days as f64 / row.len() as f64) as f32 };
+    });
+    let duration_max = split_stat(&mask, &stats, 3, 0, "hwd")?;
+    let number = split_stat(&mask, &stats, 3, 1, "hwn")?;
+    let frequency = split_stat(&mask, &stats, 3, 2, "hwf")?;
     Ok(HeatwaveIndices { duration_max, number, frequency })
 }
 

@@ -1,0 +1,72 @@
+//! Parallel-vs-serial equivalence for the fused, pooled run-length
+//! kernels: the heat-wave indices and the spell-duration index must not
+//! depend on the lane count, and the fused single-scan statistics must
+//! match the three standalone per-cell functions exactly.
+
+use datacube::exec::ExecConfig;
+use datacube::model::{Cube, Dimension};
+use extremes::etccdi::spell_duration_index;
+use extremes::heatwave::{
+    compute_indices, exceedance_mask, longest_wave, wave_count, wave_frequency, WaveParams,
+};
+
+/// Many cells with varied exceedance patterns across several fragments.
+fn synthetic_daily(cells: usize, ndays: usize, nfrag: usize) -> (Cube, Cube) {
+    let dims = vec![
+        Dimension::explicit("cell", (0..cells).map(|c| c as f64).collect()),
+        Dimension::implicit("day", (0..ndays).map(|d| d as f64).collect()),
+    ];
+    let mut data = Vec::with_capacity(cells * ndays);
+    for c in 0..cells {
+        for d in 0..ndays {
+            // Pseudo-random hot spells: deterministic, cell-dependent.
+            let hot = (c * 13 + d * 7) % 23 < 9 || (d >= c % 11 && d < c % 11 + 7);
+            data.push(if hot { 308.0 } else { 300.0 });
+        }
+    }
+    let daily = Cube::from_dense("tasmax", dims, data, nfrag, 2).unwrap();
+    let bdims = vec![Dimension::explicit("cell", (0..cells).map(|c| c as f64).collect())];
+    let baseline = Cube::from_dense("tasmax", bdims, vec![300.0; cells], nfrag, 2).unwrap();
+    (daily, baseline)
+}
+
+#[test]
+fn indices_are_lane_count_invariant() {
+    let (daily, baseline) = synthetic_daily(97, 60, 7);
+    let p = WaveParams::default();
+    let serial = compute_indices(&daily, &baseline, p, false, ExecConfig::serial()).unwrap();
+    for servers in [2, 4, 8] {
+        let par = compute_indices(&daily, &baseline, p, false, ExecConfig::with_servers(servers))
+            .unwrap();
+        assert_eq!(par.duration_max.to_dense(), serial.duration_max.to_dense());
+        assert_eq!(par.number.to_dense(), serial.number.to_dense());
+        assert_eq!(par.frequency.to_dense(), serial.frequency.to_dense());
+    }
+}
+
+#[test]
+fn fused_scan_matches_standalone_per_cell_functions() {
+    let (daily, baseline) = synthetic_daily(64, 45, 5);
+    let p = WaveParams::default();
+    let cfg = ExecConfig::with_servers(3);
+    let idx = compute_indices(&daily, &baseline, p, false, cfg).unwrap();
+    let mask = exceedance_mask(&daily, &baseline, p, false, cfg).unwrap();
+    let dense_mask = mask.to_dense();
+    let ndays = mask.implicit_len();
+    let (hwd, hwn, hwf) =
+        (idx.duration_max.to_dense(), idx.number.to_dense(), idx.frequency.to_dense());
+    for (c, row) in dense_mask.chunks(ndays).enumerate() {
+        assert_eq!(hwd[c], longest_wave(row, p.min_duration) as f32, "cell {c} HWD");
+        assert_eq!(hwn[c], wave_count(row, p.min_duration) as f32, "cell {c} HWN");
+        assert_eq!(hwf[c], wave_frequency(row, p.min_duration) as f32, "cell {c} HWF");
+    }
+}
+
+#[test]
+fn spell_duration_index_is_lane_count_invariant() {
+    let (daily, baseline) = synthetic_daily(41, 50, 4);
+    let serial = spell_duration_index(&daily, &baseline, 6, false, ExecConfig::serial()).unwrap();
+    let par =
+        spell_duration_index(&daily, &baseline, 6, false, ExecConfig::with_servers(5)).unwrap();
+    assert_eq!(par.to_dense(), serial.to_dense());
+}

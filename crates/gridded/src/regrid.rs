@@ -9,21 +9,28 @@
 use crate::field::Field2;
 use crate::grid::Grid;
 
+/// Destination cell count at which regrid/coarsen dispatch rows onto the
+/// shared pool; below it the per-task overhead exceeds the stencil work.
+const REGRID_PAR_MIN_CELLS: usize = 1 << 14;
+
 /// Bilinearly interpolates `src` onto `dst_grid`.
 ///
 /// Longitude wraps on global source grids; latitude clamps at the poles.
 /// NaNs in the source propagate to any destination cell whose stencil
-/// touches them (conservative behaviour for masked data).
+/// touches them (conservative behaviour for masked data). Every output
+/// row is independent, so large targets are computed row-parallel on the
+/// shared [`par`] pool — results are bitwise-identical to serial because
+/// each cell's stencil arithmetic is self-contained.
 pub fn regrid_bilinear(src: &Field2, dst_grid: &Grid) -> Field2 {
     let sg = &src.grid;
-    let mut out = Vec::with_capacity(dst_grid.len());
+    let mut out = vec![0.0f32; dst_grid.len()];
 
     let slat0 = sg.lat(0);
     let dlat = sg.dlat();
     let slon0 = sg.lon(0);
     let dlon = sg.dlon();
 
-    for i in 0..dst_grid.nlat {
+    let row = |i: usize, out_row: &mut [f32]| {
         let lat = dst_grid.lat(i);
         // Fractional row position in the source's cell-center coordinates.
         let fy = (lat - slat0) / dlat;
@@ -33,7 +40,7 @@ pub fn regrid_bilinear(src: &Field2, dst_grid: &Grid) -> Field2 {
         let i1 = (i0 + 1).min(sg.nlat - 1);
         let ty = if fy < 0.0 || fy > (sg.nlat - 1) as f64 { 0.0 } else { ty };
 
-        for j in 0..dst_grid.nlon {
+        for (j, slot) in out_row.iter_mut().enumerate() {
             let lon = dst_grid.lon(j);
             let mut fx = (lon - slon0) / dlon;
             if sg.is_global_lon() {
@@ -58,7 +65,15 @@ pub fn regrid_bilinear(src: &Field2, dst_grid: &Grid) -> Field2 {
             let v11 = src.get(i1, j1);
             let top = v00 * (1.0 - tx) + v01 * tx;
             let bot = v10 * (1.0 - tx) + v11 * tx;
-            out.push(top * (1.0 - ty) + bot * ty);
+            *slot = top * (1.0 - ty) + bot * ty;
+        }
+    };
+
+    if dst_grid.len() >= REGRID_PAR_MIN_CELLS && dst_grid.nlat > 1 {
+        par::par_chunks_mut(&mut out, dst_grid.nlon, |i, out_row| row(i, out_row));
+    } else {
+        for (i, out_row) in out.chunks_mut(dst_grid.nlon).enumerate() {
+            row(i, out_row);
         }
     }
     Field2::from_vec(dst_grid.clone(), out)
@@ -73,17 +88,24 @@ pub fn coarsen(src: &Field2, flat: usize, flon: usize) -> Field2 {
     assert_eq!(sg.nlat % flat, 0, "flat must divide nlat");
     assert_eq!(sg.nlon % flon, 0, "flon must divide nlon");
     let g = Grid { nlat: sg.nlat / flat, nlon: sg.nlon / flon, ..sg.clone() };
-    let mut out = Vec::with_capacity(g.len());
+    let mut out = vec![0.0f32; g.len()];
     let norm = (flat * flon) as f32;
-    for bi in 0..g.nlat {
-        for bj in 0..g.nlon {
+    let row = |bi: usize, out_row: &mut [f32]| {
+        for (bj, slot) in out_row.iter_mut().enumerate() {
             let mut sum = 0.0f32;
             for di in 0..flat {
                 for dj in 0..flon {
                     sum += src.get(bi * flat + di, bj * flon + dj);
                 }
             }
-            out.push(sum / norm);
+            *slot = sum / norm;
+        }
+    };
+    if g.len() * flat * flon >= REGRID_PAR_MIN_CELLS && g.nlat > 1 {
+        par::par_chunks_mut(&mut out, g.nlon, |bi, out_row| row(bi, out_row));
+    } else {
+        for (bi, out_row) in out.chunks_mut(g.nlon).enumerate() {
+            row(bi, out_row);
         }
     }
     Field2::from_vec(g, out)

@@ -8,6 +8,10 @@
 use crate::field::Field2;
 use crate::grid::Grid;
 
+/// Total cell count at which [`Tiling::extract_all`] fans tiles out onto
+/// the shared pool; smaller tilings copy faster than they dispatch.
+const TILE_PAR_MIN_CELLS: usize = 1 << 14;
+
 /// Size specification for a tiling: square patches of `patch` cells.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TileSpec {
@@ -62,15 +66,24 @@ impl Tiling {
         out
     }
 
-    /// Extracts every tile in row-major tile order.
+    /// Extracts every tile in row-major tile order. Tiles are independent
+    /// reads, so extraction fans out over the shared [`par`] pool when
+    /// there is enough work to amortize dispatch; ordering is preserved
+    /// either way.
     pub fn extract_all(&self, field: &Field2) -> Vec<Vec<f32>> {
-        let mut out = Vec::with_capacity(self.len());
-        for r in 0..self.rows {
-            for c in 0..self.cols {
-                out.push(self.extract(field, r, c));
+        let n = self.len();
+        if n * self.patch * self.patch >= TILE_PAR_MIN_CELLS {
+            let ids: Vec<usize> = (0..n).collect();
+            par::par_map(&ids, |&idx| self.extract(field, idx / self.cols, idx % self.cols))
+        } else {
+            let mut out = Vec::with_capacity(n);
+            for r in 0..self.rows {
+                for c in 0..self.cols {
+                    out.push(self.extract(field, r, c));
+                }
             }
+            out
         }
-        out
     }
 
     /// Grid coordinates `(i, j)` of pixel `(pi, pj)` inside tile `(r, c)`.

@@ -8,6 +8,11 @@
 
 use crate::tensor::Tensor;
 
+/// Below roughly this many multiply-accumulates a convolution is cheaper
+/// serial than dispatched on the pool; tiny unit-test kernels stay exact
+/// and fast, real CNN workloads (TC patches) go parallel.
+const CONV_PAR_MIN_MACS: usize = 1 << 15;
+
 /// Common interface over all layers.
 pub trait Layer: Send {
     /// Forward pass; caches activations needed by the backward pass.
@@ -164,7 +169,11 @@ impl Layer for Conv2d {
         let mut y = Tensor::zeros(&[self.out_ch, oh, ow]);
         let k = self.kernel;
         let p = self.pad as isize;
-        for o in 0..self.out_ch {
+        let plane = oh * ow;
+        // One output plane per output channel — disjoint writes, so the
+        // parallel split is over `o` and the per-element accumulation
+        // order is identical to serial (bitwise-equal results).
+        let run_plane = |o: usize, out_plane: &mut [f32]| {
             for yy in 0..oh {
                 for xx in 0..ow {
                     let mut acc = self.b.data[o];
@@ -184,8 +193,16 @@ impl Layer for Conv2d {
                             }
                         }
                     }
-                    *y.at3_mut(o, yy, xx) = acc;
+                    out_plane[yy * ow + xx] = acc;
                 }
+            }
+        };
+        let macs = self.out_ch * plane * self.in_ch * k * k;
+        if self.out_ch > 1 && macs >= CONV_PAR_MIN_MACS {
+            par::par_chunks_mut(&mut y.data, plane, |o, out_plane| run_plane(o, out_plane));
+        } else {
+            for (o, out_plane) in y.data.chunks_mut(plane).enumerate() {
+                run_plane(o, out_plane);
             }
         }
         self.cache_x = Some(x.clone());
@@ -197,18 +214,24 @@ impl Layer for Conv2d {
         let (h, w) = (x.shape[1], x.shape[2]);
         let (oh, ow) = self.out_hw(h, w);
         assert_eq!(grad_out.shape, vec![self.out_ch, oh, ow]);
-        let mut gx = Tensor::zeros(&[self.in_ch, h, w]);
         let k = self.kernel;
         let p = self.pad as isize;
-        for o in 0..self.out_ch {
+        let (in_ch, out_ch) = (self.in_ch, self.out_ch);
+        let wplane = in_ch * k * k;
+        let mut gx = Tensor::zeros(&[in_ch, h, w]);
+
+        // Weight/bias gradients for one output channel: disjoint `gw`
+        // plane and `gb` element, so the per-`o` split writes without
+        // overlap and accumulation order matches the serial nest.
+        let run_wgrads = |o: usize, gw_o: &mut [f32], gb_o: &mut f32| {
             for yy in 0..oh {
                 for xx in 0..ow {
                     let g = grad_out.at3(o, yy, xx);
                     if g == 0.0 {
                         continue;
                     }
-                    self.gb.data[o] += g;
-                    for c in 0..self.in_ch {
+                    *gb_o += g;
+                    for c in 0..in_ch {
                         for ky in 0..k {
                             let iy = yy as isize + ky as isize - p;
                             if iy < 0 || iy >= h as isize {
@@ -219,13 +242,68 @@ impl Layer for Conv2d {
                                 if ix < 0 || ix >= w as isize {
                                     continue;
                                 }
-                                let widx = self.widx(o, c, ky, kx);
-                                self.gw.data[widx] += g * x.at3(c, iy as usize, ix as usize);
-                                *gx.at3_mut(c, iy as usize, ix as usize) += g * self.w.data[widx];
+                                let wi = (c * k + ky) * k + kx;
+                                gw_o[wi] += g * x.data[(c * h + iy as usize) * w + ix as usize];
                             }
                         }
                     }
                 }
+            }
+        };
+        // Input gradient for one input channel. Keeping `o` outermost
+        // reproduces the fully serial loop nest's per-element accumulation
+        // order, so parallel and serial results are bitwise equal at any
+        // pool width.
+        let weights = &self.w;
+        let run_xgrad = |c: usize, plane: &mut [f32]| {
+            for o in 0..out_ch {
+                for yy in 0..oh {
+                    for xx in 0..ow {
+                        let g = grad_out.at3(o, yy, xx);
+                        if g == 0.0 {
+                            continue;
+                        }
+                        for ky in 0..k {
+                            let iy = yy as isize + ky as isize - p;
+                            if iy < 0 || iy >= h as isize {
+                                continue;
+                            }
+                            for kx in 0..k {
+                                let ix = xx as isize + kx as isize - p;
+                                if ix < 0 || ix >= w as isize {
+                                    continue;
+                                }
+                                let wi = (c * k + ky) * k + kx;
+                                plane[iy as usize * w + ix as usize] +=
+                                    g * weights.data[o * wplane + wi];
+                            }
+                        }
+                    }
+                }
+            }
+        };
+
+        let macs = out_ch * oh * ow * in_ch * k * k;
+        if (out_ch > 1 || in_ch > 1) && macs >= CONV_PAR_MIN_MACS {
+            let gw = &mut self.gw.data;
+            let gb = &mut self.gb.data;
+            let run_wgrads = &run_wgrads;
+            let run_xgrad = &run_xgrad;
+            par::scope(|s| {
+                for ((o, gw_o), gb_o) in gw.chunks_mut(wplane).enumerate().zip(gb.iter_mut()) {
+                    s.spawn(move || run_wgrads(o, gw_o, gb_o));
+                }
+                for (c, plane) in gx.data.chunks_mut(h * w).enumerate() {
+                    s.spawn(move || run_xgrad(c, plane));
+                }
+            });
+        } else {
+            for o in 0..out_ch {
+                let gw_o = &mut self.gw.data[o * wplane..(o + 1) * wplane];
+                run_wgrads(o, gw_o, &mut self.gb.data[o]);
+            }
+            for (c, plane) in gx.data.chunks_mut(h * w).enumerate() {
+                run_xgrad(c, plane);
             }
         }
         gx

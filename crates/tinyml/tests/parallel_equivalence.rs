@@ -1,0 +1,203 @@
+//! Parallel-vs-serial equivalence for the pooled compute paths.
+//!
+//! Conv2d dispatches large kernels onto the shared `par` pool. The
+//! forward split is per output channel with an unchanged per-element
+//! accumulation order, so it must match a naive serial reference
+//! *bitwise*; the same holds for the weight/bias gradients (disjoint
+//! per-`o` accumulation) and for the input gradient (disjoint per-input-
+//! channel planes, `o` kept outermost so every element accumulates in
+//! the serial order). Minibatch training with one replica must equal the
+//! serial trainer exactly.
+
+use tinyml::layers::{Conv2d, Layer};
+use tinyml::loss::mse;
+use tinyml::net::Sequential;
+use tinyml::tensor::Tensor;
+use tinyml::train::{train_epoch, train_epoch_parallel, Sample, Sgd};
+
+/// Geometry big enough (8·30·30·4·9 ≈ 260k MACs) to take the parallel
+/// path inside Conv2d.
+const IN_CH: usize = 4;
+const OUT_CH: usize = 8;
+const K: usize = 3;
+const H: usize = 32;
+const W: usize = 32;
+
+/// Naive direct convolution, the serial oracle (same loop order as the
+/// layer's per-plane kernel).
+#[allow(clippy::needless_range_loop)]
+fn reference_forward(x: &Tensor, w: &Tensor, b: &Tensor, pad: usize) -> Tensor {
+    let (h, ww) = (x.shape[1], x.shape[2]);
+    let oh = h + 2 * pad + 1 - K;
+    let ow = ww + 2 * pad + 1 - K;
+    let mut y = Tensor::zeros(&[OUT_CH, oh, ow]);
+    let p = pad as isize;
+    for o in 0..OUT_CH {
+        for yy in 0..oh {
+            for xx in 0..ow {
+                let mut acc = b.data[o];
+                for c in 0..IN_CH {
+                    for ky in 0..K {
+                        let iy = yy as isize + ky as isize - p;
+                        if iy < 0 || iy >= h as isize {
+                            continue;
+                        }
+                        for kx in 0..K {
+                            let ix = xx as isize + kx as isize - p;
+                            if ix < 0 || ix >= ww as isize {
+                                continue;
+                            }
+                            acc += w.data[((o * IN_CH + c) * K + ky) * K + kx]
+                                * x.at3(c, iy as usize, ix as usize);
+                        }
+                    }
+                }
+                *y.at3_mut(o, yy, xx) = acc;
+            }
+        }
+    }
+    y
+}
+
+#[test]
+fn conv2d_forward_parallel_is_bitwise_serial() {
+    let mut conv = Conv2d::new(IN_CH, OUT_CH, K, 1, 42);
+    let x = Tensor::uniform(&[IN_CH, H, W], 1.0, 7);
+    let y = conv.forward(&x);
+    let (w, b) = {
+        let ps = conv.params();
+        (ps[0].clone(), ps[1].clone())
+    };
+    let expect = reference_forward(&x, &w, &b, 1);
+    assert_eq!(y.shape, expect.shape);
+    assert_eq!(y.data, expect.data, "parallel forward must be bitwise-identical to serial");
+}
+
+#[test]
+fn conv2d_backward_parallel_matches_serial() {
+    // Gradients from the (parallel) layer against a serial finite
+    // "reference layer": a second Conv2d forced down the serial path by
+    // shrinking the spatial size below the MAC threshold is not the
+    // same computation, so instead compare against a direct serial
+    // re-derivation of the gradient formulas.
+    let mut conv = Conv2d::new(IN_CH, OUT_CH, K, 1, 42);
+    let x = Tensor::uniform(&[IN_CH, H, W], 1.0, 7);
+    let y = conv.forward(&x);
+    let go = Tensor::uniform(&y.shape, 1.0, 13);
+    conv.zero_grad();
+    let gx = conv.backward(&go);
+
+    // Serial oracle.
+    let (w, _b) = {
+        let ps = conv.params();
+        (ps[0].clone(), ps[1].clone())
+    };
+    let (oh, ow) = (y.shape[1], y.shape[2]);
+    let mut ref_gw = vec![0.0f32; OUT_CH * IN_CH * K * K];
+    let mut ref_gb = vec![0.0f32; OUT_CH];
+    let mut ref_gx = vec![0.0f32; IN_CH * H * W];
+    let p = 1isize;
+    #[allow(clippy::needless_range_loop)] // serial oracle mirrors the layer's loop nest
+    for o in 0..OUT_CH {
+        for yy in 0..oh {
+            for xx in 0..ow {
+                let g = go.at3(o, yy, xx);
+                if g == 0.0 {
+                    continue;
+                }
+                ref_gb[o] += g;
+                for c in 0..IN_CH {
+                    for ky in 0..K {
+                        let iy = yy as isize + ky as isize - p;
+                        if iy < 0 || iy >= H as isize {
+                            continue;
+                        }
+                        for kx in 0..K {
+                            let ix = xx as isize + kx as isize - p;
+                            if ix < 0 || ix >= W as isize {
+                                continue;
+                            }
+                            let wi = ((o * IN_CH + c) * K + ky) * K + kx;
+                            let xi = (c * H + iy as usize) * W + ix as usize;
+                            ref_gw[wi] += g * x.data[xi];
+                            ref_gx[xi] += g * w.data[wi];
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    let pairs = conv.params_grads();
+    let (gw, gb) = {
+        let (wp, bp) = (&pairs[0], &pairs[1]);
+        (wp.1.data.clone(), bp.1.data.clone())
+    };
+    drop(pairs);
+    // Weight/bias gradients accumulate per-channel in serial order on
+    // both sides: bitwise equal.
+    assert_eq!(gw, ref_gw, "gw must be bitwise-identical");
+    assert_eq!(gb, ref_gb, "gb must be bitwise-identical");
+    // gx splits per input channel with `o` outermost, preserving the
+    // serial per-element accumulation order: bitwise equal too.
+    assert_eq!(gx.data, ref_gx, "gx must be bitwise-identical");
+}
+
+fn make_net(seed: u64) -> Sequential {
+    use tinyml::layers::{Dense, Tanh};
+    Sequential::new().add(Dense::new(6, 8, seed)).add(Tanh::new()).add(Dense::new(8, 2, seed + 1))
+}
+
+fn make_samples(n: usize) -> Vec<Sample> {
+    (0..n)
+        .map(|i| {
+            let x: Vec<f32> = (0..6).map(|j| ((i * 7 + j * 3) % 11) as f32 / 11.0 - 0.5).collect();
+            let t = vec![x.iter().sum::<f32>(), x[0] - x[5]];
+            (Tensor::from_vec(&[6], x), Tensor::from_vec(&[2], t))
+        })
+        .collect()
+}
+
+#[test]
+fn one_replica_parallel_training_equals_serial() {
+    let samples = make_samples(24);
+    let mut serial_net = make_net(100);
+    let mut serial_opt = Sgd::new(0.05, 0.9);
+    let mut par_nets = vec![make_net(100)];
+    let mut par_opt = Sgd::new(0.05, 0.9);
+    for _ in 0..5 {
+        let a = train_epoch(&mut serial_net, &mut serial_opt, &samples, 4, mse);
+        let b = train_epoch_parallel(&mut par_nets, &mut par_opt, &samples, 4, mse);
+        assert_eq!(a.batches, b.batches);
+        assert_eq!(a.mean_loss, b.mean_loss, "single-replica run must be exactly serial");
+    }
+    let fa: Vec<Vec<f32>> = serial_net.params().iter().map(|t| t.data.clone()).collect();
+    let fb: Vec<Vec<f32>> = par_nets[0].params().iter().map(|t| t.data.clone()).collect();
+    assert_eq!(fa, fb, "parameters must match bitwise after identical training");
+}
+
+#[test]
+fn multi_replica_training_matches_serial_to_tolerance() {
+    let samples = make_samples(32);
+    let mut serial_net = make_net(200);
+    let mut serial_opt = Sgd::new(0.05, 0.0);
+    let mut par_nets: Vec<Sequential> = (0..3).map(|_| make_net(200)).collect();
+    let mut par_opt = Sgd::new(0.05, 0.0);
+    let mut serial_loss = 0.0;
+    let mut par_loss = 0.0;
+    for _ in 0..10 {
+        serial_loss = train_epoch(&mut serial_net, &mut serial_opt, &samples, 8, mse).mean_loss;
+        par_loss = train_epoch_parallel(&mut par_nets, &mut par_opt, &samples, 8, mse).mean_loss;
+    }
+    // Same gradient sums up to float re-association: the trajectories
+    // track each other closely.
+    assert!(
+        (serial_loss - par_loss).abs() <= 1e-3 * serial_loss.abs().max(1e-3),
+        "losses diverged: serial {serial_loss}, parallel {par_loss}"
+    );
+    for (a, b) in serial_net.params().iter().zip(par_nets[0].params()) {
+        for (va, vb) in a.data.iter().zip(&b.data) {
+            assert!((va - vb).abs() <= 1e-3, "params diverged: {va} vs {vb}");
+        }
+    }
+}

@@ -13,4 +13,7 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== cargo test (workspace) =="
 cargo test --workspace -q
 
+echo "== cargo bench --no-run (benches compile) =="
+cargo bench --workspace --no-run -q
+
 echo "All checks passed."
