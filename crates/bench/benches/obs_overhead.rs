@@ -10,7 +10,32 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use obs::{Bus, EventKind};
 
+/// Hard gate on the "observability is free when off" promise: with
+/// `OBS_OVERHEAD_BUDGET_NS` set (as `scripts/check.sh` does), measure the
+/// inactive-bus fast path directly and abort the bench run if one
+/// `emit_with` exceeds the budget.
+fn budget_gate() {
+    let Ok(budget) = std::env::var("OBS_OVERHEAD_BUDGET_NS") else { return };
+    let budget_ns: f64 = budget.parse().expect("OBS_OVERHEAD_BUDGET_NS must be a number");
+    let bus = Bus::new();
+    let n = 2_000_000u64;
+    let t0 = std::time::Instant::now();
+    for i in 0..n {
+        bus.emit_with(|| EventKind::QueueDepth {
+            ready: std::hint::black_box(i as usize),
+            running: 2,
+        });
+    }
+    let per = t0.elapsed().as_nanos() as f64 / n as f64;
+    assert!(
+        per <= budget_ns,
+        "inactive-bus emit_with costs {per:.2}ns/op, over the {budget_ns}ns budget"
+    );
+    eprintln!("obs overhead gate: {per:.2}ns/op (budget {budget_ns}ns)");
+}
+
 fn bench(c: &mut Criterion) {
+    budget_gate();
     let mut g = c.benchmark_group("obs_overhead");
     g.sample_size(50);
 

@@ -5,6 +5,9 @@
 //!                [--scenario historical|ssp245|ssp585] [--seed N]
 //!                [--out DIR] [--sequential]
 //!                [--trace out.json] [--metrics out.prom]
+//! climate-wf report [run options]      run with profiling: timed critical
+//!                                      path, pool utilization, latency
+//!                                      percentiles, crash flight recorder
 //! climate-wf graph [--years N]         print the Figure-3 DOT graph
 //! climate-wf topology                  print the case study's TOSCA document
 //! climate-wf ncdump FILE.ncx           inspect an NCX file header
@@ -16,11 +19,14 @@ use std::collections::BTreeMap;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: climate-wf <run|graph|topology|ncdump|info> [options]\n\
+        "usage: climate-wf <run|report|graph|topology|ncdump|info> [options]\n\
          \n\
          run      [--years N] [--days N] [--grid test_small|demo|LATxLON]\n\
          \x20        [--scenario historical|ssp245|ssp585] [--seed N] [--out DIR] [--sequential]\n\
          \x20        [--trace out.json] [--metrics out.prom]\n\
+         report   [run options] run with profiling: timed critical path with slack,\n\
+         \x20        what-if speedups, pool utilization, latency percentiles;\n\
+         \x20        arms the crash flight recorder (dumps JSONL on failure)\n\
          graph    [--years N]   print the task graph in Graphviz DOT\n\
          topology               print the TOSCA topology document\n\
          ncdump FILE            inspect an NCX file\n\
@@ -114,6 +120,68 @@ fn cmd_run(flags: &BTreeMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
+/// `climate-wf report`: run the workflow with full profiling enabled and
+/// print the performance report — measured critical path with slack and
+/// what-if speedups, per-function self-time, compute-pool utilization and
+/// a latency percentile table. The crash flight recorder is armed for the
+/// whole run; a task failure or panic dumps the most recent events as
+/// JSONL next to the workflow outputs.
+fn cmd_report(flags: &BTreeMap<String, String>) -> Result<(), String> {
+    let params = params_from_flags(flags)?;
+    std::fs::remove_dir_all(&params.out_dir).ok();
+    std::fs::create_dir_all(&params.out_dir).map_err(|e| e.to_string())?;
+
+    let flight_path = params.out_dir.join("flight.jsonl");
+    obs::flight::set_dump_path(&flight_path);
+    obs::flight::install_panic_hook();
+    obs::flight::enable();
+
+    let tracer = flags.get("trace").map(|_| obs::global().subscribe_with_capacity(1 << 21));
+
+    let sequential = flags.contains_key("sequential");
+    let report = if sequential { run_sequential(params) } else { run_pipelined(params) }?;
+    print!("{}", report.render());
+
+    println!("pool utilization:");
+    for w in par::global().worker_stats() {
+        println!(
+            "  worker {:>2}: {:>5.1}% busy ({} tasks, {} stolen, {}ms busy / {}ms idle)",
+            w.worker,
+            w.utilization() * 100.0,
+            w.tasks,
+            w.steals,
+            w.busy_us / 1000,
+            w.idle_us / 1000
+        );
+    }
+
+    println!("latency percentiles (\u{b5}s):");
+    println!("  {:<40} {:>8} {:>8} {:>8} {:>8}", "histogram", "count", "p50", "p95", "p99");
+    for (name, h) in obs::registry().histograms() {
+        if !name.contains("_us") || h.count() == 0 {
+            continue;
+        }
+        println!(
+            "  {:<40} {:>8} {:>8.0} {:>8.0} {:>8.0}",
+            name,
+            h.count(),
+            h.percentile(0.50),
+            h.percentile(0.95),
+            h.percentile(0.99)
+        );
+    }
+
+    if let (Some(path), Some(rx)) = (flags.get("trace"), tracer) {
+        let events = rx.drain();
+        std::fs::write(path, obs::chrome_trace(&events)).map_err(|e| e.to_string())?;
+        println!("trace: {path} ({} events)", events.len());
+    }
+    if report.metrics.failed > 0 {
+        println!("flight recorder: {} (dumped on task failure)", flight_path.display());
+    }
+    Ok(())
+}
+
 fn cmd_graph(flags: &BTreeMap<String, String>) -> Result<(), String> {
     let mut params = params_from_flags(flags)?;
     params.days_per_year = params.days_per_year.min(8);
@@ -160,6 +228,7 @@ fn main() {
     let (flags, positional) = parse_args(&args[1..]);
     let result = match cmd.as_str() {
         "run" => cmd_run(&flags),
+        "report" => cmd_report(&flags),
         "graph" => cmd_graph(&flags),
         "topology" => {
             print!("{}", hpcwaas::tosca::climate_case_study().to_source());

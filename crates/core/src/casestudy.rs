@@ -730,6 +730,7 @@ impl CaseStudy {
             dot_path,
             prov_path,
             metrics: self.rt.metrics(),
+            timed: self.rt.timing_report(),
         })
     }
 }

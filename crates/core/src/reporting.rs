@@ -54,6 +54,20 @@ pub struct RunReport {
     pub prov_path: PathBuf,
     /// Runtime execution metrics.
     pub metrics: Metrics,
+    /// Timed critical-path analysis over measured task durations
+    /// (None when no task completed).
+    pub timed: Option<dataflow::timing::TimedPath>,
+}
+
+/// `1234567` µs → `"1.23s"`, `4321` µs → `"4.3ms"`.
+fn fmt_us(us: u64) -> String {
+    if us >= 1_000_000 {
+        format!("{:.2}s", us as f64 / 1e6)
+    } else if us >= 1_000 {
+        format!("{:.1}ms", us as f64 / 1e3)
+    } else {
+        format!("{us}\u{b5}s")
+    }
 }
 
 impl RunReport {
@@ -118,6 +132,57 @@ impl RunReport {
             self.metrics.cancelled,
             self.metrics.retries
         );
+        if let Some(t) = &self.timed {
+            s.push_str(&self.render_timed(t));
+        }
+        s
+    }
+
+    /// The timed critical-path section: the measured path with per-step
+    /// durations, what-if speedups, slack summary and a self-time top list.
+    fn render_timed(&self, t: &dataflow::timing::TimedPath) -> String {
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "timed critical path: {} over {} tasks ({:.0}% of {} wall)",
+            fmt_us(t.path_us),
+            t.path.len(),
+            t.path_fraction() * 100.0,
+            fmt_us(t.wall_us)
+        );
+        for step in &t.path {
+            let _ = writeln!(
+                s,
+                "  {:<28} {:>9}  (start +{})",
+                step.name,
+                fmt_us(step.duration_us),
+                fmt_us(step.start_us)
+            );
+        }
+        for w in t.what_if.iter().take(3) {
+            let _ = writeln!(
+                s,
+                "  what-if {} were free: path {} ({:.2}x whole-run ceiling)",
+                w.name,
+                fmt_us(w.path_us),
+                w.speedup
+            );
+        }
+        let off_path: Vec<&(dataflow::TaskId, u64)> =
+            t.slack_us.iter().filter(|(_, sl)| *sl > 0).collect();
+        if !off_path.is_empty() {
+            let max = off_path.iter().map(|(_, sl)| *sl).max().unwrap_or(0);
+            let _ = writeln!(
+                s,
+                "slack: {} off-path task(s), max slack {}",
+                off_path.len(),
+                fmt_us(max)
+            );
+        }
+        let _ = writeln!(s, "self-time by task function:");
+        for (name, us, count) in t.self_time.iter().take(8) {
+            let _ = writeln!(s, "  {name:<28} {:>9}  x{count}", fmt_us(*us));
+        }
         s
     }
 }
@@ -152,6 +217,7 @@ mod tests {
             dot_path: PathBuf::from("/p/taskgraph.dot"),
             prov_path: PathBuf::from("/p/provenance.prov.txt"),
             metrics: Metrics::default(),
+            timed: None,
         }
     }
 
@@ -163,5 +229,29 @@ mod tests {
         assert!(r.contains("esm_simulation"));
         assert!(r.contains("HW cells 12"));
         assert!(r.contains("validated=true"));
+    }
+
+    #[test]
+    fn render_includes_timed_path_section() {
+        use dataflow::timing::{analyze, TaskSpan};
+        use dataflow::TaskId;
+        use std::sync::Arc;
+        let spans = [
+            TaskSpan { task: TaskId(1), name: Arc::from("sim"), start_us: 0, end_us: 2_000_000 },
+            TaskSpan { task: TaskId(2), name: Arc::from("analyze"), start_us: 0, end_us: 500 },
+        ];
+        let mut report = sample();
+        report.timed = analyze(&[], &spans);
+        let r = report.render();
+        assert!(r.contains("timed critical path: 2.00s"), "got:\n{r}");
+        assert!(r.contains("self-time by task function"));
+        assert!(r.contains("sim"));
+    }
+
+    #[test]
+    fn fmt_us_picks_sane_units() {
+        assert_eq!(fmt_us(750), "750\u{b5}s");
+        assert_eq!(fmt_us(4_321), "4.3ms");
+        assert_eq!(fmt_us(1_234_567), "1.23s");
     }
 }

@@ -100,6 +100,10 @@ where
     if frags.is_empty() {
         return Vec::new();
     }
+    // Operator span: kernel lane tasks spawned below inherit this as
+    // their parent, so a trace shows kernels nested under the operator
+    // (and the operator under whatever workflow task invoked it).
+    let _op_span = if obs::global_active() { Some(obs::trace::span(op)) } else { None };
     let op_start = Instant::now();
 
     // Lane tasks claim fragments dynamically and write into disjoint

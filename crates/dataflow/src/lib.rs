@@ -71,6 +71,7 @@ pub mod runtime;
 pub mod scheduler;
 pub mod stream;
 pub mod task;
+pub mod timing;
 
 pub use error::{Error, Result};
 pub use payload::{Bytes, Payload};

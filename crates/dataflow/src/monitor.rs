@@ -100,6 +100,13 @@ impl StatusFold {
 
     /// Applies one event. Events that do not concern task lifecycle are
     /// ignored, so a fold can consume a mixed stream unfiltered.
+    ///
+    /// Name-carrying events for tasks the fold has never seen create
+    /// their cell on the spot, so a subscriber that attaches mid-run
+    /// still tracks everything from that point on. In particular a task
+    /// observed only via `TaskStarted` is correctly *removed* from the
+    /// running view when its cancel event arrives — it must not linger
+    /// in `running_tasks` after `TaskFinished { Cancelled }`.
     pub fn apply(&mut self, kind: &EventKind) {
         match kind {
             EventKind::TaskSubmitted { task, name } => {
@@ -114,36 +121,46 @@ impl StatusFold {
                 );
             }
             EventKind::TaskReady { task } => {
+                // No name on this event; an unknown task stays unknown
+                // until a name-carrying event arrives.
                 if let Some(c) = self.tasks.get_mut(task) {
                     c.state = TaskState::Ready;
                 }
             }
-            EventKind::TaskStarted { task, attempt, .. } => {
-                if let Some(c) = self.tasks.get_mut(task) {
-                    c.state = TaskState::Running;
-                    c.attempts = *attempt;
-                    c.started = Some(Instant::now());
-                }
+            EventKind::TaskStarted { task, name, attempt, .. } => {
+                let c = self.cell(*task, name);
+                c.state = TaskState::Running;
+                c.attempts = *attempt;
+                c.started = Some(Instant::now());
             }
-            EventKind::TaskRetried { task, attempt, .. } => {
-                if let Some(c) = self.tasks.get_mut(task) {
-                    c.state = TaskState::Ready;
-                    c.attempts = *attempt;
-                    c.started = None;
-                }
+            EventKind::TaskRetried { task, name, attempt } => {
+                let c = self.cell(*task, name);
+                c.state = TaskState::Ready;
+                c.attempts = *attempt;
+                c.started = None;
             }
-            EventKind::TaskFinished { task, outcome, .. } => {
-                if let Some(c) = self.tasks.get_mut(task) {
-                    c.state = match outcome {
-                        TaskOutcome::Completed => TaskState::Completed,
-                        TaskOutcome::Failed => TaskState::Failed,
-                        TaskOutcome::Cancelled => TaskState::Cancelled,
-                    };
-                    c.started = None;
-                }
+            EventKind::TaskFinished { task, name, outcome, .. } => {
+                let c = self.cell(*task, name);
+                c.state = match outcome {
+                    TaskOutcome::Completed => TaskState::Completed,
+                    TaskOutcome::Failed => TaskState::Failed,
+                    TaskOutcome::Cancelled => TaskState::Cancelled,
+                };
+                c.started = None;
             }
             _ => {}
         }
+    }
+
+    /// The cell for `task`, created from `name` if this is the first
+    /// event the fold sees for it (mid-stream subscription).
+    fn cell(&mut self, task: u64, name: &Arc<str>) -> &mut TaskCell {
+        self.tasks.entry(task).or_insert_with(|| TaskCell {
+            state: TaskState::Pending,
+            name: Arc::clone(name),
+            attempts: 0,
+            started: None,
+        })
     }
 
     /// Applies a stamped event (convenience for subscriber loops).
@@ -236,6 +253,45 @@ mod tests {
         let s = f.snapshot();
         assert_eq!(s.ready, 1);
         assert_eq!(s.running, 0);
+    }
+
+    #[test]
+    fn cancel_mid_flight_clears_running_view() {
+        // A fold attached mid-run first learns about the task from its
+        // start event; the cancel event must still remove it from the
+        // running view rather than leaking a running_tasks entry.
+        let mut f = StatusFold::new();
+        f.apply(&EventKind::TaskStarted { task: 3, name: name(), worker: 1, attempt: 1 });
+        assert_eq!(f.snapshot().running_tasks.len(), 1);
+        f.apply(&EventKind::TaskFinished {
+            task: 3,
+            name: name(),
+            worker: None,
+            outcome: TaskOutcome::Cancelled,
+            micros: 0,
+        });
+        let s = f.snapshot();
+        assert!(s.running_tasks.is_empty(), "cancelled task leaked into running view");
+        assert_eq!((s.running, s.cancelled), (0, 1));
+        assert!(s.is_quiescent());
+    }
+
+    #[test]
+    fn mid_stream_fold_tracks_unseen_tasks() {
+        // Subscribing after submission: Started/Retried/Finished create
+        // cells on first sight so counts stay consistent from then on.
+        let mut f = StatusFold::new();
+        f.apply(&EventKind::TaskRetried { task: 8, name: name(), attempt: 2 });
+        f.apply(&EventKind::TaskFinished {
+            task: 9,
+            name: name(),
+            worker: Some(0),
+            outcome: TaskOutcome::Completed,
+            micros: 4,
+        });
+        let s = f.snapshot();
+        assert_eq!((s.ready, s.completed), (1, 1));
+        assert_eq!(f.len(), 2);
     }
 
     #[test]

@@ -123,6 +123,9 @@ struct TaskEntry<P: Payload> {
     dependents: Vec<TaskId>,
     attempts: u32,
     started: Option<Instant>,
+    /// Start of the current attempt on the runtime bus clock; feeds the
+    /// timed critical-path log ([`Runtime::timing_report`]).
+    started_us: Option<u64>,
 }
 
 struct DataEntry<P: Payload> {
@@ -170,6 +173,9 @@ struct Inner<P: Payload> {
     /// Event-folded status view; `Runtime::status()` is a snapshot of this,
     /// so the poll API and the event stream can never disagree.
     fold: StatusFold,
+    /// Measured execution interval of every completed task, on the
+    /// runtime bus clock. Input to [`crate::timing::analyze`].
+    spans: Vec<crate::timing::TaskSpan>,
 }
 
 struct Shared<P: Payload> {
@@ -276,6 +282,7 @@ impl<P: Payload> Runtime<P> {
             provenance: ProvenanceLog::new(),
             gang: None,
             fold: StatusFold::new(),
+            spans: Vec::new(),
         };
         let shared = Arc::new(Shared {
             state: Mutex::new(inner),
@@ -420,6 +427,20 @@ impl<P: Payload> Runtime<P> {
     pub fn graph_stats(&self) -> (usize, usize, usize) {
         let st = self.shared.state.lock();
         (st.graph.len(), st.graph.edges().len(), st.graph.critical_path_len())
+    }
+
+    /// Measured execution interval of every completed task so far, on
+    /// the runtime bus clock (see [`obs::Bus::now_micros`]).
+    pub fn task_spans(&self) -> Vec<crate::timing::TaskSpan> {
+        self.shared.state.lock().spans.clone()
+    }
+
+    /// The timed critical path of everything executed so far: the
+    /// measured longest dependency chain, per-task slack, and what-if
+    /// speedups (see [`crate::timing`]). `None` until a task completes.
+    pub fn timing_report(&self) -> Option<crate::timing::TimedPath> {
+        let st = self.shared.state.lock();
+        crate::timing::analyze(&st.graph.edges(), &st.spans)
     }
 
     /// Per-function task counts (legend of Figure 3).
@@ -657,6 +678,7 @@ impl<'rt, P: Payload> TaskBuilder<'rt, P> {
             dependents: Vec::new(),
             attempts: 0,
             started: None,
+            started_us: None,
         };
         st.tasks.insert(id, entry);
         for p in &preds {
@@ -787,6 +809,10 @@ fn cancel_cascade<P: Payload>(shared: &Shared<P>, st: &mut Inner<P>, root: TaskI
             }
         }
         st.ready.retain(|r| *r != id);
+        // Drop the locality-patience entry too: a cancelled task can
+        // never be picked again, so keeping it would leak one map slot
+        // per cancellation for the life of the runtime.
+        st.ready_passes.remove(&id);
         stack.extend(dependents);
     }
 }
@@ -801,6 +827,7 @@ fn fail_task<P: Payload>(shared: &Shared<P>, st: &mut Inner<P>, id: TaskId) {
     };
     st.metrics.failed += 1;
     shared.rtm.tasks_failed.inc();
+    let name_for_dump = Arc::clone(&name);
     observe(
         shared,
         st,
@@ -813,6 +840,9 @@ fn fail_task<P: Payload>(shared: &Shared<P>, st: &mut Inner<P>, id: TaskId) {
         },
     );
     record_provenance(st, id, None);
+    // The black box: persist the last events leading up to this failure
+    // (no-op unless flight recording is on and a dump path is set).
+    obs::flight::dump(&format!("task_failed: {} (#{})", name_for_dump, id.0));
     for w in &writes {
         if let Some(d) = st.data.get_mut(&w.id) {
             d.failed = true;
@@ -821,6 +851,11 @@ fn fail_task<P: Payload>(shared: &Shared<P>, st: &mut Inner<P>, id: TaskId) {
     for dep in dependents {
         cancel_cascade(shared, st, dep);
     }
+}
+
+/// Span name for one gang replica: `name[rank/…]`.
+fn replica_span_name(name: &Arc<str>, rank: u32) -> Arc<str> {
+    Arc::from(format!("{name}[{rank}]").as_str())
 }
 
 fn worker_loop<P: Payload>(shared: Arc<Shared<P>>, worker_idx: usize, profile: WorkerProfile) {
@@ -845,9 +880,17 @@ fn worker_loop<P: Payload>(shared: Arc<Shared<P>>, worker_idx: usize, profile: W
             }
         });
         if let Some((gang_task, rank, size, closure, inputs)) = join {
+            let gang_name = st.tasks.get(&gang_task).map(|t| Arc::clone(&t.name));
             st.running += 1;
             drop(st);
-            let result = closure(&inputs, Replica { rank, size });
+            let result = {
+                // Causal root for everything this replica does: pool
+                // jobs and kernel events spawned inside nest under it.
+                let _span = gang_name
+                    .filter(|_| obs::global_active())
+                    .map(|n| obs::trace::span(replica_span_name(&n, rank)));
+                closure(&inputs, Replica { rank, size })
+            };
             st = shared.state.lock();
             st.running -= 1;
             st.metrics.tasks_per_worker[worker_idx] += 1;
@@ -950,9 +993,11 @@ fn worker_loop<P: Payload>(shared: Arc<Shared<P>>, worker_idx: usize, profile: W
         // worker then loops back and joins as rank 0.
         let is_gang = st.tasks.get(&id).map(|t| t.replicas > 1).unwrap_or(false);
         if is_gang {
+            let start_us = shared.bus.now_micros();
             let t = st.tasks.get_mut(&id).expect("ready gang task missing");
             t.state = TaskState::Running;
             t.started = Some(Instant::now());
+            t.started_us = Some(start_us);
             let closure = Arc::clone(t.closure.as_ref().expect("gang task without closure"));
             let size = t.replicas;
             let reads = t.reads.clone();
@@ -994,10 +1039,12 @@ fn worker_loop<P: Payload>(shared: Arc<Shared<P>>, worker_idx: usize, profile: W
             continue;
         }
         let (closure, inputs, input_locations, task_name, attempt) = {
+            let start_us = shared.bus.now_micros();
             let remote_snapshot = snapshot[ready_idx].input_locations.clone();
             let t = st.tasks.get_mut(&id).expect("ready task missing");
             t.state = TaskState::Running;
             t.started = Some(Instant::now());
+            t.started_us = Some(start_us);
             let closure = Arc::clone(t.closure.as_ref().expect("running task without closure"));
             let reads = t.reads.clone();
             let name = Arc::clone(&t.name);
@@ -1020,7 +1067,12 @@ fn worker_loop<P: Payload>(shared: Arc<Shared<P>>, worker_idx: usize, profile: W
         observe(
             &shared,
             &mut st,
-            EventKind::TaskStarted { task: id.0, name: task_name, worker: worker_idx, attempt },
+            EventKind::TaskStarted {
+                task: id.0,
+                name: Arc::clone(&task_name),
+                worker: worker_idx,
+                attempt,
+            },
         );
         queue_depth(&shared, &mut st);
         let remote_bytes: u64 =
@@ -1034,7 +1086,17 @@ fn worker_loop<P: Payload>(shared: Arc<Shared<P>>, worker_idx: usize, profile: W
             std::thread::sleep(Duration::from_nanos(ns));
         }
 
-        let result = closure(&inputs, Replica { rank: 0, size: 1 });
+        let result = {
+            // The task's causal span: everything the closure does — par
+            // pool jobs, datacube kernels, file writes — nests under it
+            // (pool spawns carry the context across threads).
+            let _span = if obs::global_active() {
+                Some(obs::trace::span(Arc::clone(&task_name)))
+            } else {
+                None
+            };
+            closure(&inputs, Replica { rank: 0, size: 1 })
+        };
 
         st = shared.state.lock();
         st.running -= 1;
@@ -1055,11 +1117,11 @@ fn finish_task<P: Payload>(
     let declared_outputs = st.tasks.get(&id).map(|t| t.writes.len()).unwrap_or(0);
     match result {
         Ok(outs) if outs.len() == declared_outputs => {
-            let (writes, key, name, started) = {
+            let (writes, key, name, started, started_us) = {
                 let t = st.tasks.get_mut(&id).expect("completed task missing");
                 t.state = TaskState::Completed;
                 t.closure = None;
-                (t.writes.clone(), t.key.clone(), Arc::clone(&t.name), t.started)
+                (t.writes.clone(), t.key.clone(), Arc::clone(&t.name), t.started, t.started_us)
             };
             // Checkpoint before publishing (a crash after publishing but
             // before logging only costs a re-execution).
@@ -1081,6 +1143,16 @@ fn finish_task<P: Payload>(
             let micros = started.map(|s| s.elapsed().as_micros() as u64).unwrap_or(0);
             if let Some(start) = started {
                 st.metrics.task_durations.push((id, name.to_string(), start.elapsed()));
+            }
+            // Timing log for critical-path analysis. Restored tasks
+            // (started_us = None) never executed, so they carry no span.
+            if let Some(start_us) = started_us {
+                st.spans.push(crate::timing::TaskSpan {
+                    task: id,
+                    name: Arc::clone(&name),
+                    start_us,
+                    end_us: start_us + micros,
+                });
             }
             shared.rtm.tasks_completed.inc();
             shared.rtm.task_us.observe(micros);

@@ -1,0 +1,98 @@
+//! Property tests for the timed critical-path analysis.
+//!
+//! Spans are produced by a synthetic list scheduler that respects the
+//! DAG (a task starts only after all predecessors end) so the measured
+//! invariants of a real execution hold by construction, and `analyze`
+//! must recover them: the critical path is at least the longest single
+//! task, at most the wall time, has zero slack along the path, and only
+//! walks real edges.
+
+use dataflow::timing::{analyze, TaskSpan};
+use dataflow::TaskId;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// Greedy list scheduler: tasks in id order, each placed on the
+/// earliest-free worker no sooner than its predecessors' latest end.
+fn schedule(durs: &[u64], edges: &[(usize, usize)], workers: usize) -> Vec<TaskSpan> {
+    let n = durs.len();
+    let mut end = vec![0u64; n];
+    let mut free = vec![0u64; workers.max(1)];
+    let mut spans = Vec::with_capacity(n);
+    for i in 0..n {
+        let ready = edges.iter().filter(|(_, t)| *t == i).map(|(f, _)| end[*f]).max().unwrap_or(0);
+        let w = (0..free.len()).min_by_key(|&w| free[w]).unwrap();
+        let start = ready.max(free[w]);
+        end[i] = start + durs[i];
+        free[w] = end[i];
+        spans.push(TaskSpan {
+            task: TaskId(i as u64),
+            name: Arc::from(format!("t{i}").as_str()),
+            start_us: start,
+            end_us: end[i],
+        });
+    }
+    spans
+}
+
+/// Arbitrary DAG: node count, per-node durations, and forward edges.
+fn dag() -> impl Strategy<Value = (Vec<u64>, Vec<(usize, usize)>, usize)> {
+    (2usize..24).prop_flat_map(|n| {
+        (
+            proptest::collection::vec(0u64..5_000, n),
+            proptest::collection::vec((0..n, 0..n), 0..3 * n).prop_map(|pairs| {
+                pairs
+                    .into_iter()
+                    .filter(|(a, b)| a != b)
+                    .map(|(a, b)| (a.min(b), a.max(b)))
+                    .collect::<Vec<_>>()
+            }),
+            1usize..6,
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn critical_path_is_bounded_and_walks_edges((durs, edges, workers) in dag()) {
+        let spans = schedule(&durs, &edges, workers);
+        let id_edges: Vec<(TaskId, TaskId)> =
+            edges.iter().map(|&(f, t)| (TaskId(f as u64), TaskId(t as u64))).collect();
+        let t = analyze(&id_edges, &spans).expect("non-empty span set analyzes");
+
+        // Lower bound: no schedule beats the heaviest single task.
+        let longest = *durs.iter().max().unwrap();
+        prop_assert!(t.path_us >= longest,
+            "path {} < longest task {}", t.path_us, longest);
+
+        // Upper bound: tasks on a dependency chain cannot overlap, so
+        // the path fits inside the measured wall time.
+        prop_assert!(t.path_us <= t.wall_us,
+            "path {} > wall {}", t.path_us, t.wall_us);
+
+        // The path must be a real chain in the DAG.
+        for w in t.path.windows(2) {
+            prop_assert!(
+                id_edges.iter().any(|(f, to)| *f == w[0].task && *to == w[1].task),
+                "path step {:?} -> {:?} is not a DAG edge", w[0].task, w[1].task
+            );
+        }
+
+        // Path tasks have zero slack; slack never exceeds the path.
+        let on_path: Vec<TaskId> = t.path.iter().map(|s| s.task).collect();
+        for (task, slack) in &t.slack_us {
+            if on_path.contains(task) {
+                prop_assert_eq!(*slack, 0, "path task {:?} has slack {}", task, slack);
+            }
+            prop_assert!(*slack <= t.path_us);
+        }
+
+        // What-if runs can only shrink the path.
+        for w in &t.what_if {
+            prop_assert!(w.path_us <= t.path_us);
+            prop_assert!(w.speedup >= 1.0 - 1e-9);
+        }
+    }
+}

@@ -20,6 +20,9 @@ fn step_and_write(
     model: &mut CoupledModel,
     out_dir: &Path,
 ) -> ncformat::Result<(PathBuf, i32, usize, u64)> {
+    // One span per simulated day: model step + file write, nested under
+    // the workflow task driving the simulation.
+    let _span = if obs::global_active() { Some(obs::trace::span("esm_day")) } else { None };
     let t0 = Instant::now();
     let fields = model.step_day();
     let step_us = t0.elapsed().as_micros() as u64;

@@ -263,7 +263,14 @@ impl ExecutionApi {
         });
 
         let worker_cell = Arc::clone(&cell);
+        // Capture the submitter's span context so the execution thread's
+        // span is causally linked to whatever submitted the job.
+        let trace_ctx = obs::trace::current();
+        let span_workflow = Arc::clone(&workflow);
         std::thread::spawn(move || {
+            let _ctx = trace_ctx.map(obs::SpanContext::attach);
+            let _span =
+                if obs::global_active() { Some(obs::trace::span(span_workflow)) } else { None };
             let t0 = Instant::now();
             let outcome = entry(&inputs);
             let micros = t0.elapsed().as_micros() as u64;

@@ -82,6 +82,13 @@ pub enum EventKind {
     // --- generic ------------------------------------------------------
     /// A named code span completed (see [`crate::span`]).
     SpanCompleted { name: &'static str, micros: u64 },
+
+    // --- trace: hierarchical causal spans -----------------------------
+    /// A hierarchical span opened (see [`crate::trace`]). `parent` is 0
+    /// for trace roots.
+    SpanStarted { name: Arc<str>, trace: u64, span: u64, parent: u64 },
+    /// A hierarchical span closed; `micros` is its wall-clock duration.
+    SpanEnded { name: Arc<str>, trace: u64, span: u64, parent: u64, micros: u64 },
 }
 
 impl EventKind {
@@ -104,6 +111,8 @@ impl EventKind {
             EventKind::ExecutionStarted { .. } => "execution_started",
             EventKind::ExecutionFinished { .. } => "execution_finished",
             EventKind::SpanCompleted { .. } => "span_completed",
+            EventKind::SpanStarted { .. } => "span_started",
+            EventKind::SpanEnded { .. } => "span_ended",
         }
     }
 
@@ -116,7 +125,8 @@ impl EventKind {
             | EventKind::StepCompleted { micros, .. }
             | EventKind::FileWritten { micros, .. }
             | EventKind::ExecutionFinished { micros, .. }
-            | EventKind::SpanCompleted { micros, .. } => Some(*micros),
+            | EventKind::SpanCompleted { micros, .. }
+            | EventKind::SpanEnded { micros, .. } => Some(*micros),
             _ => None,
         }
     }
@@ -131,6 +141,9 @@ pub struct Event {
     pub ts_micros: u64,
     /// Small dense per-process thread ordinal (not the OS thread id).
     pub thread: u64,
+    /// Id of the span current on the emitting thread (0 = none); ties
+    /// flat events to the causal span tree (see [`crate::trace`]).
+    pub span: u64,
     pub kind: EventKind,
 }
 

@@ -42,6 +42,9 @@ impl Event {
             self.thread,
             self.kind.tag()
         );
+        if self.span != 0 {
+            let _ = write!(s, ",\"span\":{}", self.span);
+        }
         let field_u = |s: &mut String, k: &str, v: u64| {
             let _ = write!(s, ",\"{k}\":{v}");
         };
@@ -130,6 +133,19 @@ impl Event {
                 field_s(&mut s, "name", name);
                 field_u(&mut s, "dur_us", *micros);
             }
+            EventKind::SpanStarted { name, trace, span, parent } => {
+                field_s(&mut s, "name", name);
+                field_u(&mut s, "trace", *trace);
+                field_u(&mut s, "span_id", *span);
+                field_u(&mut s, "parent", *parent);
+            }
+            EventKind::SpanEnded { name, trace, span, parent, micros } => {
+                field_s(&mut s, "name", name);
+                field_u(&mut s, "trace", *trace);
+                field_u(&mut s, "span_id", *span);
+                field_u(&mut s, "parent", *parent);
+                field_u(&mut s, "dur_us", *micros);
+            }
         }
         s.push('}');
         s
@@ -152,25 +168,66 @@ pub fn jsonl(events: &[Event]) -> String {
 /// Duration-carrying events become complete ("X") slices whose start is
 /// back-computed as `ts - dur` (our events are stamped at completion);
 /// `QueueDepth` becomes counter ("C") series; everything else becomes an
-/// instant ("i") mark.
+/// instant ("i") mark. Hierarchical spans render from their `SpanEnded`
+/// event (the `SpanStarted` row would duplicate the slice), and a
+/// parent→child pair that ran on *different* threads additionally gets a
+/// flow arrow ("s"/"f" rows sharing the child's span id) so causality
+/// stays visible across the pool handoff.
 pub fn chrome_trace(events: &[Event]) -> String {
+    // Where each span's slice starts: span id -> (tid, start ts).
+    let mut span_slices: std::collections::HashMap<u64, (u64, u64)> = Default::default();
+    for e in events {
+        if let EventKind::SpanEnded { span, micros, .. } = &e.kind {
+            span_slices.insert(*span, (e.thread, e.ts_micros.saturating_sub(*micros)));
+        }
+    }
     let mut out = String::from("{\"traceEvents\":[\n");
     let mut first = true;
-    for e in events {
-        let row = chrome_row(e);
+    let mut push_row = |out: &mut String, row: String| {
         if !first {
             out.push_str(",\n");
         }
         first = false;
         out.push_str(&row);
+    };
+    for e in events {
+        if let Some(row) = chrome_row(e) {
+            push_row(&mut out, row);
+        }
+        // Cross-thread causality: arrow from the parent's slice to the
+        // start of the child's slice.
+        if let EventKind::SpanEnded { span, parent, micros, .. } = &e.kind {
+            if *parent != 0 {
+                if let Some(&(ptid, _)) = span_slices.get(parent) {
+                    if ptid != e.thread {
+                        let start = e.ts_micros.saturating_sub(*micros);
+                        push_row(
+                            &mut out,
+                            format!(
+                                "{{\"name\":\"span\",\"cat\":\"flow\",\"ph\":\"s\",\"id\":{span},\"ts\":{start},\"pid\":0,\"tid\":{ptid}}}",
+                            ),
+                        );
+                        push_row(
+                            &mut out,
+                            format!(
+                                "{{\"name\":\"span\",\"cat\":\"flow\",\"ph\":\"f\",\"bp\":\"e\",\"id\":{span},\"ts\":{start},\"pid\":0,\"tid\":{}}}",
+                                e.thread
+                            ),
+                        );
+                    }
+                }
+            }
+        }
     }
     out.push_str("\n]}\n");
     out
 }
 
-fn chrome_row(e: &Event) -> String {
+fn chrome_row(e: &Event) -> Option<String> {
     let tid = e.thread;
-    match &e.kind {
+    let row = match &e.kind {
+        // The slice is drawn from SpanEnded; a row here would duplicate it.
+        EventKind::SpanStarted { .. } => return None,
         EventKind::QueueDepth { ready, running } => {
             format!(
                 "{{\"name\":\"queue\",\"ph\":\"C\",\"ts\":{},\"pid\":0,\"tid\":0,\"args\":{{\"ready\":{},\"running\":{}}}}}",
@@ -188,7 +245,7 @@ fn chrome_row(e: &Event) -> String {
                     ts,
                     dur,
                     tid,
-                    chrome_args(kind)
+                    chrome_args(e)
                 )
             }
             None => {
@@ -199,11 +256,12 @@ fn chrome_row(e: &Event) -> String {
                     kind.tag(),
                     e.ts_micros,
                     tid,
-                    chrome_args(kind)
+                    chrome_args(e)
                 )
             }
         },
-    }
+    };
+    Some(row)
 }
 
 /// Human-facing slice name for the trace viewer timeline.
@@ -228,12 +286,28 @@ fn slice_name(kind: &EventKind) -> String {
         EventKind::ExecutionStarted { workflow, .. } => format!("exec {workflow}"),
         EventKind::ExecutionFinished { workflow, .. } => format!("exec {workflow}"),
         EventKind::SpanCompleted { name, .. } => (*name).to_string(),
+        EventKind::SpanStarted { name, .. } | EventKind::SpanEnded { name, .. } => name.to_string(),
     }
 }
 
 /// The `args` object carried on each trace row (the JSONL body is the
 /// superset; here we keep identifiers useful when clicking a slice).
-fn chrome_args(kind: &EventKind) -> String {
+/// The emitting thread's ambient span id rides along when set, so any
+/// slice can be traced back to its causal span.
+fn chrome_args(e: &Event) -> String {
+    let mut args = kind_args(&e.kind);
+    if e.span != 0 {
+        let insert = format!("\"ambient_span\":{}", e.span);
+        if args == "{}" {
+            args = format!("{{{insert}}}");
+        } else {
+            args.insert_str(args.len() - 1, &format!(",{insert}"));
+        }
+    }
+    args
+}
+
+fn kind_args(kind: &EventKind) -> String {
     match kind {
         EventKind::TaskSubmitted { task, .. }
         | EventKind::TaskReady { task }
@@ -261,6 +335,10 @@ fn chrome_args(kind: &EventKind) -> String {
         EventKind::ExecutionStarted { execution, .. } => format!("{{\"execution\":{execution}}}"),
         EventKind::ExecutionFinished { execution, ok, .. } => {
             format!("{{\"execution\":{execution},\"ok\":{ok}}}")
+        }
+        EventKind::SpanStarted { trace, span, parent, .. }
+        | EventKind::SpanEnded { trace, span, parent, .. } => {
+            format!("{{\"trace\":{trace},\"span\":{span},\"parent\":{parent}}}")
         }
         _ => "{}".to_string(),
     }
@@ -329,6 +407,34 @@ mod tests {
         assert!(text.contains("\"ready\":2"));
         // Lifecycle marks become instants.
         assert!(text.contains("\"ph\":\"i\""));
+    }
+
+    #[test]
+    fn span_slices_and_cross_thread_flow_arrows() {
+        let bus = Bus::new();
+        let rx = bus.subscribe();
+        let parent: Arc<str> = Arc::from("parent");
+        let child: Arc<str> = Arc::from("child");
+        bus.emit(EventKind::SpanStarted {
+            name: Arc::clone(&parent),
+            trace: 1,
+            span: 1,
+            parent: 0,
+        });
+        let tx = bus.clone();
+        let child_kind =
+            EventKind::SpanEnded { name: child, trace: 1, span: 2, parent: 1, micros: 10 };
+        std::thread::spawn(move || tx.emit(child_kind)).join().unwrap();
+        bus.emit(EventKind::SpanEnded { name: parent, trace: 1, span: 1, parent: 0, micros: 50 });
+        let text = chrome_trace(&rx.drain());
+        // SpanStarted produces no row of its own...
+        assert!(!text.contains("\"cat\":\"span_started\""));
+        // ...SpanEnded becomes an X slice carrying its ids...
+        assert!(text.contains("\"cat\":\"span_ended\""));
+        assert!(text.contains("\"span\":2"));
+        // ...and the cross-thread parent/child pair gets flow arrows.
+        assert!(text.contains("\"ph\":\"s\",\"id\":2"));
+        assert!(text.contains("\"ph\":\"f\",\"bp\":\"e\",\"id\":2"));
     }
 
     #[test]

@@ -29,22 +29,31 @@
 mod bus;
 mod event;
 mod export;
+pub mod flight;
 mod metrics;
 mod span;
+pub mod trace;
 
 pub use bus::{Bus, EventReceiver, DEFAULT_CAPACITY};
 pub use event::{thread_ordinal, Event, EventKind, TaskOutcome};
 pub use export::{chrome_trace, json_escape, jsonl};
 pub use metrics::{registry, Counter, Gauge, Histogram, Registry, HISTOGRAM_BUCKETS};
 pub use span::{timed, SpanTimer};
+pub use trace::{Span, SpanContext};
 
 use std::sync::OnceLock;
 
 /// The process-wide event bus. Subscribe here to observe every
-/// instrumented subsystem in one ordered stream.
+/// instrumented subsystem in one ordered stream. Exports its own
+/// backpressure instruments (`obs_bus_*{bus="global"}`) so drops are
+/// visible in the Prometheus dump, not just on individual receivers.
 pub fn global() -> &'static Bus {
     static GLOBAL: OnceLock<Bus> = OnceLock::new();
-    GLOBAL.get_or_init(Bus::new)
+    GLOBAL.get_or_init(|| {
+        let bus = Bus::new();
+        bus.export_metrics("global");
+        bus
+    })
 }
 
 /// Emit onto the [`global`] bus (fast-path no-op with no subscriber).

@@ -112,6 +112,31 @@ impl Histogram {
             self.sum() as f64 / c as f64
         }
     }
+
+    /// Estimate the `q`-quantile (`0.0..=1.0`, e.g. `0.95` for p95) by
+    /// linear interpolation inside the log2 bucket holding that rank.
+    /// Bucket `i` spans `[2^(i-1), 2^i - 1]` (bucket 0 is exactly 0), so
+    /// the estimate is within one power of two of the true value — the
+    /// usual trade for O(1) fixed-footprint histograms. Returns 0 when
+    /// empty.
+    pub fn percentile(&self, q: f64) -> f64 {
+        let count = self.count();
+        if count == 0 {
+            return 0.0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * count as f64).ceil() as u64).max(1);
+        let mut cum = 0u64;
+        for (i, b) in self.buckets().iter().enumerate() {
+            if *b > 0 && cum + b >= rank {
+                let lo = if i == 0 { 0u64 } else { 1u64 << (i - 1) };
+                let hi = if i >= 63 { u64::MAX } else { (1u64 << i).saturating_sub(1) };
+                let frac = (rank - cum) as f64 / *b as f64;
+                return lo as f64 + frac * (hi - lo) as f64;
+            }
+            cum += b;
+        }
+        u64::MAX as f64
+    }
 }
 
 type Labels = Vec<(&'static str, String)>;
@@ -233,6 +258,23 @@ impl Registry {
         out
     }
 
+    /// Snapshot every registered histogram as `(rendered name, handle)`,
+    /// where the rendered name includes its label set (Prometheus style,
+    /// e.g. `datacube_kernel_us{op="aggregate"}`). Sorted by name — the
+    /// registry is a BTreeMap — so report tables come out stable.
+    pub fn histograms(&self) -> Vec<(String, Histogram)> {
+        let slots = self.slots.lock().unwrap();
+        slots
+            .iter()
+            .filter_map(|((name, labels), slot)| match slot {
+                Slot::Histogram(h) => {
+                    Some((format!("{}{}", name, fmt_labels(labels, None)), h.clone()))
+                }
+                _ => None,
+            })
+            .collect()
+    }
+
     /// Drop every registered instrument (handles stay valid but orphaned).
     /// Tests use this to isolate assertions on the global registry.
     pub fn clear(&self) {
@@ -318,6 +360,40 @@ mod tests {
         assert!(text.contains("wait_us_bucket{le=\"+Inf\"} 2"));
         assert!(text.contains("wait_us_sum 303"));
         assert!(text.contains("wait_us_count 2"));
+    }
+
+    #[test]
+    fn percentiles_from_log_buckets() {
+        let r = Registry::new();
+        let h = r.histogram("p_us", &[]);
+        assert_eq!(h.percentile(0.5), 0.0, "empty histogram reports 0");
+        // 100 samples of exactly 1: every quantile sits in bucket 1 = [1,1].
+        for _ in 0..100 {
+            h.observe(1);
+        }
+        assert_eq!(h.percentile(0.5), 1.0);
+        assert_eq!(h.percentile(0.99), 1.0);
+        // Add 100 large samples in [1024, 2047] (bucket 11).
+        for _ in 0..100 {
+            h.observe(1500);
+        }
+        assert_eq!(h.percentile(0.25), 1.0, "low quantile stays in the small bucket");
+        let p95 = h.percentile(0.95);
+        assert!((1024.0..=2047.0).contains(&p95), "p95={p95} should land in [1024,2047]");
+        // Quantiles are monotone in q.
+        assert!(h.percentile(0.5) <= h.percentile(0.95));
+        assert!(h.percentile(0.95) <= h.percentile(0.99));
+    }
+
+    #[test]
+    fn histograms_snapshot_includes_labels() {
+        let r = Registry::new();
+        r.histogram("k_us", &[("op", "agg")]).observe(5);
+        r.counter("not_a_histogram", &[]).inc();
+        let hists = r.histograms();
+        assert_eq!(hists.len(), 1);
+        assert_eq!(hists[0].0, "k_us{op=\"agg\"}");
+        assert_eq!(hists[0].1.count(), 1);
     }
 
     #[test]

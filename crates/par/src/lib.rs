@@ -28,7 +28,7 @@
 
 mod pool;
 
-pub use pool::{Pool, Scope};
+pub use pool::{Pool, Scope, WorkerStats};
 
 use std::mem::{ManuallyDrop, MaybeUninit};
 use std::sync::atomic::{AtomicUsize, Ordering};

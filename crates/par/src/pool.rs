@@ -17,8 +17,8 @@ use obs::{Counter, Gauge, Histogram};
 use std::collections::VecDeque;
 use std::marker::PhantomData;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 /// A lifetime-erased unit of work. Scopes guarantee every job completes
@@ -54,6 +54,43 @@ impl Metrics {
     }
 }
 
+/// Per-worker profiling cells (see [`Pool::worker_stats`]). Busy time is
+/// accumulated as each job finishes; idle is derived at snapshot time as
+/// pool-lifetime minus busy, so parked workers need no bookkeeping.
+#[derive(Default)]
+struct WorkerStat {
+    busy_us: AtomicU64,
+    steals: AtomicU64,
+    tasks: AtomicU64,
+}
+
+/// Snapshot of one worker's profile since pool creation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkerStats {
+    /// Worker index within the pool.
+    pub worker: usize,
+    /// Time spent executing jobs, in microseconds.
+    pub busy_us: u64,
+    /// Time not executing jobs (queue scans, stealing, parked), µs.
+    pub idle_us: u64,
+    /// Jobs this worker took from a sibling's deque.
+    pub steals: u64,
+    /// Jobs this worker executed.
+    pub tasks: u64,
+}
+
+impl WorkerStats {
+    /// Fraction of the pool's lifetime this worker spent executing jobs.
+    pub fn utilization(&self) -> f64 {
+        let total = self.busy_us + self.idle_us;
+        if total == 0 {
+            0.0
+        } else {
+            self.busy_us as f64 / total as f64
+        }
+    }
+}
+
 struct Shared {
     /// One local deque per worker.
     locals: Vec<Mutex<VecDeque<Job>>>,
@@ -66,6 +103,10 @@ struct Shared {
     sleep_mx: Mutex<()>,
     sleep_cv: Condvar,
     metrics: Metrics,
+    /// One profiling cell per worker.
+    stats: Vec<WorkerStat>,
+    /// Pool creation time; the denominator for idle derivation.
+    epoch: Instant,
 }
 
 impl Shared {
@@ -124,26 +165,37 @@ impl Shared {
             }
             if let Some(j) = self.take(&self.locals[v], false) {
                 self.metrics.steals.inc();
+                if let Some(i) = idx {
+                    self.stats[i].steals.fetch_add(1, Ordering::Relaxed);
+                }
                 return Some(j);
             }
         }
         None
     }
 
-    fn run_job(&self, job: Job) {
+    /// Execute one job, attributing its time to `worker` when the
+    /// executing thread is one of this pool's workers (helping caller
+    /// threads contribute to pool totals but not to a worker's profile).
+    fn run_job(&self, job: Job, worker: Option<usize>) {
         self.metrics.busy.add(1);
         let t0 = Instant::now();
         job();
-        self.metrics.task_us.observe(t0.elapsed().as_micros() as u64);
+        let us = t0.elapsed().as_micros() as u64;
+        self.metrics.task_us.observe(us);
         self.metrics.tasks.inc();
         self.metrics.busy.add(-1);
+        if let Some(i) = worker {
+            self.stats[i].busy_us.fetch_add(us, Ordering::Relaxed);
+            self.stats[i].tasks.fetch_add(1, Ordering::Relaxed);
+        }
     }
 
     fn worker_loop(self: Arc<Self>, idx: usize) {
         WORKER.with(|w| w.set(Some((self.id(), idx))));
         loop {
             if let Some(job) = self.find_job(Some(idx)) {
-                self.run_job(job);
+                self.run_job(job, Some(idx));
                 continue;
             }
             let g = self.sleep_mx.lock().unwrap();
@@ -187,6 +239,8 @@ impl Pool {
             sleep_mx: Mutex::new(()),
             sleep_cv: Condvar::new(),
             metrics: Metrics::new(name),
+            stats: (0..threads).map(|_| WorkerStat::default()).collect(),
+            epoch: Instant::now(),
         });
         obs::registry().gauge("par_workers", &[("pool", name)]).set(threads as i64);
         let handles = (0..threads)
@@ -218,6 +272,44 @@ impl Pool {
             Some((pool, idx)) if pool == self.shared.id() => Some(idx),
             _ => None,
         }
+    }
+
+    /// Per-worker busy/idle/steal profile since pool creation, and keep
+    /// the `par_worker_busy_pct{pool,worker}` / `par_pool_busy_pct{pool}`
+    /// utilization gauges current in the obs registry. Idle is derived
+    /// (lifetime − busy), so a snapshot taken mid-job undercounts busy
+    /// by the in-flight job's elapsed time.
+    pub fn worker_stats(&self) -> Vec<WorkerStats> {
+        let lifetime_us = self.shared.epoch.elapsed().as_micros() as u64;
+        let r = obs::registry();
+        let stats: Vec<WorkerStats> = self
+            .shared
+            .stats
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                let busy_us = s.busy_us.load(Ordering::Relaxed);
+                WorkerStats {
+                    worker: i,
+                    busy_us,
+                    idle_us: lifetime_us.saturating_sub(busy_us),
+                    steals: s.steals.load(Ordering::Relaxed),
+                    tasks: s.tasks.load(Ordering::Relaxed),
+                }
+            })
+            .collect();
+        for w in &stats {
+            r.gauge(
+                "par_worker_busy_pct",
+                &[("pool", self.name), ("worker", &w.worker.to_string())],
+            )
+            .set((w.utilization() * 100.0).round() as i64);
+        }
+        let pool_busy: u64 = stats.iter().map(|w| w.busy_us).sum();
+        let denom = lifetime_us.saturating_mul(stats.len() as u64).max(1);
+        r.gauge("par_pool_busy_pct", &[("pool", self.name)])
+            .set((pool_busy as f64 / denom as f64 * 100.0).round() as i64);
+        stats
     }
 
     /// Runs `op` with a [`Scope`] on which tasks borrowing the caller's
@@ -277,7 +369,7 @@ impl Pool {
         let me = self.current_worker();
         while state.pending.load(Ordering::SeqCst) != 0 {
             if let Some(job) = self.shared.find_job(me) {
-                self.shared.run_job(job);
+                self.shared.run_job(job, me);
                 continue;
             }
             // Nothing stealable right now (tasks are in flight on other
@@ -331,8 +423,20 @@ impl<'scope> Scope<'scope> {
     {
         self.state.pending.fetch_add(1, Ordering::SeqCst);
         let state = Arc::clone(&self.state);
+        // Capture the spawning thread's span context so causality
+        // survives the hop onto a pool worker: the job re-attaches it
+        // and (when someone is tracing) runs under a child span.
+        let ctx = obs::trace::current();
         let job: Box<dyn FnOnce() + Send + 'scope> = Box::new(move || {
-            if let Err(p) = catch_unwind(AssertUnwindSafe(f)) {
+            let result = {
+                let _ctx = ctx.map(obs::SpanContext::attach);
+                let _span = match ctx {
+                    Some(_) if obs::global_active() => Some(obs::trace::span(par_task_name())),
+                    _ => None,
+                };
+                catch_unwind(AssertUnwindSafe(f))
+            };
+            if let Err(p) = result {
                 let mut slot = state.panic.lock().unwrap();
                 slot.get_or_insert(p);
             }
@@ -351,4 +455,10 @@ impl<'scope> Scope<'scope> {
         };
         self.shared.push(job);
     }
+}
+
+/// Shared name for pool-task spans (avoids an allocation per spawn).
+fn par_task_name() -> Arc<str> {
+    static NAME: OnceLock<Arc<str>> = OnceLock::new();
+    Arc::clone(NAME.get_or_init(|| Arc::from("par_task")))
 }

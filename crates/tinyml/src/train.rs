@@ -61,6 +61,7 @@ pub fn train_epoch<F>(
 where
     F: Fn(&Tensor, &Tensor) -> (f32, Tensor),
 {
+    let _span = if obs::global_active() { Some(obs::trace::span("train_epoch")) } else { None };
     let mut total_loss = 0.0f64;
     let mut batches = 0usize;
     for chunk in samples.chunks(batch_size.max(1)) {
@@ -105,6 +106,11 @@ where
     F: Fn(&Tensor, &Tensor) -> (f32, Tensor) + Sync,
 {
     assert!(!replicas.is_empty(), "train_epoch_parallel needs at least one replica");
+    // Epoch span: the shard evaluations spawned on the pool below open
+    // child `par_task` spans under this one, so a trace attributes
+    // gradient work to the epoch that ran it.
+    let _span =
+        if obs::global_active() { Some(obs::trace::span("train_epoch_parallel")) } else { None };
     let mut total_loss = 0.0f64;
     let mut batches = 0usize;
     for chunk in samples.chunks(batch_size.max(1)) {

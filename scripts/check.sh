@@ -16,4 +16,27 @@ cargo test --workspace -q
 echo "== cargo bench --no-run (benches compile) =="
 cargo bench --workspace --no-run -q
 
+echo "== smoke workflow with span tracing =="
+smoke=$(mktemp -d)
+trap 'rm -rf "$smoke"' EXIT
+cargo run -q -p climate-workflows --bin climate-wf -- run --years 1 --days 2 \
+    --out "$smoke/run" --trace "$smoke/trace.json" --metrics "$smoke/metrics.prom"
+python3 - "$smoke/trace.json" <<'EOF'
+import json, sys
+events = json.load(open(sys.argv[1]))
+events = events if isinstance(events, list) else events["traceEvents"]
+assert any(e["ph"] == "X" for e in events), "trace has no duration slices"
+nested = sum(1 for e in events if e["ph"] == "X" and e.get("args", {}).get("parent", 0))
+assert nested > 0, "trace has no parent-linked spans"
+# Flow arrows only appear when a parent/child pair ended on different
+# threads; at smoke scale that is scheduling-dependent, so just report.
+flows = sum(1 for e in events if e["ph"] == "s")
+print(f"chrome trace OK: {len(events)} events, {nested} nested spans, {flows} flow arrows")
+EOF
+grep -q "obs_bus_dropped_total" "$smoke/metrics.prom"
+
+echo "== obs overhead budget (inactive-bus emit) =="
+OBS_OVERHEAD_BUDGET_NS="${OBS_OVERHEAD_BUDGET_NS:-25}" \
+    cargo bench -p bench --bench obs_overhead -- --test
+
 echo "All checks passed."
