@@ -20,6 +20,7 @@ fn run(policy: Policy, transfer_ns_per_byte: u64) -> u64 {
         policy,
         checkpoint_path: None,
         transfer_ns_per_byte,
+        seed: 0,
     };
     let rt: Runtime<Bytes> = Runtime::new(config);
     // Producers make 1 MB blobs; a chain of 3 consumers transforms each.

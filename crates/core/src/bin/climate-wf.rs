@@ -8,6 +8,9 @@
 //! climate-wf report [run options]      run with profiling: timed critical
 //!                                      path, pool utilization, latency
 //!                                      percentiles, crash flight recorder
+//! climate-wf chaos [--seed N] [--faults N] [--out DIR]
+//!                                      seeded fault-injection smoke run with
+//!                                      checkpoint-resume recovery
 //! climate-wf graph [--years N]         print the Figure-3 DOT graph
 //! climate-wf topology                  print the case study's TOSCA document
 //! climate-wf ncdump FILE.ncx           inspect an NCX file header
@@ -19,7 +22,7 @@ use std::collections::BTreeMap;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: climate-wf <run|report|graph|topology|ncdump|info> [options]\n\
+        "usage: climate-wf <run|report|chaos|graph|topology|ncdump|info> [options]\n\
          \n\
          run      [--years N] [--days N] [--grid test_small|demo|LATxLON]\n\
          \x20        [--scenario historical|ssp245|ssp585] [--seed N] [--out DIR] [--sequential]\n\
@@ -27,6 +30,9 @@ fn usage() -> ! {
          report   [run options] run with profiling: timed critical path with slack,\n\
          \x20        what-if speedups, pool utilization, latency percentiles;\n\
          \x20        arms the crash flight recorder (dumps JSONL on failure)\n\
+         chaos    [--seed N] [--faults N] [--out DIR] run a tiny checkpointed\n\
+         \x20        workflow under a seeded fault plan; on failure, resume from\n\
+         \x20        the checkpoint (always dumps the flight recorder as JSONL)\n\
          graph    [--years N]   print the task graph in Graphviz DOT\n\
          topology               print the TOSCA topology document\n\
          ncdump FILE            inspect an NCX file\n\
@@ -182,6 +188,107 @@ fn cmd_report(flags: &BTreeMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
+/// `climate-wf chaos`: run a tiny checkpointed workflow under a seeded
+/// fault plan. The plan is printed up front (same seed → same plan →
+/// same faults), tasks retry with deterministic backoff, and if the
+/// armed run still dies the command disarms chaos and resumes from the
+/// checkpoint log — demonstrating the full fault-injection / recovery
+/// loop. The flight recorder is armed throughout and always dumped as
+/// JSONL so post-mortem tooling can be validated against it.
+fn cmd_chaos(flags: &BTreeMap<String, String>) -> Result<(), String> {
+    let get_u64 = |key: &str, default: u64| -> Result<u64, String> {
+        flags.get(key).map_or(Ok(default), |v| v.parse().map_err(|_| format!("bad {key} '{v}'")))
+    };
+    let seed = get_u64("seed", 7)?;
+    let faults = get_u64("faults", 3)? as usize;
+    let out_dir = flags
+        .get("out")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| std::env::temp_dir().join("climate-wf-chaos"));
+    std::fs::remove_dir_all(&out_dir).ok();
+    std::fs::create_dir_all(&out_dir).map_err(|e| e.to_string())?;
+
+    let flight_path = out_dir.join("chaos-flight.jsonl");
+    obs::flight::set_dump_path(&flight_path);
+    obs::flight::install_panic_hook();
+    obs::flight::enable();
+
+    let plan = dataflow::inject::FaultPlan::from_seed(seed, faults);
+    println!("{plan}");
+
+    let params = || {
+        WorkflowParams::builder(&out_dir)
+            .years(1)
+            .days_per_year(6)
+            .seed(seed)
+            .workers(2)
+            .training(40, 2)
+            .finetuning(0, 0)
+            .checkpoint(out_dir.join("chaos.ckpt"))
+            .retries(2, 5)
+            .build()
+    };
+
+    let (first, fired) = {
+        let armed = plan.arm();
+
+        // Exercise the HPCWaaS degradation paths while the plan is live:
+        // staging transfers may drop (bounded retries, degraded mode) and
+        // cluster jobs may bounce back to the queue (capped attempts).
+        let mut dls = hpcwaas::dls::DataLogistics::new();
+        let staging = hpcwaas::dls::PipelineSpec::new()
+            .stage("forcing-in", "archive", "hpc", 50_000_000)
+            .stage("products-out", "hpc", "cloud", 20_000_000);
+        let transfer = dls.execute(&staging);
+        println!(
+            "staging: {} stages, {} retries{}",
+            transfer.stages.len(),
+            transfer.retries,
+            if transfer.degraded { ", DEGRADED" } else { "" }
+        );
+        let mut cluster = hpcwaas::cluster::Cluster::homogeneous(2, 8);
+        for i in 0..4 {
+            cluster
+                .submit(hpcwaas::cluster::JobSpec::new(&format!("member-{i}"), 4, 100))
+                .map_err(|e| e.to_string())?;
+        }
+        let schedule = cluster.schedule();
+        println!(
+            "cluster: {} placements, {} requeues",
+            schedule.placements.len(),
+            schedule.requeued
+        );
+
+        let first = run_pipelined(params()?);
+        (first, armed.fired())
+    };
+    println!("faults fired: {}", fired.len());
+    for f in &fired {
+        println!("  {f}");
+    }
+
+    let report = match first {
+        Ok(r) => r,
+        Err(e) => {
+            println!("armed run failed ({e}); disarmed, resuming from checkpoint");
+            run_pipelined(params()?)?
+        }
+    };
+    println!(
+        "recovered: {} tasks completed ({} restored from checkpoint, {} retries, {} timed out)",
+        report.metrics.completed,
+        report.metrics.restored,
+        report.metrics.retries,
+        report.metrics.timed_out
+    );
+
+    match obs::flight::dump("chaos: run complete") {
+        Some(p) => println!("flight recorder: {}", p.display()),
+        None => return Err("flight recorder produced no dump".into()),
+    }
+    Ok(())
+}
+
 fn cmd_graph(flags: &BTreeMap<String, String>) -> Result<(), String> {
     let mut params = params_from_flags(flags)?;
     params.days_per_year = params.days_per_year.min(8);
@@ -229,6 +336,7 @@ fn main() {
     let result = match cmd.as_str() {
         "run" => cmd_run(&flags),
         "report" => cmd_report(&flags),
+        "chaos" => cmd_chaos(&flags),
         "graph" => cmd_graph(&flags),
         "topology" => {
             print!("{}", hpcwaas::tosca::climate_case_study().to_source());

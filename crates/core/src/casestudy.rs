@@ -178,7 +178,12 @@ impl CaseStudy {
         let sim =
             Simulation::new(params.esm_config(), &params.esm_dir()).map_err(|e| e.to_string())?;
 
-        let rt = Runtime::new(RuntimeConfig::with_cpu_workers(params.workers.max(2)));
+        let mut config =
+            RuntimeConfig::with_cpu_workers(params.workers.max(2)).with_seed(params.seed);
+        if let Some(ckpt) = &params.checkpoint {
+            config = config.with_checkpoint(ckpt);
+        }
+        let rt = Runtime::new(config);
         Ok(CaseStudy {
             client: Client::connect(params.io_servers),
             cnn: Arc::new(Mutex::new(cnn)),
@@ -194,6 +199,20 @@ impl CaseStudy {
         self.truth.lock().clone()
     }
 
+    /// Failure policy of ordinary tasks: fail-fast historically, retry
+    /// with seeded-jitter exponential backoff when a retry budget is set.
+    fn recovery_policy(&self) -> FailurePolicy {
+        if self.params.task_retries > 0 {
+            FailurePolicy::RetryBackoff {
+                max_retries: self.params.task_retries,
+                base_ms: self.params.retry_base_ms,
+                cap_ms: self.params.retry_base_ms.saturating_mul(64).max(1000),
+            }
+        } else {
+            FailurePolicy::FailFast
+        }
+    }
+
     /// Submits task #1 for one simulated year, chained on the previous
     /// year's state token (the ESM "runs iteratively").
     pub(crate) fn submit_esm_year(
@@ -205,13 +224,26 @@ impl CaseStudy {
         let truth = Arc::clone(&self.truth);
         let corrupt = self.params.corrupt_file;
         let esm_dir = self.params.esm_dir();
-        let builder = self.rt.task("esm_simulation").constraint(Constraint::cores(4));
+        let builder = self
+            .rt
+            .task("esm_simulation")
+            .constraint(Constraint::cores(4))
+            .key(&format!("esm-year-{year_index}"))
+            .on_failure(self.recovery_policy());
         let builder = match prev {
             Some(p) => builder.updates(std::slice::from_ref(p)),
             None => builder.writes(&["esm_state"]),
         };
         builder.run(move |_| {
             let mut sim = sim.lock();
+            // Checkpoint resume: earlier years restored from the log never
+            // executed in this process, so fast-forward the model through
+            // them (their daily files already exist from the previous run)
+            // to keep this and all later years bit-identical.
+            while sim.years_completed() < year_index {
+                let skipped = sim.skip_years(1);
+                truth.lock().extend(skipped);
+            }
             let summary = sim.run_years(1, |_, _, _| {}).map_err(|e| e.to_string())?;
             truth.lock().extend(summary.truth);
             let year = summary.years[0];
@@ -285,6 +317,8 @@ impl CaseStudy {
         let stage = self
             .rt
             .task("stage_year")
+            .key(&format!("stage-{year_key}"))
+            .on_failure(self.recovery_policy())
             .writes(&[format!("year-{year_key}").as_str()])
             .run(move |_| Ok(vec![WfData::Paths(files.clone())]))?;
 
@@ -320,6 +354,7 @@ impl CaseStudy {
                 self.rt
                     .task(name)
                     .reads(&[daily.outputs[0].clone(), base.clone()])
+                    .on_failure(self.recovery_policy())
                     .writes(&[format!("{name}-{year_key}").as_str()])
                     .run(move |inp: &[Arc<WfData>]| {
                         let daily = client
@@ -354,6 +389,7 @@ impl CaseStudy {
             self.rt
                 .task("validate_indices")
                 .on_failure(FailurePolicy::IgnoreCancelSuccessors)
+                .key(&format!("validate-{year_key}"))
                 .reads(&[
                     hwd.outputs[0].clone(),
                     hwn.outputs[0].clone(),
@@ -400,6 +436,8 @@ impl CaseStudy {
             let year_key_owned = year_key.to_string();
             self.rt
                 .task("export_indices")
+                .key(&format!("export-{year_key}"))
+                .on_failure(self.recovery_policy())
                 .reads(&[
                     hwd.outputs[0].clone(),
                     hwn.outputs[0].clone(),
@@ -433,6 +471,7 @@ impl CaseStudy {
             self.rt
                 .task("tc_preprocess")
                 .on_failure(FailurePolicy::IgnoreCancelSuccessors)
+                .key(&format!("tcpre-{year_key}"))
                 .reads(&[stage.outputs[0].clone()])
                 .writes(&[format!("tcinput-{year_key}").as_str()])
                 .run(move |inp: &[Arc<WfData>]| {
@@ -461,6 +500,7 @@ impl CaseStudy {
                 Arc::new(Mutex::new(std::collections::BTreeMap::new()));
             self.rt
                 .task("tc_cnn_localize")
+                .key(&format!("tccnn-{year_key}"))
                 .reads(&[tc_input.outputs[0].clone(), model_token.clone()])
                 .constraint(Constraint::any())
                 .replicated(replicas)
@@ -514,6 +554,8 @@ impl CaseStudy {
             let year_key_owned = year_key.to_string();
             self.rt
                 .task("tc_track_deterministic")
+                .key(&format!("tctracks-{year_key}"))
+                .on_failure(self.recovery_policy())
                 .reads(&[tc_input.outputs[0].clone()])
                 .writes(&[format!("tc-tracks-{year_key}").as_str()])
                 .run(move |inp: &[Arc<WfData>]| {
@@ -536,6 +578,8 @@ impl CaseStudy {
             let year_key_owned = year_key.to_string();
             self.rt
                 .task("render_maps")
+                .key(&format!("maps-{year_key}"))
+                .on_failure(self.recovery_policy())
                 .reads(&[
                     hwn.outputs[0].clone(),
                     cwn.outputs[0].clone(),
@@ -599,6 +643,12 @@ impl CaseStudy {
         while year_refs.len() < self.params.years {
             if Instant::now() > deadline {
                 return Err("timed out waiting for simulation output".into());
+            }
+            // A fail-fast abort (e.g. an injected fault exhausting its
+            // retries) means the files this loop is waiting for will never
+            // land; surface the abort instead of spinning to the deadline.
+            if let Some(err) = self.rt.aborted() {
+                return Err(err.to_string());
             }
             for group in watcher.poll().map_err(|e| e.to_string())? {
                 let refs = self

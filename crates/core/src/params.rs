@@ -44,6 +44,13 @@ pub struct WorkflowParams {
     /// Fault-injection hook for resilience testing: corrupt the daily file
     /// of `(year index, 0-based day)` right after that year is simulated.
     pub corrupt_file: Option<(usize, usize)>,
+    /// Checkpoint log path; a re-run with the same path resumes from the
+    /// last completed frontier instead of starting over.
+    pub checkpoint: Option<PathBuf>,
+    /// Retries per failed task (0 = fail fast, the historical behavior).
+    pub task_retries: u32,
+    /// Base delay of the exponential retry backoff.
+    pub retry_base_ms: u64,
 }
 
 impl WorkflowParams {
@@ -113,6 +120,9 @@ impl WorkflowParams {
             finetune_days: 25,
             finetune_epochs: 10,
             corrupt_file: None,
+            checkpoint: None,
+            task_retries: 0,
+            retry_base_ms: 20,
         }
     }
 
@@ -136,6 +146,9 @@ impl WorkflowParams {
             finetune_days: 60,
             finetune_epochs: 14,
             corrupt_file: None,
+            checkpoint: None,
+            task_retries: 0,
+            retry_base_ms: 20,
         }
     }
 
@@ -143,7 +156,8 @@ impl WorkflowParams {
     /// Recognized keys: `years`, `days_per_year`, `grid`
     /// (`test_small` | `demo` | `NLATxNLON`), `scenario`
     /// (`historical` | `ssp245` | `ssp585`), `seed`, `workers`,
-    /// `io_servers`, `nfrag`.
+    /// `io_servers`, `nfrag`, `checkpoint`, `task_retries`,
+    /// `retry_base_ms`.
     pub fn apply_inputs(mut self, inputs: &BTreeMap<String, String>) -> Result<Self, String> {
         for (k, v) in inputs {
             match k.as_str() {
@@ -182,6 +196,14 @@ impl WorkflowParams {
                     self.io_servers = v.parse().map_err(|_| format!("bad io_servers '{v}'"))?
                 }
                 "nfrag" => self.nfrag = v.parse().map_err(|_| format!("bad nfrag '{v}'"))?,
+                "checkpoint" => self.checkpoint = Some(PathBuf::from(v)),
+                "task_retries" => {
+                    self.task_retries = v.parse().map_err(|_| format!("bad task_retries '{v}'"))?
+                }
+                "retry_base_ms" => {
+                    self.retry_base_ms =
+                        v.parse().map_err(|_| format!("bad retry_base_ms '{v}'"))?
+                }
                 // Unrecognized inputs are deployment-level concerns
                 // (image names etc.); ignore them.
                 _ => {}
@@ -312,6 +334,21 @@ impl ParamsBuilder {
         self
     }
 
+    /// Enables checkpointing to `path`; re-running with the same path
+    /// resumes from the last completed frontier.
+    pub fn checkpoint(mut self, path: impl Into<PathBuf>) -> Self {
+        self.p.checkpoint = Some(path.into());
+        self
+    }
+
+    /// Per-task retry budget with exponential backoff (`retries = 0`
+    /// restores the historical fail-fast behavior).
+    pub fn retries(mut self, retries: u32, base_ms: u64) -> Self {
+        self.p.task_retries = retries;
+        self.p.retry_base_ms = base_ms;
+        self
+    }
+
     /// Applies HPCWaaS string inputs (same keys as
     /// [`WorkflowParams::apply_inputs`]) on top of the builder state.
     pub fn inputs(mut self, inputs: &BTreeMap<String, String>) -> Result<Self, String> {
@@ -347,6 +384,31 @@ mod tests {
         assert_eq!((p.grid.nlat, p.grid.nlon), (24, 36));
         assert_eq!(p.scenario, Scenario::Ssp585);
         assert_eq!(p.seed, 7);
+    }
+
+    #[test]
+    fn recovery_inputs_parse() {
+        let mut inputs = BTreeMap::new();
+        inputs.insert("checkpoint".to_string(), "/tmp/wf.ckpt".to_string());
+        inputs.insert("task_retries".to_string(), "2".to_string());
+        inputs.insert("retry_base_ms".to_string(), "5".to_string());
+        let p = base().apply_inputs(&inputs).unwrap();
+        assert_eq!(p.checkpoint, Some(PathBuf::from("/tmp/wf.ckpt")));
+        assert_eq!(p.task_retries, 2);
+        assert_eq!(p.retry_base_ms, 5);
+
+        let mut inputs = BTreeMap::new();
+        inputs.insert("task_retries".to_string(), "lots".to_string());
+        assert!(base().apply_inputs(&inputs).is_err());
+
+        let p = WorkflowParams::builder(std::env::temp_dir().join("wfp-rec"))
+            .checkpoint("/tmp/b.ckpt")
+            .retries(3, 10)
+            .build()
+            .unwrap();
+        assert_eq!(p.task_retries, 3);
+        assert_eq!(p.retry_base_ms, 10);
+        assert!(p.checkpoint.is_some());
     }
 
     #[test]

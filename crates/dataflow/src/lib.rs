@@ -63,6 +63,7 @@
 pub mod checkpoint;
 pub mod error;
 pub mod graph;
+pub mod inject;
 pub mod monitor;
 pub mod payload;
 pub mod provenance;

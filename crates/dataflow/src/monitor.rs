@@ -34,6 +34,8 @@ pub struct StatusSnapshot {
     pub completed: usize,
     pub failed: usize,
     pub cancelled: usize,
+    /// Tasks that exceeded their per-task deadline.
+    pub timed_out: usize,
     /// Currently executing tasks with elapsed wall time.
     pub running_tasks: Vec<RunningTask>,
 }
@@ -41,7 +43,13 @@ pub struct StatusSnapshot {
 impl StatusSnapshot {
     /// Total tasks submitted so far.
     pub fn total(&self) -> usize {
-        self.pending + self.ready + self.running + self.completed + self.failed + self.cancelled
+        self.pending
+            + self.ready
+            + self.running
+            + self.completed
+            + self.failed
+            + self.cancelled
+            + self.timed_out
     }
 
     /// Fraction of tasks in a terminal state (NaN when none submitted).
@@ -50,7 +58,7 @@ impl StatusSnapshot {
         if total == 0 {
             return f64::NAN;
         }
-        (self.completed + self.failed + self.cancelled) as f64 / total as f64
+        (self.completed + self.failed + self.cancelled + self.timed_out) as f64 / total as f64
     }
 
     /// True when no task can make further progress.
@@ -61,14 +69,15 @@ impl StatusSnapshot {
     /// One-line human-readable summary.
     pub fn render(&self) -> String {
         format!(
-            "{}/{} done ({} running, {} ready, {} pending, {} failed, {} cancelled)",
-            self.completed + self.failed + self.cancelled,
+            "{}/{} done ({} running, {} ready, {} pending, {} failed, {} cancelled, {} timed out)",
+            self.completed + self.failed + self.cancelled + self.timed_out,
             self.total(),
             self.running,
             self.ready,
             self.pending,
             self.failed,
-            self.cancelled
+            self.cancelled,
+            self.timed_out
         )
     }
 }
@@ -133,7 +142,8 @@ impl StatusFold {
                 c.attempts = *attempt;
                 c.started = Some(Instant::now());
             }
-            EventKind::TaskRetried { task, name, attempt } => {
+            EventKind::TaskRetried { task, name, attempt }
+            | EventKind::TaskRetryBackoff { task, name, attempt, .. } => {
                 let c = self.cell(*task, name);
                 c.state = TaskState::Ready;
                 c.attempts = *attempt;
@@ -145,6 +155,7 @@ impl StatusFold {
                     TaskOutcome::Completed => TaskState::Completed,
                     TaskOutcome::Failed => TaskState::Failed,
                     TaskOutcome::Cancelled => TaskState::Cancelled,
+                    TaskOutcome::TimedOut => TaskState::TimedOut,
                 };
                 c.started = None;
             }
@@ -179,6 +190,7 @@ impl StatusFold {
                 TaskState::Completed => snap.completed += 1,
                 TaskState::Failed => snap.failed += 1,
                 TaskState::Cancelled => snap.cancelled += 1,
+                TaskState::TimedOut => snap.timed_out += 1,
             }
             if c.state == TaskState::Running {
                 snap.running_tasks.push(RunningTask {
@@ -253,6 +265,30 @@ mod tests {
         let s = f.snapshot();
         assert_eq!(s.ready, 1);
         assert_eq!(s.running, 0);
+    }
+
+    #[test]
+    fn backoff_retry_and_timeout_fold_like_their_plain_kin() {
+        let mut f = StatusFold::new();
+        f.apply(&EventKind::TaskSubmitted { task: 4, name: name() });
+        f.apply(&EventKind::TaskStarted { task: 4, name: name(), worker: 0, attempt: 1 });
+        f.apply(&EventKind::TaskRetryBackoff { task: 4, name: name(), attempt: 1, delay_ms: 9 });
+        let s = f.snapshot();
+        assert_eq!((s.ready, s.running), (1, 0));
+        f.apply(&EventKind::TaskStarted { task: 4, name: name(), worker: 0, attempt: 2 });
+        f.apply(&EventKind::TaskFinished {
+            task: 4,
+            name: name(),
+            worker: None,
+            outcome: TaskOutcome::TimedOut,
+            micros: 100,
+        });
+        let s = f.snapshot();
+        assert_eq!(s.timed_out, 1);
+        assert_eq!(s.total(), 1);
+        assert!(s.is_quiescent());
+        assert!((s.progress() - 1.0).abs() < 1e-12);
+        assert!(s.render().contains("1 timed out"));
     }
 
     #[test]

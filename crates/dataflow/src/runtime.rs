@@ -38,6 +38,9 @@ pub struct RuntimeConfig {
     /// not resident on the executing worker. 0 disables the simulation
     /// (transfers are still *counted* in the ledger either way).
     pub transfer_ns_per_byte: u64,
+    /// Seed for everything the runtime randomizes deterministically —
+    /// today the retry-backoff jitter (see [`crate::inject::backoff_delay_ms`]).
+    pub seed: u64,
 }
 
 impl RuntimeConfig {
@@ -48,7 +51,14 @@ impl RuntimeConfig {
             policy: Policy::Fifo,
             checkpoint_path: None,
             transfer_ns_per_byte: 0,
+            seed: 0,
         }
+    }
+
+    /// Sets the determinism seed (backoff jitter).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
     }
 
     /// Switches the scheduling policy (builder style).
@@ -87,6 +97,8 @@ pub struct Metrics {
     pub failed: usize,
     /// Cancelled task count.
     pub cancelled: usize,
+    /// Tasks that exceeded their per-task deadline.
+    pub timed_out: usize,
     /// Tasks restored from the checkpoint log without executing.
     pub restored: usize,
     /// Total retry attempts performed.
@@ -122,6 +134,10 @@ struct TaskEntry<P: Payload> {
     remaining_deps: usize,
     dependents: Vec<TaskId>,
     attempts: u32,
+    /// Per-task deadline: attempts whose wall time exceeds it are
+    /// surfaced as `TimedOut` (checked post-hoc — threads can't be
+    /// interrupted — so the state flips when the attempt returns).
+    deadline: Option<Duration>,
     started: Option<Instant>,
     /// Start of the current attempt on the runtime bus clock; feeds the
     /// timed critical-path log ([`Runtime::timing_report`]).
@@ -156,6 +172,10 @@ struct Inner<P: Payload> {
     next_task: u64,
     next_data: u64,
     ready: Vec<TaskId>,
+    /// Backoff-delayed retries: `(due, task)`. The task stays
+    /// `TaskState::Ready` (so `barrier`/status stay consistent) but is
+    /// invisible to the scheduler until a worker promotes it after `due`.
+    delayed: Vec<(Instant, TaskId)>,
     running: usize,
     aborted: Option<Error>,
     shutdown: bool,
@@ -184,6 +204,8 @@ struct Shared<P: Payload> {
     done_cv: Condvar,
     policy: Policy,
     transfer_ns_per_byte: u64,
+    /// Determinism seed (retry-backoff jitter).
+    seed: u64,
     /// Worker profiles; grows when workers are added at runtime
     /// (elasticity: "scaled up, also dynamically").
     profiles: Mutex<Vec<WorkerProfile>>,
@@ -202,6 +224,7 @@ struct RtMetrics {
     tasks_completed: obs::Counter,
     tasks_failed: obs::Counter,
     tasks_cancelled: obs::Counter,
+    tasks_timed_out: obs::Counter,
     retries: obs::Counter,
     queue_ready: obs::Gauge,
     queue_running: obs::Gauge,
@@ -215,6 +238,7 @@ impl RtMetrics {
             tasks_completed: r.counter("dataflow_tasks_total", &[("outcome", "completed")]),
             tasks_failed: r.counter("dataflow_tasks_total", &[("outcome", "failed")]),
             tasks_cancelled: r.counter("dataflow_tasks_total", &[("outcome", "cancelled")]),
+            tasks_timed_out: r.counter("dataflow_tasks_total", &[("outcome", "timed_out")]),
             retries: r.counter("dataflow_task_retries_total", &[]),
             queue_ready: r.gauge("dataflow_queue_ready", &[]),
             queue_running: r.gauge("dataflow_queue_running", &[]),
@@ -269,6 +293,7 @@ impl<P: Payload> Runtime<P> {
             next_task: 1,
             next_data: 1,
             ready: Vec::new(),
+            delayed: Vec::new(),
             running: 0,
             aborted: None,
             shutdown: false,
@@ -290,6 +315,7 @@ impl<P: Payload> Runtime<P> {
             done_cv: Condvar::new(),
             policy: config.policy,
             transfer_ns_per_byte: config.transfer_ns_per_byte,
+            seed: config.seed,
             profiles: Mutex::new(config.workers.clone()),
             retired: Mutex::new(vec![false; config.workers.len()]),
             bus: obs::Bus::new(),
@@ -322,6 +348,7 @@ impl<P: Payload> Runtime<P> {
             constraint: Constraint::any(),
             policy: FailurePolicy::default(),
             replicas: 1,
+            deadline: None,
         }
     }
 
@@ -372,6 +399,13 @@ impl<P: Payload> Runtime<P> {
     /// Current state of a task.
     pub fn task_state(&self, id: TaskId) -> Option<TaskState> {
         self.shared.state.lock().tasks.get(&id).map(|t| t.state)
+    }
+
+    /// The abort error, if a fail-fast failure has stopped the workflow.
+    /// Lets long-polling drivers (e.g. a directory watcher waiting on
+    /// workflow products) notice the abort without calling [`Runtime::barrier`].
+    pub fn aborted(&self) -> Option<Error> {
+        self.shared.state.lock().aborted.clone()
     }
 
     /// Snapshot of execution metrics.
@@ -529,6 +563,7 @@ pub struct TaskBuilder<'rt, P: Payload> {
     constraint: Constraint,
     policy: FailurePolicy,
     replicas: u32,
+    deadline: Option<Duration>,
 }
 
 impl<'rt, P: Payload> TaskBuilder<'rt, P> {
@@ -567,6 +602,16 @@ impl<'rt, P: Payload> TaskBuilder<'rt, P> {
     /// Failure policy (`on_failure` clause).
     pub fn on_failure(mut self, p: FailurePolicy) -> Self {
         self.policy = p;
+        self
+    }
+
+    /// Per-task deadline. An attempt whose wall time exceeds it is
+    /// surfaced as [`TaskState::TimedOut`] — its successors are
+    /// cancelled but the workflow does not abort and the task is not
+    /// retried, separating *slow* from *wrong* in monitoring. Checked
+    /// when the attempt returns (threads cannot be interrupted).
+    pub fn deadline(mut self, d: Duration) -> Self {
+        self.deadline = Some(d);
         self
     }
 
@@ -677,6 +722,7 @@ impl<'rt, P: Payload> TaskBuilder<'rt, P> {
             remaining_deps: remaining,
             dependents: Vec::new(),
             attempts: 0,
+            deadline: self.deadline,
             started: None,
             started_us: None,
         };
@@ -723,6 +769,13 @@ impl<'rt, P: Payload> TaskBuilder<'rt, P> {
                     }
                     st.metrics.completed += 1;
                     st.metrics.restored += 1;
+                    if let Some(k) = self.key.as_deref() {
+                        observe(
+                            shared,
+                            &mut st,
+                            EventKind::ResumedFrom { task: id.0, key: Arc::from(k) },
+                        );
+                    }
                     observe(
                         shared,
                         &mut st,
@@ -809,6 +862,7 @@ fn cancel_cascade<P: Payload>(shared: &Shared<P>, st: &mut Inner<P>, root: TaskI
             }
         }
         st.ready.retain(|r| *r != id);
+        st.delayed.retain(|(_, d)| *d != id);
         // Drop the locality-patience entry too: a cancelled task can
         // never be picked again, so keeping it would leak one map slot
         // per cancellation for the life of the runtime.
@@ -853,9 +907,84 @@ fn fail_task<P: Payload>(shared: &Shared<P>, st: &mut Inner<P>, id: TaskId) {
     }
 }
 
+/// Marks a task `TimedOut`: its attempt exceeded the per-task deadline.
+/// Like [`fail_task`] — outputs poisoned, dependents cancelled, flight
+/// dump — but counted and surfaced as a timeout, and *never* retried or
+/// escalated to a workflow abort: a deadline separates slow from wrong.
+fn timeout_task<P: Payload>(shared: &Shared<P>, st: &mut Inner<P>, id: TaskId) {
+    let (writes, dependents, name, started) = {
+        let t = st.tasks.get_mut(&id).expect("timing out unknown task");
+        t.state = TaskState::TimedOut;
+        t.closure = None;
+        (t.writes.clone(), t.dependents.clone(), Arc::clone(&t.name), t.started)
+    };
+    st.metrics.timed_out += 1;
+    shared.rtm.tasks_timed_out.inc();
+    let name_for_dump = Arc::clone(&name);
+    observe(
+        shared,
+        st,
+        EventKind::TaskFinished {
+            task: id.0,
+            name,
+            worker: None,
+            outcome: TaskOutcome::TimedOut,
+            micros: started.map(|s| s.elapsed().as_micros() as u64).unwrap_or(0),
+        },
+    );
+    record_provenance(st, id, None);
+    obs::flight::dump(&format!("task_timed_out: {} (#{})", name_for_dump, id.0));
+    for w in &writes {
+        if let Some(d) = st.data.get_mut(&w.id) {
+            d.failed = true;
+        }
+    }
+    for dep in dependents {
+        cancel_cascade(shared, st, dep);
+    }
+}
+
 /// Span name for one gang replica: `name[rank/…]`.
 fn replica_span_name(name: &Arc<str>, rank: u32) -> Arc<str> {
     Arc::from(format!("{name}[{rank}]").as_str())
+}
+
+/// Runs one task attempt under the chaos hook and a panic barrier.
+/// Injected faults at [`crate::inject::SITE_TASK`] apply here — *inside*
+/// the barrier, so an injected panic exercises the same recovery path an
+/// organic one would. Panics become task failures, which means the
+/// task's [`FailurePolicy`] (not a dead worker thread) decides what
+/// happens next.
+fn run_attempt<P: Payload>(
+    closure: &Arc<TaskFn<P>>,
+    inputs: &[Arc<P>],
+    replica: Replica,
+) -> std::result::Result<Vec<P>, String> {
+    let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        use obs::chaos::Fault;
+        match obs::chaos::fire(crate::inject::SITE_TASK) {
+            Some(Fault::Panic) => panic!("chaos: injected panic at {}", crate::inject::SITE_TASK),
+            Some(Fault::Stall { millis }) => {
+                std::thread::sleep(Duration::from_millis(millis));
+                closure(inputs, replica)
+            }
+            Some(Fault::Error) => {
+                Err(format!("chaos: injected error at {}", crate::inject::SITE_TASK))
+            }
+            Some(Fault::Poison) => {
+                Err(format!("chaos: poisoned payload at {}", crate::inject::SITE_TASK))
+            }
+            _ => closure(inputs, replica),
+        }
+    }));
+    caught.unwrap_or_else(|panic| {
+        let msg = panic
+            .downcast_ref::<&str>()
+            .map(|s| (*s).to_string())
+            .or_else(|| panic.downcast_ref::<String>().cloned())
+            .unwrap_or_else(|| "opaque panic payload".to_string());
+        Err(format!("panic: {msg}"))
+    })
 }
 
 fn worker_loop<P: Payload>(shared: Arc<Shared<P>>, worker_idx: usize, profile: WorkerProfile) {
@@ -866,6 +995,26 @@ fn worker_loop<P: Payload>(shared: Arc<Shared<P>>, worker_idx: usize, profile: W
         }
         if shared.retired.lock().get(worker_idx).copied().unwrap_or(false) {
             return; // retired: exit after finishing the current task
+        }
+
+        // Promote backoff-delayed retries whose due time has passed.
+        let now = Instant::now();
+        let mut i = 0;
+        let mut promoted = false;
+        while i < st.delayed.len() {
+            if st.delayed[i].0 <= now {
+                let (_, id) = st.delayed.swap_remove(i);
+                // The task may have been cancelled while parked.
+                if st.tasks.get(&id).map(|t| t.state == TaskState::Ready).unwrap_or(false) {
+                    st.ready.push(id);
+                    promoted = true;
+                }
+            } else {
+                i += 1;
+            }
+        }
+        if promoted {
+            shared.work_cv.notify_all();
         }
 
         // Gang-scheduled tasks: joining a forming gang takes priority over
@@ -889,7 +1038,7 @@ fn worker_loop<P: Payload>(shared: Arc<Shared<P>>, worker_idx: usize, profile: W
                 let _span = gang_name
                     .filter(|_| obs::global_active())
                     .map(|n| obs::trace::span(replica_span_name(&n, rank)));
-                closure(&inputs, Replica { rank, size })
+                run_attempt(&closure, &inputs, Replica { rank, size })
             };
             st = shared.state.lock();
             st.running -= 1;
@@ -975,7 +1124,12 @@ fn worker_loop<P: Payload>(shared: Arc<Shared<P>>, worker_idx: usize, profile: W
             }
         };
         let Some(ready_idx) = picked else {
-            if shared.policy == Policy::Locality && !snapshot.is_empty() {
+            if let Some(due) = st.delayed.iter().map(|(due, _)| *due).min() {
+                // Parked retries exist and nothing may ever notify the cv
+                // again: sleep only until the earliest one comes due.
+                let wait = due.saturating_duration_since(Instant::now());
+                shared.work_cv.wait_for(&mut st, wait.min(Duration::from_millis(50)));
+            } else if shared.policy == Policy::Locality && !snapshot.is_empty() {
                 // A compatible task may exist but is being delayed for
                 // locality; re-check soon even without a notification.
                 shared.work_cv.wait_for(&mut st, Duration::from_micros(300));
@@ -1095,7 +1249,7 @@ fn worker_loop<P: Payload>(shared: Arc<Shared<P>>, worker_idx: usize, profile: W
             } else {
                 None
             };
-            closure(&inputs, Replica { rank: 0, size: 1 })
+            run_attempt(&closure, &inputs, Replica { rank: 0, size: 1 })
         };
 
         st = shared.state.lock();
@@ -1114,6 +1268,21 @@ fn finish_task<P: Payload>(
     worker_idx: usize,
     result: std::result::Result<Vec<P>, String>,
 ) {
+    // Deadline check first: an attempt that came back too late is a
+    // timeout regardless of what it returned — the result is stale by
+    // definition and publishing it would hide the slowness.
+    let deadline_exceeded = st
+        .tasks
+        .get(&id)
+        .map(|t| matches!((t.deadline, t.started), (Some(d), Some(s)) if s.elapsed() > d))
+        .unwrap_or(false);
+    if deadline_exceeded {
+        timeout_task(shared, st, id);
+        queue_depth(shared, st);
+        shared.work_cv.notify_all();
+        shared.done_cv.notify_all();
+        return;
+    }
     let declared_outputs = st.tasks.get(&id).map(|t| t.writes.len()).unwrap_or(0);
     match result {
         Ok(outs) if outs.len() == declared_outputs => {
@@ -1127,8 +1296,18 @@ fn finish_task<P: Payload>(
             // before logging only costs a re-execution).
             if let Some(k) = &key {
                 let blobs: Vec<Vec<u8>> = outs.iter().map(|o| o.encode()).collect();
-                if let Some(log) = st.checkpoint.as_mut() {
-                    let _ = log.append(k, &blobs);
+                let written = st
+                    .checkpoint
+                    .as_mut()
+                    .map(|log| log.append(k, &blobs).is_ok())
+                    .unwrap_or(false);
+                if written {
+                    let bytes: u64 = blobs.iter().map(|b| b.len() as u64).sum();
+                    observe(
+                        shared,
+                        st,
+                        EventKind::CheckpointWritten { key: Arc::from(k.as_str()), bytes },
+                    );
                 }
             }
             for (r, v) in writes.iter().zip(outs) {
@@ -1199,16 +1378,55 @@ fn finish_task<P: Payload>(
                 t.attempts += 1;
                 (t.policy, t.attempts, Arc::clone(&t.name))
             };
-            let retry =
-                matches!(policy, FailurePolicy::Retry { max_retries } if attempts <= max_retries);
+            let backoff = match policy {
+                FailurePolicy::RetryBackoff { max_retries, base_ms, cap_ms }
+                    if attempts <= max_retries =>
+                {
+                    Some((base_ms, cap_ms))
+                }
+                _ => None,
+            };
+            let retry = backoff.is_some()
+                || matches!(policy, FailurePolicy::Retry { max_retries } if attempts <= max_retries);
             if retry {
                 st.metrics.retries += 1;
                 shared.rtm.retries.inc();
                 if let Some(t) = st.tasks.get_mut(&id) {
                     t.state = TaskState::Ready;
+                    // Reset the attempt stamps: the next TaskStarted begins
+                    // a fresh interval, so the eventual TaskSpan/duration
+                    // covers only the final attempt — not failed attempts
+                    // plus the backoff delay between them.
+                    t.started = None;
+                    t.started_us = None;
                 }
-                st.ready.push(id);
-                observe(shared, st, EventKind::TaskRetried { task: id.0, name, attempt: attempts });
+                if let Some((base_ms, cap_ms)) = backoff {
+                    let delay_ms = crate::inject::backoff_delay_ms(
+                        shared.seed,
+                        id.0,
+                        attempts,
+                        base_ms,
+                        cap_ms,
+                    );
+                    st.delayed.push((Instant::now() + Duration::from_millis(delay_ms), id));
+                    observe(
+                        shared,
+                        st,
+                        EventKind::TaskRetryBackoff {
+                            task: id.0,
+                            name,
+                            attempt: attempts,
+                            delay_ms,
+                        },
+                    );
+                } else {
+                    st.ready.push(id);
+                    observe(
+                        shared,
+                        st,
+                        EventKind::TaskRetried { task: id.0, name, attempt: attempts },
+                    );
+                }
                 queue_depth(shared, st);
                 shared.work_cv.notify_all();
             } else {
@@ -1233,6 +1451,7 @@ fn finish_task<P: Payload>(
                             cancel_cascade(shared, st, p);
                         }
                         st.ready.clear();
+                        st.delayed.clear();
                     }
                 }
                 queue_depth(shared, st);
@@ -1438,6 +1657,7 @@ mod tests {
             policy: Policy::Fifo,
             checkpoint_path: None,
             transfer_ns_per_byte: 0,
+            seed: 0,
         };
         let rt: Runtime<Bytes> = Runtime::new(config);
         for _ in 0..4 {
@@ -1592,6 +1812,181 @@ mod tests {
         // the bus completely idle (no events stamped).
         assert!(!rt.bus().is_active());
         assert_eq!(rt.bus().seq(), 0);
+    }
+
+    #[test]
+    fn backoff_retry_parks_then_succeeds() {
+        let rt: Runtime<Bytes> = Runtime::new(RuntimeConfig::with_cpu_workers(2).with_seed(42));
+        let rx = rt.subscribe();
+        let tries = Arc::new(AtomicU32::new(0));
+        let t2 = Arc::clone(&tries);
+        let h = rt
+            .task("flaky")
+            .writes(&["x"])
+            .on_failure(FailurePolicy::RetryBackoff { max_retries: 3, base_ms: 5, cap_ms: 50 })
+            .run(move |_| {
+                if t2.fetch_add(1, Ordering::SeqCst) < 2 {
+                    Err("transient".into())
+                } else {
+                    Ok(vec![Bytes::from_u64(7)])
+                }
+            })
+            .unwrap();
+        assert_eq!(rt.fetch(&h.outputs[0]).unwrap().as_u64(), Some(7));
+        rt.barrier().unwrap();
+        assert_eq!(rt.metrics().retries, 2);
+        // The backoff delays on the wire are exactly the deterministic
+        // jitter for (seed=42, task, attempt).
+        let delays: Vec<(u32, u64)> = rx
+            .drain()
+            .iter()
+            .filter_map(|e| match &e.kind {
+                EventKind::TaskRetryBackoff { attempt, delay_ms, .. } => {
+                    Some((*attempt, *delay_ms))
+                }
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            delays,
+            vec![
+                (1, crate::inject::backoff_delay_ms(42, h.id.0, 1, 5, 50)),
+                (2, crate::inject::backoff_delay_ms(42, h.id.0, 2, 5, 50)),
+            ]
+        );
+    }
+
+    #[test]
+    fn backoff_exhaustion_fails_fast() {
+        let rt: Runtime<Bytes> = Runtime::new(RuntimeConfig::with_cpu_workers(2).with_seed(1));
+        rt.task("always-bad")
+            .writes(&["x"])
+            .on_failure(FailurePolicy::RetryBackoff { max_retries: 2, base_ms: 1, cap_ms: 4 })
+            .run(|_| Err("permanent".into()))
+            .unwrap();
+        assert!(rt.barrier().is_err());
+        assert_eq!(rt.metrics().retries, 2);
+    }
+
+    #[test]
+    fn deadline_exceeded_is_timeout_not_failure() {
+        let rt = rt(2);
+        let slow = rt
+            .task("slow")
+            .writes(&["x"])
+            .deadline(Duration::from_millis(5))
+            .run(|_| {
+                std::thread::sleep(Duration::from_millis(40));
+                Ok(vec![Bytes::from_u64(1)])
+            })
+            .unwrap();
+        let dep = rt
+            .task("dep")
+            .reads(&[slow.outputs[0].clone()])
+            .writes(&["y"])
+            .run(|_| Ok(vec![Bytes::empty()]))
+            .unwrap();
+        // A timeout must NOT abort the workflow: the barrier succeeds.
+        rt.barrier().unwrap();
+        assert_eq!(rt.task_state(slow.id), Some(TaskState::TimedOut));
+        assert_eq!(rt.task_state(dep.id), Some(TaskState::Cancelled));
+        let m = rt.metrics();
+        assert_eq!(m.timed_out, 1);
+        assert_eq!(m.failed, 0, "timeouts are not failures");
+        assert_eq!(rt.status().timed_out, 1);
+    }
+
+    #[test]
+    fn task_within_deadline_completes_normally() {
+        let rt = rt(2);
+        let h = rt
+            .task("fast")
+            .writes(&["x"])
+            .deadline(Duration::from_secs(30))
+            .run(|_| Ok(vec![Bytes::from_u64(3)]))
+            .unwrap();
+        assert_eq!(rt.fetch(&h.outputs[0]).unwrap().as_u64(), Some(3));
+        rt.barrier().unwrap();
+        assert_eq!(rt.metrics().timed_out, 0);
+    }
+
+    #[test]
+    fn retry_resets_attempt_timing() {
+        // Regression: the retry path used to leave `started_us` from the
+        // failed attempt in place, so the completed task's span covered
+        // attempt 1 + attempt 2, skewing timing_report(). Each attempt
+        // must re-stamp.
+        let rt = rt(2);
+        let tries = Arc::new(AtomicU32::new(0));
+        let t2 = Arc::clone(&tries);
+        let h = rt
+            .task("slow-then-fast")
+            .writes(&["x"])
+            .on_failure(FailurePolicy::Retry { max_retries: 1 })
+            .run(move |_| {
+                if t2.fetch_add(1, Ordering::SeqCst) == 0 {
+                    std::thread::sleep(Duration::from_millis(50));
+                    Err("first attempt is slow and fails".into())
+                } else {
+                    Ok(vec![Bytes::from_u64(1)])
+                }
+            })
+            .unwrap();
+        rt.barrier().unwrap();
+        let spans = rt.task_spans();
+        let span = spans.iter().find(|s| s.task == h.id).expect("span recorded");
+        let micros = span.end_us - span.start_us;
+        assert!(
+            micros < 40_000,
+            "span must cover only the final attempt, got {micros}us (>= the 50ms first attempt)"
+        );
+        let m = rt.metrics();
+        let (_, _, d) = m.task_durations.iter().find(|(id, _, _)| *id == h.id).unwrap();
+        assert!(*d < Duration::from_millis(40), "duration skewed by failed attempt: {d:?}");
+    }
+
+    #[test]
+    fn panics_are_contained_and_retried() {
+        let rt = rt(2);
+        let tries = Arc::new(AtomicU32::new(0));
+        let t2 = Arc::clone(&tries);
+        let h = rt
+            .task("panicky")
+            .writes(&["x"])
+            .on_failure(FailurePolicy::Retry { max_retries: 2 })
+            .run(move |_| {
+                if t2.fetch_add(1, Ordering::SeqCst) == 0 {
+                    panic!("organic panic");
+                }
+                Ok(vec![Bytes::from_u64(11)])
+            })
+            .unwrap();
+        assert_eq!(rt.fetch(&h.outputs[0]).unwrap().as_u64(), Some(11));
+        rt.barrier().unwrap();
+        assert_eq!(rt.metrics().retries, 1);
+    }
+
+    #[test]
+    fn chaos_injected_panic_drives_retry_policy() {
+        use obs::chaos::Fault;
+        // Fire a panic at the first dataflow.task consultation only.
+        let hits = Arc::new(AtomicU32::new(0));
+        let h2 = Arc::clone(&hits);
+        let _guard = obs::chaos::install(Arc::new(move |site: &str| {
+            (site == crate::inject::SITE_TASK && h2.fetch_add(1, Ordering::SeqCst) == 0)
+                .then_some((Fault::Panic, 0))
+        }));
+        let rt = rt(1);
+        let h = rt
+            .task("victim")
+            .writes(&["x"])
+            .on_failure(FailurePolicy::Retry { max_retries: 1 })
+            .run(|_| Ok(vec![Bytes::from_u64(5)]))
+            .unwrap();
+        assert_eq!(rt.fetch(&h.outputs[0]).unwrap().as_u64(), Some(5));
+        rt.barrier().unwrap();
+        assert_eq!(rt.metrics().retries, 1);
+        assert!(hits.load(Ordering::SeqCst) >= 2, "site consulted once per attempt");
     }
 
     #[test]

@@ -52,6 +52,12 @@ pub enum FailurePolicy {
     FailFast,
     /// Re-execute up to `max_retries` additional times, then fail fast.
     Retry { max_retries: u32 },
+    /// Re-execute up to `max_retries` additional times with exponential
+    /// backoff between attempts (`base_ms * 2^(attempt-1)` capped at
+    /// `cap_ms`, plus deterministic jitter derived from the runtime seed;
+    /// see [`crate::inject::backoff_delay_ms`]), then fail fast. The delay
+    /// never blocks a worker: the task parks in a delayed queue.
+    RetryBackoff { max_retries: u32, base_ms: u64, cap_ms: u64 },
     /// Mark the task failed, cancel its transitive successors, and let the
     /// rest of the workflow continue.
     IgnoreCancelSuccessors,
@@ -73,17 +79,24 @@ pub enum TaskState {
     /// Never ran: a predecessor failed under `IgnoreCancelSuccessors`, or
     /// the workflow aborted.
     Cancelled,
+    /// Exceeded its per-task deadline: cancelled and surfaced as a
+    /// timeout rather than a failure (successors are still cancelled,
+    /// but the workflow does not abort).
+    TimedOut,
 }
 
 impl TaskState {
     /// True for states from which the task will never produce outputs.
     pub fn is_terminal_failure(self) -> bool {
-        matches!(self, TaskState::Failed | TaskState::Cancelled)
+        matches!(self, TaskState::Failed | TaskState::Cancelled | TaskState::TimedOut)
     }
 
     /// True when the task is finished one way or another.
     pub fn is_terminal(self) -> bool {
-        matches!(self, TaskState::Completed | TaskState::Failed | TaskState::Cancelled)
+        matches!(
+            self,
+            TaskState::Completed | TaskState::Failed | TaskState::Cancelled | TaskState::TimedOut
+        )
     }
 }
 
@@ -107,6 +120,8 @@ mod tests {
     fn terminal_state_classification() {
         assert!(TaskState::Failed.is_terminal_failure());
         assert!(TaskState::Cancelled.is_terminal_failure());
+        assert!(TaskState::TimedOut.is_terminal_failure());
+        assert!(TaskState::TimedOut.is_terminal());
         assert!(!TaskState::Completed.is_terminal_failure());
         assert!(TaskState::Completed.is_terminal());
         assert!(!TaskState::Running.is_terminal());

@@ -48,6 +48,7 @@ fn run_dag(spec: &DagSpec, workers: usize, policy: Policy) -> Vec<u64> {
         policy,
         checkpoint_path: None,
         transfer_ns_per_byte: 0,
+        seed: 0,
     };
     let rt: Runtime<Bytes> = Runtime::new(config);
     let mut outputs: Vec<DataRef> = Vec::new();

@@ -100,6 +100,7 @@ fn transfer_volume(policy: Policy) -> u64 {
         policy,
         checkpoint_path: None,
         transfer_ns_per_byte: 0,
+        seed: 0,
     };
     let rt: Runtime<Bytes> = Runtime::new(config);
     let mut heads = Vec::new();
@@ -210,6 +211,7 @@ fn wide_fanout_completes_under_constrained_pool() {
         policy: Policy::Locality,
         checkpoint_path: None,
         transfer_ns_per_byte: 0,
+        seed: 0,
     };
     let rt: Runtime<Bytes> = Runtime::new(config);
     let mut outs = Vec::new();

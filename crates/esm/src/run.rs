@@ -66,18 +66,33 @@ pub struct RunSummary {
 pub struct Simulation {
     model: CoupledModel,
     out_dir: PathBuf,
+    years_completed: usize,
 }
 
 impl Simulation {
     /// Creates the simulation, ensuring the output directory exists.
     pub fn new(cfg: EsmConfig, out_dir: &Path) -> std::io::Result<Self> {
         std::fs::create_dir_all(out_dir)?;
-        Ok(Simulation { model: CoupledModel::new(cfg), out_dir: out_dir.to_path_buf() })
+        Ok(Simulation {
+            model: CoupledModel::new(cfg),
+            out_dir: out_dir.to_path_buf(),
+            years_completed: 0,
+        })
     }
 
     /// The model configuration.
     pub fn config(&self) -> &EsmConfig {
         &self.model.cfg
+    }
+
+    /// Full simulated years completed (or skipped) so far.
+    pub fn years_completed(&self) -> usize {
+        self.years_completed
+    }
+
+    /// Current model date `(year, day-of-year)`.
+    pub fn date(&self) -> (i32, usize) {
+        self.model.date()
     }
 
     /// Runs `years` simulated years, calling `on_file(path, year, day0)`
@@ -90,6 +105,9 @@ impl Simulation {
         let mut summary =
             RunSummary { files_written: 0, bytes_written: 0, years: Vec::new(), truth: Vec::new() };
         for _ in 0..years {
+            // Chaos site "esm.year": a year of simulation can stall (slow
+            // queue / node) or error out (crashed job) at its boundary.
+            obs::chaos::point("esm.year").map_err(std::io::Error::other)?;
             let (year, _) = self.model.date();
             summary.years.push(year);
             summary.truth.push(self.model.year_events().clone());
@@ -99,13 +117,35 @@ impl Simulation {
                 summary.bytes_written += bytes;
                 on_file(&path, year, day);
             }
+            self.years_completed += 1;
         }
         Ok(summary)
+    }
+
+    /// Fast-forwards `n` simulated years WITHOUT writing any files,
+    /// returning their ground truth. Checkpoint resume needs this: the
+    /// coupled model's state evolves day by day and cannot be
+    /// reconstructed from `(config, year)` alone, so a year restored
+    /// from a checkpoint must still advance the model to keep every
+    /// later year bit-identical to an unfailed run.
+    pub fn skip_years(&mut self, n: usize) -> Vec<YearEvents> {
+        let mut truth = Vec::with_capacity(n);
+        for _ in 0..n {
+            truth.push(self.model.year_events().clone());
+            for _ in 0..self.model.cfg.days_per_year {
+                let _ = self.model.step_day();
+            }
+            self.years_completed += 1;
+        }
+        truth
     }
 
     /// Runs a single day (fine-grained driver for pipelined workflows).
     pub fn run_day(&mut self) -> ncformat::Result<(PathBuf, i32, usize)> {
         let (path, year, day, _) = step_and_write(&mut self.model, &self.out_dir)?;
+        if day + 1 == self.model.cfg.days_per_year {
+            self.years_completed += 1;
+        }
         Ok((path, year, day))
     }
 
@@ -179,6 +219,54 @@ mod tests {
         assert!(p1.exists());
         let (_, y2, d2) = sim.run_day().unwrap();
         assert_eq!((y2, d2), (2030, 1));
+    }
+
+    #[test]
+    fn skip_years_fast_forward_matches_straight_run() {
+        // Straight run of 2 years vs. skip year 0 then run year 1: the
+        // second year's files must be byte-identical, and the skipped
+        // year's truth must match what the straight run recorded.
+        let cfg = small_cfg().with_seed(5);
+
+        let full_dir = tmpdir("skip-full");
+        let mut full = Simulation::new(cfg.clone(), &full_dir).unwrap();
+        let full_summary = full.run_years(2, |_, _, _| {}).unwrap();
+        assert_eq!(full.years_completed(), 2);
+
+        let skip_dir = tmpdir("skip-part");
+        let mut part = Simulation::new(cfg, &skip_dir).unwrap();
+        let skipped_truth = part.skip_years(1);
+        assert_eq!(part.years_completed(), 1);
+        assert_eq!(part.date(), (2031, 0));
+        let part_summary = part.run_years(1, |_, _, _| {}).unwrap();
+        assert_eq!(part.years_completed(), 2);
+
+        assert_eq!(skipped_truth.len(), 1);
+        assert_eq!(skipped_truth[0].tcs.len(), full_summary.truth[0].tcs.len());
+        assert_eq!(part_summary.years, vec![2031]);
+
+        // No year-0 files in the skip directory; year-1 files identical.
+        for day in 1..=3 {
+            assert!(!skip_dir.join(format!("esm-2030-{day:03}.ncx")).exists());
+            let name = format!("esm-2031-{day:03}.ncx");
+            let a = std::fs::read(full_dir.join(&name)).unwrap();
+            let b = std::fs::read(skip_dir.join(&name)).unwrap();
+            assert_eq!(a, b, "{name} differs after fast-forward");
+        }
+    }
+
+    #[test]
+    fn chaos_error_at_year_boundary_surfaces_as_io_error() {
+        use std::sync::Arc;
+        let _guard = obs::chaos::install(Arc::new(|site: &str| {
+            (site == "esm.year").then_some((obs::chaos::Fault::Error, 0))
+        }));
+        let dir = tmpdir("chaos-year");
+        let mut sim = Simulation::new(small_cfg(), &dir).unwrap();
+        let err = sim.run_years(1, |_, _, _| {}).unwrap_err();
+        assert!(err.to_string().contains("chaos"), "unexpected error: {err}");
+        assert_eq!(sim.years_completed(), 0);
+        assert_eq!(std::fs::read_dir(&dir).unwrap().count(), 0, "no files before the fault");
     }
 
     #[test]

@@ -68,6 +68,9 @@ pub struct Placement {
     pub node: usize,
     pub start_ms: u64,
     pub end_ms: u64,
+    /// Placement attempts this job needed (1 = placed first try; more
+    /// when the chaos site bounced it back to the queue).
+    pub attempts: u32,
 }
 
 impl Placement {
@@ -84,7 +87,13 @@ pub struct Schedule {
     pub makespan_ms: u64,
     /// Core-milliseconds used / core-milliseconds available over makespan.
     pub utilization: f64,
+    /// Total requeue bounces across all jobs (0 without fault injection).
+    pub requeued: u32,
 }
+
+/// Placement attempts per job before a requeue fault is ignored: a
+/// flapping node can bounce a job back to the queue only so many times.
+const MAX_JOB_ATTEMPTS: u32 = 3;
 
 /// The simulated cluster.
 #[derive(Debug, Clone)]
@@ -128,8 +137,16 @@ impl Cluster {
     /// Runs FCFS + conservative backfill over the queued jobs and returns
     /// the schedule. The queue is consumed.
     pub fn schedule(&mut self) -> Schedule {
-        let mut pending: Vec<JobSpec> = std::mem::take(&mut self.queue);
-        pending.sort_by_key(|j| j.submit_ms);
+        struct Queued {
+            job: JobSpec,
+            attempts: u32,
+        }
+        let mut pending: Vec<Queued> = std::mem::take(&mut self.queue)
+            .into_iter()
+            .map(|job| Queued { job, attempts: 0 })
+            .collect();
+        pending.sort_by_key(|q| q.job.submit_ms);
+        let mut requeued = 0u32;
         // Running jobs as (node, end_ms, cores, gpus, mem).
         let mut running: Vec<(usize, u64, u32, u32, u32)> = Vec::new();
         let mut placements: Vec<Placement> = Vec::new();
@@ -155,28 +172,47 @@ impl Cluster {
             running.retain(|&(_, end, ..)| end > now);
 
             // Find the FCFS head among jobs already submitted.
-            let head_idx = pending.iter().position(|j| j.submit_ms <= now).unwrap_or(usize::MAX);
+            let head_idx =
+                pending.iter().position(|q| q.job.submit_ms <= now).unwrap_or(usize::MAX);
 
             if head_idx == usize::MAX {
                 // Nothing submitted yet: jump to the next submission.
-                now = pending.iter().map(|j| j.submit_ms).min().unwrap();
+                now = pending.iter().map(|q| q.job.submit_ms).min().unwrap();
                 continue;
             }
 
             // Try to start the head now.
-            let head = pending[head_idx].clone();
+            let head = pending[head_idx].job.clone();
             let node_for_head = (0..self.nodes.len()).find(|&n| {
                 let (c, g, m) = free_at(&running, n, now, &self.nodes);
                 c >= head.cores && g >= head.gpus && m >= head.memory_gb
             });
 
             if let Some(node) = node_for_head {
+                let attempts = pending[head_idx].attempts + 1;
+                // Chaos site "hpcwaas.cluster.job": the node bounces the
+                // job back to the queue (capped, with a deterministic
+                // half-runtime resubmission delay).
+                if attempts < MAX_JOB_ATTEMPTS
+                    && matches!(
+                        obs::chaos::fire("hpcwaas.cluster.job"),
+                        Some(obs::chaos::Fault::Requeue)
+                    )
+                {
+                    requeued += 1;
+                    let q = &mut pending[head_idx];
+                    q.attempts = attempts;
+                    q.job.submit_ms = now + q.job.duration_ms / 2 + 1;
+                    pending.sort_by_key(|q| q.job.submit_ms);
+                    continue;
+                }
                 running.push((node, now + head.duration_ms, head.cores, head.gpus, head.memory_gb));
                 placements.push(Placement {
                     node,
                     start_ms: now,
                     end_ms: now + head.duration_ms,
                     job: head,
+                    attempts,
                 });
                 pending.remove(head_idx);
                 continue;
@@ -205,7 +241,7 @@ impl Cluster {
                 if i == head_idx {
                     continue;
                 }
-                let j = &pending[i];
+                let j = &pending[i].job;
                 if j.submit_ms > now || now + j.duration_ms > shadow {
                     continue;
                 }
@@ -214,13 +250,15 @@ impl Cluster {
                     c >= j.cores && g >= j.gpus && m >= j.memory_gb
                 });
                 if let Some(node) = node {
-                    let j = pending.remove(i);
+                    let q = pending.remove(i);
+                    let j = q.job;
                     running.push((node, now + j.duration_ms, j.cores, j.gpus, j.memory_gb));
                     placements.push(Placement {
                         node,
                         start_ms: now,
                         end_ms: now + j.duration_ms,
                         job: j,
+                        attempts: q.attempts + 1,
                     });
                     backfilled = true;
                     break;
@@ -233,7 +271,7 @@ impl Cluster {
             // Advance time to the next event.
             let next_end = running.iter().map(|&(_, e, ..)| e).min();
             let next_submit =
-                pending.iter().filter(|j| j.submit_ms > now).map(|j| j.submit_ms).min();
+                pending.iter().filter(|q| q.job.submit_ms > now).map(|q| q.job.submit_ms).min();
             now = match (next_end, next_submit) {
                 (Some(a), Some(b)) => a.min(b),
                 (Some(a), None) => a,
@@ -248,6 +286,7 @@ impl Cluster {
         let r = obs::registry();
         let wait_ms = r.histogram("hpcwaas_job_wait_ms", &[]);
         r.counter("hpcwaas_jobs_scheduled_total", &[]).add(placements.len() as u64);
+        r.counter("hpcwaas_job_requeues_total", &[]).add(requeued as u64);
         for p in &placements {
             wait_ms.observe(p.wait_ms());
             bus.emit_with(|| obs::EventKind::JobScheduled {
@@ -265,6 +304,7 @@ impl Cluster {
             placements,
             makespan_ms,
             utilization: if capacity > 0 { used as f64 / capacity as f64 } else { 0.0 },
+            requeued,
         }
     }
 }
@@ -281,6 +321,47 @@ mod tests {
         assert_eq!(s.placements.len(), 1);
         assert_eq!(s.placements[0].start_ms, 0);
         assert_eq!(s.makespan_ms, 100);
+        assert_eq!(s.placements[0].attempts, 1, "clean path places first try");
+        assert_eq!(s.requeued, 0);
+    }
+
+    #[test]
+    fn requeue_fault_bounces_jobs_with_capped_attempts() {
+        use std::sync::Arc;
+        // Every placement attempt is bounced; the cap forces the third.
+        let _guard = obs::chaos::install(Arc::new(|site: &str| {
+            (site == "hpcwaas.cluster.job").then_some((obs::chaos::Fault::Requeue, 0))
+        }));
+        let mut c = Cluster::homogeneous(2, 8);
+        c.submit(JobSpec::new("a", 4, 100)).unwrap();
+        c.submit(JobSpec::new("b", 4, 100)).unwrap();
+        let s = c.schedule();
+        assert_eq!(s.placements.len(), 2, "requeued jobs still complete");
+        for p in &s.placements {
+            assert_eq!(p.attempts, MAX_JOB_ATTEMPTS, "cap forces placement");
+            // Two bounces, each delaying resubmission by duration/2 + 1.
+            assert!(p.start_ms >= 2 * (100 / 2 + 1), "bounce delays apply: {}", p.start_ms);
+        }
+        assert_eq!(s.requeued, 4);
+    }
+
+    #[test]
+    fn requeue_schedule_is_deterministic() {
+        use std::sync::Arc;
+        let run = || {
+            let _guard = obs::chaos::install(Arc::new(|site: &str| {
+                (site == "hpcwaas.cluster.job").then_some((obs::chaos::Fault::Requeue, 0))
+            }));
+            let mut c = Cluster::homogeneous(2, 8);
+            for i in 0..6 {
+                c.submit(JobSpec::new(&format!("j{i}"), 2 + (i % 3), 50 + i as u64 * 10)).unwrap();
+            }
+            c.schedule()
+        };
+        let (a, b) = (run(), run());
+        assert_eq!(a.placements, b.placements);
+        assert_eq!(a.requeued, b.requeued);
+        assert_eq!(a.makespan_ms, b.makespan_ms);
     }
 
     #[test]

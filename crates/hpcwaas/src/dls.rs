@@ -73,7 +73,11 @@ pub struct Link {
 pub struct StageReport {
     pub label: String,
     pub bytes: u64,
+    /// Virtual cost of ALL attempts of this stage (each dropped attempt
+    /// pays the full transfer cost before the retry).
     pub virtual_ms: u64,
+    /// Attempts used (1 = clean transfer).
+    pub attempts: u32,
 }
 
 /// Whole-pipeline execution record.
@@ -82,6 +86,11 @@ pub struct TransferReport {
     pub stages: Vec<StageReport>,
     pub total_ms: u64,
     pub total_bytes: u64,
+    /// Extra attempts across all stages (0 = no drops).
+    pub retries: u32,
+    /// True when some stage exhausted its attempts and the pipeline
+    /// finished without that data (degraded mode, not a hard failure).
+    pub degraded: bool,
 }
 
 /// The Data Logistics Service with its network model.
@@ -89,6 +98,8 @@ pub struct DataLogistics {
     links: HashMap<(Endpoint, Endpoint), Link>,
     default_link: Link,
     executed: Vec<TransferReport>,
+    /// Attempts per stage before giving up on it (≥ 1).
+    max_attempts: u32,
 }
 
 impl DataLogistics {
@@ -98,7 +109,13 @@ impl DataLogistics {
             links: HashMap::new(),
             default_link: Link { bandwidth_mbps: 100.0, latency_ms: 50 },
             executed: Vec::new(),
+            max_attempts: 3,
         }
+    }
+
+    /// Sets the per-stage attempt cap (clamped to ≥ 1).
+    pub fn set_max_attempts(&mut self, n: u32) {
+        self.max_attempts = n.max(1);
     }
 
     /// Declares a (directed) link between endpoints.
@@ -118,26 +135,65 @@ impl DataLogistics {
     }
 
     /// Executes a pipeline, returning (and recording) the report.
+    ///
+    /// Each stage is attempted up to the configured cap; the chaos site
+    /// `hpcwaas.dls.transfer` (consulted once per attempt) may drop an
+    /// attempt, which still costs its full virtual duration before the
+    /// retry. A stage that exhausts its attempts marks the report
+    /// `degraded` and the pipeline carries on — transfer loss degrades a
+    /// run, it does not kill it. The no-fault path is byte-for-byte the
+    /// old behavior (one attempt per stage, identical costs).
     pub fn execute(&mut self, spec: &PipelineSpec) -> TransferReport {
         let mut stages = Vec::with_capacity(spec.stages.len());
         let mut total_ms = 0;
+        let mut retries = 0u32;
+        let mut degraded = false;
         let bus = obs::global();
         let r = obs::registry();
         let stage_ms = r.histogram("hpcwaas_stage_ms", &[]);
         let bytes_total = r.counter("hpcwaas_transfer_bytes_total", &[]);
+        let retries_total = r.counter("hpcwaas_transfer_retries_total", &[]);
         for s in &spec.stages {
             let ms = self.predict_stage_ms(s);
-            total_ms += ms;
-            stage_ms.observe(ms);
-            bytes_total.add(s.bytes);
-            bus.emit_with(|| obs::EventKind::TransferStaged {
-                label: s.label.as_str().into(),
+            let mut attempts = 0u32;
+            let mut stage_cost = 0u64;
+            let delivered = loop {
+                attempts += 1;
+                stage_cost += ms;
+                stage_ms.observe(ms);
+                bus.emit_with(|| obs::EventKind::TransferStaged {
+                    label: s.label.as_str().into(),
+                    bytes: s.bytes,
+                    virtual_ms: ms,
+                });
+                let dropped = matches!(
+                    obs::chaos::fire("hpcwaas.dls.transfer"),
+                    Some(obs::chaos::Fault::Drop)
+                );
+                if !dropped {
+                    break true;
+                }
+                retries_total.inc();
+                if attempts >= self.max_attempts {
+                    break false;
+                }
+            };
+            retries += attempts - 1;
+            if delivered {
+                bytes_total.add(s.bytes);
+            } else {
+                degraded = true;
+            }
+            total_ms += stage_cost;
+            stages.push(StageReport {
+                label: s.label.clone(),
                 bytes: s.bytes,
-                virtual_ms: ms,
+                virtual_ms: stage_cost,
+                attempts,
             });
-            stages.push(StageReport { label: s.label.clone(), bytes: s.bytes, virtual_ms: ms });
         }
-        let report = TransferReport { stages, total_ms, total_bytes: spec.total_bytes() };
+        let report =
+            TransferReport { stages, total_ms, total_bytes: spec.total_bytes(), retries, degraded };
         self.executed.push(report.clone());
         report
     }
@@ -167,6 +223,46 @@ mod tests {
         // 2 GB at 1 GB/s = 2000 ms + 20 ms latency.
         assert_eq!(r.total_ms, 2020);
         assert_eq!(r.total_bytes, 2_000_000_000);
+        assert_eq!(r.stages[0].attempts, 1, "clean path is single-attempt");
+        assert_eq!(r.retries, 0);
+        assert!(!r.degraded);
+    }
+
+    #[test]
+    fn dropped_transfers_retry_then_deliver() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        use std::sync::Arc;
+        // Drop the first two attempts; the third delivers.
+        let n = Arc::new(AtomicU64::new(0));
+        let n2 = Arc::clone(&n);
+        let _guard = obs::chaos::install(Arc::new(move |site: &str| {
+            (site == "hpcwaas.dls.transfer" && n2.fetch_add(1, Ordering::SeqCst) < 2)
+                .then_some((obs::chaos::Fault::Drop, 0))
+        }));
+        let mut dls = DataLogistics::new();
+        let r = dls.execute(&PipelineSpec::new().stage("x", "a", "b", 100_000_000));
+        assert_eq!(r.stages[0].attempts, 3);
+        assert_eq!(r.retries, 2);
+        assert!(!r.degraded);
+        // Each dropped attempt paid the full stage cost (1050 ms).
+        assert_eq!(r.total_ms, 3 * 1050);
+    }
+
+    #[test]
+    fn exhausted_transfer_degrades_but_pipeline_continues() {
+        use std::sync::Arc;
+        let _guard = obs::chaos::install(Arc::new(|site: &str| {
+            (site == "hpcwaas.dls.transfer").then_some((obs::chaos::Fault::Drop, 0))
+        }));
+        let mut dls = DataLogistics::new();
+        dls.set_max_attempts(2);
+        let p =
+            PipelineSpec::new().stage("x", "a", "b", 100_000_000).stage("y", "b", "c", 100_000_000);
+        let r = dls.execute(&p);
+        assert!(r.degraded, "exhausted stage must flag degraded mode");
+        assert_eq!(r.stages.len(), 2, "loss of one stage must not stop the pipeline");
+        assert_eq!(r.stages[0].attempts, 2);
+        assert_eq!(r.retries, 2, "one extra attempt per stage");
     }
 
     #[test]

@@ -16,6 +16,9 @@ pub enum TaskOutcome {
     Completed,
     Failed,
     Cancelled,
+    /// Exceeded its per-task deadline; surfaced distinctly from `Failed`
+    /// so monitoring can separate slowness from wrongness.
+    TimedOut,
 }
 
 impl TaskOutcome {
@@ -25,6 +28,7 @@ impl TaskOutcome {
             TaskOutcome::Completed => "completed",
             TaskOutcome::Failed => "failed",
             TaskOutcome::Cancelled => "cancelled",
+            TaskOutcome::TimedOut => "timed_out",
         }
     }
 }
@@ -42,6 +46,14 @@ pub enum EventKind {
     TaskStarted { task: u64, name: Arc<str>, worker: usize, attempt: u32 },
     /// A failed attempt was re-queued under a retry policy.
     TaskRetried { task: u64, name: Arc<str>, attempt: u32 },
+    /// A failed attempt was re-queued with an exponential-backoff delay
+    /// (deterministic jitter; `delay_ms` is the exact wait applied).
+    TaskRetryBackoff { task: u64, name: Arc<str>, attempt: u32, delay_ms: u64 },
+    /// A completed task's encoded outputs landed in the checkpoint log.
+    CheckpointWritten { key: Arc<str>, bytes: u64 },
+    /// A task was restored from the checkpoint log without executing
+    /// (resume-from-last-frontier after a killed run).
+    ResumedFrom { task: u64, key: Arc<str> },
     /// The task reached a terminal state. `micros` is the wall time of the
     /// final attempt (0 for cancelled / checkpoint-restored tasks);
     /// `worker` is `None` when no worker ran the final transition.
@@ -89,6 +101,11 @@ pub enum EventKind {
     SpanStarted { name: Arc<str>, trace: u64, span: u64, parent: u64 },
     /// A hierarchical span closed; `micros` is its wall-clock duration.
     SpanEnded { name: Arc<str>, trace: u64, span: u64, parent: u64, micros: u64 },
+
+    // --- chaos: fault injection ---------------------------------------
+    /// A seeded fault fired at a named injection site (`occurrence` is
+    /// the per-site occurrence index it hit; see [`crate::chaos`]).
+    FaultInjected { site: Arc<str>, fault: &'static str, occurrence: u64 },
 }
 
 impl EventKind {
@@ -99,6 +116,9 @@ impl EventKind {
             EventKind::TaskReady { .. } => "task_ready",
             EventKind::TaskStarted { .. } => "task_started",
             EventKind::TaskRetried { .. } => "task_retried",
+            EventKind::TaskRetryBackoff { .. } => "task_retry_backoff",
+            EventKind::CheckpointWritten { .. } => "checkpoint_written",
+            EventKind::ResumedFrom { .. } => "resumed_from",
             EventKind::TaskFinished { .. } => "task_finished",
             EventKind::QueueDepth { .. } => "queue_depth",
             EventKind::KernelDone { .. } => "kernel_done",
@@ -113,6 +133,7 @@ impl EventKind {
             EventKind::SpanCompleted { .. } => "span_completed",
             EventKind::SpanStarted { .. } => "span_started",
             EventKind::SpanEnded { .. } => "span_ended",
+            EventKind::FaultInjected { .. } => "fault_injected",
         }
     }
 

@@ -68,6 +68,25 @@ impl Event {
                 field_s(&mut s, "name", name);
                 field_u(&mut s, "attempt", *attempt as u64);
             }
+            EventKind::TaskRetryBackoff { task, name, attempt, delay_ms } => {
+                field_u(&mut s, "task", *task);
+                field_s(&mut s, "name", name);
+                field_u(&mut s, "attempt", *attempt as u64);
+                field_u(&mut s, "delay_ms", *delay_ms);
+            }
+            EventKind::CheckpointWritten { key, bytes } => {
+                field_s(&mut s, "key", key);
+                field_u(&mut s, "bytes", *bytes);
+            }
+            EventKind::ResumedFrom { task, key } => {
+                field_u(&mut s, "task", *task);
+                field_s(&mut s, "key", key);
+            }
+            EventKind::FaultInjected { site, fault, occurrence } => {
+                field_s(&mut s, "site", site);
+                field_s(&mut s, "fault", fault);
+                field_u(&mut s, "occurrence", *occurrence);
+            }
             EventKind::TaskFinished { task, name, worker, outcome, micros } => {
                 field_u(&mut s, "task", *task);
                 field_s(&mut s, "name", name);
@@ -271,6 +290,12 @@ fn slice_name(kind: &EventKind) -> String {
         EventKind::TaskReady { task } => format!("ready #{task}"),
         EventKind::TaskStarted { name, .. } => format!("start {name}"),
         EventKind::TaskRetried { name, attempt, .. } => format!("retry {name} #{attempt}"),
+        EventKind::TaskRetryBackoff { name, delay_ms, .. } => {
+            format!("backoff {name} +{delay_ms}ms")
+        }
+        EventKind::CheckpointWritten { key, .. } => format!("ckpt {key}"),
+        EventKind::ResumedFrom { key, .. } => format!("resume {key}"),
+        EventKind::FaultInjected { site, fault, .. } => format!("fault {fault}@{site}"),
         EventKind::TaskFinished { name, .. } => name.to_string(),
         EventKind::QueueDepth { .. } => "queue".to_string(),
         EventKind::KernelDone { op, .. } => format!("kernel {op}"),
@@ -314,6 +339,14 @@ fn kind_args(kind: &EventKind) -> String {
         | EventKind::TaskRetried { task, .. } => format!("{{\"task\":{task}}}"),
         EventKind::TaskStarted { task, worker, attempt, .. } => {
             format!("{{\"task\":{task},\"worker\":{worker},\"attempt\":{attempt}}}")
+        }
+        EventKind::TaskRetryBackoff { task, attempt, delay_ms, .. } => {
+            format!("{{\"task\":{task},\"attempt\":{attempt},\"delay_ms\":{delay_ms}}}")
+        }
+        EventKind::CheckpointWritten { bytes, .. } => format!("{{\"bytes\":{bytes}}}"),
+        EventKind::ResumedFrom { task, .. } => format!("{{\"task\":{task}}}"),
+        EventKind::FaultInjected { fault, occurrence, .. } => {
+            format!("{{\"fault\":\"{fault}\",\"occurrence\":{occurrence}}}")
         }
         EventKind::TaskFinished { task, outcome, .. } => {
             format!("{{\"task\":{},\"outcome\":\"{}\"}}", task, outcome.label())

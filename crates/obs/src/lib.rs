@@ -27,6 +27,7 @@
 //! ```
 
 mod bus;
+pub mod chaos;
 mod event;
 mod export;
 pub mod flight;

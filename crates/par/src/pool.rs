@@ -179,6 +179,12 @@ impl Shared {
     /// threads contribute to pool totals but not to a worker's profile).
     fn run_job(&self, job: Job, worker: Option<usize>) {
         self.metrics.busy.add(1);
+        // Chaos site "par.worker": a stalled (slow) pool worker. Only the
+        // Stall fault applies here — pool jobs have no error channel, so
+        // harder faults belong to the dataflow task layer above.
+        if let Some(obs::chaos::Fault::Stall { millis }) = obs::chaos::fire("par.worker") {
+            std::thread::sleep(std::time::Duration::from_millis(millis));
+        }
         let t0 = Instant::now();
         job();
         let us = t0.elapsed().as_micros() as u64;

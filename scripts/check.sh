@@ -35,6 +35,20 @@ print(f"chrome trace OK: {len(events)} events, {nested} nested spans, {flows} fl
 EOF
 grep -q "obs_bus_dropped_total" "$smoke/metrics.prom"
 
+echo "== chaos smoke: seeded fault injection + checkpoint resume =="
+cargo run -q -p climate-workflows --bin climate-wf -- chaos --seed 7 --faults 3 \
+    --out "$smoke/chaos"
+python3 - "$smoke/chaos/chaos-flight.jsonl" <<'EOF'
+import json, sys
+lines = [l for l in open(sys.argv[1]) if l.strip()]
+assert lines, "flight recorder dump is empty"
+for l in lines:
+    json.loads(l)
+kinds = {json.loads(l).get("event") for l in lines}
+assert "flight_dump" in kinds, "missing dump header record"
+print(f"flight dump OK: {len(lines)} JSONL records, {len(kinds)} event kinds")
+EOF
+
 echo "== obs overhead budget (inactive-bus emit) =="
 OBS_OVERHEAD_BUDGET_NS="${OBS_OVERHEAD_BUDGET_NS:-25}" \
     cargo bench -p bench --bench obs_overhead -- --test
