@@ -5,7 +5,9 @@
 //! common inputs — simulated fields, year cubes, trained CNNs — once per
 //! process so the measured sections time only the operation under study.
 
-use datacube::model::{Cube, Dimension};
+pub mod alloc;
+
+use datacube::model::{Cube, Dimension, SharedData};
 use esm::{CoupledModel, EsmConfig};
 use extremes::tc::cnn::{FieldSet, TcCnn};
 use gridded::{Field2, Grid};
@@ -14,16 +16,17 @@ use std::sync::OnceLock;
 /// A deterministic `(lat, lon | day)` cube shaped like one analysis year.
 pub fn year_cube(nlat: usize, nlon: usize, days: usize, nfrag: usize, seed: u64) -> Cube {
     let g = Grid::global(nlat, nlon);
-    let mut data = vec![0.0f32; g.len() * days];
-    for (i, v) in data.iter_mut().enumerate() {
-        *v = 290.0 + (((i as u64).wrapping_mul(seed | 1) >> 17) % 400) as f32 / 20.0;
-    }
-    Cube::from_dense(
+    let data = SharedData::from_fn(g.len() * days, |data| {
+        for (i, v) in data.iter_mut().enumerate() {
+            *v = 290.0 + (((i as u64).wrapping_mul(seed | 1) >> 17) % 400) as f32 / 20.0;
+        }
+    });
+    Cube::from_shared(
         "tasmax",
         vec![
             Dimension::explicit("lat", g.lats()),
             Dimension::explicit("lon", g.lons()),
-            Dimension::implicit("day", (0..days).map(|d| d as f64).collect()),
+            Dimension::implicit("day", (0..days).map(|d| d as f64).collect::<Vec<_>>()),
         ],
         data,
         nfrag,
@@ -35,10 +38,10 @@ pub fn year_cube(nlat: usize, nlon: usize, days: usize, nfrag: usize, seed: u64)
 /// A `(lat, lon)` baseline matching [`year_cube`]'s grid.
 pub fn baseline_cube(nlat: usize, nlon: usize, nfrag: usize) -> Cube {
     let g = Grid::global(nlat, nlon);
-    Cube::from_dense(
+    Cube::from_shared(
         "tasmax",
         vec![Dimension::explicit("lat", g.lats()), Dimension::explicit("lon", g.lons())],
-        vec![295.0; g.len()],
+        SharedData::from_fn(g.len(), |d| d.fill(295.0)),
         nfrag,
         nfrag,
     )

@@ -881,24 +881,26 @@ fn fields_to_year_cube(
     measure: &str,
     params: &WorkflowParams,
 ) -> datacube::Result<datacube::model::Cube> {
-    use datacube::model::{Cube, Dimension};
+    use datacube::model::{Cube, Dimension, SharedData};
     let grid = &days[0].grid;
     let nlat = grid.nlat;
     let nlon = grid.nlon;
     let nday = days.len();
-    // (lat, lon | day): per cell, the day series.
-    let mut data = vec![0.0f32; nlat * nlon * nday];
-    for (d, f) in days.iter().enumerate() {
-        for idx in 0..f.data.len() {
-            data[idx * nday + d] = f.data[idx];
+    // (lat, lon | day): per cell, the day series. Built straight into the
+    // shared payload the fragments will window into — no staging vector.
+    let data = SharedData::from_fn(nlat * nlon * nday, |data| {
+        for (d, f) in days.iter().enumerate() {
+            for (idx, &v) in f.data.iter().enumerate() {
+                data[idx * nday + d] = v;
+            }
         }
-    }
+    });
     let dims = vec![
         Dimension::explicit("lat", grid.lats()),
         Dimension::explicit("lon", grid.lons()),
-        Dimension::implicit("day", (0..nday).map(|d| d as f64).collect()),
+        Dimension::implicit("day", (0..nday).map(|d| d as f64).collect::<Vec<_>>()),
     ];
-    Cube::from_dense(measure, dims, data, params.nfrag, params.io_servers)
+    Cube::from_shared(measure, dims, data, params.nfrag, params.io_servers)
 }
 
 /// Task #5/#6 body: build the daily-extreme year cube from the daily files

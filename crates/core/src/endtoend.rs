@@ -111,7 +111,7 @@ mod tests {
         params.days_per_year = 20;
         params.train_samples = 160;
         params.train_epochs = 8;
-        let report = run_pipelined(params.clone()).unwrap();
+        let report = run_pipelined(params).unwrap();
 
         assert_eq!(report.years.len(), 1);
         let y = &report.years[0];

@@ -10,7 +10,7 @@
 //! spawned per operator call. Bench C4 measures the scaling this buys;
 //! `par_overhead` pins the dispatch cost.
 
-use crate::model::Fragment;
+use crate::model::{Fragment, SharedData};
 use std::time::Instant;
 
 /// Execution configuration: how many simulated I/O servers (parallel
@@ -40,13 +40,15 @@ impl ExecConfig {
 
 /// Maps every fragment through `kernel` in parallel, preserving order.
 /// The kernel receives the fragment and returns its transformed payload
-/// (any length); `row_start`, `row_count` and `server` are preserved.
+/// (any length, as a [`SharedData`] buffer — built once via
+/// [`SharedData::from_fn`]/`collect()`, or an O(1) view of the input);
+/// `row_start`, `row_count` and `server` are preserved.
 ///
 /// Unnamed convenience wrapper around [`par_map_fragments_named`]; the
 /// operator shows up as `"map"` in traces and metrics.
 pub fn par_map_fragments<F>(cfg: ExecConfig, frags: &[Fragment], kernel: F) -> Vec<Fragment>
 where
-    F: Fn(&Fragment) -> Vec<f32> + Sync,
+    F: Fn(&Fragment) -> SharedData + Sync,
 {
     par_map_fragments_named(cfg, "map", frags, kernel)
 }
@@ -54,7 +56,7 @@ where
 /// Per-kernel execution record: which I/O-server lane actually ran it
 /// and for how long.
 struct KernelRun {
-    out: Vec<f32>,
+    out: SharedData,
     server: usize,
     micros: u64,
 }
@@ -70,7 +72,7 @@ pub fn par_map_fragments_named<F>(
     kernel: F,
 ) -> Vec<Fragment>
 where
-    F: Fn(&Fragment) -> Vec<f32> + Sync,
+    F: Fn(&Fragment) -> SharedData + Sync,
 {
     par_map_fragments_named_on(par::global(), cfg, op, frags, kernel)
 }
@@ -95,7 +97,7 @@ pub fn par_map_fragments_named_on<F>(
     kernel: F,
 ) -> Vec<Fragment>
 where
-    F: Fn(&Fragment) -> Vec<f32> + Sync,
+    F: Fn(&Fragment) -> SharedData + Sync,
 {
     if frags.is_empty() {
         return Vec::new();
@@ -164,7 +166,7 @@ mod tests {
     #[test]
     fn parallel_map_matches_serial() {
         let input = frags(7, 3, 5);
-        let kernel = |f: &Fragment| f.data.iter().map(|v| v * 2.0 + 1.0).collect::<Vec<_>>();
+        let kernel = |f: &Fragment| f.data.iter().map(|v| v * 2.0 + 1.0).collect::<SharedData>();
         let serial = par_map_fragments(ExecConfig::serial(), &input, kernel);
         let parallel = par_map_fragments(ExecConfig::with_servers(4), &input, kernel);
         assert_eq!(serial, parallel);

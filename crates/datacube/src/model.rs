@@ -7,8 +7,145 @@
 //! inside each row as a contiguous array (typically `time`). A cube of
 //! `(lat, lon | time)` with 96×144 cells and 365 days is thus 13 824 rows
 //! of 365-element arrays, sliced into `nfrag` fragments.
+//!
+//! # Ownership model
+//!
+//! Fragment payloads are windows into shared, immutable `Arc<[f32]>`
+//! buffers ([`SharedData`]), and dimension coordinates are `Arc<[f64]>`.
+//! Cloning a fragment, re-slicing a cube, or re-fragmenting along existing
+//! boundaries is O(1) reference-count traffic — no payload copy. Mutation
+//! goes through [`SharedData::make_mut`], which copies-on-write only when
+//! the window is actually shared. Operators that produce new values build
+//! their output buffers exactly once via [`SharedData::from_fn`] or
+//! `collect()`; `to_dense()` survives only at export boundaries.
 
 use crate::error::{Error, Result};
+use std::sync::Arc;
+
+/// A shared, immutable `f32` payload: a `[off, off+len)` window into an
+/// `Arc<[f32]>` buffer. Cheap to clone and to re-slice; dereferences to
+/// `&[f32]` for reading. Equality compares contents, not identity.
+#[derive(Clone)]
+pub struct SharedData {
+    buf: Arc<[f32]>,
+    off: usize,
+    len: usize,
+}
+
+impl SharedData {
+    /// An empty payload.
+    pub fn empty() -> Self {
+        SharedData { buf: Arc::from([]), off: 0, len: 0 }
+    }
+
+    /// Allocates a `len`-element buffer exactly once, lets `fill` write it,
+    /// and returns it as an immutable shared payload. This is how operator
+    /// kernels build outputs without an intermediate `Vec` → `Arc` copy.
+    pub fn from_fn(len: usize, fill: impl FnOnce(&mut [f32])) -> Self {
+        let mut buf: Arc<[f32]> = std::iter::repeat_n(0.0f32, len).collect();
+        if len > 0 {
+            fill(Arc::get_mut(&mut buf).expect("freshly allocated buffer is unique"));
+        }
+        SharedData { buf, off: 0, len }
+    }
+
+    /// Builds from an exact-length iterator in a single pass (single
+    /// allocation regardless of the iterator's `TrustedLen`-ness).
+    pub fn from_iter_len(len: usize, it: impl IntoIterator<Item = f32>) -> Self {
+        let mut it = it.into_iter();
+        let out = Self::from_fn(len, |dst| {
+            for slot in dst.iter_mut() {
+                *slot = it.next().expect("iterator shorter than declared length");
+            }
+        });
+        debug_assert!(it.next().is_none(), "iterator longer than declared length");
+        out
+    }
+
+    /// O(1) sub-window `[lo, hi)` of this payload (shares the buffer).
+    pub fn slice(&self, lo: usize, hi: usize) -> Self {
+        assert!(lo <= hi && hi <= self.len, "slice {lo}..{hi} out of window len {}", self.len);
+        SharedData { buf: Arc::clone(&self.buf), off: self.off + lo, len: hi - lo }
+    }
+
+    /// Window length in elements.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the window is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The window as a slice.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.buf[self.off..self.off + self.len]
+    }
+
+    /// Mutable access with copy-on-write: if this window is the sole owner
+    /// of its whole buffer the write happens in place; otherwise the window
+    /// is first detached into a fresh unique buffer.
+    pub fn make_mut(&mut self) -> &mut [f32] {
+        let whole = self.off == 0 && self.len == self.buf.len();
+        if !whole || Arc::get_mut(&mut self.buf).is_none() {
+            self.buf = self.as_slice().iter().copied().collect();
+            self.off = 0;
+        }
+        Arc::get_mut(&mut self.buf).expect("unique after copy-on-write")
+    }
+
+    /// True when `self` and `other` are windows into the same underlying
+    /// allocation (used by tests asserting zero-copy behaviour).
+    pub fn same_buffer(&self, other: &Self) -> bool {
+        Arc::ptr_eq(&self.buf, &other.buf)
+    }
+}
+
+impl std::ops::Deref for SharedData {
+    type Target = [f32];
+    fn deref(&self) -> &[f32] {
+        self.as_slice()
+    }
+}
+
+impl From<Vec<f32>> for SharedData {
+    /// Adopts a dense vector (one copy into the shared buffer; prefer
+    /// [`SharedData::from_fn`] on hot paths).
+    fn from(v: Vec<f32>) -> Self {
+        let len = v.len();
+        SharedData { buf: Arc::from(v), off: 0, len }
+    }
+}
+
+impl From<Arc<[f32]>> for SharedData {
+    /// Adopts an already-shared buffer, zero-copy.
+    fn from(buf: Arc<[f32]>) -> Self {
+        let len = buf.len();
+        SharedData { buf, off: 0, len }
+    }
+}
+
+impl FromIterator<f32> for SharedData {
+    fn from_iter<I: IntoIterator<Item = f32>>(it: I) -> Self {
+        // Arc's FromIterator allocates once for exact-size iterators (the
+        // kernel map/zip chains), falling back to a Vec pass otherwise.
+        let buf: Arc<[f32]> = it.into_iter().collect();
+        SharedData::from(buf)
+    }
+}
+
+impl PartialEq for SharedData {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl std::fmt::Debug for SharedData {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "SharedData({:?})", self.as_slice())
+    }
+}
 
 /// Whether a dimension indexes rows (explicit) or in-row arrays (implicit).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -23,18 +160,19 @@ pub struct Dimension {
     pub name: String,
     pub kind: DimKind,
     /// Coordinate value of each index (e.g. latitude degrees, day number).
-    pub coords: Vec<f64>,
+    /// Shared: cloning a dimension (every operator does) is O(1).
+    pub coords: Arc<[f64]>,
 }
 
 impl Dimension {
     /// Creates an explicit dimension.
-    pub fn explicit(name: &str, coords: Vec<f64>) -> Self {
-        Dimension { name: name.into(), kind: DimKind::Explicit, coords }
+    pub fn explicit(name: &str, coords: impl Into<Arc<[f64]>>) -> Self {
+        Dimension { name: name.into(), kind: DimKind::Explicit, coords: coords.into() }
     }
 
     /// Creates an implicit dimension.
-    pub fn implicit(name: &str, coords: Vec<f64>) -> Self {
-        Dimension { name: name.into(), kind: DimKind::Implicit, coords }
+    pub fn implicit(name: &str, coords: impl Into<Arc<[f64]>>) -> Self {
+        Dimension { name: name.into(), kind: DimKind::Implicit, coords: coords.into() }
     }
 
     /// Number of indices along this dimension.
@@ -49,7 +187,7 @@ impl Dimension {
 }
 
 /// One range-partition of a cube's rows. `data` is row-major:
-/// `row_count × implicit_len` values.
+/// `row_count × implicit_len` values, a window into a shared buffer.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Fragment {
     /// Global index of the first row in this fragment.
@@ -59,7 +197,15 @@ pub struct Fragment {
     /// Home I/O server of this fragment.
     pub server: usize,
     /// Payload (`row_count * implicit_len` f32 values).
-    pub data: Vec<f32>,
+    pub data: SharedData,
+}
+
+impl Fragment {
+    /// O(1) view of local rows `[lo, hi)` of this fragment (`ilen` values
+    /// per row), sharing the payload buffer.
+    pub fn row_view(&self, lo: usize, hi: usize, ilen: usize) -> SharedData {
+        self.data.slice(lo * ilen, hi * ilen)
+    }
 }
 
 /// An in-memory datacube.
@@ -84,6 +230,18 @@ impl Cube {
         measure: &str,
         dims: Vec<Dimension>,
         data: Vec<f32>,
+        nfrag: usize,
+        io_servers: usize,
+    ) -> Result<Self> {
+        Self::from_shared(measure, dims, SharedData::from(data), nfrag, io_servers)
+    }
+
+    /// [`Cube::from_dense`] over an already-shared payload: fragments are
+    /// O(1) windows into `data` — no per-fragment copies.
+    pub fn from_shared(
+        measure: &str,
+        dims: Vec<Dimension>,
+        data: SharedData,
         nfrag: usize,
         io_servers: usize,
     ) -> Result<Self> {
@@ -114,13 +272,11 @@ impl Cube {
         let mut row = 0usize;
         for f in 0..nfrag {
             let count = base + usize::from(f < extra);
-            let lo = row * ilen;
-            let hi = (row + count) * ilen;
             frags.push(Fragment {
                 row_start: row,
                 row_count: count,
                 server: f % io_servers,
-                data: data[lo..hi].to_vec(),
+                data: data.slice(row * ilen, (row + count) * ilen),
             });
             row += count;
         }
@@ -158,7 +314,8 @@ impl Cube {
         self.len() == 0
     }
 
-    /// Approximate memory footprint in bytes.
+    /// Logical payload size in bytes (what `to_dense` would materialize;
+    /// windows sharing one buffer count each time they appear).
     pub fn bytes(&self) -> usize {
         self.frags.iter().map(|f| f.data.len() * 4).sum()
     }
@@ -171,7 +328,7 @@ impl Cube {
             .ok_or_else(|| Error::UnknownDimension(name.into()))
     }
 
-    /// Reassembles the dense row-major array (test/export path).
+    /// Reassembles the dense row-major array (export boundary / tests).
     pub fn to_dense(&self) -> Vec<f32> {
         let ilen = self.implicit_len();
         let mut out = vec![0.0f32; self.rows() * ilen];
@@ -182,13 +339,27 @@ impl Cube {
         out
     }
 
+    /// Iterates all values in global row-major order without materializing
+    /// the dense array (read-only counting/scan boundary).
+    pub fn values(&self) -> impl Iterator<Item = f32> + '_ {
+        self.frags_in_row_order().into_iter().flat_map(|f| f.data.as_slice().iter().copied())
+    }
+
+    /// Fragments sorted by `row_start` (borrowed; fragments tile the row
+    /// space, so this is global row order).
+    pub fn frags_in_row_order(&self) -> Vec<&Fragment> {
+        let mut order: Vec<&Fragment> = self.frags.iter().collect();
+        order.sort_by_key(|f| f.row_start);
+        order
+    }
+
     /// The in-row series of one global row (borrowed).
     pub fn row_series(&self, row: usize) -> Option<&[f32]> {
         let ilen = self.implicit_len();
         for f in &self.frags {
             if row >= f.row_start && row < f.row_start + f.row_count {
                 let lo = (row - f.row_start) * ilen;
-                return Some(&f.data[lo..lo + ilen]);
+                return Some(&f.data.as_slice()[lo..lo + ilen]);
             }
         }
         None
@@ -238,7 +409,7 @@ mod tests {
         let dims = vec![
             Dimension::explicit("lat", vec![-45.0, 45.0]),
             Dimension::explicit("lon", vec![0.0, 120.0, 240.0]),
-            Dimension::implicit("time", (0..4).map(|t| t as f64).collect()),
+            Dimension::implicit("time", (0..4).map(|t| t as f64).collect::<Vec<_>>()),
         ];
         let data: Vec<f32> = (0..24).map(|i| i as f32).collect();
         Cube::from_dense("v", dims, data, nfrag, 2).unwrap()
@@ -265,6 +436,44 @@ mod tests {
     }
 
     #[test]
+    fn fragments_share_one_buffer() {
+        // from_dense fragments are O(1) windows into a single allocation.
+        let c = cube_2x3_t4(3);
+        assert!(c.frags[1].data.same_buffer(&c.frags[0].data));
+        assert!(c.frags[2].data.same_buffer(&c.frags[0].data));
+        // Cloning a cube shares everything.
+        let c2 = c.clone();
+        assert!(c2.frags[0].data.same_buffer(&c.frags[0].data));
+    }
+
+    #[test]
+    fn shared_data_slice_and_cow() {
+        let mut d = SharedData::from(vec![1.0, 2.0, 3.0, 4.0]);
+        let view = d.slice(1, 3);
+        assert_eq!(&view[..], &[2.0, 3.0]);
+        assert!(view.same_buffer(&d));
+        // Writing through a shared window detaches only the writer.
+        d.make_mut()[0] = 9.0;
+        assert_eq!(d[0], 9.0);
+        assert_eq!(&view[..], &[2.0, 3.0], "view unaffected by CoW write");
+        assert!(!view.same_buffer(&d));
+    }
+
+    #[test]
+    fn shared_data_from_fn_single_buffer() {
+        let d = SharedData::from_fn(4, |out| {
+            for (i, v) in out.iter_mut().enumerate() {
+                *v = i as f32;
+            }
+        });
+        assert_eq!(&d[..], &[0.0, 1.0, 2.0, 3.0]);
+        let e = SharedData::from_iter_len(3, [5.0, 6.0, 7.0]);
+        assert_eq!(&e[..], &[5.0, 6.0, 7.0]);
+        assert!(SharedData::empty().is_empty());
+        assert!(SharedData::from_fn(0, |_| {}).is_empty());
+    }
+
+    #[test]
     fn uneven_fragmentation_distributes_remainder() {
         let c = cube_2x3_t4(4); // 6 rows over 4 frags: 2,2,1,1
         let counts: Vec<usize> = c.frags.iter().map(|f| f.row_count).collect();
@@ -281,6 +490,13 @@ mod tests {
         assert_eq!(c.row_series(0).unwrap(), &[0.0, 1.0, 2.0, 3.0]);
         assert_eq!(c.row_series(5).unwrap(), &[20.0, 21.0, 22.0, 23.0]);
         assert!(c.row_series(6).is_none());
+    }
+
+    #[test]
+    fn values_iterate_in_row_order() {
+        let c = cube_2x3_t4(4);
+        let vals: Vec<f32> = c.values().collect();
+        assert_eq!(vals, c.to_dense());
     }
 
     #[test]
@@ -311,7 +527,8 @@ mod tests {
         c.frags[1].row_start += 1;
         assert!(c.validate().is_err());
         let mut c = cube_2x3_t4(2);
-        c.frags[0].data.pop();
+        let shortened = c.frags[0].data.slice(0, c.frags[0].data.len() - 1);
+        c.frags[0].data = shortened;
         assert!(c.validate().is_err());
     }
 

@@ -7,13 +7,19 @@
 //! language, cube–cube arithmetic (with per-row broadcasting for baseline
 //! climatologies), implicit-dimension concatenation (stacking days into a
 //! year), and a generic per-row series transform for run-length analytics.
+//!
+//! No operator materializes a dense array: kernels read fragment windows in
+//! place and build each output payload exactly once ([`SharedData::from_fn`]
+//! or an O(1) view of the input buffer). `to_dense()` survives only at
+//! explicit export boundaries ([`exportnc`], [`to_grid_values`]).
 
 use crate::error::{Error, Result};
 use crate::exec::{par_map_fragments_named, ExecConfig};
 use crate::expr::Expr;
-use crate::model::{Cube, DimKind, Dimension, Fragment};
-use ncformat::{Dataset, Reader, Value};
+use crate::model::{Cube, DimKind, Dimension, Fragment, SharedData};
+use ncformat::{Reader, Value, Writer};
 use std::path::Path;
+use std::sync::Arc;
 
 /// Reduction kernels over an implicit dimension.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -65,6 +71,60 @@ impl InterOp {
     }
 }
 
+/// Gathers `count` output rows (`ilen` values each) whose source rows are
+/// given by `src_row(i)`, out of `src` (fragments sorted by `row_start`).
+/// When the selection is one contiguous run inside a single source fragment
+/// the result is an O(1) window sharing the source buffer; otherwise runs
+/// of consecutive source rows are block-copied into a buffer allocated
+/// exactly once.
+fn gather_rows(
+    src: &[&Fragment],
+    ilen: usize,
+    count: usize,
+    src_row: impl Fn(usize) -> usize,
+) -> SharedData {
+    if count == 0 || ilen == 0 {
+        return SharedData::empty();
+    }
+    let first = src_row(0);
+    if (1..count).all(|i| src_row(i) == first + i) {
+        if let Some(f) =
+            src.iter().find(|f| first >= f.row_start && first + count <= f.row_start + f.row_count)
+        {
+            return f.row_view(first - f.row_start, first - f.row_start + count, ilen);
+        }
+    }
+    SharedData::from_fn(count * ilen, |out| {
+        let mut w = 0usize;
+        let mut i = 0usize;
+        while i < count {
+            // Extend the run while source rows stay consecutive, then copy
+            // it with a fragment cursor (runs may span fragments).
+            let start = src_row(i);
+            let mut run = 1usize;
+            while i + run < count && src_row(i + run) == start + run {
+                run += 1;
+            }
+            let mut fi = src.partition_point(|f| f.row_start + f.row_count <= start);
+            let mut need = start;
+            let end = start + run;
+            while need < end {
+                while src[fi].row_start + src[fi].row_count <= need {
+                    fi += 1;
+                }
+                let f = src[fi];
+                let lo = need - f.row_start;
+                let hi = (end - f.row_start).min(f.row_count);
+                let n = (hi - lo) * ilen;
+                out[w..w + n].copy_from_slice(&f.data.as_slice()[lo * ilen..hi * ilen]);
+                w += n;
+                need = f.row_start + hi;
+            }
+            i += run;
+        }
+    })
+}
+
 /// Imports a variable from an NCX file into a cube.
 ///
 /// `explicit` and `implicit` name the variable's dimensions in storage
@@ -72,6 +132,8 @@ impl InterOp {
 /// how the ESM writes `(time, lat, lon)` files — callers importing such a
 /// file as `(lat, lon | time)` should use [`import_transposed`]).
 /// Coordinate variables matching dimension names are read when present.
+/// The payload is read into one shared buffer that the fragments window
+/// into — ingest costs a single allocation.
 pub fn importnc(
     reader: &Reader,
     var: &str,
@@ -90,14 +152,14 @@ pub fn importnc(
             "variable '{var}' has dims {actual:?}, requested {want:?}"
         )));
     }
-    let data = reader.read_all_f32(var)?;
+    let data = reader.read_shared_f32(var)?;
     let mut dims = Vec::new();
     for (i, name) in want.iter().enumerate() {
         let coords = coord_values(reader, name, shape[i]);
         let kind = if i < explicit.len() { DimKind::Explicit } else { DimKind::Implicit };
-        dims.push(Dimension { name: name.to_string(), kind, coords });
+        dims.push(Dimension { name: name.to_string(), kind, coords: coords.into() });
     }
-    let mut cube = Cube::from_dense(var, dims, data, nfrag, cfg.io_servers)?;
+    let mut cube = Cube::from_shared(var, dims, SharedData::from(data), nfrag, cfg.io_servers)?;
     cube.description = format!("importnc({var})");
     Ok(cube)
 }
@@ -105,6 +167,10 @@ pub fn importnc(
 /// Imports a `(time, lat, lon)` variable as a `(lat, lon | time)` cube —
 /// the transposition the heat-wave pipeline needs so that each grid cell's
 /// daily series is one in-row array.
+///
+/// Streams the source one time-plane at a time through a single reused
+/// buffer, scattering directly into the destination — the untransposed
+/// variable is never resident in full.
 pub fn import_transposed(
     reader: &Reader,
     var: &str,
@@ -124,22 +190,32 @@ pub fn import_transposed(
     }
     let shape = reader.shape(var)?;
     let (nt, nlat, nlon) = (shape[0], shape[1], shape[2]);
-    let src = reader.read_all_f32(var)?;
-    // Transpose (t, y, x) -> (y, x, t).
-    let mut data = vec![0.0f32; src.len()];
-    for t in 0..nt {
-        for y in 0..nlat {
-            for x in 0..nlon {
-                data[(y * nlon + x) * nt + t] = src[(t * nlat + y) * nlon + x];
+    let plane = nlat * nlon;
+    let view = reader.var(var)?;
+    // Transpose (t, y, x) -> (y, x, t) plane by plane: each source plane is
+    // read into `src_t` (reused) and scattered into the shared destination.
+    let mut read_err: Option<ncformat::Error> = None;
+    let mut src_t = vec![0.0f32; plane];
+    let data = SharedData::from_fn(nt * plane, |dst| {
+        for t in 0..nt {
+            if let Err(e) = view.read_f32_into(t * plane, &mut src_t) {
+                read_err = Some(e);
+                return;
+            }
+            for (row, &v) in src_t.iter().enumerate() {
+                dst[row * nt + t] = v;
             }
         }
+    });
+    if let Some(e) = read_err {
+        return Err(e.into());
     }
     let dims = vec![
         Dimension::explicit(lat_dim, coord_values(reader, lat_dim, nlat)),
         Dimension::explicit(lon_dim, coord_values(reader, lon_dim, nlon)),
         Dimension::implicit(time_dim, coord_values(reader, time_dim, nt)),
     ];
-    let mut cube = Cube::from_dense(var, dims, data, nfrag, cfg.io_servers)?;
+    let mut cube = Cube::from_shared(var, dims, data, nfrag, cfg.io_servers)?;
     cube.description = format!("import_transposed({var})");
     Ok(cube)
 }
@@ -168,29 +244,29 @@ pub fn reduce(cube: &Cube, op: ReduceOp, dim: &str, cfg: ExecConfig) -> Result<C
     let out_ilen = ilen / target.max(1);
 
     let frags = par_map_fragments_named(cfg, "reduce", &cube.frags, |f| {
-        let mut out = Vec::with_capacity(f.row_count * out_ilen);
         if after == 1 && target == ilen {
             // Fast path (the common case: one implicit dimension, fully
-            // reduced): the row *is* the series — no gather, no allocation.
-            for row in f.data.chunks(ilen) {
-                out.push(op.apply(row));
-            }
+            // reduced): the row *is* the series — no gather, no scratch.
+            SharedData::from_iter_len(f.row_count, f.data.chunks(ilen).map(|row| op.apply(row)))
         } else {
-            let mut series = vec![0.0f32; target];
-            for row in f.data.chunks(ilen) {
-                // Iterate over the reduced layout: (before, after) pairs.
-                let before = ilen / (target * after).max(1);
-                for b in 0..before {
-                    for a in 0..after {
-                        for (t, s) in series.iter_mut().enumerate() {
-                            *s = row[b * target * after + t * after + a];
+            let before = ilen / (target * after).max(1);
+            SharedData::from_fn(f.row_count * out_ilen, |out| {
+                let mut series = vec![0.0f32; target];
+                let mut w = 0usize;
+                for row in f.data.chunks(ilen) {
+                    // Iterate over the reduced layout: (before, after) pairs.
+                    for b in 0..before {
+                        for a in 0..after {
+                            for (t, s) in series.iter_mut().enumerate() {
+                                *s = row[b * target * after + t * after + a];
+                            }
+                            out[w] = op.apply(&series);
+                            w += 1;
                         }
-                        out.push(op.apply(&series));
                     }
                 }
-            }
+            })
         }
-        out
     });
 
     let dims: Vec<Dimension> = cube.dims.iter().filter(|d| d.name != dim).cloned().collect();
@@ -207,7 +283,7 @@ pub fn reduce(cube: &Cube, op: ReduceOp, dim: &str, cfg: ExecConfig) -> Result<C
 /// Applies an element-wise expression to every value.
 pub fn apply(cube: &Cube, expr: &Expr, cfg: ExecConfig) -> Cube {
     let frags = par_map_fragments_named(cfg, "apply", &cube.frags, |f| {
-        f.data.iter().map(|&v| expr.eval(v as f64) as f32).collect()
+        SharedData::from_iter_len(f.data.len(), f.data.iter().map(|&v| expr.eval(v as f64) as f32))
     });
     Cube {
         measure: cube.measure.clone(),
@@ -220,7 +296,8 @@ pub fn apply(cube: &Cube, expr: &Expr, cfg: ExecConfig) -> Cube {
 /// Element-wise arithmetic between two cubes with the same explicit space.
 /// `b` must have either the same implicit length as `a` or implicit length
 /// 1, in which case its per-row scalar broadcasts over `a`'s series — the
-/// baseline-climatology pattern of the heat-wave pipeline.
+/// baseline-climatology pattern of the heat-wave pipeline. `b`'s fragments
+/// are looked up in place with a row cursor; neither side is densified.
 pub fn intercube(a: &Cube, b: &Cube, op: InterOp, cfg: ExecConfig) -> Result<Cube> {
     if a.rows() != b.rows() {
         return Err(Error::SchemaMismatch(format!(
@@ -236,20 +313,27 @@ pub fn intercube(a: &Cube, b: &Cube, op: InterOp, cfg: ExecConfig) -> Result<Cub
             "implicit lengths incompatible: {ilen_a} vs {ilen_b}"
         )));
     }
-    // b's values by global row (dense is fine: broadcast cubes are small,
-    // same-shape cubes are a straight zip).
-    let b_dense = b.to_dense();
+    let b_frags = b.frags_in_row_order();
 
     let frags = par_map_fragments_named(cfg, "intercube", &a.frags, |f| {
-        let mut out = Vec::with_capacity(f.data.len());
-        for (local_row, row) in f.data.chunks(ilen_a).enumerate() {
-            let grow = f.row_start + local_row;
-            for (k, &va) in row.iter().enumerate() {
-                let vb = if ilen_b == 1 { b_dense[grow] } else { b_dense[grow * ilen_b + k] };
-                out.push(op.apply(va, vb));
+        SharedData::from_fn(f.data.len(), |out| {
+            let mut w = 0usize;
+            let mut bi = b_frags.partition_point(|bf| bf.row_start + bf.row_count <= f.row_start);
+            for (local_row, row) in f.data.chunks(ilen_a).enumerate() {
+                let grow = f.row_start + local_row;
+                while b_frags[bi].row_start + b_frags[bi].row_count <= grow {
+                    bi += 1;
+                }
+                let bf = b_frags[bi];
+                let blo = (grow - bf.row_start) * ilen_b;
+                let brow = &bf.data.as_slice()[blo..blo + ilen_b];
+                for (k, &va) in row.iter().enumerate() {
+                    let vb = if ilen_b == 1 { brow[0] } else { brow[k] };
+                    out[w] = op.apply(va, vb);
+                    w += 1;
+                }
             }
-        }
-        out
+        })
     });
     let out = Cube {
         measure: a.measure.clone(),
@@ -283,27 +367,37 @@ pub fn subset_implicit(
     let ilen = cube.implicit_len();
     let keep = hi - lo;
 
-    let frags = par_map_fragments_named(cfg, "subset", &cube.frags, |f| {
-        let mut out = Vec::with_capacity(f.row_count * ilen / target * keep);
-        for row in f.data.chunks(ilen) {
+    let frags = if keep == target {
+        // Full range: the payloads are unchanged — share them.
+        cube.frags.clone()
+    } else {
+        par_map_fragments_named(cfg, "subset", &cube.frags, |f| {
             let before = ilen / (target * after).max(1);
-            for b in 0..before {
-                for t in lo..hi {
-                    for a in 0..after {
-                        out.push(row[b * target * after + t * after + a]);
+            SharedData::from_fn(f.row_count * before * keep * after, |out| {
+                let mut w = 0usize;
+                for row in f.data.chunks(ilen) {
+                    for b in 0..before {
+                        for t in lo..hi {
+                            let base = b * target * after + t * after;
+                            out[w..w + after].copy_from_slice(&row[base..base + after]);
+                            w += after;
+                        }
                     }
                 }
-            }
-        }
-        out
-    });
+            })
+        })
+    };
 
     let dims: Vec<Dimension> = cube
         .dims
         .iter()
         .map(|x| {
             if x.name == dim {
-                Dimension { name: x.name.clone(), kind: x.kind, coords: x.coords[lo..hi].to_vec() }
+                Dimension {
+                    name: x.name.clone(),
+                    kind: x.kind,
+                    coords: Arc::from(&x.coords[lo..hi]),
+                }
             } else {
                 x.clone()
             }
@@ -321,7 +415,10 @@ pub fn subset_implicit(
 
 /// Subsets an explicit dimension to the index range `lo..hi` (spatial
 /// subsetting: a lat or lon window). The row space shrinks; data is
-/// re-fragmented to preserve the original fragment count.
+/// re-fragmented to preserve the original fragment count. Selected rows are
+/// gathered straight from the source fragments; when a target fragment's
+/// rows form one contiguous run inside a source fragment it becomes an
+/// O(1) window.
 pub fn subset_explicit(cube: &Cube, dim: &str, lo: usize, hi: usize) -> Result<Cube> {
     let d = cube.dim(dim)?;
     if d.kind != DimKind::Explicit {
@@ -337,31 +434,54 @@ pub fn subset_explicit(cube: &Cube, dim: &str, lo: usize, hi: usize) -> Result<C
     let before: usize = edims[..pos].iter().map(|x| x.len()).product();
     let ilen = cube.implicit_len();
 
-    let dense = cube.to_dense();
     let keep = hi - lo;
-    let mut out = Vec::with_capacity(before * keep * after * ilen);
-    for b in 0..before {
-        for t in lo..hi {
-            let row0 = (b * target + t) * after;
-            let lo_f = row0 * ilen;
-            let hi_f = (row0 + after) * ilen;
-            out.extend_from_slice(&dense[lo_f..hi_f]);
-        }
+    let newrows = before * keep * after;
+    let src_order = cube.frags_in_row_order();
+    // Output-row -> source-row map for the kept index window.
+    let src_row = |out_row: usize| {
+        let sel = keep * after;
+        let b = out_row / sel;
+        let rem = out_row % sel;
+        (b * target + lo + rem / after) * after + rem % after
+    };
+
+    // Same partitioning (and single-server placement) as the previous
+    // dense re-split, so fragment layouts are unchanged.
+    let nfrag = cube.frags.len().clamp(1, newrows.max(1));
+    let base = newrows / nfrag;
+    let extra = newrows % nfrag;
+    let mut frags = Vec::with_capacity(nfrag);
+    let mut row = 0usize;
+    for f in 0..nfrag {
+        let count = base + usize::from(f < extra);
+        let data = gather_rows(&src_order, ilen, count, |i| src_row(row + i));
+        frags.push(Fragment { row_start: row, row_count: count, server: 0, data });
+        row += count;
     }
+
     let dims: Vec<Dimension> = cube
         .dims
         .iter()
         .map(|x| {
             if x.name == dim {
-                Dimension { name: x.name.clone(), kind: x.kind, coords: x.coords[lo..hi].to_vec() }
+                Dimension {
+                    name: x.name.clone(),
+                    kind: x.kind,
+                    coords: Arc::from(&x.coords[lo..hi]),
+                }
             } else {
                 x.clone()
             }
         })
         .collect();
-    let mut result = Cube::from_dense(&cube.measure, dims, out, cube.frags.len(), 1)?;
-    result.description = format!("subset_explicit({dim}, {lo}..{hi})");
-    Ok(result)
+    let out = Cube {
+        measure: cube.measure.clone(),
+        dims,
+        frags,
+        description: format!("subset_explicit({dim}, {lo}..{hi})"),
+    };
+    out.validate()?;
+    Ok(out)
 }
 
 /// Subsets an explicit dimension by coordinate values: keeps indices whose
@@ -380,7 +500,8 @@ pub fn subset_by_coord(cube: &Cube, dim: &str, lo: f64, hi: f64) -> Result<Cube>
 /// Concatenates cubes along an implicit dimension (stacking days into a
 /// year series). All cubes must share explicit dimensions, measure and
 /// fragmentation layout; each must have exactly one implicit dimension
-/// named `dim`.
+/// named `dim`. Mismatched fragmentations are handled with per-row
+/// fragment lookups — no cube is densified.
 pub fn concat_implicit(cubes: &[&Cube], dim: &str) -> Result<Cube> {
     let first = cubes.first().ok_or_else(|| Error::SchemaMismatch("no cubes to concat".into()))?;
     let e0: Vec<_> = first.explicit_dims().into_iter().cloned().collect();
@@ -412,48 +533,73 @@ pub fn concat_implicit(cubes: &[&Cube], dim: &str) -> Result<Cube> {
     for c in cubes {
         coords.extend(c.dim(dim)?.coords.iter().copied());
     }
-    let mut dims = e0.clone();
+    let mut dims = e0;
     dims.push(Dimension::implicit(dim, coords));
+    let total_ilen: usize = cubes.iter().map(|c| c.implicit_len()).sum();
 
-    let out = if aligned {
-        let total_ilen: usize = cubes.iter().map(|c| c.implicit_len()).sum();
+    let frags = if aligned {
         let mut frags = Vec::with_capacity(first.frags.len());
         for fi in 0..first.frags.len() {
             let proto = &first.frags[fi];
-            let mut data = Vec::with_capacity(proto.row_count * total_ilen);
-            for local_row in 0..proto.row_count {
-                for c in cubes {
-                    let ilen = c.implicit_len();
-                    let f = &c.frags[fi];
-                    data.extend_from_slice(&f.data[local_row * ilen..(local_row + 1) * ilen]);
+            let data = SharedData::from_fn(proto.row_count * total_ilen, |out| {
+                let mut w = 0usize;
+                for local_row in 0..proto.row_count {
+                    for c in cubes {
+                        let ilen = c.implicit_len();
+                        let f = &c.frags[fi];
+                        out[w..w + ilen].copy_from_slice(
+                            &f.data.as_slice()[local_row * ilen..(local_row + 1) * ilen],
+                        );
+                        w += ilen;
+                    }
                 }
-            }
-            frags.push(crate::model::Fragment {
+            });
+            frags.push(Fragment {
                 row_start: proto.row_start,
                 row_count: proto.row_count,
                 server: proto.server,
                 data,
             });
         }
-        Cube {
-            measure: first.measure.clone(),
-            dims,
-            frags,
-            description: format!("concat_implicit({dim}, {} cubes)", cubes.len()),
-        }
+        frags
     } else {
-        // Mismatched layouts: go through dense.
+        // Mismatched layouts: interleave rows with per-cube fragment
+        // lookups, re-partitioned like the first cube (single server, as
+        // the previous dense re-split produced).
         let rows = first.rows();
-        let total_ilen: usize = cubes.iter().map(|c| c.implicit_len()).sum();
-        let denses: Vec<Vec<f32>> = cubes.iter().map(|c| c.to_dense()).collect();
-        let mut data = Vec::with_capacity(rows * total_ilen);
-        for row in 0..rows {
-            for (c, dense) in cubes.iter().zip(&denses) {
-                let ilen = c.implicit_len();
-                data.extend_from_slice(&dense[row * ilen..(row + 1) * ilen]);
-            }
+        let orders: Vec<Vec<&Fragment>> = cubes.iter().map(|c| c.frags_in_row_order()).collect();
+        let nfrag = first.frags.len().clamp(1, rows.max(1));
+        let base = rows / nfrag;
+        let extra = rows % nfrag;
+        let mut frags = Vec::with_capacity(nfrag);
+        let mut row0 = 0usize;
+        for fidx in 0..nfrag {
+            let count = base + usize::from(fidx < extra);
+            let data = SharedData::from_fn(count * total_ilen, |out| {
+                let mut w = 0usize;
+                for r in row0..row0 + count {
+                    for (c, ord) in cubes.iter().zip(&orders) {
+                        let ilen = c.implicit_len();
+                        if ilen == 0 {
+                            continue;
+                        }
+                        let f = ord[ord.partition_point(|f| f.row_start + f.row_count <= r)];
+                        let flo = (r - f.row_start) * ilen;
+                        out[w..w + ilen].copy_from_slice(&f.data.as_slice()[flo..flo + ilen]);
+                        w += ilen;
+                    }
+                }
+            });
+            frags.push(Fragment { row_start: row0, row_count: count, server: 0, data });
+            row0 += count;
         }
-        Cube::from_dense(&first.measure, dims, data, first.frags.len(), 1)?
+        frags
+    };
+    let out = Cube {
+        measure: first.measure.clone(),
+        dims,
+        frags,
+        description: format!("concat_implicit({dim}, {} cubes)", cubes.len()),
     };
     out.validate()?;
     Ok(out)
@@ -482,7 +628,7 @@ where
             // truncate/pad defensively so we can detect them deterministically.
             out.extend_from_slice(&mapped);
         }
-        out
+        SharedData::from(out)
     });
     // Verify arity before constructing the cube.
     for frag in &frags {
@@ -495,7 +641,7 @@ where
     }
     let mut dims: Vec<Dimension> = cube.explicit_dims().into_iter().cloned().collect();
     if out_len > 0 {
-        dims.push(Dimension::implicit(out_dim, (0..out_len).map(|i| i as f64).collect()));
+        dims.push(Dimension::implicit(out_dim, (0..out_len).map(|i| i as f64).collect::<Vec<_>>()));
     }
     let out = Cube {
         measure: cube.measure.clone(),
@@ -545,10 +691,9 @@ pub fn rolling(cube: &Cube, op: ReduceOp, window: usize, cfg: ExecConfig) -> Res
 /// (Ophidia's `oph_merge`/`oph_split` fragmentation control). The logical
 /// content is unchanged.
 ///
-/// Rows are copied fragment-wise straight from the source partition into
-/// the target one — the dense array is never materialized, so a
-/// single-fragment source or an unchanged fragment count costs one
-/// payload memcpy per fragment instead of gather + full re-split.
+/// Target fragments fully contained in one source fragment become O(1)
+/// windows into the source buffer; boundary-crossing targets are gathered
+/// with block copies — the dense array is never materialized.
 pub fn refragment(cube: &Cube, nfrag: usize, io_servers: usize) -> Result<Cube> {
     let rows = cube.rows();
     let ilen = cube.implicit_len();
@@ -558,26 +703,12 @@ pub fn refragment(cube: &Cube, nfrag: usize, io_servers: usize) -> Result<Cube> 
     let base = rows / nfrag;
     let extra = rows % nfrag;
 
+    let src_order = cube.frags_in_row_order();
     let mut frags = Vec::with_capacity(nfrag);
     let mut row = 0usize;
-    // Source fragments hold ascending contiguous row ranges, so a single
-    // forward cursor visits each at most once across all targets.
-    let mut src = 0usize;
     for f in 0..nfrag {
         let count = base + usize::from(f < extra);
-        let mut data = Vec::with_capacity(count * ilen);
-        let mut need = row;
-        let end = row + count;
-        while need < end {
-            while cube.frags[src].row_start + cube.frags[src].row_count <= need {
-                src += 1;
-            }
-            let s = &cube.frags[src];
-            let lo = need - s.row_start;
-            let hi = (end - s.row_start).min(s.row_count);
-            data.extend_from_slice(&s.data[lo * ilen..hi * ilen]);
-            need = s.row_start + hi;
-        }
+        let data = gather_rows(&src_order, ilen, count, |i| row + i);
         frags.push(Fragment { row_start: row, row_count: count, server: f % io_servers, data });
         row += count;
     }
@@ -594,7 +725,7 @@ pub fn refragment(cube: &Cube, nfrag: usize, io_servers: usize) -> Result<Cube> 
 /// Reinterprets a cube with no implicit dimension as having a singleton
 /// implicit dimension (`dim`, coordinate `coord`). This is how per-day
 /// reductions (daily tmax maps) become stackable into a year series with
-/// [`concat_implicit`].
+/// [`concat_implicit`]. Payloads are shared with the input.
 pub fn add_singleton_implicit(cube: &Cube, dim: &str, coord: f64) -> Result<Cube> {
     if cube.implicit_len() != 1 || !cube.implicit_dims().is_empty() {
         return Err(Error::SchemaMismatch(
@@ -615,22 +746,39 @@ pub fn add_singleton_implicit(cube: &Cube, dim: &str, coord: f64) -> Result<Cube
 
 /// Exports a cube to an NCX file, with coordinate variables and provenance
 /// attributes.
+///
+/// This is a materialization boundary, but even here the dense array is
+/// never built: the output file is sized up front from the payload bytes,
+/// coordinates are written from borrowed slices, and the measure streams
+/// fragment-by-fragment (in row order) through the writer's reused encode
+/// buffer.
 pub fn exportnc(cube: &Cube, path: &Path) -> Result<()> {
-    let mut ds = Dataset::new();
+    let mut w = Writer::create(path)?;
     for d in &cube.dims {
-        ds.add_dimension(&d.name, d.len())?;
-        ds.add_variable_f64(&d.name, &[d.name.as_str()], d.coords.clone())?;
+        w.add_dimension(&d.name, d.len())?;
+    }
+    let payload: u64 =
+        cube.dims.iter().map(|d| d.len() as u64 * 8).sum::<u64>() + cube.len() as u64 * 4;
+    w.reserve(payload)?;
+    for d in &cube.dims {
+        w.add_variable_f64(&d.name, &[d.name.as_str()], &d.coords, vec![])?;
     }
     let dim_names: Vec<&str> = cube.dims.iter().map(|d| d.name.as_str()).collect();
-    ds.add_variable_f32(&cube.measure, &dim_names, cube.to_dense())?;
-    ds.set_attribute("description", Value::from(cube.description.clone()));
-    ds.set_attribute("source", Value::from("datacube::exportnc"));
-    ds.write_to_path(path)?;
+    w.begin_variable_f32(&cube.measure, &dim_names, vec![])?;
+    for f in cube.frags_in_row_order() {
+        w.write_chunk_f32(&f.data)?;
+    }
+    w.end_variable()?;
+    w.set_attribute("description", Value::from(cube.description.clone()));
+    w.set_attribute("source", Value::from("datacube::exportnc"));
+    w.finish()?;
     Ok(())
 }
 
 /// Views a `(lat, lon)` cube with no implicit dimension as a gridded field
-/// `(nlat, nlon, row-major data)` for map rendering.
+/// `(nlat, nlon, row-major data)` for map rendering. An explicit dense
+/// accessor — the one place outside [`exportnc`] where a caller asks for
+/// the materialized array.
 pub fn to_grid_values(cube: &Cube) -> Result<(usize, usize, Vec<f32>)> {
     let e = cube.explicit_dims();
     if e.len() != 2 || cube.implicit_len() != 1 {
@@ -646,6 +794,7 @@ pub fn to_grid_values(cube: &Cube) -> Result<(usize, usize, Vec<f32>)> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ncformat::Dataset;
 
     fn cfg() -> ExecConfig {
         ExecConfig::with_servers(2)
@@ -733,6 +882,14 @@ mod tests {
     }
 
     #[test]
+    fn intercube_handles_mismatched_fragmentation() {
+        let c = sample(); // 3 fragments
+        let b = refragment(&c, 2, 1).unwrap(); // different layout, same content
+        let diff = intercube(&c, &b, InterOp::Sub, cfg()).unwrap();
+        assert!(diff.to_dense().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
     fn intercube_rejects_mismatched_shapes() {
         let c = sample();
         let dims = vec![Dimension::explicit("x", vec![0.0])];
@@ -746,10 +903,20 @@ mod tests {
         let s = subset_implicit(&c, "time", 1, 3, cfg()).unwrap();
         assert_eq!(s.implicit_len(), 2);
         assert_eq!(s.row_series(0).unwrap(), &[10.0, 20.0]);
-        assert_eq!(s.dim("time").unwrap().coords, vec![1.0, 2.0]);
+        assert_eq!(s.dim("time").unwrap().coords.to_vec(), vec![1.0, 2.0]);
         assert!(subset_implicit(&c, "time", 3, 3, cfg()).is_err());
         assert!(subset_implicit(&c, "time", 0, 9, cfg()).is_err());
         assert!(subset_implicit(&c, "lat", 0, 1, cfg()).is_err());
+    }
+
+    #[test]
+    fn subset_implicit_full_range_shares_buffers() {
+        let c = sample();
+        let s = subset_implicit(&c, "time", 0, 4, cfg()).unwrap();
+        assert_eq!(s.to_dense(), c.to_dense());
+        for (a, b) in c.frags.iter().zip(&s.frags) {
+            assert!(a.data.same_buffer(&b.data), "full-range subset must not copy");
+        }
     }
 
     #[test]
@@ -757,7 +924,7 @@ mod tests {
         let c = sample(); // lat {-45,45} x lon {0,180} x time 4
         let s = subset_explicit(&c, "lat", 1, 2).unwrap();
         assert_eq!(s.rows(), 2);
-        assert_eq!(s.dim("lat").unwrap().coords, vec![45.0]);
+        assert_eq!(s.dim("lat").unwrap().coords.to_vec(), vec![45.0]);
         // Rows 2 and 3 of the original (lat index 1).
         assert_eq!(s.row_series(0).unwrap(), c.row_series(2).unwrap());
         assert_eq!(s.row_series(1).unwrap(), c.row_series(3).unwrap());
@@ -776,9 +943,9 @@ mod tests {
     fn subset_by_coord_windows() {
         let c = sample();
         let s = subset_by_coord(&c, "lat", 0.0, 90.0).unwrap();
-        assert_eq!(s.dim("lat").unwrap().coords, vec![45.0]);
+        assert_eq!(s.dim("lat").unwrap().coords.to_vec(), vec![45.0]);
         let s = subset_by_coord(&c, "lon", -10.0, 200.0).unwrap();
-        assert_eq!(s.dim("lon").unwrap().coords, vec![0.0, 180.0]);
+        assert_eq!(s.dim("lon").unwrap().coords.to_vec(), vec![0.0, 180.0]);
         assert!(subset_by_coord(&c, "lat", 50.0, 60.0).is_err(), "empty window");
     }
 
@@ -793,7 +960,7 @@ mod tests {
     }
 
     #[test]
-    fn concat_with_mismatched_fragmentation_goes_dense() {
+    fn concat_with_mismatched_fragmentation() {
         let a = sample(); // 3 fragments
         let dims = a.dims.clone();
         let b = Cube::from_dense("v", dims, a.to_dense(), 2, 1).unwrap(); // 2 fragments
@@ -834,7 +1001,7 @@ mod tests {
     fn rolling_windows() {
         let dims = vec![
             Dimension::explicit("x", vec![0.0]),
-            Dimension::implicit("t", (0..6).map(|t| t as f64).collect()),
+            Dimension::implicit("t", (0..6).map(|t| t as f64).collect::<Vec<_>>()),
         ];
         let c = Cube::from_dense("m", dims, vec![1.0, 3.0, 2.0, 5.0, 4.0, 0.0], 1, 1).unwrap();
         let avg = rolling(&c, ReduceOp::Avg, 3, cfg()).unwrap();
@@ -862,6 +1029,20 @@ mod tests {
     }
 
     #[test]
+    fn refragment_contained_targets_are_views() {
+        let c = sample(); // 4 rows, 3 fragments (2,1,1)
+                          // Splitting finer: every target fragment sits inside one source.
+        let r = refragment(&c, 4, 2).unwrap();
+        assert_eq!(r.to_dense(), c.to_dense());
+        for f in &r.frags {
+            assert!(
+                c.frags.iter().any(|s| f.data.same_buffer(&s.data)),
+                "contained target should share a source buffer"
+            );
+        }
+    }
+
+    #[test]
     fn singleton_implicit_enables_day_stacking() {
         let day0 = reduce(&sample(), ReduceOp::Max, "time", cfg()).unwrap();
         let day1 = reduce(&sample(), ReduceOp::Min, "time", cfg()).unwrap();
@@ -870,7 +1051,7 @@ mod tests {
         let year = concat_implicit(&[&d0, &d1], "day").unwrap();
         assert_eq!(year.implicit_len(), 2);
         assert_eq!(year.row_series(0).unwrap(), &[30.0, 0.0]);
-        assert_eq!(year.dim("day").unwrap().coords, vec![0.0, 1.0]);
+        assert_eq!(year.dim("day").unwrap().coords.to_vec(), vec![0.0, 1.0]);
         // Cubes that still have a time axis are rejected.
         assert!(add_singleton_implicit(&sample(), "day", 0.0).is_err());
     }
@@ -888,7 +1069,21 @@ mod tests {
         assert_eq!(rd.read_all_f64("lat").unwrap(), vec![-45.0, 45.0]);
         let back = importnc(&rd, "v", &["lat", "lon"], &[], 2, cfg()).unwrap();
         assert_eq!(back.to_dense(), c.to_dense());
-        assert_eq!(back.dim("lon").unwrap().coords, vec![0.0, 180.0]);
+        assert_eq!(back.dim("lon").unwrap().coords.to_vec(), vec![0.0, 180.0]);
+    }
+
+    #[test]
+    fn export_streams_fragments_in_row_order() {
+        // A cube whose fragment vector is deliberately out of row order.
+        let mut c = sample();
+        c.frags.reverse();
+        c.validate().unwrap();
+        let dir = std::env::temp_dir().join("datacube-ops");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("export-rev.ncx");
+        exportnc(&c, &path).unwrap();
+        let rd = Reader::open(&path).unwrap();
+        assert_eq!(rd.read_all_f32("v").unwrap(), c.to_dense());
     }
 
     #[test]
@@ -900,6 +1095,20 @@ mod tests {
         let rd = Reader::open(&path).unwrap();
         assert!(importnc(&rd, "v", &["lon", "lat"], &["time"], 1, cfg()).is_err());
         assert!(importnc(&rd, "nope", &["lat"], &[], 1, cfg()).is_err());
+    }
+
+    #[test]
+    fn importnc_fragments_share_one_buffer() {
+        let dir = std::env::temp_dir().join("datacube-ops");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("shared-import.ncx");
+        exportnc(&sample(), &path).unwrap();
+        let rd = Reader::open(&path).unwrap();
+        let c = importnc(&rd, "v", &["lat", "lon"], &["time"], 3, cfg()).unwrap();
+        assert!(c.frags.len() > 1);
+        for f in &c.frags[1..] {
+            assert!(f.data.same_buffer(&c.frags[0].data), "ingest must be single-allocation");
+        }
     }
 
     #[test]

@@ -11,8 +11,8 @@ use std::sync::Arc;
 
 fn year_cube(seed: u64, rows: usize, days: usize) -> Cube {
     let dims = vec![
-        Dimension::explicit("cell", (0..rows).map(|i| i as f64).collect()),
-        Dimension::implicit("day", (0..days).map(|d| d as f64).collect()),
+        Dimension::explicit("cell", (0..rows).map(|i| i as f64).collect::<Vec<_>>()),
+        Dimension::implicit("day", (0..days).map(|d| d as f64).collect::<Vec<_>>()),
     ];
     let data: Vec<f32> = (0..rows * days)
         .map(|i| 280.0 + (((i as u64).wrapping_mul(seed | 1)) % 400) as f32 / 10.0)

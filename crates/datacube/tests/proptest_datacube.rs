@@ -10,8 +10,8 @@ use proptest::prelude::*;
 /// Builds a (rows | time) cube with deterministic pseudo-random data.
 fn build(rows: usize, nt: usize, nfrag: usize, servers: usize, seed: u64) -> Cube {
     let dims = vec![
-        Dimension::explicit("cell", (0..rows).map(|i| i as f64).collect()),
-        Dimension::implicit("time", (0..nt).map(|i| i as f64).collect()),
+        Dimension::explicit("cell", (0..rows).map(|i| i as f64).collect::<Vec<_>>()),
+        Dimension::implicit("time", (0..nt).map(|i| i as f64).collect::<Vec<_>>()),
     ];
     let data: Vec<f32> = (0..rows * nt)
         .map(|i| ((i as u64).wrapping_mul(seed | 1).wrapping_add(17) % 1000) as f32 / 10.0 - 50.0)

@@ -1,0 +1,175 @@
+//! Property tests for the zero-copy data plane: every operator run on an
+//! arbitrarily fragmented cube must produce output **bitwise identical**
+//! (`f32::to_bits`) to the same operator run on the single-fragment, serial
+//! equivalent. Floating-point tolerance is deliberately NOT used — the
+//! shared-buffer kernels are required to preserve the exact iteration
+//! order of a dense implementation, so results must match to the bit.
+
+use datacube::exec::ExecConfig;
+use datacube::model::{Cube, Dimension};
+use datacube::ops::{self, InterOp, ReduceOp};
+use proptest::prelude::*;
+
+/// Builds a (lat, lon | time) cube with deterministic pseudo-random data
+/// and the requested fragmentation.
+fn build(nlat: usize, nlon: usize, nt: usize, nfrag: usize, servers: usize, seed: u64) -> Cube {
+    let dims = vec![
+        Dimension::explicit("lat", (0..nlat).map(|i| i as f64).collect::<Vec<_>>()),
+        Dimension::explicit("lon", (0..nlon).map(|i| i as f64).collect::<Vec<_>>()),
+        Dimension::implicit("time", (0..nt).map(|i| i as f64).collect::<Vec<_>>()),
+    ];
+    let data: Vec<f32> = (0..nlat * nlon * nt)
+        .map(|i| {
+            let h = (i as u64).wrapping_mul(seed | 1).wrapping_add(0x9e37_79b9);
+            ((h >> 11) % 2000) as f32 / 7.0 - 140.0
+        })
+        .collect();
+    Cube::from_dense("m", dims, data, nfrag, servers).unwrap()
+}
+
+/// Bitwise image of a dense payload — equality here is exact, NaN-safe and
+/// sign-of-zero-sensitive.
+fn bits(c: &Cube) -> Vec<u32> {
+    c.to_dense().iter().map(|v| v.to_bits()).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Binary ops on fragmented operands (including mismatched layouts on
+    /// the two sides and per-row broadcast) are bitwise equal to the
+    /// single-fragment run.
+    #[test]
+    fn intercube_bitwise_equals_dense(
+        nlat in 1usize..6,
+        nlon in 1usize..6,
+        nt in 1usize..8,
+        nfrag_a in 1usize..9,
+        nfrag_b in 1usize..9,
+        servers in 1usize..4,
+        seed_a in any::<u64>(),
+        seed_b in any::<u64>(),
+    ) {
+        let cfg = ExecConfig::with_servers(servers);
+        let serial = ExecConfig::serial();
+        for op in [InterOp::Add, InterOp::Sub, InterOp::Mul, InterOp::Div] {
+            let a = build(nlat, nlon, nt, nfrag_a, servers, seed_a);
+            let b = build(nlat, nlon, nt, nfrag_b, 1, seed_b);
+            let a1 = build(nlat, nlon, nt, 1, 1, seed_a);
+            let b1 = build(nlat, nlon, nt, 1, 1, seed_b);
+            let frag = ops::intercube(&a, &b, op, cfg).unwrap();
+            let dense = ops::intercube(&a1, &b1, op, serial).unwrap();
+            prop_assert_eq!(bits(&frag), bits(&dense), "intercube {:?} not bitwise equal", op);
+
+            // Broadcast path: b reduced to one value per row.
+            let bb = ops::reduce(&b, ReduceOp::Avg, "time", cfg).unwrap();
+            let bb1 = ops::reduce(&b1, ReduceOp::Avg, "time", serial).unwrap();
+            let frag = ops::intercube(&a, &bb, op, cfg).unwrap();
+            let dense = ops::intercube(&a1, &bb1, op, serial).unwrap();
+            prop_assert_eq!(bits(&frag), bits(&dense), "broadcast {:?} not bitwise equal", op);
+        }
+    }
+
+    /// Reductions over the implicit axis are bitwise equal to the
+    /// single-fragment run for every kernel.
+    #[test]
+    fn reduce_bitwise_equals_dense(
+        nlat in 1usize..6,
+        nlon in 1usize..6,
+        nt in 1usize..10,
+        nfrag in 1usize..9,
+        servers in 1usize..4,
+        seed in any::<u64>(),
+    ) {
+        let frag_cube = build(nlat, nlon, nt, nfrag, servers, seed);
+        let dense_cube = build(nlat, nlon, nt, 1, 1, seed);
+        for op in [ReduceOp::Max, ReduceOp::Min, ReduceOp::Sum, ReduceOp::Avg, ReduceOp::CountPositive] {
+            let f = ops::reduce(&frag_cube, op, "time", ExecConfig::with_servers(servers)).unwrap();
+            let d = ops::reduce(&dense_cube, op, "time", ExecConfig::serial()).unwrap();
+            prop_assert_eq!(bits(&f), bits(&d), "reduce {:?} not bitwise equal", op);
+        }
+    }
+
+    /// Implicit and explicit subsets (the copy-on-write view paths) are
+    /// bitwise equal to the single-fragment run.
+    #[test]
+    fn subset_bitwise_equals_dense(
+        nlat in 2usize..6,
+        nlon in 1usize..6,
+        nt in 2usize..10,
+        nfrag in 1usize..9,
+        lo_t in 0usize..5,
+        lo_y in 0usize..3,
+        seed in any::<u64>(),
+    ) {
+        let cfg = ExecConfig::with_servers(2);
+        let frag_cube = build(nlat, nlon, nt, nfrag, 2, seed);
+        let dense_cube = build(nlat, nlon, nt, 1, 1, seed);
+
+        let (lo, hi) = (lo_t.min(nt - 1), nt);
+        let f = ops::subset_implicit(&frag_cube, "time", lo, hi, cfg).unwrap();
+        let d = ops::subset_implicit(&dense_cube, "time", lo, hi, ExecConfig::serial()).unwrap();
+        prop_assert_eq!(bits(&f), bits(&d));
+
+        let (lo, hi) = (lo_y.min(nlat - 1), nlat);
+        let f = ops::subset_explicit(&frag_cube, "lat", lo, hi).unwrap();
+        let d = ops::subset_explicit(&dense_cube, "lat", lo, hi).unwrap();
+        prop_assert_eq!(bits(&f), bits(&d));
+        f.validate().unwrap();
+    }
+
+    /// Merging day stacks (concat over the implicit axis) with arbitrary —
+    /// including mutually mismatched — fragmentations is bitwise equal to
+    /// the single-fragment run, and refragmenting afterwards changes
+    /// nothing.
+    #[test]
+    fn merge_bitwise_equals_dense(
+        nlat in 1usize..5,
+        nlon in 1usize..5,
+        nt_a in 1usize..6,
+        nt_b in 1usize..6,
+        nfrag_a in 1usize..8,
+        nfrag_b in 1usize..8,
+        refrag in 1usize..10,
+        seed_a in any::<u64>(),
+        seed_b in any::<u64>(),
+    ) {
+        let a = build(nlat, nlon, nt_a, nfrag_a, 2, seed_a);
+        let b = build(nlat, nlon, nt_b, nfrag_b, 1, seed_b);
+        let a1 = build(nlat, nlon, nt_a, 1, 1, seed_a);
+        let b1 = build(nlat, nlon, nt_b, 1, 1, seed_b);
+        let f = ops::concat_implicit(&[&a, &b], "time").unwrap();
+        let d = ops::concat_implicit(&[&a1, &b1], "time").unwrap();
+        prop_assert_eq!(bits(&f), bits(&d));
+
+        let r = ops::refragment(&f, refrag, 3).unwrap();
+        prop_assert_eq!(bits(&r), bits(&d));
+        r.validate().unwrap();
+    }
+
+    /// Full-range subsets and fine refragmentations must *share* payload
+    /// buffers with their source (the O(1) view guarantee), not copy them.
+    #[test]
+    fn views_share_buffers(
+        nlat in 1usize..5,
+        nlon in 1usize..5,
+        nt in 1usize..6,
+        nfrag in 1usize..6,
+        seed in any::<u64>(),
+    ) {
+        let c = build(nlat, nlon, nt, nfrag, 2, seed);
+        let s = ops::subset_implicit(&c, "time", 0, nt, ExecConfig::serial()).unwrap();
+        for (a, b) in c.frags.iter().zip(&s.frags) {
+            prop_assert!(a.data.same_buffer(&b.data), "full-range subset copied a payload");
+        }
+        // Splitting every row into its own fragment: each target is
+        // contained in exactly one source fragment.
+        let r = ops::refragment(&c, c.rows(), 2).unwrap();
+        for f in &r.frags {
+            prop_assert!(
+                c.frags.iter().any(|s| f.data.same_buffer(&s.data)),
+                "contained refragment target copied a payload"
+            );
+        }
+    }
+}

@@ -212,11 +212,10 @@ mod tests {
     fn wait_next_picks_up_concurrent_writer() {
         let dir = tmpdir("concurrent");
         let mut w = DirWatcher::new(&dir, rule());
-        let dir2 = dir.clone();
         let writer = std::thread::spawn(move || {
             std::thread::sleep(Duration::from_millis(20));
             for d in 1..=3 {
-                std::fs::write(dir2.join(format!("esm-2040-{d:03}.ncx")), b"x").unwrap();
+                std::fs::write(dir.join(format!("esm-2040-{d:03}.ncx")), b"x").unwrap();
             }
         });
         let batch = w.wait_next(Duration::from_millis(5), Duration::from_secs(5)).unwrap();

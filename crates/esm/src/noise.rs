@@ -31,7 +31,7 @@ impl WeatherNoise {
         let coarse = Grid {
             nlat: (grid.nlat / coarsen.max(1)).max(2),
             nlon: (grid.nlon / coarsen.max(1)).max(2),
-            ..grid.clone()
+            ..grid
         };
         let mut gen = WeatherNoise {
             state: Field2::zeros(grid.clone()),

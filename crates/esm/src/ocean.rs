@@ -151,7 +151,7 @@ mod tests {
         let c = cfg();
         let mut o = Ocean::new(&c);
         let before = o.sst.area_mean();
-        let delta = Field2::constant(c.grid.clone(), 0.5);
+        let delta = Field2::constant(c.grid, 0.5);
         o.absorb_flux(&delta);
         assert!((o.sst.area_mean() - before - 0.5).abs() < 1e-3);
     }

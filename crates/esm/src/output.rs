@@ -40,6 +40,10 @@ pub fn write_daily(dir: &Path, fields: &DailyFields) -> ncformat::Result<PathBuf
     w.add_dimension("time", spd)?;
     w.add_dimension("lat", grid.nlat)?;
     w.add_dimension("lon", grid.nlon)?;
+    // Size the file up front: coordinate variables plus the ~20 stacks.
+    let payload = ((spd + grid.nlat + grid.nlon) * DataType::F64.size()) as u64
+        + fields.vars.len() as u64 * (grid.len() * spd * DataType::F32.size()) as u64;
+    w.reserve(payload)?;
     w.add_variable_f64(
         "time",
         &["time"],

@@ -34,8 +34,10 @@ pub fn compute_baseline(years: &[&Cube], cfg: ExecConfig) -> Result<Cube> {
             .map(|d| d.name.clone())
             .ok_or_else(|| Error::SchemaMismatch("year cube has no implicit time".into()))?;
         let mean = ops::reduce(y, ReduceOp::Avg, &time_dim, cfg)?;
-        for (a, v) in acc.iter_mut().zip(mean.to_dense()) {
-            *a += v as f64;
+        for f in mean.frags_in_row_order() {
+            for (i, &v) in f.data.iter().enumerate() {
+                acc[f.row_start + i] += v as f64;
+            }
         }
     }
     let n = years.len() as f64;
@@ -59,8 +61,8 @@ where
     }
     let (lats, lons) = (e[0].coords.clone(), e[1].coords.clone());
     let mut data = Vec::with_capacity(lats.len() * lons.len());
-    for &lat in &lats {
-        for &lon in &lons {
+    for &lat in lats.iter() {
+        for &lon in lons.iter() {
             data.push(f(lat, lon) as f32);
         }
     }
@@ -79,7 +81,7 @@ mod tests {
         let dims = vec![
             Dimension::explicit("lat", vec![-30.0, 30.0]),
             Dimension::explicit("lon", vec![0.0, 180.0]),
-            Dimension::implicit("time", (0..nt).map(|t| t as f64).collect()),
+            Dimension::implicit("time", (0..nt).map(|t| t as f64).collect::<Vec<_>>()),
         ];
         // Row r: series r + offset + t.
         let mut data = Vec::new();

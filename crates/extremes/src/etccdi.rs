@@ -137,12 +137,8 @@ pub fn spell_duration_index(
     });
     let mut dims: Vec<_> = mask.explicit_dims().into_iter().cloned().collect();
     dims.push(datacube::model::Dimension::implicit("sdi", vec![0.0]));
-    let out = Cube {
-        measure: mask.measure.clone(),
-        dims,
-        frags: stats,
-        description: "map_series(sdi)".into(),
-    };
+    let out =
+        Cube { measure: mask.measure, dims, frags: stats, description: "map_series(sdi)".into() };
     out.validate()?;
     Ok(out)
 }
@@ -163,7 +159,7 @@ mod tests {
             "t",
             vec![
                 Dimension::explicit("cell", vec![0.0]),
-                Dimension::implicit("day", (0..n).map(|d| d as f64).collect()),
+                Dimension::implicit("day", (0..n).map(|d| d as f64).collect::<Vec<_>>()),
             ],
             values,
             1,

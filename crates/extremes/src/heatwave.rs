@@ -14,7 +14,7 @@
 
 use datacube::exec::{self, ExecConfig};
 use datacube::expr::Expr;
-use datacube::model::{Cube, Dimension, Fragment};
+use datacube::model::{Cube, Dimension, Fragment, SharedData};
 use datacube::ops::{self, InterOp};
 use datacube::Result;
 
@@ -41,17 +41,17 @@ where
 {
     let ilen = cube.implicit_len().max(1);
     exec::par_map_fragments_named(cfg, op, &cube.frags, |frag| {
-        let mut out = vec![0.0f32; frag.row_count * out_len];
-        par::par_chunks_mut(&mut out, CELLS_PER_BATCH * out_len.max(1), |b, out_batch| {
-            for (k, cell_out) in out_batch.chunks_mut(out_len.max(1)).enumerate() {
-                let r = b * CELLS_PER_BATCH + k;
-                // A zero-length implicit axis stores no payload; feed the
-                // kernel an empty series rather than slicing past the end.
-                let row = frag.data.get(r * ilen..(r + 1) * ilen).unwrap_or(&[]);
-                f(row, cell_out);
-            }
-        });
-        out
+        SharedData::from_fn(frag.row_count * out_len, |out| {
+            par::par_chunks_mut(out, CELLS_PER_BATCH * out_len.max(1), |b, out_batch| {
+                for (k, cell_out) in out_batch.chunks_mut(out_len.max(1)).enumerate() {
+                    let r = b * CELLS_PER_BATCH + k;
+                    // A zero-length implicit axis stores no payload; feed the
+                    // kernel an empty series rather than slicing past the end.
+                    let row = frag.data.get(r * ilen..(r + 1) * ilen).unwrap_or(&[]);
+                    f(row, cell_out);
+                }
+            });
+        })
     })
 }
 
@@ -241,7 +241,7 @@ mod tests {
         let dims = vec![
             Dimension::explicit("lat", vec![40.0]),
             Dimension::explicit("lon", vec![10.0, 200.0]),
-            Dimension::implicit("day", (0..ndays).map(|d| d as f64).collect()),
+            Dimension::implicit("day", (0..ndays).map(|d| d as f64).collect::<Vec<_>>()),
         ];
         let mut data = Vec::new();
         // Cell 0: baseline 300, +8 K anomaly on days 10..18.
@@ -250,7 +250,7 @@ mod tests {
         }
         // Cell 1: flat at baseline.
         data.extend(std::iter::repeat_n(295.0, ndays));
-        let daily = Cube::from_dense("tasmax", dims.clone(), data, 2, 1).unwrap();
+        let daily = Cube::from_dense("tasmax", dims, data, 2, 1).unwrap();
         let bdims = vec![
             Dimension::explicit("lat", vec![40.0]),
             Dimension::explicit("lon", vec![10.0, 200.0]),
@@ -278,7 +278,7 @@ mod tests {
         let ndays = 20;
         let dims = vec![
             Dimension::explicit("lat", vec![0.0]),
-            Dimension::implicit("day", (0..ndays).map(|d| d as f64).collect()),
+            Dimension::implicit("day", (0..ndays).map(|d| d as f64).collect::<Vec<_>>()),
         ];
         let data: Vec<f32> =
             (0..ndays).map(|d| if (5..10).contains(&d) { 310.0 } else { 300.0 }).collect();
@@ -298,7 +298,7 @@ mod tests {
         let ndays = 10;
         let dims = vec![
             Dimension::explicit("lat", vec![0.0]),
-            Dimension::implicit("day", (0..ndays).map(|d| d as f64).collect()),
+            Dimension::implicit("day", (0..ndays).map(|d| d as f64).collect::<Vec<_>>()),
         ];
         let exact = Cube::from_dense("t", dims.clone(), vec![305.0; ndays], 1, 1).unwrap();
         let above = Cube::from_dense("t", dims, vec![305.1; ndays], 1, 1).unwrap();
@@ -316,7 +316,7 @@ mod tests {
         let ndays = 14;
         let dims = vec![
             Dimension::explicit("lat", vec![0.0]),
-            Dimension::implicit("day", (0..ndays).map(|d| d as f64).collect()),
+            Dimension::implicit("day", (0..ndays).map(|d| d as f64).collect::<Vec<_>>()),
         ];
         // 7 cold days at -9 K anomaly.
         let data: Vec<f32> = (0..ndays).map(|d| if d < 7 { 261.0 } else { 272.0 }).collect();
@@ -336,7 +336,7 @@ mod tests {
         let ndays = 30;
         let dims = vec![
             Dimension::explicit("lat", vec![0.0]),
-            Dimension::implicit("day", (0..ndays).map(|d| d as f64).collect()),
+            Dimension::implicit("day", (0..ndays).map(|d| d as f64).collect::<Vec<_>>()),
         ];
         let data: Vec<f32> = (0..ndays)
             .map(|d| if (2..9).contains(&d) || (15..25).contains(&d) { 307.0 } else { 300.0 })

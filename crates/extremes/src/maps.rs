@@ -95,8 +95,8 @@ mod tests {
 
     fn map_cube() -> Cube {
         let dims = vec![
-            Dimension::explicit("lat", (0..6).map(|i| -75.0 + 30.0 * i as f64).collect()),
-            Dimension::explicit("lon", (0..8).map(|j| 22.5 + 45.0 * j as f64).collect()),
+            Dimension::explicit("lat", (0..6).map(|i| -75.0 + 30.0 * i as f64).collect::<Vec<_>>()),
+            Dimension::explicit("lon", (0..8).map(|j| 22.5 + 45.0 * j as f64).collect::<Vec<_>>()),
         ];
         // Gradient south->north so orientation is testable.
         let mut data = Vec::new();

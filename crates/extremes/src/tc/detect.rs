@@ -235,7 +235,7 @@ mod tests {
         let psl = Field2::constant(g.clone(), 101_300.0);
         let wind = Field2::constant(g.clone(), 8.0);
         let tas = Field2::constant(g.clone(), 295.0);
-        let vort = Field2::constant(g.clone(), 0.0);
+        let vort = Field2::constant(g, 0.0);
         assert!(detect_timestep(&psl, &wind, &tas, &vort, &DetectorParams::default()).is_empty());
     }
 
@@ -254,7 +254,7 @@ mod tests {
         let ci = g.lat_index(12.0);
         let cj = g.lon_index(60.0);
         let (psl, _, tas, vort) = vortex_fields(&g, ci, cj, 4000.0);
-        let calm = Field2::constant(g.clone(), 3.0);
+        let calm = Field2::constant(g, 3.0);
         assert!(detect_timestep(&psl, &calm, &tas, &vort, &DetectorParams::default()).is_empty());
     }
 
@@ -264,7 +264,7 @@ mod tests {
         let ci = g.lat_index(12.0);
         let cj = g.lon_index(60.0);
         let (psl, wind, _, vort) = vortex_fields(&g, ci, cj, 4000.0);
-        let cold = Field2::constant(g.clone(), 280.0); // flat: no warm core
+        let cold = Field2::constant(g, 280.0); // flat: no warm core
         assert!(detect_timestep(&psl, &wind, &cold, &vort, &DetectorParams::default()).is_empty());
     }
 
@@ -274,7 +274,7 @@ mod tests {
         let ci = g.lat_index(12.0);
         let cj = g.lon_index(60.0);
         let (psl, wind, tas, _) = vortex_fields(&g, ci, cj, 4000.0);
-        let anti = Field2::constant(g.clone(), -1.0);
+        let anti = Field2::constant(g, -1.0);
         assert!(detect_timestep(&psl, &wind, &tas, &anti, &DetectorParams::default()).is_empty());
     }
 

@@ -124,11 +124,12 @@ mod tests {
 
     fn indices_from(daily: Vec<f32>, ndays: usize, ncells: usize) -> HeatwaveIndices {
         let dims = vec![
-            Dimension::explicit("cell", (0..ncells).map(|i| i as f64).collect()),
-            Dimension::implicit("day", (0..ndays).map(|d| d as f64).collect()),
+            Dimension::explicit("cell", (0..ncells).map(|i| i as f64).collect::<Vec<_>>()),
+            Dimension::implicit("day", (0..ndays).map(|d| d as f64).collect::<Vec<_>>()),
         ];
         let daily = Cube::from_dense("t", dims, daily, 1, 1).unwrap();
-        let bdims = vec![Dimension::explicit("cell", (0..ncells).map(|i| i as f64).collect())];
+        let bdims =
+            vec![Dimension::explicit("cell", (0..ncells).map(|i| i as f64).collect::<Vec<_>>())];
         let baseline = Cube::from_dense("t", bdims, vec![300.0; ncells], 1, 1).unwrap();
         crate::heatwave::compute_indices(
             &daily,
@@ -160,7 +161,7 @@ mod tests {
         let ndays = 20;
         let data = vec![300.0; ndays];
         let mut idx = indices_from(data, ndays, 1);
-        idx.duration_max.frags[0].data[0] = 999.0;
+        idx.duration_max.frags[0].data.make_mut()[0] = 999.0;
         let report = validate_indices(&idx, WaveParams::default(), ndays);
         assert!(!report.passed());
         assert!(report.findings.iter().any(|f| f.check == "duration-range"));
@@ -170,7 +171,7 @@ mod tests {
     fn non_finite_values_flagged() {
         let ndays = 10;
         let mut idx = indices_from(vec![300.0; ndays], ndays, 1);
-        idx.frequency.frags[0].data[0] = f32::NAN;
+        idx.frequency.frags[0].data.make_mut()[0] = f32::NAN;
         let report = validate_indices(&idx, WaveParams::default(), ndays);
         assert!(report.findings.iter().any(|f| f.check == "frequency-finite"));
     }
@@ -180,7 +181,7 @@ mod tests {
         let ndays = 20;
         let mut idx = indices_from(vec![300.0; ndays], ndays, 1);
         // Claim a wave but leave duration at zero.
-        idx.number.frags[0].data[0] = 2.0;
+        idx.number.frags[0].data.make_mut()[0] = 2.0;
         let report = validate_indices(&idx, WaveParams::default(), ndays);
         assert!(report.findings.iter().any(|f| f.check == "consistency"));
     }
@@ -189,9 +190,9 @@ mod tests {
     fn fractional_count_flagged() {
         let ndays = 20;
         let mut idx = indices_from(vec![300.0; ndays], ndays, 1);
-        idx.number.frags[0].data[0] = 1.5;
-        idx.duration_max.frags[0].data[0] = 8.0;
-        idx.frequency.frags[0].data[0] = 0.6;
+        idx.number.frags[0].data.make_mut()[0] = 1.5;
+        idx.duration_max.frags[0].data.make_mut()[0] = 8.0;
+        idx.frequency.frags[0].data.make_mut()[0] = 0.6;
         let report = validate_indices(&idx, WaveParams::default(), ndays);
         assert!(report.findings.iter().any(|f| f.check == "number-integer"));
     }
@@ -201,7 +202,7 @@ mod tests {
         let ndays = 10;
         let ncells = 200;
         let mut idx = indices_from(vec![300.0; ndays * ncells], ndays, ncells);
-        for v in &mut idx.frequency.frags[0].data {
+        for v in idx.frequency.frags[0].data.make_mut() {
             *v = 7.0; // all cells out of range
         }
         let report = validate_indices(&idx, WaveParams::default(), ndays);

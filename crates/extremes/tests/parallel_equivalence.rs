@@ -13,8 +13,8 @@ use extremes::heatwave::{
 /// Many cells with varied exceedance patterns across several fragments.
 fn synthetic_daily(cells: usize, ndays: usize, nfrag: usize) -> (Cube, Cube) {
     let dims = vec![
-        Dimension::explicit("cell", (0..cells).map(|c| c as f64).collect()),
-        Dimension::implicit("day", (0..ndays).map(|d| d as f64).collect()),
+        Dimension::explicit("cell", (0..cells).map(|c| c as f64).collect::<Vec<_>>()),
+        Dimension::implicit("day", (0..ndays).map(|d| d as f64).collect::<Vec<_>>()),
     ];
     let mut data = Vec::with_capacity(cells * ndays);
     for c in 0..cells {
@@ -25,7 +25,7 @@ fn synthetic_daily(cells: usize, ndays: usize, nfrag: usize) -> (Cube, Cube) {
         }
     }
     let daily = Cube::from_dense("tasmax", dims, data, nfrag, 2).unwrap();
-    let bdims = vec![Dimension::explicit("cell", (0..cells).map(|c| c as f64).collect())];
+    let bdims = vec![Dimension::explicit("cell", (0..cells).map(|c| c as f64).collect::<Vec<_>>())];
     let baseline = Cube::from_dense("tasmax", bdims, vec![300.0; cells], nfrag, 2).unwrap();
     (daily, baseline)
 }

@@ -29,6 +29,13 @@ impl Field2 {
         Field2 { grid, data }
     }
 
+    /// Consumes the field, handing its payload to the caller without a
+    /// copy — the bridge into zero-copy consumers (`SharedData::from` turns
+    /// the vector into a shared fragment buffer with a single move).
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
     /// Value at `(i, j)`.
     #[inline]
     pub fn get(&self, i: usize, j: usize) -> f32 {
@@ -159,6 +166,12 @@ impl Field3 {
         Field3 { grid, ntime: fields.len(), data }
     }
 
+    /// Consumes the stack, handing its payload to the caller without a
+    /// copy (time-major, matching the file layout).
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
     /// Borrowed view of time level `t`.
     pub fn slice(&self, t: usize) -> &[f32] {
         let n = self.grid.len();
@@ -282,7 +295,7 @@ mod tests {
         for t in 0..3 {
             data.extend(std::iter::repeat_n(t as f32, n));
         }
-        let f3 = Field3::from_vec(g.clone(), 3, data);
+        let f3 = Field3::from_vec(g, 3, data);
         assert_eq!(f3.slice(1), &vec![1.0; n][..]);
         assert_eq!(f3.level(2).data, vec![2.0; n]);
         assert_eq!(f3.time_max().data, vec![2.0; n]);
@@ -294,7 +307,7 @@ mod tests {
     fn field3_from_slices_matches_manual() {
         let g = small();
         let a = Field2::constant(g.clone(), 1.0);
-        let b = Field2::constant(g.clone(), 2.0);
+        let b = Field2::constant(g, 2.0);
         let f3 = Field3::from_slices(&[a.clone(), b.clone()]);
         assert_eq!(f3.ntime, 2);
         assert_eq!(f3.level(0), a);
@@ -307,5 +320,22 @@ mod tests {
         f3.set(1, 3, 5, -2.0);
         assert_eq!(f3.get(1, 3, 5), -2.0);
         assert_eq!(f3.get(0, 3, 5), 0.0);
+    }
+
+    #[test]
+    fn into_vec_moves_payload_without_copy() {
+        let g = small();
+        let mut f = Field2::zeros(g.clone());
+        f.set(0, 0, 7.0);
+        let ptr = f.data.as_ptr();
+        let v = f.into_vec();
+        assert_eq!(v.as_ptr(), ptr, "into_vec must not reallocate");
+        assert_eq!(v[0], 7.0);
+
+        let f3 = Field3::zeros(g, 2);
+        let ptr = f3.data.as_ptr();
+        let v = f3.into_vec();
+        assert_eq!(v.as_ptr(), ptr);
+        assert_eq!(v.len(), 2 * small().len());
     }
 }

@@ -133,7 +133,7 @@ mod tests {
     fn extract_reads_the_right_cells() {
         let g = grid();
         let f = Field2::from_vec(g.clone(), (0..g.len()).map(|i| i as f32).collect());
-        let t = Tiling::plan(g.clone(), TileSpec { patch: 4 });
+        let t = Tiling::plan(g, TileSpec { patch: 4 });
         let tile = t.extract(&f, 1, 2);
         // Tile (1,2) starts at grid (4, 8); first row should be 4*16+8 ..
         assert_eq!(tile[0], (4 * 16 + 8) as f32);

@@ -8,7 +8,7 @@ use crate::{MAGIC, VERSION};
 use std::fs::File;
 use std::io::{BufReader, Read, Seek, SeekFrom};
 use std::path::{Path, PathBuf};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 /// Lazy reader over an NCX file. The header is parsed eagerly; variable
 /// payloads are read on demand. `Reader` is `Send + Sync`; concurrent slab
@@ -150,6 +150,77 @@ impl Reader {
         Ok(bytes.chunks_exact(4).map(|c| i32::from_le_bytes([c[0], c[1], c[2], c[3]])).collect())
     }
 
+    /// Reads a contiguous element range of an `f32` variable directly into
+    /// `out` — no intermediate byte buffer. `start` is the linear element
+    /// index of the first value; `out.len()` elements are read. Ingest
+    /// paths call this in a loop with one reused buffer to stream a large
+    /// variable through constant memory.
+    pub fn read_f32_into(&self, name: &str, start: usize, out: &mut [f32]) -> Result<()> {
+        let v = self.variable(name)?;
+        self.var_f32_into(v, start, out)
+    }
+
+    /// Reads an entire `f32` variable into one shared, immutable buffer
+    /// (a single allocation). Datacube ingest slices fragments out of the
+    /// returned buffer without further copies.
+    pub fn read_shared_f32(&self, name: &str) -> Result<Arc<[f32]>> {
+        let v = self.variable(name)?;
+        self.var_shared_f32(v)
+    }
+
+    /// Borrowed, lazy view of one variable: metadata is available
+    /// immediately, payload reads happen on demand.
+    pub fn var(&self, name: &str) -> Result<VarView<'_>> {
+        Ok(VarView { reader: self, var: self.variable(name)? })
+    }
+
+    fn var_f32_into(&self, v: &Variable, start: usize, out: &mut [f32]) -> Result<()> {
+        if v.dtype != DataType::F32 {
+            return Err(Error::TypeMismatch { want: "f32", have: v.dtype.name() });
+        }
+        let total = v.len(&self.dims);
+        if start + out.len() > total {
+            return Err(Error::BadSlab(format!(
+                "element range {start}..{} exceeds variable length {total}",
+                start + out.len()
+            )));
+        }
+        if out.is_empty() {
+            return Ok(());
+        }
+        {
+            let mut file = self.file.lock().expect("reader handle poisoned");
+            file.seek(SeekFrom::Start(v.data_offset + (start * 4) as u64))?;
+            // SAFETY: viewing `out` as raw bytes is sound — the pointer is
+            // valid for `out.len() * 4` bytes, `u8` has no alignment
+            // requirement, and every 4-byte pattern is a valid f32.
+            let bytes = unsafe {
+                std::slice::from_raw_parts_mut(out.as_mut_ptr().cast::<u8>(), out.len() * 4)
+            };
+            file.read_exact(bytes)?;
+        }
+        // Payload is little-endian on disk; fix up on big-endian hosts.
+        if cfg!(target_endian = "big") {
+            for x in out.iter_mut() {
+                *x = f32::from_bits(x.to_bits().swap_bytes());
+            }
+        }
+        Ok(())
+    }
+
+    fn var_shared_f32(&self, v: &Variable) -> Result<Arc<[f32]>> {
+        if v.dtype != DataType::F32 {
+            return Err(Error::TypeMismatch { want: "f32", have: v.dtype.name() });
+        }
+        let n = v.len(&self.dims);
+        let mut buf: Arc<[f32]> = std::iter::repeat_n(0.0f32, n).collect();
+        if n > 0 {
+            let dst = Arc::get_mut(&mut buf).expect("freshly collected Arc is unique");
+            self.var_f32_into(v, 0, dst)?;
+        }
+        Ok(buf)
+    }
+
     /// Validates a hyperslab request against a variable's shape and returns
     /// the byte-level read plan: a list of `(file_offset, elems)` contiguous
     /// runs in output order.
@@ -246,6 +317,57 @@ impl Reader {
     }
 }
 
+/// Borrowed, lazy view of a single variable obtained from [`Reader::var`]:
+/// shape and attributes are served from the parsed header; payload reads
+/// go straight from the file into caller-chosen buffers, so consumers
+/// decide whether to pay for a copy at all.
+pub struct VarView<'r> {
+    reader: &'r Reader,
+    var: &'r Variable,
+}
+
+impl VarView<'_> {
+    /// Variable name.
+    pub fn name(&self) -> &str {
+        &self.var.name
+    }
+
+    /// Element type.
+    pub fn dtype(&self) -> DataType {
+        self.var.dtype
+    }
+
+    /// Shape as a size-per-axis vector.
+    pub fn shape(&self) -> Vec<usize> {
+        self.var.shape(&self.reader.dims)
+    }
+
+    /// Total element count.
+    pub fn len(&self) -> usize {
+        self.var.len(&self.reader.dims)
+    }
+
+    /// True when the variable has zero elements.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Attribute lookup on this variable.
+    pub fn attribute(&self, name: &str) -> Option<&Value> {
+        self.var.attribute(name)
+    }
+
+    /// Entire payload as one shared buffer (a single allocation).
+    pub fn read_shared_f32(&self) -> Result<Arc<[f32]>> {
+        self.reader.var_shared_f32(self.var)
+    }
+
+    /// Contiguous element range straight into `out`.
+    pub fn read_f32_into(&self, start: usize, out: &mut [f32]) -> Result<()> {
+        self.reader.var_f32_into(self.var, start, out)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -338,6 +460,49 @@ mod tests {
         sample(&path);
         let rd = Reader::open(&path).unwrap();
         assert!(matches!(rd.read_all_f64("v"), Err(Error::TypeMismatch { .. })));
+    }
+
+    #[test]
+    fn shared_read_equals_read_all() {
+        let path = tmp("shared.ncx");
+        sample(&path);
+        let rd = Reader::open(&path).unwrap();
+        let shared = rd.read_shared_f32("v").unwrap();
+        assert_eq!(&shared[..], &rd.read_all_f32("v").unwrap()[..]);
+    }
+
+    #[test]
+    fn read_into_ranges_and_bounds() {
+        let path = tmp("into.ncx");
+        sample(&path);
+        let rd = Reader::open(&path).unwrap();
+        let mut buf = [0.0f32; 4];
+        rd.read_f32_into("v", 12, &mut buf).unwrap();
+        assert_eq!(buf, [12.0, 13.0, 14.0, 15.0]);
+        // Reused buffer, different window.
+        rd.read_f32_into("v", 20, &mut buf).unwrap();
+        assert_eq!(buf, [20.0, 21.0, 22.0, 23.0]);
+        assert!(matches!(rd.read_f32_into("v", 21, &mut buf), Err(Error::BadSlab(_))));
+        rd.read_f32_into("v", 24, &mut []).unwrap();
+    }
+
+    #[test]
+    fn var_view_metadata_and_reads() {
+        let path = tmp("varview.ncx");
+        sample(&path);
+        let rd = Reader::open(&path).unwrap();
+        let v = rd.var("v").unwrap();
+        assert_eq!(v.name(), "v");
+        assert_eq!(v.dtype(), DataType::F32);
+        assert_eq!(v.shape(), vec![2, 3, 4]);
+        assert_eq!(v.len(), 24);
+        assert!(!v.is_empty());
+        let shared = v.read_shared_f32().unwrap();
+        assert_eq!(shared.len(), 24);
+        let mut one = [0.0f32; 1];
+        v.read_f32_into(5, &mut one).unwrap();
+        assert_eq!(one[0], 5.0);
+        assert!(rd.var("nope").is_err());
     }
 
     #[test]

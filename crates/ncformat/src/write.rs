@@ -28,6 +28,24 @@ use std::path::Path;
 /// Size in bytes of the fixed prelude preceding the data section.
 pub(crate) const PRELUDE_LEN: u64 = 4 + 1 + 8;
 
+/// Size of the reused little-endian encode buffer: big enough to amortize
+/// write syscalls, small enough to stay cache-resident. Payloads of any
+/// size stream through it, so encoding a variable never allocates
+/// proportionally to its length.
+const ENCODE_CHUNK_BYTES: usize = 256 * 1024;
+
+/// A variable opened with [`Writer::begin_variable_f32`] whose payload is
+/// arriving chunk by chunk.
+struct OpenVariable {
+    name: String,
+    dtype: DataType,
+    dim_idx: Vec<usize>,
+    attrs: Vec<Attribute>,
+    offset: u64,
+    expected: usize,
+    written: usize,
+}
+
 /// Streaming writer: append variable payloads as they become available.
 pub struct Writer {
     file: BufWriter<File>,
@@ -36,6 +54,10 @@ pub struct Writer {
     attrs: Vec<Attribute>,
     cursor: u64,
     finished: bool,
+    /// Reused encode buffer; capacity persists across variables.
+    scratch: Vec<u8>,
+    open: Option<OpenVariable>,
+    reserved: bool,
 }
 
 impl Writer {
@@ -53,7 +75,20 @@ impl Writer {
             attrs: Vec::new(),
             cursor: PRELUDE_LEN,
             finished: false,
+            scratch: Vec::new(),
+            open: None,
+            reserved: false,
         })
+    }
+
+    /// Preallocates the on-disk extent for `payload_bytes` of variable
+    /// payload (plus the prelude) in one call, so large streaming writes do
+    /// not grow the file incrementally. [`Writer::finish`] truncates any
+    /// unused tail back to the real end of file.
+    pub fn reserve(&mut self, payload_bytes: u64) -> Result<()> {
+        self.file.get_ref().set_len(PRELUDE_LEN + payload_bytes)?;
+        self.reserved = true;
+        Ok(())
     }
 
     /// Sets (or replaces) a global attribute.
@@ -118,6 +153,92 @@ impl Writer {
         Ok(())
     }
 
+    /// Streams `data` little-endian through the reused scratch buffer.
+    fn write_f32_le(&mut self, data: &[f32]) -> Result<()> {
+        for chunk in data.chunks(ENCODE_CHUNK_BYTES / 4) {
+            self.scratch.clear();
+            for v in chunk {
+                self.scratch.extend_from_slice(&v.to_le_bytes());
+            }
+            self.file.write_all(&self.scratch)?;
+        }
+        self.cursor += data.len() as u64 * 4;
+        Ok(())
+    }
+
+    /// Streams `data` little-endian through the reused scratch buffer.
+    fn write_f64_le(&mut self, data: &[f64]) -> Result<()> {
+        for chunk in data.chunks(ENCODE_CHUNK_BYTES / 8) {
+            self.scratch.clear();
+            for v in chunk {
+                self.scratch.extend_from_slice(&v.to_le_bytes());
+            }
+            self.file.write_all(&self.scratch)?;
+        }
+        self.cursor += data.len() as u64 * 8;
+        Ok(())
+    }
+
+    /// Opens an `f32` variable whose payload will arrive through
+    /// [`Writer::write_chunk_f32`] calls; [`Writer::end_variable`] closes
+    /// it once the element count matches the declared shape. This lets a
+    /// producer (e.g. a fragmented datacube) export without ever
+    /// materializing the dense payload.
+    pub fn begin_variable_f32(
+        &mut self,
+        name: &str,
+        dims: &[&str],
+        attrs: Vec<Attribute>,
+    ) -> Result<()> {
+        if let Some(open) = &self.open {
+            return Err(Error::UnfinishedVariable(open.name.clone()));
+        }
+        self.check_new_var(name)?;
+        let dim_idx = self.dim_indices(dims)?;
+        let expected = self.expected_len(&dim_idx);
+        self.open = Some(OpenVariable {
+            name: name.into(),
+            dtype: DataType::F32,
+            dim_idx,
+            attrs,
+            offset: self.cursor,
+            expected,
+            written: 0,
+        });
+        Ok(())
+    }
+
+    /// Appends one chunk of the currently open `f32` variable's payload.
+    pub fn write_chunk_f32(&mut self, data: &[f32]) -> Result<()> {
+        let open = self.open.as_ref().ok_or(Error::NoOpenVariable)?;
+        if open.written + data.len() > open.expected {
+            return Err(Error::ShapeMismatch {
+                expected: open.expected,
+                actual: open.written + data.len(),
+            });
+        }
+        self.write_f32_le(data)?;
+        self.open.as_mut().expect("checked above").written += data.len();
+        Ok(())
+    }
+
+    /// Closes the variable opened by [`Writer::begin_variable_f32`],
+    /// verifying the streamed element count against the declared shape.
+    pub fn end_variable(&mut self) -> Result<()> {
+        let open = self.open.take().ok_or(Error::NoOpenVariable)?;
+        if open.written != open.expected {
+            return Err(Error::ShapeMismatch { expected: open.expected, actual: open.written });
+        }
+        self.vars.push(Variable {
+            name: open.name,
+            dtype: open.dtype,
+            dims: open.dim_idx,
+            attributes: open.attrs,
+            data_offset: open.offset,
+        });
+        Ok(())
+    }
+
     /// Appends an `f32` variable with optional attributes.
     pub fn add_variable_f32(
         &mut self,
@@ -126,14 +247,15 @@ impl Writer {
         data: &[f32],
         attrs: Vec<Attribute>,
     ) -> Result<()> {
-        self.check_new_var(name)?;
-        let idx = self.dim_indices(dims)?;
-        let expected = self.expected_len(&idx);
+        self.begin_variable_f32(name, dims, attrs)?;
+        let expected = self.open.as_ref().expect("just opened").expected;
         if expected != data.len() {
+            // Nothing written yet; abandon the open variable cleanly.
+            self.open = None;
             return Err(Error::ShapeMismatch { expected, actual: data.len() });
         }
-        let bytes = codec::f32_bytes(data);
-        self.push_var(name, DataType::F32, idx, attrs, &bytes)
+        self.write_chunk_f32(data)?;
+        self.end_variable()
     }
 
     /// Appends an `f64` variable with optional attributes.
@@ -144,14 +266,25 @@ impl Writer {
         data: &[f64],
         attrs: Vec<Attribute>,
     ) -> Result<()> {
+        if let Some(open) = &self.open {
+            return Err(Error::UnfinishedVariable(open.name.clone()));
+        }
         self.check_new_var(name)?;
         let idx = self.dim_indices(dims)?;
         let expected = self.expected_len(&idx);
         if expected != data.len() {
             return Err(Error::ShapeMismatch { expected, actual: data.len() });
         }
-        let bytes = codec::f64_bytes(data);
-        self.push_var(name, DataType::F64, idx, attrs, &bytes)
+        let offset = self.cursor;
+        self.write_f64_le(data)?;
+        self.vars.push(Variable {
+            name: name.into(),
+            dtype: DataType::F64,
+            dims: idx,
+            attributes: attrs,
+            data_offset: offset,
+        });
+        Ok(())
     }
 
     /// Appends a `u8` variable (masks, categorical fields).
@@ -162,6 +295,9 @@ impl Writer {
         data: &[u8],
         attrs: Vec<Attribute>,
     ) -> Result<()> {
+        if let Some(open) = &self.open {
+            return Err(Error::UnfinishedVariable(open.name.clone()));
+        }
         self.check_new_var(name)?;
         let idx = self.dim_indices(dims)?;
         let expected = self.expected_len(&idx);
@@ -179,23 +315,41 @@ impl Writer {
         data: &[i32],
         attrs: Vec<Attribute>,
     ) -> Result<()> {
+        if let Some(open) = &self.open {
+            return Err(Error::UnfinishedVariable(open.name.clone()));
+        }
         self.check_new_var(name)?;
         let idx = self.dim_indices(dims)?;
         let expected = self.expected_len(&idx);
         if expected != data.len() {
             return Err(Error::ShapeMismatch { expected, actual: data.len() });
         }
-        let mut bytes = Vec::with_capacity(data.len() * 4);
-        for v in data {
-            bytes.extend_from_slice(&v.to_le_bytes());
+        let offset = self.cursor;
+        for chunk in data.chunks(ENCODE_CHUNK_BYTES / 4) {
+            self.scratch.clear();
+            for v in chunk {
+                self.scratch.extend_from_slice(&v.to_le_bytes());
+            }
+            self.file.write_all(&self.scratch)?;
         }
-        self.push_var(name, DataType::I32, idx, attrs, &bytes)
+        self.cursor += data.len() as u64 * 4;
+        self.vars.push(Variable {
+            name: name.into(),
+            dtype: DataType::I32,
+            dims: idx,
+            attributes: attrs,
+            data_offset: offset,
+        });
+        Ok(())
     }
 
     /// Writes the header, patches the prelude pointer and flushes. Must be
     /// called exactly once; dropping an unfinished writer leaves an invalid
     /// file by design (truncated output should not parse).
     pub fn finish(mut self) -> Result<()> {
+        if let Some(open) = &self.open {
+            return Err(Error::UnfinishedVariable(open.name.clone()));
+        }
         let header_offset = self.cursor;
 
         codec::put_attributes(&mut self.file, &self.attrs)?;
@@ -220,6 +374,11 @@ impl Writer {
 
         self.file.flush()?;
         let file = self.file.get_mut();
+        if self.reserved {
+            // Trim any tail left over from an over-estimating reserve().
+            let end = file.stream_position()?;
+            file.set_len(end)?;
+        }
         file.seek(SeekFrom::Start(5))?;
         file.write_all(&header_offset.to_le_bytes())?;
         file.flush()?;
@@ -248,6 +407,15 @@ impl Payload {
             Payload::F32(v) => v.len(),
             Payload::F64(v) => v.len(),
             Payload::I32(v) => v.len(),
+            Payload::U8(v) => v.len(),
+        }
+    }
+
+    fn byte_len(&self) -> usize {
+        match self {
+            Payload::F32(v) => v.len() * 4,
+            Payload::F64(v) => v.len() * 8,
+            Payload::I32(v) => v.len() * 4,
             Payload::U8(v) => v.len(),
         }
     }
@@ -338,9 +506,17 @@ impl Dataset {
         Ok(())
     }
 
+    /// Total payload bytes this dataset will serialize (excluding prelude
+    /// and header). [`Dataset::write_to_path`] sizes the output file from
+    /// this up front instead of growing it variable by variable.
+    pub fn payload_bytes(&self) -> u64 {
+        self.vars.iter().map(|(.., p)| p.byte_len() as u64).sum()
+    }
+
     /// Serializes the dataset to `path` via the streaming [`Writer`].
     pub fn write_to_path<P: AsRef<Path>>(&self, path: P) -> Result<()> {
         let mut w = Writer::create(path)?;
+        w.reserve(self.payload_bytes())?;
         for a in &self.attrs {
             w.set_attribute(&a.name, a.value.clone());
         }
@@ -454,6 +630,86 @@ mod tests {
         let bytes = Dataset::payload_size(&vars);
         let mb = bytes as f64 / (1024.0 * 1024.0);
         assert!((mb - 270.0).abs() < 1.0, "expected ~270 MB, got {mb}");
+    }
+
+    #[test]
+    fn chunked_variable_roundtrips() {
+        let path = tmp("chunked.ncx");
+        let mut w = Writer::create(&path).unwrap();
+        w.add_dimension("x", 6).unwrap();
+        w.begin_variable_f32("v", &["x"], vec![]).unwrap();
+        w.write_chunk_f32(&[0.0, 1.0]).unwrap();
+        w.write_chunk_f32(&[2.0]).unwrap();
+        w.write_chunk_f32(&[3.0, 4.0, 5.0]).unwrap();
+        w.end_variable().unwrap();
+        w.finish().unwrap();
+        let rd = Reader::open(&path).unwrap();
+        assert_eq!(rd.read_all_f32("v").unwrap(), vec![0.0, 1.0, 2.0, 3.0, 4.0, 5.0]);
+    }
+
+    #[test]
+    fn chunked_element_count_enforced() {
+        let path = tmp("chunked-arity.ncx");
+        let mut w = Writer::create(&path).unwrap();
+        w.add_dimension("x", 3).unwrap();
+        w.begin_variable_f32("v", &["x"], vec![]).unwrap();
+        w.write_chunk_f32(&[1.0]).unwrap();
+        // Overflow rejected before any bytes are written.
+        assert!(matches!(
+            w.write_chunk_f32(&[2.0, 3.0, 4.0]),
+            Err(Error::ShapeMismatch { expected: 3, actual: 4 })
+        ));
+        // Underflow rejected at close.
+        assert!(matches!(w.end_variable(), Err(Error::ShapeMismatch { expected: 3, actual: 1 })));
+    }
+
+    #[test]
+    fn open_variable_blocks_other_writes() {
+        let path = tmp("chunked-open.ncx");
+        let mut w = Writer::create(&path).unwrap();
+        w.add_dimension("x", 2).unwrap();
+        assert!(matches!(w.write_chunk_f32(&[1.0]), Err(Error::NoOpenVariable)));
+        assert!(matches!(w.end_variable(), Err(Error::NoOpenVariable)));
+        w.begin_variable_f32("v", &["x"], vec![]).unwrap();
+        assert!(matches!(
+            w.begin_variable_f32("w", &["x"], vec![]),
+            Err(Error::UnfinishedVariable(_))
+        ));
+        assert!(matches!(
+            w.add_variable_u8("m", &["x"], &[0, 1], vec![]),
+            Err(Error::UnfinishedVariable(_))
+        ));
+        assert!(matches!(w.finish(), Err(Error::UnfinishedVariable(_))));
+    }
+
+    #[test]
+    fn reserve_preallocates_and_finish_trims() {
+        let path = tmp("reserve.ncx");
+        let mut w = Writer::create(&path).unwrap();
+        w.add_dimension("x", 4).unwrap();
+        // Over-reserve far beyond the real payload.
+        w.reserve(1 << 20).unwrap();
+        w.add_variable_f32("a", &["x"], &[1.0, 2.0, 3.0, 4.0], vec![]).unwrap();
+        w.finish().unwrap();
+        // The tail must be trimmed: the file ends right after the header.
+        let len = std::fs::metadata(&path).unwrap().len();
+        assert!(len < 1024, "reserved tail not trimmed: {len} bytes");
+        let rd = Reader::open(&path).unwrap();
+        assert_eq!(rd.read_all_f32("a").unwrap(), vec![1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn dataset_payload_bytes_matches_writer() {
+        let mut ds = Dataset::new();
+        ds.add_dimension("x", 3).unwrap();
+        ds.add_variable_f32("a", &["x"], vec![1.0, 2.0, 3.0]).unwrap();
+        ds.add_variable_f64("b", &["x"], vec![1.0, 2.0, 3.0]).unwrap();
+        ds.add_variable_u8("m", &["x"], vec![0, 1, 0]).unwrap();
+        assert_eq!(ds.payload_bytes(), 12 + 24 + 3);
+        let path = tmp("payload-bytes.ncx");
+        ds.write_to_path(&path).unwrap();
+        let rd = Reader::open(&path).unwrap();
+        assert_eq!(rd.read_all_f64("b").unwrap(), vec![1.0, 2.0, 3.0]);
     }
 
     #[test]

@@ -355,10 +355,9 @@ mod tests {
     fn recv_timeout_sees_cross_thread_emit() {
         let bus = Bus::new();
         let rx = bus.subscribe();
-        let tx = bus.clone();
         let h = std::thread::spawn(move || {
             std::thread::sleep(Duration::from_millis(20));
-            tx.emit(ready(42));
+            bus.emit(ready(42));
         });
         let got = rx.recv_timeout(Duration::from_secs(5)).expect("event should arrive");
         assert_eq!(got.kind, ready(42));

@@ -72,18 +72,19 @@ fn main() {
             let (tmax, _) = esm::model::expected_daily_extremes(&base, d, warming);
             baseline_days.push(tmax);
         }
-        let mut bdata = vec![0.0f32; grid.len() * days];
-        for (d, f) in baseline_days.iter().enumerate() {
-            for idx in 0..f.data.len() {
-                bdata[idx * days + d] = f.data[idx];
+        let bdata = datacube::model::SharedData::from_fn(grid.len() * days, |bdata| {
+            for (d, f) in baseline_days.iter().enumerate() {
+                for idx in 0..f.data.len() {
+                    bdata[idx * days + d] = f.data[idx];
+                }
             }
-        }
-        let baseline = Cube::from_dense(
+        });
+        let baseline = Cube::from_shared(
             "tasmax",
             vec![
                 Dimension::explicit("lat", grid.lats()),
                 Dimension::explicit("lon", grid.lons()),
-                Dimension::implicit("day", (0..days).map(|d| d as f64).collect()),
+                Dimension::implicit("day", (0..days).map(|d| d as f64).collect::<Vec<_>>()),
             ],
             bdata,
             8,

@@ -1,0 +1,68 @@
+#!/usr/bin/env bash
+# Records the perf trajectory: runs the c2_baseline_reuse,
+# c4_fragment_scaling and d1_esm_output benches (with the counting
+# allocator compiled in) and writes a BENCH_<date>[-label].json summary at
+# the repo root.
+#
+# Usage: scripts/bench_record.sh [label]
+#   label  optional suffix for the output file, e.g. `pre` / `post` when
+#          bracketing a change recorded on the same day.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+label="${1:-}"
+out="BENCH_$(date +%F)${label:+-$label}.json"
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+benches=(c2_baseline_reuse c4_fragment_scaling d1_esm_output)
+for b in "${benches[@]}"; do
+  echo "[bench_record] running $b ..."
+  cargo bench -p bench --features count-alloc --bench "$b" >"$tmp/$b.out" 2>"$tmp/$b.err" \
+    || { cat "$tmp/$b.err" >&2; exit 1; }
+done
+
+python3 - "$out" "$tmp" "${benches[@]}" <<'PY'
+import json, re, sys
+from datetime import date
+
+out_path, tmp = sys.argv[1], sys.argv[2]
+benches = sys.argv[3:]
+
+# Criterion-shim report line: `label  [min mean max] (N samples)`.
+TIME = re.compile(
+    r"^(?P<name>\S+)\s+\[(?P<min>[\d.]+) (?P<minu>ns|us|ms|s) "
+    r"(?P<mean>[\d.]+) (?P<meanu>ns|us|ms|s) "
+    r"(?P<max>[\d.]+) (?P<maxu>ns|us|ms|s)\]\s+\((?P<n>\d+) samples\)"
+)
+ALLOC = re.compile(r"^\[c4-alloc\] stage=(?P<stage>\S+) allocs=(?P<allocs>\d+) bytes=(?P<bytes>\d+)")
+NS = {"ns": 1, "us": 1e3, "ms": 1e6, "s": 1e9}
+
+record = {"date": date.today().isoformat(), "benches": {}, "alloc": {}}
+for b in benches:
+    with open(f"{tmp}/{b}.out") as f:
+        for line in f:
+            m = TIME.match(line.strip())
+            if m:
+                record["benches"][m["name"]] = {
+                    "min_ns": round(float(m["min"]) * NS[m["minu"]]),
+                    "mean_ns": round(float(m["mean"]) * NS[m["meanu"]]),
+                    "max_ns": round(float(m["max"]) * NS[m["maxu"]]),
+                    "samples": int(m["n"]),
+                }
+                continue
+            m = ALLOC.match(line.strip())
+            if m:
+                record["alloc"][m["stage"]] = {
+                    "allocs": int(m["allocs"]),
+                    "bytes": int(m["bytes"]),
+                }
+
+if not record["benches"]:
+    sys.exit("bench_record: no benchmark lines parsed")
+with open(out_path, "w") as f:
+    json.dump(record, f, indent=2, sort_keys=True)
+    f.write("\n")
+print(f"[bench_record] wrote {out_path}: "
+      f"{len(record['benches'])} benches, {len(record['alloc'])} alloc stages")
+PY

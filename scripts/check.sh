@@ -8,7 +8,8 @@ echo "== cargo fmt --check =="
 cargo fmt --all --check
 
 echo "== cargo clippy (workspace, warnings are errors) =="
-cargo clippy --workspace --all-targets -- -D warnings
+cargo clippy --workspace --all-targets -- -D warnings \
+    -W clippy::redundant_clone -W clippy::needless_collect
 
 echo "== cargo test (workspace) =="
 cargo test --workspace -q

@@ -99,7 +99,10 @@ fn strong_heatwave_is_localized_in_the_index_map() {
             vec![
                 datacube::model::Dimension::explicit("lat", g.lats()),
                 datacube::model::Dimension::explicit("lon", g.lons()),
-                datacube::model::Dimension::implicit("day", (0..nday).map(|d| d as f64).collect()),
+                datacube::model::Dimension::implicit(
+                    "day",
+                    (0..nday).map(|d| d as f64).collect::<Vec<_>>(),
+                ),
             ],
             data,
             4,
