@@ -26,10 +26,11 @@
 //! into the shared datacube store for in-memory analytics handoff (the
 //! paper's "data could be kept in memory ... as the workflow progresses").
 
+use crate::error::{WorkflowError, WorkflowStage};
 use crate::params::WorkflowParams;
 use crate::reporting::{RunReport, YearReport};
 use datacube::ops::ReduceOp;
-use datacube::{Client, CubeHandle, CubeId};
+use datacube::{Client, CubeCache, CubeHandle, CubeId};
 use dataflow::prelude::*;
 use dataflow::stream::{DirWatcher, YearlyRule};
 use dataflow::Error;
@@ -161,22 +162,27 @@ impl CaseStudy {
     /// Prepares the workflow: output directories, datacube client, the
     /// pre-trained CNN (loaded from `model_path` or trained on synthetic
     /// patches and cached), the ESM simulation and the dataflow runtime.
-    pub fn new(params: WorkflowParams) -> Result<Self, String> {
-        std::fs::create_dir_all(params.esm_dir()).map_err(|e| e.to_string())?;
-        std::fs::create_dir_all(params.products_dir()).map_err(|e| e.to_string())?;
+    pub fn new(params: WorkflowParams) -> Result<Self, WorkflowError> {
+        let esm_dir = params.esm_dir();
+        let products_dir = params.products_dir();
+        std::fs::create_dir_all(&esm_dir)
+            .map_err(WorkflowError::io(WorkflowStage::Setup, &esm_dir))?;
+        std::fs::create_dir_all(&products_dir)
+            .map_err(WorkflowError::io(WorkflowStage::Setup, &products_dir))?;
 
         let model_file =
             params.model_path.clone().unwrap_or_else(|| params.out_dir.join("tc_cnn.tml"));
         let cnn = if model_file.exists() {
-            TcCnn::load(params.patch, &model_file).map_err(|e| e.to_string())?
+            TcCnn::load(params.patch, &model_file)
+                .map_err(|e| WorkflowError::Model { message: e.to_string() })?
         } else {
             let m = pretrain_cnn(&params);
-            m.save(&model_file).map_err(|e| e.to_string())?;
+            m.save(&model_file).map_err(|e| WorkflowError::Model { message: e.to_string() })?;
             m
         };
 
-        let sim =
-            Simulation::new(params.esm_config(), &params.esm_dir()).map_err(|e| e.to_string())?;
+        let sim = Simulation::new(params.esm_config(), &params.esm_dir())
+            .map_err(|e| WorkflowError::Simulation { message: e.to_string() })?;
 
         let mut config =
             RuntimeConfig::with_cpu_workers(params.workers.max(2)).with_seed(params.seed);
@@ -269,20 +275,40 @@ impl CaseStudy {
             // projection years carry their climate-change signal in the
             // anomalies (as the paper's future-vs-historical setup does).
             let ref_warming = esm::Scenario::Historical.warming_k(2014);
-            let mut tmax_days = Vec::with_capacity(cfg.days_per_year);
-            let mut tmin_days = Vec::with_capacity(cfg.days_per_year);
-            for day in 0..cfg.days_per_year {
-                let (tmax, tmin) = esm::model::expected_daily_extremes(&cfg, day, ref_warming);
-                tmax_days.push(tmax);
-                tmin_days.push(tmin);
-            }
-            let to_cube = |days: &[Field2], name: &str| {
-                fields_to_year_cube(days, name, &params).map_err(|e| e.to_string())
+            // The climatology is a pure function of the grid, year length
+            // and fragmentation (`expected_daily_extremes` has no RNG and
+            // the reference warming is pinned), so concurrent tenants with
+            // overlapping configurations share one copy — and one build —
+            // through the process-wide cube cache.
+            let key_of = |measure: &str| {
+                format!(
+                    "baseline:{measure}:{}x{}:{}d:f{}:s{}",
+                    params.grid.nlat,
+                    params.grid.nlon,
+                    params.days_per_year,
+                    params.nfrag,
+                    params.io_servers
+                )
             };
-            let tmax = to_cube(&tmax_days, "tasmax_baseline")?;
-            let tmin = to_cube(&tmin_days, "tasmin_baseline")?;
-            let h1 = client.adopt(tmax);
-            let h2 = client.adopt(tmin);
+            let build = |pick_max: bool, name: &str| {
+                let mut days = Vec::with_capacity(cfg.days_per_year);
+                for day in 0..cfg.days_per_year {
+                    let (tmax, tmin) = esm::model::expected_daily_extremes(&cfg, day, ref_warming);
+                    days.push(if pick_max { tmax } else { tmin });
+                }
+                fields_to_year_cube(&days, name, &params)
+            };
+            let cache = CubeCache::global();
+            let tmax = cache
+                .get_or_load(&key_of("tasmax"), || build(true, "tasmax_baseline"))
+                .map_err(|e| e.to_string())?;
+            let tmin = cache
+                .get_or_load(&key_of("tasmin"), || build(false, "tasmin_baseline"))
+                .map_err(|e| e.to_string())?;
+            // Shallow clones: fragments share their payload buffers, so
+            // adopting into this run's store copies no data.
+            let h1 = client.adopt((*tmax).clone());
+            let h2 = client.adopt((*tmin).clone());
             Ok(vec![WfData::CubeRef(h1.id().0), WfData::CubeRef(h2.id().0)])
         })
     }
@@ -621,36 +647,48 @@ impl CaseStudy {
 
     /// Runs the full pipelined workflow: simulation years chained, per-year
     /// analysis submitted as years stream in, everything concurrent.
-    pub fn run(&self) -> Result<RunReport, String> {
+    pub fn run(&self) -> Result<RunReport, WorkflowError> {
         let start = Instant::now();
-        let baseline = self.submit_load_baseline().map_err(|e| e.to_string())?;
-        let model = self.submit_load_model().map_err(|e| e.to_string())?;
+        let baseline = self
+            .submit_load_baseline()
+            .map_err(WorkflowError::dataflow(WorkflowStage::Baseline))?;
+        let model =
+            self.submit_load_model().map_err(WorkflowError::dataflow(WorkflowStage::ModelLoad))?;
 
         // Chain the simulation years (#1 runs iteratively).
         let mut prev: Option<DataRef> = None;
         for y in 0..self.params.years {
-            let h = self.submit_esm_year(y, prev.as_ref()).map_err(|e| e.to_string())?;
+            let h = self
+                .submit_esm_year(y, prev.as_ref())
+                .map_err(WorkflowError::dataflow(WorkflowStage::Simulation))?;
             prev = Some(h.outputs[0].clone());
         }
 
         // Master streaming loop: submit per-year analysis as years complete.
+        let esm_dir = self.params.esm_dir();
         let mut watcher = DirWatcher::new(
-            self.params.esm_dir(),
+            esm_dir.clone(),
             YearlyRule { prefix: "esm".into(), days_per_year: self.params.days_per_year },
         );
         let mut year_refs = Vec::new();
-        let deadline = Instant::now() + Duration::from_secs(3600);
+        const WAIT_SECS: u64 = 3600;
+        let deadline = Instant::now() + Duration::from_secs(WAIT_SECS);
         while year_refs.len() < self.params.years {
             if Instant::now() > deadline {
-                return Err("timed out waiting for simulation output".into());
+                return Err(WorkflowError::Timeout {
+                    stage: WorkflowStage::Streaming,
+                    waited_secs: WAIT_SECS,
+                });
             }
             // A fail-fast abort (e.g. an injected fault exhausting its
             // retries) means the files this loop is waiting for will never
             // land; surface the abort instead of spinning to the deadline.
             if let Some(err) = self.rt.aborted() {
-                return Err(err.to_string());
+                return Err(WorkflowError::Aborted { source: err });
             }
-            for group in watcher.poll().map_err(|e| e.to_string())? {
+            for group in
+                watcher.poll().map_err(WorkflowError::io(WorkflowStage::Streaming, &esm_dir))?
+            {
                 let refs = self
                     .submit_year_analysis(
                         &group.key,
@@ -659,13 +697,13 @@ impl CaseStudy {
                         &baseline.outputs[1],
                         &model.outputs[0],
                     )
-                    .map_err(|e| e.to_string())?;
+                    .map_err(WorkflowError::dataflow(WorkflowStage::Analysis))?;
                 year_refs.push(refs);
             }
             std::thread::sleep(Duration::from_millis(5));
         }
 
-        self.rt.barrier().map_err(|e| e.to_string())?;
+        self.rt.barrier().map_err(WorkflowError::dataflow(WorkflowStage::Barrier))?;
         self.collect_report(start.elapsed(), &year_refs)
     }
 
@@ -675,11 +713,14 @@ impl CaseStudy {
         &self,
         wall: Duration,
         year_refs: &[YearTaskRefs],
-    ) -> Result<RunReport, String> {
+    ) -> Result<RunReport, WorkflowError> {
         let truth = self.truth();
         let mut years = Vec::new();
         for refs in year_refs {
-            let year: i32 = refs.year_key.parse().map_err(|_| "bad year key")?;
+            let year: i32 = refs.year_key.parse().map_err(|_| WorkflowError::Malformed {
+                stage: WorkflowStage::Report,
+                message: format!("bad year key '{}'", refs.year_key),
+            })?;
             // A failed/cancelled analysis subtree (per-task failure
             // management, Section 4.2.1) leaves the year marked failed in
             // the report while the rest of the campaign stands.
@@ -702,17 +743,23 @@ impl CaseStudy {
                 });
                 continue;
             }
-            let fetch = |r: &DataRef| self.rt.fetch(r).map_err(|e| e.to_string());
+            let fetch = |r: &DataRef| {
+                self.rt.fetch(r).map_err(WorkflowError::dataflow(WorkflowStage::Report))
+            };
+            let not_a_cube = |what: &str| WorkflowError::Malformed {
+                stage: WorkflowStage::Report,
+                message: format!("{what} output is not a cube reference"),
+            };
             let hwn_cube = self
                 .client
-                .open(fetch(&refs.hwn)?.cube_id().ok_or("hwn not a cube")?)
+                .open(fetch(&refs.hwn)?.cube_id().ok_or_else(|| not_a_cube("hwn"))?)
                 .and_then(|h| h.cube())
-                .map_err(|e| e.to_string())?;
+                .map_err(WorkflowError::cube(WorkflowStage::Report))?;
             let cwn_cube = self
                 .client
-                .open(fetch(&refs.cwn)?.cube_id().ok_or("cwn not a cube")?)
+                .open(fetch(&refs.cwn)?.cube_id().ok_or_else(|| not_a_cube("cwn"))?)
                 .and_then(|h| h.cube())
-                .map_err(|e| e.to_string())?;
+                .map_err(WorkflowError::cube(WorkflowStage::Report))?;
             let hw_cells = hwn_cube.to_dense().iter().filter(|v| **v > 0.0).count();
             let cw_cells = cwn_cube.to_dense().iter().filter(|v| **v > 0.0).count();
 
@@ -762,13 +809,14 @@ impl CaseStudy {
         let (tasks, edges, critical_path) = self.rt.graph_stats();
         let dot = self.rt.graph_dot();
         let dot_path = self.params.out_dir.join("taskgraph.dot");
-        std::fs::write(&dot_path, &dot).map_err(|e| e.to_string())?;
+        std::fs::write(&dot_path, &dot)
+            .map_err(WorkflowError::io(WorkflowStage::Report, &dot_path))?;
 
         // Provenance export (Section 2's provenance capability): the full
         // used/wasGeneratedBy record of the run, in PROV-style text.
         let prov_path = self.params.out_dir.join("provenance.prov.txt");
         std::fs::write(&prov_path, self.rt.provenance().to_prov_text())
-            .map_err(|e| e.to_string())?;
+            .map_err(WorkflowError::io(WorkflowStage::Report, &prov_path))?;
 
         Ok(RunReport {
             wall_time: wall,

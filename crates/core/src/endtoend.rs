@@ -14,6 +14,7 @@
 //! touching any of the infrastructure (Section 6).
 
 use crate::casestudy::CaseStudy;
+use crate::error::{WorkflowError, WorkflowStage};
 use crate::params::WorkflowParams;
 use crate::reporting::RunReport;
 use hpcwaas::tosca::climate_case_study;
@@ -21,7 +22,7 @@ use hpcwaas::ExecutionApi;
 use std::time::Instant;
 
 /// Runs the pipelined (paper) configuration.
-pub fn run_pipelined(params: WorkflowParams) -> Result<RunReport, String> {
+pub fn run_pipelined(params: WorkflowParams) -> Result<RunReport, WorkflowError> {
     let cs = CaseStudy::new(params)?;
     let report = cs.run();
     cs.rt.shutdown();
@@ -31,7 +32,7 @@ pub fn run_pipelined(params: WorkflowParams) -> Result<RunReport, String> {
 /// Runs the sequential baseline: the ESM completes all years first, then
 /// the per-year analyses are submitted. Same tasks, no overlap with the
 /// simulation.
-pub fn run_sequential(params: WorkflowParams) -> Result<RunReport, String> {
+pub fn run_sequential(params: WorkflowParams) -> Result<RunReport, WorkflowError> {
     let cs = CaseStudy::new(params)?;
     let report = cs.run_sequential();
     cs.rt.shutdown();
@@ -40,27 +41,35 @@ pub fn run_sequential(params: WorkflowParams) -> Result<RunReport, String> {
 
 impl CaseStudy {
     /// Sequential driver used by [`run_sequential`] and bench C1.
-    pub fn run_sequential(&self) -> Result<RunReport, String> {
+    pub fn run_sequential(&self) -> Result<RunReport, WorkflowError> {
         use dataflow::stream::{DirWatcher, YearlyRule};
         let start = Instant::now();
-        let baseline = self.submit_load_baseline().map_err(|e| e.to_string())?;
-        let model = self.submit_load_model().map_err(|e| e.to_string())?;
+        let baseline = self
+            .submit_load_baseline()
+            .map_err(WorkflowError::dataflow(WorkflowStage::Baseline))?;
+        let model =
+            self.submit_load_model().map_err(WorkflowError::dataflow(WorkflowStage::ModelLoad))?;
 
         // Phase 1: the whole simulation, to completion.
         let mut prev = None;
         for y in 0..self.params.years {
-            let h = self.submit_esm_year(y, prev.as_ref()).map_err(|e| e.to_string())?;
+            let h = self
+                .submit_esm_year(y, prev.as_ref())
+                .map_err(WorkflowError::dataflow(WorkflowStage::Simulation))?;
             prev = Some(h.outputs[0].clone());
         }
-        self.rt.barrier().map_err(|e| e.to_string())?;
+        self.rt.barrier().map_err(WorkflowError::dataflow(WorkflowStage::Barrier))?;
 
         // Phase 2: all analyses (the "second stage").
+        let esm_dir = self.params.esm_dir();
         let mut watcher = DirWatcher::new(
-            self.params.esm_dir(),
+            esm_dir.clone(),
             YearlyRule { prefix: "esm".into(), days_per_year: self.params.days_per_year },
         );
         let mut year_refs = Vec::new();
-        for group in watcher.poll().map_err(|e| e.to_string())? {
+        for group in
+            watcher.poll().map_err(WorkflowError::io(WorkflowStage::Streaming, &esm_dir))?
+        {
             let refs = self
                 .submit_year_analysis(
                     &group.key,
@@ -69,10 +78,10 @@ impl CaseStudy {
                     &baseline.outputs[1],
                     &model.outputs[0],
                 )
-                .map_err(|e| e.to_string())?;
+                .map_err(WorkflowError::dataflow(WorkflowStage::Analysis))?;
             year_refs.push(refs);
         }
-        self.rt.barrier().map_err(|e| e.to_string())?;
+        self.rt.barrier().map_err(WorkflowError::dataflow(WorkflowStage::Barrier))?;
         self.collect_report(start.elapsed(), &year_refs)
     }
 }

@@ -25,14 +25,21 @@
 //!   matching the paper's Figure 3 coloring) and the pipelined driver;
 //! * [`endtoend`] — sequential vs pipelined whole-workflow drivers
 //!   (experiment C1) and the HPCWaaS-registered entrypoint;
-//! * [`reporting`] — run reports (what the scientist gets back).
+//! * [`reporting`] — run reports (what the scientist gets back);
+//! * [`error`] — typed workflow-outcome errors naming the failing stage;
+//! * [`servebench`] — the multi-tenant serving benchmark (open-loop
+//!   arrival sweeps against the HPCWaaS admission/fair-share scheduler).
 
 pub mod casestudy;
 pub mod endtoend;
+pub mod error;
 pub mod params;
 pub mod reporting;
+pub mod servebench;
 
 pub use casestudy::{pretrain_cnn, CaseStudy, WfData};
 pub use endtoend::{register_with_hpcwaas, run_pipelined, run_sequential};
+pub use error::{WorkflowError, WorkflowStage};
 pub use params::{ParamsBuilder, WorkflowParams};
 pub use reporting::{RunReport, YearReport};
+pub use servebench::{ServeBenchConfig, ServeBenchReport};

@@ -24,6 +24,9 @@ pub enum Error {
     SeriesLength { expected: usize, actual: usize },
     /// Import found no usable variable/shape.
     BadImport(String),
+    /// A shared-cache load failed; waiters that joined the in-flight
+    /// load receive the loader's error message under the cache key.
+    CacheLoad { key: String, message: String },
 }
 
 impl fmt::Display for Error {
@@ -44,6 +47,9 @@ impl fmt::Display for Error {
                 write!(f, "series transform returned {actual} values, expected {expected}")
             }
             Error::BadImport(m) => write!(f, "import error: {m}"),
+            Error::CacheLoad { key, message } => {
+                write!(f, "cache load for '{key}' failed: {message}")
+            }
         }
     }
 }

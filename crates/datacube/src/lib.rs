@@ -23,6 +23,7 @@
 //!   with an operator audit trail, mirroring how Listing 1 of the paper
 //!   drives Ophidia from workflow tasks.
 
+pub mod cache;
 pub mod error;
 pub mod exec;
 pub mod expr;
@@ -31,6 +32,7 @@ pub mod ops;
 pub mod server;
 pub mod store;
 
+pub use cache::{CacheStats, CubeCache};
 pub use error::{Error, Result};
 pub use exec::ExecConfig;
 pub use expr::Expr;

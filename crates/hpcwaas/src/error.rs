@@ -19,6 +19,9 @@ pub enum Error {
     UnsatisfiableJob(String),
     /// Workflow body failed during execution.
     ExecutionFailed(String),
+    /// Admission control refused the submission (quota, rate limit, or
+    /// queue bound); the typed reason says which gate and why.
+    Rejected(crate::serve::Rejection),
 }
 
 impl fmt::Display for Error {
@@ -35,6 +38,7 @@ impl fmt::Display for Error {
             }
             Error::UnsatisfiableJob(m) => write!(f, "unsatisfiable job: {m}"),
             Error::ExecutionFailed(m) => write!(f, "execution failed: {m}"),
+            Error::Rejected(r) => write!(f, "admission rejected: {r}"),
         }
     }
 }

@@ -20,7 +20,11 @@
 //! * [`cluster`] — a simulated HPC cluster with an LSF-like FCFS+backfill
 //!   queue, which gives deployments and jobs something real to land on;
 //! * [`api`] — the HPCWaaS Execution API: a workflow registry plus the
-//!   deploy / run / status / undeploy lifecycle the end user sees.
+//!   deploy / submit / status / undeploy lifecycle the end user sees;
+//! * [`serve`] — the multi-tenant serving layer underneath the API:
+//!   per-tenant admission control (in-flight quotas, token-bucket rates),
+//!   weighted fair-share dispatch onto a bounded executor pool, and
+//!   typed rejections instead of unbounded thread spawns.
 
 pub mod api;
 pub mod cluster;
@@ -29,13 +33,15 @@ pub mod dls;
 pub mod error;
 pub mod federation;
 pub mod orchestrator;
+pub mod serve;
 pub mod tosca;
 
-pub use api::{ExecutionApi, ExecutionHandle, ExecutionStatus};
+pub use api::{DeploymentId, ExecutionApi, ExecutionHandle, ExecutionId, ExecutionStatus};
 pub use cluster::{Cluster, JobSpec};
 pub use containers::{BuildService, ImageSpec};
 pub use dls::{DataLogistics, Endpoint, PipelineSpec};
 pub use error::{Error, Result};
 pub use federation::{Federation, Placement, SiteKind, TaskClass, Workload};
 pub use orchestrator::{DeploymentPlan, Orchestrator};
+pub use serve::{Rejection, ServeConfig, ServeStats, TenantQuota, DEFAULT_TENANT};
 pub use tosca::Topology;

@@ -39,8 +39,8 @@ fn many_users_deploy_and_run_concurrently() {
     }
     let deps: Vec<_> = joins.into_iter().map(|j| j.join().unwrap()).collect();
     assert_eq!(executions.load(Ordering::SeqCst), 8);
-    // Deployment ids are distinct.
-    let mut ids: Vec<_> = deps.iter().map(|d| d.0).collect();
+    // Deployment ids are distinct (opaque ids: compare Display names).
+    let mut ids: Vec<_> = deps.iter().map(|d| d.to_string()).collect();
     ids.sort_unstable();
     ids.dedup();
     assert_eq!(ids.len(), 8);

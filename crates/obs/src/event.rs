@@ -90,6 +90,15 @@ pub enum EventKind {
     ExecutionStarted { execution: u64, workflow: Arc<str> },
     /// An Execution-API run reached a terminal status.
     ExecutionFinished { execution: u64, workflow: Arc<str>, ok: bool, micros: u64 },
+    /// A submission passed admission control and entered the fair-share
+    /// queue (serve layer; `execution` is the primary ledger sequence).
+    ExecutionQueued { execution: u64, workflow: Arc<str>, tenant: Arc<str> },
+    /// A submission was refused by admission control. `reason` is one of
+    /// `quota`, `rate`, `queue_full`.
+    ExecutionRejected { workflow: Arc<str>, tenant: Arc<str>, reason: &'static str },
+    /// An identical in-flight request was joined instead of re-executed;
+    /// `execution` names the primary execution the waiter attached to.
+    ExecutionCoalesced { execution: u64, workflow: Arc<str>, tenant: Arc<str> },
 
     // --- generic ------------------------------------------------------
     /// A named code span completed (see [`crate::span`]).
@@ -130,6 +139,9 @@ impl EventKind {
             EventKind::ImageBuilt { .. } => "image_built",
             EventKind::ExecutionStarted { .. } => "execution_started",
             EventKind::ExecutionFinished { .. } => "execution_finished",
+            EventKind::ExecutionQueued { .. } => "execution_queued",
+            EventKind::ExecutionRejected { .. } => "execution_rejected",
+            EventKind::ExecutionCoalesced { .. } => "execution_coalesced",
             EventKind::SpanCompleted { .. } => "span_completed",
             EventKind::SpanStarted { .. } => "span_started",
             EventKind::SpanEnded { .. } => "span_ended",

@@ -148,6 +148,21 @@ impl Event {
                 let _ = write!(s, ",\"ok\":{ok}");
                 field_u(&mut s, "dur_us", *micros);
             }
+            EventKind::ExecutionQueued { execution, workflow, tenant } => {
+                field_u(&mut s, "execution", *execution);
+                field_s(&mut s, "workflow", workflow);
+                field_s(&mut s, "tenant", tenant);
+            }
+            EventKind::ExecutionRejected { workflow, tenant, reason } => {
+                field_s(&mut s, "workflow", workflow);
+                field_s(&mut s, "tenant", tenant);
+                field_s(&mut s, "reason", reason);
+            }
+            EventKind::ExecutionCoalesced { execution, workflow, tenant } => {
+                field_u(&mut s, "execution", *execution);
+                field_s(&mut s, "workflow", workflow);
+                field_s(&mut s, "tenant", tenant);
+            }
             EventKind::SpanCompleted { name, micros } => {
                 field_s(&mut s, "name", name);
                 field_u(&mut s, "dur_us", *micros);
@@ -310,6 +325,13 @@ fn slice_name(kind: &EventKind) -> String {
         EventKind::ImageBuilt { image, .. } => format!("image {image}"),
         EventKind::ExecutionStarted { workflow, .. } => format!("exec {workflow}"),
         EventKind::ExecutionFinished { workflow, .. } => format!("exec {workflow}"),
+        EventKind::ExecutionQueued { workflow, tenant, .. } => format!("queue {workflow}@{tenant}"),
+        EventKind::ExecutionRejected { tenant, reason, .. } => {
+            format!("reject {tenant} ({reason})")
+        }
+        EventKind::ExecutionCoalesced { workflow, tenant, .. } => {
+            format!("coalesce {workflow}@{tenant}")
+        }
         EventKind::SpanCompleted { name, .. } => (*name).to_string(),
         EventKind::SpanStarted { name, .. } | EventKind::SpanEnded { name, .. } => name.to_string(),
     }
@@ -365,7 +387,11 @@ fn kind_args(kind: &EventKind) -> String {
         EventKind::ImageBuilt { built, cache_hits, .. } => {
             format!("{{\"built\":{built},\"cache_hits\":{cache_hits}}}")
         }
-        EventKind::ExecutionStarted { execution, .. } => format!("{{\"execution\":{execution}}}"),
+        EventKind::ExecutionStarted { execution, .. }
+        | EventKind::ExecutionQueued { execution, .. }
+        | EventKind::ExecutionCoalesced { execution, .. } => {
+            format!("{{\"execution\":{execution}}}")
+        }
         EventKind::ExecutionFinished { execution, ok, .. } => {
             format!("{{\"execution\":{execution},\"ok\":{ok}}}")
         }

@@ -1,8 +1,8 @@
 #!/usr/bin/env bash
 # Records the perf trajectory: runs the c2_baseline_reuse,
-# c4_fragment_scaling and d1_esm_output benches (with the counting
-# allocator compiled in) and writes a BENCH_<date>[-label].json summary at
-# the repo root.
+# c4_fragment_scaling, d1_esm_output and s1_serve_sweep benches (with the
+# counting allocator compiled in) and writes a BENCH_<date>[-label].json
+# summary at the repo root.
 #
 # Usage: scripts/bench_record.sh [label]
 #   label  optional suffix for the output file, e.g. `pre` / `post` when
@@ -15,7 +15,7 @@ out="BENCH_$(date +%F)${label:+-$label}.json"
 tmp="$(mktemp -d)"
 trap 'rm -rf "$tmp"' EXIT
 
-benches=(c2_baseline_reuse c4_fragment_scaling d1_esm_output)
+benches=(c2_baseline_reuse c4_fragment_scaling d1_esm_output s1_serve_sweep)
 for b in "${benches[@]}"; do
   echo "[bench_record] running $b ..."
   cargo bench -p bench --features count-alloc --bench "$b" >"$tmp/$b.out" 2>"$tmp/$b.err" \
@@ -36,9 +36,11 @@ TIME = re.compile(
     r"(?P<max>[\d.]+) (?P<maxu>ns|us|ms|s)\]\s+\((?P<n>\d+) samples\)"
 )
 ALLOC = re.compile(r"^\[c4-alloc\] stage=(?P<stage>\S+) allocs=(?P<allocs>\d+) bytes=(?P<bytes>\d+)")
+# Serving-sweep metric line: `[serve] stage=sweep key=value ...`.
+SERVE = re.compile(r"^\[serve\] stage=(?P<stage>\S+) (?P<kv>.+)$")
 NS = {"ns": 1, "us": 1e3, "ms": 1e6, "s": 1e9}
 
-record = {"date": date.today().isoformat(), "benches": {}, "alloc": {}}
+record = {"date": date.today().isoformat(), "benches": {}, "alloc": {}, "serve": []}
 for b in benches:
     with open(f"{tmp}/{b}.out") as f:
         for line in f:
@@ -57,6 +59,17 @@ for b in benches:
                     "allocs": int(m["allocs"]),
                     "bytes": int(m["bytes"]),
                 }
+                continue
+            m = SERVE.match(line.strip())
+            if m:
+                point = {"stage": m["stage"]}
+                for kv in m["kv"].split():
+                    k, _, v = kv.partition("=")
+                    try:
+                        point[k] = int(v) if v.lstrip("-").isdigit() else float(v)
+                    except ValueError:
+                        point[k] = v
+                record["serve"].append(point)
 
 if not record["benches"]:
     sys.exit("bench_record: no benchmark lines parsed")
@@ -64,5 +77,6 @@ with open(out_path, "w") as f:
     json.dump(record, f, indent=2, sort_keys=True)
     f.write("\n")
 print(f"[bench_record] wrote {out_path}: "
-      f"{len(record['benches'])} benches, {len(record['alloc'])} alloc stages")
+      f"{len(record['benches'])} benches, {len(record['alloc'])} alloc stages, "
+      f"{len(record['serve'])} serve points")
 PY

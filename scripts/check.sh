@@ -50,6 +50,29 @@ assert "flight_dump" in kinds, "missing dump header record"
 print(f"flight dump OK: {len(lines)} JSONL records, {len(kinds)} event kinds")
 EOF
 
+echo "== serve-bench smoke: multi-tenant admission + shared cube cache =="
+cargo run -q -p climate-workflows --bin climate-wf -- serve-bench \
+    --tenants 4 --rates 300 --duration-ms 200 --seed 7 --workers 2 \
+    --out "$smoke/serve.json"
+python3 - "$smoke/serve.json" <<'EOF'
+import json, sys
+report = json.load(open(sys.argv[1]))
+assert report["tenants"] >= 4, report
+points = report["points"]
+assert points, "serve report has no sweep points"
+required = {"rate_hz", "offered", "admitted", "coalesced", "rejected",
+            "completed", "failed", "p50_us", "p99_us", "goodput_hz",
+            "rejection_rate", "cache_hit_rate"}
+for p in points:
+    missing = required - p.keys()
+    assert not missing, f"serve point missing {missing}: {p}"
+    assert p["goodput_hz"] > 0, f"zero goodput: {p}"
+    assert p["offered"] == p["admitted"] + p["coalesced"] + p["rejected"], p
+print(f"serve-bench OK: {len(points)} point(s), "
+      f"goodput {points[0]['goodput_hz']:.1f}/s, "
+      f"cache hit rate {points[0]['cache_hit_rate']:.2f}")
+EOF
+
 echo "== obs overhead budget (inactive-bus emit) =="
 OBS_OVERHEAD_BUDGET_NS="${OBS_OVERHEAD_BUDGET_NS:-25}" \
     cargo bench -p bench --bench obs_overhead -- --test

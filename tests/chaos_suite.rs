@@ -232,7 +232,7 @@ fn chaos_kill_mid_run_resume_is_byte_identical() {
                 .then_some((Fault::Error, 1))
         }));
         let err = run_pipelined(params).expect_err("year-2 fault must kill the run");
-        assert!(err.contains("chaos"), "unexpected failure: {err}");
+        assert!(err.to_string().contains("chaos"), "unexpected failure: {err}");
     }
 
     // Resume: disarmed, same checkpoint; watch the trace for ResumedFrom.
