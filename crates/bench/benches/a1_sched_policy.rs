@@ -1,31 +1,43 @@
-//! A1 (ablation) — scheduler policy: FIFO vs data-locality placement.
+//! A1 (ablation) — the scheduler portfolio head-to-head.
 //!
 //! Section 3 argues an integrated WMS "can allow for better optimization
-//! in terms of data movement and access". The runtime's locality policy
-//! (with bounded delay scheduling) is compared against FIFO on a
-//! producer→consumer workload with 1 MB intermediates and a simulated
-//! network cost per remote byte. Expect locality to cut both moved bytes
-//! (reported once to stderr) and makespan.
+//! in terms of data movement and access". The four policies (FIFO,
+//! data-locality, HEFT upward-rank, one-step lookahead) run the same
+//! three DAG shapes and are compared on makespan and bytes moved:
+//!
+//! * `chain`    — 8 independent producer→transform→transform→transform
+//!   chains with 1 MB intermediates. Locality should keep each chain on
+//!   the worker that holds its data (moved bytes ≈ 0).
+//! * `fanout`   — one 1 MB producer feeding 16 independent consumers.
+//!   No policy can avoid movement here; placement barely matters.
+//! * `workflow` — 12 short analysis tasks submitted *before* a deep
+//!   6-deep simulation chain, the shape of the paper's mixed workload.
+//!   FIFO drains the fan-out first and only then starts the chain that
+//!   dominates the critical path; HEFT's upward rank starts the chain
+//!   immediately, overlapping it with the fan-out.
+//!
+//! Per shape × policy a `[a1_sched] shape=… policy=… makespan_ms=…
+//! bytes_moved_mb=…` line goes to stdout for `scripts/bench_record.sh`.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dataflow::prelude::*;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 const BLOB: usize = 1 << 20;
-const CHAINS: usize = 8;
 
-fn run(policy: Policy, transfer_ns_per_byte: u64) -> u64 {
+fn runtime(policy: Policy) -> Runtime<Bytes> {
     let config = RuntimeConfig {
         workers: vec![WorkerProfile::cpu(4); 4],
         policy,
-        checkpoint_path: None,
-        transfer_ns_per_byte,
-        seed: 0,
+        ..RuntimeConfig::with_cpu_workers(1)
     };
-    let rt: Runtime<Bytes> = Runtime::new(config);
-    // Producers make 1 MB blobs; a chain of 3 consumers transforms each.
+    Runtime::new(config)
+}
+
+/// 8 independent 4-stage chains with 1 MB intermediates.
+fn shape_chain(rt: &Runtime<Bytes>) {
     let mut frontier = Vec::new();
-    for k in 0..CHAINS {
+    for k in 0..8 {
         let h = rt
             .task("produce")
             .writes(&[format!("blob{k}").as_str()])
@@ -52,33 +64,107 @@ fn run(policy: Policy, transfer_ns_per_byte: u64) -> u64 {
         }
         frontier = next;
     }
+}
+
+/// One 1 MB producer feeding 16 independent consumers.
+fn shape_fanout(rt: &Runtime<Bytes>) {
+    let src = rt
+        .task("produce")
+        .writes(&["src"])
+        .run(|_| {
+            std::thread::sleep(Duration::from_millis(2));
+            Ok(vec![Bytes(vec![7u8; BLOB])])
+        })
+        .unwrap();
+    for k in 0..16 {
+        rt.task("consume")
+            .reads(&[src.outputs[0].clone()])
+            .writes(&[format!("c{k}").as_str()])
+            .run(|inp| {
+                std::thread::sleep(Duration::from_millis(2));
+                Ok(vec![Bytes::from_u64(inp[0].0.len() as u64)])
+            })
+            .unwrap();
+    }
+}
+
+/// 12 short tasks submitted before a deep 6-task chain: the critical path
+/// is the chain, but submission order hides that from FIFO.
+fn shape_workflow(rt: &Runtime<Bytes>) {
+    for k in 0..12 {
+        rt.task("analysis")
+            .writes(&[format!("a{k}").as_str()])
+            .run(|_| {
+                std::thread::sleep(Duration::from_millis(3));
+                Ok(vec![Bytes::from_u64(1)])
+            })
+            .unwrap();
+    }
+    let mut prev: Option<dataflow::DataRef> = None;
+    for step in 0..6 {
+        let mut t = rt.task("simulate");
+        if let Some(p) = &prev {
+            t = t.reads(std::slice::from_ref(p));
+        }
+        let h = t
+            .writes(&[format!("sim{step}").as_str()])
+            .run(|_| {
+                std::thread::sleep(Duration::from_millis(6));
+                Ok(vec![Bytes::from_u64(0)])
+            })
+            .unwrap();
+        prev = Some(h.outputs[0].clone());
+    }
+}
+
+type ShapeFn = fn(&Runtime<Bytes>);
+
+const SHAPES: [(&str, ShapeFn); 3] =
+    [("chain", shape_chain), ("fanout", shape_fanout), ("workflow", shape_workflow)];
+
+/// Runs one shape under one policy; returns (makespan, bytes moved).
+fn run(policy: Policy, build: ShapeFn) -> (Duration, u64) {
+    let rt = runtime(policy);
+    let start = Instant::now();
+    build(&rt);
     rt.barrier().unwrap();
+    let makespan = start.elapsed();
     let moved = rt.ledger().bytes_moved;
     rt.shutdown();
-    moved
+    (makespan, moved)
 }
 
 fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("a1_sched_policy");
-    g.sample_size(15);
-    // 200 ns/byte ~ 5 MB/ms: a fast-LAN-ish simulated interconnect.
-    for ns in [0u64, 200] {
-        g.bench_with_input(BenchmarkId::new("fifo", ns), &ns, |b, &ns| {
-            b.iter(|| run(Policy::Fifo, ns));
-        });
-        g.bench_with_input(BenchmarkId::new("locality", ns), &ns, |b, &ns| {
-            b.iter(|| run(Policy::Locality, ns));
-        });
+    g.sample_size(10);
+    for (shape, build) in SHAPES {
+        for policy in Policy::ALL {
+            g.bench_with_input(BenchmarkId::new(shape, policy), &policy, |b, &p| {
+                b.iter(|| run(p, build));
+            });
+        }
     }
     g.finish();
 
-    // Report moved bytes once (average of 5 runs, no transfer delay).
-    let avg = |p: Policy| (0..5).map(|_| run(p, 0)).sum::<u64>() / 5;
-    eprintln!(
-        "[a1] bytes moved: fifo {} MB, locality {} MB",
-        avg(Policy::Fifo) >> 20,
-        avg(Policy::Locality) >> 20
-    );
+    // Summary lines for bench_record.sh: median makespan of 5 runs plus
+    // mean moved bytes, per shape x policy.
+    for (shape, build) in SHAPES {
+        for policy in Policy::ALL {
+            let mut spans: Vec<u64> = Vec::new();
+            let mut moved_total = 0u64;
+            for _ in 0..5 {
+                let (span, moved) = run(policy, build);
+                spans.push(span.as_micros() as u64);
+                moved_total += moved;
+            }
+            spans.sort_unstable();
+            println!(
+                "[a1_sched] shape={shape} policy={policy} makespan_ms={:.1} bytes_moved_mb={:.1}",
+                spans[spans.len() / 2] as f64 / 1000.0,
+                moved_total as f64 / 5.0 / (1 << 20) as f64
+            );
+        }
+    }
 }
 
 criterion_group!(benches, bench);

@@ -184,8 +184,9 @@ impl CaseStudy {
         let sim = Simulation::new(params.esm_config(), &params.esm_dir())
             .map_err(|e| WorkflowError::Simulation { message: e.to_string() })?;
 
-        let mut config =
-            RuntimeConfig::with_cpu_workers(params.workers.max(2)).with_seed(params.seed);
+        let mut config = RuntimeConfig::with_cpu_workers(params.workers.max(2))
+            .with_seed(params.seed)
+            .with_policy(params.sched_policy);
         if let Some(ckpt) = &params.checkpoint {
             config = config.with_checkpoint(ckpt);
         }
@@ -829,6 +830,8 @@ impl CaseStudy {
             prov_path,
             metrics: self.rt.metrics(),
             timed: self.rt.timing_report(),
+            policy: self.rt.policy_name(),
+            placements: self.rt.scheduler_decisions(),
         })
     }
 }

@@ -51,6 +51,8 @@ pub struct WorkflowParams {
     pub task_retries: u32,
     /// Base delay of the exponential retry backoff.
     pub retry_base_ms: u64,
+    /// Dataflow scheduling policy (fifo | locality | heft | lookahead).
+    pub sched_policy: dataflow::Policy,
 }
 
 impl WorkflowParams {
@@ -123,6 +125,7 @@ impl WorkflowParams {
             checkpoint: None,
             task_retries: 0,
             retry_base_ms: 20,
+            sched_policy: dataflow::Policy::Fifo,
         }
     }
 
@@ -149,6 +152,7 @@ impl WorkflowParams {
             checkpoint: None,
             task_retries: 0,
             retry_base_ms: 20,
+            sched_policy: dataflow::Policy::Fifo,
         }
     }
 
@@ -157,7 +161,8 @@ impl WorkflowParams {
     /// (`test_small` | `demo` | `NLATxNLON`), `scenario`
     /// (`historical` | `ssp245` | `ssp585`), `seed`, `workers`,
     /// `io_servers`, `nfrag`, `checkpoint`, `task_retries`,
-    /// `retry_base_ms`.
+    /// `retry_base_ms`, `policy` (`fifo` | `locality` | `heft` |
+    /// `lookahead`).
     pub fn apply_inputs(mut self, inputs: &BTreeMap<String, String>) -> Result<Self, String> {
         for (k, v) in inputs {
             match k.as_str() {
@@ -204,6 +209,7 @@ impl WorkflowParams {
                     self.retry_base_ms =
                         v.parse().map_err(|_| format!("bad retry_base_ms '{v}'"))?
                 }
+                "policy" => self.sched_policy = v.parse()?,
                 // Unrecognized inputs are deployment-level concerns
                 // (image names etc.); ignore them.
                 _ => {}
@@ -349,6 +355,12 @@ impl ParamsBuilder {
         self
     }
 
+    /// Dataflow scheduling policy for the run.
+    pub fn sched_policy(mut self, policy: dataflow::Policy) -> Self {
+        self.p.sched_policy = policy;
+        self
+    }
+
     /// Applies HPCWaaS string inputs (same keys as
     /// [`WorkflowParams::apply_inputs`]) on top of the builder state.
     pub fn inputs(mut self, inputs: &BTreeMap<String, String>) -> Result<Self, String> {
@@ -409,6 +421,24 @@ mod tests {
         assert_eq!(p.task_retries, 3);
         assert_eq!(p.retry_base_ms, 10);
         assert!(p.checkpoint.is_some());
+    }
+
+    #[test]
+    fn policy_input_selects_scheduler() {
+        let mut inputs = BTreeMap::new();
+        inputs.insert("policy".to_string(), "lookahead".to_string());
+        let p = base().apply_inputs(&inputs).unwrap();
+        assert_eq!(p.sched_policy, dataflow::Policy::Lookahead);
+
+        let mut inputs = BTreeMap::new();
+        inputs.insert("policy".to_string(), "sjf".to_string());
+        assert!(base().apply_inputs(&inputs).is_err());
+
+        let p = WorkflowParams::builder(std::env::temp_dir().join("wfp-pol"))
+            .sched_policy(dataflow::Policy::Heft)
+            .build()
+            .unwrap();
+        assert_eq!(p.sched_policy, dataflow::Policy::Heft);
     }
 
     #[test]

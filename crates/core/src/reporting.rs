@@ -57,6 +57,11 @@ pub struct RunReport {
     /// Timed critical-path analysis over measured task durations
     /// (None when no task completed).
     pub timed: Option<dataflow::timing::TimedPath>,
+    /// Scheduling policy that drove the run.
+    pub policy: &'static str,
+    /// Every placement decision the scheduler made (estimated cost at
+    /// pick time, measured duration at completion).
+    pub placements: Vec<dataflow::PlacementDecision>,
 }
 
 /// `1234567` µs → `"1.23s"`, `4321` µs → `"4.3ms"`.
@@ -134,6 +139,29 @@ impl RunReport {
         );
         if let Some(t) = &self.timed {
             s.push_str(&self.render_timed(t));
+        }
+        s.push_str(&self.render_scheduling());
+        s
+    }
+
+    /// The placement-quality section: which policy ran, how work spread
+    /// over the workers, and how far its cost estimates were from the
+    /// measured durations.
+    fn render_scheduling(&self) -> String {
+        let mut s = String::new();
+        let _ =
+            writeln!(s, "scheduling: policy {}, {} placements", self.policy, self.placements.len());
+        let completed: Vec<_> =
+            self.placements.iter().filter_map(|d| d.actual_us.map(|a| (d.est_us, a))).collect();
+        if !completed.is_empty() {
+            let mean_err =
+                completed.iter().map(|&(e, a)| e.abs_diff(a)).sum::<u64>() / completed.len() as u64;
+            let _ = writeln!(
+                s,
+                "  estimate error: mean |est-actual| {} over {} completed placements",
+                fmt_us(mean_err),
+                completed.len()
+            );
         }
         s
     }
@@ -218,6 +246,8 @@ mod tests {
             prov_path: PathBuf::from("/p/provenance.prov.txt"),
             metrics: Metrics::default(),
             timed: None,
+            policy: "fifo",
+            placements: Vec::new(),
         }
     }
 
@@ -246,6 +276,37 @@ mod tests {
         assert!(r.contains("timed critical path: 2.00s"), "got:\n{r}");
         assert!(r.contains("self-time by task function"));
         assert!(r.contains("sim"));
+    }
+
+    #[test]
+    fn render_summarizes_placement_quality() {
+        use dataflow::{PlacementDecision, TaskId};
+        use std::sync::Arc;
+        let mut report = sample();
+        report.policy = "heft";
+        report.placements = vec![
+            PlacementDecision {
+                policy: "heft",
+                task: TaskId(1),
+                name: Arc::from("sim"),
+                worker: 0,
+                est_us: 1_000,
+                rank_us: 5_000,
+                actual_us: Some(3_000),
+            },
+            PlacementDecision {
+                policy: "heft",
+                task: TaskId(2),
+                name: Arc::from("analyze"),
+                worker: 1,
+                est_us: 2_000,
+                rank_us: 2_000,
+                actual_us: Some(2_000),
+            },
+        ];
+        let r = report.render();
+        assert!(r.contains("scheduling: policy heft, 2 placements"), "got:\n{r}");
+        assert!(r.contains("mean |est-actual| 1.0ms over 2 completed placements"), "got:\n{r}");
     }
 
     #[test]

@@ -18,9 +18,13 @@
 //!   `compss_wait_on`) or [`runtime::Runtime::barrier`].
 //! * **Constraints** — tasks can require cores, memory or an accelerator
 //!   (`@constraint` decorator) and are only placed on matching workers.
-//! * **Scheduling policies** — FIFO or data-locality-aware placement, with
-//!   per-byte transfer accounting so the locality claim of the paper is
-//!   measurable (bench A1).
+//! * **Pluggable scheduling** — a [`scheduler::Scheduler`] trait with a
+//!   four-policy portfolio (FIFO, data-locality, HEFT upward-rank,
+//!   one-step lookahead), all pricing data movement through the shared
+//!   [`cost::CostModel`] (per-link bandwidth + latency, contention,
+//!   storage rates) and measured per-task durations, with transfer
+//!   accounting so the locality claim of the paper is measurable
+//!   (bench A1).
 //! * **Fault tolerance** — per-task failure policies (fail-fast the whole
 //!   workflow, retry N times, or ignore-and-cancel-successors), mirroring
 //!   the task-level failure management of Ejarque et al.
@@ -61,6 +65,7 @@
 //! ```
 
 pub mod checkpoint;
+pub mod cost;
 pub mod error;
 pub mod graph;
 pub mod inject;
@@ -74,16 +79,19 @@ pub mod stream;
 pub mod task;
 pub mod timing;
 
+pub use cost::{CostModel, LinkCost, StorageCost};
 pub use error::{Error, Result};
 pub use payload::{Bytes, Payload};
 pub use provenance::ProvenanceLog;
 pub use resources::{Constraint, WorkerKind, WorkerProfile};
-pub use runtime::{Replica, Runtime, RuntimeConfig, TaskHandle};
-pub use scheduler::Policy;
+pub use runtime::{PlacementDecision, Replica, Runtime, RuntimeConfig, TaskHandle};
+pub use scheduler::{ClusterView, Policy, ReadyTask, Scheduler};
 pub use task::{DataRef, FailurePolicy, TaskId, TaskState};
+pub use timing::TimingStats;
 
 /// Convenience prelude for workflow code.
 pub mod prelude {
+    pub use crate::cost::{CostModel, LinkCost};
     pub use crate::payload::{Bytes, Payload};
     pub use crate::resources::{Constraint, WorkerKind, WorkerProfile};
     pub use crate::runtime::{Replica, Runtime, RuntimeConfig, TaskHandle};

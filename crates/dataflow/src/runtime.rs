@@ -9,38 +9,49 @@
 //! or [`Runtime::barrier`] (`compss_barrier`).
 
 use crate::checkpoint::CheckpointLog;
+use crate::cost::CostModel;
 use crate::error::{Error, Result};
 use crate::graph::{Node, TaskGraph};
 use crate::monitor::{StatusFold, StatusSnapshot};
 use crate::payload::Payload;
 use crate::provenance::{ProvenanceLog, TaskRecord};
 use crate::resources::{Constraint, WorkerProfile};
-use crate::scheduler::{pick, Policy, ReadyTask, TransferLedger};
+use crate::scheduler::{ClusterView, Policy, ReadyTask, Scheduler, TransferLedger};
 use crate::task::{DataRef, FailurePolicy, TaskId, TaskState};
+use crate::timing::TimingStats;
 use obs::{EventKind, TaskOutcome};
 use parking_lot::{Condvar, Mutex};
 use std::collections::HashMap;
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// Factory for a custom scheduler implementation (called once at runtime
+/// startup). `Arc<dyn Fn...>` so `RuntimeConfig` stays `Clone`.
+pub type SchedulerFactory = Arc<dyn Fn() -> Box<dyn Scheduler> + Send + Sync>;
 
 /// Runtime configuration.
 #[derive(Clone)]
 pub struct RuntimeConfig {
     /// Worker pool profiles (one thread per entry).
     pub workers: Vec<WorkerProfile>,
-    /// Task selection policy.
+    /// Portfolio policy to build the scheduler from (ignored when
+    /// `scheduler` supplies a custom implementation).
     pub policy: Policy,
     /// Optional checkpoint log path; completed tasks with a key are logged
     /// and replayed on the next run.
     pub checkpoint_path: Option<PathBuf>,
-    /// Simulated network cost: nanoseconds of delay per input byte that is
-    /// not resident on the executing worker. 0 disables the simulation
-    /// (transfers are still *counted* in the ledger either way).
-    pub transfer_ns_per_byte: u64,
-    /// Seed for everything the runtime randomizes deterministically —
-    /// today the retry-backoff jitter (see [`crate::inject::backoff_delay_ms`]).
+    /// Simulated network/storage cost model. [`CostModel::free`] (the
+    /// default) disables the simulated delay; transfers are still
+    /// *counted* in the ledger either way.
+    pub cost: CostModel,
+    /// Seed for everything the runtime randomizes deterministically — the
+    /// retry-backoff jitter (see [`crate::inject::backoff_delay_ms`]) and
+    /// the schedulers' tie-breaks.
     pub seed: u64,
+    /// Custom scheduler factory; overrides `policy` when set.
+    pub scheduler: Option<SchedulerFactory>,
 }
 
 impl RuntimeConfig {
@@ -50,12 +61,13 @@ impl RuntimeConfig {
             workers: vec![WorkerProfile::cpu(4); n.max(1)],
             policy: Policy::Fifo,
             checkpoint_path: None,
-            transfer_ns_per_byte: 0,
+            cost: CostModel::free(),
             seed: 0,
+            scheduler: None,
         }
     }
 
-    /// Sets the determinism seed (backoff jitter).
+    /// Sets the determinism seed (backoff jitter, scheduler tie-breaks).
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
         self
@@ -67,15 +79,32 @@ impl RuntimeConfig {
         self
     }
 
+    /// Installs a custom [`Scheduler`] implementation, bypassing the
+    /// portfolio selector.
+    pub fn with_scheduler<F>(mut self, factory: F) -> Self
+    where
+        F: Fn() -> Box<dyn Scheduler> + Send + Sync + 'static,
+    {
+        self.scheduler = Some(Arc::new(factory));
+        self
+    }
+
     /// Enables checkpointing to `path`.
     pub fn with_checkpoint<P: Into<PathBuf>>(mut self, path: P) -> Self {
         self.checkpoint_path = Some(path.into());
         self
     }
 
-    /// Sets the simulated per-byte transfer delay.
+    /// Sets the full network/storage cost model.
+    pub fn with_cost(mut self, cost: CostModel) -> Self {
+        self.cost = cost;
+        self
+    }
+
+    /// Sets the simulated transfer delay from a legacy per-byte scalar
+    /// (see [`CostModel::from_ns_per_byte`]).
     pub fn with_transfer_cost(mut self, ns_per_byte: u64) -> Self {
-        self.transfer_ns_per_byte = ns_per_byte;
+        self.cost = CostModel::from_ns_per_byte(ns_per_byte);
         self
     }
 }
@@ -164,6 +193,25 @@ struct GangState<P: Payload> {
     outcome: Option<std::result::Result<Vec<P>, String>>,
 }
 
+/// One placement decision and its measured outcome, kept by the runtime
+/// (independent of any bus subscriber) so reports can score placement
+/// quality after the fact.
+#[derive(Debug, Clone)]
+pub struct PlacementDecision {
+    /// Name of the policy that made the call.
+    pub policy: &'static str,
+    pub task: TaskId,
+    pub name: Arc<str>,
+    pub worker: usize,
+    /// Estimated fetch + run cost at decision time, microseconds.
+    pub est_us: u64,
+    /// Upward rank of the task at decision time.
+    pub rank_us: u64,
+    /// Measured duration of the completed attempt; `None` while running
+    /// or when the attempt never completed.
+    pub actual_us: Option<u64>,
+}
+
 struct Inner<P: Payload> {
     graph: TaskGraph,
     tasks: HashMap<TaskId, TaskEntry<P>>,
@@ -186,10 +234,17 @@ struct Inner<P: Payload> {
     /// The gang currently forming/executing (one at a time to avoid
     /// partial-allocation deadlocks between gangs).
     gang: Option<GangState<P>>,
-    /// Times each ready task has been passed over for locality reasons;
-    /// once it exceeds the patience threshold any worker may steal it
-    /// (bounded delay scheduling).
-    ready_passes: HashMap<TaskId, u32>,
+    /// The boxed placement policy (see [`crate::scheduler::Scheduler`]);
+    /// lives under the state lock so every decision sees a consistent
+    /// ready set.
+    sched: Box<dyn Scheduler>,
+    /// Measured per-name durations feeding the cost-aware schedulers.
+    stats: TimingStats,
+    /// Every placement decision, est vs. actual (see
+    /// [`Runtime::scheduler_decisions`]).
+    decisions: Vec<PlacementDecision>,
+    /// Index into `decisions` of the task's in-flight attempt.
+    decision_idx: HashMap<TaskId, usize>,
     /// Event-folded status view; `Runtime::status()` is a snapshot of this,
     /// so the poll API and the event stream can never disagree.
     fold: StatusFold,
@@ -202,9 +257,12 @@ struct Shared<P: Payload> {
     state: Mutex<Inner<P>>,
     work_cv: Condvar,
     done_cv: Condvar,
-    policy: Policy,
-    transfer_ns_per_byte: u64,
-    /// Determinism seed (retry-backoff jitter).
+    /// The shared network/storage cost model: prices the simulated
+    /// transfer sleep and the schedulers' fetch estimates identically.
+    cost: CostModel,
+    /// Transfers currently in flight (contention input for the model).
+    active_transfers: AtomicU32,
+    /// Determinism seed (retry-backoff jitter, scheduler tie-breaks).
     seed: u64,
     /// Worker profiles; grows when workers are added at runtime
     /// (elasticity: "scaled up, also dynamically").
@@ -303,7 +361,13 @@ impl<P: Payload> Runtime<P> {
                 tasks_per_worker: vec![0; config.workers.len()],
                 ..Default::default()
             },
-            ready_passes: HashMap::new(),
+            sched: match &config.scheduler {
+                Some(factory) => factory(),
+                None => config.policy.build(config.seed),
+            },
+            stats: TimingStats::default(),
+            decisions: Vec::new(),
+            decision_idx: HashMap::new(),
             provenance: ProvenanceLog::new(),
             gang: None,
             fold: StatusFold::new(),
@@ -313,8 +377,8 @@ impl<P: Payload> Runtime<P> {
             state: Mutex::new(inner),
             work_cv: Condvar::new(),
             done_cv: Condvar::new(),
-            policy: config.policy,
-            transfer_ns_per_byte: config.transfer_ns_per_byte,
+            cost: config.cost.clone(),
+            active_transfers: AtomicU32::new(0),
             seed: config.seed,
             profiles: Mutex::new(config.workers.clone()),
             retired: Mutex::new(vec![false; config.workers.len()]),
@@ -416,6 +480,25 @@ impl<P: Payload> Runtime<P> {
     /// Snapshot of the data-transfer ledger.
     pub fn ledger(&self) -> TransferLedger {
         self.shared.state.lock().ledger.clone()
+    }
+
+    /// Name of the active scheduling policy.
+    pub fn policy_name(&self) -> &'static str {
+        self.shared.state.lock().sched.name()
+    }
+
+    /// Every placement decision made so far, in decision order, with the
+    /// estimated cost at pick time and the measured duration once the
+    /// task completed. The (task, worker) sequence doubles as the
+    /// placement log the determinism tests compare.
+    pub fn scheduler_decisions(&self) -> Vec<PlacementDecision> {
+        self.shared.state.lock().decisions.clone()
+    }
+
+    /// Snapshot of the measured per-task-name duration statistics the
+    /// cost-aware schedulers consult.
+    pub fn timing_stats(&self) -> TimingStats {
+        self.shared.state.lock().stats.clone()
     }
 
     /// Snapshot of the provenance log (terminal tasks only).
@@ -800,6 +883,7 @@ impl<'rt, P: Payload> TaskBuilder<'rt, P> {
                 t.state = TaskState::Ready;
             }
             st.ready.push(id);
+            st.sched.on_ready(id);
             observe(shared, &mut st, EventKind::TaskReady { task: id.0 });
             queue_depth(shared, &mut st);
             shared.work_cv.notify_all();
@@ -844,6 +928,11 @@ fn cancel_cascade<P: Payload>(shared: &Shared<P>, st: &mut Inner<P>, root: TaskI
         };
         st.metrics.cancelled += 1;
         shared.rtm.tasks_cancelled.inc();
+        // Tell the scheduler too: a cancelled task can never be picked
+        // again, so stateful policies drop their per-task bookkeeping
+        // (patience counters etc.) instead of leaking it.
+        st.sched.on_task_finished(id, &name, None, 0);
+        st.decision_idx.remove(&id);
         observe(
             shared,
             st,
@@ -863,10 +952,6 @@ fn cancel_cascade<P: Payload>(shared: &Shared<P>, st: &mut Inner<P>, root: TaskI
         }
         st.ready.retain(|r| *r != id);
         st.delayed.retain(|(_, d)| *d != id);
-        // Drop the locality-patience entry too: a cancelled task can
-        // never be picked again, so keeping it would leak one map slot
-        // per cancellation for the life of the runtime.
-        st.ready_passes.remove(&id);
         stack.extend(dependents);
     }
 }
@@ -881,6 +966,8 @@ fn fail_task<P: Payload>(shared: &Shared<P>, st: &mut Inner<P>, id: TaskId) {
     };
     st.metrics.failed += 1;
     shared.rtm.tasks_failed.inc();
+    st.sched.on_task_finished(id, &name, None, 0);
+    st.decision_idx.remove(&id);
     let name_for_dump = Arc::clone(&name);
     observe(
         shared,
@@ -920,6 +1007,8 @@ fn timeout_task<P: Payload>(shared: &Shared<P>, st: &mut Inner<P>, id: TaskId) {
     };
     st.metrics.timed_out += 1;
     shared.rtm.tasks_timed_out.inc();
+    st.sched.on_task_finished(id, &name, None, 0);
+    st.decision_idx.remove(&id);
     let name_for_dump = Arc::clone(&name);
     observe(
         shared,
@@ -987,7 +1076,47 @@ fn run_attempt<P: Payload>(
     })
 }
 
-fn worker_loop<P: Payload>(shared: Arc<Shared<P>>, worker_idx: usize, profile: WorkerProfile) {
+/// Estimated duration of one (future) execution of `id`: the measured
+/// per-name mean, or the byte-size cold-start model over its currently
+/// known input sizes. Terminal tasks contribute nothing.
+fn task_estimate<P: Payload>(st: &Inner<P>, id: TaskId) -> u64 {
+    let Some(t) = st.tasks.get(&id) else { return 0 };
+    if t.state.is_terminal() {
+        return 0;
+    }
+    let bytes: u64 = t.reads.iter().filter_map(|r| st.data.get(&r.id)).map(|d| d.size).sum();
+    st.stats.estimate_us(&t.name, bytes)
+}
+
+/// Upward rank of every ready task: its estimated duration plus the
+/// longest estimated chain of dependents below it in the submitted
+/// graph. Iterative DFS with memoisation — O(V + E) over the reachable
+/// subgraph per snapshot, negligible against millisecond-scale tasks.
+fn upward_ranks<P: Payload>(st: &Inner<P>, ready: &[TaskId]) -> HashMap<TaskId, u64> {
+    let mut memo: HashMap<TaskId, u64> = HashMap::new();
+    for &root in ready {
+        let mut stack = vec![root];
+        while let Some(&id) = stack.last() {
+            if memo.contains_key(&id) {
+                stack.pop();
+                continue;
+            }
+            let deps: &[TaskId] = st.tasks.get(&id).map(|t| t.dependents.as_slice()).unwrap_or(&[]);
+            let unresolved: Vec<TaskId> =
+                deps.iter().filter(|d| !memo.contains_key(d)).copied().collect();
+            if unresolved.is_empty() {
+                let below = deps.iter().filter_map(|d| memo.get(d)).max().copied().unwrap_or(0);
+                memo.insert(id, task_estimate(st, id) + below);
+                stack.pop();
+            } else {
+                stack.extend(unresolved);
+            }
+        }
+    }
+    memo
+}
+
+fn worker_loop<P: Payload>(shared: Arc<Shared<P>>, worker_idx: usize, _profile: WorkerProfile) {
     let mut st = shared.state.lock();
     loop {
         if st.shutdown {
@@ -1007,6 +1136,7 @@ fn worker_loop<P: Payload>(shared: Arc<Shared<P>>, worker_idx: usize, profile: W
                 // The task may have been cancelled while parked.
                 if st.tasks.get(&id).map(|t| t.state == TaskState::Ready).unwrap_or(false) {
                     st.ready.push(id);
+                    st.sched.on_ready(id);
                     promoted = true;
                 }
             } else {
@@ -1068,15 +1198,21 @@ fn worker_loop<P: Payload>(shared: Arc<Shared<P>>, worker_idx: usize, profile: W
             continue;
         }
 
-        // Build the policy snapshot of ready tasks.
+        // Build the scheduler snapshot of ready tasks: input placement,
+        // duration estimates and upward ranks over the submitted graph.
         let gang_busy = st.gang.is_some();
-        let snapshot: Vec<ReadyTask> = st
+        let ready_ids: Vec<TaskId> = st
             .ready
             .iter()
             .filter(|id| !(gang_busy && st.tasks[id].replicas > 1))
+            .copied()
+            .collect();
+        let ranks = upward_ranks(&st, &ready_ids);
+        let snapshot: Vec<ReadyTask> = ready_ids
+            .iter()
             .map(|id| {
                 let t = &st.tasks[id];
-                let input_locations = t
+                let input_locations: Vec<(Option<usize>, u64)> = t
                     .reads
                     .iter()
                     .map(|r| {
@@ -1084,44 +1220,32 @@ fn worker_loop<P: Payload>(shared: Arc<Shared<P>>, worker_idx: usize, profile: W
                         (d.location, d.size)
                     })
                     .collect();
-                ReadyTask { task: *id, constraint: t.constraint, input_locations }
+                let bytes: u64 = input_locations.iter().map(|(_, b)| *b).sum();
+                ReadyTask {
+                    task: *id,
+                    name: Arc::clone(&t.name),
+                    constraint: t.constraint,
+                    input_locations,
+                    est_us: st.stats.estimate_us(&t.name, bytes),
+                    rank_us: ranks.get(id).copied().unwrap_or(0),
+                }
             })
             .collect();
 
-        let picked = match shared.policy {
-            Policy::Fifo => pick(Policy::Fifo, worker_idx, &profile, &snapshot),
-            Policy::Locality => {
-                // Bounded delay scheduling: prefer a task with inputs on
-                // this worker; otherwise take one with unplaced inputs;
-                // otherwise pass (bumping patience) and briefly wait so the
-                // right worker gets a chance, stealing only after the task
-                // has been passed over enough times.
-                const PATIENCE: u32 = 3;
-                let best = pick(Policy::Locality, worker_idx, &profile, &snapshot);
-                match best {
-                    Some(i)
-                        if snapshot[i].local_bytes(worker_idx) > 0
-                            || snapshot[i].input_locations.iter().all(|(loc, _)| loc.is_none()) =>
-                    {
-                        Some(i)
-                    }
-                    Some(_) => {
-                        let mut steal: Option<usize> = None;
-                        for (i, t) in snapshot.iter().enumerate() {
-                            if !profile.satisfies(&t.constraint) {
-                                continue;
-                            }
-                            let passes = st.ready_passes.entry(t.task).or_insert(0);
-                            *passes += 1;
-                            if *passes > PATIENCE && steal.is_none() {
-                                steal = Some(i);
-                            }
-                        }
-                        steal
-                    }
-                    None => None,
-                }
-            }
+        // Hand the decision to the boxed scheduler under a consistent
+        // cluster view. Split-borrow the guard so the view can read the
+        // timing stats while the scheduler mutates its own state.
+        let picked = {
+            let profiles = shared.profiles.lock().clone();
+            let inner = &mut *st;
+            let view = ClusterView {
+                workers: &profiles,
+                cost: &shared.cost,
+                stats: &inner.stats,
+                now_us: shared.bus.now_micros(),
+                active_transfers: shared.active_transfers.load(Ordering::Relaxed),
+            };
+            inner.sched.pick(worker_idx, &snapshot, &view)
         };
         let Some(ready_idx) = picked else {
             if let Some(due) = st.delayed.iter().map(|(due, _)| *due).min() {
@@ -1129,10 +1253,15 @@ fn worker_loop<P: Payload>(shared: Arc<Shared<P>>, worker_idx: usize, profile: W
                 // again: sleep only until the earliest one comes due.
                 let wait = due.saturating_duration_since(Instant::now());
                 shared.work_cv.wait_for(&mut st, wait.min(Duration::from_millis(50)));
-            } else if shared.policy == Policy::Locality && !snapshot.is_empty() {
-                // A compatible task may exist but is being delayed for
-                // locality; re-check soon even without a notification.
-                shared.work_cv.wait_for(&mut st, Duration::from_micros(300));
+            } else if !snapshot.is_empty() {
+                // A compatible task may exist but the scheduler deferred
+                // it; re-check on its poll hint even without a wakeup.
+                match st.sched.poll_hint() {
+                    Some(hint) => {
+                        shared.work_cv.wait_for(&mut st, hint);
+                    }
+                    None => shared.work_cv.wait(&mut st),
+                }
             } else {
                 shared.work_cv.wait(&mut st);
             }
@@ -1141,7 +1270,25 @@ fn worker_loop<P: Payload>(shared: Arc<Shared<P>>, worker_idx: usize, profile: W
 
         let id = snapshot[ready_idx].task;
         st.ready.retain(|r| *r != id);
-        st.ready_passes.remove(&id);
+        // Record the decision with its estimated cost; the actual lands
+        // when the attempt completes (see `finish_task`).
+        {
+            let sharing = shared.active_transfers.load(Ordering::Relaxed) + 1;
+            let t = &snapshot[ready_idx];
+            let est_us = shared.cost.fetch_us(worker_idx, &t.input_locations, sharing) + t.est_us;
+            let decision = PlacementDecision {
+                policy: st.sched.name(),
+                task: id,
+                name: Arc::clone(&t.name),
+                worker: worker_idx,
+                est_us,
+                rank_us: t.rank_us,
+                actual_us: None,
+            };
+            st.decisions.push(decision);
+            let idx = st.decisions.len() - 1;
+            st.decision_idx.insert(id, idx);
+        }
 
         // A gang task forms the gang instead of executing inline; this
         // worker then loops back and joins as rank 0.
@@ -1234,10 +1381,13 @@ fn worker_loop<P: Payload>(shared: Arc<Shared<P>>, worker_idx: usize, profile: W
 
         drop(st);
 
-        // Simulated transfer latency (bounded to keep tests sane).
-        if shared.transfer_ns_per_byte > 0 && remote_bytes > 0 {
-            let ns = (remote_bytes.saturating_mul(shared.transfer_ns_per_byte)).min(2_000_000_000);
-            std::thread::sleep(Duration::from_nanos(ns));
+        // Simulated transfer latency from the cost model, under the
+        // current contention level (bounded to keep tests sane).
+        if remote_bytes > 0 && !shared.cost.is_free() {
+            let sharing = shared.active_transfers.fetch_add(1, Ordering::Relaxed) + 1;
+            let us = shared.cost.fetch_us(worker_idx, &input_locations, sharing).min(2_000_000);
+            std::thread::sleep(Duration::from_micros(us));
+            shared.active_transfers.fetch_sub(1, Ordering::Relaxed);
         }
 
         let result = {
@@ -1335,6 +1485,26 @@ fn finish_task<P: Payload>(
             }
             shared.rtm.tasks_completed.inc();
             shared.rtm.task_us.observe(micros);
+            // Feed the measured duration back into the cost-aware
+            // schedulers and close out the placement decision.
+            st.stats.record(&name, micros);
+            st.sched.on_task_finished(id, &name, Some(worker_idx), micros);
+            if let Some(di) = st.decision_idx.remove(&id) {
+                st.decisions[di].actual_us = Some(micros);
+                let d = st.decisions[di].clone();
+                observe(
+                    shared,
+                    st,
+                    EventKind::SchedulerDecision {
+                        policy: d.policy,
+                        task: id.0,
+                        name: d.name,
+                        worker: d.worker,
+                        est_us: d.est_us,
+                        actual_us: micros,
+                    },
+                );
+            }
             observe(
                 shared,
                 st,
@@ -1356,6 +1526,7 @@ fn finish_task<P: Payload>(
                         if t.remaining_deps == 0 {
                             t.state = TaskState::Ready;
                             st.ready.push(dep);
+                            st.sched.on_ready(dep);
                             observe(shared, st, EventKind::TaskReady { task: dep.0 });
                         }
                     }
@@ -1391,6 +1562,9 @@ fn finish_task<P: Payload>(
             if retry {
                 st.metrics.retries += 1;
                 shared.rtm.retries.inc();
+                // The failed attempt's decision never completes; the next
+                // pick records a fresh one.
+                st.decision_idx.remove(&id);
                 if let Some(t) = st.tasks.get_mut(&id) {
                     t.state = TaskState::Ready;
                     // Reset the attempt stamps: the next TaskStarted begins
@@ -1421,6 +1595,7 @@ fn finish_task<P: Payload>(
                     );
                 } else {
                     st.ready.push(id);
+                    st.sched.on_ready(id);
                     observe(
                         shared,
                         st,
@@ -1654,10 +1829,7 @@ mod tests {
     fn gpu_task_lands_on_gpu_worker() {
         let config = RuntimeConfig {
             workers: vec![WorkerProfile::cpu(4), WorkerProfile::gpu(4)],
-            policy: Policy::Fifo,
-            checkpoint_path: None,
-            transfer_ns_per_byte: 0,
-            seed: 0,
+            ..RuntimeConfig::with_cpu_workers(1)
         };
         let rt: Runtime<Bytes> = Runtime::new(config);
         for _ in 0..4 {
@@ -1742,7 +1914,16 @@ mod tests {
             .filter(|e| !matches!(e.kind, EventKind::QueueDepth { .. }))
             .map(|e| e.kind.tag())
             .collect();
-        assert_eq!(tags, vec!["task_submitted", "task_ready", "task_started", "task_finished"]);
+        assert_eq!(
+            tags,
+            vec![
+                "task_submitted",
+                "task_ready",
+                "task_started",
+                "scheduler_decision",
+                "task_finished"
+            ]
+        );
         let finished = events
             .iter()
             .find_map(|e| match &e.kind {

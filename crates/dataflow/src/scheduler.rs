@@ -1,20 +1,51 @@
-//! Task-selection policies for the worker pool.
+//! Pluggable task-placement schedulers for the worker pool.
 //!
-//! The runtime keeps a ready list; every idle worker asks the policy which
-//! ready task (if any) it should run. Two policies are provided:
+//! The runtime keeps a ready list; every idle worker asks the boxed
+//! [`Scheduler`] which ready task (if any) it should run. The trait owns
+//! all placement decisions — the runtime only supplies a consistent
+//! snapshot ([`ReadyTask`]) and the cluster context ([`ClusterView`]:
+//! worker profiles, the [`CostModel`], measured [`TimingStats`]).
 //!
-//! * [`Policy::Fifo`] — oldest compatible task first. Matches the baseline
-//!   behaviour most WMSs default to.
-//! * [`Policy::Locality`] — among compatible tasks, pick the one with the
-//!   most input bytes already resident on this worker (ties broken FIFO).
-//!   This implements the paper's Section 3 claim that a single WMS can
-//!   "allow for better optimization in terms of data movement and access";
-//!   bench A1 quantifies the difference via the transfer ledger.
+//! Four portfolio policies ship behind the [`Policy`] selector:
+//!
+//! * [`Fifo`] — oldest compatible task first. The baseline most WMSs
+//!   default to.
+//! * [`Locality`] — among compatible tasks, pick the one with the most
+//!   input bytes already resident on this worker; bounded-delay stealing
+//!   after [`PATIENCE`] passes. Implements the paper's Section 3 claim
+//!   that a single WMS can "allow for better optimization in terms of
+//!   data movement and access"; bench A1 quantifies it via the ledger.
+//! * [`Heft`] — pull-model HEFT: tasks are ordered by *upward rank* (the
+//!   task's estimated duration plus the longest estimated chain of
+//!   dependents below it, from measured per-name durations with a
+//!   byte-size cold-start fallback), and the asking worker takes the
+//!   highest-ranked compatible task. Seeded hashing breaks exact-rank
+//!   ties deterministically.
+//! * [`Lookahead`] — one-step makespan estimation: before taking a task
+//!   the worker compares its own estimated finish time (fetch cost from
+//!   the [`CostModel`] plus estimated duration) against the best
+//!   alternative worker's, and defers — patience-bounded — when another
+//!   worker would finish the task meaningfully earlier.
+//!
+//! Every policy is deterministic given the same ready-set evolution:
+//! selection depends only on the snapshot, stable orderings and the
+//! runtime seed, never on wall-clock time or map iteration order.
 
-use crate::resources::{Constraint, WorkerProfile};
+use crate::cost::CostModel;
+use crate::inject::splitmix64;
+use crate::resources::WorkerProfile;
 use crate::task::TaskId;
+use crate::timing::TimingStats;
+use std::collections::HashMap;
+use std::str::FromStr;
+use std::sync::Arc;
+use std::time::Duration;
 
-/// Scheduling policy selector.
+pub use crate::resources::Constraint;
+
+/// Scheduling policy selector. Builds the boxed [`Scheduler`] the runtime
+/// drives; custom implementations can bypass it via
+/// [`RuntimeConfig::with_scheduler`](crate::runtime::RuntimeConfig::with_scheduler).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum Policy {
     /// Oldest compatible ready task first.
@@ -22,16 +53,74 @@ pub enum Policy {
     Fifo,
     /// Prefer tasks whose inputs already live on the asking worker.
     Locality,
+    /// Upward-rank list scheduling from measured durations.
+    Heft,
+    /// One-step makespan estimation over the cost model.
+    Lookahead,
 }
 
-/// Snapshot of one ready task handed to the policy.
+impl Policy {
+    /// Every portfolio policy, in a stable order (benches sweep this).
+    pub const ALL: [Policy; 4] = [Policy::Fifo, Policy::Locality, Policy::Heft, Policy::Lookahead];
+
+    /// Stable lowercase name (CLI values, bench labels, event fields).
+    pub fn name(self) -> &'static str {
+        match self {
+            Policy::Fifo => "fifo",
+            Policy::Locality => "locality",
+            Policy::Heft => "heft",
+            Policy::Lookahead => "lookahead",
+        }
+    }
+
+    /// Builds the scheduler implementing this policy. `seed` feeds the
+    /// deterministic tie-breaks in the cost-aware policies.
+    pub fn build(self, seed: u64) -> Box<dyn Scheduler> {
+        match self {
+            Policy::Fifo => Box::new(Fifo),
+            Policy::Locality => Box::new(Locality::default()),
+            Policy::Heft => Box::new(Heft::new(seed)),
+            Policy::Lookahead => Box::new(Lookahead::new(seed)),
+        }
+    }
+}
+
+impl std::fmt::Display for Policy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl FromStr for Policy {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "fifo" => Ok(Policy::Fifo),
+            "locality" => Ok(Policy::Locality),
+            "heft" => Ok(Policy::Heft),
+            "lookahead" => Ok(Policy::Lookahead),
+            other => Err(format!(
+                "unknown scheduling policy '{other}' (expected fifo|locality|heft|lookahead)"
+            )),
+        }
+    }
+}
+
+/// Snapshot of one ready task handed to the scheduler.
 #[derive(Debug, Clone)]
 pub struct ReadyTask {
     pub task: TaskId,
+    pub name: Arc<str>,
     pub constraint: Constraint,
     /// For each input: the worker index holding it (None = master/restored)
     /// and its approximate size in bytes.
     pub input_locations: Vec<(Option<usize>, u64)>,
+    /// Estimated execution duration ([`TimingStats::estimate_us`]).
+    pub est_us: u64,
+    /// Upward rank: `est_us` plus the longest estimated chain of
+    /// dependents below this task in the submitted graph.
+    pub rank_us: u64,
 }
 
 impl ReadyTask {
@@ -44,37 +133,333 @@ impl ReadyTask {
     pub fn remote_bytes(&self, worker: usize) -> u64 {
         self.input_locations.iter().filter(|(loc, _)| *loc != Some(worker)).map(|(_, b)| *b).sum()
     }
+
+    /// Total input bytes regardless of placement.
+    pub fn input_bytes(&self) -> u64 {
+        self.input_locations.iter().map(|(_, b)| *b).sum()
+    }
 }
 
-/// Picks the index (into `ready`) of the task `worker` should run, or
-/// `None` when no ready task is compatible with the worker's profile.
-pub fn pick(
-    policy: Policy,
-    worker_idx: usize,
-    profile: &WorkerProfile,
-    ready: &[ReadyTask],
-) -> Option<usize> {
-    match policy {
-        Policy::Fifo => {
-            ready.iter().enumerate().find(|(_, t)| profile.satisfies(&t.constraint)).map(|(i, _)| i)
+/// Read-only cluster context for one placement decision.
+pub struct ClusterView<'a> {
+    /// Worker profiles, indexed by worker id (grows with elasticity).
+    pub workers: &'a [WorkerProfile],
+    /// The shared network/storage cost model.
+    pub cost: &'a CostModel,
+    /// Measured per-name duration statistics.
+    pub stats: &'a TimingStats,
+    /// Current time on the runtime bus clock, microseconds.
+    pub now_us: u64,
+    /// Transfers currently in flight (contention input for the model).
+    pub active_transfers: u32,
+}
+
+impl ClusterView<'_> {
+    /// Estimated microseconds for `worker` to gather `t`'s inputs, under
+    /// the current contention level.
+    pub fn fetch_us(&self, t: &ReadyTask, worker: usize) -> u64 {
+        self.cost.fetch_us(worker, &t.input_locations, self.active_transfers + 1)
+    }
+
+    /// Estimated completion cost (fetch + run) of `t` on `worker`.
+    pub fn completion_us(&self, t: &ReadyTask, worker: usize) -> u64 {
+        self.fetch_us(t, worker) + t.est_us
+    }
+}
+
+/// A task-placement policy driven by the runtime.
+///
+/// `pick` is called with a consistent snapshot of the ready set each time
+/// a worker goes idle; the lifecycle hooks let stateful policies track
+/// arrivals and completions. Implementations must be deterministic: same
+/// seed, same call sequence ⇒ same decisions.
+pub trait Scheduler: Send {
+    /// Stable policy name (event fields, reports).
+    fn name(&self) -> &'static str;
+
+    /// A task entered the ready set.
+    fn on_ready(&mut self, _task: TaskId) {}
+
+    /// Picks the index (into `ready`) of the task `worker` should run,
+    /// or `None` to let the worker wait.
+    fn pick(&mut self, worker: usize, ready: &[ReadyTask], view: &ClusterView<'_>)
+        -> Option<usize>;
+
+    /// A task reached a terminal state. `worker`/`duration_us` are set
+    /// only for successful completions; cancellations and failures call
+    /// this with `None`/`0` so policies can drop per-task state.
+    fn on_task_finished(
+        &mut self,
+        _task: TaskId,
+        _name: &str,
+        _worker: Option<usize>,
+        _duration_us: u64,
+    ) {
+    }
+
+    /// How long an idle worker should wait before re-polling after this
+    /// scheduler returned `None` while compatible work existed. `None`
+    /// means wait for a state change (the FIFO behaviour); deferring
+    /// policies return a short interval so passed-over tasks are
+    /// reconsidered without a wakeup.
+    fn poll_hint(&self) -> Option<Duration> {
+        None
+    }
+}
+
+/// Passes an idle worker waits before stealing a task another worker
+/// would run more cheaply (bounded delay scheduling).
+pub const PATIENCE: u32 = 3;
+
+const REPOLL: Duration = Duration::from_micros(300);
+
+fn compatible<'a>(
+    ready: &'a [ReadyTask],
+    profile: &'a WorkerProfile,
+) -> impl Iterator<Item = (usize, &'a ReadyTask)> {
+    ready.iter().enumerate().filter(move |(_, t)| profile.satisfies(&t.constraint))
+}
+
+/// Seeded deterministic tie-break key for a task.
+fn tie_key(seed: u64, task: TaskId) -> u64 {
+    splitmix64(seed ^ task.0)
+}
+
+/// Oldest compatible ready task first.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Fifo;
+
+impl Scheduler for Fifo {
+    fn name(&self) -> &'static str {
+        "fifo"
+    }
+
+    fn pick(
+        &mut self,
+        worker: usize,
+        ready: &[ReadyTask],
+        view: &ClusterView<'_>,
+    ) -> Option<usize> {
+        let profile = &view.workers[worker];
+        compatible(ready, profile).map(|(i, _)| i).next()
+    }
+}
+
+/// Data-locality-aware placement with bounded-delay stealing.
+#[derive(Debug, Default)]
+pub struct Locality {
+    /// Times each ready task has been passed over for locality reasons;
+    /// once it exceeds [`PATIENCE`] any worker may steal it.
+    passes: HashMap<TaskId, u32>,
+}
+
+impl Locality {
+    /// Best candidate by resident bytes, ties broken FIFO by task id.
+    fn best(
+        &self,
+        worker: usize,
+        ready: &[ReadyTask],
+        profile: &WorkerProfile,
+    ) -> Option<(usize, u64)> {
+        let mut best: Option<(usize, u64, TaskId)> = None;
+        for (i, t) in compatible(ready, profile) {
+            let local = t.local_bytes(worker);
+            let better = match best {
+                None => true,
+                Some((_, bl, bt)) => local > bl || (local == bl && t.task < bt),
+            };
+            if better {
+                best = Some((i, local, t.task));
+            }
         }
-        Policy::Locality => {
-            let mut best: Option<(usize, u64, TaskId)> = None;
-            for (i, t) in ready.iter().enumerate() {
-                if !profile.satisfies(&t.constraint) {
-                    continue;
-                }
-                let local = t.local_bytes(worker_idx);
-                let better = match best {
-                    None => true,
-                    Some((_, bl, bt)) => local > bl || (local == bl && t.task < bt),
-                };
-                if better {
-                    best = Some((i, local, t.task));
+        best.map(|(i, local, _)| (i, local))
+    }
+}
+
+impl Scheduler for Locality {
+    fn name(&self) -> &'static str {
+        "locality"
+    }
+
+    fn pick(
+        &mut self,
+        worker: usize,
+        ready: &[ReadyTask],
+        view: &ClusterView<'_>,
+    ) -> Option<usize> {
+        let profile = &view.workers[worker];
+        let (bi, blocal) = self.best(worker, ready, profile)?;
+        // Take it when some input is already here, or when nothing is
+        // placed anywhere yet (first consumers of master data).
+        if blocal > 0 || ready[bi].input_locations.iter().all(|(loc, _)| loc.is_none()) {
+            self.passes.remove(&ready[bi].task);
+            return Some(bi);
+        }
+        // Data lives on another worker: pass (bumping patience on every
+        // compatible task) so the owning worker gets a chance, stealing
+        // only once a task has waited long enough.
+        let mut steal: Option<usize> = None;
+        for (i, t) in compatible(ready, profile) {
+            let passes = self.passes.entry(t.task).or_insert(0);
+            *passes += 1;
+            if *passes > PATIENCE && steal.is_none() {
+                steal = Some(i);
+            }
+        }
+        if let Some(i) = steal {
+            self.passes.remove(&ready[i].task);
+        }
+        steal
+    }
+
+    fn on_task_finished(
+        &mut self,
+        task: TaskId,
+        _name: &str,
+        _worker: Option<usize>,
+        _duration_us: u64,
+    ) {
+        // A terminal task can never be picked again; drop its patience
+        // slot so cancellations don't leak map entries.
+        self.passes.remove(&task);
+    }
+
+    fn poll_hint(&self) -> Option<Duration> {
+        Some(REPOLL)
+    }
+}
+
+/// Pull-model HEFT: highest upward rank first, seeded tie-breaks.
+#[derive(Debug, Clone, Copy)]
+pub struct Heft {
+    seed: u64,
+}
+
+impl Heft {
+    pub fn new(seed: u64) -> Self {
+        Heft { seed }
+    }
+}
+
+impl Scheduler for Heft {
+    fn name(&self) -> &'static str {
+        "heft"
+    }
+
+    fn pick(
+        &mut self,
+        worker: usize,
+        ready: &[ReadyTask],
+        view: &ClusterView<'_>,
+    ) -> Option<usize> {
+        let profile = &view.workers[worker];
+        compatible(ready, profile)
+            .max_by(|(_, a), (_, b)| {
+                a.rank_us
+                    .cmp(&b.rank_us)
+                    .then_with(|| tie_key(self.seed, b.task).cmp(&tie_key(self.seed, a.task)))
+                    .then_with(|| b.task.cmp(&a.task))
+            })
+            .map(|(i, _)| i)
+    }
+}
+
+/// One-step lookahead: defer to a worker with a clearly earlier
+/// estimated finish time, patience-bounded.
+#[derive(Debug, Default)]
+pub struct Lookahead {
+    seed: u64,
+    /// Estimated bus-clock time each worker becomes idle, from the
+    /// completion estimates of the tasks it accepted.
+    busy_until: HashMap<usize, u64>,
+    passes: HashMap<TaskId, u32>,
+}
+
+impl Lookahead {
+    pub fn new(seed: u64) -> Self {
+        Lookahead { seed, ..Default::default() }
+    }
+
+    /// Earliest estimated finish of `t` on any *other* compatible worker.
+    fn best_alternative_us(
+        &self,
+        worker: usize,
+        t: &ReadyTask,
+        view: &ClusterView<'_>,
+    ) -> Option<u64> {
+        view.workers
+            .iter()
+            .enumerate()
+            .filter(|&(w, p)| w != worker && p.satisfies(&t.constraint))
+            .map(|(w, _)| {
+                let start = self.busy_until.get(&w).copied().unwrap_or(0).max(view.now_us);
+                start + view.completion_us(t, w)
+            })
+            .min()
+    }
+}
+
+impl Scheduler for Lookahead {
+    fn name(&self) -> &'static str {
+        "lookahead"
+    }
+
+    fn pick(
+        &mut self,
+        worker: usize,
+        ready: &[ReadyTask],
+        view: &ClusterView<'_>,
+    ) -> Option<usize> {
+        let profile = &view.workers[worker];
+        // Consider candidates in upward-rank order (same priority list as
+        // HEFT), deferring any task another worker is estimated to finish
+        // meaningfully earlier — until patience runs out.
+        let mut candidates: Vec<(usize, &ReadyTask)> = compatible(ready, profile).collect();
+        candidates.sort_by(|(_, a), (_, b)| {
+            b.rank_us
+                .cmp(&a.rank_us)
+                .then_with(|| tie_key(self.seed, a.task).cmp(&tie_key(self.seed, b.task)))
+                .then_with(|| a.task.cmp(&b.task))
+        });
+        for (i, t) in candidates {
+            let eft_here = view.now_us + view.completion_us(t, worker);
+            let patience_left = self.passes.get(&t.task).copied().unwrap_or(0) <= PATIENCE;
+            if patience_left {
+                if let Some(alt) = self.best_alternative_us(worker, t, view) {
+                    // "Clearly earlier": more than the larger of a fixed
+                    // floor and a quarter of the task's own duration.
+                    let margin = (t.est_us / 4).max(200);
+                    if alt + margin < eft_here {
+                        *self.passes.entry(t.task).or_insert(0) += 1;
+                        continue;
+                    }
                 }
             }
-            best.map(|(i, _, _)| i)
+            self.passes.remove(&t.task);
+            let until = self.busy_until.entry(worker).or_insert(0);
+            *until = (*until).max(view.now_us) + view.completion_us(t, worker);
+            return Some(i);
         }
+        None
+    }
+
+    fn on_task_finished(
+        &mut self,
+        task: TaskId,
+        _name: &str,
+        worker: Option<usize>,
+        _duration_us: u64,
+    ) {
+        self.passes.remove(&task);
+        if let Some(w) = worker {
+            // The worker is idle again; stale optimism in `busy_until`
+            // would make others defer to a queue that no longer exists.
+            self.busy_until.remove(&w);
+        }
+    }
+
+    fn poll_hint(&self) -> Option<Duration> {
+        Some(REPOLL)
     }
 }
 
@@ -103,13 +488,14 @@ impl TransferLedger {
         }
     }
 
-    /// Fraction of input bytes served locally (NaN when nothing ran).
-    pub fn locality_ratio(&self) -> f64 {
+    /// Fraction of input bytes served locally; `None` when no bytes have
+    /// been accounted yet (a NaN here would corrupt JSON consumers).
+    pub fn locality_ratio(&self) -> Option<f64> {
         let total = self.bytes_local + self.bytes_moved;
         if total == 0 {
-            return f64::NAN;
+            return None;
         }
-        self.bytes_local as f64 / total as f64
+        Some(self.bytes_local as f64 / total as f64)
     }
 }
 
@@ -119,52 +505,168 @@ mod tests {
     use crate::resources::WorkerKind;
 
     fn rt(id: u64, locs: Vec<(Option<usize>, u64)>) -> ReadyTask {
-        ReadyTask { task: TaskId(id), constraint: Constraint::any(), input_locations: locs }
+        ReadyTask {
+            task: TaskId(id),
+            name: Arc::from("t"),
+            constraint: Constraint::any(),
+            input_locations: locs,
+            est_us: 1_000,
+            rank_us: 1_000,
+        }
+    }
+
+    fn view<'a>(
+        workers: &'a [WorkerProfile],
+        cost: &'a CostModel,
+        stats: &'a TimingStats,
+    ) -> ClusterView<'a> {
+        ClusterView { workers, cost, stats, now_us: 0, active_transfers: 0 }
     }
 
     #[test]
     fn fifo_picks_first_compatible() {
-        let profile = WorkerProfile::cpu(4);
+        let workers = [WorkerProfile::cpu(4)];
+        let (cost, stats) = (CostModel::free(), TimingStats::default());
+        let v = view(&workers, &cost, &stats);
         let mut gpu_task = rt(1, vec![]);
         gpu_task.constraint = Constraint::gpu();
         let ready = vec![gpu_task, rt(2, vec![]), rt(3, vec![])];
-        assert_eq!(pick(Policy::Fifo, 0, &profile, &ready), Some(1));
+        assert_eq!(Fifo.pick(0, &ready, &v), Some(1));
     }
 
     #[test]
     fn fifo_none_when_incompatible() {
-        let profile = WorkerProfile::cpu(2);
+        let workers = [WorkerProfile::cpu(2)];
+        let (cost, stats) = (CostModel::free(), TimingStats::default());
+        let v = view(&workers, &cost, &stats);
         let mut t = rt(1, vec![]);
         t.constraint = Constraint::cores(16);
-        assert_eq!(pick(Policy::Fifo, 0, &profile, &[t]), None);
+        assert_eq!(Fifo.pick(0, &[t], &v), None);
     }
 
     #[test]
     fn locality_prefers_resident_inputs() {
-        let profile = WorkerProfile::cpu(4);
+        let workers = [WorkerProfile::cpu(4), WorkerProfile::cpu(4)];
+        let (cost, stats) = (CostModel::free(), TimingStats::default());
+        let v = view(&workers, &cost, &stats);
         let ready = vec![
             rt(1, vec![(Some(1), 1000)]), // resident on worker 1
             rt(2, vec![(Some(0), 1000)]), // resident on worker 0
         ];
-        assert_eq!(pick(Policy::Locality, 0, &profile, &ready), Some(1));
-        assert_eq!(pick(Policy::Locality, 1, &profile, &ready), Some(0));
+        assert_eq!(Locality::default().pick(0, &ready, &v), Some(1));
+        assert_eq!(Locality::default().pick(1, &ready, &v), Some(0));
     }
 
     #[test]
     fn locality_ties_break_fifo() {
-        let profile = WorkerProfile::cpu(4);
+        let workers = [WorkerProfile::cpu(4)];
+        let (cost, stats) = (CostModel::free(), TimingStats::default());
+        let v = view(&workers, &cost, &stats);
         let ready = vec![rt(5, vec![]), rt(2, vec![])];
         // No local bytes anywhere: lowest task id wins (task 2, index 1).
-        assert_eq!(pick(Policy::Locality, 0, &profile, &ready), Some(1));
+        assert_eq!(Locality::default().pick(0, &ready, &v), Some(1));
+    }
+
+    #[test]
+    fn locality_defers_then_steals_after_patience() {
+        let workers = [WorkerProfile::cpu(4), WorkerProfile::cpu(4)];
+        let (cost, stats) = (CostModel::free(), TimingStats::default());
+        let v = view(&workers, &cost, &stats);
+        // Data on worker 1: worker 0 should pass PATIENCE times, then steal.
+        let ready = vec![rt(1, vec![(Some(1), 4096)])];
+        let mut sched = Locality::default();
+        for _ in 0..PATIENCE {
+            assert_eq!(sched.pick(0, &ready, &v), None, "deferring to the data's owner");
+        }
+        assert_eq!(sched.pick(0, &ready, &v), Some(0), "patience exhausted: steal");
+        assert!(sched.poll_hint().is_some(), "deferring policy must re-poll");
     }
 
     #[test]
     fn locality_respects_constraints() {
-        let profile = WorkerProfile { kind: WorkerKind::Cpu, cores: 2, memory_gb: 8 };
+        let workers = [WorkerProfile { kind: WorkerKind::Cpu, cores: 2, memory_gb: 8 }];
+        let (cost, stats) = (CostModel::free(), TimingStats::default());
+        let v = view(&workers, &cost, &stats);
         let mut big = rt(1, vec![(Some(0), 10_000)]);
         big.constraint = Constraint::cores(8);
         let ready = vec![big, rt(2, vec![])];
-        assert_eq!(pick(Policy::Locality, 0, &profile, &ready), Some(1));
+        assert_eq!(Locality::default().pick(0, &ready, &v), Some(1));
+    }
+
+    #[test]
+    fn heft_takes_highest_rank() {
+        let workers = [WorkerProfile::cpu(4)];
+        let (cost, stats) = (CostModel::free(), TimingStats::default());
+        let v = view(&workers, &cost, &stats);
+        let mut shallow = rt(1, vec![]);
+        shallow.rank_us = 2_000;
+        let mut deep = rt(2, vec![]);
+        deep.rank_us = 50_000; // heads a long chain
+        let ready = vec![shallow, deep];
+        assert_eq!(Heft::new(7).pick(0, &ready, &v), Some(1));
+    }
+
+    #[test]
+    fn heft_tie_break_is_seed_deterministic() {
+        let workers = [WorkerProfile::cpu(4)];
+        let (cost, stats) = (CostModel::free(), TimingStats::default());
+        let v = view(&workers, &cost, &stats);
+        let ready = vec![rt(1, vec![]), rt(2, vec![]), rt(3, vec![])]; // equal ranks
+        let a = Heft::new(42).pick(0, &ready, &v);
+        let b = Heft::new(42).pick(0, &ready, &v);
+        assert_eq!(a, b, "same seed ⇒ same tie-break");
+        assert!(a.is_some());
+    }
+
+    #[test]
+    fn heft_respects_constraints() {
+        let workers = [WorkerProfile::cpu(4)];
+        let (cost, stats) = (CostModel::free(), TimingStats::default());
+        let v = view(&workers, &cost, &stats);
+        let mut deep = rt(1, vec![]);
+        deep.rank_us = 1_000_000;
+        deep.constraint = Constraint::gpu();
+        let ready = vec![deep, rt(2, vec![])];
+        assert_eq!(Heft::new(0).pick(0, &ready, &v), Some(1), "rank cannot override constraints");
+    }
+
+    #[test]
+    fn lookahead_defers_to_data_owner_then_steals() {
+        let workers = [WorkerProfile::cpu(4), WorkerProfile::cpu(4)];
+        // Expensive interconnect: fetching 100 MB remotely dwarfs est_us.
+        let cost = CostModel::lan();
+        let stats = TimingStats::default();
+        let v = view(&workers, &cost, &stats);
+        let ready = vec![rt(1, vec![(Some(1), 100_000_000)])];
+        let mut sched = Lookahead::new(0);
+        for _ in 0..=PATIENCE {
+            assert_eq!(sched.pick(0, &ready, &v), None, "worker 1 finishes far earlier");
+        }
+        assert_eq!(sched.pick(0, &ready, &v), Some(0), "patience exhausted");
+        // The data's owner takes it immediately (zero fetch cost).
+        assert_eq!(Lookahead::new(0).pick(1, &ready, &v), Some(0));
+    }
+
+    #[test]
+    fn lookahead_accounts_for_queued_work() {
+        let workers = [WorkerProfile::cpu(4), WorkerProfile::cpu(4)];
+        let (cost, stats) = (CostModel::free(), TimingStats::default());
+        let v = view(&workers, &cost, &stats);
+        let mut sched = Lookahead::new(0);
+        // Worker 1 accepts two tasks back to back: its busy_until grows, so
+        // worker 0 no longer defers even though costs are symmetric.
+        assert!(sched.pick(1, &[rt(1, vec![])], &v).is_some());
+        assert!(sched.pick(0, &[rt(2, vec![])], &v).is_some());
+    }
+
+    #[test]
+    fn policy_parses_and_builds() {
+        for p in Policy::ALL {
+            assert_eq!(p.name().parse::<Policy>().unwrap(), p);
+            assert_eq!(p.build(1).name(), p.name());
+        }
+        assert_eq!("HEFT".parse::<Policy>().unwrap(), Policy::Heft);
+        assert!("steal".parse::<Policy>().is_err());
     }
 
     #[test]
@@ -173,6 +675,7 @@ mod tests {
         assert_eq!(t.local_bytes(0), 10);
         assert_eq!(t.remote_bytes(0), 25);
         assert_eq!(t.local_bytes(1), 20);
+        assert_eq!(t.input_bytes(), 35);
     }
 
     #[test]
@@ -182,7 +685,8 @@ mod tests {
         assert_eq!(l.bytes_local, 100);
         assert_eq!(l.bytes_moved, 300);
         assert_eq!(l.transfers, 1);
-        assert!((l.locality_ratio() - 0.25).abs() < 1e-12);
-        assert!(TransferLedger::default().locality_ratio().is_nan());
+        assert!((l.locality_ratio().unwrap() - 0.25).abs() < 1e-12);
+        // Empty ledger: no ratio, not NaN (NaN is invalid JSON).
+        assert_eq!(TransferLedger::default().locality_ratio(), None);
     }
 }

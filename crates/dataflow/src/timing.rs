@@ -42,6 +42,50 @@ impl TaskSpan {
     }
 }
 
+/// Cold-start duration floor when no execution of a task name has been
+/// measured yet (see [`TimingStats::estimate_us`]).
+pub const COLD_BASE_US: u64 = 1_000;
+/// Cold-start processing-rate guess: bytes of input per microsecond
+/// (~1 GB/s), added on top of [`COLD_BASE_US`].
+pub const COLD_BYTES_PER_US: u64 = 1_000;
+
+/// Online per-task-name duration statistics.
+///
+/// The runtime records every completed attempt; the cost-aware schedulers
+/// (HEFT upward ranks, Lookahead finish-time estimates) read the means
+/// back. Before the first completion of a name the estimate falls back to
+/// a byte-proportional cold-start guess, so ranking still differentiates
+/// deep chains from shallow ones on the very first workflow run.
+#[derive(Debug, Default, Clone)]
+pub struct TimingStats {
+    by_name: HashMap<Arc<str>, (u64, u64)>,
+}
+
+impl TimingStats {
+    /// Folds one measured execution of `name` into the statistics.
+    pub fn record(&mut self, name: &Arc<str>, duration_us: u64) {
+        let e = self.by_name.entry(Arc::clone(name)).or_insert((0, 0));
+        e.0 += duration_us;
+        e.1 += 1;
+    }
+
+    /// Mean measured duration of `name`, if any execution completed.
+    pub fn mean_us(&self, name: &str) -> Option<u64> {
+        self.by_name.get(name).map(|&(total, count)| total / count.max(1))
+    }
+
+    /// Number of measured executions of `name`.
+    pub fn samples(&self, name: &str) -> u64 {
+        self.by_name.get(name).map(|&(_, count)| count).unwrap_or(0)
+    }
+
+    /// Estimated duration of one execution of `name` over `input_bytes`
+    /// of input: the measured mean, or the cold-start byte model.
+    pub fn estimate_us(&self, name: &str, input_bytes: u64) -> u64 {
+        self.mean_us(name).unwrap_or(COLD_BASE_US + input_bytes / COLD_BYTES_PER_US)
+    }
+}
+
 /// One step of the measured critical path.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PathStep {
@@ -299,6 +343,21 @@ mod tests {
         let spans = [span(1, "a", 0, 10), span(2, "b", 10, 25)];
         let t = analyze(&edges, &spans).unwrap();
         assert_eq!(t.path_us, 25);
+    }
+
+    #[test]
+    fn timing_stats_mean_and_cold_start() {
+        let mut stats = TimingStats::default();
+        let name: Arc<str> = Arc::from("sim");
+        assert_eq!(stats.mean_us("sim"), None);
+        // Cold start: base + bytes at ~1 GB/s.
+        assert_eq!(stats.estimate_us("sim", 2_000_000), COLD_BASE_US + 2_000);
+        stats.record(&name, 100);
+        stats.record(&name, 300);
+        assert_eq!(stats.mean_us("sim"), Some(200));
+        assert_eq!(stats.samples("sim"), 2);
+        // Measured mean wins over the byte model once warm.
+        assert_eq!(stats.estimate_us("sim", 2_000_000), 200);
     }
 
     #[test]

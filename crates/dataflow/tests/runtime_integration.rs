@@ -98,9 +98,7 @@ fn transfer_volume(policy: Policy) -> u64 {
     let config = RuntimeConfig {
         workers: vec![WorkerProfile::cpu(4); 4],
         policy,
-        checkpoint_path: None,
-        transfer_ns_per_byte: 0,
-        seed: 0,
+        ..RuntimeConfig::with_cpu_workers(1)
     };
     let rt: Runtime<Bytes> = Runtime::new(config);
     let mut heads = Vec::new();
@@ -209,9 +207,7 @@ fn wide_fanout_completes_under_constrained_pool() {
     let config = RuntimeConfig {
         workers: vec![WorkerProfile::cpu(8), WorkerProfile::cpu(8), WorkerProfile::gpu(4)],
         policy: Policy::Locality,
-        checkpoint_path: None,
-        transfer_ns_per_byte: 0,
-        seed: 0,
+        ..RuntimeConfig::with_cpu_workers(1)
     };
     let rt: Runtime<Bytes> = Runtime::new(config);
     let mut outs = Vec::new();

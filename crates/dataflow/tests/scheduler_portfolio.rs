@@ -1,0 +1,176 @@
+//! Portfolio-wide scheduler contracts: every policy runs every task
+//! exactly once, respects constraints, computes identical results, and —
+//! given the same seed — reproduces the same placement log.
+
+use dataflow::prelude::*;
+use obs::EventKind;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Builds a small diamond workflow with one GPU-constrained stage and
+/// returns (runtime, final output refs). Shape:
+///
+/// ```text
+///   load ──┬── analyze(cpu) ──┐
+///          ├── analyze(cpu) ──┼── reduce
+///          └── infer(gpu)  ───┘
+/// ```
+fn mixed_pool(policy: Policy, seed: u64) -> Runtime<Bytes> {
+    let config = RuntimeConfig {
+        workers: vec![WorkerProfile::cpu(4), WorkerProfile::cpu(4), WorkerProfile::gpu(2)],
+        policy,
+        seed,
+        ..RuntimeConfig::with_cpu_workers(1)
+    };
+    Runtime::new(config)
+}
+
+fn diamond(rt: &Runtime<Bytes>) -> Vec<DataRef> {
+    let load =
+        rt.task("load").writes(&["raw"]).run(|_| Ok(vec![Bytes(vec![7u8; 64 << 10])])).unwrap();
+    let mut mids = Vec::new();
+    for i in 0..2u64 {
+        let h = rt
+            .task("analyze")
+            .constraint(Constraint::cpu())
+            .reads(&[load.outputs[0].clone()])
+            .writes(&[format!("mid{i}").as_str()])
+            .run(move |inp: &[Arc<Bytes>]| Ok(vec![Bytes::from_u64(inp[0].0.len() as u64 + i)]))
+            .unwrap();
+        mids.push(h.outputs[0].clone());
+    }
+    let infer = rt
+        .task("infer")
+        .constraint(Constraint::gpu())
+        .reads(&[load.outputs[0].clone()])
+        .writes(&["pred"])
+        .run(|inp: &[Arc<Bytes>]| Ok(vec![Bytes::from_u64(inp[0].0.len() as u64 * 2)]))
+        .unwrap();
+    let mut reads = mids.clone();
+    reads.push(infer.outputs[0].clone());
+    let reduce = rt
+        .task("reduce")
+        .reads(&reads)
+        .writes(&["out"])
+        .run(|inp: &[Arc<Bytes>]| {
+            Ok(vec![Bytes::from_u64(inp.iter().map(|b| b.as_u64().unwrap()).sum())])
+        })
+        .unwrap();
+    vec![reduce.outputs[0].clone()]
+}
+
+#[test]
+fn every_policy_runs_each_task_exactly_once_and_agrees() {
+    let mut reference: Option<u64> = None;
+    for policy in Policy::ALL {
+        let rt = mixed_pool(policy, 42);
+        let rx = rt.subscribe();
+        let outs = diamond(&rt);
+        let got = rt.fetch(&outs[0]).unwrap().as_u64().unwrap();
+        rt.barrier().unwrap();
+
+        // Bitwise-identical results across the portfolio.
+        match reference {
+            None => reference = Some(got),
+            Some(want) => {
+                assert_eq!(got, want, "policy {policy} computed a different result")
+            }
+        }
+
+        // Exactly one start per task, no retries.
+        let mut starts: HashMap<u64, u32> = HashMap::new();
+        for e in rx.drain() {
+            if let EventKind::TaskStarted { task, .. } = e.kind {
+                *starts.entry(task).or_default() += 1;
+            }
+        }
+        assert_eq!(starts.len(), 5, "policy {policy}: 5 tasks should start");
+        for (task, n) in &starts {
+            assert_eq!(*n, 1, "policy {policy}: task {task} started {n} times");
+        }
+
+        // Constraints respected: the GPU task landed on the GPU worker
+        // (index 2), CPU-constrained tasks never did.
+        for d in rt.scheduler_decisions() {
+            match &*d.name {
+                "infer" => assert_eq!(d.worker, 2, "policy {policy}: infer must run on gpu"),
+                "analyze" => assert_ne!(d.worker, 2, "policy {policy}: analyze is cpu-only"),
+                _ => {}
+            }
+            assert!(d.actual_us.is_some(), "completed tasks carry measured durations");
+        }
+        assert_eq!(rt.policy_name(), policy.name());
+        rt.shutdown();
+    }
+}
+
+/// Same seed + same policy ⇒ the same placement log. A single worker and a
+/// gate task make the ready-set evolution deterministic, so any
+/// nondeterminism left would come from the scheduler itself.
+#[test]
+fn same_seed_reproduces_identical_placements() {
+    fn placements(policy: Policy, seed: u64) -> Vec<(u64, usize)> {
+        let config = RuntimeConfig {
+            workers: vec![WorkerProfile::cpu(4)],
+            policy,
+            seed,
+            ..RuntimeConfig::with_cpu_workers(1)
+        };
+        let rt: Runtime<Bytes> = Runtime::new(config);
+        let gate = rt
+            .task("gate")
+            .writes(&["g"])
+            .run(|_| {
+                std::thread::sleep(std::time::Duration::from_millis(10));
+                Ok(vec![Bytes::from_u64(0)])
+            })
+            .unwrap();
+        // Everything below becomes ready at once when the gate opens.
+        for i in 0..12u64 {
+            rt.task("work")
+                .reads(&[gate.outputs[0].clone()])
+                .writes(&[format!("w{i}").as_str()])
+                .run(move |_| Ok(vec![Bytes::from_u64(i)]))
+                .unwrap();
+        }
+        rt.barrier().unwrap();
+        let log: Vec<(u64, usize)> =
+            rt.scheduler_decisions().iter().map(|d| (d.task.0, d.worker)).collect();
+        rt.shutdown();
+        log
+    }
+
+    for policy in Policy::ALL {
+        let a = placements(policy, 7);
+        let b = placements(policy, 7);
+        assert_eq!(a, b, "policy {policy} is not deterministic under a fixed seed");
+        assert_eq!(a.len(), 13, "policy {policy}: all 13 tasks placed");
+    }
+}
+
+/// The runtime records an estimate at pick time and patches in the measured
+/// duration at completion, and the decision stream mirrors this through the
+/// obs bus for `climate-wf report`.
+#[test]
+fn decisions_carry_estimates_and_actuals() {
+    let rt = mixed_pool(Policy::Heft, 1);
+    let rx = rt.subscribe();
+    let outs = diamond(&rt);
+    rt.fetch(&outs[0]).unwrap();
+    rt.barrier().unwrap();
+    let decisions = rt.scheduler_decisions();
+    assert_eq!(decisions.len(), 5);
+    for d in &decisions {
+        assert_eq!(d.policy, "heft");
+        assert!(d.actual_us.is_some());
+    }
+    let mut observed = 0;
+    for e in rx.drain() {
+        if let EventKind::SchedulerDecision { policy, .. } = e.kind {
+            assert_eq!(policy, "heft");
+            observed += 1;
+        }
+    }
+    assert_eq!(observed, 5, "one SchedulerDecision event per completed task");
+    rt.shutdown();
+}

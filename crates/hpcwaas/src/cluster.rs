@@ -8,6 +8,7 @@
 //! virtual millisecond clock.
 
 use crate::error::{Error, Result};
+use dataflow::cost::LinkCost;
 
 /// Static description of one node.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -40,12 +41,23 @@ pub struct JobSpec {
     pub duration_ms: u64,
     /// Virtual submission time.
     pub submit_ms: u64,
+    /// Input data the job must stage in before it can run; consulted by
+    /// the placement step when the cluster has per-node staging links.
+    pub input_bytes: u64,
 }
 
 impl JobSpec {
     /// Convenience constructor for CPU jobs submitted at time zero.
     pub fn new(name: &str, cores: u32, duration_ms: u64) -> Self {
-        JobSpec { name: name.into(), cores, memory_gb: 1, gpus: 0, duration_ms, submit_ms: 0 }
+        JobSpec {
+            name: name.into(),
+            cores,
+            memory_gb: 1,
+            gpus: 0,
+            duration_ms,
+            submit_ms: 0,
+            input_bytes: 0,
+        }
     }
 
     /// Builder: submission time.
@@ -57,6 +69,12 @@ impl JobSpec {
     /// Builder: GPU requirement.
     pub fn with_gpus(mut self, gpus: u32) -> Self {
         self.gpus = gpus;
+        self
+    }
+
+    /// Builder: input data that must be staged to the chosen node.
+    pub fn with_input_bytes(mut self, bytes: u64) -> Self {
+        self.input_bytes = bytes;
         self
     }
 }
@@ -100,21 +118,65 @@ const MAX_JOB_ATTEMPTS: u32 = 3;
 pub struct Cluster {
     pub nodes: Vec<NodeSpec>,
     queue: Vec<JobSpec>,
+    /// Per-node staging link from shared storage (GPFS / archive). When
+    /// set, placement breaks ties between fitting nodes by the predicted
+    /// cost of staging the job's `input_bytes` over the node's link —
+    /// the same [`LinkCost`] arithmetic the dataflow schedulers and the
+    /// DLS use. `None` (the default) keeps pure first-fit.
+    staging: Option<Vec<LinkCost>>,
 }
 
 impl Cluster {
     /// A cluster of identical CPU nodes.
     pub fn homogeneous(n_nodes: usize, cores_per_node: u32) -> Self {
-        Cluster { nodes: vec![NodeSpec::cpu(cores_per_node); n_nodes], queue: Vec::new() }
+        Cluster {
+            nodes: vec![NodeSpec::cpu(cores_per_node); n_nodes],
+            queue: Vec::new(),
+            staging: None,
+        }
     }
 
     /// A cluster with an explicit node list.
     pub fn new(nodes: Vec<NodeSpec>) -> Self {
-        Cluster { nodes, queue: Vec::new() }
+        Cluster { nodes, queue: Vec::new(), staging: None }
+    }
+
+    /// Builder: declares one staging link per node (panics on a length
+    /// mismatch — a cluster with half-described storage is a config bug).
+    pub fn with_staging(mut self, links: Vec<LinkCost>) -> Self {
+        assert_eq!(links.len(), self.nodes.len(), "one staging link per node");
+        self.staging = Some(links);
+        self
     }
 
     fn fits(node: &NodeSpec, job: &JobSpec) -> bool {
         node.cores >= job.cores && node.memory_gb >= job.memory_gb && node.gpus >= job.gpus
+    }
+
+    /// Predicted ms to stage the job's input onto `node` (0 without a
+    /// staging model or for data-free jobs).
+    fn staging_ms(&self, node: usize, job: &JobSpec) -> u64 {
+        match &self.staging {
+            Some(links) => links[node].transfer_us(job.input_bytes, 1).div_ceil(1000),
+            None => 0,
+        }
+    }
+
+    /// Cheapest fitting node by predicted staging cost; a *strict* min, so
+    /// ties resolve to the lowest index — identical to first-fit whenever
+    /// staging costs are uniform or absent.
+    fn pick_node(&self, job: &JobSpec, free: impl Fn(usize) -> (u32, u32, u32)) -> Option<usize> {
+        let mut best: Option<(u64, usize)> = None;
+        for n in 0..self.nodes.len() {
+            let (c, g, m) = free(n);
+            if c >= job.cores && g >= job.gpus && m >= job.memory_gb {
+                let cost = self.staging_ms(n, job);
+                if best.is_none_or(|(bc, _)| cost < bc) {
+                    best = Some((cost, n));
+                }
+            }
+        }
+        best.map(|(_, n)| n)
     }
 
     /// Enqueues a job; rejects requests no node can ever satisfy.
@@ -183,10 +245,7 @@ impl Cluster {
 
             // Try to start the head now.
             let head = pending[head_idx].job.clone();
-            let node_for_head = (0..self.nodes.len()).find(|&n| {
-                let (c, g, m) = free_at(&running, n, now, &self.nodes);
-                c >= head.cores && g >= head.gpus && m >= head.memory_gb
-            });
+            let node_for_head = self.pick_node(&head, |n| free_at(&running, n, now, &self.nodes));
 
             if let Some(node) = node_for_head {
                 let attempts = pending[head_idx].attempts + 1;
@@ -245,10 +304,7 @@ impl Cluster {
                 if j.submit_ms > now || now + j.duration_ms > shadow {
                     continue;
                 }
-                let node = (0..self.nodes.len()).find(|&n| {
-                    let (c, g, m) = free_at(&running, n, now, &self.nodes);
-                    c >= j.cores && g >= j.gpus && m >= j.memory_gb
-                });
+                let node = self.pick_node(j, |n| free_at(&running, n, now, &self.nodes));
                 if let Some(node) = node {
                     let q = pending.remove(i);
                     let j = q.job;
@@ -421,6 +477,42 @@ mod tests {
         let get = |n: &str| s.placements.iter().find(|p| p.job.name == n).unwrap().clone();
         assert_eq!(get("head").start_ms, 100);
         assert!(get("long-small").start_ms >= 100);
+    }
+
+    #[test]
+    fn staging_cost_steers_placement_to_the_fast_link() {
+        // Two identical nodes; node 0 sits behind a slow WAN link, node 1
+        // on the local fabric. A data-heavy job must land on node 1 even
+        // though first-fit would take node 0; a data-free job keeps the
+        // first-fit choice.
+        let mut c = Cluster::homogeneous(2, 8)
+            .with_staging(vec![LinkCost::new(10.0, 50_000), LinkCost::new(1000.0, 1_000)]);
+        c.submit(JobSpec::new("heavy", 2, 100).with_input_bytes(1_000_000_000)).unwrap();
+        c.submit(JobSpec::new("light", 2, 100)).unwrap();
+        let s = c.schedule();
+        let get = |n: &str| s.placements.iter().find(|p| p.job.name == n).unwrap().clone();
+        assert_eq!(get("heavy").node, 1, "1 GB over 10 MB/s is 100x the local fabric");
+        assert_eq!(get("light").node, 0, "no data, no preference: first fit");
+    }
+
+    #[test]
+    fn uniform_staging_matches_first_fit() {
+        let run = |staged: bool| {
+            let mut c = Cluster::homogeneous(3, 8);
+            if staged {
+                c = c.with_staging(vec![LinkCost::new(100.0, 1_000); 3]);
+            }
+            for i in 0..9 {
+                c.submit(
+                    JobSpec::new(&format!("j{i}"), 2 + (i % 3), 40 + i as u64 * 7)
+                        .with_input_bytes(i as u64 * 1_000_000),
+                )
+                .unwrap();
+            }
+            c.schedule()
+        };
+        let (plain, staged) = (run(false), run(true));
+        assert_eq!(plain.placements, staged.placements, "uniform links must not change FCFS");
     }
 
     #[test]

@@ -60,12 +60,29 @@ impl PipelineSpec {
 }
 
 /// Link parameters between a pair of endpoints.
+///
+/// Thin ms-granular facade over the workspace-wide
+/// [`dataflow::cost::LinkCost`] model, so DLS staging and dataflow
+/// scheduling price the same wire the same way.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Link {
     /// Sustained bandwidth in MB/s.
     pub bandwidth_mbps: f64,
     /// Per-transfer latency in virtual ms.
     pub latency_ms: u64,
+}
+
+impl Link {
+    /// The µs-granular cost model this link delegates its arithmetic to.
+    pub fn cost(&self) -> dataflow::cost::LinkCost {
+        dataflow::cost::LinkCost::new(self.bandwidth_mbps, self.latency_ms * 1000)
+    }
+}
+
+impl From<Link> for dataflow::cost::LinkCost {
+    fn from(l: Link) -> Self {
+        l.cost()
+    }
 }
 
 /// Per-stage execution record.
@@ -127,11 +144,11 @@ impl DataLogistics {
         self.links.get(&(from.clone(), to.clone())).copied().unwrap_or(self.default_link)
     }
 
-    /// Predicted virtual duration of one stage.
+    /// Predicted virtual duration of one stage, priced through the shared
+    /// [`dataflow::cost::LinkCost`] model (no contention: DLS pipelines
+    /// run their stages sequentially).
     pub fn predict_stage_ms(&self, s: &Stage) -> u64 {
-        let l = self.link(&s.from, &s.to);
-        let transfer = (s.bytes as f64 / (l.bandwidth_mbps * 1_000_000.0)) * 1000.0;
-        l.latency_ms + transfer.ceil() as u64
+        self.link(&s.from, &s.to).cost().transfer_us(s.bytes, 1).div_ceil(1000)
     }
 
     /// Executes a pipeline, returning (and recording) the report.

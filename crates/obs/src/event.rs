@@ -66,6 +66,18 @@ pub enum EventKind {
     },
     /// Scheduler queue depth after a transition (gauge-style sample).
     QueueDepth { ready: usize, running: usize },
+    /// One scheduler placement decision, emitted when the placed task
+    /// completes so the record carries both the cost the policy estimated
+    /// at decision time (`est_us` = predicted fetch + run) and the
+    /// measured duration (`actual_us`) — placement quality in one event.
+    SchedulerDecision {
+        policy: &'static str,
+        task: u64,
+        name: Arc<str>,
+        worker: usize,
+        est_us: u64,
+        actual_us: u64,
+    },
 
     // --- datacube: fragment kernels -----------------------------------
     /// One fragment went through an operator kernel on an I/O server.
@@ -130,6 +142,7 @@ impl EventKind {
             EventKind::ResumedFrom { .. } => "resumed_from",
             EventKind::TaskFinished { .. } => "task_finished",
             EventKind::QueueDepth { .. } => "queue_depth",
+            EventKind::SchedulerDecision { .. } => "scheduler_decision",
             EventKind::KernelDone { .. } => "kernel_done",
             EventKind::OperatorDone { .. } => "operator_done",
             EventKind::StepCompleted { .. } => "step_completed",

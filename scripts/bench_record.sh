@@ -1,8 +1,8 @@
 #!/usr/bin/env bash
 # Records the perf trajectory: runs the c2_baseline_reuse,
-# c4_fragment_scaling, d1_esm_output and s1_serve_sweep benches (with the
-# counting allocator compiled in) and writes a BENCH_<date>[-label].json
-# summary at the repo root.
+# c4_fragment_scaling, d1_esm_output, s1_serve_sweep and a1_sched_policy
+# benches (with the counting allocator compiled in) and writes a
+# BENCH_<date>[-label].json summary at the repo root.
 #
 # Usage: scripts/bench_record.sh [label]
 #   label  optional suffix for the output file, e.g. `pre` / `post` when
@@ -15,7 +15,7 @@ out="BENCH_$(date +%F)${label:+-$label}.json"
 tmp="$(mktemp -d)"
 trap 'rm -rf "$tmp"' EXIT
 
-benches=(c2_baseline_reuse c4_fragment_scaling d1_esm_output s1_serve_sweep)
+benches=(c2_baseline_reuse c4_fragment_scaling d1_esm_output s1_serve_sweep a1_sched_policy)
 for b in "${benches[@]}"; do
   echo "[bench_record] running $b ..."
   cargo bench -p bench --features count-alloc --bench "$b" >"$tmp/$b.out" 2>"$tmp/$b.err" \
@@ -38,9 +38,11 @@ TIME = re.compile(
 ALLOC = re.compile(r"^\[c4-alloc\] stage=(?P<stage>\S+) allocs=(?P<allocs>\d+) bytes=(?P<bytes>\d+)")
 # Serving-sweep metric line: `[serve] stage=sweep key=value ...`.
 SERVE = re.compile(r"^\[serve\] stage=(?P<stage>\S+) (?P<kv>.+)$")
+# Scheduler-portfolio line: `[a1_sched] shape=... policy=... key=value ...`.
+A1 = re.compile(r"^\[a1_sched\] (?P<kv>.+)$")
 NS = {"ns": 1, "us": 1e3, "ms": 1e6, "s": 1e9}
 
-record = {"date": date.today().isoformat(), "benches": {}, "alloc": {}, "serve": []}
+record = {"date": date.today().isoformat(), "benches": {}, "alloc": {}, "serve": [], "a1_sched": []}
 for b in benches:
     with open(f"{tmp}/{b}.out") as f:
         for line in f:
@@ -70,6 +72,17 @@ for b in benches:
                     except ValueError:
                         point[k] = v
                 record["serve"].append(point)
+                continue
+            m = A1.match(line.strip())
+            if m:
+                point = {}
+                for kv in m["kv"].split():
+                    k, _, v = kv.partition("=")
+                    try:
+                        point[k] = int(v) if v.lstrip("-").isdigit() else float(v)
+                    except ValueError:
+                        point[k] = v
+                record["a1_sched"].append(point)
 
 if not record["benches"]:
     sys.exit("bench_record: no benchmark lines parsed")
@@ -78,5 +91,5 @@ with open(out_path, "w") as f:
     f.write("\n")
 print(f"[bench_record] wrote {out_path}: "
       f"{len(record['benches'])} benches, {len(record['alloc'])} alloc stages, "
-      f"{len(record['serve'])} serve points")
+      f"{len(record['serve'])} serve points, {len(record['a1_sched'])} a1_sched points")
 PY

@@ -77,4 +77,10 @@ echo "== obs overhead budget (inactive-bus emit) =="
 OBS_OVERHEAD_BUDGET_NS="${OBS_OVERHEAD_BUDGET_NS:-25}" \
     cargo bench -p bench --bench obs_overhead -- --test
 
+echo "== scheduler portfolio: all policies place correctly and deterministically =="
+cargo test -p dataflow --test scheduler_portfolio -q
+cargo run -q -p climate-workflows --bin climate-wf -- run --years 1 --days 2 \
+    --policy heft --out "$smoke/heft-run" > "$smoke/heft-run.out"
+grep -q "scheduling: policy heft" "$smoke/heft-run.out"
+
 echo "All checks passed."
