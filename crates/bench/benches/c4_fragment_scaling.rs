@@ -16,6 +16,7 @@ use bench::{alloc, baseline_cube, year_cube};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use datacube::exec::ExecConfig;
 use datacube::expr::Expr;
+use datacube::fuse::Pipeline;
 use datacube::model::Cube;
 use datacube::ops::{
     apply, exportnc, import_transposed, intercube, map_series, reduce, InterOp, ReduceOp,
@@ -52,9 +53,23 @@ fn ingest_file() -> PathBuf {
     path
 }
 
-/// The measured e2e data plane: ingest → anomaly → mask → index → export.
-/// Exports the (large) anomaly cube — the pipeline's materialization
-/// boundary — plus the index map, mirroring the paper's per-year outputs.
+/// Builds the fused anomaly→mask→index chain: one kernel per fragment
+/// touches every day exactly once, with a tap materializing the anomaly
+/// cube (the pipeline's export boundary) in the same pass.
+fn fused_chain(baseline: &Cube, mask_expr: &Expr) -> Pipeline {
+    Pipeline::new().intercube(baseline, InterOp::Sub).tap().apply(mask_expr.clone()).map_series(
+        "hwd",
+        1,
+        |row, out| {
+            out[0] = extremes::heatwave::longest_wave(row, 6) as f32;
+        },
+    )
+}
+
+/// The measured e2e data plane: ingest → fused(anomaly ⊕ mask ⊕ index)
+/// → export. The anomaly cube — the pipeline's materialization boundary —
+/// comes out of the fused pass as a tap and is exported alongside the
+/// index map, mirroring the paper's per-year outputs.
 fn pipeline_e2e(
     src: &Path,
     baseline: &Cube,
@@ -64,14 +79,10 @@ fn pipeline_e2e(
 ) -> f32 {
     let rd = Reader::open(src).unwrap();
     let cube = import_transposed(&rd, "tasmax", "day", "lat", "lon", NFRAG, cfg).unwrap();
-    let anom = intercube(&cube, baseline, InterOp::Sub, cfg).unwrap();
-    let mask = apply(&anom, mask_expr, cfg);
-    let runs = map_series(&mask, "hwd", 1, cfg, |row| {
-        vec![extremes::heatwave::longest_wave(row, 6) as f32]
-    })
-    .unwrap();
+    let fused = fused_chain(baseline, mask_expr).run(&cube, cfg).unwrap();
+    let anom = fused.tapped.expect("tap requested");
     exportnc(&anom, out_path).unwrap();
-    runs.to_dense()[0]
+    fused.cube.to_dense()[0]
 }
 
 /// One-shot per-stage allocation audit of the e2e pipeline, printed as
@@ -105,6 +116,11 @@ fn report_stage_allocs(src: &Path, baseline: &Cube, mask_expr: &Expr, out_path: 
 
     let (_, st) = alloc::measured(|| exportnc(&anom, out_path).unwrap());
     lines.push(("export", st));
+
+    // The fused equivalent of anomaly+mask+index in one traversal.
+    let (fused, st) = alloc::measured(|| fused_chain(baseline, mask_expr).run(&cube, cfg));
+    std::hint::black_box(fused.unwrap().cube.to_dense()[0]);
+    lines.push(("fused_chain", st));
 
     let total: alloc::AllocStats =
         lines.iter().fold(alloc::AllocStats::default(), |acc, (_, s)| alloc::AllocStats {
@@ -143,6 +159,13 @@ fn bench(c: &mut Criterion) {
                 })
                 .unwrap();
                 std::hint::black_box(runs.to_dense()[0]);
+            });
+        });
+        g.bench_with_input(BenchmarkId::new("fused_pipeline", servers), &servers, |b, _| {
+            let p = fused_chain(&baseline, &mask_expr);
+            b.iter(|| {
+                let out = p.run(&cube, cfg).unwrap();
+                std::hint::black_box(out.cube.to_dense()[0]);
             });
         });
         g.bench_with_input(BenchmarkId::new("reduce_max", servers), &servers, |b, _| {

@@ -147,6 +147,73 @@ where
     out
 }
 
+/// [`par_map_fragments_named`] for kernels that produce **two** payloads
+/// per fragment in one traversal: the primary output and a *tapped*
+/// intermediate (the fused-pipeline pattern — e.g. materializing the
+/// anomaly cube while also computing its reduction, without touching the
+/// fragment twice). Returns `(primary, tapped)` fragment vectors; both
+/// preserve `row_start`/`row_count`/`server` and the input order.
+pub fn par_map_fragments_tapped<F>(
+    cfg: ExecConfig,
+    op: &'static str,
+    frags: &[Fragment],
+    kernel: F,
+) -> (Vec<Fragment>, Vec<Fragment>)
+where
+    F: Fn(&Fragment) -> (SharedData, SharedData) + Sync,
+{
+    if frags.is_empty() {
+        return (Vec::new(), Vec::new());
+    }
+    let _op_span = if obs::global_active() { Some(obs::trace::span(op)) } else { None };
+    let op_start = Instant::now();
+
+    struct TappedRun {
+        out: SharedData,
+        tap: SharedData,
+        server: usize,
+        micros: u64,
+    }
+    let runs: Vec<TappedRun> = par::global().par_map_lanes(cfg.io_servers, frags, |lane, _i, f| {
+        let t0 = Instant::now();
+        let (out, tap) = kernel(f);
+        TappedRun { out, tap, server: lane, micros: t0.elapsed().as_micros() as u64 }
+    });
+
+    let bus = obs::global();
+    let kernel_us = obs::registry().histogram("datacube_kernel_us", &[("op", op)]);
+    let mut primary = Vec::with_capacity(frags.len());
+    let mut tapped = Vec::with_capacity(frags.len());
+    for (f, r) in frags.iter().zip(runs) {
+        kernel_us.observe(r.micros);
+        bus.emit_with(|| obs::EventKind::KernelDone {
+            op,
+            server: r.server,
+            rows: f.row_count,
+            micros: r.micros,
+        });
+        primary.push(Fragment {
+            row_start: f.row_start,
+            row_count: f.row_count,
+            server: f.server,
+            data: r.out,
+        });
+        tapped.push(Fragment {
+            row_start: f.row_start,
+            row_count: f.row_count,
+            server: f.server,
+            data: r.tap,
+        });
+    }
+    obs::registry().counter("datacube_fragments_total", &[("op", op)]).add(primary.len() as u64);
+    bus.emit_with(|| obs::EventKind::OperatorDone {
+        op,
+        fragments: primary.len(),
+        micros: op_start.elapsed().as_micros() as u64,
+    });
+    (primary, tapped)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -207,6 +274,25 @@ mod tests {
         let input = frags(2, 1, 1);
         let out = par_map_fragments(ExecConfig::with_servers(16), &input, |f| f.data.clone());
         assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn tapped_map_returns_both_payloads_in_order() {
+        let input = frags(5, 2, 3);
+        let (primary, tapped) =
+            par_map_fragments_tapped(ExecConfig::with_servers(3), "tap", &input, |f| {
+                let out: SharedData = f.data.iter().map(|v| v + 1.0).collect();
+                let tap: SharedData = f.data.iter().map(|v| v * 2.0).collect();
+                (out, tap)
+            });
+        assert_eq!(primary.len(), 5);
+        assert_eq!(tapped.len(), 5);
+        for ((a, p), t) in input.iter().zip(&primary).zip(&tapped) {
+            assert_eq!(p.row_start, a.row_start);
+            assert_eq!(t.server, a.server);
+            assert_eq!(p.data[0], a.data[0] + 1.0);
+            assert_eq!(t.data[0], a.data[0] * 2.0);
+        }
     }
 
     #[test]

@@ -1,0 +1,863 @@
+//! Fused operator-chain execution: one pass per fragment.
+//!
+//! The scalar operator set in [`crate::ops`] runs each operator as its own
+//! sweep over every fragment — a chain of subset → apply → intercube →
+//! reduce touches each byte once *per operator*. Climate analytics
+//! throughput is bound by how few times each byte is touched, so this
+//! module compiles such a chain into a single fused per-fragment kernel:
+//! the fragment's [`SharedData`] window is traversed exactly once, with
+//! the element-wise stages evaluated on [`LANES`]-wide blocks (hand
+//! unrolled; the optimizer turns the per-lane loops into SIMD — no
+//! nightly features) and `apply` expressions pre-compiled to a flat
+//! [`Tape`] instead of re-walking the AST per element.
+//!
+//! # Fusion legality rules
+//!
+//! * Element-wise stages (`apply`, `intercube`) and implicit-dimension
+//!   subsets commute with evaluating only the *surviving* element
+//!   positions, so the compiler canonicalizes the chain into a gather map
+//!   (final position → source index) plus a stage list evaluated at final
+//!   positions only. Work dropped by a later subset is never computed.
+//! * At most one **terminal** (a `reduce` or a `map_series`) is allowed,
+//!   and it must be last: a reduction changes the index space, after
+//!   which element positions no longer line up with any source gather.
+//! * A [`Pipeline::tap`] (materialize the intermediate cube at that point
+//!   in the same traversal) must not be followed by a `subset`: the tap
+//!   must share the final index space or it would need positions the
+//!   fused kernel never evaluates.
+//!
+//! # Bitwise conformance & the summation-order contract
+//!
+//! The scalar operator-by-operator path stays in-tree as the **oracle**:
+//! [`Pipeline::run_scalar`] executes the same chain through [`crate::ops`]
+//! and the differential suite (`tests/fused_conformance.rs`) asserts
+//! `to_bits` equality against [`Pipeline::run`] under random chains,
+//! fragmentations, lane remainders, and NaN/inf payloads. This works
+//! because every fused stage performs the identical f32/f64 operation
+//! sequence per element, and reductions follow the [`ReduceOp`] ordering
+//! contract: accumulation is strictly sequential in series order — never
+//! re-associated into per-lane partials — so fused == unfused bitwise
+//! regardless of lane width or thread count.
+
+use crate::error::{Error, Result};
+use crate::exec::{par_map_fragments_named, par_map_fragments_tapped, ExecConfig};
+use crate::expr::{ConstSelect, Expr, Tape, TapeEval, LANES};
+use crate::model::{Cube, DimKind, Dimension, Fragment, SharedData};
+use crate::ops::{self, InterOp, ReduceOp};
+use std::sync::Arc;
+
+/// Per-row series kernel of a `map_series` terminal: reads the (virtual)
+/// row and writes exactly `out_len` values.
+pub type SeriesFn = dyn Fn(&[f32], &mut [f32]) + Send + Sync;
+
+enum Step {
+    Subset { dim: String, lo: usize, hi: usize },
+    Apply(Expr),
+    Inter { b: Cube, op: InterOp },
+}
+
+enum Terminal {
+    Reduce { op: ReduceOp, dim: String },
+    Series { out_dim: String, out_len: usize, f: Arc<SeriesFn> },
+}
+
+/// Result of a fused run: the pipeline output plus the tapped
+/// intermediate cube, when [`Pipeline::tap`] was requested.
+pub struct FusedOutput {
+    pub cube: Cube,
+    pub tapped: Option<Cube>,
+}
+
+/// A fusible operator chain, built once and runnable against any
+/// compatible source cube. See the module docs for legality rules.
+///
+/// ```
+/// # use datacube::{fuse::Pipeline, ops::{InterOp, ReduceOp}, Expr, ExecConfig};
+/// # use datacube::model::{Cube, Dimension};
+/// # let dims = vec![Dimension::explicit("x", vec![0.0]),
+/// #                 Dimension::implicit("t", vec![0.0, 1.0, 2.0, 3.0])];
+/// # let cube = Cube::from_dense("v", dims, vec![1.0, -2.0, 3.0, -4.0], 1, 1).unwrap();
+/// let p = Pipeline::new()
+///     .apply(Expr::parse("abs(x)").unwrap())
+///     .reduce(ReduceOp::Max, "t");
+/// let out = p.run(&cube, ExecConfig::serial()).unwrap();
+/// assert_eq!(out.cube.to_dense(), vec![4.0]);
+/// ```
+pub struct Pipeline {
+    steps: Vec<Step>,
+    terminal: Option<Terminal>,
+    /// Step index the tap sits *before* (i.e. after `steps[..tap_at]`).
+    tap_at: Option<usize>,
+    err: Option<String>,
+}
+
+impl Default for Pipeline {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Pipeline {
+    pub fn new() -> Self {
+        Pipeline { steps: Vec::new(), terminal: None, tap_at: None, err: None }
+    }
+
+    fn push(mut self, step: Step) -> Self {
+        if self.terminal.is_some() && self.err.is_none() {
+            self.err = Some("steps after a terminal are not fusible".into());
+        }
+        if matches!(step, Step::Subset { .. }) && self.tap_at.is_some() && self.err.is_none() {
+            self.err = Some("subset after tap is not fusible".into());
+        }
+        self.steps.push(step);
+        self
+    }
+
+    /// Subsets an implicit dimension to `lo..hi` (as
+    /// [`ops::subset_implicit`]).
+    pub fn subset_implicit(self, dim: &str, lo: usize, hi: usize) -> Self {
+        self.push(Step::Subset { dim: dim.into(), lo, hi })
+    }
+
+    /// Applies an element-wise expression (as [`ops::apply`]).
+    pub fn apply(self, expr: Expr) -> Self {
+        self.push(Step::Apply(expr))
+    }
+
+    /// Element-wise arithmetic against cube `b` (as [`ops::intercube`]:
+    /// same row space; `b`'s implicit length must match the chain's
+    /// current implicit length or be 1, broadcasting per row). `b` is
+    /// captured by O(1) clone — payload buffers are shared.
+    pub fn intercube(self, b: &Cube, op: InterOp) -> Self {
+        self.push(Step::Inter { b: b.clone(), op })
+    }
+
+    /// Materializes the intermediate cube at this point of the chain in
+    /// the same fused traversal ([`FusedOutput::tapped`]). No `subset` may
+    /// follow.
+    pub fn tap(mut self) -> Self {
+        if self.tap_at.is_some() && self.err.is_none() {
+            self.err = Some("a pipeline supports a single tap".into());
+        }
+        self.tap_at = Some(self.steps.len());
+        self
+    }
+
+    /// Terminal reduction over implicit dimension `dim` (as
+    /// [`ops::reduce`]). Must be the last stage.
+    pub fn reduce(mut self, op: ReduceOp, dim: &str) -> Self {
+        if self.terminal.is_some() && self.err.is_none() {
+            self.err = Some("a pipeline supports a single terminal".into());
+        }
+        self.terminal = Some(Terminal::Reduce { op, dim: dim.into() });
+        self
+    }
+
+    /// Terminal per-row series transform (as [`ops::map_series`], with the
+    /// kernel writing into a preallocated `out_len` slice instead of
+    /// returning a `Vec`). Must be the last stage.
+    pub fn map_series(
+        mut self,
+        out_dim: &str,
+        out_len: usize,
+        f: impl Fn(&[f32], &mut [f32]) + Send + Sync + 'static,
+    ) -> Self {
+        if self.terminal.is_some() && self.err.is_none() {
+            self.err = Some("a pipeline supports a single terminal".into());
+        }
+        self.terminal = Some(Terminal::Series { out_dim: out_dim.into(), out_len, f: Arc::new(f) });
+        self
+    }
+
+    /// Runs the chain as ONE fused kernel per fragment of `src`.
+    pub fn run(&self, src: &Cube, cfg: ExecConfig) -> Result<FusedOutput> {
+        let c = self.compile(src)?;
+        let has_tap = c.tap_stage.is_some();
+        let run_frag = |f: &Fragment| -> (SharedData, SharedData) {
+            let mut states: Vec<RunState> = c
+                .stages
+                .iter()
+                .map(|s| match s {
+                    CStage::Apply(t) => RunState::Apply(t.evaluator()),
+                    CStage::ApplySelect(_) => RunState::Stateless,
+                    CStage::Inter { border, .. } => RunState::Inter {
+                        bi: border.partition_point(|bf| bf.row_start + bf.row_count <= f.row_start),
+                        row_off: 0,
+                    },
+                })
+                .collect();
+            let mut scratch = vec![0.0f32; if c.terminal.is_some() { c.v_ilen } else { 0 }];
+            let out_total = f.row_count * c.out_row_len;
+            let tap_total = f.row_count * c.v_ilen;
+            let mut tap_data = SharedData::empty();
+            let out = if out_total == 0 {
+                // `from_fn(0, _)` never invokes its fill closure, so drive
+                // the traversal from the tap buffer when only it has data
+                // (e.g. a `map_series` terminal with out_len 0 plus a tap).
+                if has_tap && tap_total > 0 {
+                    tap_data = SharedData::from_fn(tap_total, |tapdst| {
+                        c.run_fragment(f, &mut states, &mut scratch, &mut [], Some(tapdst));
+                    });
+                }
+                SharedData::empty()
+            } else {
+                SharedData::from_fn(out_total, |dst| {
+                    if has_tap {
+                        tap_data = SharedData::from_fn(tap_total, |tapdst| {
+                            c.run_fragment(f, &mut states, &mut scratch, dst, Some(tapdst));
+                        });
+                    } else {
+                        c.run_fragment(f, &mut states, &mut scratch, dst, None);
+                    }
+                })
+            };
+            (out, tap_data)
+        };
+        let (frags, tap_frags) = if has_tap {
+            par_map_fragments_tapped(cfg, "fuse", &src.frags, run_frag)
+        } else {
+            (par_map_fragments_named(cfg, "fuse", &src.frags, |f| run_frag(f).0), Vec::new())
+        };
+        let cube = Cube {
+            measure: src.measure.clone(),
+            dims: c.out_dims,
+            frags,
+            description: format!("fused({} stages)", self.steps.len()),
+        };
+        cube.validate()?;
+        let tapped = match c.tap_dims {
+            Some(dims) => {
+                let t = Cube {
+                    measure: src.measure.clone(),
+                    dims,
+                    frags: tap_frags,
+                    description: "fused tap".into(),
+                };
+                t.validate()?;
+                Some(t)
+            }
+            None => None,
+        };
+        Ok(FusedOutput { cube, tapped })
+    }
+
+    /// Runs the same chain operator-by-operator through [`crate::ops`] —
+    /// the scalar oracle the conformance suite compares against bitwise.
+    pub fn run_scalar(&self, src: &Cube, cfg: ExecConfig) -> Result<FusedOutput> {
+        if let Some(msg) = &self.err {
+            return Err(Error::SchemaMismatch(msg.clone()));
+        }
+        let mut cur = src.clone();
+        let mut tapped = None;
+        for (i, step) in self.steps.iter().enumerate() {
+            if self.tap_at == Some(i) {
+                tapped = Some(cur.clone());
+            }
+            cur = match step {
+                Step::Subset { dim, lo, hi } => ops::subset_implicit(&cur, dim, *lo, *hi, cfg)?,
+                Step::Apply(e) => ops::apply(&cur, e, cfg),
+                Step::Inter { b, op } => ops::intercube(&cur, b, *op, cfg)?,
+            };
+        }
+        if self.tap_at == Some(self.steps.len()) {
+            tapped = Some(cur.clone());
+        }
+        let cube = match &self.terminal {
+            None => cur,
+            Some(Terminal::Reduce { op, dim }) => ops::reduce(&cur, *op, dim, cfg)?,
+            Some(Terminal::Series { out_dim, out_len, f }) => {
+                let f = Arc::clone(f);
+                let n = *out_len;
+                ops::map_series(&cur, out_dim, n, cfg, move |row| {
+                    let mut out = vec![0.0f32; n];
+                    f(row, &mut out);
+                    out
+                })?
+            }
+        };
+        Ok(FusedOutput { cube, tapped })
+    }
+
+    /// Validates the chain against `src`'s schema and lowers it to the
+    /// kernel program: gather map, stage list with b-index maps, terminal
+    /// geometry, output dims.
+    fn compile<'p>(&'p self, src: &Cube) -> Result<Compiled<'p>> {
+        if let Some(msg) = &self.err {
+            return Err(Error::SchemaMismatch(msg.clone()));
+        }
+        let ilen_of = |dims: &[Dimension]| -> usize {
+            dims.iter().filter(|d| d.kind == DimKind::Implicit).map(|d| d.len()).product()
+        };
+        let mut dims = src.dims.clone();
+        let mut stages: Vec<CStage<'p>> = Vec::new();
+        // Compile-time event trail for the reverse index walk: subsets and
+        // runtime-stage markers in chain order.
+        enum Ev {
+            Subset(SubsetGeom),
+            Stage(usize),
+        }
+        let mut events: Vec<Ev> = Vec::new();
+        let mut tap_stage = None;
+        for (i, step) in self.steps.iter().enumerate() {
+            if self.tap_at == Some(i) {
+                tap_stage = Some(stages.len());
+            }
+            match step {
+                Step::Subset { dim, lo, hi } => {
+                    let d = dims
+                        .iter()
+                        .find(|x| x.name == *dim)
+                        .ok_or_else(|| Error::UnknownDimension(dim.clone()))?;
+                    if d.kind != DimKind::Implicit {
+                        return Err(Error::WrongDimensionKind {
+                            dim: dim.clone(),
+                            need: "implicit",
+                        });
+                    }
+                    if *lo >= *hi || *hi > d.len() {
+                        return Err(Error::BadRange {
+                            dim: dim.clone(),
+                            lo: *lo,
+                            hi: *hi,
+                            size: d.len(),
+                        });
+                    }
+                    let idims: Vec<&Dimension> =
+                        dims.iter().filter(|x| x.kind == DimKind::Implicit).collect();
+                    let pos = idims.iter().position(|x| x.name == *dim).expect("dim checked");
+                    let after: usize = idims[pos + 1..].iter().map(|x| x.len()).product();
+                    let target = idims[pos].len();
+                    events.push(Ev::Subset(SubsetGeom { target, after, lo: *lo, keep: hi - lo }));
+                    for x in dims.iter_mut() {
+                        if x.name == *dim {
+                            x.coords = Arc::from(&x.coords[*lo..*hi]);
+                        }
+                    }
+                }
+                Step::Apply(e) => {
+                    events.push(Ev::Stage(stages.len()));
+                    let tape = e.tape();
+                    stages.push(match tape.const_select() {
+                        Some(cs) => CStage::ApplySelect(cs),
+                        None => CStage::Apply(tape),
+                    });
+                }
+                Step::Inter { b, op } => {
+                    if src.rows() != b.rows() {
+                        return Err(Error::SchemaMismatch(format!(
+                            "row spaces differ: {} vs {}",
+                            src.rows(),
+                            b.rows()
+                        )));
+                    }
+                    let ilen_now = ilen_of(&dims);
+                    let ilen_b = b.implicit_len();
+                    if ilen_b != ilen_now && ilen_b != 1 {
+                        return Err(Error::SchemaMismatch(format!(
+                            "implicit lengths incompatible: {ilen_now} vs {ilen_b}"
+                        )));
+                    }
+                    events.push(Ev::Stage(stages.len()));
+                    stages.push(CStage::Inter {
+                        op: *op,
+                        ilen_b,
+                        border: b.frags_in_row_order(),
+                        bmap: None,
+                    });
+                }
+            }
+        }
+        if self.tap_at == Some(self.steps.len()) {
+            tap_stage = Some(stages.len());
+        }
+        let v_ilen = ilen_of(&dims);
+        let tap_dims = tap_stage.map(|_| dims.clone());
+
+        // Reverse walk: compose subset output→input index maps so `cur`
+        // always maps final element positions to the index space at the
+        // walk's current point; snapshot it at each intercube stage.
+        let mut cur: Vec<usize> = (0..v_ilen).collect();
+        let mut identity = true;
+        for ev in events.iter().rev() {
+            match ev {
+                Ev::Stage(k) => {
+                    if !identity {
+                        if let CStage::Inter { bmap, ilen_b, .. } = &mut stages[*k] {
+                            if *ilen_b != 1 {
+                                *bmap = Some(cur.clone());
+                            }
+                        }
+                    }
+                }
+                Ev::Subset(g) => {
+                    let sel = g.keep * g.after;
+                    for o in cur.iter_mut() {
+                        let b = *o / sel;
+                        let rem = *o % sel;
+                        *o = b * g.target * g.after
+                            + (g.lo + rem / g.after) * g.after
+                            + rem % g.after;
+                    }
+                    identity = false;
+                }
+            }
+        }
+        let gather = if identity { None } else { Some(cur) };
+
+        // Terminal geometry + output dims.
+        let (terminal, out_row_len) = match &self.terminal {
+            None => (None, v_ilen),
+            Some(Terminal::Reduce { op, dim }) => {
+                let d = dims
+                    .iter()
+                    .find(|x| x.name == *dim)
+                    .ok_or_else(|| Error::UnknownDimension(dim.clone()))?;
+                if d.kind != DimKind::Implicit {
+                    return Err(Error::WrongDimensionKind { dim: dim.clone(), need: "implicit" });
+                }
+                let idims: Vec<&Dimension> =
+                    dims.iter().filter(|x| x.kind == DimKind::Implicit).collect();
+                let pos = idims.iter().position(|x| x.name == *dim).expect("dim checked");
+                let after: usize = idims[pos + 1..].iter().map(|x| x.len()).product();
+                let target = idims[pos].len();
+                let before: usize = idims[..pos].iter().map(|x| x.len()).product();
+                dims.retain(|x| x.name != *dim);
+                (Some(CTerm::Reduce { op: *op, before, target, after }), before * after)
+            }
+            Some(Terminal::Series { out_dim, out_len, f }) => {
+                dims.retain(|x| x.kind == DimKind::Explicit);
+                if *out_len > 0 {
+                    dims.push(Dimension::implicit(
+                        out_dim,
+                        (0..*out_len).map(|i| i as f64).collect::<Vec<_>>(),
+                    ));
+                }
+                (Some(CTerm::Series { out_len: *out_len, f: f.as_ref() }), *out_len)
+            }
+        };
+        Ok(Compiled {
+            stages,
+            gather,
+            src_ilen: src.implicit_len(),
+            v_ilen,
+            tap_stage,
+            terminal,
+            out_dims: dims,
+            tap_dims,
+            out_row_len,
+        })
+    }
+}
+
+/// Geometry of one implicit subset inside the in-row layout.
+struct SubsetGeom {
+    target: usize,
+    after: usize,
+    lo: usize,
+    keep: usize,
+}
+
+enum CStage<'p> {
+    Apply(Tape),
+    /// `predicate(x ⋈ c, a, b)` collapsed to a branchless constant select
+    /// (see [`Tape::const_select`]); bitwise equal to the tape path.
+    ApplySelect(ConstSelect),
+    Inter {
+        op: InterOp,
+        ilen_b: usize,
+        /// `b`'s fragments sorted by `row_start`.
+        border: Vec<&'p Fragment>,
+        /// Final position → b-row index at this stage; `None` = identity
+        /// (no subsets after this stage) or per-row broadcast.
+        bmap: Option<Vec<usize>>,
+    },
+}
+
+enum CTerm<'p> {
+    Reduce { op: ReduceOp, before: usize, target: usize, after: usize },
+    Series { out_len: usize, f: &'p SeriesFn },
+}
+
+/// Per-fragment mutable state, one slot per runtime stage.
+enum RunState<'t> {
+    Apply(TapeEval<'t>),
+    /// Constant-select stages carry no state.
+    Stateless,
+    Inter {
+        bi: usize,
+        row_off: usize,
+    },
+}
+
+struct Compiled<'p> {
+    stages: Vec<CStage<'p>>,
+    /// Final element position → source in-row index (`None` = identity).
+    gather: Option<Vec<usize>>,
+    src_ilen: usize,
+    /// Virtual row length after all element-wise stages.
+    v_ilen: usize,
+    /// Runtime-stage boundary the tap sits at (elements captured after
+    /// `stages[..tap_stage]`).
+    tap_stage: Option<usize>,
+    terminal: Option<CTerm<'p>>,
+    out_dims: Vec<Dimension>,
+    tap_dims: Option<Vec<Dimension>>,
+    out_row_len: usize,
+}
+
+impl Compiled<'_> {
+    /// The fused kernel body: every row of `f` is evaluated in
+    /// [`LANES`]-wide blocks through the stage list, then fed to the
+    /// terminal. Partial tail blocks pad with the block's first valid
+    /// lane — all operations are pure per-element, so the padded lanes
+    /// compute garbage that is simply not stored.
+    fn run_fragment(
+        &self,
+        f: &Fragment,
+        states: &mut [RunState],
+        scratch: &mut [f32],
+        dst: &mut [f32],
+        mut tap: Option<&mut [f32]>,
+    ) {
+        let ilen = self.src_ilen;
+        let v = self.v_ilen;
+        let orl = self.out_row_len;
+        for local_row in 0..f.row_count {
+            let row = &f.data.as_slice()[local_row * ilen..(local_row + 1) * ilen];
+            let grow = f.row_start + local_row;
+            // Advance each intercube stage's fragment cursor to this row.
+            for (stage, state) in self.stages.iter().zip(states.iter_mut()) {
+                if let (CStage::Inter { border, ilen_b, .. }, RunState::Inter { bi, row_off }) =
+                    (stage, state)
+                {
+                    while border[*bi].row_start + border[*bi].row_count <= grow {
+                        *bi += 1;
+                    }
+                    *row_off = (grow - border[*bi].row_start) * ilen_b;
+                }
+            }
+            let mut tap_row =
+                tap.as_deref_mut().map(|t| &mut t[local_row * v..(local_row + 1) * v]);
+            {
+                // Element-wise phase: straight into the output row when
+                // there is no terminal, else into the scratch row.
+                let ew: &mut [f32] = if self.terminal.is_some() {
+                    &mut scratch[..]
+                } else {
+                    &mut dst[local_row * orl..(local_row + 1) * orl]
+                };
+                let mut j = 0usize;
+                while j < v {
+                    let n = (v - j).min(LANES);
+                    let mut va = [0.0f32; LANES];
+                    match &self.gather {
+                        Some(g) => {
+                            for l in 0..n {
+                                va[l] = row[g[j + l]];
+                            }
+                        }
+                        None => va[..n].copy_from_slice(&row[j..j + n]),
+                    }
+                    for l in n..LANES {
+                        va[l] = va[0];
+                    }
+                    if self.tap_stage == Some(0) {
+                        if let Some(tr) = tap_row.as_deref_mut() {
+                            tr[j..j + n].copy_from_slice(&va[..n]);
+                        }
+                    }
+                    for (si, (stage, state)) in
+                        self.stages.iter().zip(states.iter_mut()).enumerate()
+                    {
+                        match (stage, state) {
+                            (CStage::Apply(_), RunState::Apply(ev)) => {
+                                let mut x = [0.0f64; LANES];
+                                for l in 0..LANES {
+                                    x[l] = va[l] as f64;
+                                }
+                                let mut y = [0.0f64; LANES];
+                                ev.eval_block(&x, &mut y);
+                                for l in 0..LANES {
+                                    va[l] = y[l] as f32;
+                                }
+                            }
+                            (CStage::ApplySelect(cs), RunState::Stateless) => {
+                                for v in va.iter_mut() {
+                                    *v = cs.eval(*v as f64) as f32;
+                                }
+                            }
+                            (
+                                CStage::Inter { op, ilen_b, border, bmap },
+                                RunState::Inter { bi, row_off },
+                            ) => {
+                                let brow =
+                                    &border[*bi].data.as_slice()[*row_off..*row_off + ilen_b];
+                                let mut vb = [0.0f32; LANES];
+                                if *ilen_b == 1 {
+                                    vb = [brow[0]; LANES];
+                                } else if let Some(m) = bmap {
+                                    for l in 0..n {
+                                        vb[l] = brow[m[j + l]];
+                                    }
+                                    for l in n..LANES {
+                                        vb[l] = vb[0];
+                                    }
+                                } else {
+                                    vb[..n].copy_from_slice(&brow[j..j + n]);
+                                    for l in n..LANES {
+                                        vb[l] = vb[0];
+                                    }
+                                }
+                                for l in 0..LANES {
+                                    va[l] = op.apply(va[l], vb[l]);
+                                }
+                            }
+                            _ => unreachable!("state kind mismatches stage"),
+                        }
+                        if self.tap_stage == Some(si + 1) {
+                            if let Some(tr) = tap_row.as_deref_mut() {
+                                tr[j..j + n].copy_from_slice(&va[..n]);
+                            }
+                        }
+                    }
+                    ew[j..j + n].copy_from_slice(&va[..n]);
+                    j += n;
+                }
+            }
+            match &self.terminal {
+                None => {}
+                Some(CTerm::Reduce { op, before, target, after }) => {
+                    let out_chunk = &mut dst[local_row * orl..(local_row + 1) * orl];
+                    if *before == 1 && *after == 1 {
+                        out_chunk[0] = op.apply(scratch);
+                    } else {
+                        // Same (b, a) output order and strictly sequential
+                        // per-output t-order accumulation as the scalar
+                        // general path (the ReduceOp ordering contract).
+                        let mut w = 0usize;
+                        for b in 0..*before {
+                            for a in 0..*after {
+                                let mut acc = op.begin();
+                                for t in 0..*target {
+                                    op.step(&mut acc, scratch[b * target * after + t * after + a]);
+                                }
+                                out_chunk[w] = op.finish(acc, *target);
+                                w += 1;
+                            }
+                        }
+                    }
+                }
+                Some(CTerm::Series { out_len, f }) => {
+                    f(&scratch[..], &mut dst[local_row * out_len..(local_row + 1) * out_len]);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Dimension;
+
+    fn cfg() -> ExecConfig {
+        ExecConfig::with_servers(2)
+    }
+
+    /// 2x2 grid, 6 timesteps: row r, step t holds r*100 + t*t - 3.
+    fn sample(nfrag: usize) -> Cube {
+        let dims = vec![
+            Dimension::explicit("lat", vec![-45.0, 45.0]),
+            Dimension::explicit("lon", vec![0.0, 180.0]),
+            Dimension::implicit("time", (0..6).map(|t| t as f64).collect::<Vec<_>>()),
+        ];
+        let mut data = Vec::new();
+        for r in 0..4 {
+            for t in 0..6 {
+                data.push((r * 100 + t * t) as f32 - 3.0);
+            }
+        }
+        Cube::from_dense("v", dims, data, nfrag, 2).unwrap()
+    }
+
+    fn bits(c: &Cube) -> Vec<u32> {
+        c.to_dense().iter().map(|v| v.to_bits()).collect()
+    }
+
+    fn assert_conforms(p: &Pipeline, src: &Cube) {
+        let fused = p.run(src, cfg()).unwrap();
+        let scalar = p.run_scalar(src, cfg()).unwrap();
+        assert_eq!(bits(&fused.cube), bits(&scalar.cube));
+        assert_eq!(fused.cube.dims, scalar.cube.dims);
+        match (&fused.tapped, &scalar.tapped) {
+            (None, None) => {}
+            (Some(a), Some(b)) => {
+                assert_eq!(bits(a), bits(b));
+                assert_eq!(a.dims, b.dims);
+            }
+            _ => panic!("tap presence differs between fused and scalar paths"),
+        }
+    }
+
+    #[test]
+    fn empty_chain_is_identity() {
+        let src = sample(3);
+        let out = Pipeline::new().run(&src, cfg()).unwrap();
+        assert_eq!(out.cube.to_dense(), src.to_dense());
+        assert!(out.tapped.is_none());
+    }
+
+    #[test]
+    fn single_stage_chains_match_scalar() {
+        let src = sample(3);
+        assert_conforms(&Pipeline::new().apply(Expr::parse("2*x + 1").unwrap()), &src);
+        assert_conforms(&Pipeline::new().subset_implicit("time", 1, 5), &src);
+        assert_conforms(&Pipeline::new().intercube(&src, InterOp::Mul), &src);
+        assert_conforms(&Pipeline::new().reduce(ReduceOp::Sum, "time"), &src);
+        for op in [ReduceOp::Max, ReduceOp::Min, ReduceOp::Avg, ReduceOp::CountPositive] {
+            assert_conforms(&Pipeline::new().reduce(op, "time"), &src);
+        }
+    }
+
+    #[test]
+    fn full_chain_with_broadcast_and_terminal() {
+        let src = sample(4);
+        let base = Pipeline::new().reduce(ReduceOp::Avg, "time").run(&src, cfg()).unwrap().cube;
+        let p = Pipeline::new()
+            .subset_implicit("time", 1, 6)
+            .intercube(&base, InterOp::Sub)
+            .apply(Expr::from_oph_predicate("x", ">0", "1", "0").unwrap())
+            .reduce(ReduceOp::CountPositive, "time");
+        assert_conforms(&p, &src);
+    }
+
+    #[test]
+    fn subset_then_intercube_uses_stage_index_space() {
+        // b has the FULL implicit length; the subset comes after, so b's
+        // rows must be indexed through the composed map.
+        let src = sample(3);
+        let b = sample(2);
+        let p = Pipeline::new()
+            .intercube(&b, InterOp::Add)
+            .subset_implicit("time", 2, 5)
+            .apply(Expr::parse("x/3").unwrap());
+        assert_conforms(&p, &src);
+        // And the reverse order: subset first, so b must have the narrow
+        // length.
+        let narrow = Pipeline::new().subset_implicit("time", 2, 5).run(&b, cfg()).unwrap().cube;
+        let p = Pipeline::new().subset_implicit("time", 2, 5).intercube(&narrow, InterOp::Sub);
+        assert_conforms(&p, &src);
+    }
+
+    #[test]
+    fn tap_materializes_intermediate_in_one_pass() {
+        let src = sample(3);
+        let base = Pipeline::new().reduce(ReduceOp::Min, "time").run(&src, cfg()).unwrap().cube;
+        let p = Pipeline::new()
+            .intercube(&base, InterOp::Sub)
+            .tap()
+            .apply(Expr::from_oph_predicate("x", ">2", "1", "0").unwrap())
+            .map_series("n", 1, |row, out| {
+                out[0] = row.iter().filter(|v| **v > 0.5).count() as f32;
+            });
+        assert_conforms(&p, &src);
+        let fused = p.run(&src, cfg()).unwrap();
+        let tapped = fused.tapped.unwrap();
+        assert_eq!(tapped.implicit_len(), 6, "tap holds the anomaly, pre-mask");
+        assert_eq!(fused.cube.implicit_len(), 1);
+    }
+
+    #[test]
+    fn map_series_terminal_matches_scalar() {
+        let src = sample(5);
+        let p = Pipeline::new().map_series("cs", 6, |row, out| {
+            let mut acc = 0.0f32;
+            for (i, &x) in row.iter().enumerate() {
+                acc += x;
+                out[i] = acc;
+            }
+        });
+        assert_conforms(&p, &src);
+    }
+
+    #[test]
+    fn schema_errors_mirror_the_scalar_operators() {
+        let src = sample(2);
+        let r = Pipeline::new().subset_implicit("lat", 0, 1).run(&src, cfg());
+        assert!(matches!(r, Err(Error::WrongDimensionKind { .. })));
+        let r = Pipeline::new().subset_implicit("time", 4, 2).run(&src, cfg());
+        assert!(matches!(r, Err(Error::BadRange { .. })));
+        let r = Pipeline::new().subset_implicit("ghost", 0, 1).run(&src, cfg());
+        assert!(matches!(r, Err(Error::UnknownDimension(_))));
+        let other =
+            Cube::from_dense("w", vec![Dimension::explicit("x", vec![0.0])], vec![1.0], 1, 1)
+                .unwrap();
+        let r = Pipeline::new().intercube(&other, InterOp::Add).run(&src, cfg());
+        assert!(matches!(r, Err(Error::SchemaMismatch(_))));
+        let r = Pipeline::new().reduce(ReduceOp::Max, "lat").run(&src, cfg());
+        assert!(matches!(r, Err(Error::WrongDimensionKind { .. })));
+    }
+
+    #[test]
+    fn illegal_shapes_are_rejected() {
+        let src = sample(2);
+        // Steps after a terminal.
+        let p = Pipeline::new().reduce(ReduceOp::Max, "time").apply(Expr::parse("x").unwrap());
+        assert!(p.run(&src, cfg()).is_err());
+        assert!(p.run_scalar(&src, cfg()).is_err());
+        // Subset after tap.
+        let p = Pipeline::new().tap().subset_implicit("time", 0, 2);
+        assert!(p.run(&src, cfg()).is_err());
+        // Double terminal.
+        let p = Pipeline::new().reduce(ReduceOp::Max, "time").reduce(ReduceOp::Min, "time");
+        assert!(p.run(&src, cfg()).is_err());
+        // Double tap.
+        let p = Pipeline::new().tap().apply(Expr::parse("x").unwrap()).tap();
+        assert!(p.run(&src, cfg()).is_err());
+    }
+
+    #[test]
+    fn nan_and_inf_payloads_stay_bitwise() {
+        let dims = vec![
+            Dimension::explicit("x", vec![0.0, 1.0]),
+            Dimension::implicit("t", (0..5).map(|t| t as f64).collect::<Vec<_>>()),
+        ];
+        let data = vec![
+            f32::NAN,
+            f32::INFINITY,
+            f32::NEG_INFINITY,
+            -0.0,
+            1.0,
+            f32::from_bits(0x7fc0_1234), // NaN with payload
+            2.0,
+            f32::NAN,
+            -3.0,
+            0.0,
+        ];
+        let src = Cube::from_dense("v", dims, data, 2, 1).unwrap();
+        let p = Pipeline::new()
+            .apply(Expr::parse("predicate(x > 0, x, -x)").unwrap())
+            .intercube(&src, InterOp::Div)
+            .reduce(ReduceOp::Sum, "t");
+        assert_conforms(&p, &src);
+        let p = Pipeline::new().reduce(ReduceOp::Avg, "t");
+        assert_conforms(&p, &src);
+    }
+
+    #[test]
+    fn fused_emits_one_operator_event() {
+        let rx = obs::global().subscribe();
+        let src = sample(3);
+        Pipeline::new()
+            .apply(Expr::parse("x+1").unwrap())
+            .reduce(ReduceOp::Max, "time")
+            .run(&src, cfg())
+            .unwrap();
+        let events = rx.drain();
+        let fuse_ops = events
+            .iter()
+            .filter(|e| matches!(e.kind, obs::EventKind::OperatorDone { op: "fuse", .. }))
+            .count();
+        assert_eq!(fuse_ops, 1, "the whole chain runs as one operator");
+    }
+}

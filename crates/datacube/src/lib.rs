@@ -15,6 +15,9 @@
 //!   [`expr`]), `intercube`, `concat_implicit`, `map_series`, `exportnc`;
 //! * [`exec`] — parallel operator execution over fragments, with a
 //!   configurable number of simulated I/O servers;
+//! * [`fuse`] — the operator-chain compiler: collapses a
+//!   subset→apply→intercube→reduce chain into one vectorized fused kernel
+//!   per fragment, bitwise-equal to the scalar operator pipeline;
 //! * [`store::CubeStore`] — the in-memory cube container that lets a
 //!   pipeline load the 20-year baseline climatology **once** and reuse it
 //!   across every year of the simulation (the paper's Section 5.3
@@ -27,6 +30,7 @@ pub mod cache;
 pub mod error;
 pub mod exec;
 pub mod expr;
+pub mod fuse;
 pub mod model;
 pub mod ops;
 pub mod server;

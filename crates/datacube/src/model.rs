@@ -33,19 +33,25 @@ pub struct SharedData {
 }
 
 impl SharedData {
-    /// An empty payload.
+    /// An empty payload. Allocation-free: every call shares one static
+    /// zero-length buffer, so operators that produce empty windows (e.g.
+    /// `subset` of an empty range, `gather_rows` of zero rows) cost one
+    /// refcount bump instead of an `Arc` allocation each.
     pub fn empty() -> Self {
-        SharedData { buf: Arc::from([]), off: 0, len: 0 }
+        static EMPTY: std::sync::OnceLock<Arc<[f32]>> = std::sync::OnceLock::new();
+        let buf = Arc::clone(EMPTY.get_or_init(|| Arc::from([])));
+        SharedData { buf, off: 0, len: 0 }
     }
 
     /// Allocates a `len`-element buffer exactly once, lets `fill` write it,
     /// and returns it as an immutable shared payload. This is how operator
     /// kernels build outputs without an intermediate `Vec` → `Arc` copy.
     pub fn from_fn(len: usize, fill: impl FnOnce(&mut [f32])) -> Self {
-        let mut buf: Arc<[f32]> = std::iter::repeat_n(0.0f32, len).collect();
-        if len > 0 {
-            fill(Arc::get_mut(&mut buf).expect("freshly allocated buffer is unique"));
+        if len == 0 {
+            return Self::empty();
         }
+        let mut buf: Arc<[f32]> = std::iter::repeat_n(0.0f32, len).collect();
+        fill(Arc::get_mut(&mut buf).expect("freshly allocated buffer is unique"));
         SharedData { buf, off: 0, len }
     }
 
@@ -471,6 +477,15 @@ mod tests {
         assert_eq!(&e[..], &[5.0, 6.0, 7.0]);
         assert!(SharedData::empty().is_empty());
         assert!(SharedData::from_fn(0, |_| {}).is_empty());
+    }
+
+    #[test]
+    fn empty_payloads_share_one_static_buffer() {
+        let a = SharedData::empty();
+        let b = SharedData::empty();
+        let c = SharedData::from_fn(0, |_| unreachable!("fill must not run for len 0"));
+        assert!(a.same_buffer(&b), "empty() must not allocate per call");
+        assert!(a.same_buffer(&c), "from_fn(0, _) must reuse the static empty buffer");
     }
 
     #[test]

@@ -22,6 +22,18 @@ use std::path::Path;
 use std::sync::Arc;
 
 /// Reduction kernels over an implicit dimension.
+///
+/// # Ordering contract
+///
+/// Every reduction in this crate — the scalar [`reduce`] operator (both
+/// its fast and general paths) and the fused kernels in [`crate::fuse`] —
+/// accumulates **strictly sequentially in ascending series-index order**,
+/// one element at a time, through [`ReduceOp::begin`] / [`ReduceOp::step`]
+/// / [`ReduceOp::finish`]. f32 addition is not associative, so this order
+/// *is* the result: no implementation may re-associate the accumulation
+/// into per-lane partial sums (or any other tree), regardless of lane
+/// width or thread count. This is what makes fused == unfused bitwise and
+/// keeps results independent of `PAR_THREADS` / `io_servers`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ReduceOp {
     Max,
@@ -33,21 +45,67 @@ pub enum ReduceOp {
     CountPositive,
 }
 
+/// In-flight state of one sequential reduction (see the ordering contract
+/// on [`ReduceOp`]). `Count` reductions count in `u64` and convert to f32
+/// exactly once at [`ReduceOp::finish`], so the count itself never loses
+/// precision mid-stream.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ReduceAcc {
+    /// Running extremum (Max/Min) or running sum (Sum/Avg).
+    Value(f32),
+    /// Running element count (CountPositive).
+    Count(u64),
+}
+
 impl ReduceOp {
-    fn apply(self, series: &[f32]) -> f32 {
+    /// The accumulator's identity state.
+    pub fn begin(self) -> ReduceAcc {
         match self {
-            ReduceOp::Max => series.iter().copied().fold(f32::NEG_INFINITY, f32::max),
-            ReduceOp::Min => series.iter().copied().fold(f32::INFINITY, f32::min),
-            ReduceOp::Sum => series.iter().sum(),
-            ReduceOp::Avg => {
-                if series.is_empty() {
+            ReduceOp::Max => ReduceAcc::Value(f32::NEG_INFINITY),
+            ReduceOp::Min => ReduceAcc::Value(f32::INFINITY),
+            ReduceOp::Sum | ReduceOp::Avg => ReduceAcc::Value(0.0),
+            ReduceOp::CountPositive => ReduceAcc::Count(0),
+        }
+    }
+
+    /// Folds the next series element into the accumulator. Callers must
+    /// feed elements in ascending series-index order.
+    #[inline]
+    pub fn step(self, acc: &mut ReduceAcc, v: f32) {
+        match (self, acc) {
+            (ReduceOp::Max, ReduceAcc::Value(a)) => *a = a.max(v),
+            (ReduceOp::Min, ReduceAcc::Value(a)) => *a = a.min(v),
+            (ReduceOp::Sum | ReduceOp::Avg, ReduceAcc::Value(a)) => *a += v,
+            (ReduceOp::CountPositive, ReduceAcc::Count(n)) => *n += u64::from(v > 0.0),
+            _ => unreachable!("accumulator kind mismatches op"),
+        }
+    }
+
+    /// Finalizes the reduction over a series of `n` elements. `Avg` of an
+    /// empty series is the canonical quiet [`f32::NAN`] (never computed as
+    /// `0.0 / 0.0`, whose bit pattern is platform-dependent).
+    pub fn finish(self, acc: ReduceAcc, n: usize) -> f32 {
+        match (self, acc) {
+            (ReduceOp::Avg, ReduceAcc::Value(a)) => {
+                if n == 0 {
                     f32::NAN
                 } else {
-                    series.iter().sum::<f32>() / series.len() as f32
+                    a / n as f32
                 }
             }
-            ReduceOp::CountPositive => series.iter().filter(|v| **v > 0.0).count() as f32,
+            (_, ReduceAcc::Value(a)) => a,
+            (_, ReduceAcc::Count(c)) => c as f32,
         }
+    }
+
+    /// Reduces a whole series (the scalar oracle path): begin/step/finish
+    /// in index order.
+    pub fn apply(self, series: &[f32]) -> f32 {
+        let mut acc = self.begin();
+        for &v in series {
+            self.step(&mut acc, v);
+        }
+        self.finish(acc, series.len())
     }
 }
 
@@ -61,7 +119,10 @@ pub enum InterOp {
 }
 
 impl InterOp {
-    fn apply(self, a: f32, b: f32) -> f32 {
+    /// Applies the operator to one element pair (shared by the scalar
+    /// [`intercube`] kernel and the fused kernels in [`crate::fuse`]).
+    #[inline]
+    pub fn apply(self, a: f32, b: f32) -> f32 {
         match self {
             InterOp::Add => a + b,
             InterOp::Sub => a - b,
@@ -192,19 +253,35 @@ pub fn import_transposed(
     let (nt, nlat, nlon) = (shape[0], shape[1], shape[2]);
     let plane = nlat * nlon;
     let view = reader.var(var)?;
-    // Transpose (t, y, x) -> (y, x, t) plane by plane: each source plane is
-    // read into `src_t` (reused) and scattered into the shared destination.
+    // Transpose (t, y, x) -> (y, x, t) with a cache-blocked scatter: time
+    // planes are read in chunks of `T_CHUNK`, and each chunk is
+    // transposed tile by tile (`ROW_BLOCK` rows × chunk of times) in
+    // parallel over row blocks — the working set of a tile fits in L1,
+    // where the old one-plane-at-a-time scatter missed on every write.
+    const T_CHUNK: usize = 64;
+    const ROW_BLOCK: usize = 64;
     let mut read_err: Option<ncformat::Error> = None;
-    let mut src_t = vec![0.0f32; plane];
+    let mut buf = vec![0.0f32; T_CHUNK.min(nt.max(1)) * plane];
     let data = SharedData::from_fn(nt * plane, |dst| {
-        for t in 0..nt {
-            if let Err(e) = view.read_f32_into(t * plane, &mut src_t) {
+        let mut t0 = 0usize;
+        while t0 < nt {
+            let tc = T_CHUNK.min(nt - t0);
+            if let Err(e) = view.read_f32_into(t0 * plane, &mut buf[..tc * plane]) {
                 read_err = Some(e);
                 return;
             }
-            for (row, &v) in src_t.iter().enumerate() {
-                dst[row * nt + t] = v;
-            }
+            let chunk_src = &buf[..tc * plane];
+            par::par_chunks_mut(dst, ROW_BLOCK * nt, |b, chunk| {
+                let row0 = b * ROW_BLOCK;
+                let rows = chunk.len() / nt;
+                for dt in 0..tc {
+                    let src = &chunk_src[dt * plane + row0..dt * plane + row0 + rows];
+                    for (lr, &v) in src.iter().enumerate() {
+                        chunk[lr * nt + t0 + dt] = v;
+                    }
+                }
+            });
+            t0 += tc;
         }
     });
     if let Some(e) = read_err {
@@ -230,6 +307,11 @@ fn coord_values(reader: &Reader, name: &str, size: usize) -> Vec<f64> {
 
 /// Reduces one implicit dimension away. With a single implicit dimension
 /// the whole in-row array collapses to one value per row.
+///
+/// Both paths honor the [`ReduceOp`] ordering contract: each output value
+/// accumulates its source elements strictly in ascending `dim`-index
+/// order, so results are bitwise independent of fragmentation, server
+/// count, and the fused kernels' lane width.
 pub fn reduce(cube: &Cube, op: ReduceOp, dim: &str, cfg: ExecConfig) -> Result<Cube> {
     let d = cube.dim(dim)?;
     if d.kind != DimKind::Implicit {
@@ -917,6 +999,46 @@ mod tests {
         for (a, b) in c.frags.iter().zip(&s.frags) {
             assert!(a.data.same_buffer(&b.data), "full-range subset must not copy");
         }
+    }
+
+    #[test]
+    fn subset_implicit_single_row_cube() {
+        // One fragment per row, rows == 1: the smallest non-degenerate cube.
+        let dims = vec![
+            Dimension::explicit("x", vec![0.0]),
+            Dimension::implicit("t", (0..5).map(|t| t as f64).collect::<Vec<_>>()),
+        ];
+        let c = Cube::from_dense("m", dims, vec![1.0, 2.0, 3.0, 4.0, 5.0], 4, 2).unwrap();
+        assert_eq!(c.frags.len(), 1, "nfrag clamps to the row count");
+        let s = subset_implicit(&c, "t", 1, 2, cfg()).unwrap();
+        assert_eq!(s.to_dense(), vec![2.0]);
+        assert_eq!(s.dim("t").unwrap().coords.to_vec(), vec![1.0]);
+        s.validate().unwrap();
+        // Degenerate index ranges stay rejected: empty and inverted.
+        assert!(matches!(subset_implicit(&c, "t", 2, 2, cfg()), Err(Error::BadRange { .. })));
+        assert!(matches!(subset_implicit(&c, "t", 3, 1, cfg()), Err(Error::BadRange { .. })));
+    }
+
+    #[test]
+    fn subset_implicit_zero_row_cube_allocates_nothing() {
+        // An empty explicit space still subsets cleanly; the zero-length
+        // output windows must reuse the static empty buffer.
+        let dims = vec![
+            Dimension::explicit("x", Vec::<f64>::new()),
+            Dimension::implicit("t", (0..5).map(|t| t as f64).collect::<Vec<_>>()),
+        ];
+        let z = Cube::from_dense("m", dims, Vec::new(), 2, 1).unwrap();
+        let s = subset_implicit(&z, "t", 1, 3, cfg()).unwrap();
+        assert_eq!(s.rows(), 0);
+        assert_eq!(s.implicit_len(), 2);
+        for f in &s.frags {
+            assert!(f.data.is_empty());
+            assert!(
+                f.data.same_buffer(&SharedData::empty()),
+                "zero-length subset window must not allocate"
+            );
+        }
+        s.validate().unwrap();
     }
 
     #[test]

@@ -1,0 +1,276 @@
+//! Differential kernel conformance: every fused pipeline must be
+//! **bitwise**-equal (`f32::to_bits`) to the scalar operator-by-operator
+//! oracle — same cells, same dims, same tapped intermediate — under
+//! proptest-generated fragmentations, server counts, chain shapes,
+//! non-multiple-of-`LANES` series lengths, and NaN/±inf payloads.
+//!
+//! Scope of the bitwise contract (see `fuse` module docs / DESIGN.md):
+//! NaN payloads live only in the *source* cube, intercube partner cubes
+//! are finite, and the expression pool is NaN-linear (each binary node
+//! has at most one NaN-capable operand), because IEEE 754 leaves the
+//! payload unspecified when two distinct NaNs meet at a commutative op —
+//! there both results are NaN but the bit pattern is not pinned down.
+
+use datacube::exec::ExecConfig;
+use datacube::expr::Expr;
+use datacube::fuse::Pipeline;
+use datacube::model::{Cube, Dimension};
+use datacube::ops::{InterOp, ReduceOp};
+use proptest::prelude::*;
+
+/// A quiet-NaN with a recognizable payload: survives every pipeline stage
+/// unchanged only if the kernels really propagate bits, not just NaN-ness.
+const NAN_PAYLOAD: u32 = 0x7fc0_1234;
+
+/// Deterministic splitmix-style generator so chain shapes derive from one
+/// proptest-supplied seed.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n.max(1)
+    }
+}
+
+/// Cell value mixing ordinary magnitudes with specials: NaN payloads,
+/// ±inf, and -0.0 all appear with ~6% probability each.
+fn cell_value(rng: &mut Rng) -> f32 {
+    match rng.below(16) {
+        0 => f32::from_bits(NAN_PAYLOAD),
+        1 => f32::INFINITY,
+        2 => f32::NEG_INFINITY,
+        3 => -0.0,
+        _ => (rng.below(2000) as f32 / 10.0) - 100.0,
+    }
+}
+
+/// `(cell | time)` cube with specials in the payload.
+fn build_src(rows: usize, nt: usize, nfrag: usize, servers: usize, rng: &mut Rng) -> Cube {
+    let dims = vec![
+        Dimension::explicit("cell", (0..rows).map(|i| i as f64).collect::<Vec<_>>()),
+        Dimension::implicit("time", (0..nt).map(|i| i as f64).collect::<Vec<_>>()),
+    ];
+    let data: Vec<f32> = (0..rows * nt).map(|_| cell_value(rng)).collect();
+    Cube::from_dense("m", dims, data, nfrag, servers).unwrap()
+}
+
+/// Finite partner cube for intercube stages, matching the source's
+/// explicit dims and the chain's *current* implicit length (or no implicit
+/// dim at all — the broadcast case — when `ilen` is 0).
+fn build_partner(rows: usize, nfrag: usize, servers: usize, ilen: usize, rng: &mut Rng) -> Cube {
+    let mut dims =
+        vec![Dimension::explicit("cell", (0..rows).map(|i| i as f64).collect::<Vec<_>>())];
+    if ilen > 0 {
+        dims.push(Dimension::implicit("time", (0..ilen).map(|i| i as f64).collect::<Vec<_>>()));
+    }
+    let n = rows * ilen.max(1);
+    // Offset away from zero so Div partners never divide by 0.
+    let data: Vec<f32> = (0..n).map(|_| (rng.below(100) as f32 / 7.0) + 0.5).collect();
+    Cube::from_dense("b", dims, data, nfrag, servers).unwrap()
+}
+
+/// NaN-linear expression pool: at most one x-dependent operand feeds each
+/// binary node, so NaN bit patterns traverse deterministically.
+fn expr_pool() -> Vec<Expr> {
+    [
+        "x * 2 + 1",
+        "abs(x)",
+        "-(x - 2) / 3",
+        "max(x, 0.25)",
+        "min(x, 10) * 0.5",
+        "sqrt(abs(x))",
+        "predicate(x > 0, x, -x)",
+        "predicate(x >= 5, 1, 0)",
+    ]
+    .iter()
+    .map(|s| Expr::parse(s).unwrap())
+    .collect()
+}
+
+/// Builds a random legal chain over `src`: 0–4 element-wise stages
+/// (subset / apply / intercube), an optional tap, and an optional terminal
+/// (reduce or map_series). Returns the pipeline plus a shape string for
+/// failure messages.
+fn build_chain(
+    rng: &mut Rng,
+    rows: usize,
+    nt: usize,
+    nfrag: usize,
+    servers: usize,
+) -> (Pipeline, String) {
+    let pool = expr_pool();
+    let mut p = Pipeline::new();
+    let mut shape = String::new();
+    let mut cur = nt;
+    let nstages = rng.below(5);
+    for _ in 0..nstages {
+        match rng.below(3) {
+            0 if cur > 1 => {
+                let lo = rng.below(cur as u64) as usize;
+                let hi = lo + 1 + rng.below((cur - lo) as u64) as usize;
+                p = p.subset_implicit("time", lo, hi);
+                shape.push_str(&format!("subset({lo},{hi}) "));
+                cur = hi - lo;
+            }
+            1 => {
+                let e = &pool[rng.below(pool.len() as u64) as usize];
+                shape.push_str("apply ");
+                p = p.apply(e.clone());
+            }
+            _ => {
+                let broadcast = rng.below(3) == 0;
+                let ilen = if broadcast { 0 } else { cur };
+                let b = build_partner(rows, nfrag, servers, ilen, rng);
+                let op =
+                    [InterOp::Add, InterOp::Sub, InterOp::Mul, InterOp::Div][rng.below(4) as usize];
+                shape.push_str(&format!("inter({op:?},b{ilen}) "));
+                p = p.intercube(&b, op);
+            }
+        }
+    }
+    if rng.below(3) == 0 {
+        shape.push_str("tap ");
+        p = p.tap();
+    }
+    match rng.below(3) {
+        0 => {
+            let op = [
+                ReduceOp::Max,
+                ReduceOp::Min,
+                ReduceOp::Sum,
+                ReduceOp::Avg,
+                ReduceOp::CountPositive,
+            ][rng.below(5) as usize];
+            shape.push_str(&format!("reduce({op:?})"));
+            p = p.reduce(op, "time");
+        }
+        1 => {
+            shape.push_str(&format!("map_series(cumsum,{cur})"));
+            p = p.map_series("csum", cur, |row, out| {
+                let mut acc = 0.0f32;
+                for (o, &v) in out.iter_mut().zip(row) {
+                    acc += v;
+                    *o = acc;
+                }
+            });
+        }
+        _ => {}
+    }
+    (p, shape)
+}
+
+/// Asserts bitwise equality between the fused run and the scalar oracle.
+fn assert_bitwise(p: &Pipeline, src: &Cube, cfg: ExecConfig, shape: &str) {
+    let fused = p.run(src, cfg).unwrap_or_else(|e| panic!("fused {shape}: {e}"));
+    let oracle = p.run_scalar(src, cfg).unwrap_or_else(|e| panic!("oracle {shape}: {e}"));
+    let fb: Vec<u32> = fused.cube.to_dense().iter().map(|v| v.to_bits()).collect();
+    let ob: Vec<u32> = oracle.cube.to_dense().iter().map(|v| v.to_bits()).collect();
+    prop_assert_eq!(fb, ob, "primary output differs for chain `{}`", shape);
+    prop_assert_eq!(
+        fused.cube.dims.len(),
+        oracle.cube.dims.len(),
+        "dim schema differs for chain `{}`",
+        shape
+    );
+    match (&fused.tapped, &oracle.tapped) {
+        (Some(ft), Some(ot)) => {
+            let fb: Vec<u32> = ft.to_dense().iter().map(|v| v.to_bits()).collect();
+            let ob: Vec<u32> = ot.to_dense().iter().map(|v| v.to_bits()).collect();
+            prop_assert_eq!(fb, ob, "tapped output differs for chain `{}`", shape);
+        }
+        (None, None) => {}
+        _ => prop_assert!(false, "tap presence differs for chain `{}`", shape),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// The core differential property: random chain × random
+    /// fragmentation × NaN/inf payloads — fused == scalar, bit for bit.
+    #[test]
+    fn fused_matches_scalar_oracle_bitwise(
+        rows in 1usize..10,
+        nt in 1usize..21,          // crosses the 8-lane boundary both ways
+        nfrag in 1usize..8,
+        servers in 1usize..5,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = Rng(seed);
+        let src = build_src(rows, nt, nfrag, servers, &mut rng);
+        let (p, shape) = build_chain(&mut rng, rows, nt, nfrag, servers);
+        assert_bitwise(&p, &src, ExecConfig::with_servers(servers), &shape);
+    }
+
+    /// Refragmenting the same logical cube must not change a single bit of
+    /// the fused result (fragment boundaries land mid-lane-block).
+    #[test]
+    fn fused_result_invariant_under_fragmentation(
+        rows in 1usize..10,
+        nt in 1usize..21,
+        nfrag_a in 1usize..8,
+        nfrag_b in 1usize..8,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = Rng(seed);
+        // One data stream, two fragmentations: regenerate with a cloned rng.
+        let mut rng_b = Rng(seed);
+        let a = build_src(rows, nt, nfrag_a, 1, &mut rng);
+        let b = build_src(rows, nt, nfrag_b, 3, &mut rng_b);
+        let (p, shape) = build_chain(&mut rng, rows, nt, nfrag_a, 1);
+        let ra = p.run(&a, ExecConfig::serial()).unwrap();
+        let rb = p.run(&b, ExecConfig::with_servers(3)).unwrap();
+        let bits_a: Vec<u32> = ra.cube.to_dense().iter().map(|v| v.to_bits()).collect();
+        let bits_b: Vec<u32> = rb.cube.to_dense().iter().map(|v| v.to_bits()).collect();
+        prop_assert_eq!(bits_a, bits_b, "fragmentation changed fused bits for `{}`", shape);
+    }
+
+    /// Every reduce op over every series length (including lengths far
+    /// from lane multiples) agrees bitwise with the scalar oracle even
+    /// when the series is all-specials.
+    #[test]
+    fn reduce_terminals_conform_on_special_payloads(
+        nt in 1usize..33,
+        nfrag in 1usize..5,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = Rng(seed);
+        let src = build_src(4, nt, nfrag, 2, &mut rng);
+        for op in [ReduceOp::Max, ReduceOp::Min, ReduceOp::Sum, ReduceOp::Avg, ReduceOp::CountPositive] {
+            let p = Pipeline::new().apply(Expr::parse("x * 2").unwrap()).reduce(op, "time");
+            assert_bitwise(&p, &src, ExecConfig::with_servers(2), &format!("apply+reduce({op:?})"));
+        }
+    }
+}
+
+/// Schema violations must surface identically from the fused path and the
+/// scalar oracle (same error variants as the standalone operators).
+#[test]
+fn errors_conform_between_fused_and_scalar() {
+    let mut rng = Rng(7);
+    let src = build_src(3, 10, 2, 1, &mut rng);
+    let cfg = ExecConfig::serial();
+    let bad = [
+        Pipeline::new().subset_implicit("nope", 0, 1),
+        Pipeline::new().subset_implicit("cell", 0, 1),
+        Pipeline::new().subset_implicit("time", 4, 2),
+        Pipeline::new().reduce(ReduceOp::Sum, "missing"),
+    ];
+    for p in &bad {
+        let ef = p.run(&src, cfg).map(|_| ()).unwrap_err();
+        let eo = p.run_scalar(&src, cfg).map(|_| ()).unwrap_err();
+        assert_eq!(
+            std::mem::discriminant(&ef),
+            std::mem::discriminant(&eo),
+            "fused `{ef}` vs oracle `{eo}`"
+        );
+    }
+}

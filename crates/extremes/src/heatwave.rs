@@ -14,6 +14,7 @@
 
 use datacube::exec::{self, ExecConfig};
 use datacube::expr::Expr;
+use datacube::fuse::Pipeline;
 use datacube::model::{Cube, Dimension, Fragment, SharedData};
 use datacube::ops::{self, InterOp};
 use datacube::Result;
@@ -55,18 +56,15 @@ where
     })
 }
 
-/// Assembles a single-value-per-cell index cube from per-fragment fused
-/// statistics, selecting component `which` of each cell's `stride`-wide
-/// record. Mirrors the shape `ops::map_series(.., out_len = 1, ..)`
-/// produces: explicit dims preserved, one implicit dim named `name`.
-fn split_stat(
-    mask: &Cube,
-    stats: &[Fragment],
-    stride: usize,
-    which: usize,
-    name: &str,
-) -> Result<Cube> {
+/// Assembles a single-value-per-cell index cube from the fused statistics
+/// cube, selecting component `which` of each cell's record (the stats
+/// cube's implicit axis). Mirrors the shape
+/// `ops::map_series(.., out_len = 1, ..)` produces: explicit dims
+/// preserved, one implicit dim named `name`.
+fn split_stat(stats: &Cube, which: usize, name: &str) -> Result<Cube> {
+    let stride = stats.implicit_len().max(1);
     let frags = stats
+        .frags
         .iter()
         .map(|f| Fragment {
             row_start: f.row_start,
@@ -75,10 +73,10 @@ fn split_stat(
             data: f.data.chunks(stride).map(|rec| rec[which]).collect(),
         })
         .collect();
-    let mut dims: Vec<Dimension> = mask.explicit_dims().into_iter().cloned().collect();
+    let mut dims: Vec<Dimension> = stats.explicit_dims().into_iter().cloned().collect();
     dims.push(Dimension::implicit(name, vec![0.0]));
     let out = Cube {
-        measure: mask.measure.clone(),
+        measure: stats.measure.clone(),
         dims,
         frags,
         description: format!("map_series({name})"),
@@ -113,18 +111,67 @@ pub struct HeatwaveIndices {
     pub frequency: Cube,
 }
 
-/// Runs of consecutive exceedances of length ≥ `min_len` in a 0/1 mask
-/// series. Returns `(start, length)` pairs.
-pub fn wave_runs(mask: &[f32], min_len: usize) -> Vec<(usize, usize)> {
-    let mut out = Vec::new();
-    let mut start = None;
-    for (i, &v) in mask.iter().enumerate() {
+/// Lane width of the blocked run scan (mirrors `datacube::expr::LANES`).
+const SCAN_LANES: usize = 8;
+
+/// The shared run-length scan core: emits every hot run (`v > 0.5`) of
+/// length ≥ `min_len` as `emit(start, length)`, in series order.
+///
+/// The series is consumed in [`SCAN_LANES`]-wide blocks, each first
+/// collapsed to a hot-lane bitmask: an all-cold block closes any open run
+/// in O(1) and an all-hot block extends it in O(1), so the per-element
+/// state machine only runs inside mixed blocks (run boundaries). Emission
+/// order and results are identical to the one-element-at-a-time scan for
+/// every input, including NaN (NaN > 0.5 is false → cold).
+fn scan_runs(mask: &[f32], min_len: usize, mut emit: impl FnMut(usize, usize)) {
+    let n = mask.len();
+    let mut start: Option<usize> = None;
+    let mut i = 0usize;
+    while i + SCAN_LANES <= n {
+        let block = &mask[i..i + SCAN_LANES];
+        let mut bits = 0u32;
+        for (l, &v) in block.iter().enumerate() {
+            bits |= u32::from(v > 0.5) << l;
+        }
+        match bits {
+            0 => {
+                if let Some(s) = start {
+                    if i - s >= min_len {
+                        emit(s, i - s);
+                    }
+                    start = None;
+                }
+            }
+            0xFF => {
+                if start.is_none() {
+                    start = Some(i);
+                }
+            }
+            _ => {
+                for l in 0..SCAN_LANES {
+                    let hot = bits & (1 << l) != 0;
+                    match (hot, start) {
+                        (true, None) => start = Some(i + l),
+                        (false, Some(s)) => {
+                            if i + l - s >= min_len {
+                                emit(s, i + l - s);
+                            }
+                            start = None;
+                        }
+                        _ => {}
+                    }
+                }
+            }
+        }
+        i += SCAN_LANES;
+    }
+    for (k, &v) in mask.iter().enumerate().skip(i) {
         let hot = v > 0.5;
         match (hot, start) {
-            (true, None) => start = Some(i),
+            (true, None) => start = Some(k),
             (false, Some(s)) => {
-                if i - s >= min_len {
-                    out.push((s, i - s));
+                if k - s >= min_len {
+                    emit(s, k - s);
                 }
                 start = None;
             }
@@ -132,21 +179,41 @@ pub fn wave_runs(mask: &[f32], min_len: usize) -> Vec<(usize, usize)> {
         }
     }
     if let Some(s) = start {
-        if mask.len() - s >= min_len {
-            out.push((s, mask.len() - s));
+        if n - s >= min_len {
+            emit(s, n - s);
         }
     }
+}
+
+/// Runs of consecutive exceedances of length ≥ `min_len` in a 0/1 mask
+/// series. Returns `(start, length)` pairs.
+pub fn wave_runs(mask: &[f32], min_len: usize) -> Vec<(usize, usize)> {
+    let mut out = Vec::new();
+    scan_runs(mask, min_len, |s, l| out.push((s, l)));
     out
+}
+
+/// All three per-cell wave statistics — `(longest, count, wave_days)` —
+/// from one allocation-free scan. This is the kernel the fused index
+/// pipeline runs per cell.
+pub fn wave_stats(mask: &[f32], min_len: usize) -> (usize, usize, usize) {
+    let (mut longest, mut count, mut days) = (0usize, 0usize, 0usize);
+    scan_runs(mask, min_len, |_, l| {
+        longest = longest.max(l);
+        count += 1;
+        days += l;
+    });
+    (longest, count, days)
 }
 
 /// Longest qualifying run (0 when none).
 pub fn longest_wave(mask: &[f32], min_len: usize) -> usize {
-    wave_runs(mask, min_len).iter().map(|&(_, l)| l).max().unwrap_or(0)
+    wave_stats(mask, min_len).0
 }
 
 /// Number of qualifying runs.
 pub fn wave_count(mask: &[f32], min_len: usize) -> usize {
-    wave_runs(mask, min_len).len()
+    wave_stats(mask, min_len).1
 }
 
 /// Fraction of days inside qualifying runs.
@@ -154,8 +221,7 @@ pub fn wave_frequency(mask: &[f32], min_len: usize) -> f64 {
     if mask.is_empty() {
         return 0.0;
     }
-    let days: usize = wave_runs(mask, min_len).iter().map(|&(_, l)| l).sum();
-    days as f64 / mask.len() as f64
+    wave_stats(mask, min_len).2 as f64 / mask.len() as f64
 }
 
 /// Builds the 0/1 exceedance mask cube: heat waves use
@@ -185,21 +251,30 @@ pub fn compute_indices(
     cold: bool,
     cfg: ExecConfig,
 ) -> Result<HeatwaveIndices> {
-    let mask = exceedance_mask(daily, baseline, params, cold, cfg)?;
+    let expr = if cold {
+        Expr::from_oph_predicate("x", &format!("<-{}", params.threshold_k), "1", "0")?
+    } else {
+        Expr::from_oph_predicate("x", &format!(">{}", params.threshold_k), "1", "0")?
+    };
     let min_len = params.min_duration;
-    // One fused pass instead of three map_series sweeps: a single
-    // wave_runs scan per cell yields all three statistics, and the cells
-    // run in batches on the shared pool via map_cells.
-    let stats = map_cells(&mask, "wave_stats", 3, cfg, |row, out| {
-        let runs = wave_runs(row, min_len);
-        out[0] = runs.iter().map(|&(_, l)| l).max().unwrap_or(0) as f32;
-        out[1] = runs.len() as f32;
-        let days: usize = runs.iter().map(|&(_, l)| l).sum();
-        out[2] = if row.is_empty() { 0.0 } else { (days as f64 / row.len() as f64) as f32 };
-    });
-    let duration_max = split_stat(&mask, &stats, 3, 0, "hwd")?;
-    let number = split_stat(&mask, &stats, 3, 1, "hwn")?;
-    let frequency = split_stat(&mask, &stats, 3, 2, "hwf")?;
+    // One fused pass over each fragment: anomaly subtraction, the 0/1
+    // exceedance predicate, and the per-cell run-length statistics all run
+    // inside a single kernel — every day of the daily cube is touched
+    // exactly once, with no intermediate anomaly or mask cube.
+    let stats = Pipeline::new()
+        .intercube(baseline, InterOp::Sub)
+        .apply(expr)
+        .map_series("stat", 3, move |row, out| {
+            let (longest, count, days) = wave_stats(row, min_len);
+            out[0] = longest as f32;
+            out[1] = count as f32;
+            out[2] = if row.is_empty() { 0.0 } else { (days as f64 / row.len() as f64) as f32 };
+        })
+        .run(daily, cfg)?
+        .cube;
+    let duration_max = split_stat(&stats, 0, "hwd")?;
+    let number = split_stat(&stats, 1, "hwn")?;
+    let frequency = split_stat(&stats, 2, "hwf")?;
     Ok(HeatwaveIndices { duration_max, number, frequency })
 }
 

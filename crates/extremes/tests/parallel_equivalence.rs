@@ -7,7 +7,8 @@ use datacube::exec::ExecConfig;
 use datacube::model::{Cube, Dimension};
 use extremes::etccdi::spell_duration_index;
 use extremes::heatwave::{
-    compute_indices, exceedance_mask, longest_wave, wave_count, wave_frequency, WaveParams,
+    compute_indices, exceedance_mask, longest_wave, wave_count, wave_frequency, wave_runs,
+    WaveParams,
 };
 
 /// Many cells with varied exceedance patterns across several fragments.
@@ -59,6 +60,66 @@ fn fused_scan_matches_standalone_per_cell_functions() {
         assert_eq!(hwd[c], longest_wave(row, p.min_duration) as f32, "cell {c} HWD");
         assert_eq!(hwn[c], wave_count(row, p.min_duration) as f32, "cell {c} HWN");
         assert_eq!(hwf[c], wave_frequency(row, p.min_duration) as f32, "cell {c} HWF");
+    }
+}
+
+/// The blocked 8-lane run scan must reproduce the one-element-at-a-time
+/// state machine exactly: every length around the lane boundary, masks
+/// with runs that start/end mid-block, and NaN treated as cold.
+#[test]
+fn wave_runs_blocked_scan_matches_scalar_reference() {
+    // Scalar reference: the pre-vectorization per-element scan.
+    fn reference(mask: &[f32], min_len: usize) -> Vec<(usize, usize)> {
+        let mut out = Vec::new();
+        let mut start = None;
+        for (i, &v) in mask.iter().enumerate() {
+            let hot = v > 0.5;
+            match (hot, start) {
+                (true, None) => start = Some(i),
+                (false, Some(s)) => {
+                    if i - s >= min_len {
+                        out.push((s, i - s));
+                    }
+                    start = None;
+                }
+                _ => {}
+            }
+        }
+        if let Some(s) = start {
+            if mask.len() - s >= min_len {
+                out.push((s, mask.len() - s));
+            }
+        }
+        out
+    }
+
+    for len in 0..48usize {
+        for seed in 0..12u64 {
+            let mask: Vec<f32> = (0..len)
+                .map(|i| {
+                    let h =
+                        (i as u64).wrapping_mul(seed.wrapping_mul(2) + 0x9e37).wrapping_add(seed)
+                            % 7;
+                    match h {
+                        0..=2 => 1.0,
+                        3 => f32::NAN, // NaN > 0.5 is false: cold in both paths
+                        _ => 0.0,
+                    }
+                })
+                .collect();
+            for min_len in 1..7 {
+                assert_eq!(
+                    wave_runs(&mask, min_len),
+                    reference(&mask, min_len),
+                    "len {len} seed {seed} min_len {min_len}"
+                );
+            }
+        }
+    }
+    // All-hot and all-cold series at exact block multiples.
+    for len in [8usize, 16, 24] {
+        assert_eq!(wave_runs(&vec![1.0; len], 6), vec![(0, len)]);
+        assert_eq!(wave_runs(&vec![0.0; len], 1), vec![]);
     }
 }
 

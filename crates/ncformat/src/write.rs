@@ -153,14 +153,26 @@ impl Writer {
         Ok(())
     }
 
-    /// Streams `data` little-endian through the reused scratch buffer.
+    /// Streams `data` little-endian. On little-endian hosts the in-memory
+    /// layout already matches the on-disk layout, so the payload goes to
+    /// the writer directly; otherwise it is byte-swapped through the
+    /// reused scratch buffer.
     fn write_f32_le(&mut self, data: &[f32]) -> Result<()> {
-        for chunk in data.chunks(ENCODE_CHUNK_BYTES / 4) {
-            self.scratch.clear();
-            for v in chunk {
-                self.scratch.extend_from_slice(&v.to_le_bytes());
+        if cfg!(target_endian = "little") {
+            // SAFETY: viewing `data` as raw bytes is sound — the pointer
+            // is valid for `data.len() * 4` bytes and `u8` has no
+            // alignment requirement (mirrors the read path).
+            let bytes =
+                unsafe { std::slice::from_raw_parts(data.as_ptr().cast::<u8>(), data.len() * 4) };
+            self.file.write_all(bytes)?;
+        } else {
+            for chunk in data.chunks(ENCODE_CHUNK_BYTES / 4) {
+                self.scratch.clear();
+                for v in chunk {
+                    self.scratch.extend_from_slice(&v.to_le_bytes());
+                }
+                self.file.write_all(&self.scratch)?;
             }
-            self.file.write_all(&self.scratch)?;
         }
         self.cursor += data.len() as u64 * 4;
         Ok(())

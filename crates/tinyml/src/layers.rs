@@ -13,6 +13,12 @@ use crate::tensor::Tensor;
 /// and fast, real CNN workloads (TC patches) go parallel.
 const CONV_PAR_MIN_MACS: usize = 1 << 15;
 
+/// Lane width of the blocked conv2d forward inner loop (mirrors
+/// `datacube::expr::LANES`): interior output pixels are produced in
+/// blocks of this many adjacent columns, each lane repeating the scalar
+/// path's exact multiply-add sequence so results stay bitwise equal.
+const CONV_LANES: usize = 8;
+
 /// Common interface over all layers.
 pub trait Layer: Send {
     /// Forward pass; caches activations needed by the backward pass.
@@ -174,26 +180,66 @@ impl Layer for Conv2d {
         // parallel split is over `o` and the per-element accumulation
         // order is identical to serial (bitwise-equal results).
         let run_plane = |o: usize, out_plane: &mut [f32]| {
+            let bias = self.b.data[o];
+            // Scalar per-pixel path: borders (horizontally clipped taps)
+            // and lane tails. Accumulation order is bias, then taps in
+            // ascending (c, ky, kx) with clipped taps skipped.
+            let pixel = |yy: usize, xx: usize| -> f32 {
+                let mut acc = bias;
+                for c in 0..self.in_ch {
+                    for ky in 0..k {
+                        let iy = yy as isize + ky as isize - p;
+                        if iy < 0 || iy >= h as isize {
+                            continue;
+                        }
+                        for kx in 0..k {
+                            let ix = xx as isize + kx as isize - p;
+                            if ix < 0 || ix >= w as isize {
+                                continue;
+                            }
+                            acc += self.w.data[self.widx(o, c, ky, kx)]
+                                * x.at3(c, iy as usize, ix as usize);
+                        }
+                    }
+                }
+                acc
+            };
+            // Interior columns — every horizontal tap in bounds, so
+            // [`CONV_LANES`] adjacent output pixels step through the same
+            // (c, ky, kx) tap sequence in lock step. Each lane performs
+            // exactly the scalar path's multiply-add sequence, so the
+            // blocked and per-pixel results are bitwise equal.
+            let x_lo = self.pad.min(ow);
+            let x_hi = (w + self.pad + 1).saturating_sub(k).clamp(x_lo, ow);
             for yy in 0..oh {
-                for xx in 0..ow {
-                    let mut acc = self.b.data[o];
+                let row_out = &mut out_plane[yy * ow..(yy + 1) * ow];
+                for (xx, slot) in row_out.iter_mut().enumerate().take(x_lo) {
+                    *slot = pixel(yy, xx);
+                }
+                let mut xx = x_lo;
+                while xx + CONV_LANES <= x_hi {
+                    let mut acc = [bias; CONV_LANES];
                     for c in 0..self.in_ch {
                         for ky in 0..k {
                             let iy = yy as isize + ky as isize - p;
                             if iy < 0 || iy >= h as isize {
                                 continue;
                             }
+                            let base = (c * h + iy as usize) * w + (xx - self.pad);
                             for kx in 0..k {
-                                let ix = xx as isize + kx as isize - p;
-                                if ix < 0 || ix >= w as isize {
-                                    continue;
+                                let wv = self.w.data[self.widx(o, c, ky, kx)];
+                                let xs = &x.data[base + kx..base + kx + CONV_LANES];
+                                for l in 0..CONV_LANES {
+                                    acc[l] += wv * xs[l];
                                 }
-                                acc += self.w.data[self.widx(o, c, ky, kx)]
-                                    * x.at3(c, iy as usize, ix as usize);
                             }
                         }
                     }
-                    out_plane[yy * ow + xx] = acc;
+                    row_out[xx..xx + CONV_LANES].copy_from_slice(&acc);
+                    xx += CONV_LANES;
+                }
+                for (xx, slot) in row_out.iter_mut().enumerate().take(ow).skip(xx) {
+                    *slot = pixel(yy, xx);
                 }
             }
         };

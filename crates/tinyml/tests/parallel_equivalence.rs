@@ -143,6 +143,116 @@ fn conv2d_backward_parallel_matches_serial() {
     assert_eq!(gx.data, ref_gx, "gx must be bitwise-identical");
 }
 
+/// The 8-lane interior blocking must be bitwise-invisible at every
+/// geometry: widths below one lane (pure scalar), exact lane multiples,
+/// and ragged tails, across paddings that shift the interior window.
+#[test]
+fn conv2d_forward_lane_blocking_is_bitwise_across_widths() {
+    for pad in 0..3usize {
+        for w in [1usize, 3, 7, 8, 9, 15, 16, 17, 23, 31] {
+            if w + 2 * pad < K {
+                continue;
+            }
+            let mut conv = Conv2d::new(2, 2, K, pad, 91);
+            let x = Tensor::uniform(&[2, 9, w], 1.0, (w * 10 + pad) as u64);
+            let y = conv.forward(&x);
+            // Per-pixel scalar oracle with the same tap order.
+            let ps = conv.params();
+            let (wt, bt) = (ps[0].clone(), ps[1].clone());
+            let (oh, ow) = (y.shape[1], y.shape[2]);
+            let p = pad as isize;
+            for o in 0..2 {
+                for yy in 0..oh {
+                    for xx in 0..ow {
+                        let mut acc = bt.data[o];
+                        for c in 0..2 {
+                            for ky in 0..K {
+                                let iy = yy as isize + ky as isize - p;
+                                if !(0..9).contains(&iy) {
+                                    continue;
+                                }
+                                for kx in 0..K {
+                                    let ix = xx as isize + kx as isize - p;
+                                    if ix < 0 || ix >= w as isize {
+                                        continue;
+                                    }
+                                    acc += wt.data[((o * 2 + c) * K + ky) * K + kx]
+                                        * x.at3(c, iy as usize, ix as usize);
+                                }
+                            }
+                        }
+                        assert_eq!(
+                            y.at3(o, yy, xx).to_bits(),
+                            acc.to_bits(),
+                            "pad {pad} w {w} pixel ({o},{yy},{xx})"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// NaN and ±inf inputs flow through the blocked forward exactly as
+/// through the scalar path (the lanes do the same multiply-adds).
+#[test]
+fn conv2d_forward_specials_stay_bitwise() {
+    let mut conv = Conv2d::new(1, 1, K, 1, 5);
+    let mut x = Tensor::uniform(&[1, 6, 19], 1.0, 6);
+    x.data[7] = f32::NAN;
+    x.data[20] = f32::INFINITY;
+    x.data[33] = f32::NEG_INFINITY;
+    x.data[40] = -0.0;
+    let y = conv.forward(&x);
+    let ps = conv.params();
+    let expect = reference_forward_geom(&x, &ps[0].clone(), &ps[1].clone(), 1, 1, 1);
+    let yb: Vec<u32> = y.data.iter().map(|v| v.to_bits()).collect();
+    let eb: Vec<u32> = expect.data.iter().map(|v| v.to_bits()).collect();
+    assert_eq!(yb, eb, "specials must propagate bitwise");
+}
+
+/// `reference_forward` generalized over channel counts.
+#[allow(clippy::needless_range_loop)]
+fn reference_forward_geom(
+    x: &Tensor,
+    w: &Tensor,
+    b: &Tensor,
+    in_ch: usize,
+    out_ch: usize,
+    pad: usize,
+) -> Tensor {
+    let (h, ww) = (x.shape[1], x.shape[2]);
+    let oh = h + 2 * pad + 1 - K;
+    let ow = ww + 2 * pad + 1 - K;
+    let mut y = Tensor::zeros(&[out_ch, oh, ow]);
+    let p = pad as isize;
+    for o in 0..out_ch {
+        for yy in 0..oh {
+            for xx in 0..ow {
+                let mut acc = b.data[o];
+                for c in 0..in_ch {
+                    for ky in 0..K {
+                        let iy = yy as isize + ky as isize - p;
+                        if iy < 0 || iy >= h as isize {
+                            continue;
+                        }
+                        for kx in 0..K {
+                            let ix = xx as isize + kx as isize - p;
+                            if ix < 0 || ix >= ww as isize {
+                                continue;
+                            }
+                            acc += w.data[((o * in_ch + c) * K + ky) * K + kx]
+                                * x.at3(c, iy as usize, ix as usize);
+                        }
+                    }
+                }
+                *y.at3_mut(o, yy, xx) = acc;
+            }
+        }
+    }
+    y
+}
+
 fn make_net(seed: u64) -> Sequential {
     use tinyml::layers::{Dense, Tanh};
     Sequential::new().add(Dense::new(6, 8, seed)).add(Tanh::new()).add(Dense::new(8, 2, seed + 1))

@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # Records the perf trajectory: runs the c2_baseline_reuse,
-# c4_fragment_scaling, d1_esm_output, s1_serve_sweep and a1_sched_policy
-# benches (with the counting allocator compiled in) and writes a
-# BENCH_<date>[-label].json summary at the repo root.
+# c4_fragment_scaling, d1_esm_output, s1_serve_sweep, a1_sched_policy and
+# k1_kernels benches (with the counting allocator compiled in) and writes a
+# BENCH_<date>[-label].json summary at the repo root, including a `kernels`
+# table of per-kernel effective GB/s from the fused vectorized kernels.
 #
 # Usage: scripts/bench_record.sh [label]
 #   label  optional suffix for the output file, e.g. `pre` / `post` when
@@ -15,7 +16,7 @@ out="BENCH_$(date +%F)${label:+-$label}.json"
 tmp="$(mktemp -d)"
 trap 'rm -rf "$tmp"' EXIT
 
-benches=(c2_baseline_reuse c4_fragment_scaling d1_esm_output s1_serve_sweep a1_sched_policy)
+benches=(c2_baseline_reuse c4_fragment_scaling d1_esm_output s1_serve_sweep a1_sched_policy k1_kernels)
 for b in "${benches[@]}"; do
   echo "[bench_record] running $b ..."
   cargo bench -p bench --features count-alloc --bench "$b" >"$tmp/$b.out" 2>"$tmp/$b.err" \
@@ -40,9 +41,15 @@ ALLOC = re.compile(r"^\[c4-alloc\] stage=(?P<stage>\S+) allocs=(?P<allocs>\d+) b
 SERVE = re.compile(r"^\[serve\] stage=(?P<stage>\S+) (?P<kv>.+)$")
 # Scheduler-portfolio line: `[a1_sched] shape=... policy=... key=value ...`.
 A1 = re.compile(r"^\[a1_sched\] (?P<kv>.+)$")
+# Per-kernel bandwidth line from the k1_kernels bench.
+K1 = re.compile(
+    r"^\[k1_kernels\] kernel=(?P<kernel>\S+) bytes=(?P<bytes>\d+) "
+    r"ns=(?P<ns>\d+) gbps=(?P<gbps>[\d.]+)"
+)
 NS = {"ns": 1, "us": 1e3, "ms": 1e6, "s": 1e9}
 
-record = {"date": date.today().isoformat(), "benches": {}, "alloc": {}, "serve": [], "a1_sched": []}
+record = {"date": date.today().isoformat(), "benches": {}, "alloc": {}, "serve": [],
+          "a1_sched": [], "kernels": {}}
 for b in benches:
     with open(f"{tmp}/{b}.out") as f:
         for line in f:
@@ -83,6 +90,14 @@ for b in benches:
                     except ValueError:
                         point[k] = v
                 record["a1_sched"].append(point)
+                continue
+            m = K1.match(line.strip())
+            if m:
+                record["kernels"][m["kernel"]] = {
+                    "bytes": int(m["bytes"]),
+                    "ns": int(m["ns"]),
+                    "gbps": float(m["gbps"]),
+                }
 
 if not record["benches"]:
     sys.exit("bench_record: no benchmark lines parsed")
@@ -91,5 +106,6 @@ with open(out_path, "w") as f:
     f.write("\n")
 print(f"[bench_record] wrote {out_path}: "
       f"{len(record['benches'])} benches, {len(record['alloc'])} alloc stages, "
-      f"{len(record['serve'])} serve points, {len(record['a1_sched'])} a1_sched points")
+      f"{len(record['serve'])} serve points, {len(record['a1_sched'])} a1_sched points, "
+      f"{len(record['kernels'])} kernels")
 PY

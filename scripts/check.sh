@@ -17,6 +17,15 @@ cargo test --workspace -q
 echo "== cargo bench --no-run (benches compile) =="
 cargo bench --workspace --no-run -q
 
+echo "== kernel conformance: fused vs scalar oracle, serial and parallel =="
+# The differential suite proves the fused per-fragment kernels bitwise
+# against the operator-by-operator scalar oracle; run it both single- and
+# multi-threaded so lane blocking and fragment-parallel scheduling cannot
+# change a single bit.
+for t in 1 4; do
+  PAR_THREADS="$t" cargo test -p datacube --test fused_conformance -q
+done
+
 echo "== smoke workflow with span tracing =="
 smoke=$(mktemp -d)
 trap 'rm -rf "$smoke"' EXIT

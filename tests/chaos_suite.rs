@@ -424,3 +424,99 @@ proptest! {
         prop_assert_eq!(&resumed_prov, &clean_prov, "provenance diverges after resume");
     }
 }
+
+/// One armed [`dataflow::inject`] seed through a *fused* datacube
+/// pipeline: the armed run dies mid-graph, and the disarmed resume from
+/// the same checkpoint must deliver the export task fused-kernel output
+/// byte-identical to a never-faulted reference run — f32 bit patterns
+/// (including a NaN payload that rides through the whole chain) and all.
+/// The fused kernel's bitwise determinism contract is what makes this
+/// byte-identity hold across a kill/resume boundary.
+#[test]
+fn chaos_fused_pipeline_resume_is_byte_identical() {
+    let _suite = suite_lock();
+
+    /// Runs a subset → intercube → apply → reduce chain as ONE fused
+    /// kernel and serializes the result's exact bit patterns.
+    fn fused_index_bytes(seed: u64) -> Vec<u8> {
+        use datacube::exec::ExecConfig;
+        use datacube::expr::Expr;
+        use datacube::fuse::Pipeline;
+        use datacube::model::{Cube, Dimension};
+        use datacube::ops::{InterOp, ReduceOp};
+
+        let (rows, nt) = (24usize, 45usize); // 45: ragged 8-lane tail
+        let dims = vec![
+            Dimension::explicit("cell", (0..rows).map(|i| i as f64).collect::<Vec<_>>()),
+            Dimension::implicit("time", (0..nt).map(|i| i as f64).collect::<Vec<_>>()),
+        ];
+        let mut data: Vec<f32> = (0..rows * nt)
+            .map(|i| ((i as u64).wrapping_mul(seed | 1) % 600) as f32 / 10.0 - 30.0)
+            .collect();
+        data[7 * nt + 3] = f32::from_bits(0x7fc0_1234); // NaN payload cell
+        let src = Cube::from_dense("t", dims, data, 5, 3).unwrap();
+        let bdims =
+            vec![Dimension::explicit("cell", (0..rows).map(|i| i as f64).collect::<Vec<_>>())];
+        let baseline =
+            Cube::from_dense("b", bdims, (0..rows).map(|i| i as f32 / 4.0).collect(), 3, 2)
+                .unwrap();
+        let out = Pipeline::new()
+            .subset_implicit("time", 2, 43)
+            .intercube(&baseline, InterOp::Sub)
+            .apply(Expr::parse("x * 2 + 1").unwrap())
+            .reduce(ReduceOp::Sum, "time")
+            .run(&src, ExecConfig::with_servers(3))
+            .expect("fused chain");
+        out.cube.to_dense().iter().flat_map(|v| v.to_bits().to_le_bytes()).collect()
+    }
+
+    /// ingest → fused-index → export, checkpointed and keyed so a resume
+    /// replays only the missing frontier.
+    fn run_graph(ckpt: &std::path::Path) -> Result<Vec<u8>, ()> {
+        let rt: Runtime<Bytes> =
+            Runtime::new(RuntimeConfig::with_cpu_workers(1).with_checkpoint(ckpt));
+        let ingest = rt
+            .task("ingest")
+            .key("ingest")
+            .writes(&["seed"])
+            .run(|_: &[Arc<Bytes>]| Ok(vec![Bytes::from_u64(42)]))
+            .unwrap();
+        let fused = rt
+            .task("fused-index")
+            .key("fused-index")
+            .reads(&[ingest.outputs[0].clone()])
+            .writes(&["index"])
+            .run(|inp: &[Arc<Bytes>]| Ok(vec![Bytes(fused_index_bytes(inp[0].as_u64().unwrap()))]))
+            .unwrap();
+        let export = rt
+            .task("export")
+            .key("export")
+            .reads(&[fused.outputs[0].clone()])
+            .writes(&["out"])
+            .run(|inp: &[Arc<Bytes>]| Ok(vec![Bytes(inp[0].0.clone())]))
+            .unwrap();
+        let res = match rt.barrier() {
+            Ok(()) => Ok(rt.fetch(&export.outputs[0]).unwrap().0.clone()),
+            Err(_) => Err(()),
+        };
+        rt.shutdown();
+        res
+    }
+
+    let dir = tmp("fused-chaos");
+    let clean = run_graph(&dir.join("clean.ckpt")).expect("clean run");
+    assert!(!clean.is_empty());
+
+    // Armed run: a seeded task-site fault plan kills the graph fail-fast.
+    let ckpt = dir.join("victim.ckpt");
+    let killed = {
+        let plan = FaultPlan::for_sites(909, 2, &[(inject::SITE_TASK, &[Fault::Error])]);
+        let _armed = plan.arm();
+        run_graph(&ckpt)
+    };
+    assert!(killed.is_err(), "armed seed 909 must kill the fused graph");
+
+    // Disarmed resume from the same checkpoint.
+    let resumed = run_graph(&ckpt).expect("disarmed resume must succeed");
+    assert_eq!(resumed, clean, "fused output bytes diverge after checkpoint resume");
+}
