@@ -5,6 +5,7 @@
 //!                [--scenario historical|ssp245|ssp585] [--seed N]
 //!                [--policy fifo|locality|heft|lookahead]
 //!                [--out DIR] [--sequential]
+//!                [--streaming] [--stream-depth N] [--cnn-batch N]
 //!                [--trace out.json] [--metrics out.prom]
 //! climate-wf report [run options]      run with profiling: timed critical
 //!                                      path, pool utilization, latency
@@ -32,6 +33,8 @@ fn usage() -> ! {
          run      [--years N] [--days N] [--grid test_small|demo|LATxLON]\n\
          \x20        [--scenario historical|ssp245|ssp585] [--seed N] [--out DIR] [--sequential]\n\
          \x20        [--policy fifo|locality|heft|lookahead] [--trace out.json] [--metrics out.prom]\n\
+         \x20        [--streaming] [--stream-depth N] [--cnn-batch N] in-memory year handoff\n\
+         \x20        with incremental record indices and batched CNN inference\n\
          report   [run options] run with profiling: timed critical path with slack,\n\
          \x20        what-if speedups, pool utilization, latency percentiles;\n\
          \x20        arms the crash flight recorder (dumps JSONL on failure)\n\
@@ -57,7 +60,7 @@ fn parse_args(args: &[String]) -> (BTreeMap<String, String>, Vec<String>) {
     let mut i = 0;
     while i < args.len() {
         if let Some(key) = args[i].strip_prefix("--") {
-            let takes_value = !matches!(key, "sequential");
+            let takes_value = !matches!(key, "sequential" | "streaming");
             if takes_value && i + 1 < args.len() {
                 flags.insert(key.to_string(), args[i + 1].clone());
                 i += 2;
@@ -90,6 +93,9 @@ fn params_from_flags(flags: &BTreeMap<String, String>) -> Result<WorkflowParams,
             "seed" => "seed",
             "workers" => "workers",
             "policy" => "policy",
+            "streaming" => "streaming",
+            "stream-depth" => "stream_depth",
+            "cnn-batch" => "cnn_batch",
             _ => continue,
         };
         inputs.insert(key.to_string(), v.clone());
@@ -103,7 +109,13 @@ fn cmd_run(flags: &BTreeMap<String, String>) -> Result<(), String> {
     let sequential = flags.contains_key("sequential");
     println!(
         "running the climate-extremes workflow ({}): {} year(s) x {} days on {}x{}",
-        if sequential { "sequential" } else { "pipelined" },
+        if sequential {
+            "sequential"
+        } else if params.streaming {
+            "streaming"
+        } else {
+            "pipelined"
+        },
         params.years,
         params.days_per_year,
         params.grid.nlat,

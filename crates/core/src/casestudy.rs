@@ -28,22 +28,26 @@
 
 use crate::error::{WorkflowError, WorkflowStage};
 use crate::params::WorkflowParams;
-use crate::reporting::{RunReport, YearReport};
+use crate::reporting::{RunReport, StreamSummary, YearReport};
 use datacube::ops::ReduceOp;
 use datacube::{Client, CubeCache, CubeHandle, CubeId};
 use dataflow::prelude::*;
-use dataflow::stream::{DirWatcher, YearlyRule};
+use dataflow::stream::{bounded, DirWatcher, RecvTimeout, StreamSender, YearlyRule};
 use dataflow::Error;
+use esm::output::DayBlock;
 use esm::{Simulation, YearEvents};
 use extremes::heatwave::{self, WaveParams};
+use extremes::incremental::{EtccdiState, WaveState};
 use extremes::tc::cnn::TcCnn;
 use extremes::tc::detect::{detect_timestep, DetectorParams};
+use extremes::tc::serve::{BatchPolicy, CnnService};
 use extremes::tc::track::{stitch_tracks, TrackParams};
 use extremes::validate::validate_indices;
 use gridded::Field2;
 use ncformat::Reader;
 use parking_lot::Mutex;
 
+use std::collections::{BTreeMap, BTreeSet};
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -147,6 +151,116 @@ impl Payload for WfData {
     }
 }
 
+/// One simulated year as the streaming plane hands it to analytics: the
+/// daily fields as shared in-memory blocks plus the daily files the same
+/// year was durably written to (the fallback path).
+pub struct StreamedYear {
+    pub year: i32,
+    /// Watcher-compatible group key (the year as a string).
+    pub key: String,
+    pub files: Vec<PathBuf>,
+    pub days: Vec<DayBlock>,
+}
+
+/// Keyed shelf of in-flight streamed years. Analysis tasks look their
+/// year up at execution time; a miss means the year must be read back
+/// from its daily files (staged runs, checkpoint-restored years) — the
+/// two paths produce bitwise-identical science, so falling back is
+/// always safe.
+pub struct YearStore {
+    years: Mutex<BTreeMap<String, Arc<StreamedYear>>>,
+}
+
+impl YearStore {
+    fn new() -> Self {
+        YearStore { years: Mutex::new(BTreeMap::new()) }
+    }
+
+    fn insert(&self, year: Arc<StreamedYear>) {
+        self.years.lock().insert(year.key.clone(), year);
+    }
+
+    fn get(&self, key: &str) -> Option<Arc<StreamedYear>> {
+        self.years.lock().get(key).cloned()
+    }
+}
+
+/// Record-to-date incremental index accumulators (streaming runs): the
+/// heat/cold run-length machines and ETCCDI counters carried across year
+/// boundaries by the chained `stream_record` tasks.
+struct RecordState {
+    heat: Option<WaveState>,
+    cold: Option<WaveState>,
+    etccdi: Option<EtccdiState>,
+    /// Years folded in, ascending.
+    years: Vec<i32>,
+}
+
+impl RecordState {
+    fn empty() -> Self {
+        RecordState { heat: None, cold: None, etccdi: None, years: Vec::new() }
+    }
+
+    fn init_if_needed(
+        &mut self,
+        base_tmax: &datacube::model::Cube,
+        base_tmin: &datacube::model::Cube,
+        nfrag: usize,
+        io_servers: usize,
+    ) {
+        if self.heat.is_none() {
+            self.heat =
+                Some(WaveState::new(base_tmax, WaveParams::default(), false, nfrag, io_servers));
+            self.cold =
+                Some(WaveState::new(base_tmin, WaveParams::default(), true, nfrag, io_servers));
+            self.etccdi = Some(EtccdiState::new(base_tmax.rows()));
+        }
+    }
+
+    fn fold(
+        &mut self,
+        year: i32,
+        tmax: &datacube::model::Cube,
+        tmin: &datacube::model::Cube,
+    ) -> datacube::Result<()> {
+        self.heat.as_mut().expect("initialized").update(tmax)?;
+        self.cold.as_mut().expect("initialized").update(tmin)?;
+        self.etccdi.as_mut().expect("initialized").update(tmax, tmin)?;
+        self.years.push(year);
+        Ok(())
+    }
+
+    /// The next year the record expects (folding must stay ascending so
+    /// spells crossing year boundaries concatenate in calendar order).
+    fn next_year(&self, start_year: i32) -> i32 {
+        self.years.last().map_or(start_year, |y| y + 1)
+    }
+}
+
+/// Folds `years` (ascending) into the record from their daily files —
+/// the catch-up path for years whose `stream_record` task was restored
+/// from a checkpoint and therefore never executed in this process.
+fn fold_years_from_files(
+    st: &mut RecordState,
+    years: std::ops::Range<i32>,
+    params: &WorkflowParams,
+    client: &Client,
+) -> Result<(), String> {
+    for year in years {
+        let files: Vec<PathBuf> = (0..params.days_per_year)
+            .map(|d| params.esm_dir().join(esm::output::file_name(year, d)))
+            .collect();
+        let tmax = import_daily_extreme(&files, ReduceOp::Max, "tasmax", params, client)
+            .and_then(|h| h.cube())
+            .map_err(|e| e.to_string())?;
+        let tmin = import_daily_extreme(&files, ReduceOp::Min, "tasmin", params, client)
+            .and_then(|h| h.cube())
+            .map_err(|e| e.to_string())?;
+        st.fold(year, &tmax, &tmin).map_err(|e| e.to_string())?;
+    }
+    Ok(())
+}
+
 /// Handles to the shared (non-task) resources of the workflow — the same
 /// role the `client` object plays in the paper's Listing 1.
 pub struct CaseStudy {
@@ -156,6 +270,12 @@ pub struct CaseStudy {
     pub cnn: Arc<Mutex<TcCnn>>,
     sim: Arc<Mutex<Simulation>>,
     truth: Arc<Mutex<Vec<YearEvents>>>,
+    /// In-memory years handed over by the streaming plane.
+    store: Arc<YearStore>,
+    /// Shared batched CNN inference service (streaming runs only).
+    cnn_service: Option<Arc<CnnService>>,
+    /// Record-to-date incremental index state (streaming runs only).
+    record: Arc<Mutex<RecordState>>,
 }
 
 impl CaseStudy {
@@ -191,11 +311,23 @@ impl CaseStudy {
             config = config.with_checkpoint(ckpt);
         }
         let rt = Runtime::new(config);
+        // The batched inference service only exists on the streaming
+        // plane; staged runs keep the per-chunk model instances.
+        let cnn_service = params.streaming.then(|| {
+            Arc::new(CnnService::new(
+                params.patch,
+                model_file.clone(),
+                BatchPolicy { max_batch: params.cnn_batch, ..BatchPolicy::default() },
+            ))
+        });
         Ok(CaseStudy {
             client: Client::connect(params.io_servers),
             cnn: Arc::new(Mutex::new(cnn)),
             sim: Arc::new(Mutex::new(sim)),
             truth: Arc::new(Mutex::new(Vec::new())),
+            store: Arc::new(YearStore::new()),
+            cnn_service,
+            record: Arc::new(Mutex::new(RecordState::empty())),
             rt,
             params,
         })
@@ -221,11 +353,16 @@ impl CaseStudy {
     }
 
     /// Submits task #1 for one simulated year, chained on the previous
-    /// year's state token (the ESM "runs iteratively").
+    /// year's state token (the ESM "runs iteratively"). With `stream`,
+    /// the completed year is also handed to analytics in memory: the
+    /// send blocks while the channel is full (backpressure on the
+    /// simulation), and a failed send is simply ignored — the daily
+    /// files are already on disk for the watcher fallback.
     pub(crate) fn submit_esm_year(
         &self,
         year_index: usize,
         prev: Option<&DataRef>,
+        stream: Option<StreamSender<Arc<StreamedYear>>>,
     ) -> Result<TaskHandle, Error> {
         let sim = Arc::clone(&self.sim);
         let truth = Arc::clone(&self.truth);
@@ -251,7 +388,24 @@ impl CaseStudy {
                 let skipped = sim.skip_years(1);
                 truth.lock().extend(skipped);
             }
-            let summary = sim.run_years(1, |_, _, _| {}).map_err(|e| e.to_string())?;
+            let summary = match &stream {
+                Some(tx) => sim
+                    .run_years_streamed(1, |year, blocks, files| {
+                        let days = blocks.len();
+                        let bytes: u64 = blocks.iter().map(DayBlock::payload_bytes).sum();
+                        let sy = Arc::new(StreamedYear {
+                            key: year.to_string(),
+                            year,
+                            files,
+                            days: blocks,
+                        });
+                        if tx.send(sy).is_ok() {
+                            obs::emit_with(|| obs::EventKind::YearStreamed { year, days, bytes });
+                        }
+                    })
+                    .map_err(|e| e.to_string())?,
+                None => sim.run_years(1, |_, _, _| {}).map_err(|e| e.to_string())?,
+            };
             truth.lock().extend(summary.truth);
             let year = summary.years[0];
             // Fault-injection hook (resilience tests): trash one daily file.
@@ -325,8 +479,11 @@ impl CaseStudy {
         })
     }
 
-    /// Submits the full per-year analysis chain (tasks #4–#18) for one
-    /// complete year of daily files.
+    /// Submits the full per-year analysis chain (tasks #4–#18, plus #19
+    /// `stream_record` on the streaming plane) for one complete year.
+    /// Task bodies look the year up in the in-memory [`YearStore`] at
+    /// execution time and fall back to the daily files on a miss, so the
+    /// same graph serves streamed, staged and checkpoint-restored years.
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn submit_year_analysis(
         &self,
@@ -335,6 +492,7 @@ impl CaseStudy {
         baseline_tmax: &DataRef,
         baseline_tmin: &DataRef,
         model_token: &DataRef,
+        record_prev: Option<&DataRef>,
     ) -> Result<YearTaskRefs, Error> {
         let params = self.params.clone();
         let client = self.client.clone();
@@ -349,19 +507,29 @@ impl CaseStudy {
             .writes(&[format!("year-{year_key}").as_str()])
             .run(move |_| Ok(vec![WfData::Paths(files.clone())]))?;
 
-        // #5/#6 import daily extreme cubes.
+        // #5/#6 import daily extreme cubes — straight from the in-memory
+        // day blocks when the year streamed in, else from its files.
         let import = |task: &str, reduce: ReduceOp, measure: &'static str| {
             let client = client.clone();
             let params = params.clone();
+            let store = Arc::clone(&self.store);
+            let key = year_key.to_string();
             self.rt
                 .task(task)
                 .reads(&[stage.outputs[0].clone()])
                 .on_failure(FailurePolicy::IgnoreCancelSuccessors)
                 .writes(&[format!("{task}-{year_key}").as_str()])
                 .run(move |inp: &[Arc<WfData>]| {
-                    let files = inp[0].paths().ok_or("expected file list")?;
-                    let cube = import_daily_extreme(files, reduce, measure, &params, &client)
-                        .map_err(|e| e.to_string())?;
+                    let cube = match store.get(&key) {
+                        Some(sy) => {
+                            import_daily_extreme_mem(&sy.days, reduce, measure, &params, &client)
+                        }
+                        None => {
+                            let files = inp[0].paths().ok_or("expected file list")?;
+                            import_daily_extreme(files, reduce, measure, &params, &client)
+                        }
+                    }
+                    .map_err(|e| e.to_string())?;
                     Ok(vec![WfData::CubeRef(cube.id().0)])
                 })
         };
@@ -495,6 +663,7 @@ impl CaseStudy {
         let tc_input = {
             let dir = self.params.products_dir();
             let year_key_owned = year_key.to_string();
+            let store = Arc::clone(&self.store);
             self.rt
                 .task("tc_preprocess")
                 .on_failure(FailurePolicy::IgnoreCancelSuccessors)
@@ -502,9 +671,16 @@ impl CaseStudy {
                 .reads(&[stage.outputs[0].clone()])
                 .writes(&[format!("tcinput-{year_key}").as_str()])
                 .run(move |inp: &[Arc<WfData>]| {
-                    let files = inp[0].paths().ok_or("expected file list")?;
                     let out = dir.join(format!("tcinput-{year_key_owned}.ncx"));
-                    build_tc_input(files, &out).map_err(|e| e.to_string())?;
+                    match store.get(&year_key_owned) {
+                        Some(sy) => {
+                            build_tc_input_mem(&sy.days, &out).map_err(|e| e.to_string())?
+                        }
+                        None => {
+                            let files = inp[0].paths().ok_or("expected file list")?;
+                            build_tc_input(files, &out).map_err(|e| e.to_string())?;
+                        }
+                    }
                     Ok(vec![WfData::Path(out)])
                 })?
         };
@@ -525,6 +701,8 @@ impl CaseStudy {
                 .unwrap_or_else(|| self.params.out_dir.join("tc_cnn.tml"));
             let parts: Arc<Mutex<std::collections::BTreeMap<u32, String>>> =
                 Arc::new(Mutex::new(std::collections::BTreeMap::new()));
+            let service = self.cnn_service.clone();
+            let store = Arc::clone(&self.store);
             self.rt
                 .task("tc_cnn_localize")
                 .key(&format!("tccnn-{year_key}"))
@@ -533,15 +711,32 @@ impl CaseStudy {
                 .replicated(replicas)
                 .writes(&[format!("tc-cnn-{year_key}").as_str()])
                 .run_replicated(move |inp: &[Arc<WfData>], replica| {
-                    let path = match &*inp[0] {
-                        WfData::Path(p) => p.clone(),
-                        _ => return Err("expected tc input path".into()),
+                    // Streamed years route every timestep through the
+                    // shared batched inference service; otherwise each
+                    // replica fans its share of timesteps out over the
+                    // shared pool with per-chunk model instances.
+                    let part = match (&service, store.get(&year_key_owned)) {
+                        (Some(svc), Some(sy)) => cnn_localize_steps_streamed(
+                            &sy.days,
+                            svc,
+                            patch,
+                            replica.rank,
+                            replica.size,
+                        )?,
+                        _ => {
+                            let path = match &*inp[0] {
+                                WfData::Path(p) => p.clone(),
+                                _ => return Err("expected tc input path".into()),
+                            };
+                            cnn_localize_steps(
+                                &path,
+                                patch,
+                                &model_file,
+                                replica.rank,
+                                replica.size,
+                            )?
+                        }
                     };
-                    // Each replica fans its share of timesteps out over
-                    // the shared pool; chunk tasks load their own model
-                    // instance, so nothing contends on one model's state.
-                    let part =
-                        cnn_localize_steps(&path, patch, &model_file, replica.rank, replica.size)?;
                     parts.lock().insert(replica.rank, part);
                     if replica.rank != 0 {
                         return Ok(vec![]);
@@ -633,6 +828,63 @@ impl CaseStudy {
                 })?
         };
 
+        // #19 (streaming plane only) stream_record: fold this year into
+        // the record-to-date incremental indices. Chained through the
+        // previous year's record token so years fold in calendar order —
+        // the run-length machines carry open spells across the boundary.
+        let record = if self.params.streaming {
+            let client = client.clone();
+            let params = params.clone();
+            let state = Arc::clone(&self.record);
+            let year_key_owned = year_key.to_string();
+            let mut reads = vec![
+                tmax.outputs[0].clone(),
+                tmin.outputs[0].clone(),
+                baseline_tmax.clone(),
+                baseline_tmin.clone(),
+            ];
+            if let Some(p) = record_prev {
+                reads.push(p.clone());
+            }
+            let h = self
+                .rt
+                .task("stream_record")
+                .key(&format!("record-{year_key}"))
+                .on_failure(FailurePolicy::IgnoreCancelSuccessors)
+                .reads(&reads)
+                .writes(&[format!("record-{year_key}").as_str()])
+                .run(move |inp: &[Arc<WfData>]| {
+                    let cube = |d: &Arc<WfData>| {
+                        client
+                            .open(d.cube_id().ok_or("expected cube ref")?)
+                            .and_then(|h| h.cube())
+                            .map_err(|e| e.to_string())
+                    };
+                    let tmax = cube(&inp[0])?;
+                    let tmin = cube(&inp[1])?;
+                    let base_tmax = cube(&inp[2])?;
+                    let base_tmin = cube(&inp[3])?;
+                    let year: i32 =
+                        year_key_owned.parse().map_err(|_| "bad year key".to_string())?;
+                    let mut st = state.lock();
+                    st.init_if_needed(&base_tmax, &base_tmin, params.nfrag, params.io_servers);
+                    // Checkpoint-restored years never ran their record
+                    // task in this process; fold them from their daily
+                    // files first so the record stays calendar-ordered.
+                    let next = st.next_year(params.esm_config().start_year);
+                    if next < year {
+                        fold_years_from_files(&mut st, next..year, &params, &client)?;
+                    }
+                    if !st.years.contains(&year) {
+                        st.fold(year, &tmax, &tmin).map_err(|e| e.to_string())?;
+                    }
+                    Ok(vec![WfData::Num(st.years.len() as f64)])
+                })?;
+            Some(h.outputs[0].clone())
+        } else {
+            None
+        };
+
         Ok(YearTaskRefs {
             year_key: year_key.to_string(),
             n_files,
@@ -643,12 +895,25 @@ impl CaseStudy {
             cnn_csv: cnn_out.outputs[0].clone(),
             tracks_csv: tracks_out.outputs[0].clone(),
             maps: maps.outputs[0].clone(),
+            record,
         })
     }
 
     /// Runs the full pipelined workflow: simulation years chained, per-year
-    /// analysis submitted as years stream in, everything concurrent.
+    /// analysis submitted as years stream in, everything concurrent. With
+    /// `params.streaming`, years hand over in memory through a bounded
+    /// channel; otherwise analysis keys off the daily files.
     pub fn run(&self) -> Result<RunReport, WorkflowError> {
+        if self.params.streaming {
+            self.run_streaming()
+        } else {
+            self.run_staged()
+        }
+    }
+
+    /// The file-keyed pipelined driver: per-year analysis starts when the
+    /// directory watcher sees a complete year of daily files.
+    fn run_staged(&self) -> Result<RunReport, WorkflowError> {
         let start = Instant::now();
         let baseline = self
             .submit_load_baseline()
@@ -660,7 +925,7 @@ impl CaseStudy {
         let mut prev: Option<DataRef> = None;
         for y in 0..self.params.years {
             let h = self
-                .submit_esm_year(y, prev.as_ref())
+                .submit_esm_year(y, prev.as_ref(), None)
                 .map_err(WorkflowError::dataflow(WorkflowStage::Simulation))?;
             prev = Some(h.outputs[0].clone());
         }
@@ -697,6 +962,7 @@ impl CaseStudy {
                         &baseline.outputs[0],
                         &baseline.outputs[1],
                         &model.outputs[0],
+                        None,
                     )
                     .map_err(WorkflowError::dataflow(WorkflowStage::Analysis))?;
                 year_refs.push(refs);
@@ -706,6 +972,188 @@ impl CaseStudy {
 
         self.rt.barrier().map_err(WorkflowError::dataflow(WorkflowStage::Barrier))?;
         self.collect_report(start.elapsed(), &year_refs)
+    }
+
+    /// The streaming driver: completed years arrive through a bounded
+    /// in-memory channel (the simulation blocks when analytics lags —
+    /// backpressure), with the directory watcher as the durable fallback
+    /// for years that never streamed (checkpoint restores, lost sends).
+    fn run_streaming(&self) -> Result<RunReport, WorkflowError> {
+        let start = Instant::now();
+        let baseline = self
+            .submit_load_baseline()
+            .map_err(WorkflowError::dataflow(WorkflowStage::Baseline))?;
+        let model =
+            self.submit_load_model().map_err(WorkflowError::dataflow(WorkflowStage::ModelLoad))?;
+
+        let (tx, rx) = bounded::<Arc<StreamedYear>>("esm-years", self.params.stream_depth);
+        let mut prev: Option<DataRef> = None;
+        for y in 0..self.params.years {
+            let h = self
+                .submit_esm_year(y, prev.as_ref(), Some(tx.clone()))
+                .map_err(WorkflowError::dataflow(WorkflowStage::Simulation))?;
+            prev = Some(h.outputs[0].clone());
+        }
+        drop(tx);
+
+        let esm_dir = self.params.esm_dir();
+        let mut watcher = DirWatcher::new(
+            esm_dir.clone(),
+            YearlyRule { prefix: "esm".into(), days_per_year: self.params.days_per_year },
+        );
+        let mut year_refs: Vec<YearTaskRefs> = Vec::new();
+        let mut submitted: BTreeSet<String> = BTreeSet::new();
+        let mut record_prev: Option<DataRef> = None;
+        let (mut streamed, mut fallback) = (0usize, 0usize);
+        const WAIT_SECS: u64 = 3600;
+        let deadline = Instant::now() + Duration::from_secs(WAIT_SECS);
+        while year_refs.len() < self.params.years {
+            if Instant::now() > deadline {
+                return Err(WorkflowError::Timeout {
+                    stage: WorkflowStage::Streaming,
+                    waited_secs: WAIT_SECS,
+                });
+            }
+            if let Some(err) = self.rt.aborted() {
+                return Err(WorkflowError::Aborted { source: err });
+            }
+            // In-memory arrivals first; the recv doubles as the loop's
+            // pacing, so no sleep is needed.
+            let mut pending: BTreeMap<String, (Vec<PathBuf>, bool)> = BTreeMap::new();
+            match rx.recv_timeout(Duration::from_millis(20)) {
+                RecvTimeout::Item(sy) => {
+                    self.store.insert(Arc::clone(&sy));
+                    pending.insert(sy.key.clone(), (sy.files.clone(), true));
+                }
+                RecvTimeout::TimedOut | RecvTimeout::Disconnected => {}
+            }
+            for group in
+                watcher.poll().map_err(WorkflowError::io(WorkflowStage::Streaming, &esm_dir))?
+            {
+                pending.entry(group.key).or_insert((group.files, false));
+            }
+            // BTreeMap order keeps record-task chaining calendar-ascending
+            // even when a restored year surfaces via its files while a
+            // later year streams in.
+            for (key, (files, via_stream)) in pending {
+                if !submitted.insert(key.clone()) {
+                    continue;
+                }
+                let refs = self
+                    .submit_year_analysis(
+                        &key,
+                        files,
+                        &baseline.outputs[0],
+                        &baseline.outputs[1],
+                        &model.outputs[0],
+                        record_prev.as_ref(),
+                    )
+                    .map_err(WorkflowError::dataflow(WorkflowStage::Analysis))?;
+                record_prev = refs.record.clone();
+                if via_stream {
+                    streamed += 1;
+                } else {
+                    fallback += 1;
+                }
+                year_refs.push(refs);
+            }
+        }
+
+        self.rt.barrier().map_err(WorkflowError::dataflow(WorkflowStage::Barrier))?;
+        let record_paths = self.export_record_products(&baseline)?;
+        let mut report = self.collect_report(start.elapsed(), &year_refs)?;
+        let stats = self.cnn_service.as_ref().map(|s| s.stats()).unwrap_or_default();
+        report.stream = Some(StreamSummary {
+            years_streamed: streamed,
+            fallback_years: fallback,
+            stall_us: rx.stall_micros(),
+            record_years: self.record.lock().years.len(),
+            cnn_batches: stats.batches,
+            cnn_items: stats.items,
+            cnn_mean_batch: stats.mean_occupancy(),
+            record_paths,
+        });
+        Ok(report)
+    }
+
+    /// Exports the record-to-date (cross-year) index products accumulated
+    /// by the `stream_record` chain: the six heat/cold maps as NCX plus
+    /// one NCX of the ETCCDI counters. A resume run whose record tasks
+    /// were all restored from the checkpoint folds the missing years from
+    /// their daily files first.
+    fn export_record_products(&self, baseline: &TaskHandle) -> Result<Vec<PathBuf>, WorkflowError> {
+        let malformed =
+            |message: String| WorkflowError::Malformed { stage: WorkflowStage::Report, message };
+        let fetch_cube = |r: &DataRef| {
+            let d = self.rt.fetch(r).map_err(WorkflowError::dataflow(WorkflowStage::Report))?;
+            self.client
+                .open(d.cube_id().ok_or_else(|| malformed("baseline is not a cube".into()))?)
+                .and_then(|h| h.cube())
+                .map_err(WorkflowError::cube(WorkflowStage::Report))
+        };
+        let base_tmax = fetch_cube(&baseline.outputs[0])?;
+        let base_tmin = fetch_cube(&baseline.outputs[1])?;
+        let mut st = self.record.lock();
+        st.init_if_needed(&base_tmax, &base_tmin, self.params.nfrag, self.params.io_servers);
+        let start_year = self.params.esm_config().start_year;
+        let end_year = start_year + self.params.years as i32;
+        let next = st.next_year(start_year);
+        if next < end_year {
+            fold_years_from_files(&mut st, next..end_year, &self.params, &self.client)
+                .map_err(malformed)?;
+        }
+
+        let dir = self.params.products_dir();
+        let heat = st
+            .heat
+            .as_ref()
+            .expect("initialized")
+            .indices()
+            .map_err(WorkflowError::cube(WorkflowStage::Report))?;
+        let cold = st
+            .cold
+            .as_ref()
+            .expect("initialized")
+            .indices()
+            .map_err(WorkflowError::cube(WorkflowStage::Report))?;
+        let mut paths = Vec::new();
+        for (cube, name) in [
+            (heat.duration_max, "record-hwd"),
+            (heat.number, "record-hwn"),
+            (heat.frequency, "record-hwf"),
+            (cold.duration_max, "record-cwd"),
+            (cold.number, "record-cwn"),
+            (cold.frequency, "record-cwf"),
+        ] {
+            let path = dir.join(format!("{name}.ncx"));
+            self.client
+                .adopt(cube)
+                .exportnc(&path)
+                .map_err(WorkflowError::cube(WorkflowStage::Report))?;
+            paths.push(path);
+        }
+
+        let et = st.etccdi.as_ref().expect("initialized");
+        let (frost, summer, txx, tnn) = et.values();
+        let grid = &self.params.grid;
+        let path = dir.join("record-etccdi.ncx");
+        let write = || -> ncformat::Result<()> {
+            let mut w = ncformat::Writer::create(&path)?;
+            w.set_attribute("days", ncformat::Value::from(et.days() as i64));
+            w.add_dimension("lat", grid.nlat)?;
+            w.add_dimension("lon", grid.nlon)?;
+            w.add_variable_f64("lat", &["lat"], &grid.lats(), vec![])?;
+            w.add_variable_f64("lon", &["lon"], &grid.lons(), vec![])?;
+            for (name, data) in
+                [("frost_days", frost), ("summer_days", summer), ("txx", txx), ("tnn", tnn)]
+            {
+                w.add_variable_f32(name, &["lat", "lon"], data, vec![])?;
+            }
+            w.finish()
+        };
+        write().map_err(|e| malformed(e.to_string()))?;
+        paths.push(path);
+        Ok(paths)
     }
 
     /// Assembles the run report by fetching task outputs and comparing the
@@ -832,6 +1280,7 @@ impl CaseStudy {
             timed: self.rt.timing_report(),
             policy: self.rt.policy_name(),
             placements: self.rt.scheduler_decisions(),
+            stream: None,
         })
     }
 }
@@ -847,6 +1296,9 @@ pub(crate) struct YearTaskRefs {
     cnn_csv: DataRef,
     tracks_csv: DataRef,
     maps: DataRef,
+    /// Record token of the `stream_record` task (streaming plane only);
+    /// the next year's record task chains on it.
+    pub(crate) record: Option<DataRef>,
 }
 
 /// Pre-trains the TC-localization CNN the way the workflow's `load_model`
@@ -978,6 +1430,51 @@ fn import_daily_extreme(
     Ok(client.adopt(year))
 }
 
+/// Task #5/#6 body on the streaming hot path: the same daily-extreme year
+/// cube as [`import_daily_extreme`], built straight from the in-memory
+/// [`DayBlock`]s — no reader, no intermediate per-day cubes. The reduction
+/// mirrors [`ReduceOp`]'s fold (same begin value, same `max`/`min` chain)
+/// so the result is bitwise-identical to the file route.
+fn import_daily_extreme_mem(
+    days: &[DayBlock],
+    op: ReduceOp,
+    measure: &str,
+    params: &WorkflowParams,
+    client: &Client,
+) -> datacube::Result<CubeHandle> {
+    use datacube::model::{Cube, Dimension, SharedData};
+    let first = days.first().ok_or_else(|| datacube::Error::SchemaMismatch("empty year".into()))?;
+    let grid = &first.grid;
+    let n = grid.nlat * grid.nlon;
+    let spd = first.steps_per_day;
+    let nday = days.len();
+    let pick_max = matches!(op, ReduceOp::Max);
+    for block in days {
+        if block.var("tas").is_none() {
+            return Err(datacube::Error::SchemaMismatch("day block missing tas".into()));
+        }
+    }
+    let data = SharedData::from_fn(n * nday, |data| {
+        for (d, block) in days.iter().enumerate() {
+            let stack = block.var("tas").expect("checked above");
+            for idx in 0..n {
+                let mut acc = if pick_max { f32::NEG_INFINITY } else { f32::INFINITY };
+                for t in 0..spd {
+                    let v = stack[t * n + idx];
+                    acc = if pick_max { acc.max(v) } else { acc.min(v) };
+                }
+                data[idx * nday + d] = acc;
+            }
+        }
+    });
+    let dims = vec![
+        Dimension::explicit("lat", grid.lats()),
+        Dimension::explicit("lon", grid.lons()),
+        Dimension::implicit("day", (0..nday).map(|d| d as f64).collect::<Vec<_>>()),
+    ];
+    Cube::from_shared(measure, dims, data, params.nfrag, params.io_servers).map(|c| client.adopt(c))
+}
+
 /// Task #15 body: bundle `(psl, sfcWind, tas, vort)` for every timestep of
 /// the year into one analysis-ready NCX file with a `step` axis.
 fn build_tc_input(files: &[PathBuf], out: &Path) -> ncformat::Result<()> {
@@ -998,6 +1495,38 @@ fn build_tc_input(files: &[PathBuf], out: &Path) -> ncformat::Result<()> {
         for f in files {
             let rd = Reader::open(f)?;
             stack.extend(rd.read_all_f32(var)?);
+        }
+        w.add_variable_f32(var, &["step", "lat", "lon"], &stack, vec![])?;
+    }
+    w.set_attribute("steps_per_day", ncformat::Value::from(spd as i64));
+    w.finish()
+}
+
+/// Task #15 body on the streaming hot path: the same analysis-ready NCX
+/// file as [`build_tc_input`], assembled from the in-memory [`DayBlock`]s.
+/// Coordinates come from the grid (the daily files wrote the same values)
+/// and variable stacks concatenate in day order, so the output file is
+/// byte-identical to the file route.
+fn build_tc_input_mem(days: &[DayBlock], out: &Path) -> ncformat::Result<()> {
+    let first =
+        days.first().ok_or_else(|| std::io::Error::other("empty year in streaming handoff"))?;
+    let grid = &first.grid;
+    let spd = first.steps_per_day;
+    let steps = days.len() * spd;
+
+    let mut w = ncformat::Writer::create(out)?;
+    w.add_dimension("step", steps)?;
+    w.add_dimension("lat", grid.nlat)?;
+    w.add_dimension("lon", grid.nlon)?;
+    w.add_variable_f64("lat", &["lat"], &grid.lats(), vec![])?;
+    w.add_variable_f64("lon", &["lon"], &grid.lons(), vec![])?;
+    for var in ["psl", "sfcWind", "tas", "vort"] {
+        let mut stack = Vec::with_capacity(steps * grid.nlat * grid.nlon);
+        for block in days {
+            let part = block
+                .var(var)
+                .ok_or_else(|| std::io::Error::other(format!("missing {var} in day block")))?;
+            stack.extend_from_slice(part);
         }
         w.add_variable_f32(var, &["step", "lat", "lon"], &stack, vec![])?;
     }
@@ -1070,6 +1599,59 @@ fn cnn_localize_steps(
     let mut csv = String::new();
     for p in parts {
         csv.push_str(&p?);
+    }
+    Ok(csv)
+}
+
+/// Task #16 body on the streaming hot path: the replica's timesteps go to
+/// the shared [`CnnService`] instead of per-chunk model instances. All
+/// requests are submitted up front (so the service can batch them), then
+/// awaited in step order — rows stay step-ascending and byte-identical to
+/// [`cnn_localize_steps`] because localization of one step is independent
+/// of the batch it rode in.
+fn cnn_localize_steps_streamed(
+    days: &[DayBlock],
+    service: &CnnService,
+    patch: usize,
+    rank: u32,
+    size: u32,
+) -> Result<String, String> {
+    let Some(first) = days.first() else {
+        return Ok(String::new());
+    };
+    let grid = first.grid.clone();
+    let n = grid.nlat * grid.nlon;
+    let spd = first.steps_per_day;
+    let steps = days.len() * spd;
+    let analysis = extremes::tc::cnn::analysis_grid(esm::atmos::tc_radius_deg(&grid), patch);
+    let plane = |var: &str, s: usize| -> Result<Field2, String> {
+        let block = &days[s / spd];
+        let t = s % spd;
+        let stack = block.var(var).ok_or_else(|| format!("missing {var} in day block"))?;
+        Ok(Field2::from_vec(grid.clone(), stack[t * n..(t + 1) * n].to_vec()))
+    };
+    let mut tickets = Vec::new();
+    for s in (rank as usize..steps).step_by((size as usize).max(1)) {
+        let native = extremes::tc::cnn::FieldSet {
+            psl: plane("psl", s)?,
+            wind: plane("sfcWind", s)?,
+            tas: plane("tas", s)?,
+            vort: plane("vort", s)?,
+        };
+        tickets.push((s, service.submit(native, analysis.clone())));
+    }
+    let mut csv = String::new();
+    for (s, ticket) in tickets {
+        for det in ticket.wait()? {
+            csv.push_str(&format!(
+                "{},{},{:.3},{:.3},{:.3}\n",
+                s / spd,
+                s % spd,
+                det.lat,
+                det.lon,
+                det.confidence
+            ));
+        }
     }
     Ok(csv)
 }

@@ -54,7 +54,7 @@ impl CaseStudy {
         let mut prev = None;
         for y in 0..self.params.years {
             let h = self
-                .submit_esm_year(y, prev.as_ref())
+                .submit_esm_year(y, prev.as_ref(), None)
                 .map_err(WorkflowError::dataflow(WorkflowStage::Simulation))?;
             prev = Some(h.outputs[0].clone());
         }
@@ -67,6 +67,7 @@ impl CaseStudy {
             YearlyRule { prefix: "esm".into(), days_per_year: self.params.days_per_year },
         );
         let mut year_refs = Vec::new();
+        let mut record_prev = None;
         for group in
             watcher.poll().map_err(WorkflowError::io(WorkflowStage::Streaming, &esm_dir))?
         {
@@ -77,8 +78,10 @@ impl CaseStudy {
                     &baseline.outputs[0],
                     &baseline.outputs[1],
                     &model.outputs[0],
+                    record_prev.as_ref(),
                 )
                 .map_err(WorkflowError::dataflow(WorkflowStage::Analysis))?;
+            record_prev = refs.record.clone();
             year_refs.push(refs);
         }
         self.rt.barrier().map_err(WorkflowError::dataflow(WorkflowStage::Barrier))?;
@@ -161,6 +164,43 @@ mod tests {
         assert_eq!(a.years[0].heatwave_cells, b.years[0].heatwave_cells);
         assert_eq!(a.years[0].coldspell_cells, b.years[0].coldspell_cells);
         assert_eq!(a.years[0].truth_tcs, b.years[0].truth_tcs);
+    }
+
+    /// Streaming smoke: the in-memory data plane produces the same product
+    /// set, populates the streaming report section, and adds the
+    /// record-to-date task + exports on top of the 18 staged functions.
+    #[test]
+    fn streaming_end_to_end_produces_products() {
+        let mut params = WorkflowParams::test_scale(tmp("streaming"));
+        params.years = 2;
+        params.days_per_year = 12;
+        params.train_samples = 120;
+        params.train_epochs = 6;
+        params.streaming = true;
+        let report = run_pipelined(params).unwrap();
+
+        assert_eq!(report.years.len(), 2);
+        for y in &report.years {
+            assert!(y.validated, "index validation must pass");
+            assert_eq!(y.export_paths.len(), 6);
+            for p in &y.export_paths {
+                assert!(p.exists(), "missing export {p:?}");
+            }
+        }
+        let st = report.stream.as_ref().expect("streaming section");
+        assert_eq!(st.years_streamed + st.fallback_years, 2);
+        assert!(st.years_streamed >= 1, "at least one year should stream in-memory");
+        assert_eq!(st.record_years, 2, "record state folded both years");
+        assert!(st.cnn_items > 0, "CNN service saw requests");
+        assert!(st.cnn_batches > 0);
+        assert_eq!(st.record_paths.len(), 7, "6 wave maps + etccdi");
+        for p in &st.record_paths {
+            assert!(p.exists(), "missing record product {p:?}");
+        }
+        // The 18 staged functions plus the stream_record fold.
+        assert_eq!(report.function_counts.len(), 19, "{:?}", report.function_counts);
+        assert_eq!(report.metrics.failed, 0);
+        assert_eq!(report.metrics.cancelled, 0);
     }
 
     #[test]

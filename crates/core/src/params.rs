@@ -53,6 +53,14 @@ pub struct WorkflowParams {
     pub retry_base_ms: u64,
     /// Dataflow scheduling policy (fifo | locality | heft | lookahead).
     pub sched_policy: dataflow::Policy,
+    /// Streaming data plane: hand completed years to analytics through an
+    /// in-memory channel (files still written as the durable fallback).
+    pub streaming: bool,
+    /// Capacity of the simulation→analytics year channel; a full channel
+    /// blocks the simulation (backpressure) until analytics catches up.
+    pub stream_depth: usize,
+    /// Max requests per CNN inference batch in the streaming TC service.
+    pub cnn_batch: usize,
 }
 
 impl WorkflowParams {
@@ -92,6 +100,8 @@ impl WorkflowParams {
         if self.finetune_days > 0 {
             positive("finetune_epochs", self.finetune_epochs)?;
         }
+        positive("stream_depth", self.stream_depth)?;
+        positive("cnn_batch", self.cnn_batch)?;
         if let Some((year, day)) = self.corrupt_file {
             if year >= self.years || day >= self.days_per_year {
                 return Err(format!(
@@ -126,6 +136,9 @@ impl WorkflowParams {
             task_retries: 0,
             retry_base_ms: 20,
             sched_policy: dataflow::Policy::Fifo,
+            streaming: false,
+            stream_depth: 2,
+            cnn_batch: 8,
         }
     }
 
@@ -153,6 +166,9 @@ impl WorkflowParams {
             task_retries: 0,
             retry_base_ms: 20,
             sched_policy: dataflow::Policy::Fifo,
+            streaming: false,
+            stream_depth: 2,
+            cnn_batch: 8,
         }
     }
 
@@ -162,7 +178,8 @@ impl WorkflowParams {
     /// (`historical` | `ssp245` | `ssp585`), `seed`, `workers`,
     /// `io_servers`, `nfrag`, `checkpoint`, `task_retries`,
     /// `retry_base_ms`, `policy` (`fifo` | `locality` | `heft` |
-    /// `lookahead`).
+    /// `lookahead`), `streaming` (`true` | `false`), `stream_depth`,
+    /// `cnn_batch`.
     pub fn apply_inputs(mut self, inputs: &BTreeMap<String, String>) -> Result<Self, String> {
         for (k, v) in inputs {
             match k.as_str() {
@@ -210,6 +227,15 @@ impl WorkflowParams {
                         v.parse().map_err(|_| format!("bad retry_base_ms '{v}'"))?
                 }
                 "policy" => self.sched_policy = v.parse()?,
+                "streaming" => {
+                    self.streaming = v.parse().map_err(|_| format!("bad streaming '{v}'"))?
+                }
+                "stream_depth" => {
+                    self.stream_depth = v.parse().map_err(|_| format!("bad stream_depth '{v}'"))?
+                }
+                "cnn_batch" => {
+                    self.cnn_batch = v.parse().map_err(|_| format!("bad cnn_batch '{v}'"))?
+                }
                 // Unrecognized inputs are deployment-level concerns
                 // (image names etc.); ignore them.
                 _ => {}
@@ -361,6 +387,24 @@ impl ParamsBuilder {
         self
     }
 
+    /// Enables the streaming data plane (in-memory year handoff).
+    pub fn streaming(mut self, on: bool) -> Self {
+        self.p.streaming = on;
+        self
+    }
+
+    /// Simulation→analytics channel capacity (years in flight).
+    pub fn stream_depth(mut self, depth: usize) -> Self {
+        self.p.stream_depth = depth;
+        self
+    }
+
+    /// Max requests per CNN inference batch in the streaming service.
+    pub fn cnn_batch(mut self, batch: usize) -> Self {
+        self.p.cnn_batch = batch;
+        self
+    }
+
     /// Applies HPCWaaS string inputs (same keys as
     /// [`WorkflowParams::apply_inputs`]) on top of the builder state.
     pub fn inputs(mut self, inputs: &BTreeMap<String, String>) -> Result<Self, String> {
@@ -439,6 +483,35 @@ mod tests {
             .build()
             .unwrap();
         assert_eq!(p.sched_policy, dataflow::Policy::Heft);
+    }
+
+    #[test]
+    fn streaming_inputs_parse() {
+        let mut inputs = BTreeMap::new();
+        inputs.insert("streaming".to_string(), "true".to_string());
+        inputs.insert("stream_depth".to_string(), "3".to_string());
+        inputs.insert("cnn_batch".to_string(), "16".to_string());
+        let p = base().apply_inputs(&inputs).unwrap();
+        assert!(p.streaming);
+        assert_eq!(p.stream_depth, 3);
+        assert_eq!(p.cnn_batch, 16);
+
+        let mut inputs = BTreeMap::new();
+        inputs.insert("streaming".to_string(), "maybe".to_string());
+        assert!(base().apply_inputs(&inputs).is_err());
+        let mut inputs = BTreeMap::new();
+        inputs.insert("stream_depth".to_string(), "0".to_string());
+        assert!(base().apply_inputs(&inputs).is_err(), "zero-depth channel rejected");
+
+        let p = WorkflowParams::builder(std::env::temp_dir().join("wfp-stream"))
+            .streaming(true)
+            .stream_depth(4)
+            .cnn_batch(2)
+            .build()
+            .unwrap();
+        assert!(p.streaming);
+        assert_eq!((p.stream_depth, p.cnn_batch), (4, 2));
+        assert!(!base().streaming, "streaming is opt-in");
     }
 
     #[test]

@@ -38,6 +38,30 @@ pub struct YearReport {
     pub deterministic_scores: Option<Scores>,
 }
 
+/// What the streaming data plane did during a run: how years reached
+/// analytics, what backpressure cost, and how the batched CNN service
+/// packed its inference requests.
+#[derive(Debug, Clone, Default)]
+pub struct StreamSummary {
+    /// Years handed to analytics through the in-memory channel.
+    pub years_streamed: usize,
+    /// Years picked up from daily files instead (checkpoint restores,
+    /// missed sends — the durable fallback path).
+    pub fallback_years: usize,
+    /// Total time the simulation spent blocked on a full year channel.
+    pub stall_us: u64,
+    /// Years folded into the record-to-date incremental indices.
+    pub record_years: usize,
+    /// Inference batches flushed by the CNN service.
+    pub cnn_batches: u64,
+    /// Inference requests served by the CNN service.
+    pub cnn_items: u64,
+    /// Mean requests per flushed batch.
+    pub cnn_mean_batch: f64,
+    /// Record-to-date index exports (cross-year products).
+    pub record_paths: Vec<PathBuf>,
+}
+
 /// Whole-run report.
 #[derive(Debug, Clone)]
 pub struct RunReport {
@@ -62,6 +86,8 @@ pub struct RunReport {
     /// Every placement decision the scheduler made (estimated cost at
     /// pick time, measured duration at completion).
     pub placements: Vec<dataflow::PlacementDecision>,
+    /// Streaming data-plane summary (None for staged, file-based runs).
+    pub stream: Option<StreamSummary>,
 }
 
 /// `1234567` µs → `"1.23s"`, `4321` µs → `"4.3ms"`.
@@ -137,6 +163,24 @@ impl RunReport {
             self.metrics.cancelled,
             self.metrics.retries
         );
+        if let Some(st) = &self.stream {
+            let _ = writeln!(
+                s,
+                "streaming: {} year(s) in-memory, {} via file fallback, \
+                 backpressure stall {}, record years {}",
+                st.years_streamed,
+                st.fallback_years,
+                fmt_us(st.stall_us),
+                st.record_years
+            );
+            if st.cnn_batches > 0 {
+                let _ = writeln!(
+                    s,
+                    "  CNN service: {} request(s) in {} batch(es), mean occupancy {:.2}",
+                    st.cnn_items, st.cnn_batches, st.cnn_mean_batch
+                );
+            }
+        }
         if let Some(t) = &self.timed {
             s.push_str(&self.render_timed(t));
         }
@@ -248,6 +292,7 @@ mod tests {
             timed: None,
             policy: "fifo",
             placements: Vec::new(),
+            stream: None,
         }
     }
 
@@ -307,6 +352,26 @@ mod tests {
         let r = report.render();
         assert!(r.contains("scheduling: policy heft, 2 placements"), "got:\n{r}");
         assert!(r.contains("mean |est-actual| 1.0ms over 2 completed placements"), "got:\n{r}");
+    }
+
+    #[test]
+    fn render_includes_streaming_section() {
+        let mut report = sample();
+        report.stream = Some(StreamSummary {
+            years_streamed: 2,
+            fallback_years: 1,
+            stall_us: 4_321,
+            record_years: 3,
+            cnn_batches: 5,
+            cnn_items: 40,
+            cnn_mean_batch: 8.0,
+            record_paths: vec![PathBuf::from("/p/record-hwn.ncx")],
+        });
+        let r = report.render();
+        assert!(r.contains("streaming: 2 year(s) in-memory, 1 via file fallback"), "got:\n{r}");
+        assert!(r.contains("backpressure stall 4.3ms"), "got:\n{r}");
+        assert!(r.contains("40 request(s) in 5 batch(es), mean occupancy 8.00"), "got:\n{r}");
+        assert!(!sample().render().contains("streaming:"), "staged runs have no section");
     }
 
     #[test]

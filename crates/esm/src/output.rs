@@ -7,8 +7,10 @@
 //! the stated ~271 MB per file and ~100 GB per year.
 
 use crate::model::DailyFields;
+use gridded::Grid;
 use ncformat::{DataType, Dataset, Value, Writer};
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 /// File name for a given simulated date.
 pub fn file_name(year: i32, day0: usize) -> String {
@@ -23,26 +25,33 @@ pub fn parse_file_name(name: &str) -> Option<(i32, usize)> {
     Some((y.parse().ok()?, d.parse::<usize>().ok()?.checked_sub(1)?))
 }
 
-/// Writes one day of output to `dir`, returning the file path. Uses the
-/// streaming writer so only one variable stack is serialized at a time.
-pub fn write_daily(dir: &Path, fields: &DailyFields) -> ncformat::Result<PathBuf> {
-    let path = dir.join(file_name(fields.year, fields.day));
+/// The single encode path for one simulated day: both [`write_daily`]
+/// (the file pipeline) and [`DayBlock::write`] (the streaming plane's
+/// durable fallback) serialize through here, so the two paths cannot
+/// drift in layout, attributes or coordinate conventions.
+fn write_day_parts(
+    dir: &Path,
+    year: i32,
+    day0: usize,
+    grid: &Grid,
+    spd: usize,
+    vars: &[(&str, &[f32])],
+) -> ncformat::Result<PathBuf> {
+    let path = dir.join(file_name(year, day0));
     // Write to a temp name then rename, so directory watchers never observe
     // a half-written day file.
-    let tmp = dir.join(format!(".tmp-{}", file_name(fields.year, fields.day)));
-    let grid = &fields.vars[0].1.grid;
-    let spd = fields.vars[0].1.ntime;
+    let tmp = dir.join(format!(".tmp-{}", file_name(year, day0)));
 
     let mut w = Writer::create(&tmp)?;
     w.set_attribute("model", Value::from("CMCC-CM3-surrogate"));
-    w.set_attribute("year", Value::from(fields.year as i64));
-    w.set_attribute("day_of_year", Value::from(fields.day as i64 + 1));
+    w.set_attribute("year", Value::from(year as i64));
+    w.set_attribute("day_of_year", Value::from(day0 as i64 + 1));
     w.add_dimension("time", spd)?;
     w.add_dimension("lat", grid.nlat)?;
     w.add_dimension("lon", grid.nlon)?;
     // Size the file up front: coordinate variables plus the ~20 stacks.
     let payload = ((spd + grid.nlat + grid.nlon) * DataType::F64.size()) as u64
-        + fields.vars.len() as u64 * (grid.len() * spd * DataType::F32.size()) as u64;
+        + vars.len() as u64 * (grid.len() * spd * DataType::F32.size()) as u64;
     w.reserve(payload)?;
     w.add_variable_f64(
         "time",
@@ -52,12 +61,73 @@ pub fn write_daily(dir: &Path, fields: &DailyFields) -> ncformat::Result<PathBuf
     )?;
     w.add_variable_f64("lat", &["lat"], &grid.lats(), vec![])?;
     w.add_variable_f64("lon", &["lon"], &grid.lons(), vec![])?;
-    for (name, stack) in &fields.vars {
-        w.add_variable_f32(name, &["time", "lat", "lon"], &stack.data, vec![])?;
+    for (name, stack) in vars {
+        w.add_variable_f32(name, &["time", "lat", "lon"], stack, vec![])?;
     }
     w.finish()?;
     std::fs::rename(&tmp, &path)?;
     Ok(path)
+}
+
+/// Writes one day of output to `dir`, returning the file path. Uses the
+/// streaming writer so only one variable stack is serialized at a time.
+pub fn write_daily(dir: &Path, fields: &DailyFields) -> ncformat::Result<PathBuf> {
+    let grid = &fields.vars[0].1.grid;
+    let spd = fields.vars[0].1.ntime;
+    let vars: Vec<(&str, &[f32])> =
+        fields.vars.iter().map(|(n, f)| (n.as_str(), f.data.as_slice())).collect();
+    write_day_parts(dir, fields.year, fields.day, grid, spd, &vars)
+}
+
+/// One simulated day held in memory: the same per-variable `(time, lat,
+/// lon)` stacks `write_daily` serializes, as cheaply clonable
+/// `Arc<[f32]>` windows ready to hand straight to analytics without an
+/// encode→write→poll→read→decode round-trip.
+#[derive(Debug, Clone)]
+pub struct DayBlock {
+    pub year: i32,
+    /// 0-based day of year.
+    pub day: usize,
+    pub grid: Grid,
+    pub steps_per_day: usize,
+    /// `(name, stack)` in the model's output-variable order; each stack
+    /// is `steps_per_day * grid.len()` values, time-major.
+    pub vars: Vec<(String, Arc<[f32]>)>,
+}
+
+impl DayBlock {
+    /// Captures a day of model output as shared in-memory windows.
+    pub fn from_fields(fields: &DailyFields) -> Self {
+        DayBlock {
+            year: fields.year,
+            day: fields.day,
+            grid: fields.vars[0].1.grid.clone(),
+            steps_per_day: fields.vars[0].1.ntime,
+            vars: fields
+                .vars
+                .iter()
+                .map(|(n, f)| (n.clone(), Arc::from(f.data.as_slice())))
+                .collect(),
+        }
+    }
+
+    /// The stack for one variable.
+    pub fn var(&self, name: &str) -> Option<&Arc<[f32]>> {
+        self.vars.iter().find(|(n, _)| n == name).map(|(_, v)| v)
+    }
+
+    /// Total f32 payload carried by this block, in bytes.
+    pub fn payload_bytes(&self) -> u64 {
+        self.vars.iter().map(|(_, v)| (v.len() * DataType::F32.size()) as u64).sum()
+    }
+
+    /// Durable-fallback write: produces a file byte-identical to what
+    /// [`write_daily`] would have written for the same day.
+    pub fn write(&self, dir: &Path) -> ncformat::Result<PathBuf> {
+        let vars: Vec<(&str, &[f32])> =
+            self.vars.iter().map(|(n, v)| (n.as_str(), v.as_ref())).collect();
+        write_day_parts(dir, self.year, self.day, &self.grid, self.steps_per_day, &vars)
+    }
 }
 
 /// Payload size in bytes of one daily file at a given geometry (header
@@ -160,6 +230,22 @@ mod tests {
             .filter(|e| e.file_name().to_string_lossy().starts_with(".tmp-"))
             .collect();
         assert!(leftovers.is_empty());
+    }
+
+    #[test]
+    fn day_block_write_is_byte_identical_to_write_daily() {
+        let mut m = CoupledModel::new(EsmConfig::test_small().with_days_per_year(2));
+        let fields = m.step_day();
+        let block = DayBlock::from_fields(&fields);
+        assert_eq!(block.var("tas").unwrap().as_ref(), fields.get("tas").unwrap().data.as_slice());
+        assert_eq!(block.payload_bytes(), predicted_payload(&fields));
+
+        let a_dir = tmpdir("encode-file");
+        let b_dir = tmpdir("encode-block");
+        let a = write_daily(&a_dir, &fields).unwrap();
+        let b = block.write(&b_dir).unwrap();
+        assert_eq!(a.file_name(), b.file_name());
+        assert_eq!(std::fs::read(a).unwrap(), std::fs::read(b).unwrap());
     }
 
     #[test]

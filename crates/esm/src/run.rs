@@ -19,7 +19,7 @@ use std::time::Instant;
 fn step_and_write(
     model: &mut CoupledModel,
     out_dir: &Path,
-) -> ncformat::Result<(PathBuf, i32, usize, u64)> {
+) -> ncformat::Result<(PathBuf, crate::model::DailyFields, u64)> {
     // One span per simulated day: model step + file write, nested under
     // the workflow task driving the simulation.
     let _span = if obs::global_active() { Some(obs::trace::span("esm_day")) } else { None };
@@ -49,7 +49,7 @@ fn step_and_write(
         bytes,
         micros: write_us,
     });
-    Ok((path, fields.year, fields.day, bytes))
+    Ok((path, fields, bytes))
 }
 
 /// Summary of a completed (partial) run.
@@ -112,12 +112,49 @@ impl Simulation {
             summary.years.push(year);
             summary.truth.push(self.model.year_events().clone());
             for _ in 0..self.model.cfg.days_per_year {
-                let (path, year, day, bytes) = step_and_write(&mut self.model, &self.out_dir)?;
+                let (path, fields, bytes) = step_and_write(&mut self.model, &self.out_dir)?;
                 summary.files_written += 1;
                 summary.bytes_written += bytes;
-                on_file(&path, year, day);
+                on_file(&path, fields.year, fields.day);
             }
             self.years_completed += 1;
+        }
+        Ok(summary)
+    }
+
+    /// Runs `years` simulated years like [`Self::run_years`], but also
+    /// captures every day as an in-memory [`output::DayBlock`] and hands
+    /// the full year to `on_year(year, blocks, files)` at each year
+    /// boundary. Daily files are still written — they stay the durable
+    /// fallback for chaos kills and checkpoint resume — but the blocks
+    /// let analytics start without re-reading a single one of them.
+    pub fn run_years_streamed<F>(
+        &mut self,
+        years: usize,
+        mut on_year: F,
+    ) -> ncformat::Result<RunSummary>
+    where
+        F: FnMut(i32, Vec<output::DayBlock>, Vec<PathBuf>),
+    {
+        let mut summary =
+            RunSummary { files_written: 0, bytes_written: 0, years: Vec::new(), truth: Vec::new() };
+        for _ in 0..years {
+            obs::chaos::point("esm.year").map_err(std::io::Error::other)?;
+            let (year, _) = self.model.date();
+            summary.years.push(year);
+            summary.truth.push(self.model.year_events().clone());
+            let days = self.model.cfg.days_per_year;
+            let mut blocks = Vec::with_capacity(days);
+            let mut files = Vec::with_capacity(days);
+            for _ in 0..days {
+                let (path, fields, bytes) = step_and_write(&mut self.model, &self.out_dir)?;
+                summary.files_written += 1;
+                summary.bytes_written += bytes;
+                blocks.push(output::DayBlock::from_fields(&fields));
+                files.push(path);
+            }
+            self.years_completed += 1;
+            on_year(year, blocks, files);
         }
         Ok(summary)
     }
@@ -142,11 +179,11 @@ impl Simulation {
 
     /// Runs a single day (fine-grained driver for pipelined workflows).
     pub fn run_day(&mut self) -> ncformat::Result<(PathBuf, i32, usize)> {
-        let (path, year, day, _) = step_and_write(&mut self.model, &self.out_dir)?;
-        if day + 1 == self.model.cfg.days_per_year {
+        let (path, fields, _) = step_and_write(&mut self.model, &self.out_dir)?;
+        if fields.day + 1 == self.model.cfg.days_per_year {
             self.years_completed += 1;
         }
-        Ok((path, year, day))
+        Ok((path, fields.year, fields.day))
     }
 
     /// Ground truth of the year currently being simulated.
@@ -219,6 +256,46 @@ mod tests {
         assert!(p1.exists());
         let (_, y2, d2) = sim.run_day().unwrap();
         assert_eq!((y2, d2), (2030, 1));
+    }
+
+    #[test]
+    fn streamed_run_blocks_match_written_files() {
+        let cfg = small_cfg().with_seed(9);
+        let plain_dir = tmpdir("stream-plain");
+        let mut plain = Simulation::new(cfg.clone(), &plain_dir).unwrap();
+        plain.run_years(2, |_, _, _| {}).unwrap();
+
+        let dir = tmpdir("stream-blocks");
+        let mut sim = Simulation::new(cfg, &dir).unwrap();
+        let mut streamed: Vec<(i32, usize, usize)> = Vec::new();
+        let summary = sim
+            .run_years_streamed(2, |year, blocks, files| {
+                assert_eq!(blocks.len(), 3);
+                assert_eq!(files.len(), 3);
+                for (b, f) in blocks.iter().zip(&files) {
+                    assert_eq!(b.year, year);
+                    assert!(f.exists());
+                    // In-memory stack equals what a reader gets back.
+                    let rd = ncformat::Reader::open(f).unwrap();
+                    assert_eq!(rd.read_all_f32("tas").unwrap(), b.var("tas").unwrap().as_ref());
+                }
+                streamed.push((year, blocks.len(), files.len()));
+            })
+            .unwrap();
+        assert_eq!(summary.files_written, 6);
+        assert_eq!(streamed.len(), 2);
+
+        // The streamed run's files are byte-identical to a plain run's.
+        for year in [2030, 2031] {
+            for day in 1..=3 {
+                let name = format!("esm-{year}-{day:03}.ncx");
+                assert_eq!(
+                    std::fs::read(plain_dir.join(&name)).unwrap(),
+                    std::fs::read(dir.join(&name)).unwrap(),
+                    "{name} differs between plain and streamed runs"
+                );
+            }
+        }
     }
 
     #[test]

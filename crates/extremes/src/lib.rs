@@ -23,11 +23,14 @@
 pub mod baseline;
 pub mod etccdi;
 pub mod heatwave;
+pub mod incremental;
 pub mod maps;
 pub mod tc;
 pub mod validate;
 
 pub use heatwave::{HeatwaveIndices, WaveParams};
+pub use incremental::{CellRuns, EtccdiState, WaveState};
 pub use tc::cnn::TcCnn;
 pub use tc::detect::{detect_timestep, Detection, DetectorParams};
+pub use tc::serve::{BatchPolicy, BatchStats, CnnService};
 pub use tc::track::{stitch_tracks, Track};

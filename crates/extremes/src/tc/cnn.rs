@@ -33,6 +33,7 @@ pub struct CnnDetection {
 }
 
 /// One timestep of the four input fields.
+#[derive(Debug, Clone)]
 pub struct FieldSet {
     pub psl: Field2,
     pub wind: Field2,

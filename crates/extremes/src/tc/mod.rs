@@ -3,4 +3,5 @@
 pub mod cnn;
 pub mod detect;
 pub mod metrics;
+pub mod serve;
 pub mod track;

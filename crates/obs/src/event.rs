@@ -127,6 +127,18 @@ pub enum EventKind {
     /// A seeded fault fired at a named injection site (`occurrence` is
     /// the per-site occurrence index it hit; see [`crate::chaos`]).
     FaultInjected { site: Arc<str>, fault: &'static str, occurrence: u64 },
+
+    // --- streaming data plane -----------------------------------------
+    /// A simulated year was handed to analytics in memory over a stream
+    /// channel (no file round-trip on the hot path).
+    YearStreamed { year: i32, days: usize, bytes: u64 },
+    /// A stream sender blocked on a full channel until the consumer
+    /// caught up; `waited_us` is the stall duration.
+    BackpressureStall { channel: Arc<str>, waited_us: u64 },
+    /// The batched CNN inference service flushed one batch. `batch` is
+    /// the number of requests served, `capacity` the policy's maximum,
+    /// and `wait_us` how long the oldest request sat queued.
+    InferBatchFlushed { batch: usize, capacity: usize, wait_us: u64 },
 }
 
 impl EventKind {
@@ -159,6 +171,9 @@ impl EventKind {
             EventKind::SpanStarted { .. } => "span_started",
             EventKind::SpanEnded { .. } => "span_ended",
             EventKind::FaultInjected { .. } => "fault_injected",
+            EventKind::YearStreamed { .. } => "year_streamed",
+            EventKind::BackpressureStall { .. } => "backpressure_stall",
+            EventKind::InferBatchFlushed { .. } => "infer_batch_flushed",
         }
     }
 

@@ -188,6 +188,20 @@ impl Event {
                 field_u(&mut s, "parent", *parent);
                 field_u(&mut s, "dur_us", *micros);
             }
+            EventKind::YearStreamed { year, days, bytes } => {
+                field_u(&mut s, "year", *year as u64);
+                field_u(&mut s, "days", *days as u64);
+                field_u(&mut s, "bytes", *bytes);
+            }
+            EventKind::BackpressureStall { channel, waited_us } => {
+                field_s(&mut s, "channel", channel);
+                field_u(&mut s, "waited_us", *waited_us);
+            }
+            EventKind::InferBatchFlushed { batch, capacity, wait_us } => {
+                field_u(&mut s, "batch", *batch as u64);
+                field_u(&mut s, "capacity", *capacity as u64);
+                field_u(&mut s, "wait_us", *wait_us);
+            }
         }
         s.push('}');
         s
@@ -345,6 +359,13 @@ fn slice_name(kind: &EventKind) -> String {
         }
         EventKind::SpanCompleted { name, .. } => (*name).to_string(),
         EventKind::SpanStarted { name, .. } | EventKind::SpanEnded { name, .. } => name.to_string(),
+        EventKind::YearStreamed { year, days, .. } => format!("stream y{year} ({days}d)"),
+        EventKind::BackpressureStall { channel, waited_us } => {
+            format!("stall {channel} {waited_us}us")
+        }
+        EventKind::InferBatchFlushed { batch, capacity, .. } => {
+            format!("infer batch {batch}/{capacity}")
+        }
     }
 }
 

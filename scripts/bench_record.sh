@@ -16,7 +16,7 @@ out="BENCH_$(date +%F)${label:+-$label}.json"
 tmp="$(mktemp -d)"
 trap 'rm -rf "$tmp"' EXIT
 
-benches=(c2_baseline_reuse c4_fragment_scaling d1_esm_output s1_serve_sweep a1_sched_policy k1_kernels)
+benches=(c2_baseline_reuse c4_fragment_scaling d1_esm_output s1_serve_sweep a1_sched_policy k1_kernels c8_streaming)
 for b in "${benches[@]}"; do
   echo "[bench_record] running $b ..."
   cargo bench -p bench --features count-alloc --bench "$b" >"$tmp/$b.out" 2>"$tmp/$b.err" \
@@ -46,10 +46,12 @@ K1 = re.compile(
     r"^\[k1_kernels\] kernel=(?P<kernel>\S+) bytes=(?P<bytes>\d+) "
     r"ns=(?P<ns>\d+) gbps=(?P<gbps>[\d.]+)"
 )
+# Streaming-data-plane metric line: `[c8_stream] stage=... key=value ...`.
+C8 = re.compile(r"^\[c8_stream\] (?P<kv>.+)$")
 NS = {"ns": 1, "us": 1e3, "ms": 1e6, "s": 1e9}
 
 record = {"date": date.today().isoformat(), "benches": {}, "alloc": {}, "serve": [],
-          "a1_sched": [], "kernels": {}}
+          "a1_sched": [], "kernels": {}, "streaming": []}
 for b in benches:
     with open(f"{tmp}/{b}.out") as f:
         for line in f:
@@ -98,6 +100,17 @@ for b in benches:
                     "ns": int(m["ns"]),
                     "gbps": float(m["gbps"]),
                 }
+                continue
+            m = C8.match(line.strip())
+            if m:
+                point = {}
+                for kv in m["kv"].split():
+                    k, _, v = kv.partition("=")
+                    try:
+                        point[k] = int(v) if v.lstrip("-").isdigit() else float(v)
+                    except ValueError:
+                        point[k] = v
+                record["streaming"].append(point)
 
 if not record["benches"]:
     sys.exit("bench_record: no benchmark lines parsed")
@@ -107,5 +120,5 @@ with open(out_path, "w") as f:
 print(f"[bench_record] wrote {out_path}: "
       f"{len(record['benches'])} benches, {len(record['alloc'])} alloc stages, "
       f"{len(record['serve'])} serve points, {len(record['a1_sched'])} a1_sched points, "
-      f"{len(record['kernels'])} kernels")
+      f"{len(record['kernels'])} kernels, {len(record['streaming'])} streaming points")
 PY

@@ -82,6 +82,20 @@ print(f"serve-bench OK: {len(points)} point(s), "
       f"cache hit rate {points[0]['cache_hit_rate']:.2f}")
 EOF
 
+echo "== streaming equivalence: staged vs streaming bitwise, serial and parallel =="
+# The streaming data plane must be a pure performance change: byte-identical
+# products, incremental record indices matching the batch exports, and a
+# kill/resume through the file fallback — independent of pool width.
+for t in 1 4; do
+  PAR_THREADS="$t" cargo test --test streaming_equivalence -q
+done
+
+echo "== streaming smoke: in-memory year handoff end to end =="
+cargo run -q -p climate-workflows --bin climate-wf -- run --years 2 --days 3 \
+    --streaming --out "$smoke/stream-run" > "$smoke/stream-run.out"
+grep -q "climate-extremes workflow (streaming)" "$smoke/stream-run.out"
+grep -q "^streaming: " "$smoke/stream-run.out"
+
 echo "== obs overhead budget (inactive-bus emit) =="
 OBS_OVERHEAD_BUDGET_NS="${OBS_OVERHEAD_BUDGET_NS:-25}" \
     cargo bench -p bench --bench obs_overhead -- --test
